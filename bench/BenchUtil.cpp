@@ -1,0 +1,69 @@
+//===- bench/BenchUtil.cpp - Shared bench harness --------------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "opt/Pipeline.h"
+#include "parser/Parser.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace edda;
+using namespace edda::bench;
+
+std::vector<ProgramRun> edda::bench::runSuite(
+    const AnalyzerOptions &AOpts, const GeneratorOptions &GOpts) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<ProgramRun> Runs;
+  for (const ProgramProfile &Profile : perfectClubProfiles()) {
+    ProgramRun Run;
+    Run.Profile = &Profile;
+
+    std::string Source = generateProgramSource(Profile, GOpts);
+    auto T0 = Clock::now();
+    ParseResult Parsed = parseProgram(Source);
+    if (!Parsed.succeeded()) {
+      std::fprintf(stderr, "generated program %s failed to parse\n",
+                   Profile.Name.c_str());
+      std::exit(1);
+    }
+    Program Prog = std::move(*Parsed.Prog);
+    runPrepass(Prog);
+    auto T1 = Clock::now();
+
+    AnalyzerOptions Opts = AOpts;
+    Opts.RunPrepass = false; // already done (timed separately)
+    DependenceAnalyzer Analyzer(Opts);
+    Run.Result = Analyzer.analyze(Prog);
+    auto T2 = Clock::now();
+
+    Run.CompileMicros =
+        std::chrono::duration_cast<std::chrono::microseconds>(T1 - T0)
+            .count();
+    Run.AnalysisMicros =
+        std::chrono::duration_cast<std::chrono::microseconds>(T2 - T1)
+            .count();
+    Runs.push_back(std::move(Run));
+  }
+  return Runs;
+}
+
+std::string edda::bench::cell(uint64_t Measured, uint64_t Paper) {
+  char Buffer[32];
+  std::snprintf(Buffer, sizeof(Buffer), "%5llu|%-5llu",
+                static_cast<unsigned long long>(Measured),
+                static_cast<unsigned long long>(Paper));
+  return Buffer;
+}
+
+void edda::bench::rule(unsigned Width) {
+  for (unsigned I = 0; I < Width; ++I)
+    std::putchar('-');
+  std::putchar('\n');
+}

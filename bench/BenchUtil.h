@@ -1,0 +1,54 @@
+//===- bench/BenchUtil.h - Shared bench harness ----------------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the table/figure reproductions: run the
+/// synthetic PERFECT Club suite through the analyzer under a given
+/// configuration and collect per-program statistics, with helpers for
+/// the paper-style table rendering ("measured | paper").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_BENCH_BENCHUTIL_H
+#define EDDA_BENCH_BENCHUTIL_H
+
+#include "analysis/Analyzer.h"
+#include "workload/Generator.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edda {
+namespace bench {
+
+/// One program's outcome.
+struct ProgramRun {
+  const ProgramProfile *Profile = nullptr;
+  AnalysisResult Result;
+  /// Wall-clock cost of parsing + prepass (microseconds).
+  uint64_t CompileMicros = 0;
+  /// Wall-clock cost of dependence analysis proper (microseconds).
+  uint64_t AnalysisMicros = 0;
+};
+
+/// Runs the whole synthetic suite. Generation is deterministic; the
+/// analyzer (and its cache) is fresh per program, as in the paper's
+/// per-compilation tables.
+std::vector<ProgramRun> runSuite(const AnalyzerOptions &AOpts,
+                                 const GeneratorOptions &GOpts);
+
+/// Prints "measured|paper" in a fixed-width cell.
+std::string cell(uint64_t Measured, uint64_t Paper);
+
+/// Prints a horizontal rule sized for \p Width.
+void rule(unsigned Width);
+
+} // namespace bench
+} // namespace edda
+
+#endif // EDDA_BENCH_BENCHUTIL_H

@@ -1,0 +1,73 @@
+//===- bench/fig1_loop_residue.cpp - Paper Figure 1 -----------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Figure 1 and the section 3.4 walkthrough: the residue
+/// graph of a difference-constraint system whose negative cycle
+/// (value -1) proves independence. The paper's example constrains
+/// t1 <= t3 - 4 after converting 2*t1 <= 2*t3 - 7 with the
+/// floor-division extension, attaches the single-variable bounds to the
+/// distinguished node n0, and finds the cycle t1 -> t3 -> n0 -> t1 of
+/// value 4 + 4 - 1... rendered here with the actual graph our
+/// implementation builds and the cycle Bellman-Ford reports.
+///
+//===----------------------------------------------------------------------===//
+
+#include "deptest/LoopResidue.h"
+
+#include <cstdio>
+
+using namespace edda;
+
+int main() {
+  std::printf("Figure 1: residue graph for the section 3.4 example\n\n");
+
+  // The paper's constraint set (0-based variable names):
+  //   t0 >= 1           (n0 -> t0, weight -1)
+  //   t2 <= 4           (t2 -> n0, weight 4)
+  //   t1 <= t2 + 4      (t1 -> t2, weight 4; keeps t1 in the graph)
+  //   2*t0 <= 2*t2 - 7  ==>  t0 <= t2 + floor(-7/2) = t2 - 4.
+  // Negative cycle: n0 -> t0 -> t2 -> n0 of value -1 + -4 + 4 = -1.
+  VarIntervals Intervals(3);
+  Intervals.Lo[0] = 1; // t0 >= 1
+  Intervals.Hi[2] = 4; // t2 <= 4
+  std::vector<LinearConstraint> Multi = {
+      {{0, 1, -1}, 4},  // t1 - t2 <= 4
+      {{2, 0, -2}, -7}, // 2 t0 - 2 t2 <= -7  (divided exactly to -4)
+  };
+
+  ResidueResult R = runLoopResidue(3, Multi, Intervals);
+
+  std::printf("constraints (variables t0, t1, t2):\n");
+  std::printf("  t0 >= 1\n  t2 <= 4\n  t1 - t2 <= 4\n");
+  std::printf("  2t0 - 2t2 <= -7   (exact integer division: t0 - t2 <= "
+              "-4)\n\n");
+  std::printf("residue graph (edge u -> w (W) means t_u <= t_w + W):\n");
+  std::printf("%s\n", R.Graph.str().c_str());
+
+  switch (R.St) {
+  case ResidueResult::Status::Independent: {
+    std::printf("negative cycle found: ");
+    for (unsigned I = 0; I < R.NegativeCycle.size(); ++I) {
+      unsigned Node = R.NegativeCycle[I];
+      std::string Name =
+          Node == 3 ? std::string("n0") : "t" + std::to_string(Node);
+      std::printf("%s%s", I ? " -> " : "", Name.c_str());
+    }
+    std::printf("\n=> the system is INDEPENDENT (cycle value "
+                "-1 + -4 + 4 = -1 < 0)\n");
+    break;
+  }
+  case ResidueResult::Status::Dependent:
+    std::printf("feasible — unexpected for this example\n");
+    return 1;
+  default:
+    std::printf("test not applicable — unexpected\n");
+    return 1;
+  }
+  return 0;
+}

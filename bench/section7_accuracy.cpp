@@ -1,0 +1,133 @@
+//===- bench/section7_accuracy.cpp - Paper section 7 accuracy study -------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the section 7 accuracy comparison against traditional
+/// inexact tests:
+///
+///   * plain answers: simple GCD + trapezoidal Banerjee found 415 of
+///     482 independent pairs (missed 16%);
+///   * direction vectors: GCD + Wolfe's rectangular per-direction test
+///     (unused variables eliminated) reported 8,314 vectors vs the
+///     exact 6,828 (22% spurious).
+///
+/// Also reports the per-test independence rates of section 7 (how often
+/// each cascade test returns independent) — the justification for
+/// running every test in the cascade.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "baseline/Banerjee.h"
+#include "opt/Pipeline.h"
+#include "parser/Parser.h"
+
+#include <cstdio>
+
+using namespace edda;
+using namespace edda::bench;
+
+int main() {
+  GeneratorOptions GOpts;
+  AnalyzerOptions Directions;
+  Directions.ComputeDirections = true;
+
+  uint64_t ExactIndependent = 0, BaselineIndependent = 0;
+  uint64_t PairsTested = 0;
+  uint64_t ExactVectors = 0, BaselineVectors = 0;
+
+  for (const ProgramProfile &Profile : perfectClubProfiles()) {
+    std::string Source = generateProgramSource(Profile, GOpts);
+    ParseResult Parsed = parseProgram(Source);
+    if (!Parsed.succeeded())
+      return 1;
+    Program Prog = std::move(*Parsed.Prog);
+    runPrepass(Prog);
+
+    AnalyzerOptions Opts = Directions;
+    Opts.RunPrepass = false;
+    DependenceAnalyzer Analyzer(Opts);
+    AnalysisResult R = Analyzer.analyze(Prog);
+
+    for (const DependencePair &Pair : R.Pairs) {
+      // The paper's comparison is over pairs that need real testing;
+      // constant subscripts are handled before any test runs.
+      if (Pair.DecidedBy == TestKind::ArrayConstant)
+        continue;
+      std::optional<BuiltProblem> Built = buildProblem(
+          Prog, R.Refs[Pair.RefA], R.Refs[Pair.RefB]);
+      if (!Built)
+        continue;
+      ++PairsTested;
+      if (Pair.Answer == DepAnswer::Independent)
+        ++ExactIndependent;
+      if (baselineGcdBanerjee(Built->Problem) ==
+          BaselineAnswer::Independent)
+        ++BaselineIndependent;
+
+      if (Pair.Directions)
+        ExactVectors += Pair.Directions->Vectors.size();
+      DirectionResult Inexact =
+          baselineDirectionVectors(Built->Problem);
+      if (Inexact.RootAnswer == DepAnswer::Independent)
+        continue;
+      BaselineVectors += Inexact.Vectors.size();
+    }
+  }
+
+  std::printf("Section 7: exact cascade vs traditional inexact tests\n\n");
+  std::printf("independence (of %llu analyzable pairs):\n",
+              static_cast<unsigned long long>(PairsTested));
+  std::printf("  exact cascade:        %llu independent\n",
+              static_cast<unsigned long long>(ExactIndependent));
+  std::printf("  simple GCD + Banerjee: %llu independent (missed "
+              "%.1f%%; paper: 415/482 found, 16%% missed)\n",
+              static_cast<unsigned long long>(BaselineIndependent),
+              ExactIndependent == 0
+                  ? 0.0
+                  : 100.0 *
+                        (ExactIndependent - BaselineIndependent) /
+                        static_cast<double>(ExactIndependent));
+  std::printf("\ndirection vectors:\n");
+  std::printf("  exact:                 %llu vectors\n",
+              static_cast<unsigned long long>(ExactVectors));
+  std::printf("  GCD + Wolfe rectangular: %llu vectors (%.1f%% extra; "
+              "paper: 8,314 vs 6,828 = 22%% extra)\n",
+              static_cast<unsigned long long>(BaselineVectors),
+              ExactVectors == 0
+                  ? 0.0
+                  : 100.0 * (BaselineVectors - ExactVectors) /
+                        static_cast<double>(ExactVectors));
+
+  // Per-test independence rates (paper: SVPC 40/308, Acyclic 14/172,
+  // Residue 131/276, FM 82/141 over the Table 5 direction tests).
+  AnalyzerOptions Opts = Directions;
+  DepStats Total;
+  for (const ProgramRun &Run : runSuite(Opts, GOpts))
+    Total += Run.Result.Stats;
+  std::printf("\nper-test independence rates over direction tests "
+              "(measured; paper in parens):\n");
+  struct Row {
+    TestKind Kind;
+    const char *Paper;
+  };
+  const Row Rows[] = {
+      {TestKind::Svpc, "40/308"},
+      {TestKind::Acyclic, "14/172"},
+      {TestKind::LoopResidue, "131/276"},
+      {TestKind::FourierMotzkin, "82/141"},
+  };
+  for (const Row &R2 : Rows)
+    std::printf("  %-16s %llu/%llu independent  (paper %s)\n",
+                testKindName(R2.Kind),
+                static_cast<unsigned long long>(
+                    Total.decidedIndependent(R2.Kind)),
+                static_cast<unsigned long long>(Total.decided(R2.Kind)),
+                R2.Paper);
+  return 0;
+}

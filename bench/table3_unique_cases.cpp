@@ -1,0 +1,71 @@
+//===- bench/table3_unique_cases.cpp - Paper Table 3 ----------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Table 3: tests executed when memoization is on — only
+/// unique cases reach the cascade. The paper's headline: memoization
+/// cuts 5,679 exact tests to 332. The shape to reproduce: an
+/// order-of-magnitude collapse, with SVPC still dominating the
+/// remainder.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace edda;
+using namespace edda::bench;
+
+int main() {
+  AnalyzerOptions AOpts; // memoization on by default
+  GeneratorOptions GOpts;
+  std::vector<ProgramRun> Runs = runSuite(AOpts, GOpts);
+
+  std::printf("Table 3: tests executed for unique cases only "
+              "(memoization on, measured|paper)\n\n");
+  std::printf("%-4s %10s %12s %12s %12s %12s\n", "Prog", "TotalCases",
+              "SVPC", "Acyclic", "Residue", "F-M");
+  rule(80);
+
+  DepStats Total;
+  uint64_t PaperTotalCases = 0;
+  for (const ProgramRun &Run : Runs) {
+    const UniqueTargets &U = Run.Profile->Unique;
+    const DepStats &S = Run.Result.Stats;
+    const DecisionTargets &T = Run.Profile->Table1;
+    uint64_t PaperCases = T.Svpc + T.Acyclic + T.Residue + T.Fm;
+    PaperTotalCases += PaperCases;
+    std::printf("%-4s %10llu  %s  %s  %s  %s\n",
+                Run.Profile->Name.c_str(),
+                static_cast<unsigned long long>(PaperCases),
+                cell(S.decided(TestKind::Svpc), U.Svpc).c_str(),
+                cell(S.decided(TestKind::Acyclic), U.Acyclic).c_str(),
+                cell(S.decided(TestKind::LoopResidue), U.Residue)
+                    .c_str(),
+                cell(S.decided(TestKind::FourierMotzkin), U.Fm)
+                    .c_str());
+    Total += S;
+  }
+  rule(80);
+  std::printf("%-4s %10s  %s  %s  %s  %s\n", "TOT", "",
+              cell(Total.decided(TestKind::Svpc), 262).c_str(),
+              cell(Total.decided(TestKind::Acyclic), 34).c_str(),
+              cell(Total.decided(TestKind::LoopResidue), 4).c_str(),
+              cell(Total.decided(TestKind::FourierMotzkin), 32).c_str());
+
+  uint64_t ExactTests = Total.decided(TestKind::Svpc) +
+                        Total.decided(TestKind::Acyclic) +
+                        Total.decided(TestKind::LoopResidue) +
+                        Total.decided(TestKind::FourierMotzkin);
+  std::printf("\nHeadline: exact tests executed %llu (paper: 332 after "
+              "memoizing 5,679); cache hits %llu\n",
+              static_cast<unsigned long long>(ExactTests),
+              static_cast<unsigned long long>(Total.MemoHitsFull +
+                                              Total.MemoHitsNoBounds));
+  return 0;
+}

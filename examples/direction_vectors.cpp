@@ -1,0 +1,114 @@
+//===- examples/direction_vectors.cpp - Direction/distance vectors --------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Walks through the paper's section 6: how direction vectors summarize
+/// the relationship between dependent iterations, how hierarchical
+/// refinement explores them, and how the two prunings (unused variable
+/// elimination and distance vectors) cut the number of tests.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "parser/Parser.h"
+
+#include <cstdio>
+
+using namespace edda;
+
+namespace {
+
+void show(const char *Title, const char *Source) {
+  ParseResult Parsed = parseProgram(Source);
+  if (!Parsed.succeeded())
+    return;
+  Program Prog = std::move(*Parsed.Prog);
+  AnalyzerOptions Opts;
+  Opts.ComputeDirections = true;
+  DependenceAnalyzer Analyzer(Opts);
+  AnalysisResult Result = Analyzer.analyze(Prog);
+
+  std::printf("%s\n", Title);
+  for (const DependencePair &Pair : Result.Pairs) {
+    if (Pair.RefA == Pair.RefB || !Pair.Directions)
+      continue;
+    const ArrayReference &A = Result.Refs[Pair.RefA];
+    const ArrayReference &B = Result.Refs[Pair.RefB];
+    std::printf("  %s vs %s:\n", refStr(Prog, A).c_str(),
+                refStr(Prog, B).c_str());
+    if (Pair.Directions->Vectors.empty()) {
+      std::printf("    independent\n");
+      continue;
+    }
+    std::printf("    directions:");
+    for (const DirVector &V : Pair.Directions->Vectors)
+      std::printf(" %s", dirVectorStr(V).c_str());
+    std::printf("\n    distances: ");
+    for (unsigned K = 0; K < Pair.Directions->Distances.size(); ++K) {
+      if (Pair.Directions->Distances[K])
+        std::printf("%lld ", static_cast<long long>(
+                                 *Pair.Directions->Distances[K]));
+      else
+        std::printf("? ");
+    }
+    std::printf("\n    tests run: %llu\n",
+                static_cast<unsigned long long>(
+                    Pair.Directions->TestsRun));
+  }
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  show("carried forward (distance 1): a[i+1] = a[i]", R"(program p1
+  array a[100]
+  for i = 1 to 10 do
+    a[i + 1] = a[i] + 7
+  end
+end
+)");
+
+  show("loop independent: a[i] = a[i]", R"(program p2
+  array a[100]
+  for i = 1 to 10 do
+    a[i] = a[i] + 7
+  end
+end
+)");
+
+  show("two vectors (paper section 6): a[i][j] = a[2i][j]", R"(program p3
+  array a[100][100]
+  for i = 0 to 10 do
+    for j = 0 to 10 do
+      a[i][j] = a[2 * i][j] + 7
+    end
+  end
+end
+)");
+
+  show("unused outer loop pruned to '*': a[j] = a[j+1]", R"(program p4
+  array a[100]
+  for i = 1 to 10 do
+    for j = 1 to 10 do
+      a[j] = a[j + 1]
+    end
+  end
+end
+)");
+
+  show("transposed coupling: a[i][j] = a[j][i]", R"(program p5
+  array a[50][50]
+  for i = 1 to 10 do
+    for j = 1 to 10 do
+      a[i][j] = a[j][i] + 1
+    end
+  end
+end
+)");
+  return 0;
+}

@@ -1,0 +1,127 @@
+//===- examples/parallelize_stencil.cpp - Loop parallelization ------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The use case that motivates the paper: decide which loops of a
+/// numerical kernel can run in parallel. A Jacobi stencil (reads from
+/// one array, writes another) parallelizes at every level; a Gauss-
+/// Seidel sweep (in-place update) is serialized by its loop-carried
+/// dependences; a wavefront recurrence is carried only by the outer
+/// loop.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "analysis/Parallelizer.h"
+#include "parser/Parser.h"
+
+#include <cstdio>
+
+using namespace edda;
+
+namespace {
+
+void report(const char *Title, const std::vector<StmtPtr> &Body,
+            const Program &P, unsigned Indent = 2) {
+  for (const StmtPtr &S : Body) {
+    if (S->kind() != StmtKind::Loop)
+      continue;
+    const LoopStmt &L = asLoop(*S);
+    std::printf("%*sfor %s: %s\n", Indent, "",
+                P.var(L.varId()).Name.c_str(),
+                L.isParallel() ? "PARALLEL" : "serial");
+    report(Title, L.body(), P, Indent + 2);
+  }
+}
+
+void analyzeKernel(const char *Title, const char *Source) {
+  ParseResult Parsed = parseProgram(Source);
+  if (!Parsed.succeeded()) {
+    for (const Diagnostic &D : Parsed.Diags)
+      std::fprintf(stderr, "error: %s\n", D.str().c_str());
+    return;
+  }
+  Program Prog = std::move(*Parsed.Prog);
+  DependenceAnalyzer Analyzer;
+  ParallelizeSummary Summary = parallelize(Prog, Analyzer);
+  std::printf("%s: %u of %u loops parallel\n", Title,
+              Summary.LoopsParallel, Summary.LoopsTotal);
+  report(Title, Prog.body(), Prog);
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  analyzeKernel("jacobi", R"(program jacobi
+  array next[100][100]
+  array prev[100][100]
+  for i = 2 to 99 do
+    for j = 2 to 99 do
+      next[i][j] = prev[i - 1][j] + prev[i + 1][j] + prev[i][j - 1] + prev[i][j + 1]
+    end
+  end
+end
+)");
+
+  analyzeKernel("gauss-seidel", R"(program seidel
+  array u[100][100]
+  for i = 2 to 99 do
+    for j = 2 to 99 do
+      u[i][j] = u[i - 1][j] + u[i][j - 1] + u[i + 1][j] + u[i][j + 1]
+    end
+  end
+end
+)");
+
+  analyzeKernel("wavefront", R"(program wavefront
+  array w[100][100]
+  for i = 2 to 99 do
+    for j = 1 to 99 do
+      w[i][j] = w[i - 1][j] + 1
+    end
+  end
+end
+)");
+
+  analyzeKernel("reduction-free transpose", R"(program transpose
+  array t[100][100]
+  array s[100][100]
+  for i = 1 to 100 do
+    for j = 1 to 100 do
+      t[i][j] = s[j][i]
+    end
+  end
+end
+)");
+
+  // Scalar handling: the dot-product loop is parallel because the
+  // accumulator is recognized as a reduction; the prefix-sum loop is
+  // serialized by its carried scalar even though no array dependence
+  // exists.
+  analyzeKernel("dot product (reduction scalar)", R"(program dot
+  array x[1000]
+  array y[1000]
+  acc = 0
+  for i = 1 to 1000 do
+    acc = acc + x[i] * y[i]
+  end
+end
+)");
+
+  analyzeKernel("prefix sums (carried scalar)", R"(program prefix
+  array x[1000]
+  array out[1000]
+  run = 0
+  for i = 1 to 1000 do
+    run = run + x[i]
+    out[i] = run
+  end
+end
+)");
+  return 0;
+}

@@ -1,0 +1,95 @@
+//===- examples/quickstart.cpp - First steps with edda --------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: parse a small LoopLang program, run the prepass
+/// optimizer and the exact dependence analyzer, and print what was
+/// found — which pairs of array references can touch the same memory,
+/// which test of the paper's cascade decided each answer, and the
+/// dependence direction vectors.
+///
+/// Build and run:
+///   cmake -B build -G Ninja && cmake --build build
+///   ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "parser/Parser.h"
+
+#include <cstdio>
+
+using namespace edda;
+
+int main() {
+  // The paper's two introductory loops plus a coupled-subscript case.
+  const char *Source = R"(program quickstart
+  array a[100]
+  array b[100]
+  array c[100][100]
+  for i = 1 to 10 do
+    a[i] = a[i + 10] + 3
+  end
+  for i = 1 to 10 do
+    b[i + 1] = b[i] + 3
+  end
+  for i = 1 to 10 do
+    for j = 1 to 10 do
+      c[i][j] = c[j + 10][i + 9]
+    end
+  end
+end
+)";
+
+  ParseResult Parsed = parseProgram(Source);
+  if (!Parsed.succeeded()) {
+    for (const Diagnostic &D : Parsed.Diags)
+      std::fprintf(stderr, "error: %s\n", D.str().c_str());
+    return 1;
+  }
+  Program Prog = std::move(*Parsed.Prog);
+
+  AnalyzerOptions Opts;
+  Opts.ComputeDirections = true;
+  DependenceAnalyzer Analyzer(Opts);
+  AnalysisResult Result = Analyzer.analyze(Prog);
+
+  std::printf("analyzed %llu reference pairs\n\n",
+              static_cast<unsigned long long>(Result.PairsConsidered));
+  for (const DependencePair &Pair : Result.Pairs) {
+    const ArrayReference &A = Result.Refs[Pair.RefA];
+    const ArrayReference &B = Result.Refs[Pair.RefB];
+    std::printf("%-28s vs %-28s", refStr(Prog, A).c_str(),
+                refStr(Prog, B).c_str());
+    switch (Pair.Answer) {
+    case DepAnswer::Independent:
+      std::printf("  INDEPENDENT");
+      break;
+    case DepAnswer::Dependent:
+      std::printf("  dependent");
+      break;
+    case DepAnswer::Unknown:
+      std::printf("  unknown (assumed dependent)");
+      break;
+    }
+    std::printf("  [decided by %s]\n", testKindName(Pair.DecidedBy));
+    if (Pair.Directions && !Pair.Directions->Vectors.empty()) {
+      std::printf("    direction vectors:");
+      for (const DirVector &V : Pair.Directions->Vectors)
+        std::printf(" %s", dirVectorStr(V).c_str());
+      std::printf("\n");
+      for (unsigned K = 0; K < Pair.Directions->Distances.size(); ++K)
+        if (Pair.Directions->Distances[K])
+          std::printf("    distance at level %u: %lld\n", K,
+                      static_cast<long long>(
+                          *Pair.Directions->Distances[K]));
+    }
+  }
+
+  std::printf("\ncascade decisions:\n%s", Result.Stats.str().c_str());
+  return 0;
+}

@@ -1,0 +1,107 @@
+//===- examples/symbolic_bounds.cpp - Symbolic dependence testing ---------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 8 of the paper: variables read from the outside world ("read
+/// n") join the dependence system as unbounded integer unknowns, keeping
+/// the analysis exact relative to the unknown. Also demonstrates the
+/// prepass optimizations that make symbolic programs analyzable in the
+/// first place (constant propagation, induction substitution).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "parser/Parser.h"
+
+#include <cstdio>
+
+using namespace edda;
+
+namespace {
+
+void analyze(const char *Title, const char *Source) {
+  ParseResult Parsed = parseProgram(Source);
+  if (!Parsed.succeeded()) {
+    for (const Diagnostic &D : Parsed.Diags)
+      std::fprintf(stderr, "error: %s\n", D.str().c_str());
+    return;
+  }
+  Program Prog = std::move(*Parsed.Prog);
+  DependenceAnalyzer Analyzer;
+  AnalysisResult Result = Analyzer.analyze(Prog);
+  std::printf("%s\n", Title);
+  std::printf("  optimized program:\n");
+  std::string Printed = Prog.print();
+  // Indent the print for display.
+  size_t Pos = 0;
+  while (Pos < Printed.size()) {
+    size_t End = Printed.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Printed.size();
+    std::printf("    %.*s\n", static_cast<int>(End - Pos),
+                Printed.c_str() + Pos);
+    Pos = End + 1;
+  }
+  for (const DependencePair &Pair : Result.Pairs) {
+    if (Pair.RefA == Pair.RefB)
+      continue;
+    std::printf("  %s vs %s: %s [%s]\n",
+                refStr(Prog, Result.Refs[Pair.RefA]).c_str(),
+                refStr(Prog, Result.Refs[Pair.RefB]).c_str(),
+                Pair.Answer == DepAnswer::Independent ? "INDEPENDENT"
+                : Pair.Answer == DepAnswer::Dependent ? "dependent"
+                                                      : "unknown",
+                testKindName(Pair.DecidedBy));
+  }
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  analyze("paper section 8: unknown n in both subscripts",
+          R"(program sym1
+  array a[500]
+  read n
+  for i = 1 to 10 do
+    a[i + n] = a[i + 2 * n + 1] + 3
+  end
+end
+)");
+
+  analyze("symbolic term cancels: exact independence",
+          R"(program sym2
+  array a[500]
+  read n
+  for i = 1 to 10 do
+    a[2 * i + n] = a[2 * i + n + 3] + 1
+  end
+end
+)");
+
+  analyze("symbolic loop bound", R"(program sym3
+  array a[500]
+  read n
+  for i = 1 to n do
+    a[i] = a[i + 1] + 1
+  end
+end
+)");
+
+  analyze("prepass rewrites the paper's optimizer example",
+          R"(program sym4
+  array a[500]
+  param n = 100
+  iz = 0
+  for i = 1 to 10 do
+    iz = iz + 2
+    a[iz + n] = a[iz + 2 * n + 1] + 3
+  end
+end
+)");
+  return 0;
+}

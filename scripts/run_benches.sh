@@ -1,0 +1,13 @@
+#!/bin/sh
+# Runs every bench binary in order, as recorded in EXPERIMENTS.md.
+set -e
+BUILD=${1:-build}
+for b in table1_test_frequency table2_memoization table3_unique_cases \
+         table4_direction_vectors table5_pruning table6_compile_cost \
+         table7_symbolic fig1_loop_residue section7_accuracy \
+         ext_shared_cache; do
+  echo "===== $b ====="
+  "$BUILD/bench/$b"
+  echo
+done
+"$BUILD/bench/micro_test_cost" --benchmark_min_time=0.2

@@ -1,0 +1,162 @@
+//===- analysis/Analyzer.cpp - Whole-program dependence analysis ----------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+
+#include "opt/Pipeline.h"
+
+using namespace edda;
+
+AnalysisResult DependenceAnalyzer::analyze(Program &Prog) {
+  if (Opts.RunPrepass)
+    runPrepass(Prog);
+
+  AnalysisResult Result;
+  Result.Refs = collectReferences(Prog);
+  const std::vector<ArrayReference> &Refs = Result.Refs;
+
+  for (unsigned I = 0; I < Refs.size(); ++I) {
+    for (unsigned J = I; J < Refs.size(); ++J) {
+      // A dependence needs a write and a shared array.
+      if (!Refs[I].IsWrite && !Refs[J].IsWrite)
+        continue;
+      if (Refs[I].ArrayId != Refs[J].ArrayId)
+        continue;
+      ++Result.PairsConsidered;
+
+      DependencePair Pair;
+      Pair.RefA = I;
+      Pair.RefB = J;
+
+      std::optional<BuiltProblem> Built =
+          buildProblem(Prog, Refs[I], Refs[J]);
+      if (!Built) {
+        ++Result.UnanalyzablePairs;
+        Pair.Answer = DepAnswer::Unknown;
+        Pair.DecidedBy = TestKind::Unanalyzable;
+        Pair.Exact = false;
+        // Clients (the parallelizer) still need the common nest to
+        // serialize conservatively.
+        for (unsigned L = 0; L < Refs[I].Loops.size() &&
+                             L < Refs[J].Loops.size() &&
+                             Refs[I].Loops[L] == Refs[J].Loops[L];
+             ++L)
+          Pair.CommonLoops.push_back(Refs[I].Loops[L]);
+        Result.Stats.recordDecision(TestKind::Unanalyzable, false);
+        Result.Pairs.push_back(std::move(Pair));
+        continue;
+      }
+      Pair.CommonLoops = Built->CommonLoops;
+      const DependenceProblem &Problem = Built->Problem;
+
+      // Array constants are handled without dependence testing (paper
+      // section 4) — and without memoization overhead, which would
+      // otherwise dominate constant-heavy programs like LG.
+      bool AllConstantEqs = true;
+      for (const XAffine &Eq : Problem.Equations)
+        AllConstantEqs = AllConstantEqs && Eq.isConstant();
+      if (AllConstantEqs) {
+        CascadeResult Outcome =
+            testDependence(Problem, Opts.Cascade, &Result.Stats);
+        Pair.Answer = Outcome.Answer;
+        Pair.DecidedBy = Outcome.DecidedBy;
+        Pair.Exact = Outcome.Exact && Built->Exact;
+        if (Opts.ComputeDirections &&
+            Pair.Answer != DepAnswer::Independent) {
+          DirectionResult Dirs;
+          Dirs.RootAnswer = Pair.Answer;
+          Dirs.RootDecidedBy = Outcome.DecidedBy;
+          Dirs.Distances.assign(Problem.NumCommon, std::nullopt);
+          // Every direction is possible for a constant overlap.
+          Dirs.Vectors.push_back(DirVector(Problem.NumCommon, Dir::Any));
+          Pair.Directions = std::move(Dirs);
+        }
+        Result.Pairs.push_back(std::move(Pair));
+        continue;
+      }
+
+      if (Opts.ComputeDirections) {
+        // Direction mode: the direction computation's root (*,...,*)
+        // query IS the plain dependence test, so it drives everything
+        // (running the cascade separately would double-count).
+        std::optional<DirectionResult> CachedDirs;
+        if (Opts.UseMemoization) {
+          CachedDirs = Cache.lookupDirections(Problem);
+          if (CachedDirs)
+            Result.Stats.MemoHitsFull++;
+        }
+        DirectionResult Dirs;
+        if (CachedDirs) {
+          Dirs = std::move(*CachedDirs);
+          Pair.FromCache = true;
+        } else {
+          Dirs = computeDirectionVectors(Problem, Opts.Direction);
+          if (Opts.UseMemoization) {
+            Cache.insertDirections(Problem, Dirs);
+            // The root answer also serves plain (non-direction) runs
+            // sharing this cache.
+            CascadeResult Root;
+            Root.Answer = Dirs.RootAnswer;
+            Root.DecidedBy = Dirs.RootDecidedBy;
+            Root.Exact = Dirs.Exact;
+            Cache.insertFull(Problem, Root);
+          }
+          Result.Stats += Dirs.TestStats;
+        }
+        Pair.Answer = Dirs.RootAnswer;
+        Pair.DecidedBy = Dirs.RootDecidedBy;
+        Pair.Exact = Dirs.Exact && Built->Exact;
+        Pair.Directions = std::move(Dirs);
+        Result.Pairs.push_back(std::move(Pair));
+        continue;
+      }
+
+      // Plain answer, via the full-key table when enabled.
+      std::optional<CascadeResult> Cached;
+      if (Opts.UseMemoization) {
+        Cached = Cache.lookupFull(Problem);
+        if (Cached)
+          Result.Stats.MemoHitsFull++;
+      }
+      CascadeResult Outcome;
+      if (Cached) {
+        Outcome = *Cached;
+        Pair.FromCache = true;
+      } else {
+        // The bounds-free table can spare the whole cascade when the
+        // equations alone were already proved unsolvable.
+        std::optional<bool> GcdKnown;
+        if (Opts.UseMemoization) {
+          GcdKnown = Cache.lookupGcdSolvable(Problem);
+          if (GcdKnown)
+            Result.Stats.MemoHitsNoBounds++;
+        }
+        if (GcdKnown && !*GcdKnown) {
+          Outcome.Answer = DepAnswer::Independent;
+          Outcome.DecidedBy = TestKind::GcdTest;
+          Outcome.Exact = true;
+          Pair.FromCache = true;
+        } else {
+          Outcome = testDependence(Problem, Opts.Cascade, &Result.Stats);
+          if (Opts.UseMemoization) {
+            Cache.insertFull(Problem, Outcome);
+            if (Outcome.DecidedBy == TestKind::GcdTest)
+              Cache.insertGcdSolvable(Problem, false);
+            else if (Outcome.DecidedBy != TestKind::ArrayConstant &&
+                     Outcome.DecidedBy != TestKind::Unanalyzable)
+              Cache.insertGcdSolvable(Problem, true);
+          }
+        }
+      }
+      Pair.Answer = Outcome.Answer;
+      Pair.DecidedBy = Outcome.DecidedBy;
+      Pair.Exact = Outcome.Exact && Built->Exact;
+      Result.Pairs.push_back(std::move(Pair));
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,95 @@
+//===- analysis/Analyzer.h - Whole-program dependence analysis -*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole-program driver, playing the role the analyzer played inside
+/// SUIF (paper section 4): run the prepass optimizer, enumerate array
+/// reference pairs (write/write, write/read), build each pair's
+/// dependence problem, consult the memoization tables, and run the
+/// cascade (and optionally direction/distance vector computation) on
+/// misses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_ANALYSIS_ANALYZER_H
+#define EDDA_ANALYSIS_ANALYZER_H
+
+#include "analysis/Builder.h"
+#include "analysis/Refs.h"
+#include "deptest/Direction.h"
+#include "deptest/Memo.h"
+#include "deptest/Stats.h"
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace edda {
+
+/// Analyzer configuration.
+struct AnalyzerOptions {
+  /// Run the prepass optimizer before collecting references.
+  bool RunPrepass = true;
+  /// Consult and fill the memoization tables.
+  bool UseMemoization = true;
+  MemoOptions Memo;
+  /// Also compute direction/distance vectors per dependent pair.
+  bool ComputeDirections = false;
+  DirectionOptions Direction;
+  CascadeOptions Cascade;
+};
+
+/// The analysis outcome for one reference pair.
+struct DependencePair {
+  /// Indices into AnalysisResult::Refs.
+  unsigned RefA = 0;
+  unsigned RefB = 0;
+  DepAnswer Answer = DepAnswer::Unknown;
+  TestKind DecidedBy = TestKind::Unanalyzable;
+  bool Exact = false;
+  /// True when the answer (and directions) came from the cache.
+  bool FromCache = false;
+  /// The pair's common enclosing loops, outermost first.
+  std::vector<const LoopStmt *> CommonLoops;
+  /// Present when directions were requested and the pair may depend.
+  std::optional<DirectionResult> Directions;
+};
+
+/// Whole-program analysis result.
+struct AnalysisResult {
+  std::vector<ArrayReference> Refs;
+  std::vector<DependencePair> Pairs;
+  /// Decisions per test kind (only cache misses run tests).
+  DepStats Stats;
+  uint64_t PairsConsidered = 0;
+  uint64_t UnanalyzablePairs = 0;
+};
+
+/// Runs dependence analysis over a program. The analyzer owns the
+/// memoization tables, which persist across analyze() calls (so a
+/// benchmark suite shares one cache, as the paper's compiler did within
+/// a compilation).
+class DependenceAnalyzer {
+public:
+  explicit DependenceAnalyzer(AnalyzerOptions Opts = {})
+      : Opts(Opts), Cache(Opts.Memo) {}
+
+  /// Analyzes \p Prog (mutating it when the prepass is enabled).
+  AnalysisResult analyze(Program &Prog);
+
+  DependenceCache &cache() { return Cache; }
+  const AnalyzerOptions &options() const { return Opts; }
+
+private:
+  AnalyzerOptions Opts;
+  DependenceCache Cache;
+};
+
+} // namespace edda
+
+#endif // EDDA_ANALYSIS_ANALYZER_H

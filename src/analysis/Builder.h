@@ -1,0 +1,55 @@
+//===- analysis/Builder.h - Reference pair -> problem ----------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the IR-independent DependenceProblem for a pair of array
+/// references: subscript difference equations over the two iteration
+/// vectors plus shared symbolic constants, and the enclosing loop bounds
+/// (paper section 2). References with non-affine subscripts or
+/// references to out-of-scope variables are unanalyzable; loops with
+/// non-unit steps that normalization could not remove are relaxed to
+/// their bounding interval (sound: independence over the relaxation
+/// implies independence, but the problem is flagged inexact).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_ANALYSIS_BUILDER_H
+#define EDDA_ANALYSIS_BUILDER_H
+
+#include "analysis/Refs.h"
+#include "deptest/Problem.h"
+#include "ir/Program.h"
+
+#include <optional>
+#include <vector>
+
+namespace edda {
+
+/// A built problem plus bookkeeping the analyzer needs.
+struct BuiltProblem {
+  DependenceProblem Problem;
+  /// False when some loop range was relaxed (non-unit step survived);
+  /// Dependent answers are then conservative rather than exact.
+  bool Exact = true;
+  /// The common enclosing loops, outermost first (Problem.NumCommon of
+  /// them); direction vector components refer to these.
+  std::vector<const LoopStmt *> CommonLoops;
+  /// Program variable ids of the symbolic columns, in x order.
+  std::vector<unsigned> SymbolicVars;
+};
+
+/// Builds the dependence problem for references \p A and \p B of
+/// \p Program. Returns std::nullopt when the pair is unanalyzable
+/// (non-affine subscripts, out-of-scope variables, differing array
+/// ranks, or arithmetic overflow).
+std::optional<BuiltProblem> buildProblem(const Program &Prog,
+                                         const ArrayReference &A,
+                                         const ArrayReference &B);
+
+} // namespace edda
+
+#endif // EDDA_ANALYSIS_BUILDER_H

@@ -1,0 +1,261 @@
+//===- analysis/DependenceGraph.cpp - Statement dependence graph ----------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DependenceGraph.h"
+
+#include "analysis/Parallelizer.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace edda;
+
+const char *edda::depEdgeKindName(DepEdgeKind Kind) {
+  switch (Kind) {
+  case DepEdgeKind::Flow:
+    return "flow";
+  case DepEdgeKind::Anti:
+    return "anti";
+  case DepEdgeKind::Output:
+    return "output";
+  }
+  return "unknown";
+}
+
+bool edda::leadingDirectionIsReversed(const DirVector &V) {
+  for (Dir D : V) {
+    if (D == Dir::Equal)
+      continue;
+    return D == Dir::Greater;
+  }
+  return false;
+}
+
+DirVector edda::flipVector(const DirVector &V) {
+  DirVector Out = V;
+  for (Dir &D : Out) {
+    if (D == Dir::Less)
+      D = Dir::Greater;
+    else if (D == Dir::Greater)
+      D = Dir::Less;
+  }
+  return Out;
+}
+
+namespace {
+
+/// True when every component is '=' (a loop-independent dependence).
+bool allEqual(const DirVector &V) {
+  return std::all_of(V.begin(), V.end(),
+                     [](Dir D) { return D == Dir::Equal; });
+}
+
+/// True when the vector's leading definite direction is '*' before any
+/// '<' or '>' — its orientation is ambiguous and both edges exist.
+bool leadingIsStar(const DirVector &V) {
+  for (Dir D : V) {
+    if (D == Dir::Equal)
+      continue;
+    return D == Dir::Any;
+  }
+  return false;
+}
+
+DepEdgeKind classify(bool SrcIsWrite, bool DstIsWrite) {
+  if (SrcIsWrite && DstIsWrite)
+    return DepEdgeKind::Output;
+  if (SrcIsWrite)
+    return DepEdgeKind::Flow;
+  return DepEdgeKind::Anti;
+}
+
+/// Execution order of two references within one iteration: reads of a
+/// statement execute before its write; distinct statements follow
+/// their collection (program) order, passed in via indices.
+bool executesBefore(const ArrayReference &A, unsigned IdxA,
+                    const ArrayReference &B, unsigned IdxB) {
+  if (A.Stmt == B.Stmt) {
+    if (A.IsWrite != B.IsWrite)
+      return !A.IsWrite; // the read goes first
+    return A.Slot < B.Slot;
+  }
+  return IdxA < IdxB;
+}
+
+} // namespace
+
+DependenceGraph DependenceGraph::build(Program &Prog,
+                                       DependenceAnalyzer &Analyzer) {
+  AnalyzerOptions Opts = Analyzer.options();
+  Opts.ComputeDirections = true;
+  DependenceAnalyzer DirAnalyzer(Opts);
+  AnalysisResult Analysis = DirAnalyzer.analyze(Prog);
+
+  DependenceGraph Graph;
+  Graph.Refs = std::move(Analysis.Refs);
+
+  // Aggregate edges per (src, dst, kind).
+  std::map<std::tuple<unsigned, unsigned, int>, unsigned> EdgeIndex;
+  auto AddVector = [&](unsigned Src, unsigned Dst,
+                       const DependencePair &Pair, const DirVector &V,
+                       bool Flipped, bool Exact) {
+    DepEdgeKind Kind = classify(Graph.Refs[Src].IsWrite,
+                                Graph.Refs[Dst].IsWrite);
+    auto Key = std::make_tuple(Src, Dst, static_cast<int>(Kind));
+    auto It = EdgeIndex.find(Key);
+    if (It == EdgeIndex.end()) {
+      DepEdge Edge;
+      Edge.Src = Src;
+      Edge.Dst = Dst;
+      Edge.Kind = Kind;
+      Edge.CommonLoops = Pair.CommonLoops;
+      Edge.Distances.assign(Pair.CommonLoops.size(), std::nullopt);
+      if (Pair.Directions)
+        for (unsigned K = 0;
+             K < Pair.Directions->Distances.size() &&
+             K < Edge.Distances.size();
+             ++K)
+          if (Pair.Directions->Distances[K])
+            Edge.Distances[K] = Flipped
+                                    ? -*Pair.Directions->Distances[K]
+                                    : *Pair.Directions->Distances[K];
+      It = EdgeIndex.emplace(Key, Graph.Edges.size()).first;
+      Graph.Edges.push_back(std::move(Edge));
+    }
+    DepEdge &Edge = Graph.Edges[It->second];
+    Edge.Exact = Edge.Exact && Exact;
+    DirVector Stored = Flipped ? flipVector(V) : V;
+    if (std::find(Edge.Vectors.begin(), Edge.Vectors.end(), Stored) ==
+        Edge.Vectors.end())
+      Edge.Vectors.push_back(std::move(Stored));
+  };
+
+  for (const DependencePair &Pair : Analysis.Pairs) {
+    if (Pair.Answer == DepAnswer::Independent)
+      continue;
+    unsigned A = Pair.RefA;
+    unsigned B = Pair.RefB;
+    bool Exact = Pair.Exact;
+
+    if (!Pair.Directions) {
+      // Unanalyzable: a maximally conservative pair of edges.
+      DirVector Any(Pair.CommonLoops.size(), Dir::Any);
+      AddVector(A, B, Pair, Any, /*Flipped=*/false, /*Exact=*/false);
+      if (A != B)
+        AddVector(B, A, Pair, Any, /*Flipped=*/false, /*Exact=*/false);
+      continue;
+    }
+
+    for (const DirVector &V : Pair.Directions->Vectors) {
+      if (A == B) {
+        // Self pair: vectors come in mirror pairs; keep the forward
+        // ones, and drop the trivial all-'=' self access.
+        if (allEqual(V) || leadingDirectionIsReversed(V))
+          continue;
+        AddVector(A, A, Pair, V, /*Flipped=*/false, Exact);
+        continue;
+      }
+      if (allEqual(V)) {
+        bool AFirst = executesBefore(Graph.Refs[A], A, Graph.Refs[B], B);
+        AddVector(AFirst ? A : B, AFirst ? B : A, Pair, V,
+                  /*Flipped=*/false, Exact);
+        continue;
+      }
+      if (leadingIsStar(V)) {
+        // Ambiguous orientation: both edges exist.
+        AddVector(A, B, Pair, V, /*Flipped=*/false, Exact);
+        AddVector(B, A, Pair, V, /*Flipped=*/true, Exact);
+        continue;
+      }
+      if (leadingDirectionIsReversed(V))
+        AddVector(B, A, Pair, V, /*Flipped=*/true, Exact);
+      else
+        AddVector(A, B, Pair, V, /*Flipped=*/false, Exact);
+    }
+  }
+  return Graph;
+}
+
+std::vector<const DepEdge *>
+DependenceGraph::edgesUnder(const LoopStmt *Loop) const {
+  std::vector<const DepEdge *> Out;
+  for (const DepEdge &Edge : Edges)
+    if (std::find(Edge.CommonLoops.begin(), Edge.CommonLoops.end(),
+                  Loop) != Edge.CommonLoops.end())
+      Out.push_back(&Edge);
+  return Out;
+}
+
+bool DependenceGraph::carries(const LoopStmt *Loop) const {
+  for (const DepEdge &Edge : Edges) {
+    auto It = std::find(Edge.CommonLoops.begin(), Edge.CommonLoops.end(),
+                        Loop);
+    if (It == Edge.CommonLoops.end())
+      continue;
+    unsigned Level =
+        static_cast<unsigned>(It - Edge.CommonLoops.begin());
+    if (!Edge.Exact)
+      return true;
+    for (const DirVector &V : Edge.Vectors)
+      if (carriedAt(V, Level))
+        return true;
+  }
+  return false;
+}
+
+std::string DependenceGraph::toDot(const Program &Prog) const {
+  auto Escape = [](std::string In) {
+    std::string Out;
+    for (char C : In) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      Out += C;
+    }
+    return Out;
+  };
+  std::string Out = "digraph dependences {\n";
+  Out += "  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n";
+  std::vector<bool> Mentioned(Refs.size(), false);
+  for (const DepEdge &Edge : Edges)
+    Mentioned[Edge.Src] = Mentioned[Edge.Dst] = true;
+  for (unsigned R = 0; R < Refs.size(); ++R) {
+    if (!Mentioned[R])
+      continue;
+    Out += "  r" + std::to_string(R) + " [label=\"" +
+           Escape(refStr(Prog, Refs[R])) + "\"];\n";
+  }
+  for (const DepEdge &Edge : Edges) {
+    std::string Label = depEdgeKindName(Edge.Kind);
+    for (const DirVector &V : Edge.Vectors)
+      Label += " " + dirVectorStr(V);
+    if (!Edge.Exact)
+      Label += " inexact";
+    const char *Style = Edge.Kind == DepEdgeKind::Flow    ? "solid"
+                        : Edge.Kind == DepEdgeKind::Anti  ? "dashed"
+                                                          : "dotted";
+    Out += "  r" + std::to_string(Edge.Src) + " -> r" +
+           std::to_string(Edge.Dst) + " [label=\"" + Escape(Label) +
+           "\", style=" + Style + "];\n";
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string DependenceGraph::str(const Program &Prog) const {
+  std::string Out;
+  for (const DepEdge &Edge : Edges) {
+    Out += depEdgeKindName(Edge.Kind);
+    Out += ": " + refStr(Prog, Refs[Edge.Src]) + " -> " +
+           refStr(Prog, Refs[Edge.Dst]) + "  ";
+    for (const DirVector &V : Edge.Vectors)
+      Out += dirVectorStr(V) + " ";
+    if (!Edge.Exact)
+      Out += "[inexact]";
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,73 @@
+//===- analysis/Interp.h - LoopLang reference interpreter ------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reference interpreter for LoopLang programs. Besides computing
+/// values it records every array access with its (statement, slot)
+/// identity — the same addressing analysis/Refs.h uses — and the live
+/// loop iteration vector. The trace is the ground truth the test suite
+/// checks the dependence analyzer against: a pair of accesses to the
+/// same element, at least one a write, is a real dependence, and the
+/// sign pattern of their iteration vectors is a real direction vector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_ANALYSIS_INTERP_H
+#define EDDA_ANALYSIS_INTERP_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace edda {
+
+/// One recorded array access.
+struct AccessRecord {
+  unsigned ArrayId = 0;
+  const AssignStmt *Stmt = nullptr;
+  /// -1 write, >=0 read slot (see analysis/Refs.h).
+  int Slot = -1;
+  bool IsWrite = false;
+  /// Evaluated subscript values.
+  std::vector<int64_t> Indices;
+  /// Values of the enclosing loop variables at the access, outermost
+  /// first, paired with the loop statement.
+  std::vector<std::pair<const LoopStmt *, int64_t>> Iteration;
+  /// Global sequence number (program order of execution).
+  uint64_t Seq = 0;
+};
+
+/// Interpreter limits and inputs.
+struct InterpOptions {
+  /// Values for symbolic ('read') variables, by variable id. Missing
+  /// symbolics default to 0.
+  std::map<unsigned, int64_t> SymbolicValues;
+  /// Abort after this many recorded accesses (runaway protection).
+  uint64_t MaxAccesses = 1u << 22;
+};
+
+/// Execution outcome.
+struct InterpResult {
+  bool Ok = false; ///< False on overflow or access-budget exhaustion.
+  std::string Error;
+  std::vector<AccessRecord> Trace;
+  /// Final array contents: (array id, indices) -> value.
+  std::map<std::pair<unsigned, std::vector<int64_t>>, int64_t> Memory;
+  /// Final scalar/loop/symbolic variable values.
+  std::vector<int64_t> VarValues;
+};
+
+/// Executes \p Prog and returns its access trace.
+InterpResult interpret(const Program &Prog,
+                       const InterpOptions &Opts = {});
+
+} // namespace edda
+
+#endif // EDDA_ANALYSIS_INTERP_H

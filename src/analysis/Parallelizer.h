@@ -1,0 +1,61 @@
+//===- analysis/Parallelizer.h - Loop parallelization client ---*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The downstream client that motivates the paper (section 1): marking
+/// loops whose iterations can run concurrently. A loop is parallel when
+/// no dependence is carried at its level — i.e. no dependent pair has a
+/// direction vector whose components are '=' at every enclosing common
+/// level and non-'=' (or '*') at this loop's level. Unknown answers and
+/// unanalyzable pairs are conservatively serializing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_ANALYSIS_PARALLELIZER_H
+#define EDDA_ANALYSIS_PARALLELIZER_H
+
+#include "analysis/Analyzer.h"
+#include "ir/Program.h"
+
+namespace edda {
+
+/// How a scalar assigned inside a loop body behaves across iterations.
+enum class ScalarClass {
+  Private,   ///< Written before any read in every iteration: each
+             ///< iteration can get its own copy.
+  Reduction, ///< Only updated as s = s + e / s = s - e / s = s * e
+             ///< (e free of s): parallelizable with a combining tree.
+  Carried,   ///< Anything else: a loop-carried scalar flow.
+};
+
+/// Classifies every scalar assigned in \p Loop's body.
+/// Returns pairs (variable id, class).
+std::vector<std::pair<unsigned, ScalarClass>>
+classifyScalars(const Program &Prog, const LoopStmt &Loop);
+
+/// Summary of a parallelization pass.
+struct ParallelizeSummary {
+  unsigned LoopsTotal = 0;
+  unsigned LoopsParallel = 0;
+  /// Loops parallel only because their scalar updates are reductions.
+  unsigned LoopsWithReductions = 0;
+};
+
+/// Marks every parallelizable loop of \p Prog (LoopStmt::setParallel)
+/// using direction-vector analysis from \p Analyzer. The analyzer's
+/// direction computation is forced on for this call.
+ParallelizeSummary parallelize(Program &Prog,
+                               DependenceAnalyzer &Analyzer);
+
+/// Decides carried-ness of one direction vector at \p Level: true when
+/// components before Level are all '=' and the component at Level is not
+/// '='.
+bool carriedAt(const DirVector &V, unsigned Level);
+
+} // namespace edda
+
+#endif // EDDA_ANALYSIS_PARALLELIZER_H

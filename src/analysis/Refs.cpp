@@ -1,0 +1,76 @@
+//===- analysis/Refs.cpp - Array reference enumeration --------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Refs.h"
+
+using namespace edda;
+
+std::vector<const Expr *> edda::collectStmtReads(const AssignStmt &A) {
+  std::vector<const Expr *> Reads;
+  if (A.isArrayLhs())
+    for (const ExprPtr &Sub : A.lhsSubscripts())
+      Sub->collectArrayReads(Reads);
+  A.rhs()->collectArrayReads(Reads);
+  return Reads;
+}
+
+namespace {
+
+void collectFrom(const std::vector<StmtPtr> &Body,
+                 std::vector<const LoopStmt *> &LoopStack,
+                 std::vector<ArrayReference> &Out) {
+  for (const StmtPtr &S : Body) {
+    if (S->kind() == StmtKind::Loop) {
+      const LoopStmt &L = asLoop(*S);
+      LoopStack.push_back(&L);
+      collectFrom(L.body(), LoopStack, Out);
+      LoopStack.pop_back();
+      continue;
+    }
+    const AssignStmt &A = asAssign(*S);
+    if (A.isArrayLhs()) {
+      ArrayReference Write;
+      Write.ArrayId = A.lhsArray();
+      Write.Stmt = &A;
+      Write.Slot = -1;
+      Write.IsWrite = true;
+      Write.Subscripts = A.lhsSubscripts();
+      Write.Loops = LoopStack;
+      Out.push_back(std::move(Write));
+    }
+    std::vector<const Expr *> Reads = collectStmtReads(A);
+    for (unsigned I = 0; I < Reads.size(); ++I) {
+      ArrayReference Read;
+      Read.ArrayId = Reads[I]->arrayId();
+      Read.Stmt = &A;
+      Read.Slot = static_cast<int>(I);
+      Read.IsWrite = false;
+      Read.Subscripts = Reads[I]->subscripts();
+      Read.Loops = LoopStack;
+      Out.push_back(std::move(Read));
+    }
+  }
+}
+
+} // namespace
+
+std::vector<ArrayReference> edda::collectReferences(const Program &P) {
+  std::vector<ArrayReference> Out;
+  std::vector<const LoopStmt *> LoopStack;
+  collectFrom(P.body(), LoopStack, Out);
+  return Out;
+}
+
+std::string edda::refStr(const Program &P, const ArrayReference &Ref) {
+  std::string Out = P.array(Ref.ArrayId).Name;
+  for (const ExprPtr &Sub : Ref.Subscripts)
+    Out += "[" +
+           Sub->str([&P](unsigned V) { return P.var(V).Name; }) + "]";
+  Out += Ref.IsWrite ? " (write" : " (read";
+  Out += " at depth " + std::to_string(Ref.Loops.size()) + ")";
+  return Out;
+}

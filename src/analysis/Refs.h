@@ -1,0 +1,52 @@
+//===- analysis/Refs.h - Array reference enumeration -----------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Enumeration of array references in a program, with their enclosing
+/// loop nests. References are addressed by (statement, slot):
+/// slot -1 is the statement's array write; slots 0.. number the array
+/// reads in a fixed order (left-hand-side subscript reads first, then
+/// right-hand-side reads, depth-first left to right). The interpreter's
+/// access trace uses the same addressing so analysis results can be
+/// validated against observed behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_ANALYSIS_REFS_H
+#define EDDA_ANALYSIS_REFS_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace edda {
+
+/// One static array reference.
+struct ArrayReference {
+  unsigned ArrayId = 0;
+  const AssignStmt *Stmt = nullptr;
+  /// -1 for the write on the left-hand side, otherwise the read index.
+  int Slot = -1;
+  bool IsWrite = false;
+  std::vector<ExprPtr> Subscripts;
+  /// Enclosing loops, outermost first.
+  std::vector<const LoopStmt *> Loops;
+};
+
+/// Collects the array reads of one assignment in slot order.
+std::vector<const Expr *> collectStmtReads(const AssignStmt &A);
+
+/// Collects every array reference in the program, in statement order.
+std::vector<ArrayReference> collectReferences(const Program &P);
+
+/// "a[i][j+1] (write at depth 2)" rendering for diagnostics.
+std::string refStr(const Program &P, const ArrayReference &Ref);
+
+} // namespace edda
+
+#endif // EDDA_ANALYSIS_REFS_H

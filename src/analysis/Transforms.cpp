@@ -1,0 +1,510 @@
+//===- analysis/Transforms.cpp - Loop transformation legality -------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Transforms.h"
+
+#include "analysis/Builder.h"
+#include "analysis/Parallelizer.h"
+#include "deptest/Cascade.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace edda;
+
+namespace {
+
+/// Lexicographic non-negativity, conservatively: '*' may hide '>'.
+bool lexNonNegative(const DirVector &V) {
+  for (Dir D : V) {
+    if (D == Dir::Less)
+      return true;
+    if (D == Dir::Equal)
+      continue;
+    return false; // Greater, or Any which may be Greater
+  }
+  return true; // all '='
+}
+
+int levelOf(const DepEdge &Edge, const LoopStmt *Loop) {
+  auto It = std::find(Edge.CommonLoops.begin(), Edge.CommonLoops.end(),
+                      Loop);
+  if (It == Edge.CommonLoops.end())
+    return -1;
+  return static_cast<int>(It - Edge.CommonLoops.begin());
+}
+
+} // namespace
+
+LegalityResult edda::canInterchange(const DependenceGraph &Graph,
+                                    const LoopStmt *OuterLoop,
+                                    const LoopStmt *InnerLoop) {
+  LegalityResult Result;
+  for (const DepEdge &Edge : Graph.edges()) {
+    int OuterLevel = levelOf(Edge, OuterLoop);
+    if (OuterLevel < 0)
+      continue;
+    int InnerLevel = levelOf(Edge, InnerLoop);
+    if (!Edge.Exact) {
+      Result.Legal = false;
+      Result.Violation.assign(Edge.CommonLoops.size(), Dir::Any);
+      return Result;
+    }
+    if (InnerLevel != OuterLevel + 1) {
+      // The pair's common nest ends between the two loops: the nest is
+      // not perfect around this dependence; be conservative.
+      Result.Legal = false;
+      Result.Violation.clear();
+      return Result;
+    }
+    for (const DirVector &V : Edge.Vectors) {
+      DirVector Swapped = V;
+      std::swap(Swapped[OuterLevel], Swapped[InnerLevel]);
+      if (!lexNonNegative(Swapped)) {
+        Result.Legal = false;
+        Result.Violation = V;
+        return Result;
+      }
+    }
+  }
+  return Result;
+}
+
+LegalityResult edda::canReverse(const DependenceGraph &Graph,
+                                const LoopStmt *Loop) {
+  LegalityResult Result;
+  for (const DepEdge &Edge : Graph.edges()) {
+    int Level = levelOf(Edge, Loop);
+    if (Level < 0)
+      continue;
+    if (!Edge.Exact) {
+      Result.Legal = false;
+      Result.Violation.assign(Edge.CommonLoops.size(), Dir::Any);
+      return Result;
+    }
+    for (const DirVector &V : Edge.Vectors) {
+      DirVector Reversed = V;
+      Dir &D = Reversed[Level];
+      if (D == Dir::Less)
+        D = Dir::Greater;
+      else if (D == Dir::Greater)
+        D = Dir::Less;
+      if (!lexNonNegative(Reversed)) {
+        Result.Legal = false;
+        Result.Violation = V;
+        return Result;
+      }
+    }
+  }
+  return Result;
+}
+
+LegalityResult edda::canParallelize(const DependenceGraph &Graph,
+                                    const LoopStmt *Loop) {
+  LegalityResult Result;
+  for (const DepEdge &Edge : Graph.edges()) {
+    int Level = levelOf(Edge, Loop);
+    if (Level < 0)
+      continue;
+    if (!Edge.Exact) {
+      Result.Legal = false;
+      Result.Violation.assign(Edge.CommonLoops.size(), Dir::Any);
+      return Result;
+    }
+    for (const DirVector &V : Edge.Vectors) {
+      if (carriedAt(V, static_cast<unsigned>(Level))) {
+        Result.Legal = false;
+        Result.Violation = V;
+        return Result;
+      }
+    }
+  }
+  return Result;
+}
+
+LegalityResult edda::canFuse(const Program &Prog, const LoopStmt *First,
+                             const LoopStmt *Second) {
+  LegalityResult Result;
+  std::vector<ArrayReference> Refs = collectReferences(Prog);
+
+  for (const ArrayReference &R1 : Refs) {
+    if (std::find(R1.Loops.begin(), R1.Loops.end(), First) ==
+        R1.Loops.end())
+      continue;
+    for (const ArrayReference &R2 : Refs) {
+      if (std::find(R2.Loops.begin(), R2.Loops.end(), Second) ==
+          R2.Loops.end())
+        continue;
+      if (R1.ArrayId != R2.ArrayId || (!R1.IsWrite && !R2.IsWrite))
+        continue;
+
+      std::optional<BuiltProblem> Built = buildProblem(Prog, R1, R2);
+      if (!Built) {
+        Result.Legal = false;
+        Result.Violation.clear();
+        return Result;
+      }
+      DependenceProblem P = Built->Problem;
+      // The common prefix ends exactly where the two sibling loops
+      // diverge; identify them as one more common loop.
+      unsigned FusedLevel = P.NumCommon;
+      if (FusedLevel >= P.NumLoopsA || FusedLevel >= P.NumLoopsB ||
+          R1.Loops[FusedLevel] != First ||
+          R2.Loops[FusedLevel] != Second) {
+        Result.Legal = false; // unexpected shape: stay conservative
+        Result.Violation.clear();
+        return Result;
+      }
+      P.NumCommon = FusedLevel + 1;
+
+      // Pre-fusion every R1 access precedes every R2 access; after
+      // fusion iteration i runs R1(i) then R2(i), so a conflict with
+      // i1 > i2 would flip producer and consumer. Ask for exactly that
+      // direction: xA - xB >= 1, i.e. xB - xA + 1 <= 0.
+      XAffine Greater(P.numX());
+      Greater.Coeffs[P.xOfCommonA(FusedLevel)] = -1;
+      Greater.Coeffs[P.xOfCommonB(FusedLevel)] = 1;
+      Greater.Const = 1;
+      CascadeResult Test = testDependenceConstrained(P, {Greater});
+      if (Test.Answer != DepAnswer::Independent) {
+        Result.Legal = false;
+        Result.Violation.assign(FusedLevel + 1, Dir::Equal);
+        Result.Violation[FusedLevel] = Dir::Greater;
+        return Result;
+      }
+    }
+  }
+  return Result;
+}
+
+bool edda::fuseLoops(Program &Prog, std::vector<StmtPtr> &Body,
+                     unsigned FirstIdx) {
+  if (FirstIdx + 1 >= Body.size())
+    return false;
+  if (Body[FirstIdx]->kind() != StmtKind::Loop ||
+      Body[FirstIdx + 1]->kind() != StmtKind::Loop)
+    return false;
+  LoopStmt &First = asLoop(*Body[FirstIdx]);
+  LoopStmt &Second = asLoop(*Body[FirstIdx + 1]);
+  if (First.step() != Second.step() ||
+      !exprEquals(First.lo(), Second.lo()) ||
+      !exprEquals(First.hi(), Second.hi()))
+    return false;
+
+  // Unify the induction variables (siblings often share one already).
+  if (First.varId() != Second.varId()) {
+    unsigned From = Second.varId();
+    unsigned To = First.varId();
+    auto Rewrite = [From, To](const ExprPtr &E) {
+      return E->substitute([From, To](unsigned Var) -> ExprPtr {
+        return Var == From ? Expr::makeVar(To) : nullptr;
+      });
+    };
+    std::function<void(Stmt &)> RewriteStmt = [&](Stmt &S) {
+      if (S.kind() == StmtKind::Assign) {
+        AssignStmt &A = asAssign(S);
+        if (A.isArrayLhs())
+          for (unsigned D = 0; D < A.lhsSubscripts().size(); ++D)
+            A.setLhsSubscript(D, Rewrite(A.lhsSubscripts()[D]));
+        A.setRhs(Rewrite(A.rhs()));
+        return;
+      }
+      LoopStmt &L = asLoop(S);
+      L.setLo(Rewrite(L.lo()));
+      L.setHi(Rewrite(L.hi()));
+      for (StmtPtr &Child : L.body())
+        RewriteStmt(*Child);
+    };
+    for (StmtPtr &Child : Second.body())
+      RewriteStmt(*Child);
+    (void)Prog;
+  }
+
+  for (StmtPtr &Child : Second.body())
+    First.body().push_back(std::move(Child));
+  Body.erase(Body.begin() + FirstIdx + 1);
+  return true;
+}
+
+LegalityResult edda::canVectorize(const DependenceGraph &Graph,
+                                  const LoopStmt *Loop,
+                                  unsigned VectorWidth) {
+  assert(VectorWidth >= 1 && "vector width must be positive");
+  LegalityResult Result;
+  for (const DepEdge &Edge : Graph.edges()) {
+    int Level = levelOf(Edge, Loop);
+    if (Level < 0)
+      continue;
+    if (!Edge.Exact) {
+      Result.Legal = false;
+      Result.Violation.assign(Edge.CommonLoops.size(), Dir::Any);
+      return Result;
+    }
+    for (const DirVector &V : Edge.Vectors) {
+      if (!carriedAt(V, static_cast<unsigned>(Level)))
+        continue;
+      const std::optional<int64_t> &Distance = Edge.Distances[Level];
+      if (!Distance || *Distance < 0 ||
+          *Distance < static_cast<int64_t>(VectorWidth)) {
+        Result.Legal = false;
+        Result.Violation = V;
+        return Result;
+      }
+    }
+  }
+  return Result;
+}
+
+namespace {
+
+/// Collects every assignment statement in the subtree of \p S.
+void collectAssigns(const Stmt &S,
+                    std::vector<const AssignStmt *> &Out) {
+  if (S.kind() == StmtKind::Assign) {
+    Out.push_back(&asAssign(S));
+    return;
+  }
+  for (const StmtPtr &Child : asLoop(S).body())
+    collectAssigns(*Child, Out);
+}
+
+} // namespace
+
+DistributionPlan edda::planDistribution(const DependenceGraph &Graph,
+                                        const LoopStmt *Loop) {
+  DistributionPlan Plan;
+  const unsigned NumStmts = static_cast<unsigned>(Loop->body().size());
+  if (NumStmts == 0)
+    return Plan;
+
+  // Map every assignment in the loop body to its top-level statement.
+  std::map<const AssignStmt *, unsigned> StmtOf;
+  for (unsigned I = 0; I < NumStmts; ++I) {
+    std::vector<const AssignStmt *> Assigns;
+    collectAssigns(*Loop->body()[I], Assigns);
+    for (const AssignStmt *A : Assigns)
+      StmtOf[A] = I;
+  }
+
+  // Statement-level precedence graph: every normalized dependence edge
+  // whose endpoints live in this loop means "some instance of Src must
+  // run before some instance of Dst" — a constraint between the
+  // top-level statements. Inexact edges were already materialized in
+  // both directions by the graph builder, gluing their statements into
+  // one cycle.
+  std::vector<std::vector<unsigned>> Succ(NumStmts);
+  for (const DepEdge &Edge : Graph.edges()) {
+    auto SrcIt = StmtOf.find(Graph.refs()[Edge.Src].Stmt);
+    auto DstIt = StmtOf.find(Graph.refs()[Edge.Dst].Stmt);
+    if (SrcIt == StmtOf.end() || DstIt == StmtOf.end())
+      continue;
+    if (SrcIt->second != DstIt->second)
+      Succ[SrcIt->second].push_back(DstIt->second);
+  }
+
+  // The array dependence graph knows nothing about scalar flows
+  // (s = a[i]; b[i] = s). Glue every pair of statements that touch a
+  // scalar some statement in the body mutates — conservative but
+  // sound; the prepass usually substitutes such scalars away first.
+  {
+    std::vector<std::set<unsigned>> Assigned(NumStmts), Used(NumStmts);
+    std::function<void(const Stmt &, unsigned)> Scan =
+        [&](const Stmt &S, unsigned Top) {
+          if (S.kind() == StmtKind::Assign) {
+            const AssignStmt &A = asAssign(S);
+            std::vector<unsigned> Vars;
+            if (A.isArrayLhs())
+              for (const ExprPtr &Sub : A.lhsSubscripts())
+                Sub->collectVars(Vars);
+            else
+              Assigned[Top].insert(A.lhsScalar());
+            A.rhs()->collectVars(Vars);
+            Used[Top].insert(Vars.begin(), Vars.end());
+            return;
+          }
+          const LoopStmt &L = asLoop(S);
+          std::vector<unsigned> Vars;
+          L.lo()->collectVars(Vars);
+          L.hi()->collectVars(Vars);
+          Used[Top].insert(Vars.begin(), Vars.end());
+          for (const StmtPtr &Child : L.body())
+            Scan(*Child, Top);
+        };
+    for (unsigned I = 0; I < NumStmts; ++I)
+      Scan(*Loop->body()[I], I);
+
+    std::set<unsigned> Mutated;
+    for (unsigned I = 0; I < NumStmts; ++I)
+      Mutated.insert(Assigned[I].begin(), Assigned[I].end());
+    for (unsigned Var : Mutated) {
+      std::vector<unsigned> Touching;
+      for (unsigned I = 0; I < NumStmts; ++I)
+        if (Assigned[I].count(Var) || Used[I].count(Var))
+          Touching.push_back(I);
+      for (unsigned A : Touching)
+        for (unsigned B : Touching)
+          if (A != B)
+            Succ[A].push_back(B);
+    }
+  }
+
+  // Tarjan SCC, iterative.
+  std::vector<int> Index(NumStmts, -1), Low(NumStmts, 0);
+  std::vector<bool> OnStack(NumStmts, false);
+  std::vector<unsigned> Stack;
+  std::vector<int> Component(NumStmts, -1);
+  int NextIndex = 0, NextComponent = 0;
+
+  struct Frame {
+    unsigned Node;
+    size_t NextSucc;
+  };
+  for (unsigned Start = 0; Start < NumStmts; ++Start) {
+    if (Index[Start] != -1)
+      continue;
+    std::vector<Frame> Frames{{Start, 0}};
+    Index[Start] = Low[Start] = NextIndex++;
+    Stack.push_back(Start);
+    OnStack[Start] = true;
+    while (!Frames.empty()) {
+      Frame &F = Frames.back();
+      if (F.NextSucc < Succ[F.Node].size()) {
+        unsigned Next = Succ[F.Node][F.NextSucc++];
+        if (Index[Next] == -1) {
+          Index[Next] = Low[Next] = NextIndex++;
+          Stack.push_back(Next);
+          OnStack[Next] = true;
+          Frames.push_back({Next, 0});
+        } else if (OnStack[Next]) {
+          Low[F.Node] = std::min(Low[F.Node], Index[Next]);
+        }
+        continue;
+      }
+      if (Low[F.Node] == Index[F.Node]) {
+        while (true) {
+          unsigned Popped = Stack.back();
+          Stack.pop_back();
+          OnStack[Popped] = false;
+          Component[Popped] = NextComponent;
+          if (Popped == F.Node)
+            break;
+        }
+        ++NextComponent;
+      }
+      unsigned Done = F.Node;
+      Frames.pop_back();
+      if (!Frames.empty())
+        Low[Frames.back().Node] =
+            std::min(Low[Frames.back().Node], Low[Done]);
+    }
+  }
+
+  // Order the components: topological over the condensation, stable by
+  // smallest original statement index (keeps unrelated statements in
+  // source order).
+  std::vector<unsigned> MinStmt(NextComponent, NumStmts);
+  std::vector<unsigned> InDegree(NextComponent, 0);
+  std::vector<std::vector<unsigned>> CompSucc(NextComponent);
+  for (unsigned S = 0; S < NumStmts; ++S)
+    MinStmt[Component[S]] = std::min(MinStmt[Component[S]], S);
+  for (unsigned S = 0; S < NumStmts; ++S) {
+    for (unsigned T : Succ[S]) {
+      if (Component[S] == Component[T])
+        continue;
+      CompSucc[Component[S]].push_back(
+          static_cast<unsigned>(Component[T]));
+      ++InDegree[Component[T]];
+    }
+  }
+  std::vector<unsigned> Order;
+  std::vector<bool> Emitted(NextComponent, false);
+  while (Order.size() < static_cast<size_t>(NextComponent)) {
+    int Best = -1;
+    for (int C = 0; C < NextComponent; ++C) {
+      if (Emitted[C] || InDegree[C] != 0)
+        continue;
+      if (Best < 0 || MinStmt[C] < MinStmt[Best])
+        Best = C;
+    }
+    assert(Best >= 0 && "condensation has a cycle");
+    Emitted[Best] = true;
+    Order.push_back(static_cast<unsigned>(Best));
+    for (unsigned T : CompSucc[Best])
+      --InDegree[T];
+  }
+
+  for (unsigned C : Order) {
+    std::vector<unsigned> Group;
+    for (unsigned S = 0; S < NumStmts; ++S)
+      if (Component[S] == static_cast<int>(C))
+        Group.push_back(S);
+    Plan.Groups.push_back(std::move(Group));
+  }
+  return Plan;
+}
+
+bool edda::distributeLoop(std::vector<StmtPtr> &Body, unsigned LoopIdx,
+                          const DistributionPlan &Plan) {
+  if (!Plan.distributable() || LoopIdx >= Body.size() ||
+      Body[LoopIdx]->kind() != StmtKind::Loop)
+    return false;
+  LoopStmt &Loop = asLoop(*Body[LoopIdx]);
+  unsigned Covered = 0;
+  for (const std::vector<unsigned> &Group : Plan.Groups) {
+    for (unsigned S : Group)
+      if (S >= Loop.body().size())
+        return false;
+    Covered += static_cast<unsigned>(Group.size());
+  }
+  if (Covered != Loop.body().size())
+    return false;
+
+  std::vector<StmtPtr> NewLoops;
+  for (const std::vector<unsigned> &Group : Plan.Groups) {
+    auto Piece = std::make_unique<LoopStmt>(Loop.varId(), Loop.lo(),
+                                            Loop.hi(), Loop.step());
+    Piece->setParallel(Loop.isParallel());
+    for (unsigned S : Group)
+      Piece->body().push_back(std::move(Loop.body()[S]));
+    NewLoops.push_back(std::move(Piece));
+  }
+  Body.erase(Body.begin() + LoopIdx);
+  Body.insert(Body.begin() + LoopIdx,
+              std::make_move_iterator(NewLoops.begin()),
+              std::make_move_iterator(NewLoops.end()));
+  return true;
+}
+
+bool edda::interchangeLoops(LoopStmt &Outer) {
+  if (Outer.body().size() != 1 ||
+      Outer.body()[0]->kind() != StmtKind::Loop)
+    return false;
+  LoopStmt &Inner = asLoop(*Outer.body()[0]);
+  // Rectangular requirement: the inner bounds must not depend on the
+  // outer variable (otherwise interchange changes the iteration space).
+  if (Inner.lo()->references(Outer.varId()) ||
+      Inner.hi()->references(Outer.varId()))
+    return false;
+
+  unsigned OuterVar = Outer.varId();
+  ExprPtr OuterLo = Outer.lo();
+  ExprPtr OuterHi = Outer.hi();
+  int64_t OuterStep = Outer.step();
+
+  Outer.setVarId(Inner.varId());
+  Outer.setLo(Inner.lo());
+  Outer.setHi(Inner.hi());
+  Outer.setStep(Inner.step());
+
+  Inner.setVarId(OuterVar);
+  Inner.setLo(std::move(OuterLo));
+  Inner.setHi(std::move(OuterHi));
+  Inner.setStep(OuterStep);
+  return true;
+}

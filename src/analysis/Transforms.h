@@ -1,0 +1,119 @@
+//===- analysis/Transforms.h - Loop transformation legality ----*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classic consumers of direction vectors (Wolfe's book, which the
+/// paper cites as its direction-vector framework): legality checks for
+/// loop interchange, loop reversal and loop parallelization, phrased
+/// over the normalized dependence graph. A transformation is legal
+/// when every transformed direction vector stays lexicographically
+/// non-negative — dependences must still flow forward in time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_ANALYSIS_TRANSFORMS_H
+#define EDDA_ANALYSIS_TRANSFORMS_H
+
+#include "analysis/DependenceGraph.h"
+
+namespace edda {
+
+/// Verdict of a legality query.
+struct LegalityResult {
+  bool Legal = true;
+  /// When illegal: a violating direction vector (in the pair's common
+  /// loops) for diagnostics.
+  DirVector Violation;
+};
+
+/// Is it legal to interchange the two adjacent loops at depths
+/// \p Level and \p Level+1 of \p Outer's nest? Checks every edge whose
+/// common nest includes both loops: after swapping components Level and
+/// Level+1, no vector may become lexicographically negative — the
+/// classic (<, >) violation. '*' components are treated conservatively
+/// (as possibly '>'). Edges flagged inexact are conservatively
+/// violating.
+LegalityResult canInterchange(const DependenceGraph &Graph,
+                              const LoopStmt *OuterLoop,
+                              const LoopStmt *InnerLoop);
+
+/// Is it legal to reverse \p Loop (run it from hi down to lo)?
+/// Reversal negates the loop's component of every vector, so it is
+/// legal iff no dependence is carried by the loop.
+LegalityResult canReverse(const DependenceGraph &Graph,
+                          const LoopStmt *Loop);
+
+/// Can \p Loop run its iterations concurrently? Equivalent to
+/// !Graph.carries(Loop), reported with a violating vector.
+LegalityResult canParallelize(const DependenceGraph &Graph,
+                              const LoopStmt *Loop);
+
+/// Can \p Loop be executed in vector chunks of \p VectorWidth
+/// iterations? Legal when every dependence carried at the loop's level
+/// has a known constant distance of at least VectorWidth (lanes within
+/// one chunk never communicate). Dependences carried with unknown or
+/// short distance are violations; carried-at-outer-level and
+/// loop-independent dependences do not matter.
+LegalityResult canVectorize(const DependenceGraph &Graph,
+                            const LoopStmt *Loop,
+                            unsigned VectorWidth);
+
+/// Applies a legal interchange to the program structure: swaps the
+/// loop headers of \p Outer and its immediate only child \p Inner.
+/// \pre Inner is the sole statement of Outer's body and the bounds of
+/// Inner do not reference Outer's variable (rectangular nest); returns
+/// false otherwise.
+bool interchangeLoops(LoopStmt &Outer);
+
+/// Is it legal to fuse the adjacent sibling loops \p First and
+/// \p Second (same bounds and step assumed; fuseLoops checks them)?
+/// Fusion is illegal when some dependence from a reference of First to
+/// a reference of Second would run backward in the fused loop — i.e.
+/// the dependence requires Second's iteration to be *earlier* than
+/// First's ('>' at the fused level). Decided exactly by building each
+/// cross-loop pair's dependence problem with the two loops identified
+/// as one common loop and asking the cascade for the '>' direction.
+LegalityResult canFuse(const Program &Prog, const LoopStmt *First,
+                       const LoopStmt *Second);
+
+/// Fuses \p Second's body into \p First (which must be adjacent
+/// siblings in \p Body with structurally identical constant bounds,
+/// identical step, and loop variables that can be unified). Returns
+/// false (no change) when the structural preconditions fail. Legality
+/// must be checked separately with canFuse.
+bool fuseLoops(Program &Prog, std::vector<StmtPtr> &Body,
+               unsigned FirstIdx);
+
+/// A loop distribution (fission) plan: the loop's top-level statements
+/// partitioned into groups (Allen-Kennedy: the strongly connected
+/// components of the statement-level dependence graph), listed in a
+/// legal execution order. Statements inside one group are mutually
+/// dependence-cycled and must stay together; distinct groups can become
+/// separate loops.
+struct DistributionPlan {
+  /// Statement indices into the loop's body, grouped; groups ordered so
+  /// that every dependence flows forward.
+  std::vector<std::vector<unsigned>> Groups;
+
+  bool distributable() const { return Groups.size() > 1; }
+};
+
+/// Plans distribution of \p Loop using the dependence graph \p Graph
+/// (which must have been built for the same program). Inexact edges
+/// conservatively glue their statements together.
+DistributionPlan planDistribution(const DependenceGraph &Graph,
+                                  const LoopStmt *Loop);
+
+/// Applies a distribution plan: replaces \p Body[LoopIdx] (which must
+/// be \p the planned loop) with one loop per group, cloning the header.
+/// Returns false if the plan is trivial or indices are inconsistent.
+bool distributeLoop(std::vector<StmtPtr> &Body, unsigned LoopIdx,
+                    const DistributionPlan &Plan);
+
+} // namespace edda
+
+#endif // EDDA_ANALYSIS_TRANSFORMS_H

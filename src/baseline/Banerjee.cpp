@@ -1,0 +1,308 @@
+//===- baseline/Banerjee.cpp - Inexact baseline tests ---------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Banerjee.h"
+
+#include "deptest/ExtendedGcd.h"
+#include "support/IntMath.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace edda;
+
+namespace {
+
+/// A possibly half-open integer interval; a missing endpoint is
+/// unbounded.
+struct Interval {
+  std::optional<int64_t> Lo;
+  std::optional<int64_t> Hi;
+};
+
+/// Relaxes every variable of \p P to a constant interval: loop bounds
+/// that reference other variables are widened transitively to their
+/// extreme values (the trapezoid-to-rectangle relaxation traditional
+/// tests perform); symbolics are unbounded.
+std::vector<Interval> constantRanges(const DependenceProblem &P) {
+  std::vector<Interval> Ranges(P.numX());
+  // Loop bounds only reference outer loops of the same reference and
+  // symbolics; one outer-to-inner pass per block therefore converges.
+  // Iterate twice to be safe with unusual orderings.
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    for (unsigned L = 0; L < P.numLoopVars(); ++L) {
+      if (P.Lo[L]) {
+        CheckedInt Lo(P.Lo[L]->Const);
+        bool Known = true;
+        for (unsigned J = 0; J < P.numX() && Known; ++J) {
+          int64_t A = P.Lo[L]->Coeffs[J];
+          if (A == 0)
+            continue;
+          const std::optional<int64_t> &End =
+              A > 0 ? Ranges[J].Lo : Ranges[J].Hi;
+          if (!End)
+            Known = false;
+          else
+            Lo += CheckedInt(A) * *End;
+        }
+        if (Known && Lo.valid())
+          Ranges[L].Lo = Lo.get();
+      }
+      if (P.Hi[L]) {
+        CheckedInt Hi(P.Hi[L]->Const);
+        bool Known = true;
+        for (unsigned J = 0; J < P.numX() && Known; ++J) {
+          int64_t A = P.Hi[L]->Coeffs[J];
+          if (A == 0)
+            continue;
+          const std::optional<int64_t> &End =
+              A > 0 ? Ranges[J].Hi : Ranges[J].Lo;
+          if (!End)
+            Known = false;
+          else
+            Hi += CheckedInt(A) * *End;
+        }
+        if (Known && Hi.valid())
+          Ranges[L].Hi = Hi.get();
+      }
+    }
+  }
+  return Ranges;
+}
+
+/// Extreme values of one term a*x over an interval; unbounded sides are
+/// reported through the Known flags.
+struct TermExtremes {
+  bool MinKnown = false;
+  bool MaxKnown = false;
+  int64_t Min = 0;
+  int64_t Max = 0;
+};
+
+TermExtremes termExtremes(int64_t A, const Interval &R) {
+  TermExtremes E;
+  if (A == 0) {
+    E.MinKnown = E.MaxKnown = true;
+    return E;
+  }
+  const std::optional<int64_t> &MinEnd = A > 0 ? R.Lo : R.Hi;
+  const std::optional<int64_t> &MaxEnd = A > 0 ? R.Hi : R.Lo;
+  if (MinEnd) {
+    std::optional<int64_t> V = checkedMul(A, *MinEnd);
+    if (V) {
+      E.MinKnown = true;
+      E.Min = *V;
+    }
+  }
+  if (MaxEnd) {
+    std::optional<int64_t> V = checkedMul(A, *MaxEnd);
+    if (V) {
+      E.MaxKnown = true;
+      E.Max = *V;
+    }
+  }
+  return E;
+}
+
+/// Candidate vertices of {box} cap {direction halfplane} for one common
+/// loop pair, with F(i, i') = p*i + q*i' evaluated at each. Returns false
+/// in \p RegionNonEmpty when no candidate is feasible.
+TermExtremes pairExtremes(int64_t P, int64_t Q, const Interval &RA,
+                          const Interval &RB, Dir D,
+                          bool &RegionNonEmpty) {
+  TermExtremes E;
+  RegionNonEmpty = true;
+  if (P == 0 && Q == 0 && D == Dir::Any) {
+    E.MinKnown = E.MaxKnown = true;
+    return E;
+  }
+  // The vertex method needs a finite box.
+  if (!RA.Lo || !RA.Hi || !RB.Lo || !RB.Hi)
+    return E; // both sides unknown; region assumed nonempty
+  int64_t L1 = *RA.Lo, U1 = *RA.Hi, L2 = *RB.Lo, U2 = *RB.Hi;
+  if (L1 > U1 || L2 > U2) {
+    RegionNonEmpty = false;
+    return E;
+  }
+
+  std::vector<std::pair<int64_t, int64_t>> Candidates;
+  auto Feasible = [&](int64_t I, int64_t J) {
+    if (I < L1 || I > U1 || J < L2 || J > U2)
+      return false;
+    switch (D) {
+    case Dir::Less:
+      return I < J;
+    case Dir::Equal:
+      return I == J;
+    case Dir::Greater:
+      return I > J;
+    case Dir::Any:
+      return true;
+    }
+    return false;
+  };
+  // Box corners.
+  for (int64_t I : {L1, U1})
+    for (int64_t J : {L2, U2})
+      Candidates.push_back({I, J});
+  // Cut-line crossings (integral because the cut has slope one).
+  if (D == Dir::Less) {
+    Candidates.push_back({L1, L1 + 1});
+    Candidates.push_back({U1, U1 + 1});
+    Candidates.push_back({L2 - 1, L2});
+    Candidates.push_back({U2 - 1, U2});
+  } else if (D == Dir::Greater) {
+    Candidates.push_back({L1, L1 - 1});
+    Candidates.push_back({U1, U1 - 1});
+    Candidates.push_back({L2 + 1, L2});
+    Candidates.push_back({U2 + 1, U2});
+  } else if (D == Dir::Equal) {
+    int64_t Lo = std::max(L1, L2), Hi = std::min(U1, U2);
+    Candidates.push_back({Lo, Lo});
+    Candidates.push_back({Hi, Hi});
+  }
+
+  bool Any = false;
+  for (const auto &[I, J] : Candidates) {
+    if (!Feasible(I, J))
+      continue;
+    CheckedInt V = CheckedInt(P) * I + CheckedInt(Q) * J;
+    if (!V.valid())
+      return TermExtremes{}; // give up: unbounded both ways
+    if (!Any) {
+      E.Min = E.Max = V.get();
+      Any = true;
+    } else {
+      E.Min = std::min(E.Min, V.get());
+      E.Max = std::max(E.Max, V.get());
+    }
+  }
+  if (!Any) {
+    RegionNonEmpty = false;
+    return E;
+  }
+  E.MinKnown = E.MaxKnown = true;
+  return E;
+}
+
+/// Banerjee bounds check of one equation under a direction vector
+/// (all-Any for the plain test). Returns true when the equation excludes
+/// zero (independence proved) or the direction region is empty.
+bool equationExcludesZero(const DependenceProblem &P, const XAffine &Eq,
+                          const std::vector<Interval> &Ranges,
+                          const DirVector &Psi) {
+  CheckedInt Min(Eq.Const), Max(Eq.Const);
+  bool MinKnown = true, MaxKnown = true;
+
+  std::vector<bool> Handled(P.numX(), false);
+  for (unsigned K = 0; K < P.NumCommon; ++K) {
+    unsigned A = P.xOfCommonA(K);
+    unsigned B = P.xOfCommonB(K);
+    Dir D = K < Psi.size() ? Psi[K] : Dir::Any;
+    bool RegionNonEmpty = true;
+    TermExtremes E = pairExtremes(Eq.Coeffs[A], Eq.Coeffs[B], Ranges[A],
+                                  Ranges[B], D, RegionNonEmpty);
+    if (!RegionNonEmpty)
+      return true; // no iterations satisfy the direction at all
+    Handled[A] = Handled[B] = true;
+    if (Eq.Coeffs[A] == 0 && Eq.Coeffs[B] == 0)
+      continue;
+    MinKnown = MinKnown && E.MinKnown;
+    MaxKnown = MaxKnown && E.MaxKnown;
+    if (E.MinKnown)
+      Min += E.Min;
+    if (E.MaxKnown)
+      Max += E.Max;
+  }
+  for (unsigned J = 0; J < P.numX(); ++J) {
+    if (Handled[J] || Eq.Coeffs[J] == 0)
+      continue;
+    TermExtremes E = termExtremes(Eq.Coeffs[J], Ranges[J]);
+    MinKnown = MinKnown && E.MinKnown;
+    MaxKnown = MaxKnown && E.MaxKnown;
+    if (E.MinKnown)
+      Min += E.Min;
+    if (E.MaxKnown)
+      Max += E.Max;
+  }
+  if (!Min.valid() || !Max.valid())
+    return false;
+  if (MinKnown && Min.get() > 0)
+    return true;
+  if (MaxKnown && Max.get() < 0)
+    return true;
+  return false;
+}
+
+} // namespace
+
+BaselineAnswer edda::baselineSimpleGcd(const DependenceProblem &Problem) {
+  return simpleGcdTest(Problem) ? BaselineAnswer::AssumedDependent
+                                : BaselineAnswer::Independent;
+}
+
+BaselineAnswer
+edda::baselineGcdBanerjee(const DependenceProblem &Problem) {
+  if (!simpleGcdTest(Problem))
+    return BaselineAnswer::Independent;
+  std::vector<Interval> Ranges = constantRanges(Problem);
+  DirVector AllAny(Problem.NumCommon, Dir::Any);
+  for (const XAffine &Eq : Problem.Equations)
+    if (equationExcludesZero(Problem, Eq, Ranges, AllAny))
+      return BaselineAnswer::Independent;
+  return BaselineAnswer::AssumedDependent;
+}
+
+DirectionResult
+edda::baselineDirectionVectors(const DependenceProblem &Problem) {
+  DirectionResult Result;
+  Result.Exact = false;
+  Result.Distances.assign(Problem.NumCommon, std::nullopt);
+
+  ++Result.TestsRun;
+  if (baselineGcdBanerjee(Problem) == BaselineAnswer::Independent) {
+    Result.RootAnswer = DepAnswer::Independent;
+    return Result;
+  }
+  Result.RootAnswer = DepAnswer::Unknown; // "assumed dependent"
+
+  // Unused-variable elimination, as in the configuration the paper
+  // measured: unused loops carry '*' and are not enumerated.
+  std::vector<bool> Unused = Problem.unusedCommonLoops();
+  std::vector<Interval> Ranges = constantRanges(Problem);
+
+  // Hierarchical enumeration with the inexact per-direction test.
+  DirVector Psi(Problem.NumCommon, Dir::Any);
+  std::vector<unsigned> Active;
+  for (unsigned K = 0; K < Problem.NumCommon; ++K)
+    if (!Unused[K])
+      Active.push_back(K);
+
+  auto Refuted = [&](const DirVector &V) {
+    for (const XAffine &Eq : Problem.Equations)
+      if (equationExcludesZero(Problem, Eq, Ranges, V))
+        return true;
+    return false;
+  };
+
+  std::function<void(unsigned)> Expand = [&](unsigned Idx) {
+    if (Idx == Active.size()) {
+      Result.Vectors.push_back(Psi);
+      return;
+    }
+    unsigned K = Active[Idx];
+    for (Dir D : {Dir::Less, Dir::Equal, Dir::Greater}) {
+      Psi[K] = D;
+      ++Result.TestsRun;
+      if (!Refuted(Psi))
+        Expand(Idx + 1);
+      Psi[K] = Dir::Any;
+    }
+  };
+  Expand(0);
+  return Result;
+}

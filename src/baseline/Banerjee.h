@@ -1,0 +1,57 @@
+//===- baseline/Banerjee.h - Inexact baseline tests ------------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inexact comparison baselines of paper section 7: the simple GCD
+/// test (Banerjee algorithm 5.4.1) combined with the trapezoidal
+/// Banerjee bounds test (algorithm 4.3.1), and for direction vectors
+/// Wolfe's extension of Banerjee's rectangular test (2.5.2 in Wolfe's
+/// book). These tests prove independence when the real-valued extreme
+/// values of the subscript difference exclude zero; failing that they
+/// assume dependence, which is where they lose the 16% of independent
+/// pairs (and report 22% spurious direction vectors) that the exact
+/// cascade recovers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_BASELINE_BANERJEE_H
+#define EDDA_BASELINE_BANERJEE_H
+
+#include "deptest/Direction.h"
+#include "deptest/Problem.h"
+
+namespace edda {
+
+/// Answer of an inexact baseline: Independent is definitive, Dependent
+/// means "could not prove independent".
+enum class BaselineAnswer {
+  Independent,
+  AssumedDependent,
+};
+
+/// The simple GCD test alone (per-dimension divisibility).
+BaselineAnswer baselineSimpleGcd(const DependenceProblem &Problem);
+
+/// Simple GCD followed by the Banerjee bounds test. The bounds test
+/// computes, per equation, real-valued minimum and maximum of the
+/// subscript difference over the (trapezoid-relaxed) loop ranges and
+/// reports independence when 0 lies outside. Handles affine (trapezoidal)
+/// bounds by relaxing each variable to constant extreme bounds computed
+/// transitively; unbounded variables make the test inapplicable for that
+/// equation (assumed dependent), mirroring traditional practice.
+BaselineAnswer baselineGcdBanerjee(const DependenceProblem &Problem);
+
+/// Direction-vector baseline: simple GCD plus Wolfe's rectangular
+/// Banerjee test per direction vector, with unused variables eliminated
+/// (the configuration the paper measured). Returns every direction
+/// vector not refuted.
+DirectionResult
+baselineDirectionVectors(const DependenceProblem &Problem);
+
+} // namespace edda
+
+#endif // EDDA_BASELINE_BANERJEE_H

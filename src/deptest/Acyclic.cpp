@@ -1,0 +1,269 @@
+//===- deptest/Acyclic.cpp - The Acyclic test -----------------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deptest/Acyclic.h"
+
+#include "support/IntMath.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace edda;
+
+namespace {
+
+/// Moves single-variable and constant constraints out of \p Work into the
+/// intervals, to a fixpoint. Returns false when a contradiction is found.
+bool simplifyToIntervals(std::vector<LinearConstraint> &Work,
+                         VarIntervals &Intervals) {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto It = Work.begin(); It != Work.end();) {
+      unsigned Active = It->numActiveVars();
+      if (Active == 0) {
+        if (It->Bound < 0)
+          return false;
+        It = Work.erase(It);
+        Changed = true;
+        continue;
+      }
+      if (Active == 1) {
+        unsigned V = It->soleVar();
+        int64_t A = It->Coeffs[V];
+        if (A > 0)
+          Intervals.tightenHi(V, floorDiv(It->Bound, A));
+        else
+          Intervals.tightenLo(V, ceilDiv(It->Bound, A));
+        It = Work.erase(It);
+        Changed = true;
+        continue;
+      }
+      ++It;
+    }
+    if (Intervals.contradictory())
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+AcyclicResult edda::runAcyclic(unsigned NumVars,
+                               std::vector<LinearConstraint> MultiVar,
+                               VarIntervals Intervals) {
+  AcyclicResult Result;
+  std::vector<LinearConstraint> Work = std::move(MultiVar);
+
+  while (true) {
+    if (!simplifyToIntervals(Work, Intervals)) {
+      Result.St = AcyclicResult::Status::Independent;
+      Result.Intervals = std::move(Intervals);
+      return Result;
+    }
+
+    if (Work.empty()) {
+      // Every multi-variable constraint eliminated: the system is
+      // feasible. Build a witness from the intervals, then replay the
+      // eliminations to repair the eliminated variables.
+      std::vector<int64_t> Sample(NumVars, 0);
+      for (unsigned V = 0; V < NumVars; ++V) {
+        if (Intervals.Lo[V])
+          Sample[V] = *Intervals.Lo[V];
+        else if (Intervals.Hi[V])
+          Sample[V] = *Intervals.Hi[V];
+      }
+      Result.St = AcyclicResult::Status::Dependent;
+      Result.Intervals = std::move(Intervals);
+      if (completeSample(Sample, Result.Log, Result.Intervals))
+        Result.Sample = std::move(Sample);
+      return Result;
+    }
+
+    // Look for a variable the remaining constraints bound in only one
+    // direction (a leaf of the paper's constraint graph).
+    bool Eliminated = false;
+    for (unsigned V = 0; V < NumVars && !Eliminated; ++V) {
+      bool Pos = false, Neg = false;
+      for (const LinearConstraint &C : Work) {
+        if (C.Coeffs[V] > 0)
+          Pos = true;
+        else if (C.Coeffs[V] < 0)
+          Neg = true;
+      }
+      if (Pos == Neg) // absent, or bounded both ways
+        continue;
+
+      AcyclicElimination Elim;
+      Elim.Var = V;
+      Elim.UpperBounded = Pos;
+      const std::optional<int64_t> &Endpoint =
+          Pos ? Intervals.Lo[V] : Intervals.Hi[V];
+      if (Endpoint) {
+        // Pin the variable to the endpoint opposite its constrained
+        // direction and substitute.
+        Elim.Pinned = true;
+        Elim.Value = *Endpoint;
+        for (LinearConstraint &C : Work) {
+          if (C.Coeffs[V] == 0)
+            continue;
+          CheckedInt NewBound = CheckedInt(C.Bound) -
+                                CheckedInt(C.Coeffs[V]) * Elim.Value;
+          if (!NewBound.valid()) {
+            Result.St = AcyclicResult::Status::Overflow;
+            Result.Intervals = std::move(Intervals);
+            return Result;
+          }
+          C.Bound = NewBound.get();
+          C.Coeffs[V] = 0;
+        }
+        Intervals.Lo[V] = Elim.Value;
+        Intervals.Hi[V] = Elim.Value;
+      } else {
+        // Unbounded on the needed side: the variable can always be
+        // pushed far enough, so it goes away with its constraints.
+        Elim.Pinned = false;
+        for (auto It = Work.begin(); It != Work.end();) {
+          if (It->Coeffs[V] != 0) {
+            Elim.DroppedConstraints.push_back(*It);
+            It = Work.erase(It);
+          } else {
+            ++It;
+          }
+        }
+      }
+      Result.Log.push_back(std::move(Elim));
+      Eliminated = true;
+    }
+
+    if (!Eliminated) {
+      // Every remaining variable is bounded both ways: a cycle.
+      Result.St = AcyclicResult::Status::NeedsMore;
+      Result.Intervals = std::move(Intervals);
+      Result.Remaining = std::move(Work);
+      return Result;
+    }
+  }
+}
+
+bool edda::completeSample(std::vector<int64_t> &Sample,
+                          const std::vector<AcyclicElimination> &Log,
+                          const VarIntervals &Intervals) {
+  // Replay in reverse: a step's dropped constraints only mention
+  // variables eliminated later (already assigned) or survivors.
+  for (auto It = Log.rbegin(); It != Log.rend(); ++It) {
+    const AcyclicElimination &Elim = *It;
+    if (Elim.Pinned) {
+      Sample[Elim.Var] = Elim.Value;
+      continue;
+    }
+    std::optional<int64_t> Best;
+    for (const LinearConstraint &C : Elim.DroppedConstraints) {
+      int64_t A = C.Coeffs[Elim.Var];
+      assert(A != 0 && "dropped constraint without the variable");
+      CheckedInt Rest(C.Bound);
+      for (unsigned J = 0; J < C.Coeffs.size(); ++J)
+        if (J != Elim.Var && C.Coeffs[J] != 0)
+          Rest -= CheckedInt(C.Coeffs[J]) * Sample[J];
+      if (!Rest.valid())
+        return false;
+      // A*v <= Rest: v <= floor(Rest/A) when A > 0 (push low), else
+      // v >= ceil(Rest/A) (push high).
+      int64_t Limit = A > 0 ? floorDiv(Rest.get(), A)
+                            : ceilDiv(Rest.get(), A);
+      if (!Best)
+        Best = Limit;
+      else
+        Best = Elim.UpperBounded ? std::min(*Best, Limit)
+                                 : std::max(*Best, Limit);
+    }
+    assert(Best && "dropped variable had no constraints");
+    // Respect the variable's own one-sided interval.
+    if (Elim.UpperBounded && Intervals.Hi[Elim.Var])
+      Best = std::min(*Best, *Intervals.Hi[Elim.Var]);
+    if (!Elim.UpperBounded && Intervals.Lo[Elim.Var])
+      Best = std::max(*Best, *Intervals.Lo[Elim.Var]);
+    Sample[Elim.Var] = *Best;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Explicit constraint graph (diagnostics / Figure 1 style output)
+//===----------------------------------------------------------------------===//
+
+AcyclicGraph
+edda::buildAcyclicGraph(unsigned NumVars,
+                        const std::vector<LinearConstraint> &MultiVar) {
+  AcyclicGraph Graph;
+  for (const LinearConstraint &C : MultiVar) {
+    for (unsigned I = 0; I < NumVars; ++I) {
+      if (C.Coeffs[I] == 0)
+        continue;
+      for (unsigned J = I + 1; J < NumVars; ++J) {
+        if (C.Coeffs[J] == 0)
+          continue;
+        // Rearranged as aI*tI <= ... - aJ*tJ: the source role follows
+        // sign(aI), the sink role follows sign(-aJ); and symmetrically.
+        int NodeI = static_cast<int>(I) + 1;
+        int NodeJ = static_cast<int>(J) + 1;
+        int From1 = C.Coeffs[I] > 0 ? NodeI : -NodeI;
+        int To1 = C.Coeffs[J] < 0 ? NodeJ : -NodeJ;
+        int From2 = C.Coeffs[J] > 0 ? NodeJ : -NodeJ;
+        int To2 = C.Coeffs[I] < 0 ? NodeI : -NodeI;
+        Graph.Edges.push_back({From1, To1});
+        Graph.Edges.push_back({From2, To2});
+      }
+    }
+  }
+  return Graph;
+}
+
+bool AcyclicGraph::hasCycle() const {
+  // Iterative three-color DFS over the signed node ids.
+  std::map<int, std::vector<int>> Succ;
+  for (const Edge &E : Edges)
+    Succ[E.From].push_back(E.To);
+  std::map<int, int> Color; // 0 white, 1 grey, 2 black
+  for (const auto &[Start, Ignored] : Succ) {
+    (void)Ignored;
+    if (Color[Start] != 0)
+      continue;
+    std::vector<std::pair<int, size_t>> Stack;
+    Stack.push_back({Start, 0});
+    Color[Start] = 1;
+    while (!Stack.empty()) {
+      auto &[Node, NextIdx] = Stack.back();
+      std::vector<int> &Out = Succ[Node];
+      if (NextIdx == Out.size()) {
+        Color[Node] = 2;
+        Stack.pop_back();
+        continue;
+      }
+      int Next = Out[NextIdx++];
+      if (Color[Next] == 1)
+        return true;
+      if (Color[Next] == 0) {
+        Color[Next] = 1;
+        Stack.push_back({Next, 0});
+      }
+    }
+  }
+  return false;
+}
+
+std::string AcyclicGraph::str() const {
+  std::string Out;
+  for (const Edge &E : Edges) {
+    auto NodeName = [](int Node) {
+      int Var = (Node > 0 ? Node : -Node) - 1;
+      return std::string(Node > 0 ? "t" : "-t") + std::to_string(Var);
+    };
+    Out += NodeName(E.From) + " -> " + NodeName(E.To) + "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,109 @@
+//===- deptest/Acyclic.h - The Acyclic test --------------------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Acyclic test (paper section 3.3), for systems where some
+/// constraint has more than one variable. A variable that the
+/// multi-variable constraints bound in only one direction can be pinned
+/// to its opposite interval endpoint (or discarded entirely when it has
+/// no such endpoint) without changing satisfiability; substituting and
+/// repeating either empties the system (exact answer) or leaves a cyclic
+/// core for the Loop Residue test. This is the paper's "no graph needed"
+/// formulation, which it notes is equivalent to eliminating depth-first
+/// over the acyclic constraint graph; the explicit graph is still built
+/// by graph() for diagnostics and the Figure 1 demo.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_DEPTEST_ACYCLIC_H
+#define EDDA_DEPTEST_ACYCLIC_H
+
+#include "deptest/Svpc.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace edda {
+
+/// One elimination step performed by the Acyclic test, recorded so that a
+/// witness point can be reconstructed after a later test decides the
+/// simplified system.
+struct AcyclicElimination {
+  unsigned Var;
+  /// True when the variable was pinned to a concrete interval endpoint;
+  /// false when it was unbounded on the needed side and dropped together
+  /// with its constraints.
+  bool Pinned;
+  /// The pinned value (when Pinned).
+  int64_t Value = 0;
+  /// True when the multi-variable constraints only bounded the variable
+  /// from above (so a dropped variable must be pushed low enough).
+  bool UpperBounded = false;
+  /// The constraints removed together with a dropped variable.
+  std::vector<LinearConstraint> DroppedConstraints;
+};
+
+/// Outcome of the Acyclic test.
+struct AcyclicResult {
+  enum class Status {
+    Independent, ///< Exact: substitution exposed a contradiction.
+    Dependent,   ///< Exact: every multi-variable constraint eliminated.
+    NeedsMore,   ///< A cyclic core remains; cascade onward.
+    Overflow,    ///< Arithmetic gave up; fall back to Fourier-Motzkin.
+  };
+
+  Status St = Status::NeedsMore;
+  /// Updated intervals (substitution turns multi-variable constraints
+  /// into interval tightenings).
+  VarIntervals Intervals{0};
+  /// The surviving (cyclic) multi-variable constraints.
+  std::vector<LinearConstraint> Remaining;
+  /// Elimination log, in elimination order.
+  std::vector<AcyclicElimination> Log;
+  /// Witness when Dependent.
+  std::optional<std::vector<int64_t>> Sample;
+};
+
+/// Runs the Acyclic test. \p NumVars is the t-space arity; \p MultiVar
+/// are the multi-variable constraints surviving SVPC; \p Intervals the
+/// SVPC intervals (consumed by value, updated in the result).
+AcyclicResult runAcyclic(unsigned NumVars,
+                         std::vector<LinearConstraint> MultiVar,
+                         VarIntervals Intervals);
+
+/// Completes a witness for the simplified system into a witness for the
+/// pre-Acyclic system by replaying the elimination log backwards.
+/// \p Sample holds values for the surviving variables (entries for
+/// eliminated variables are overwritten). Returns false on overflow.
+bool completeSample(std::vector<int64_t> &Sample,
+                    const std::vector<AcyclicElimination> &Log,
+                    const VarIntervals &Intervals);
+
+/// The paper's constraint graph for the Acyclic test: two nodes per
+/// variable (i for the upper-bounded role, -i for the lower-bounded
+/// role), an edge for every variable pair in a shared constraint.
+/// Returned in a printable form for diagnostics and the examples.
+struct AcyclicGraph {
+  struct Edge {
+    /// Signed node encoding: +(<var>+1) or -(<var>+1).
+    int From;
+    int To;
+  };
+  std::vector<Edge> Edges;
+  bool hasCycle() const;
+  std::string str() const;
+};
+
+/// Builds the explicit two-node-per-variable graph of paper section 3.3.
+AcyclicGraph buildAcyclicGraph(unsigned NumVars,
+                               const std::vector<LinearConstraint> &MultiVar);
+
+} // namespace edda
+
+#endif // EDDA_DEPTEST_ACYCLIC_H

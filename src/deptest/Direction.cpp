@@ -1,0 +1,346 @@
+//===- deptest/Direction.cpp - Direction and distance vectors -------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deptest/Direction.h"
+
+#include "deptest/ExtendedGcd.h"
+
+#include <algorithm>
+
+using namespace edda;
+
+char edda::dirChar(Dir D) {
+  switch (D) {
+  case Dir::Less:
+    return '<';
+  case Dir::Equal:
+    return '=';
+  case Dir::Greater:
+    return '>';
+  case Dir::Any:
+    return '*';
+  }
+  return '?';
+}
+
+std::string edda::dirVectorStr(const DirVector &V) {
+  std::string Out = "(";
+  for (unsigned K = 0; K < V.size(); ++K) {
+    if (K)
+      Out += ", ";
+    Out += dirChar(V[K]);
+  }
+  Out += ")";
+  return Out;
+}
+
+namespace {
+
+/// Appends the linear constraints (forms required <= 0) imposing
+/// direction \p D on common loop \p K.
+void appendDirConstraints(const DependenceProblem &P, unsigned K, Dir D,
+                          std::vector<XAffine> &Out) {
+  unsigned A = P.xOfCommonA(K);
+  unsigned B = P.xOfCommonB(K);
+  switch (D) {
+  case Dir::Less: { // i < i'  <=>  xA - xB + 1 <= 0
+    XAffine F(P.numX());
+    F.Coeffs[A] = 1;
+    F.Coeffs[B] = -1;
+    F.Const = 1;
+    Out.push_back(std::move(F));
+    return;
+  }
+  case Dir::Equal: { // xA - xB <= 0 and xB - xA <= 0
+    XAffine F1(P.numX());
+    F1.Coeffs[A] = 1;
+    F1.Coeffs[B] = -1;
+    Out.push_back(std::move(F1));
+    XAffine F2(P.numX());
+    F2.Coeffs[A] = -1;
+    F2.Coeffs[B] = 1;
+    Out.push_back(std::move(F2));
+    return;
+  }
+  case Dir::Greater: { // i > i'  <=>  xB - xA + 1 <= 0
+    XAffine F(P.numX());
+    F.Coeffs[A] = -1;
+    F.Coeffs[B] = 1;
+    F.Const = 1;
+    Out.push_back(std::move(F));
+    return;
+  }
+  case Dir::Any:
+    return;
+  }
+}
+
+/// Number of constraint forms appendDirConstraints adds for \p D.
+unsigned dirConstraintCount(Dir D) { return D == Dir::Equal ? 2 : 1; }
+
+/// Recursive hierarchical refinement state.
+struct Refiner {
+  const DependenceProblem &P;
+  const DirectionOptions &Opts;
+  DirectionResult &R;
+  /// Directions already determined per common loop (distance pruning),
+  /// or Any-marked loops that need no testing (unused elimination).
+  std::vector<std::optional<Dir>> Fixed;
+  std::vector<XAffine> Constraints;
+  DirVector Prefix;
+  /// Set when some recorded vector's decisive answer was Unknown.
+  bool AnyUnknownLeaf = false;
+  /// Set when some vector was recorded with an exact Dependent answer.
+  bool AnyExactDependent = false;
+
+  void refine(unsigned Level, DepAnswer Incoming) {
+    if (Level == P.NumCommon) {
+      R.Vectors.push_back(Prefix);
+      if (Incoming == DepAnswer::Unknown)
+        AnyUnknownLeaf = true;
+      else
+        AnyExactDependent = true;
+      return;
+    }
+    if (Fixed[Level]) {
+      // Forced by a constant distance or marked '*': no test needed.
+      Prefix.push_back(*Fixed[Level]);
+      refine(Level + 1, Incoming);
+      Prefix.pop_back();
+      return;
+    }
+    for (Dir D : {Dir::Less, Dir::Equal, Dir::Greater}) {
+      appendDirConstraints(P, Level, D, Constraints);
+      ++R.TestsRun;
+      CascadeResult Test = testDependenceConstrained(
+          P, Constraints, Opts.Cascade, &R.TestStats);
+      if (Test.Answer != DepAnswer::Independent) {
+        Prefix.push_back(D);
+        refine(Level + 1, Test.Answer);
+        Prefix.pop_back();
+      }
+      Constraints.resize(Constraints.size() - dirConstraintCount(D));
+    }
+  }
+};
+
+/// Checks the Burke-Cytron separability conditions on \p P: every loop is
+/// common, every equation couples exactly one common pair with no
+/// symbolics, and every bound is constant.
+bool isSeparable(const DependenceProblem &P) {
+  if (P.NumLoopsA != P.NumCommon || P.NumLoopsB != P.NumCommon)
+    return false;
+  for (unsigned L = 0; L < P.numLoopVars(); ++L) {
+    if (P.Lo[L] && !P.Lo[L]->isConstant())
+      return false;
+    if (P.Hi[L] && !P.Hi[L]->isConstant())
+      return false;
+  }
+  for (const XAffine &Eq : P.Equations) {
+    int Pair = -1;
+    for (unsigned S = 0; S < P.NumSymbolic; ++S)
+      if (Eq.Coeffs[P.numLoopVars() + S] != 0)
+        return false;
+    for (unsigned K = 0; K < P.NumCommon; ++K) {
+      bool Involves = Eq.Coeffs[P.xOfCommonA(K)] != 0 ||
+                      Eq.Coeffs[P.xOfCommonB(K)] != 0;
+      if (!Involves)
+        continue;
+      if (Pair >= 0)
+        return false; // couples two loops
+      Pair = static_cast<int>(K);
+    }
+  }
+  return true;
+}
+
+/// Extracts the one-loop subproblem for common loop \p K of a separable
+/// problem.
+DependenceProblem dimensionSubproblem(const DependenceProblem &P,
+                                      unsigned K) {
+  DependenceProblem Sub;
+  Sub.NumLoopsA = Sub.NumLoopsB = Sub.NumCommon = 1;
+  Sub.NumSymbolic = 0;
+  unsigned A = P.xOfCommonA(K);
+  unsigned B = P.xOfCommonB(K);
+  for (const XAffine &Eq : P.Equations) {
+    if (Eq.Coeffs[A] == 0 && Eq.Coeffs[B] == 0)
+      continue;
+    XAffine NewEq(2);
+    NewEq.Const = Eq.Const;
+    NewEq.Coeffs[0] = Eq.Coeffs[A];
+    NewEq.Coeffs[1] = Eq.Coeffs[B];
+    Sub.Equations.push_back(std::move(NewEq));
+  }
+  Sub.Lo.resize(2);
+  Sub.Hi.resize(2);
+  auto CopyBound = [](const std::optional<XAffine> &In)
+      -> std::optional<XAffine> {
+    if (!In)
+      return std::nullopt;
+    XAffine Out(2);
+    Out.Const = In->Const;
+    return Out;
+  };
+  Sub.Lo[0] = CopyBound(P.Lo[A]);
+  Sub.Hi[0] = CopyBound(P.Hi[A]);
+  Sub.Lo[1] = CopyBound(P.Lo[B]);
+  Sub.Hi[1] = CopyBound(P.Hi[B]);
+  return Sub;
+}
+
+/// Per-dimension computation for separable problems: 3 tests per
+/// dimension instead of 3^n, with the result the cross product.
+DirectionResult computeSeparable(const DependenceProblem &P,
+                                 const DirectionOptions &Opts) {
+  DirectionResult R;
+  R.Distances.assign(P.NumCommon, std::nullopt);
+  std::vector<std::vector<Dir>> PerDim(P.NumCommon);
+  for (unsigned K = 0; K < P.NumCommon; ++K) {
+    DependenceProblem Sub = dimensionSubproblem(P, K);
+    DiophantineSolution Sol = solveEquations(Sub);
+    if (Sol.Solvable && !Sol.Overflow) {
+      XAffine Delta(2);
+      Delta.Coeffs[0] = -1;
+      Delta.Coeffs[1] = 1;
+      std::vector<int64_t> TCoeffs;
+      int64_t TConst;
+      if (projectToFree(Delta, Sol, TCoeffs, TConst) &&
+          std::all_of(TCoeffs.begin(), TCoeffs.end(),
+                      [](int64_t C) { return C == 0; }))
+        R.Distances[K] = TConst;
+    }
+    for (Dir D : {Dir::Less, Dir::Equal, Dir::Greater}) {
+      std::vector<XAffine> Constraints;
+      appendDirConstraints(Sub, 0, D, Constraints);
+      ++R.TestsRun;
+      CascadeResult Test = testDependenceConstrained(
+          Sub, Constraints, Opts.Cascade, &R.TestStats);
+      if (Test.Answer != DepAnswer::Independent)
+        PerDim[K].push_back(D);
+      if (Test.Answer == DepAnswer::Unknown)
+        R.Exact = false;
+    }
+    if (PerDim[K].empty()) {
+      R.RootAnswer = DepAnswer::Independent;
+      return R;
+    }
+  }
+  // Cross product of the per-dimension sets.
+  std::vector<DirVector> Acc = {{}};
+  for (unsigned K = 0; K < P.NumCommon; ++K) {
+    std::vector<DirVector> Next;
+    for (const DirVector &V : Acc) {
+      for (Dir D : PerDim[K]) {
+        DirVector Extended = V;
+        Extended.push_back(D);
+        Next.push_back(std::move(Extended));
+      }
+    }
+    Acc = std::move(Next);
+  }
+  R.Vectors = std::move(Acc);
+  R.RootAnswer = DepAnswer::Dependent;
+  return R;
+}
+
+} // namespace
+
+DirectionResult
+edda::computeDirectionVectors(const DependenceProblem &Problem,
+                              const DirectionOptions &Opts) {
+  assert(Problem.wellFormed() && "malformed problem");
+
+  // Unused-variable elimination: compute on the reduced problem and map
+  // the vectors back with '*' components for removed loops.
+  DependenceProblem Reduced;
+  std::vector<std::optional<unsigned>> CommonMap(Problem.NumCommon);
+  const DependenceProblem *Work = &Problem;
+  if (Opts.EliminateUnusedVars) {
+    Reduced = Problem.withUnusedLoopsRemoved(CommonMap);
+    Work = &Reduced;
+  } else {
+    for (unsigned K = 0; K < Problem.NumCommon; ++K)
+      CommonMap[K] = K;
+  }
+
+  DirectionResult Inner;
+  if (Opts.SeparableDimensions && isSeparable(*Work)) {
+    Inner = computeSeparable(*Work, Opts);
+  } else {
+    Inner.Distances.assign(Work->NumCommon, std::nullopt);
+    // Root (*,...,*) test.
+    ++Inner.TestsRun;
+    CascadeResult Root =
+        testDependence(*Work, Opts.Cascade, &Inner.TestStats);
+    Inner.RootAnswer = Root.Answer;
+    Inner.RootDecidedBy = Root.DecidedBy;
+    if (Root.Answer != DepAnswer::Independent) {
+      Refiner Ref{*Work, Opts, Inner,
+                  std::vector<std::optional<Dir>>(Work->NumCommon),
+                  {}, {}, false, false};
+
+      // Distance-vector pruning: a constant i'_k - i_k forces the
+      // direction and yields the distance.
+      if (Opts.DistanceVectorPruning && Work->NumCommon > 0) {
+        DiophantineSolution Sol = solveEquations(*Work);
+        if (Sol.Solvable && !Sol.Overflow) {
+          for (unsigned K = 0; K < Work->NumCommon; ++K) {
+            XAffine Delta(Work->numX());
+            Delta.Coeffs[Work->xOfCommonA(K)] = -1;
+            Delta.Coeffs[Work->xOfCommonB(K)] = 1;
+            std::vector<int64_t> TCoeffs;
+            int64_t TConst;
+            if (!projectToFree(Delta, Sol, TCoeffs, TConst))
+              continue;
+            if (!std::all_of(TCoeffs.begin(), TCoeffs.end(),
+                             [](int64_t C) { return C == 0; }))
+              continue;
+            Inner.Distances[K] = TConst;
+            Ref.Fixed[K] = TConst > 0   ? Dir::Less
+                           : TConst < 0 ? Dir::Greater
+                                        : Dir::Equal;
+          }
+        }
+      }
+
+      Ref.refine(0, Root.Answer);
+
+      // Implicit branch & bound (paper end of section 6): an inexact
+      // root refuted on every leaf is exact independence; a root proved
+      // dependent on some exact leaf is exact dependence.
+      if (Inner.RootAnswer == DepAnswer::Unknown) {
+        if (Inner.Vectors.empty() && !Ref.AnyUnknownLeaf)
+          Inner.RootAnswer = DepAnswer::Independent;
+        else if (Ref.AnyExactDependent)
+          Inner.RootAnswer = DepAnswer::Dependent;
+      }
+      Inner.Exact = Inner.RootAnswer != DepAnswer::Unknown &&
+                    !Ref.AnyUnknownLeaf;
+    }
+  }
+
+  // Map vectors and distances back to the original common loops.
+  DirectionResult Result;
+  Result.RootAnswer = Inner.RootAnswer;
+  Result.RootDecidedBy = Inner.RootDecidedBy;
+  Result.Exact = Inner.Exact;
+  Result.TestStats = Inner.TestStats;
+  Result.TestsRun = Inner.TestsRun;
+  Result.Distances.assign(Problem.NumCommon, std::nullopt);
+  for (unsigned K = 0; K < Problem.NumCommon; ++K)
+    if (CommonMap[K] && *CommonMap[K] < Inner.Distances.size())
+      Result.Distances[K] = Inner.Distances[*CommonMap[K]];
+  for (const DirVector &V : Inner.Vectors) {
+    DirVector Mapped(Problem.NumCommon, Dir::Any);
+    for (unsigned K = 0; K < Problem.NumCommon; ++K)
+      if (CommonMap[K])
+        Mapped[K] = V[*CommonMap[K]];
+    Result.Vectors.push_back(std::move(Mapped));
+  }
+  return Result;
+}

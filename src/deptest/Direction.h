@@ -1,0 +1,96 @@
+//===- deptest/Direction.h - Direction and distance vectors ----*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direction and distance vector computation (paper section 6). The
+/// hierarchical scheme of Burke and Cytron starts from (*,...,*) and
+/// refines a '*' into '<', '=' and '>' only under dependent parents; each
+/// refinement adds linear constraints relating a common loop's two
+/// iteration variables and re-runs the cascade. Pruning implemented:
+///
+///   * unused-variable elimination: loops that appear in no subscript or
+///     relevant bound carry '*' without testing;
+///   * distance-vector pruning: when the GCD solution pins i'_k - i_k to
+///     a constant, the direction is forced and the distance recorded;
+///   * the implicit branch & bound: an Unknown root with all-independent
+///     leaves is exact independence;
+///   * optionally, Burke and Cytron's per-dimension scheme for separable
+///     problems.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_DEPTEST_DIRECTION_H
+#define EDDA_DEPTEST_DIRECTION_H
+
+#include "deptest/Cascade.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace edda {
+
+/// One component of a direction vector, relating a common loop's source
+/// iteration i to its sink iteration i'.
+enum class Dir : uint8_t {
+  Less,    ///< i < i' (forward loop-carried).
+  Equal,   ///< i == i' (loop-independent at this level).
+  Greater, ///< i > i' (backward; the reversed pair carries it).
+  Any,     ///< Unconstrained ('*').
+};
+
+/// A direction vector over the common loops, outermost first.
+using DirVector = std::vector<Dir>;
+
+/// "(<, =, *)" rendering.
+std::string dirVectorStr(const DirVector &V);
+char dirChar(Dir D);
+
+/// Knobs for direction vector computation.
+struct DirectionOptions {
+  CascadeOptions Cascade;
+  /// Prepend '*' for unused loops instead of testing them (on for the
+  /// paper's Table 5, off for Table 4).
+  bool EliminateUnusedVars = true;
+  /// Skip directions contradicting a GCD-constant distance (on for
+  /// Table 5, off for Table 4).
+  bool DistanceVectorPruning = true;
+  /// Burke and Cytron's per-dimension computation for separable
+  /// problems (extension; see DESIGN.md ablations).
+  bool SeparableDimensions = false;
+};
+
+/// Result of direction/distance vector computation.
+struct DirectionResult {
+  /// Answer of the root (*,...,*) test, upgraded to Independent when the
+  /// implicit branch & bound refutes an Unknown root.
+  DepAnswer RootAnswer = DepAnswer::Unknown;
+  /// The test that decided the root query (Svpc as a stand-in when the
+  /// separable per-dimension path skipped the root test).
+  TestKind RootDecidedBy = TestKind::Svpc;
+  bool Exact = true;
+  /// All direction vectors under which the references depend. Components
+  /// may be Any for unused loops.
+  std::vector<DirVector> Vectors;
+  /// Per common loop: the constant dependence distance i'_k - i_k when
+  /// the GCD solution determines one.
+  std::vector<std::optional<int64_t>> Distances;
+  /// Cascade statistics for every test run during the computation — the
+  /// per-kind counts of the paper's Tables 4, 5 and 7.
+  DepStats TestStats;
+  /// Number of cascade invocations (root + refinements).
+  uint64_t TestsRun = 0;
+};
+
+/// Computes the dependent direction vectors of \p Problem.
+DirectionResult computeDirectionVectors(const DependenceProblem &Problem,
+                                        const DirectionOptions &Opts = {});
+
+} // namespace edda
+
+#endif // EDDA_DEPTEST_DIRECTION_H

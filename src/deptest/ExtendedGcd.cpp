@@ -1,0 +1,298 @@
+//===- deptest/ExtendedGcd.cpp - Extended GCD preprocessing --------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deptest/ExtendedGcd.h"
+
+#include "support/IntMath.h"
+
+using namespace edda;
+
+std::optional<std::vector<int64_t>>
+DiophantineSolution::instantiate(const std::vector<int64_t> &T) const {
+  assert(Solvable && !Overflow && "instantiating an unusable solution");
+  assert(T.size() == NumFree && "free-variable arity mismatch");
+  std::vector<int64_t> X(NumX);
+  for (unsigned J = 0; J < NumX; ++J) {
+    CheckedInt Sum(Offset[J]);
+    for (unsigned F = 0; F < NumFree; ++F)
+      Sum += CheckedInt(T[F]) * FreeRows.at(F, J);
+    if (!Sum.valid())
+      return std::nullopt;
+    X[J] = Sum.get();
+  }
+  return X;
+}
+
+namespace {
+
+/// Applies the unimodular 2x2 row transform
+///   (row R1, row R2) <- (P*R1 + Q*R2, S*R1 + T*R2)
+/// to \p M. The caller guarantees |P*T - Q*S| == 1. Returns false on
+/// overflow.
+bool applyRowPair(IntMatrix &M, unsigned R1, unsigned R2, int64_t P,
+                  int64_t Q, int64_t S, int64_t T) {
+  for (unsigned Col = 0; Col < M.cols(); ++Col) {
+    int64_t A = M.at(R1, Col);
+    int64_t B = M.at(R2, Col);
+    CheckedInt New1 = CheckedInt(P) * A + CheckedInt(Q) * B;
+    CheckedInt New2 = CheckedInt(S) * A + CheckedInt(T) * B;
+    if (!New1.valid() || !New2.valid())
+      return false;
+    M.at(R1, Col) = New1.get();
+    M.at(R2, Col) = New2.get();
+  }
+  return true;
+}
+
+} // namespace
+
+UnimodularFactorization edda::factorUnimodular(const IntMatrix &A) {
+  const unsigned NumX = A.rows();
+  const unsigned NumEq = A.cols();
+
+  // Factor U*A = D with U unimodular and D echelon, using extended-gcd
+  // row combinations (Banerjee's extension of Gaussian elimination).
+  UnimodularFactorization F;
+  F.U = IntMatrix::identity(NumX);
+  F.D = A;
+  unsigned Row = 0;
+  for (unsigned Col = 0; Col < NumEq && Row < NumX; ++Col) {
+    // Zero out all but one entry of this column below Row.
+    int Pivot = -1;
+    for (unsigned R = Row; R < NumX; ++R) {
+      if (F.D.at(R, Col) == 0)
+        continue;
+      if (Pivot < 0) {
+        Pivot = static_cast<int>(R);
+        continue;
+      }
+      int64_t PV = F.D.at(Pivot, Col);
+      int64_t RV = F.D.at(R, Col);
+      ExtGcdResult G = extGcd64(PV, RV);
+      assert(G.Gcd > 0 && "gcd of nonzero entries must be positive");
+      // (pivot, r) <- (x*pivot + y*r, -(RV/g)*pivot + (PV/g)*r); the
+      // transform has determinant (x*PV + y*RV)/g == 1.
+      if (!applyRowPair(F.D, Pivot, R, G.X, G.Y, -(RV / G.Gcd),
+                        PV / G.Gcd) ||
+          !applyRowPair(F.U, Pivot, R, G.X, G.Y, -(RV / G.Gcd),
+                        PV / G.Gcd))
+        return F; // Ok stays false
+      assert(F.D.at(R, Col) == 0 && "row combination failed to cancel");
+    }
+    if (Pivot < 0)
+      continue;
+    F.D.swapRows(Pivot, Row);
+    F.U.swapRows(Pivot, Row);
+    if (F.D.at(Row, Col) < 0) {
+      if (!F.D.negateRow(Row) || !F.U.negateRow(Row))
+        return F;
+    }
+    ++Row;
+  }
+  F.Rank = Row;
+  F.Ok = true;
+  assert(F.D.isEchelon() && "factorization did not produce echelon form");
+  return F;
+}
+
+DiophantineSolution edda::solveDiophantine(const IntMatrix &A,
+                                           const std::vector<int64_t> &C) {
+  assert(C.size() == A.cols() && "equation count mismatch");
+  const unsigned NumX = A.rows();
+  const unsigned NumEq = A.cols();
+
+  DiophantineSolution Sol;
+  Sol.NumX = NumX;
+
+  UnimodularFactorization F = factorUnimodular(A);
+  if (!F.Ok) {
+    Sol.Overflow = true;
+    return Sol;
+  }
+  IntMatrix &U = F.U;
+  IntMatrix &D = F.D;
+  const unsigned Rank = F.Rank;
+  // Leading column of each pivot row.
+  std::vector<unsigned> LeadCol;
+  for (unsigned R = 0; R < Rank; ++R) {
+    unsigned Col = 0;
+    while (Col < NumEq && D.at(R, Col) == 0)
+      ++Col;
+    assert(Col < NumEq && "pivot row without leading entry");
+    LeadCol.push_back(Col);
+  }
+
+  // Back substitution: solve t*D = c column by column. Columns that are
+  // some row's leading column determine that row's t; all other columns
+  // are consistency checks.
+  std::vector<int64_t> T(Rank, 0);
+  unsigned NextPivotRow = 0;
+  for (unsigned Col = 0; Col < NumEq; ++Col) {
+    CheckedInt Partial(0);
+    for (unsigned R = 0; R < NextPivotRow; ++R)
+      Partial += CheckedInt(T[R]) * D.at(R, Col);
+    if (!Partial.valid()) {
+      Sol.Overflow = true;
+      return Sol;
+    }
+    bool IsPivotCol =
+        NextPivotRow < Rank && LeadCol[NextPivotRow] == Col;
+    if (IsPivotCol) {
+      int64_t Lead = D.at(NextPivotRow, Col);
+      std::optional<int64_t> Need = checkedSub(C[Col], Partial.get());
+      if (!Need) {
+        Sol.Overflow = true;
+        return Sol;
+      }
+      if (*Need % Lead != 0) {
+        Sol.Solvable = false; // gcd test fails: no integer solution
+        return Sol;
+      }
+      T[NextPivotRow] = *Need / Lead;
+      ++NextPivotRow;
+      continue;
+    }
+    if (Partial.get() != C[Col]) {
+      Sol.Solvable = false; // inconsistent equation
+      return Sol;
+    }
+  }
+
+  // Particular solution: x = (t_0..t_{r-1}, 0, ..) * U; free directions
+  // are the remaining rows of U.
+  Sol.Solvable = true;
+  Sol.NumFree = NumX - Rank;
+  Sol.Offset.assign(NumX, 0);
+  for (unsigned J = 0; J < NumX; ++J) {
+    CheckedInt Sum(0);
+    for (unsigned R = 0; R < Rank; ++R)
+      Sum += CheckedInt(T[R]) * U.at(R, J);
+    if (!Sum.valid()) {
+      Sol.Overflow = true;
+      return Sol;
+    }
+    Sol.Offset[J] = Sum.get();
+  }
+  Sol.FreeRows = IntMatrix(Sol.NumFree, NumX);
+  for (unsigned F = 0; F < Sol.NumFree; ++F)
+    for (unsigned J = 0; J < NumX; ++J)
+      Sol.FreeRows.at(F, J) = U.at(Rank + F, J);
+  return Sol;
+}
+
+DiophantineSolution edda::solveEquations(const DependenceProblem &Problem) {
+  assert(Problem.wellFormed() && "malformed problem");
+  const unsigned NumX = Problem.numX();
+  const unsigned NumEq = static_cast<unsigned>(Problem.Equations.size());
+  IntMatrix A(NumX, NumEq);
+  std::vector<int64_t> C(NumEq);
+  for (unsigned E = 0; E < NumEq; ++E) {
+    const XAffine &Eq = Problem.Equations[E];
+    for (unsigned J = 0; J < NumX; ++J)
+      A.at(J, E) = Eq.Coeffs[J];
+    // Equation form + const == 0, so x*A = -const.
+    std::optional<int64_t> Rhs = checkedNeg(Eq.Const);
+    if (!Rhs) {
+      DiophantineSolution Sol;
+      Sol.NumX = NumX;
+      Sol.Overflow = true;
+      return Sol;
+    }
+    C[E] = *Rhs;
+  }
+  return solveDiophantine(A, C);
+}
+
+bool edda::projectToFree(const XAffine &Form,
+                         const DiophantineSolution &Sol,
+                         std::vector<int64_t> &TCoeffs, int64_t &TConst) {
+  assert(Sol.Solvable && !Sol.Overflow && "projecting without a solution");
+  assert(Form.Coeffs.size() == Sol.NumX && "form arity mismatch");
+  CheckedInt Const(Form.Const);
+  for (unsigned J = 0; J < Sol.NumX; ++J)
+    if (Form.Coeffs[J] != 0)
+      Const += CheckedInt(Form.Coeffs[J]) * Sol.Offset[J];
+  if (!Const.valid())
+    return false;
+  TConst = Const.get();
+  TCoeffs.assign(Sol.NumFree, 0);
+  for (unsigned F = 0; F < Sol.NumFree; ++F) {
+    CheckedInt Sum(0);
+    for (unsigned J = 0; J < Sol.NumX; ++J)
+      if (Form.Coeffs[J] != 0)
+        Sum += CheckedInt(Form.Coeffs[J]) * Sol.FreeRows.at(F, J);
+    if (!Sum.valid())
+      return false;
+    TCoeffs[F] = Sum.get();
+  }
+  return true;
+}
+
+std::optional<LinearSystem>
+edda::boundsToFreeSpace(const DependenceProblem &Problem,
+                        const DiophantineSolution &Sol) {
+  assert(Sol.Solvable && !Sol.Overflow && "no solution to project onto");
+  LinearSystem System(Sol.NumFree);
+  std::vector<int64_t> TCoeffs;
+  int64_t TConst;
+
+  for (unsigned L = 0; L < Problem.numLoopVars(); ++L) {
+    if (Problem.Lo[L]) {
+      // Lo - x_l <= 0.
+      XAffine Form = *Problem.Lo[L];
+      std::optional<int64_t> NewCoeff = checkedSub(Form.Coeffs[L], 1);
+      if (!NewCoeff)
+        return std::nullopt;
+      Form.Coeffs[L] = *NewCoeff;
+      if (!projectToFree(Form, Sol, TCoeffs, TConst))
+        return std::nullopt;
+      std::optional<int64_t> Bound = checkedNeg(TConst);
+      if (!Bound)
+        return std::nullopt;
+      System.addLe(TCoeffs, *Bound);
+    }
+    if (Problem.Hi[L]) {
+      // x_l - Hi <= 0.
+      XAffine Form = *Problem.Hi[L];
+      for (int64_t &Coeff : Form.Coeffs) {
+        std::optional<int64_t> Neg = checkedNeg(Coeff);
+        if (!Neg)
+          return std::nullopt;
+        Coeff = *Neg;
+      }
+      std::optional<int64_t> NegConst = checkedNeg(Form.Const);
+      std::optional<int64_t> NewCoeff = checkedAdd(Form.Coeffs[L], 1);
+      if (!NegConst || !NewCoeff)
+        return std::nullopt;
+      Form.Const = *NegConst;
+      Form.Coeffs[L] = *NewCoeff;
+      if (!projectToFree(Form, Sol, TCoeffs, TConst))
+        return std::nullopt;
+      std::optional<int64_t> Bound = checkedNeg(TConst);
+      if (!Bound)
+        return std::nullopt;
+      System.addLe(TCoeffs, *Bound);
+    }
+  }
+  return System;
+}
+
+bool edda::simpleGcdTest(const DependenceProblem &Problem) {
+  for (const XAffine &Eq : Problem.Equations) {
+    int64_t G = 0;
+    for (int64_t Coeff : Eq.Coeffs)
+      G = gcd64(G, Coeff);
+    if (G == 0) {
+      if (Eq.Const != 0)
+        return false; // constant contradiction
+      continue;
+    }
+    if (Eq.Const % G != 0)
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,102 @@
+//===- deptest/ExtendedGcd.h - Extended GCD preprocessing ------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Banerjee's extended GCD test (paper section 3.1), used as the
+/// preprocessing step of the cascade. The subscript equality system
+/// x·A = c is factored as U·A = D with U unimodular and D echelon; the
+/// system has an integer solution iff t·D = c does, which back
+/// substitution decides directly. On success the solution is parametric:
+///
+///   x = Offset + sum_f t_f * FreeRows[f]
+///
+/// over fresh free integer variables t. Every equality constraint is
+/// eliminated and the loop-bound constraints are rewritten over t, the
+/// single input form shared by all the later tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_DEPTEST_EXTENDEDGCD_H
+#define EDDA_DEPTEST_EXTENDEDGCD_H
+
+#include "deptest/LinearSystem.h"
+#include "deptest/Problem.h"
+#include "support/Matrix.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace edda {
+
+/// Parametric integer solution of x·A = c.
+struct DiophantineSolution {
+  /// True when an integer solution exists (ignoring any bounds).
+  bool Solvable = false;
+  /// True when 64-bit arithmetic overflowed; the caller must treat the
+  /// problem as unanalyzable (conservatively dependent).
+  bool Overflow = false;
+  unsigned NumX = 0;
+  unsigned NumFree = 0;
+  /// A particular solution (size NumX). Meaningful when Solvable.
+  std::vector<int64_t> Offset;
+  /// Basis of the solution lattice: NumFree x NumX rows of the unimodular
+  /// factor. Meaningful when Solvable.
+  IntMatrix FreeRows{0, 0};
+
+  /// Instantiates x for concrete free-variable values \p T
+  /// (T.size() == NumFree); std::nullopt on overflow.
+  std::optional<std::vector<int64_t>>
+  instantiate(const std::vector<int64_t> &T) const;
+};
+
+/// The unimodular/echelon factorization U·A = D underlying the test
+/// (exposed for library users and for property tests).
+struct UnimodularFactorization {
+  bool Ok = false;   ///< False when 64-bit arithmetic overflowed.
+  IntMatrix U{0, 0}; ///< Unimodular (|det| == 1), NumX x NumX.
+  IntMatrix D{0, 0}; ///< Echelon, NumX x NumEq.
+  unsigned Rank = 0; ///< Number of nonzero rows of D.
+};
+
+/// Factors \p A (NumX x NumEq) as U·A = D with U unimodular and D
+/// echelon, via extended-gcd row elimination.
+UnimodularFactorization factorUnimodular(const IntMatrix &A);
+
+/// Solves x·A = c over the integers. \p A is NumX x NumEq; \p C has one
+/// entry per equation.
+DiophantineSolution solveDiophantine(const IntMatrix &A,
+                                     const std::vector<int64_t> &C);
+
+/// Runs the extended GCD test on a dependence problem's subscript
+/// equations (columns of A are the equations, rows the x variables).
+DiophantineSolution solveEquations(const DependenceProblem &Problem);
+
+/// Projects an affine form over x into an affine form over the free
+/// variables t: fills \p TCoeffs (size NumFree) and \p TConst such that
+/// form(x(t)) == TConst + sum TCoeffs[f]*t_f. Returns false on overflow.
+bool projectToFree(const XAffine &Form, const DiophantineSolution &Sol,
+                   std::vector<int64_t> &TCoeffs, int64_t &TConst);
+
+/// Builds the bounds system over t for \p Problem under \p Sol: for every
+/// present bound Lo_l <= x_l <= Hi_l, the projected constraints
+/// (Lo_l - x_l)(t) <= 0 and (x_l - Hi_l)(t) <= 0. Returns std::nullopt on
+/// overflow. Constraints that project to a constant falsehood are kept
+/// (SVPC reports the contradiction).
+std::optional<LinearSystem>
+boundsToFreeSpace(const DependenceProblem &Problem,
+                  const DiophantineSolution &Sol);
+
+/// The paper's simple per-equation GCD test (Banerjee algorithm 5.4.1,
+/// used as a baseline in section 7 and as a teaching comparator): each
+/// single equation sum a_j x_j = c is integer-solvable iff gcd(a_j)
+/// divides c. Returns false (independent) when some equation fails.
+bool simpleGcdTest(const DependenceProblem &Problem);
+
+} // namespace edda
+
+#endif // EDDA_DEPTEST_EXTENDEDGCD_H

@@ -1,0 +1,267 @@
+//===- deptest/FourierMotzkin.cpp - Fourier-Motzkin backup test -----------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deptest/FourierMotzkin.h"
+
+#include "support/IntMath.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace edda;
+
+namespace {
+
+/// One elimination step: the variable removed and the bounds involving
+/// it, kept for back substitution.
+struct ElimStep {
+  unsigned Var;
+  std::vector<LinearConstraint> Uppers; ///< Coefficient of Var > 0.
+  std::vector<LinearConstraint> Lowers; ///< Coefficient of Var < 0.
+};
+
+/// Recursive solver carrying the shared branch budget.
+class FmSolver {
+public:
+  FmSolver(const FourierMotzkinOptions &Opts) : Opts(Opts) {}
+
+  FmResult solve(const LinearSystem &System) {
+    FmResult Result = attempt(System);
+    Result.UsedBranchAndBound = NodesUsed > 0;
+    Result.BranchNodes = NodesUsed;
+    return Result;
+  }
+
+private:
+  const FourierMotzkinOptions &Opts;
+  unsigned NodesUsed = 0;
+
+  FmResult attempt(const LinearSystem &System);
+};
+
+/// Combines an upper bound (A > 0 on Var) with a lower bound (C < 0 on
+/// Var): (-C)*Upper + A*Lower, whose Var column cancels. Returns false on
+/// overflow.
+bool combine(const LinearConstraint &Upper, const LinearConstraint &Lower,
+             unsigned Var, LinearConstraint &Out) {
+  int64_t A = Upper.Coeffs[Var];
+  int64_t C = Lower.Coeffs[Var];
+  assert(A > 0 && C < 0 && "combine requires opposite signs");
+  std::optional<int64_t> NegC = checkedNeg(C);
+  if (!NegC)
+    return false;
+  const unsigned NumVars = static_cast<unsigned>(Upper.Coeffs.size());
+  Out.Coeffs.assign(NumVars, 0);
+  for (unsigned K = 0; K < NumVars; ++K) {
+    CheckedInt V = CheckedInt(*NegC) * Upper.Coeffs[K] +
+                   CheckedInt(A) * Lower.Coeffs[K];
+    if (!V.valid())
+      return false;
+    Out.Coeffs[K] = V.get();
+  }
+  assert(Out.Coeffs[Var] == 0 && "variable failed to cancel");
+  CheckedInt B = CheckedInt(*NegC) * Upper.Bound + CheckedInt(A) *
+                                                       Lower.Bound;
+  if (!B.valid())
+    return false;
+  Out.Bound = B.get();
+  return true;
+}
+
+FmResult FmSolver::attempt(const LinearSystem &System) {
+  FmResult Result;
+  const unsigned NumVars = System.numVars();
+
+  // Working set, gcd-normalized; constant contradictions end early.
+  std::vector<LinearConstraint> Work;
+  for (const LinearConstraint &C : System.constraints()) {
+    LinearConstraint Copy = C;
+    if (!Copy.normalize()) {
+      Result.St = FmResult::Status::Independent;
+      return Result;
+    }
+    if (Copy.numActiveVars() > 0)
+      Work.push_back(std::move(Copy));
+  }
+
+  std::vector<bool> Eliminated(NumVars, false);
+  std::vector<ElimStep> Steps;
+  Steps.reserve(NumVars);
+
+  for (unsigned Round = 0; Round < NumVars; ++Round) {
+    // Pick the remaining variable with the smallest pairing growth
+    // p*q (classic least-fill heuristic).
+    unsigned BestVar = 0;
+    uint64_t BestCost = UINT64_MAX;
+    for (unsigned V = 0; V < NumVars; ++V) {
+      if (Eliminated[V])
+        continue;
+      uint64_t P = 0, Q = 0;
+      for (const LinearConstraint &C : Work) {
+        if (C.Coeffs[V] > 0)
+          ++P;
+        else if (C.Coeffs[V] < 0)
+          ++Q;
+      }
+      uint64_t Cost = P * Q;
+      if (Cost < BestCost) {
+        BestCost = Cost;
+        BestVar = V;
+      }
+    }
+
+    ElimStep Step;
+    Step.Var = BestVar;
+    std::vector<LinearConstraint> Rest;
+    for (LinearConstraint &C : Work) {
+      if (C.Coeffs[BestVar] > 0)
+        Step.Uppers.push_back(std::move(C));
+      else if (C.Coeffs[BestVar] < 0)
+        Step.Lowers.push_back(std::move(C));
+      else
+        Rest.push_back(std::move(C));
+    }
+
+    // All upper x lower pairs; dedupe to tame quadratic blowup.
+    std::set<std::pair<std::vector<int64_t>, int64_t>> Seen;
+    for (const LinearConstraint &R : Rest)
+      Seen.insert({R.Coeffs, R.Bound});
+    for (const LinearConstraint &U : Step.Uppers) {
+      for (const LinearConstraint &L : Step.Lowers) {
+        LinearConstraint Derived;
+        if (!combine(U, L, BestVar, Derived)) {
+          Result.St = FmResult::Status::Unknown;
+          return Result;
+        }
+        if (!Derived.normalize()) {
+          // Constant falsehood: the tightened system (equisatisfiable
+          // over the integers) is infeasible.
+          Result.St = FmResult::Status::Independent;
+          return Result;
+        }
+        if (Derived.numActiveVars() == 0)
+          continue; // tautology
+        if (Seen.insert({Derived.Coeffs, Derived.Bound}).second)
+          Rest.push_back(std::move(Derived));
+        if (Rest.size() > Opts.MaxConstraints) {
+          Result.St = FmResult::Status::Unknown;
+          return Result;
+        }
+      }
+    }
+    Work = std::move(Rest);
+    Eliminated[BestVar] = true;
+    Steps.push_back(std::move(Step));
+  }
+  assert(Work.empty() && "constraints left after eliminating all vars");
+
+  // Real-feasible. Back-substitute in reverse elimination order; the
+  // first step's range is constant, so an empty integer range there is
+  // exact independence (paper's special case).
+  std::vector<int64_t> Sample(NumVars, 0);
+  bool AnyAssigned = false;
+  for (auto It = Steps.rbegin(); It != Steps.rend(); ++It) {
+    const ElimStep &Step = *It;
+    std::optional<int64_t> Lo, Hi;
+    for (const LinearConstraint &U : Step.Uppers) {
+      // a*v <= Bound - sum others.
+      CheckedInt Rhs(U.Bound);
+      for (unsigned K = 0; K < NumVars; ++K)
+        if (K != Step.Var && U.Coeffs[K] != 0)
+          Rhs -= CheckedInt(U.Coeffs[K]) * Sample[K];
+      if (!Rhs.valid()) {
+        Result.St = FmResult::Status::Unknown;
+        return Result;
+      }
+      int64_t Limit = floorDiv(Rhs.get(), U.Coeffs[Step.Var]);
+      Hi = Hi ? std::min(*Hi, Limit) : Limit;
+    }
+    for (const LinearConstraint &L : Step.Lowers) {
+      CheckedInt Rhs(L.Bound);
+      for (unsigned K = 0; K < NumVars; ++K)
+        if (K != Step.Var && L.Coeffs[K] != 0)
+          Rhs -= CheckedInt(L.Coeffs[K]) * Sample[K];
+      if (!Rhs.valid()) {
+        Result.St = FmResult::Status::Unknown;
+        return Result;
+      }
+      int64_t Limit = ceilDiv(Rhs.get(), L.Coeffs[Step.Var]);
+      Lo = Lo ? std::max(*Lo, Limit) : Limit;
+    }
+
+    if (Lo && Hi && *Lo > *Hi) {
+      if (!AnyAssigned) {
+        // No choices were made yet, so the empty range is unconditional.
+        Result.St = FmResult::Status::Independent;
+        return Result;
+      }
+      // Branch & bound: any integer point has v <= Hi or v >= Hi + 1.
+      if (Opts.MaxBranchNodes == 0 ||
+          NodesUsed + 2 > Opts.MaxBranchNodes) {
+        Result.St = FmResult::Status::Unknown;
+        return Result;
+      }
+      NodesUsed += 2;
+      std::optional<int64_t> SplitLo = checkedAdd(*Hi, 1);
+      if (!SplitLo) {
+        Result.St = FmResult::Status::Unknown;
+        return Result;
+      }
+      LinearSystem Left(System);
+      std::vector<int64_t> Row(NumVars, 0);
+      Row[Step.Var] = 1;
+      Left.addLe(Row, *Hi); // v <= Hi
+      FmResult LeftResult = attempt(Left);
+      if (LeftResult.St == FmResult::Status::Dependent)
+        return LeftResult;
+
+      LinearSystem Right(System);
+      Row.assign(NumVars, 0);
+      Row[Step.Var] = -1;
+      std::optional<int64_t> NegSplit = checkedNeg(*SplitLo);
+      if (!NegSplit) {
+        Result.St = FmResult::Status::Unknown;
+        return Result;
+      }
+      Right.addLe(Row, *NegSplit); // v >= Hi + 1
+      FmResult RightResult = attempt(Right);
+      if (RightResult.St == FmResult::Status::Dependent)
+        return RightResult;
+      if (LeftResult.St == FmResult::Status::Unknown ||
+          RightResult.St == FmResult::Status::Unknown) {
+        Result.St = FmResult::Status::Unknown;
+        return Result;
+      }
+      Result.St = FmResult::Status::Independent;
+      return Result;
+    }
+
+    // Middle of the allowed range (paper's heuristic), or the finite
+    // endpoint, or 0 when fully unconstrained.
+    int64_t Value = 0;
+    if (Lo && Hi)
+      Value = *Lo + (*Hi - *Lo) / 2;
+    else if (Lo)
+      Value = *Lo;
+    else if (Hi)
+      Value = *Hi;
+    Sample[Step.Var] = Value;
+    AnyAssigned = true;
+  }
+
+  assert(System.satisfiedBy(Sample) && "witness fails the system");
+  Result.St = FmResult::Status::Dependent;
+  Result.Sample = std::move(Sample);
+  return Result;
+}
+
+} // namespace
+
+FmResult edda::runFourierMotzkin(const LinearSystem &System,
+                                 const FourierMotzkinOptions &Opts) {
+  return FmSolver(Opts).solve(System);
+}

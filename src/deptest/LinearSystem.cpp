@@ -1,0 +1,106 @@
+//===- deptest/LinearSystem.cpp - Inequality systems over t --------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deptest/LinearSystem.h"
+
+#include "support/IntMath.h"
+
+using namespace edda;
+
+unsigned LinearConstraint::numActiveVars() const {
+  unsigned Count = 0;
+  for (int64_t C : Coeffs)
+    if (C != 0)
+      ++Count;
+  return Count;
+}
+
+unsigned LinearConstraint::soleVar() const {
+  for (unsigned K = 0; K < Coeffs.size(); ++K)
+    if (Coeffs[K] != 0)
+      return K;
+  assert(false && "soleVar on a constant constraint");
+  return 0;
+}
+
+std::optional<int64_t>
+LinearConstraint::lhsAt(const std::vector<int64_t> &Point) const {
+  assert(Point.size() == Coeffs.size() && "point arity mismatch");
+  CheckedInt Sum;
+  for (unsigned K = 0; K < Coeffs.size(); ++K)
+    if (Coeffs[K] != 0)
+      Sum += CheckedInt(Coeffs[K]) * Point[K];
+  return Sum.getOpt();
+}
+
+bool LinearConstraint::satisfiedBy(const std::vector<int64_t> &Point) const {
+  std::optional<int64_t> Lhs = lhsAt(Point);
+  return Lhs && *Lhs <= Bound;
+}
+
+bool LinearConstraint::normalize() {
+  int64_t G = 0;
+  for (int64_t C : Coeffs)
+    G = gcd64(G, C);
+  if (G == 0)
+    return Bound >= 0;
+  if (G > 1) {
+    for (int64_t &C : Coeffs)
+      C /= G;
+    Bound = floorDiv(Bound, G);
+  }
+  return true;
+}
+
+bool LinearSystem::satisfiedBy(const std::vector<int64_t> &Point) const {
+  for (const LinearConstraint &C : Constraints)
+    if (!C.satisfiedBy(Point))
+      return false;
+  return true;
+}
+
+bool LinearSystem::substitute(unsigned Var, int64_t Value) {
+  assert(Var < NumVars && "variable out of range");
+  for (LinearConstraint &C : Constraints) {
+    if (C.Coeffs[Var] == 0)
+      continue;
+    // coeff*Value moves to the bound side.
+    CheckedInt NewBound = CheckedInt(C.Bound) -
+                          CheckedInt(C.Coeffs[Var]) * Value;
+    if (!NewBound.valid())
+      return false;
+    C.Bound = NewBound.get();
+    C.Coeffs[Var] = 0;
+  }
+  return true;
+}
+
+std::string LinearSystem::str() const {
+  std::string Out =
+      "system over " + std::to_string(NumVars) + " vars\n";
+  for (const LinearConstraint &C : Constraints) {
+    Out += "  ";
+    bool First = true;
+    for (unsigned K = 0; K < C.Coeffs.size(); ++K) {
+      if (C.Coeffs[K] == 0)
+        continue;
+      if (!First)
+        Out += C.Coeffs[K] < 0 ? " - " : " + ";
+      else if (C.Coeffs[K] < 0)
+        Out += "-";
+      First = false;
+      int64_t Mag = C.Coeffs[K] < 0 ? -C.Coeffs[K] : C.Coeffs[K];
+      if (Mag != 1)
+        Out += std::to_string(Mag) + "*";
+      Out += "t" + std::to_string(K);
+    }
+    if (First)
+      Out += "0";
+    Out += " <= " + std::to_string(C.Bound) + "\n";
+  }
+  return Out;
+}

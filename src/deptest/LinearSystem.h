@@ -1,0 +1,101 @@
+//===- deptest/LinearSystem.h - Inequality systems over t ------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// After extended-GCD preprocessing all the tests work on one shape of
+/// input (a deliberate property the paper calls out in section 7): a
+/// conjunction of integer linear inequalities  sum_k C_k * t_k <= B  over
+/// the free variables t left by the GCD substitution. LinearSystem is
+/// that conjunction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_DEPTEST_LINEARSYSTEM_H
+#define EDDA_DEPTEST_LINEARSYSTEM_H
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace edda {
+
+/// One inequality: sum_k Coeffs[k] * t_k <= Bound. Coeffs is dense with
+/// exactly the system's variable count.
+struct LinearConstraint {
+  std::vector<int64_t> Coeffs;
+  int64_t Bound = 0;
+
+  LinearConstraint() = default;
+  LinearConstraint(std::vector<int64_t> Coeffs, int64_t Bound)
+      : Coeffs(std::move(Coeffs)), Bound(Bound) {}
+
+  /// Number of variables with nonzero coefficient.
+  unsigned numActiveVars() const;
+
+  /// Index of the single active variable. \pre numActiveVars() == 1.
+  unsigned soleVar() const;
+
+  /// Evaluates the left-hand side at \p Point; std::nullopt on overflow.
+  std::optional<int64_t> lhsAt(const std::vector<int64_t> &Point) const;
+
+  /// True when \p Point satisfies the constraint (overflow counts as
+  /// unsatisfied).
+  bool satisfiedBy(const std::vector<int64_t> &Point) const;
+
+  /// Divides through by the gcd of the coefficients, flooring the bound —
+  /// valid (and tightening) over the integers. No-op for constant
+  /// constraints. Returns false when the constraint is a constant
+  /// falsehood 0 <= Bound with Bound < 0.
+  bool normalize();
+
+  bool operator==(const LinearConstraint &RHS) const = default;
+};
+
+/// A conjunction of linear constraints over NumVars integer unknowns.
+class LinearSystem {
+public:
+  explicit LinearSystem(unsigned NumVars) : NumVars(NumVars) {}
+
+  unsigned numVars() const { return NumVars; }
+
+  const std::vector<LinearConstraint> &constraints() const {
+    return Constraints;
+  }
+  std::vector<LinearConstraint> &constraints() { return Constraints; }
+
+  /// Appends a constraint. \pre Coeffs.size() == numVars().
+  void add(LinearConstraint C) {
+    assert(C.Coeffs.size() == NumVars && "constraint arity mismatch");
+    Constraints.push_back(std::move(C));
+  }
+
+  /// Convenience: adds sum Coeffs*t <= Bound.
+  void addLe(std::vector<int64_t> Coeffs, int64_t Bound) {
+    add(LinearConstraint(std::move(Coeffs), Bound));
+  }
+
+  /// True when \p Point satisfies every constraint.
+  bool satisfiedBy(const std::vector<int64_t> &Point) const;
+
+  /// Replaces t_Var with the constant \p Value in every constraint.
+  /// The variable keeps its column (coefficient zeroed). Returns false on
+  /// arithmetic overflow.
+  bool substitute(unsigned Var, int64_t Value);
+
+  /// Debug rendering.
+  std::string str() const;
+
+private:
+  unsigned NumVars;
+  std::vector<LinearConstraint> Constraints;
+};
+
+} // namespace edda
+
+#endif // EDDA_DEPTEST_LINEARSYSTEM_H

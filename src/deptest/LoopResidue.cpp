@@ -1,0 +1,145 @@
+//===- deptest/LoopResidue.cpp - Simple Loop Residue test -----------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deptest/LoopResidue.h"
+
+#include "support/IntMath.h"
+
+#include <algorithm>
+
+using namespace edda;
+
+std::string ResidueGraph::str() const {
+  std::string Out;
+  auto NodeName = [this](unsigned Node) {
+    if (Node + 1 == NumNodes)
+      return std::string("n0");
+    return "t" + std::to_string(Node);
+  };
+  for (const Edge &E : Edges)
+    Out += NodeName(E.From) + " -> " + NodeName(E.To) + "  (" +
+           std::to_string(E.Weight) + ")\n";
+  return Out;
+}
+
+ResidueResult
+edda::runLoopResidue(unsigned NumVars,
+                     const std::vector<LinearConstraint> &MultiVar,
+                     const VarIntervals &Intervals) {
+  ResidueResult Result;
+  ResidueGraph &Graph = Result.Graph;
+  Graph.NumNodes = NumVars + 1;
+  const unsigned N0 = NumVars;
+
+  // Applicability and edge construction: every multi-variable constraint
+  // must be a*ti - a*tj <= c.
+  for (const LinearConstraint &C : MultiVar) {
+    if (C.numActiveVars() != 2)
+      return Result; // NotApplicable
+    unsigned I = 0, J = 0;
+    bool HaveI = false;
+    for (unsigned V = 0; V < C.Coeffs.size(); ++V) {
+      if (C.Coeffs[V] == 0)
+        continue;
+      if (!HaveI) {
+        I = V;
+        HaveI = true;
+      } else {
+        J = V;
+      }
+    }
+    int64_t AI = C.Coeffs[I];
+    int64_t AJ = C.Coeffs[J];
+    std::optional<int64_t> NegAJ = checkedNeg(AJ);
+    if (!NegAJ || AI != *NegAJ)
+      return Result; // coefficients are not +a / -a
+    // Orient so the positive-coefficient variable is the edge source:
+    // a*tFrom - a*tTo <= c  ==>  tFrom <= tTo + floor(c/a).
+    unsigned From = AI > 0 ? I : J;
+    unsigned To = AI > 0 ? J : I;
+    int64_t A = AI > 0 ? AI : AJ;
+    assert(A > 0 && "orientation failed");
+    Graph.Edges.push_back({From, To, floorDiv(C.Bound, A)});
+  }
+
+  // Single-variable intervals attach to n0 (which stands for 0):
+  //   t_v <= Hi  ==>  edge v -> n0 weight Hi
+  //   t_v >= Lo  ==>  edge n0 -> v weight -Lo.
+  for (unsigned V = 0; V < NumVars; ++V) {
+    if (Intervals.Hi[V])
+      Graph.Edges.push_back({V, N0, *Intervals.Hi[V]});
+    if (Intervals.Lo[V]) {
+      std::optional<int64_t> W = checkedNeg(*Intervals.Lo[V]);
+      if (!W) {
+        Result.St = ResidueResult::Status::Overflow;
+        return Result;
+      }
+      Graph.Edges.push_back({N0, V, *W});
+    }
+  }
+
+  // Bellman-Ford from a virtual source connected to every node with
+  // weight 0 (equivalently: all distances start at 0). A relaxation that
+  // still fires on pass NumNodes proves a negative cycle.
+  const unsigned NumNodes = Graph.NumNodes;
+  std::vector<int64_t> Dist(NumNodes, 0);
+  std::vector<int> Pred(NumNodes, -1);
+  int CycleEntry = -1;
+  for (unsigned Pass = 0; Pass < NumNodes; ++Pass) {
+    bool Any = false;
+    for (const ResidueGraph::Edge &E : Graph.Edges) {
+      std::optional<int64_t> Candidate = checkedAdd(Dist[E.From], E.Weight);
+      if (!Candidate) {
+        Result.St = ResidueResult::Status::Overflow;
+        return Result;
+      }
+      if (*Candidate < Dist[E.To]) {
+        Dist[E.To] = *Candidate;
+        Pred[E.To] = static_cast<int>(E.From);
+        Any = true;
+        if (Pass + 1 == NumNodes)
+          CycleEntry = static_cast<int>(E.To);
+      }
+    }
+    if (!Any)
+      break;
+  }
+
+  if (CycleEntry >= 0) {
+    // Walk predecessors NumNodes times to guarantee landing inside the
+    // cycle, then collect it.
+    unsigned Node = static_cast<unsigned>(CycleEntry);
+    for (unsigned I = 0; I < NumNodes; ++I)
+      Node = static_cast<unsigned>(Pred[Node]);
+    std::vector<unsigned> Cycle;
+    unsigned Cursor = Node;
+    do {
+      Cycle.push_back(Cursor);
+      Cursor = static_cast<unsigned>(Pred[Cursor]);
+    } while (Cursor != Node);
+    Cycle.push_back(Node);
+    std::reverse(Cycle.begin(), Cycle.end());
+    Result.St = ResidueResult::Status::Independent;
+    Result.NegativeCycle = std::move(Cycle);
+    return Result;
+  }
+
+  // Feasible: potentials give an integral witness. t_u <= t_w + W holds
+  // for t_v = Dist[n0] - Dist[v], normalized so that n0 maps to 0.
+  std::vector<int64_t> Sample(NumVars);
+  for (unsigned V = 0; V < NumVars; ++V) {
+    std::optional<int64_t> Value = checkedSub(Dist[N0], Dist[V]);
+    if (!Value) {
+      Result.St = ResidueResult::Status::Overflow;
+      return Result;
+    }
+    Sample[V] = *Value;
+  }
+  Result.St = ResidueResult::Status::Dependent;
+  Result.Sample = std::move(Sample);
+  return Result;
+}

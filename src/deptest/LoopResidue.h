@@ -1,0 +1,77 @@
+//===- deptest/LoopResidue.h - Simple Loop Residue test --------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pratt's Simple Loop Residue test (paper section 3.4) with the paper's
+/// exact extension to equal-magnitude coefficients: a*ti - a*tj <= c is
+/// rewritten ti - tj <= floor(c/a). Single-variable bounds attach to the
+/// distinguished node n0 (whose value is 0). A negative cycle in the
+/// residue graph is the residue of a contradictory constraint chain, so
+/// the system is infeasible; otherwise the shortest-path potentials are
+/// an integral witness — difference-constraint systems are totally
+/// unimodular, which is what makes this test exact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_DEPTEST_LOOPRESIDUE_H
+#define EDDA_DEPTEST_LOOPRESIDUE_H
+
+#include "deptest/Svpc.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace edda {
+
+/// The residue graph: node v per variable plus the distinguished node n0
+/// (index numVars). Edge u -> w with weight W encodes t_u <= t_w + W.
+struct ResidueGraph {
+  struct Edge {
+    unsigned From;
+    unsigned To;
+    int64_t Weight;
+  };
+  unsigned NumNodes = 0; ///< Variables + 1 (n0 is node NumNodes - 1).
+  std::vector<Edge> Edges;
+
+  /// The cycle found by detection, as node ids, when one exists.
+  std::string str() const;
+};
+
+/// Outcome of the Loop Residue test.
+struct ResidueResult {
+  enum class Status {
+    NotApplicable, ///< Some constraint is not a difference constraint.
+    Independent,   ///< Negative cycle: exact.
+    Dependent,     ///< No negative cycle: exact, with a witness.
+    Overflow,      ///< Arithmetic gave up; fall back to Fourier-Motzkin.
+  };
+
+  Status St = Status::NotApplicable;
+  /// Witness assignment (size numVars) when Dependent.
+  std::optional<std::vector<int64_t>> Sample;
+  /// A negative cycle (sequence of node ids, first == last) when
+  /// Independent, for diagnostics and the Figure 1 reproduction.
+  std::vector<unsigned> NegativeCycle;
+  /// The graph that was built (for diagnostics), valid unless
+  /// NotApplicable was decided before construction finished.
+  ResidueGraph Graph;
+};
+
+/// Runs the Loop Residue test on the multi-variable constraints \p
+/// MultiVar plus the single-variable \p Intervals over \p NumVars
+/// variables. Applicable iff every multi-variable constraint has exactly
+/// two active variables with coefficients +a and -a.
+ResidueResult runLoopResidue(unsigned NumVars,
+                             const std::vector<LinearConstraint> &MultiVar,
+                             const VarIntervals &Intervals);
+
+} // namespace edda
+
+#endif // EDDA_DEPTEST_LOOPRESIDUE_H

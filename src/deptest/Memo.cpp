@@ -1,0 +1,377 @@
+//===- deptest/Memo.cpp - Memoization of dependence tests -----------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deptest/Memo.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <fstream>
+
+using namespace edda;
+
+size_t DependenceCache::KeyHash::operator()(
+    const std::vector<int64_t> &Key) const {
+  uint64_t H = Kind == MemoHashKind::PaperLiteral ? paperHash(Key)
+                                                  : hashVector(Key);
+  return static_cast<size_t>(H);
+}
+
+void DependenceCache::ensureTables() {
+  if (TablesInitialized)
+    return;
+  TablesInitialized = true;
+  Full = std::unordered_map<Key, CascadeResult, KeyHash>(
+      16, KeyHash{Opts.Hash});
+  Directions = std::unordered_map<Key, DirectionResult, KeyHash>(
+      16, KeyHash{Opts.Hash});
+  Gcd = std::unordered_map<Key, bool, KeyHash>(16, KeyHash{Opts.Hash});
+}
+
+std::vector<int64_t>
+DependenceCache::keyFor(const DependenceProblem &P, bool IncludeBounds,
+                        bool &Swapped) const {
+  Swapped = false;
+  const DependenceProblem *Work = &P;
+  DependenceProblem Reduced;
+  if (Opts.ImprovedKey) {
+    std::vector<std::optional<unsigned>> CommonMap;
+    Reduced = P.withUnusedLoopsRemoved(CommonMap);
+    Work = &Reduced;
+  }
+  DependenceProblem Sorted;
+  if (Opts.CanonicalizeEquations) {
+    Sorted = *Work;
+    std::sort(Sorted.Equations.begin(), Sorted.Equations.end(),
+              [](const XAffine &A, const XAffine &B) {
+                if (A.Coeffs != B.Coeffs)
+                  return A.Coeffs < B.Coeffs;
+                return A.Const < B.Const;
+              });
+    Work = &Sorted;
+  }
+  std::vector<int64_t> Key = Work->serialize(IncludeBounds);
+  if (Opts.SymmetricKey) {
+    DependenceProblem SwappedProblem = Work->swapped();
+    if (Opts.CanonicalizeEquations)
+      std::sort(SwappedProblem.Equations.begin(),
+                SwappedProblem.Equations.end(),
+                [](const XAffine &A, const XAffine &B) {
+                  if (A.Coeffs != B.Coeffs)
+                    return A.Coeffs < B.Coeffs;
+                  return A.Const < B.Const;
+                });
+    std::vector<int64_t> SwappedKey =
+        SwappedProblem.serialize(IncludeBounds);
+    if (SwappedKey < Key) {
+      Key = std::move(SwappedKey);
+      Swapped = true;
+    }
+  }
+  return Key;
+}
+
+std::optional<CascadeResult>
+DependenceCache::lookupFull(const DependenceProblem &P) {
+  ensureTables();
+  ++FullQueries;
+  bool Swapped;
+  Key K = keyFor(P, /*IncludeBounds=*/true, Swapped);
+  auto It = Full.find(K);
+  if (It == Full.end())
+    return std::nullopt;
+  ++FullHits;
+  CascadeResult R = It->second;
+  if (Swapped && R.Witness)
+    R.Witness = swapWitness(*R.Witness, P.NumLoopsB, P.NumLoopsA);
+  return R;
+}
+
+void DependenceCache::insertFull(const DependenceProblem &P,
+                                 const CascadeResult &R) {
+  ensureTables();
+  bool Swapped;
+  Key K = keyFor(P, /*IncludeBounds=*/true, Swapped);
+  CascadeResult Stored = R;
+  if (Swapped && Stored.Witness)
+    Stored.Witness = swapWitness(*Stored.Witness, P.NumLoopsA,
+                                 P.NumLoopsB);
+  // Improved-key witnesses live in the reduced x space; dropping them is
+  // simpler than remembering the removal map and stays correct (the
+  // qualitative answer is what the cache is for).
+  if (Opts.ImprovedKey)
+    Stored.Witness.reset();
+  Full.emplace(std::move(K), std::move(Stored));
+}
+
+std::optional<DirectionResult>
+DependenceCache::lookupDirections(const DependenceProblem &P) {
+  ensureTables();
+  bool Swapped;
+  Key K = keyFor(P, /*IncludeBounds=*/true, Swapped);
+  auto It = Directions.find(K);
+  if (It == Directions.end())
+    return std::nullopt;
+  DirectionResult R = It->second;
+  if (Swapped)
+    R = reverseDirections(R);
+  if (!Opts.ImprovedKey)
+    return R;
+  // Improved-key entries are stored in the reduced problem's common-loop
+  // coordinates; expand to this caller's loops, '*' for removed ones.
+  std::vector<std::optional<unsigned>> CommonMap;
+  (void)P.withUnusedLoopsRemoved(CommonMap);
+  DirectionResult Expanded = R;
+  Expanded.Distances.assign(P.NumCommon, std::nullopt);
+  Expanded.Vectors.clear();
+  for (unsigned C = 0; C < P.NumCommon; ++C)
+    if (CommonMap[C] && *CommonMap[C] < R.Distances.size())
+      Expanded.Distances[C] = R.Distances[*CommonMap[C]];
+  for (const DirVector &V : R.Vectors) {
+    DirVector Mapped(P.NumCommon, Dir::Any);
+    for (unsigned C = 0; C < P.NumCommon; ++C)
+      if (CommonMap[C] && *CommonMap[C] < V.size())
+        Mapped[C] = V[*CommonMap[C]];
+    Expanded.Vectors.push_back(std::move(Mapped));
+  }
+  return Expanded;
+}
+
+void DependenceCache::insertDirections(const DependenceProblem &P,
+                                       const DirectionResult &R) {
+  ensureTables();
+  bool Swapped;
+  Key K = keyFor(P, /*IncludeBounds=*/true, Swapped);
+  DirectionResult Stored = R;
+  if (Opts.ImprovedKey) {
+    // Shrink to the reduced problem's coordinates so entries are
+    // independent of the surrounding unused loops.
+    std::vector<std::optional<unsigned>> CommonMap;
+    DependenceProblem Reduced = P.withUnusedLoopsRemoved(CommonMap);
+    DirectionResult Shrunk = R;
+    Shrunk.Distances.assign(Reduced.NumCommon, std::nullopt);
+    Shrunk.Vectors.clear();
+    for (unsigned C = 0; C < P.NumCommon; ++C)
+      if (CommonMap[C] && C < R.Distances.size())
+        Shrunk.Distances[*CommonMap[C]] = R.Distances[C];
+    for (const DirVector &V : R.Vectors) {
+      DirVector Small(Reduced.NumCommon, Dir::Any);
+      for (unsigned C = 0; C < P.NumCommon; ++C)
+        if (CommonMap[C] && C < V.size())
+          Small[*CommonMap[C]] = V[C];
+      Shrunk.Vectors.push_back(std::move(Small));
+    }
+    Stored = std::move(Shrunk);
+  }
+  if (Swapped)
+    Stored = reverseDirections(Stored);
+  Directions.emplace(std::move(K), std::move(Stored));
+}
+
+std::optional<bool>
+DependenceCache::lookupGcdSolvable(const DependenceProblem &P) {
+  ensureTables();
+  ++GcdQueries;
+  bool Swapped;
+  Key K = keyFor(P, /*IncludeBounds=*/false, Swapped);
+  auto It = Gcd.find(K);
+  if (It == Gcd.end())
+    return std::nullopt;
+  ++GcdHits;
+  return It->second;
+}
+
+void DependenceCache::insertGcdSolvable(const DependenceProblem &P,
+                                        bool Solvable) {
+  ensureTables();
+  bool Swapped;
+  Key K = keyFor(P, /*IncludeBounds=*/false, Swapped);
+  Gcd.emplace(std::move(K), Solvable);
+}
+
+void DependenceCache::clear() {
+  Full.clear();
+  Directions.clear();
+  Gcd.clear();
+  FullQueries = FullHits = GcdQueries = GcdHits = 0;
+}
+
+DirectionResult edda::reverseDirections(const DirectionResult &R) {
+  DirectionResult Out = R;
+  for (DirVector &V : Out.Vectors)
+    for (Dir &D : V) {
+      if (D == Dir::Less)
+        D = Dir::Greater;
+      else if (D == Dir::Greater)
+        D = Dir::Less;
+    }
+  for (std::optional<int64_t> &Dist : Out.Distances)
+    if (Dist)
+      *Dist = -*Dist;
+  return Out;
+}
+
+std::vector<int64_t> edda::swapWitness(const std::vector<int64_t> &X,
+                                       unsigned NumLoopsA,
+                                       unsigned NumLoopsB) {
+  // Input layout [A|B|sym] with |A| = NumLoopsA; output [B|A|sym].
+  std::vector<int64_t> Out;
+  Out.reserve(X.size());
+  Out.insert(Out.end(), X.begin() + NumLoopsA,
+             X.begin() + NumLoopsA + NumLoopsB);
+  Out.insert(Out.end(), X.begin(), X.begin() + NumLoopsA);
+  Out.insert(Out.end(), X.begin() + NumLoopsA + NumLoopsB, X.end());
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Persistence
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void writeVector(std::ofstream &Out, const std::vector<int64_t> &V) {
+  Out << V.size();
+  for (int64_t X : V)
+    Out << " " << X;
+  Out << "\n";
+}
+
+bool readVector(std::ifstream &In, std::vector<int64_t> &V) {
+  size_t Size;
+  if (!(In >> Size) || Size > (1u << 20))
+    return false;
+  V.resize(Size);
+  for (size_t I = 0; I < Size; ++I)
+    if (!(In >> V[I]))
+      return false;
+  return true;
+}
+
+} // namespace
+
+bool DependenceCache::saveToFile(const std::string &Path) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << "edda-depcache 2\n";
+  Out << Full.size() << "\n";
+  for (const auto &[K, R] : Full) {
+    writeVector(Out, K);
+    Out << static_cast<int>(R.Answer) << " "
+        << static_cast<int>(R.DecidedBy) << " " << (R.Exact ? 1 : 0)
+        << "\n";
+  }
+  Out << Directions.size() << "\n";
+  for (const auto &[K, R] : Directions) {
+    writeVector(Out, K);
+    Out << static_cast<int>(R.RootAnswer) << " "
+        << static_cast<int>(R.RootDecidedBy) << " " << (R.Exact ? 1 : 0)
+        << " " << R.Vectors.size() << " " << R.Distances.size() << "\n";
+    for (const DirVector &V : R.Vectors) {
+      Out << V.size();
+      for (Dir D : V)
+        Out << " " << static_cast<int>(D);
+      Out << "\n";
+    }
+    for (const std::optional<int64_t> &Dist : R.Distances) {
+      if (Dist)
+        Out << "d " << *Dist << "\n";
+      else
+        Out << "u\n";
+    }
+  }
+  Out << Gcd.size() << "\n";
+  for (const auto &[K, Solvable] : Gcd) {
+    writeVector(Out, K);
+    Out << (Solvable ? 1 : 0) << "\n";
+  }
+  return static_cast<bool>(Out);
+}
+
+bool DependenceCache::loadFromFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::string Magic;
+  int Version;
+  if (!(In >> Magic >> Version) || Magic != "edda-depcache" ||
+      Version != 2)
+    return false;
+  ensureTables();
+
+  size_t Count;
+  if (!(In >> Count))
+    return false;
+  for (size_t I = 0; I < Count; ++I) {
+    Key K;
+    int Answer, DecidedBy, Exact;
+    if (!readVector(In, K) || !(In >> Answer >> DecidedBy >> Exact))
+      return false;
+    CascadeResult R;
+    R.Answer = static_cast<DepAnswer>(Answer);
+    R.DecidedBy = static_cast<TestKind>(DecidedBy);
+    R.Exact = Exact != 0;
+    Full.emplace(std::move(K), std::move(R));
+  }
+
+  if (!(In >> Count))
+    return false;
+  for (size_t I = 0; I < Count; ++I) {
+    Key K;
+    int Root, RootBy, Exact;
+    size_t NumVectors, NumDistances;
+    if (!readVector(In, K) ||
+        !(In >> Root >> RootBy >> Exact >> NumVectors >> NumDistances) ||
+        NumVectors > (1u << 20) || NumDistances > (1u << 10))
+      return false;
+    DirectionResult R;
+    R.RootAnswer = static_cast<DepAnswer>(Root);
+    R.RootDecidedBy = static_cast<TestKind>(RootBy);
+    R.Exact = Exact != 0;
+    for (size_t V = 0; V < NumVectors; ++V) {
+      size_t Len;
+      if (!(In >> Len) || Len > (1u << 10))
+        return false;
+      DirVector Vec(Len);
+      for (size_t D = 0; D < Len; ++D) {
+        int Raw;
+        if (!(In >> Raw))
+          return false;
+        Vec[D] = static_cast<Dir>(Raw);
+      }
+      R.Vectors.push_back(std::move(Vec));
+    }
+    for (size_t D = 0; D < NumDistances; ++D) {
+      std::string Tag;
+      if (!(In >> Tag))
+        return false;
+      if (Tag == "d") {
+        int64_t Value;
+        if (!(In >> Value))
+          return false;
+        R.Distances.push_back(Value);
+      } else if (Tag == "u") {
+        R.Distances.push_back(std::nullopt);
+      } else {
+        return false;
+      }
+    }
+    Directions.emplace(std::move(K), std::move(R));
+  }
+
+  if (!(In >> Count))
+    return false;
+  for (size_t I = 0; I < Count; ++I) {
+    Key K;
+    int Solvable;
+    if (!readVector(In, K) || !(In >> Solvable))
+      return false;
+    Gcd.emplace(std::move(K), Solvable != 0);
+  }
+  return true;
+}

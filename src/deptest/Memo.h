@@ -1,0 +1,136 @@
+//===- deptest/Memo.h - Memoization of dependence tests --------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memoization of dependence tests (paper section 5). Real programs ask
+/// the same small set of questions over and over, so results are cached
+/// in two hash tables: one keyed without loop bounds (the extended GCD
+/// test ignores bounds) and one keyed with them (full answers and
+/// direction vectors). The paper's "simple" scheme keys the problem
+/// verbatim; the "improved" scheme first removes unused loop variables,
+/// merging problems that differ only in irrelevant surrounding loops.
+/// Extensions the paper sketches are implemented behind options:
+/// symmetric-pair canonicalization and cross-compilation persistence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_DEPTEST_MEMO_H
+#define EDDA_DEPTEST_MEMO_H
+
+#include "deptest/Cascade.h"
+#include "deptest/Direction.h"
+#include "deptest/Problem.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace edda {
+
+/// Which hash function drives the tables (the bench compares collision
+/// behaviour; results are identical).
+enum class MemoHashKind {
+  Mixing,       ///< splitmix-based mixer (default).
+  PaperLiteral, ///< h(x) = size(x) + sum 2^i x_i, as published.
+};
+
+/// Memoization scheme configuration.
+struct MemoOptions {
+  /// Remove unused loop variables before keying (the paper's improved
+  /// scheme).
+  bool ImprovedKey = true;
+  /// Canonicalize (A,B) and (B,A) to one key (extension sketched in
+  /// section 5: "comparing a[i] to a[i-1] is the same as comparing
+  /// a[i-1] to a[i]").
+  bool SymmetricKey = false;
+  /// Sort the subscript equations before keying, merging problems that
+  /// differ only in array-dimension order (the section 5 note that
+  /// "a[i][j] versus a[i+1][j+1] is equivalent to a[j][i] versus
+  /// a[j+1][i+1]"). Sound: the equations are a conjunction.
+  bool CanonicalizeEquations = false;
+  MemoHashKind Hash = MemoHashKind::Mixing;
+};
+
+/// The two-table dependence cache.
+class DependenceCache {
+public:
+  explicit DependenceCache(MemoOptions Opts = {}) : Opts(Opts) {}
+
+  const MemoOptions &options() const { return Opts; }
+
+  /// Full-answer table (bounds included in the key).
+  std::optional<CascadeResult> lookupFull(const DependenceProblem &P);
+  void insertFull(const DependenceProblem &P, const CascadeResult &R);
+
+  /// Direction-vector table (bounds included in the key).
+  std::optional<DirectionResult>
+  lookupDirections(const DependenceProblem &P);
+  void insertDirections(const DependenceProblem &P,
+                        const DirectionResult &R);
+
+  /// GCD-solvability table (bounds excluded from the key).
+  std::optional<bool> lookupGcdSolvable(const DependenceProblem &P);
+  void insertGcdSolvable(const DependenceProblem &P, bool Solvable);
+
+  /// Accounting for the Table 2 reproduction.
+  uint64_t fullQueries() const { return FullQueries; }
+  uint64_t fullHits() const { return FullHits; }
+  uint64_t uniqueFull() const { return Full.size(); }
+  uint64_t uniqueDirections() const { return Directions.size(); }
+  uint64_t gcdQueries() const { return GcdQueries; }
+  uint64_t gcdHits() const { return GcdHits; }
+  uint64_t uniqueNoBounds() const { return Gcd.size(); }
+
+  /// The key a problem maps to (exposed so benches can study hash
+  /// collision behaviour directly).
+  std::vector<int64_t> keyFor(const DependenceProblem &P,
+                              bool IncludeBounds, bool &Swapped) const;
+
+  /// Persistence across compilations (extension, paper section 5):
+  /// writes/reads the full-answer and direction tables (witnesses are
+  /// not persisted). Returns false on I/O or format errors.
+  bool saveToFile(const std::string &Path) const;
+  bool loadFromFile(const std::string &Path);
+
+  void clear();
+
+private:
+  struct KeyHash {
+    MemoHashKind Kind;
+    size_t operator()(const std::vector<int64_t> &Key) const;
+  };
+  using Key = std::vector<int64_t>;
+
+  MemoOptions Opts;
+  std::unordered_map<Key, CascadeResult, KeyHash> Full{
+      0, KeyHash{MemoHashKind::Mixing}};
+  std::unordered_map<Key, DirectionResult, KeyHash> Directions{
+      0, KeyHash{MemoHashKind::Mixing}};
+  std::unordered_map<Key, bool, KeyHash> Gcd{
+      0, KeyHash{MemoHashKind::Mixing}};
+  bool TablesInitialized = false;
+  uint64_t FullQueries = 0;
+  uint64_t FullHits = 0;
+  uint64_t GcdQueries = 0;
+  uint64_t GcdHits = 0;
+
+  void ensureTables();
+};
+
+/// Reverses a direction result between (A,B) and (B,A): '<' and '>'
+/// exchange and distances negate. Used by the symmetric key scheme.
+DirectionResult reverseDirections(const DirectionResult &R);
+
+/// Remaps a witness between (A,B) and (B,A) x layouts.
+std::vector<int64_t> swapWitness(const std::vector<int64_t> &X,
+                                 unsigned NumLoopsA, unsigned NumLoopsB);
+
+} // namespace edda
+
+#endif // EDDA_DEPTEST_MEMO_H

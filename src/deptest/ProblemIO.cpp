@@ -1,0 +1,188 @@
+//===- deptest/ProblemIO.cpp - Textual dependence problems ----------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deptest/ProblemIO.h"
+
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+using namespace edda;
+
+namespace {
+
+/// Splits a line into whitespace-separated tokens, dropping '#'
+/// comments.
+std::vector<std::string> tokenize(const std::string &Line) {
+  std::vector<std::string> Tokens;
+  std::istringstream In(Line);
+  std::string Token;
+  while (In >> Token) {
+    if (!Token.empty() && Token[0] == '#')
+      break;
+    Tokens.push_back(Token);
+  }
+  return Tokens;
+}
+
+bool parseInt(const std::string &Token, int64_t &Out) {
+  const char *Begin = Token.data();
+  const char *End = Begin + Token.size();
+  auto [Ptr, Ec] = std::from_chars(Begin, End, Out);
+  return Ec == std::errc() && Ptr == End;
+}
+
+} // namespace
+
+ProblemParseResult edda::parseProblemText(std::string_view Text) {
+  ProblemParseResult Result;
+  auto Fail = [&Result](unsigned LineNo, const std::string &Message) {
+    Result.Problem.reset();
+    Result.Error =
+        "line " + std::to_string(LineNo) + ": " + Message;
+    return Result;
+  };
+
+  std::istringstream In{std::string(Text)};
+  std::string Line;
+  unsigned LineNo = 0;
+  bool SawProblem = false, SawHeader = false, SawEnd = false;
+  DependenceProblem P;
+
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    std::vector<std::string> Tokens = tokenize(Line);
+    if (Tokens.empty())
+      continue;
+    if (SawEnd)
+      return Fail(LineNo, "content after 'end'");
+    const std::string &Kind = Tokens[0];
+
+    if (!SawProblem) {
+      if (Kind != "problem")
+        return Fail(LineNo, "expected 'problem'");
+      SawProblem = true;
+      continue;
+    }
+    if (Kind == "end") {
+      SawEnd = true;
+      continue;
+    }
+    if (Kind == "loops") {
+      // loops <nA> <nB> common <c> symbolic <s>
+      int64_t NA, NB, Common, Symbolic;
+      if (Tokens.size() != 7 || Tokens[3] != "common" ||
+          Tokens[5] != "symbolic" || !parseInt(Tokens[1], NA) ||
+          !parseInt(Tokens[2], NB) || !parseInt(Tokens[4], Common) ||
+          !parseInt(Tokens[6], Symbolic) || NA < 0 || NB < 0 ||
+          Common < 0 || Symbolic < 0 || NA > 16 || NB > 16 ||
+          Symbolic > 16)
+        return Fail(LineNo,
+                    "expected 'loops nA nB common c symbolic s'");
+      if (Common > NA || Common > NB)
+        return Fail(LineNo, "more common loops than loops");
+      P.NumLoopsA = static_cast<unsigned>(NA);
+      P.NumLoopsB = static_cast<unsigned>(NB);
+      P.NumCommon = static_cast<unsigned>(Common);
+      P.NumSymbolic = static_cast<unsigned>(Symbolic);
+      P.Lo.assign(P.numLoopVars(), std::nullopt);
+      P.Hi.assign(P.numLoopVars(), std::nullopt);
+      SawHeader = true;
+      continue;
+    }
+    if (!SawHeader)
+      return Fail(LineNo, "'loops' header must come first");
+
+    if (Kind == "eq") {
+      // eq c0 .. c{numX-1} = const
+      if (Tokens.size() != P.numX() + 3 ||
+          Tokens[P.numX() + 1] != "=")
+        return Fail(LineNo, "expected 'eq <" +
+                                std::to_string(P.numX()) +
+                                " coeffs> = const'");
+      XAffine Eq(P.numX());
+      for (unsigned J = 0; J < P.numX(); ++J)
+        if (!parseInt(Tokens[1 + J], Eq.Coeffs[J]))
+          return Fail(LineNo, "bad coefficient '" + Tokens[1 + J] +
+                                  "'");
+      if (!parseInt(Tokens[P.numX() + 2], Eq.Const))
+        return Fail(LineNo, "bad constant");
+      P.Equations.push_back(std::move(Eq));
+      continue;
+    }
+    if (Kind == "lo" || Kind == "hi") {
+      // lo <var> : c           (constant bound)
+      // lo <var> c0 .. : c     (affine bound)
+      if (Tokens.size() < 4)
+        return Fail(LineNo, "bound line too short");
+      int64_t Var;
+      if (!parseInt(Tokens[1], Var) || Var < 0 ||
+          Var >= static_cast<int64_t>(P.numLoopVars()))
+        return Fail(LineNo, "bad loop variable index");
+      XAffine Form(P.numX());
+      size_t ColonIdx;
+      if (Tokens[2] == ":") {
+        ColonIdx = 2;
+      } else {
+        if (Tokens.size() != P.numX() + 4 ||
+            Tokens[P.numX() + 2] != ":")
+          return Fail(LineNo, "expected ':' before the constant");
+        for (unsigned J = 0; J < P.numX(); ++J)
+          if (!parseInt(Tokens[2 + J], Form.Coeffs[J]))
+            return Fail(LineNo, "bad coefficient");
+        ColonIdx = P.numX() + 2;
+      }
+      if (ColonIdx + 2 != Tokens.size() ||
+          !parseInt(Tokens[ColonIdx + 1], Form.Const))
+        return Fail(LineNo, "bad bound constant");
+      if (Kind == "lo")
+        P.Lo[static_cast<unsigned>(Var)] = std::move(Form);
+      else
+        P.Hi[static_cast<unsigned>(Var)] = std::move(Form);
+      continue;
+    }
+    return Fail(LineNo, "unknown directive '" + Kind + "'");
+  }
+
+  if (!SawProblem || !SawHeader)
+    return Fail(LineNo, "missing 'problem'/'loops' header");
+  if (!SawEnd)
+    return Fail(LineNo, "missing 'end'");
+  if (!P.wellFormed())
+    return Fail(LineNo, "malformed problem");
+  Result.Problem = std::move(P);
+  return Result;
+}
+
+std::string edda::printProblemText(const DependenceProblem &P) {
+  std::string Out = "problem\n";
+  Out += "  loops " + std::to_string(P.NumLoopsA) + " " +
+         std::to_string(P.NumLoopsB) + " common " +
+         std::to_string(P.NumCommon) + " symbolic " +
+         std::to_string(P.NumSymbolic) + "\n";
+  for (const XAffine &Eq : P.Equations) {
+    Out += "  eq";
+    for (int64_t C : Eq.Coeffs)
+      Out += " " + std::to_string(C);
+    Out += " = " + std::to_string(Eq.Const) + "\n";
+  }
+  for (unsigned L = 0; L < P.numLoopVars(); ++L) {
+    for (const char *Which : {"lo", "hi"}) {
+      const std::optional<XAffine> &B =
+          Which[0] == 'l' ? P.Lo[L] : P.Hi[L];
+      if (!B)
+        continue;
+      Out += std::string("  ") + Which + " " + std::to_string(L);
+      if (!B->isConstant())
+        for (int64_t C : B->Coeffs)
+          Out += " " + std::to_string(C);
+      Out += " : " + std::to_string(B->Const) + "\n";
+    }
+  }
+  Out += "end\n";
+  return Out;
+}

@@ -1,0 +1,60 @@
+//===- deptest/ProblemIO.h - Textual dependence problems -------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small textual format for DependenceProblem values, so the decision
+/// procedures can be driven without the compiler layers (edda-cli
+/// --problem, regression corpora, bug reports). Example:
+///
+/// \code
+///   # a[i+10] = a[i] over i = 1..10
+///   problem
+///     loops 1 1 common 1 symbolic 0
+///     eq   1 -1 = -10
+///     lo 0 : 1
+///     hi 0 : 10
+///     lo 1 : 1
+///     hi 1 : 10
+///   end
+/// \endcode
+///
+/// `eq` lines give the numX coefficients and the constant of one
+/// equation (form + const == 0, written after '='). `lo`/`hi` lines
+/// give a loop variable index, then either `: c` for a constant bound
+/// or the numX coefficients and `: c` for an affine one. Omitted bounds
+/// are unknown. '#' starts a comment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_DEPTEST_PROBLEMIO_H
+#define EDDA_DEPTEST_PROBLEMIO_H
+
+#include "deptest/Problem.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace edda {
+
+/// Outcome of parsing a problem file.
+struct ProblemParseResult {
+  std::optional<DependenceProblem> Problem;
+  std::string Error; ///< Set when Problem is empty.
+
+  bool succeeded() const { return Problem.has_value(); }
+};
+
+/// Parses the textual format described in the file comment.
+ProblemParseResult parseProblemText(std::string_view Text);
+
+/// Renders \p P in the same format (parseProblemText round-trips it).
+std::string printProblemText(const DependenceProblem &P);
+
+} // namespace edda
+
+#endif // EDDA_DEPTEST_PROBLEMIO_H

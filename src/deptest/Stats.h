@@ -1,0 +1,79 @@
+//===- deptest/Stats.h - Dependence test statistics ------------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters underlying the paper's Tables 1-5 and 7: how often each test
+/// in the cascade decides a problem, how often each returns independent,
+/// and how much the memoization tables absorb.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_DEPTEST_STATS_H
+#define EDDA_DEPTEST_STATS_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace edda {
+
+/// Which mechanism decided a dependence question. Order matches the
+/// cascade (and the columns of the paper's Table 1).
+enum class TestKind {
+  ArrayConstant,  ///< All-constant subscripts: no dependence testing.
+  GcdTest,        ///< Extended GCD proved independence.
+  Svpc,           ///< Single Variable Per Constraint test.
+  Acyclic,        ///< Acyclic test.
+  LoopResidue,    ///< Simple Loop Residue test.
+  FourierMotzkin, ///< Backup Fourier-Motzkin test.
+  Unanalyzable,   ///< Overflow / non-affine input: conservative answer.
+};
+
+constexpr unsigned NumTestKinds = 7;
+
+/// Printable name of a test kind.
+const char *testKindName(TestKind Kind);
+
+/// Aggregated counters for one analysis run.
+struct DepStats {
+  /// Problems decided by each test.
+  std::array<uint64_t, NumTestKinds> Decided{};
+  /// Of those, how many were decided independent (section 7 reports the
+  /// per-test independence rates).
+  std::array<uint64_t, NumTestKinds> DecidedIndependent{};
+
+  /// Memoization accounting (paper section 5 / Table 2).
+  uint64_t Queries = 0;          ///< Dependence questions asked.
+  uint64_t MemoHitsFull = 0;     ///< Served from the with-bounds table.
+  uint64_t MemoHitsNoBounds = 0; ///< GCD outcome served from the
+                                 ///< without-bounds table.
+
+  void recordDecision(TestKind Kind, bool Independent) {
+    ++Decided[static_cast<unsigned>(Kind)];
+    if (Independent)
+      ++DecidedIndependent[static_cast<unsigned>(Kind)];
+  }
+
+  uint64_t decided(TestKind Kind) const {
+    return Decided[static_cast<unsigned>(Kind)];
+  }
+  uint64_t decidedIndependent(TestKind Kind) const {
+    return DecidedIndependent[static_cast<unsigned>(Kind)];
+  }
+
+  /// Total problems decided by any real test (excludes memo hits).
+  uint64_t totalDecided() const;
+
+  DepStats &operator+=(const DepStats &RHS);
+
+  /// Multi-line human-readable dump.
+  std::string str() const;
+};
+
+} // namespace edda
+
+#endif // EDDA_DEPTEST_STATS_H

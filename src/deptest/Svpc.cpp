@@ -1,0 +1,66 @@
+//===- deptest/Svpc.cpp - Single Variable Per Constraint test ------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deptest/Svpc.h"
+
+#include "support/IntMath.h"
+
+using namespace edda;
+
+bool VarIntervals::contradictory() const {
+  for (unsigned V = 0; V < Lo.size(); ++V)
+    if (Lo[V] && Hi[V] && *Lo[V] > *Hi[V])
+      return true;
+  return false;
+}
+
+SvpcResult edda::runSvpc(const LinearSystem &System) {
+  SvpcResult Result;
+  Result.Intervals = VarIntervals(System.numVars());
+
+  for (const LinearConstraint &C : System.constraints()) {
+    unsigned Active = C.numActiveVars();
+    if (Active == 0) {
+      if (C.Bound < 0) {
+        Result.St = SvpcResult::Status::Independent;
+        return Result;
+      }
+      continue; // trivially true
+    }
+    if (Active > 1) {
+      Result.MultiVar.push_back(C);
+      continue;
+    }
+    unsigned V = C.soleVar();
+    int64_t A = C.Coeffs[V];
+    if (A > 0)
+      Result.Intervals.tightenHi(V, floorDiv(C.Bound, A));
+    else
+      Result.Intervals.tightenLo(V, ceilDiv(C.Bound, A));
+  }
+
+  if (Result.Intervals.contradictory()) {
+    Result.St = SvpcResult::Status::Independent;
+    return Result;
+  }
+  if (!Result.MultiVar.empty()) {
+    Result.St = SvpcResult::Status::NeedsMore;
+    return Result;
+  }
+
+  Result.St = SvpcResult::Status::Dependent;
+  std::vector<int64_t> Sample(System.numVars(), 0);
+  for (unsigned V = 0; V < System.numVars(); ++V) {
+    if (Result.Intervals.Lo[V])
+      Sample[V] = *Result.Intervals.Lo[V];
+    else if (Result.Intervals.Hi[V])
+      Sample[V] = *Result.Intervals.Hi[V];
+    // Unconstrained variables stay 0.
+  }
+  Result.Sample = std::move(Sample);
+  return Result;
+}

@@ -1,0 +1,78 @@
+//===- deptest/Svpc.h - Single Variable Per Constraint test ----*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Single Variable Per Constraint test (paper section 3.2). Each
+/// single-variable constraint a*t <= b is an upper bound (a > 0) or a
+/// lower bound (a < 0) on t; intersecting them per variable decides the
+/// system exactly when no constraint involves two or more variables —
+/// and even when some do, the computed intervals seed the Acyclic test
+/// and the residue graph. This test resolves the overwhelming majority
+/// of real dependence problems (paper Table 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_DEPTEST_SVPC_H
+#define EDDA_DEPTEST_SVPC_H
+
+#include "deptest/LinearSystem.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace edda {
+
+/// Per-variable integer intervals accumulated from single-variable
+/// constraints. A missing endpoint means unbounded in that direction.
+struct VarIntervals {
+  std::vector<std::optional<int64_t>> Lo;
+  std::vector<std::optional<int64_t>> Hi;
+
+  explicit VarIntervals(unsigned NumVars)
+      : Lo(NumVars), Hi(NumVars) {}
+
+  /// Tightens Lo[V] to at least \p Value.
+  void tightenLo(unsigned V, int64_t Value) {
+    if (!Lo[V] || *Lo[V] < Value)
+      Lo[V] = Value;
+  }
+  /// Tightens Hi[V] to at most \p Value.
+  void tightenHi(unsigned V, int64_t Value) {
+    if (!Hi[V] || *Hi[V] > Value)
+      Hi[V] = Value;
+  }
+
+  /// True when some variable's interval is empty.
+  bool contradictory() const;
+};
+
+/// Outcome of the SVPC pass.
+struct SvpcResult {
+  enum class Status {
+    Independent, ///< Some interval (or constant constraint) is empty.
+    Dependent,   ///< No multi-variable constraints remained: exact.
+    NeedsMore,   ///< Multi-variable constraints remain; cascade onward.
+  };
+
+  Status St = Status::NeedsMore;
+  /// Intervals from the single-variable constraints (valid except when
+  /// Independent was decided by a constant falsehood).
+  VarIntervals Intervals{0};
+  /// The surviving multi-variable constraints.
+  std::vector<LinearConstraint> MultiVar;
+  /// A witness point when Dependent (every variable set inside its
+  /// interval). Absent if overflow prevented building one.
+  std::optional<std::vector<int64_t>> Sample;
+};
+
+/// Runs the SVPC test over \p System.
+SvpcResult runSvpc(const LinearSystem &System);
+
+} // namespace edda
+
+#endif // EDDA_DEPTEST_SVPC_H

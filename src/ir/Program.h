@@ -1,0 +1,274 @@
+//===- ir/Program.h - LoopLang programs and statements ---------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The LoopLang IR: a program is a symbol table (loop variables, scalar
+/// temporaries, symbolic constants, arrays) plus a statement tree of
+/// counted loops and assignments. This is the normalized nested-loop form
+/// of the paper's section 2: after the prepass optimizer runs, every loop
+/// has step 1 and every analyzed subscript/bound is affine in outer loop
+/// variables and symbolic constants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_IR_PROGRAM_H
+#define EDDA_IR_PROGRAM_H
+
+#include "ir/Expr.h"
+
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace edda {
+
+/// What a named integer variable denotes.
+enum class VarKind {
+  Loop,     ///< A loop induction variable.
+  Scalar,   ///< A mutable scalar temporary (eliminated by the prepass).
+  Symbolic, ///< A loop-invariant unknown ("read n"), paper section 8.
+};
+
+/// Symbol-table entry for an integer variable.
+struct VarInfo {
+  std::string Name;
+  VarKind Kind;
+};
+
+/// Symbol-table entry for an array.
+struct ArrayInfo {
+  std::string Name;
+  /// Declared extent per dimension; 0 means unknown. Extents are only
+  /// used for diagnostics — dependence testing relies on loop bounds.
+  std::vector<int64_t> Extents;
+
+  unsigned rank() const { return static_cast<unsigned>(Extents.size()); }
+};
+
+class Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Discriminator for statements.
+enum class StmtKind {
+  Assign, ///< Scalar or array assignment.
+  Loop,   ///< Counted for-loop.
+};
+
+/// Base class for LoopLang statements. The hierarchy is closed (Assign
+/// and Loop) and discriminated by kind(); no RTTI.
+class Stmt {
+public:
+  virtual ~Stmt();
+
+  StmtKind kind() const { return Kind; }
+
+  /// Deep copy.
+  virtual StmtPtr clone() const = 0;
+
+protected:
+  explicit Stmt(StmtKind K) : Kind(K) {}
+
+private:
+  StmtKind Kind;
+};
+
+/// An assignment. The left-hand side is either a scalar variable or an
+/// array element; the right-hand side is an arbitrary expression that may
+/// contain array reads.
+class AssignStmt : public Stmt {
+public:
+  /// Scalar assignment: var = rhs.
+  AssignStmt(unsigned ScalarVarId, ExprPtr Rhs)
+      : Stmt(StmtKind::Assign), IsArrayLhs(false), LhsId(ScalarVarId),
+        Rhs(std::move(Rhs)) {
+    assert(this->Rhs && "null rhs");
+  }
+
+  /// Array assignment: a[subs...] = rhs.
+  AssignStmt(unsigned ArrayId, std::vector<ExprPtr> Subscripts, ExprPtr Rhs)
+      : Stmt(StmtKind::Assign), IsArrayLhs(true), LhsId(ArrayId),
+        LhsSubscripts(std::move(Subscripts)), Rhs(std::move(Rhs)) {
+    assert(!LhsSubscripts.empty() && "array lhs with no subscripts");
+    assert(this->Rhs && "null rhs");
+  }
+
+  bool isArrayLhs() const { return IsArrayLhs; }
+
+  /// \pre !isArrayLhs().
+  unsigned lhsScalar() const {
+    assert(!IsArrayLhs && "lhs is an array element");
+    return LhsId;
+  }
+
+  /// \pre isArrayLhs().
+  unsigned lhsArray() const {
+    assert(IsArrayLhs && "lhs is a scalar");
+    return LhsId;
+  }
+
+  /// \pre isArrayLhs().
+  const std::vector<ExprPtr> &lhsSubscripts() const {
+    assert(IsArrayLhs && "lhs is a scalar");
+    return LhsSubscripts;
+  }
+
+  /// Replaces subscript \p Dim of an array left-hand side.
+  void setLhsSubscript(unsigned Dim, ExprPtr E) {
+    assert(IsArrayLhs && Dim < LhsSubscripts.size() && "bad subscript");
+    LhsSubscripts[Dim] = std::move(E);
+  }
+
+  const ExprPtr &rhs() const { return Rhs; }
+  void setRhs(ExprPtr E) {
+    assert(E && "null rhs");
+    Rhs = std::move(E);
+  }
+
+  StmtPtr clone() const override;
+
+private:
+  bool IsArrayLhs;
+  unsigned LhsId;
+  std::vector<ExprPtr> LhsSubscripts;
+  ExprPtr Rhs;
+};
+
+/// A counted loop: for var = lo to hi step s do body end. After
+/// normalization Step == 1.
+class LoopStmt : public Stmt {
+public:
+  LoopStmt(unsigned VarId, ExprPtr Lo, ExprPtr Hi, int64_t Step)
+      : Stmt(StmtKind::Loop), VarId(VarId), Lo(std::move(Lo)),
+        Hi(std::move(Hi)), Step(Step) {
+    assert(this->Lo && this->Hi && "null loop bound");
+    assert(Step != 0 && "zero loop step");
+  }
+
+  unsigned varId() const { return VarId; }
+  const ExprPtr &lo() const { return Lo; }
+  const ExprPtr &hi() const { return Hi; }
+  int64_t step() const { return Step; }
+
+  /// Rebinds the induction variable (used by loop interchange).
+  void setVarId(unsigned NewVar) { VarId = NewVar; }
+
+  void setLo(ExprPtr E) {
+    assert(E && "null bound");
+    Lo = std::move(E);
+  }
+  void setHi(ExprPtr E) {
+    assert(E && "null bound");
+    Hi = std::move(E);
+  }
+  void setStep(int64_t S) {
+    assert(S != 0 && "zero loop step");
+    Step = S;
+  }
+
+  std::vector<StmtPtr> &body() { return Body; }
+  const std::vector<StmtPtr> &body() const { return Body; }
+
+  /// Set by the parallelizer client when no loop-carried dependence
+  /// exists at this nesting level.
+  bool isParallel() const { return Parallel; }
+  void setParallel(bool P) { Parallel = P; }
+
+  StmtPtr clone() const override;
+
+private:
+  unsigned VarId;
+  ExprPtr Lo;
+  ExprPtr Hi;
+  int64_t Step;
+  std::vector<StmtPtr> Body;
+  bool Parallel = false;
+};
+
+/// Checked downcasts for the closed statement hierarchy.
+inline AssignStmt &asAssign(Stmt &S) {
+  assert(S.kind() == StmtKind::Assign && "not an assignment");
+  return static_cast<AssignStmt &>(S);
+}
+inline const AssignStmt &asAssign(const Stmt &S) {
+  assert(S.kind() == StmtKind::Assign && "not an assignment");
+  return static_cast<const AssignStmt &>(S);
+}
+inline LoopStmt &asLoop(Stmt &S) {
+  assert(S.kind() == StmtKind::Loop && "not a loop");
+  return static_cast<LoopStmt &>(S);
+}
+inline const LoopStmt &asLoop(const Stmt &S) {
+  assert(S.kind() == StmtKind::Loop && "not a loop");
+  return static_cast<const LoopStmt &>(S);
+}
+
+/// A whole LoopLang program: symbol tables plus a statement list.
+class Program {
+public:
+  explicit Program(std::string Name = "main") : Name(std::move(Name)) {}
+
+  Program(const Program &RHS);
+  Program &operator=(const Program &RHS);
+  Program(Program &&) = default;
+  Program &operator=(Program &&) = default;
+
+  const std::string &name() const { return Name; }
+
+  /// Registers a variable; names must be unique across variables and
+  /// arrays. Returns the new id.
+  unsigned addVar(std::string VarName, VarKind Kind);
+
+  /// Registers an array; returns the new id (a separate id space from
+  /// variables).
+  unsigned addArray(std::string ArrayName, std::vector<int64_t> Extents);
+
+  unsigned numVars() const { return static_cast<unsigned>(Vars.size()); }
+  unsigned numArrays() const {
+    return static_cast<unsigned>(Arrays.size());
+  }
+
+  const VarInfo &var(unsigned Id) const {
+    assert(Id < Vars.size() && "variable id out of range");
+    return Vars[Id];
+  }
+  const ArrayInfo &array(unsigned Id) const {
+    assert(Id < Arrays.size() && "array id out of range");
+    return Arrays[Id];
+  }
+
+  /// Changes the recorded kind of a variable (the prepass optimizer
+  /// reclassifies scalars it proves loop-invariant as Symbolic).
+  void setVarKind(unsigned Id, VarKind Kind) {
+    assert(Id < Vars.size() && "variable id out of range");
+    Vars[Id].Kind = Kind;
+  }
+
+  std::optional<unsigned> lookupVar(const std::string &VarName) const;
+  std::optional<unsigned> lookupArray(const std::string &ArrayName) const;
+
+  std::vector<StmtPtr> &body() { return Body; }
+  const std::vector<StmtPtr> &body() const { return Body; }
+
+  /// Renders the program as parseable LoopLang source.
+  std::string print() const;
+
+private:
+  std::string Name;
+  std::vector<VarInfo> Vars;
+  std::vector<ArrayInfo> Arrays;
+  std::vector<StmtPtr> Body;
+  /// Name -> id indexes (programs can hold thousands of symbols).
+  std::unordered_map<std::string, unsigned> VarIndex;
+  std::unordered_map<std::string, unsigned> ArrayIndex;
+};
+
+} // namespace edda
+
+#endif // EDDA_IR_PROGRAM_H

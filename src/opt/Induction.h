@@ -1,0 +1,32 @@
+//===- opt/Induction.h - Induction variable substitution -------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Induction variable substitution (paper sections 2 and 8): a scalar k
+/// whose only assignment inside a normalized loop over i (lower bound L)
+/// is a single top-level k = k + c with known entry value E0 takes the
+/// value E0 + c*(i - L) before the increment and E0 + c*(i - L) + c
+/// after it; its uses are rewritten accordingly, turning subscripts like
+/// a[k + n] into affine functions of i. The increment statement is kept
+/// (the pass is purely a use-rewrite and preserves semantics).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_OPT_INDUCTION_H
+#define EDDA_OPT_INDUCTION_H
+
+#include "ir/Program.h"
+
+namespace edda {
+
+/// Runs induction variable substitution over \p P. Loops must already be
+/// normalized (step 1); loops with other steps are skipped.
+void substituteInductionVariables(Program &P);
+
+} // namespace edda
+
+#endif // EDDA_OPT_INDUCTION_H

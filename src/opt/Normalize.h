@@ -1,0 +1,38 @@
+//===- opt/Normalize.h - Loop normalization --------------------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop normalization: the paper analyzes "general normalized (we
+/// normalize the step size to 1)" loops. A loop for i = L to U step s
+/// with constant bounds becomes
+///
+///   for i_n = 0 to (U - L) div s do
+///     i = L + s * i_n
+///     <body>
+///   end
+///
+/// where the assignment keeps the original variable's semantics (it now
+/// behaves like an ordinary scalar); scalar propagation then substitutes
+/// i away inside the body. Loops whose step is already 1, or whose
+/// bounds are not constant, are left alone (the analyzer treats
+/// unnormalized loops conservatively).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_OPT_NORMALIZE_H
+#define EDDA_OPT_NORMALIZE_H
+
+#include "ir/Program.h"
+
+namespace edda {
+
+/// Normalizes every step != 1 loop with constant bounds in \p P.
+void normalizeLoops(Program &P);
+
+} // namespace edda
+
+#endif // EDDA_OPT_NORMALIZE_H

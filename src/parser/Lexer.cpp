@@ -1,0 +1,202 @@
+//===- parser/Lexer.cpp - LoopLang lexer ---------------------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Lexer.h"
+
+#include "support/IntMath.h"
+
+#include <cctype>
+
+using namespace edda;
+
+const char *edda::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::Integer:
+    return "integer";
+  case TokenKind::KwProgram:
+    return "'program'";
+  case TokenKind::KwEnd:
+    return "'end'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwTo:
+    return "'to'";
+  case TokenKind::KwStep:
+    return "'step'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwArray:
+    return "'array'";
+  case TokenKind::KwRead:
+    return "'read'";
+  case TokenKind::KwParam:
+    return "'param'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Equals:
+    return "'='";
+  case TokenKind::Invalid:
+    return "invalid token";
+  }
+  return "unknown token";
+}
+
+namespace {
+
+TokenKind keywordKind(std::string_view Word) {
+  if (Word == "program")
+    return TokenKind::KwProgram;
+  if (Word == "end")
+    return TokenKind::KwEnd;
+  if (Word == "for")
+    return TokenKind::KwFor;
+  if (Word == "to")
+    return TokenKind::KwTo;
+  if (Word == "step")
+    return TokenKind::KwStep;
+  if (Word == "do")
+    return TokenKind::KwDo;
+  if (Word == "array")
+    return TokenKind::KwArray;
+  if (Word == "read")
+    return TokenKind::KwRead;
+  if (Word == "param")
+    return TokenKind::KwParam;
+  return TokenKind::Identifier;
+}
+
+} // namespace
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+  const size_t Size = Source.size();
+
+  auto advance = [&](size_t Count) {
+    for (size_t I = 0; I < Count; ++I) {
+      if (Source[Pos + I] == '\n') {
+        ++Line;
+        Column = 1;
+      } else {
+        ++Column;
+      }
+    }
+    Pos += Count;
+  };
+
+  while (Pos < Size) {
+    char C = Source[Pos];
+    // Skip whitespace.
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance(1);
+      continue;
+    }
+    // Skip '#' line comments.
+    if (C == '#') {
+      size_t End = Pos;
+      while (End < Size && Source[End] != '\n')
+        ++End;
+      advance(End - Pos);
+      continue;
+    }
+
+    Token Tok;
+    Tok.Line = Line;
+    Tok.Column = Column;
+
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t End = Pos;
+      while (End < Size &&
+             std::isdigit(static_cast<unsigned char>(Source[End])))
+        ++End;
+      Tok.Text = Source.substr(Pos, End - Pos);
+      Tok.Kind = TokenKind::Integer;
+      // Overflow-checked decimal accumulation.
+      CheckedInt Value(0);
+      for (char Digit : Tok.Text)
+        Value = Value * 10 + (Digit - '0');
+      if (Value.valid())
+        Tok.IntValue = Value.get();
+      else
+        Tok.Kind = TokenKind::Invalid;
+      advance(End - Pos);
+      Tokens.push_back(Tok);
+      continue;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t End = Pos;
+      while (End < Size &&
+             (std::isalnum(static_cast<unsigned char>(Source[End])) ||
+              Source[End] == '_'))
+        ++End;
+      Tok.Text = Source.substr(Pos, End - Pos);
+      Tok.Kind = keywordKind(Tok.Text);
+      advance(End - Pos);
+      Tokens.push_back(Tok);
+      continue;
+    }
+
+    Tok.Text = Source.substr(Pos, 1);
+    switch (C) {
+    case '+':
+      Tok.Kind = TokenKind::Plus;
+      break;
+    case '-':
+      Tok.Kind = TokenKind::Minus;
+      break;
+    case '*':
+      Tok.Kind = TokenKind::Star;
+      break;
+    case '(':
+      Tok.Kind = TokenKind::LParen;
+      break;
+    case ')':
+      Tok.Kind = TokenKind::RParen;
+      break;
+    case '[':
+      Tok.Kind = TokenKind::LBracket;
+      break;
+    case ']':
+      Tok.Kind = TokenKind::RBracket;
+      break;
+    case '=':
+      Tok.Kind = TokenKind::Equals;
+      break;
+    default:
+      Tok.Kind = TokenKind::Invalid;
+      break;
+    }
+    advance(1);
+    Tokens.push_back(Tok);
+  }
+
+  Token Eof;
+  Eof.Kind = TokenKind::Eof;
+  Eof.Line = Line;
+  Eof.Column = Column;
+  Tokens.push_back(Eof);
+  return Tokens;
+}

@@ -1,0 +1,420 @@
+//===- parser/Parser.cpp - LoopLang parser --------------------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+#include "parser/Lexer.h"
+
+#include <algorithm>
+
+using namespace edda;
+
+std::string Diagnostic::str() const {
+  return std::to_string(Line) + ":" + std::to_string(Column) + ": " +
+         Message;
+}
+
+namespace {
+
+/// Recursive-descent parser state. Parsing bails out after the first
+/// error in a statement but attempts no fancy recovery: LoopLang inputs
+/// are machine-generated or tiny.
+class ParserImpl {
+public:
+  explicit ParserImpl(std::string_view Source)
+      : Tokens(Lexer(Source).lexAll()) {}
+
+  ParseResult run();
+
+private:
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  Program Prog;
+  std::vector<Diagnostic> Diags;
+  /// Loop variables currently live on the loop stack (to reject nested
+  /// reuse of the same induction variable).
+  std::vector<unsigned> ActiveLoopVars;
+
+  const Token &peek() const { return Tokens[Pos]; }
+  const Token &get() { return Tokens[Pos < Tokens.size() - 1 ? Pos++ : Pos]; }
+
+  bool check(TokenKind Kind) const { return peek().Kind == Kind; }
+
+  bool accept(TokenKind Kind) {
+    if (!check(Kind))
+      return false;
+    get();
+    return true;
+  }
+
+  bool expect(TokenKind Kind, const char *Context) {
+    if (accept(Kind))
+      return true;
+    error(std::string("expected ") + tokenKindName(Kind) + " " + Context +
+          ", found " + tokenKindName(peek().Kind));
+    return false;
+  }
+
+  void error(std::string Message) {
+    Diags.push_back(
+        Diagnostic{peek().Line, peek().Column, std::move(Message)});
+  }
+
+  void errorAt(const Token &Tok, std::string Message) {
+    Diags.push_back(Diagnostic{Tok.Line, Tok.Column, std::move(Message)});
+  }
+
+  bool parseDecls();
+  bool parseStmts(std::vector<StmtPtr> &Out);
+  StmtPtr parseLoop();
+  StmtPtr parseAssign();
+  ExprPtr parseExpr();
+  ExprPtr parseTerm();
+  ExprPtr parseUnary();
+  ExprPtr parsePrimary();
+  /// Parses '[expr]...' subscripts for array \p ArrayId, checking rank.
+  bool parseSubscripts(unsigned ArrayId, std::vector<ExprPtr> &Out);
+};
+
+ParseResult ParserImpl::run() {
+  ParseResult Result;
+  if (!expect(TokenKind::KwProgram, "at start of program")) {
+    Result.Diags = std::move(Diags);
+    return Result;
+  }
+  if (!check(TokenKind::Identifier)) {
+    error("expected program name");
+    Result.Diags = std::move(Diags);
+    return Result;
+  }
+  Prog = Program(std::string(get().Text));
+
+  if (!parseDecls() || !parseStmts(Prog.body())) {
+    Result.Diags = std::move(Diags);
+    return Result;
+  }
+  if (!expect(TokenKind::KwEnd, "to close the program") ||
+      !expect(TokenKind::Eof, "after 'end'")) {
+    Result.Diags = std::move(Diags);
+    return Result;
+  }
+  Result.Prog = std::move(Prog);
+  Result.Diags = std::move(Diags);
+  return Result;
+}
+
+bool ParserImpl::parseDecls() {
+  while (true) {
+    if (accept(TokenKind::KwArray)) {
+      if (!check(TokenKind::Identifier)) {
+        error("expected array name");
+        return false;
+      }
+      std::string Name(get().Text);
+      if (Prog.lookupArray(Name) || Prog.lookupVar(Name)) {
+        error("redeclaration of '" + Name + "'");
+        return false;
+      }
+      std::vector<int64_t> Extents;
+      while (accept(TokenKind::LBracket)) {
+        if (!check(TokenKind::Integer)) {
+          error("expected integer array extent");
+          return false;
+        }
+        Extents.push_back(get().IntValue);
+        if (!expect(TokenKind::RBracket, "after array extent"))
+          return false;
+      }
+      if (Extents.empty()) {
+        error("array '" + Name + "' needs at least one dimension");
+        return false;
+      }
+      Prog.addArray(std::move(Name), std::move(Extents));
+      continue;
+    }
+    if (accept(TokenKind::KwRead)) {
+      if (!check(TokenKind::Identifier)) {
+        error("expected variable name after 'read'");
+        return false;
+      }
+      std::string Name(get().Text);
+      if (Prog.lookupArray(Name) || Prog.lookupVar(Name)) {
+        error("redeclaration of '" + Name + "'");
+        return false;
+      }
+      Prog.addVar(std::move(Name), VarKind::Symbolic);
+      continue;
+    }
+    if (accept(TokenKind::KwParam)) {
+      if (!check(TokenKind::Identifier)) {
+        error("expected variable name after 'param'");
+        return false;
+      }
+      std::string Name(get().Text);
+      if (Prog.lookupArray(Name) || Prog.lookupVar(Name)) {
+        error("redeclaration of '" + Name + "'");
+        return false;
+      }
+      if (!expect(TokenKind::Equals, "in param declaration"))
+        return false;
+      bool Negative = accept(TokenKind::Minus);
+      if (!check(TokenKind::Integer)) {
+        error("expected integer param value");
+        return false;
+      }
+      int64_t Value = get().IntValue;
+      if (Negative)
+        Value = -Value;
+      unsigned Id = Prog.addVar(std::move(Name), VarKind::Scalar);
+      // A param is sugar for an initializing scalar assignment; constant
+      // propagation folds it away.
+      Prog.body().push_back(
+          std::make_unique<AssignStmt>(Id, Expr::makeConst(Value)));
+      continue;
+    }
+    return true;
+  }
+}
+
+bool ParserImpl::parseStmts(std::vector<StmtPtr> &Out) {
+  while (true) {
+    if (check(TokenKind::KwEnd) || check(TokenKind::Eof))
+      return true;
+    StmtPtr S;
+    if (check(TokenKind::KwFor))
+      S = parseLoop();
+    else if (check(TokenKind::Identifier))
+      S = parseAssign();
+    else {
+      error(std::string("expected a statement, found ") +
+            tokenKindName(peek().Kind));
+      return false;
+    }
+    if (!S)
+      return false;
+    Out.push_back(std::move(S));
+  }
+}
+
+StmtPtr ParserImpl::parseLoop() {
+  expect(TokenKind::KwFor, "at loop start");
+  if (!check(TokenKind::Identifier)) {
+    error("expected loop variable name");
+    return nullptr;
+  }
+  std::string Name(get().Text);
+  if (Prog.lookupArray(Name)) {
+    error("'" + Name + "' is an array, not a loop variable");
+    return nullptr;
+  }
+  unsigned VarId;
+  if (std::optional<unsigned> Existing = Prog.lookupVar(Name)) {
+    if (Prog.var(*Existing).Kind != VarKind::Loop) {
+      error("'" + Name + "' is not usable as a loop variable");
+      return nullptr;
+    }
+    if (std::find(ActiveLoopVars.begin(), ActiveLoopVars.end(),
+                  *Existing) != ActiveLoopVars.end()) {
+      error("loop variable '" + Name + "' reused by an enclosing loop");
+      return nullptr;
+    }
+    VarId = *Existing;
+  } else {
+    VarId = Prog.addVar(Name, VarKind::Loop);
+  }
+
+  if (!expect(TokenKind::Equals, "after loop variable"))
+    return nullptr;
+  ExprPtr Lo = parseExpr();
+  if (!Lo)
+    return nullptr;
+  if (!expect(TokenKind::KwTo, "between loop bounds"))
+    return nullptr;
+  ExprPtr Hi = parseExpr();
+  if (!Hi)
+    return nullptr;
+  if (Lo->containsArrayRead() || Hi->containsArrayRead()) {
+    error("array reads are not allowed in loop bounds");
+    return nullptr;
+  }
+
+  int64_t Step = 1;
+  if (accept(TokenKind::KwStep)) {
+    bool Negative = accept(TokenKind::Minus);
+    if (!check(TokenKind::Integer)) {
+      error("expected integer loop step");
+      return nullptr;
+    }
+    Step = get().IntValue;
+    if (Negative)
+      Step = -Step;
+    if (Step == 0) {
+      error("loop step must be nonzero");
+      return nullptr;
+    }
+  }
+  if (!expect(TokenKind::KwDo, "after loop header"))
+    return nullptr;
+
+  auto Loop = std::make_unique<LoopStmt>(VarId, std::move(Lo),
+                                         std::move(Hi), Step);
+  ActiveLoopVars.push_back(VarId);
+  bool BodyOk = parseStmts(Loop->body());
+  ActiveLoopVars.pop_back();
+  if (!BodyOk)
+    return nullptr;
+  if (!expect(TokenKind::KwEnd, "to close the loop"))
+    return nullptr;
+  return Loop;
+}
+
+StmtPtr ParserImpl::parseAssign() {
+  std::string Name(get().Text);
+
+  if (std::optional<unsigned> ArrayId = Prog.lookupArray(Name)) {
+    std::vector<ExprPtr> Subs;
+    if (!parseSubscripts(*ArrayId, Subs))
+      return nullptr;
+    if (!expect(TokenKind::Equals, "in assignment"))
+      return nullptr;
+    ExprPtr Rhs = parseExpr();
+    if (!Rhs)
+      return nullptr;
+    return std::make_unique<AssignStmt>(*ArrayId, std::move(Subs),
+                                        std::move(Rhs));
+  }
+
+  unsigned VarId;
+  if (std::optional<unsigned> Existing = Prog.lookupVar(Name)) {
+    if (Prog.var(*Existing).Kind == VarKind::Loop &&
+        std::find(ActiveLoopVars.begin(), ActiveLoopVars.end(),
+                  *Existing) != ActiveLoopVars.end()) {
+      error("assignment to active loop variable '" + Name + "'");
+      return nullptr;
+    }
+    if (Prog.var(*Existing).Kind == VarKind::Symbolic) {
+      error("assignment to symbolic variable '" + Name + "'");
+      return nullptr;
+    }
+    VarId = *Existing;
+  } else {
+    VarId = Prog.addVar(Name, VarKind::Scalar);
+  }
+
+  if (!expect(TokenKind::Equals, "in assignment"))
+    return nullptr;
+  ExprPtr Rhs = parseExpr();
+  if (!Rhs)
+    return nullptr;
+  return std::make_unique<AssignStmt>(VarId, std::move(Rhs));
+}
+
+bool ParserImpl::parseSubscripts(unsigned ArrayId,
+                                 std::vector<ExprPtr> &Out) {
+  while (accept(TokenKind::LBracket)) {
+    ExprPtr Sub = parseExpr();
+    if (!Sub)
+      return false;
+    Out.push_back(std::move(Sub));
+    if (!expect(TokenKind::RBracket, "after subscript"))
+      return false;
+  }
+  unsigned Rank = Prog.array(ArrayId).rank();
+  if (Out.size() != Rank) {
+    error("array '" + Prog.array(ArrayId).Name + "' has rank " +
+          std::to_string(Rank) + " but " + std::to_string(Out.size()) +
+          " subscripts were given");
+    return false;
+  }
+  return true;
+}
+
+ExprPtr ParserImpl::parseExpr() {
+  ExprPtr Lhs = parseTerm();
+  if (!Lhs)
+    return nullptr;
+  while (true) {
+    if (accept(TokenKind::Plus)) {
+      ExprPtr Rhs = parseTerm();
+      if (!Rhs)
+        return nullptr;
+      Lhs = Expr::makeAdd(std::move(Lhs), std::move(Rhs));
+    } else if (accept(TokenKind::Minus)) {
+      ExprPtr Rhs = parseTerm();
+      if (!Rhs)
+        return nullptr;
+      Lhs = Expr::makeSub(std::move(Lhs), std::move(Rhs));
+    } else {
+      return Lhs;
+    }
+  }
+}
+
+ExprPtr ParserImpl::parseTerm() {
+  ExprPtr Lhs = parseUnary();
+  if (!Lhs)
+    return nullptr;
+  while (accept(TokenKind::Star)) {
+    ExprPtr Rhs = parseUnary();
+    if (!Rhs)
+      return nullptr;
+    Lhs = Expr::makeMul(std::move(Lhs), std::move(Rhs));
+  }
+  return Lhs;
+}
+
+ExprPtr ParserImpl::parseUnary() {
+  if (accept(TokenKind::Minus)) {
+    ExprPtr Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    return Expr::makeNeg(std::move(Operand));
+  }
+  return parsePrimary();
+}
+
+ExprPtr ParserImpl::parsePrimary() {
+  if (check(TokenKind::Integer))
+    return Expr::makeConst(get().IntValue);
+
+  if (accept(TokenKind::LParen)) {
+    ExprPtr Inner = parseExpr();
+    if (!Inner)
+      return nullptr;
+    if (!expect(TokenKind::RParen, "to close the parenthesis"))
+      return nullptr;
+    return Inner;
+  }
+
+  if (!check(TokenKind::Identifier)) {
+    error(std::string("expected an expression, found ") +
+          tokenKindName(peek().Kind));
+    return nullptr;
+  }
+  const Token &NameTok = get();
+  std::string Name(NameTok.Text);
+
+  if (std::optional<unsigned> ArrayId = Prog.lookupArray(Name)) {
+    std::vector<ExprPtr> Subs;
+    if (!parseSubscripts(*ArrayId, Subs))
+      return nullptr;
+    return Expr::makeArrayRead(*ArrayId, std::move(Subs));
+  }
+
+  std::optional<unsigned> VarId = Prog.lookupVar(Name);
+  if (!VarId) {
+    errorAt(NameTok, "use of undeclared variable '" + Name + "'");
+    return nullptr;
+  }
+  return Expr::makeVar(*VarId);
+}
+
+} // namespace
+
+ParseResult edda::parseProgram(std::string_view Source) {
+  return ParserImpl(Source).run();
+}

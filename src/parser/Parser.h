@@ -1,0 +1,69 @@
+//===- parser/Parser.h - LoopLang parser -----------------------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for LoopLang. Grammar:
+///
+/// \code
+///   program  ::= 'program' IDENT decl* stmt* 'end'
+///   decl     ::= 'array' IDENT ('[' INT ']')+
+///              | 'read' IDENT
+///              | 'param' IDENT '=' INT
+///   stmt     ::= 'for' IDENT '=' expr 'to' expr ('step' sint)? 'do'
+///                    stmt* 'end'
+///              | lvalue '=' expr
+///   lvalue   ::= IDENT ('[' expr ']')*
+///   expr     ::= term (('+'|'-') term)*
+///   term     ::= unary ('*' unary)*
+///   unary    ::= '-' unary | primary
+///   primary  ::= INT | IDENT ('[' expr ']')* | '(' expr ')'
+/// \endcode
+///
+/// 'read n' declares a symbolic (loop-invariant unknown) variable; 'param
+/// n = 100' declares a scalar initialized to a constant (which constant
+/// propagation folds). Loop variables are declared by their loop and may
+/// be reused by disjoint loops, as in Fortran.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_PARSER_PARSER_H
+#define EDDA_PARSER_PARSER_H
+
+#include "ir/Program.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edda {
+
+/// One parse diagnostic, positioned at a source line/column.
+struct Diagnostic {
+  unsigned Line;
+  unsigned Column;
+  std::string Message;
+
+  /// "line:col: message" rendering.
+  std::string str() const;
+};
+
+/// Outcome of a parse: a program when successful, plus any diagnostics.
+struct ParseResult {
+  std::optional<Program> Prog;
+  std::vector<Diagnostic> Diags;
+
+  bool succeeded() const { return Prog.has_value(); }
+};
+
+/// Parses LoopLang source text. Never throws; errors are reported in the
+/// result's diagnostics and leave Prog empty.
+ParseResult parseProgram(std::string_view Source);
+
+} // namespace edda
+
+#endif // EDDA_PARSER_PARSER_H

@@ -1,0 +1,37 @@
+//===- support/Hashing.cpp - Hash utilities ------------------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Hashing.h"
+
+using namespace edda;
+
+uint64_t edda::hashCombine(uint64_t Seed, uint64_t Value) {
+  // splitmix64 finalizer applied to the incoming value, folded into the
+  // seed with the boost::hash_combine recipe widened to 64 bits.
+  uint64_t V = Value + 0x9e3779b97f4a7c15ULL;
+  V = (V ^ (V >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  V = (V ^ (V >> 27)) * 0x94d049bb133111ebULL;
+  V = V ^ (V >> 31);
+  return Seed ^ (V + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2));
+}
+
+uint64_t edda::hashVector(const std::vector<int64_t> &Values) {
+  uint64_t H = 0x811c9dc5u ^ (Values.size() * 0x100000001b3ULL);
+  for (int64_t V : Values)
+    H = hashCombine(H, static_cast<uint64_t>(V));
+  return H;
+}
+
+uint64_t edda::paperHash(const std::vector<int64_t> &Values) {
+  uint64_t H = Values.size();
+  uint64_t Pow = 1;
+  for (int64_t V : Values) {
+    H += Pow * static_cast<uint64_t>(V);
+    Pow <<= 1; // 2^i, wrapping mod 2^64 after 64 elements.
+  }
+  return H;
+}

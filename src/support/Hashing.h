@@ -1,0 +1,38 @@
+//===- support/Hashing.h - Hash utilities ----------------------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hashing for the memoization tables (paper section 5). Two functions are
+/// provided: the paper's literal hash,
+///     h(x) = size(x) + sum_i 2^i * x_i            (mod 2^64),
+/// chosen by the authors so that symmetrical or partially symmetrical
+/// references do not collide, and a modern mixing hash used as the default.
+/// The memoization bench compares their collision behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_SUPPORT_HASHING_H
+#define EDDA_SUPPORT_HASHING_H
+
+#include <cstdint>
+#include <vector>
+
+namespace edda {
+
+/// Combine \p Value into the running hash \p Seed (boost-style mixer).
+uint64_t hashCombine(uint64_t Seed, uint64_t Value);
+
+/// Mixing hash of an integer vector (default for the memo tables).
+uint64_t hashVector(const std::vector<int64_t> &Values);
+
+/// The paper's hash: size(x) + sum_i 2^i * x_i, with 2^i wrapping mod
+/// 2^64. Kept for the Table 2 reproduction.
+uint64_t paperHash(const std::vector<int64_t> &Values);
+
+} // namespace edda
+
+#endif // EDDA_SUPPORT_HASHING_H

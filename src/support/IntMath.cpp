@@ -1,0 +1,125 @@
+//===- support/IntMath.cpp - Exact integer arithmetic helpers ------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/IntMath.h"
+
+using namespace edda;
+
+int64_t edda::gcd64(int64_t A, int64_t B) {
+  // Work on unsigned magnitudes so INT64_MIN does not overflow on negation.
+  uint64_t UA = A < 0 ? 0 - static_cast<uint64_t>(A) : static_cast<uint64_t>(A);
+  uint64_t UB = B < 0 ? 0 - static_cast<uint64_t>(B) : static_cast<uint64_t>(B);
+  while (UB != 0) {
+    uint64_t T = UA % UB;
+    UA = UB;
+    UB = T;
+  }
+  return static_cast<int64_t>(UA);
+}
+
+std::optional<int64_t> edda::lcm64(int64_t A, int64_t B) {
+  if (A == 0 || B == 0)
+    return std::nullopt;
+  int64_t G = gcd64(A, B);
+  std::optional<int64_t> AbsA = checkedMul(A < 0 ? -1 : 1, A);
+  if (!AbsA)
+    return std::nullopt;
+  std::optional<int64_t> AbsB = checkedMul(B < 0 ? -1 : 1, B);
+  if (!AbsB)
+    return std::nullopt;
+  return checkedMul(*AbsA / G, *AbsB);
+}
+
+ExtGcdResult edda::extGcd64(int64_t A, int64_t B) {
+  // Iterative extended Euclid on (A, B); keeps the invariants
+  //   R0 == X0*A + Y0*B  and  R1 == X1*A + Y1*B.
+  int64_t R0 = A, R1 = B;
+  int64_t X0 = 1, X1 = 0;
+  int64_t Y0 = 0, Y1 = 1;
+  while (R1 != 0) {
+    int64_t Q = R0 / R1;
+    int64_t T;
+    T = R0 - Q * R1;
+    R0 = R1;
+    R1 = T;
+    T = X0 - Q * X1;
+    X0 = X1;
+    X1 = T;
+    T = Y0 - Q * Y1;
+    Y0 = Y1;
+    Y1 = T;
+  }
+  if (R0 < 0) {
+    R0 = -R0;
+    X0 = -X0;
+    Y0 = -Y0;
+  }
+  return {R0, X0, Y0};
+}
+
+int64_t edda::floorDiv(int64_t A, int64_t B) {
+  assert(B != 0 && "floorDiv by zero");
+  int64_t Q = A / B;
+  int64_t R = A % B;
+  // C++ truncates toward zero; adjust when the remainder has the opposite
+  // sign of the divisor.
+  if (R != 0 && ((R < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+
+int64_t edda::ceilDiv(int64_t A, int64_t B) {
+  assert(B != 0 && "ceilDiv by zero");
+  int64_t Q = A / B;
+  int64_t R = A % B;
+  if (R != 0 && ((R < 0) == (B < 0)))
+    ++Q;
+  return Q;
+}
+
+std::optional<int64_t> edda::checkedAdd(int64_t A, int64_t B) {
+  int64_t Result;
+  if (__builtin_add_overflow(A, B, &Result))
+    return std::nullopt;
+  return Result;
+}
+
+std::optional<int64_t> edda::checkedSub(int64_t A, int64_t B) {
+  int64_t Result;
+  if (__builtin_sub_overflow(A, B, &Result))
+    return std::nullopt;
+  return Result;
+}
+
+std::optional<int64_t> edda::checkedMul(int64_t A, int64_t B) {
+  int64_t Result;
+  if (__builtin_mul_overflow(A, B, &Result))
+    return std::nullopt;
+  return Result;
+}
+
+std::optional<int64_t> edda::checkedNeg(int64_t A) {
+  return checkedSub(0, A);
+}
+
+CheckedInt &CheckedInt::operator+=(CheckedInt RHS) {
+  Valid = Valid && RHS.Valid && !__builtin_add_overflow(Value, RHS.Value,
+                                                        &Value);
+  return *this;
+}
+
+CheckedInt &CheckedInt::operator-=(CheckedInt RHS) {
+  Valid = Valid && RHS.Valid && !__builtin_sub_overflow(Value, RHS.Value,
+                                                        &Value);
+  return *this;
+}
+
+CheckedInt &CheckedInt::operator*=(CheckedInt RHS) {
+  Valid = Valid && RHS.Valid && !__builtin_mul_overflow(Value, RHS.Value,
+                                                        &Value);
+  return *this;
+}

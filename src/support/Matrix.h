@@ -1,0 +1,95 @@
+//===- support/Matrix.h - Dense integer matrices ---------------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small dense matrix of 64-bit integers with the elementary row
+/// operations needed by the extended GCD test's unimodular factorization
+/// (Banerjee's extension of Gaussian elimination, paper section 3.1).
+/// Dependence problems have a handful of rows and columns, so a dense
+/// row-major vector is the right representation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_SUPPORT_MATRIX_H
+#define EDDA_SUPPORT_MATRIX_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edda {
+
+/// Dense Rows x Cols matrix of int64_t, row-major.
+class IntMatrix {
+public:
+  /// Zero matrix of the given shape (either dimension may be zero).
+  IntMatrix(unsigned Rows, unsigned Cols)
+      : NumRows(Rows), NumCols(Cols),
+        Data(static_cast<size_t>(Rows) * Cols, 0) {}
+
+  /// The Size x Size identity.
+  static IntMatrix identity(unsigned Size);
+
+  unsigned rows() const { return NumRows; }
+  unsigned cols() const { return NumCols; }
+
+  int64_t &at(unsigned Row, unsigned Col) {
+    assert(Row < NumRows && Col < NumCols && "IntMatrix index out of range");
+    return Data[static_cast<size_t>(Row) * NumCols + Col];
+  }
+  int64_t at(unsigned Row, unsigned Col) const {
+    assert(Row < NumRows && Col < NumCols && "IntMatrix index out of range");
+    return Data[static_cast<size_t>(Row) * NumCols + Col];
+  }
+
+  /// Swap rows \p A and \p B.
+  void swapRows(unsigned A, unsigned B);
+
+  /// Row A -= Factor * Row B. Returns false (leaving the matrix in an
+  /// unspecified but valid state) if any element computation overflows.
+  bool addRowMultiple(unsigned A, unsigned B, int64_t Factor);
+
+  /// Negate every element of row \p Row. Returns false on overflow
+  /// (only possible for INT64_MIN entries).
+  bool negateRow(unsigned Row);
+
+  /// Matrix product; returns an empty optional-like flag via \p Ok on
+  /// overflow. \pre cols() == RHS.rows().
+  IntMatrix multiply(const IntMatrix &RHS, bool &Ok) const;
+
+  /// Row vector (1 x cols) copy of row \p Row.
+  std::vector<int64_t> row(unsigned Row) const;
+
+  bool operator==(const IntMatrix &RHS) const {
+    return NumRows == RHS.NumRows && NumCols == RHS.NumCols &&
+           Data == RHS.Data;
+  }
+  bool operator!=(const IntMatrix &RHS) const { return !(*this == RHS); }
+
+  /// True when the first nonzero entry of each row is strictly to the
+  /// right of the previous row's (zero rows only at the bottom): the
+  /// "echelon" shape required of D in UA = D.
+  bool isEchelon() const;
+
+  /// Determinant via fraction-free Gaussian elimination, for test use
+  /// (verifying unimodularity). \pre square. Returns false in \p Ok on
+  /// overflow.
+  int64_t determinant(bool &Ok) const;
+
+  /// Multi-line debug rendering.
+  std::string str() const;
+
+private:
+  unsigned NumRows;
+  unsigned NumCols;
+  std::vector<int64_t> Data;
+};
+
+} // namespace edda
+
+#endif // EDDA_SUPPORT_MATRIX_H

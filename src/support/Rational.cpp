@@ -1,0 +1,133 @@
+//===- support/Rational.cpp - Exact rational numbers ---------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rational.h"
+
+using namespace edda;
+
+Rational Rational::makeInvalid() {
+  Rational R;
+  R.Valid = false;
+  return R;
+}
+
+Rational Rational::invalid() { return makeInvalid(); }
+
+Rational Rational::makeNormalized(int64_t N, int64_t D) {
+  assert(D != 0 && "rational with zero denominator");
+  if (D < 0) {
+    std::optional<int64_t> NN = checkedNeg(N);
+    std::optional<int64_t> ND = checkedNeg(D);
+    if (!NN || !ND)
+      return makeInvalid();
+    N = *NN;
+    D = *ND;
+  }
+  int64_t G = gcd64(N, D);
+  if (G > 1) {
+    N /= G;
+    D /= G;
+  }
+  Rational R;
+  R.Num = N;
+  R.Den = D;
+  R.Valid = true;
+  return R;
+}
+
+Rational::Rational(int64_t N, int64_t D) { *this = makeNormalized(N, D); }
+
+int64_t Rational::floor() const {
+  assert(Valid && "floor of an overflowed Rational");
+  return floorDiv(Num, Den);
+}
+
+int64_t Rational::ceil() const {
+  assert(Valid && "ceil of an overflowed Rational");
+  return ceilDiv(Num, Den);
+}
+
+Rational Rational::operator+(const Rational &RHS) const {
+  if (!Valid || !RHS.Valid)
+    return makeInvalid();
+  // N1/D1 + N2/D2 = (N1*D2 + N2*D1) / (D1*D2).
+  CheckedInt N = CheckedInt(Num) * RHS.Den + CheckedInt(RHS.Num) * Den;
+  CheckedInt D = CheckedInt(Den) * RHS.Den;
+  if (!N.valid() || !D.valid())
+    return makeInvalid();
+  return makeNormalized(N.get(), D.get());
+}
+
+Rational Rational::operator-(const Rational &RHS) const {
+  return *this + (-RHS);
+}
+
+Rational Rational::operator*(const Rational &RHS) const {
+  if (!Valid || !RHS.Valid)
+    return makeInvalid();
+  // Cross-cancel first to keep intermediate products small.
+  int64_t G1 = gcd64(Num, RHS.Den);
+  int64_t G2 = gcd64(RHS.Num, Den);
+  int64_t N1 = G1 > 1 ? Num / G1 : Num;
+  int64_t D2 = G1 > 1 ? RHS.Den / G1 : RHS.Den;
+  int64_t N2 = G2 > 1 ? RHS.Num / G2 : RHS.Num;
+  int64_t D1 = G2 > 1 ? Den / G2 : Den;
+  CheckedInt N = CheckedInt(N1) * N2;
+  CheckedInt D = CheckedInt(D1) * D2;
+  if (!N.valid() || !D.valid())
+    return makeInvalid();
+  return makeNormalized(N.get(), D.get());
+}
+
+Rational Rational::operator/(const Rational &RHS) const {
+  if (!Valid || !RHS.Valid || RHS.Num == 0)
+    return makeInvalid();
+  return *this * makeNormalized(RHS.Den, RHS.Num);
+}
+
+Rational Rational::operator-() const {
+  if (!Valid)
+    return makeInvalid();
+  std::optional<int64_t> N = checkedNeg(Num);
+  if (!N)
+    return makeInvalid();
+  Rational R;
+  R.Num = *N;
+  R.Den = Den;
+  R.Valid = true;
+  return R;
+}
+
+bool Rational::operator==(const Rational &RHS) const {
+  assert(Valid && RHS.Valid && "comparing overflowed Rationals");
+  // Both sides are normalized, so componentwise equality suffices.
+  return Num == RHS.Num && Den == RHS.Den;
+}
+
+bool Rational::operator<(const Rational &RHS) const {
+  assert(Valid && RHS.Valid && "comparing overflowed Rationals");
+  // N1/D1 < N2/D2  iff  N1*D2 < N2*D1  (denominators positive). Use
+  // 128-bit products so the comparison itself can never overflow.
+  __int128 L = static_cast<__int128>(Num) * RHS.Den;
+  __int128 R = static_cast<__int128>(RHS.Num) * Den;
+  return L < R;
+}
+
+bool Rational::operator<=(const Rational &RHS) const {
+  assert(Valid && RHS.Valid && "comparing overflowed Rationals");
+  __int128 L = static_cast<__int128>(Num) * RHS.Den;
+  __int128 R = static_cast<__int128>(RHS.Num) * Den;
+  return L <= R;
+}
+
+std::string Rational::str() const {
+  if (!Valid)
+    return "<invalid>";
+  if (Den == 1)
+    return std::to_string(Num);
+  return std::to_string(Num) + "/" + std::to_string(Den);
+}

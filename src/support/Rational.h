@@ -1,0 +1,94 @@
+//===- support/Rational.h - Exact rational numbers -------------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small exact rational type used by Fourier-Motzkin back substitution
+/// (picking a sample point inside a real feasible region) and by the
+/// Banerjee baseline bounds. Always stored in lowest terms with a positive
+/// denominator. Arithmetic is overflow-checked: once any operation
+/// overflows, the value becomes invalid and stays invalid, mirroring
+/// CheckedInt.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_SUPPORT_RATIONAL_H
+#define EDDA_SUPPORT_RATIONAL_H
+
+#include "support/IntMath.h"
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace edda {
+
+/// Exact rational number Num/Den, Den > 0, in lowest terms.
+class Rational {
+public:
+  /// Zero.
+  Rational() : Num(0), Den(1), Valid(true) {}
+
+  /// The integer \p N.
+  /*implicit*/ Rational(int64_t N) : Num(N), Den(1), Valid(true) {}
+
+  /// N/D, normalized. \pre D != 0.
+  Rational(int64_t N, int64_t D);
+
+  /// False once any operation in the value's history overflowed.
+  bool valid() const { return Valid; }
+
+  int64_t num() const {
+    assert(Valid && "reading an overflowed Rational");
+    return Num;
+  }
+  int64_t den() const {
+    assert(Valid && "reading an overflowed Rational");
+    return Den;
+  }
+
+  bool isInteger() const { return Valid && Den == 1; }
+
+  /// Largest integer <= this. \pre valid().
+  int64_t floor() const;
+  /// Smallest integer >= this. \pre valid().
+  int64_t ceil() const;
+
+  Rational operator+(const Rational &RHS) const;
+  Rational operator-(const Rational &RHS) const;
+  Rational operator*(const Rational &RHS) const;
+  /// \pre RHS is nonzero (a zero divisor yields an invalid value).
+  Rational operator/(const Rational &RHS) const;
+  Rational operator-() const;
+
+  /// Comparisons require both operands valid; comparing invalid values is
+  /// a programming error.
+  bool operator==(const Rational &RHS) const;
+  bool operator!=(const Rational &RHS) const { return !(*this == RHS); }
+  bool operator<(const Rational &RHS) const;
+  bool operator<=(const Rational &RHS) const;
+  bool operator>(const Rational &RHS) const { return RHS < *this; }
+  bool operator>=(const Rational &RHS) const { return RHS <= *this; }
+
+  /// Renders "N" or "N/D" for debugging.
+  std::string str() const;
+
+  /// An invalid (overflowed) rational, for tests.
+  static Rational invalid();
+
+private:
+  int64_t Num;
+  int64_t Den;
+  bool Valid;
+
+  static Rational makeInvalid();
+  static Rational makeNormalized(int64_t N, int64_t D);
+};
+
+} // namespace edda
+
+#endif // EDDA_SUPPORT_RATIONAL_H

@@ -1,0 +1,397 @@
+//===- workload/Generator.cpp - Synthetic PERFECT Club --------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Generator.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace edda;
+
+const std::vector<ProgramProfile> &edda::perfectClubProfiles() {
+  // Table 1 decision counts, Table 3 unique counts, Table 2
+  // simple/improved ratios, and Table 7 - Table 5 symbolic deltas, all
+  // transcribed from the paper.
+  static const std::vector<ProgramProfile> Profiles = {
+      {"AP", 6104, {229, 91, 613, 0, 0, 0}, {27, 0, 0, 0}, 1.45, 0, 6,
+       16, 0},
+      {"CS", 18520, {50, 0, 127, 15, 0, 0}, {14, 6, 0, 0}, 1.15, 0, 6,
+       8, 5},
+      {"LG", 2327, {6961, 0, 73, 0, 0, 0}, {23, 0, 0, 0}, 1.52, 3, 4, 0,
+       0},
+      {"LW", 1237, {54, 0, 34, 43, 0, 0}, {15, 2, 0, 0}, 1.06, 0, 0, 0,
+       0},
+      {"MT", 3785, {49, 0, 326, 0, 0, 0}, {14, 0, 0, 0}, 1.49, 0, 5, 0,
+       0},
+      {"NA", 3976, {45, 0, 679, 202, 1, 2}, {48, 11, 1, 1}, 1.14, 0, 7,
+       45, 0},
+      {"OC", 2739, {2, 7, 36, 0, 0, 0}, {5, 0, 0, 0}, 1.40, 0, 0, 1, 0},
+      {"SD", 7607, {949, 0, 526, 17, 5, 12}, {36, 6, 3, 4}, 1.08, 0, 0,
+       0, 0},
+      {"SM", 2759, {1004, 98, 264, 0, 0, 0}, {8, 0, 0, 0}, 1.63, 0, 0,
+       0, 0},
+      {"SR", 3970, {1679, 0, 1290, 0, 0, 0}, {14, 0, 0, 0}, 1.45, 0, 7,
+       1, 1},
+      {"TF", 2020, {801, 6, 826, 0, 0, 0}, {20, 0, 0, 0}, 1.21, 0, 20,
+       0, 0},
+      {"TI", 484, {0, 0, 4, 42, 0, 0}, {3, 8, 0, 0}, 1.46, 1, 0, 0, 0},
+      {"WS", 3884, {36, 182, 378, 4, 0, 160}, {35, 1, 0, 27}, 1.22, 0,
+       0, 4, 0},
+  };
+  return Profiles;
+}
+
+namespace {
+
+/// Loop bound sizes cycled through by the shape pools.
+constexpr int64_t SizeList[] = {10, 20, 50, 100};
+constexpr unsigned NumSizes = 4;
+
+unsigned scaled(unsigned Count, double Scale) {
+  if (Count == 0)
+    return 0;
+  double V = Count * Scale;
+  return std::max<unsigned>(1, static_cast<unsigned>(std::lround(V)));
+}
+
+/// Emits source for the synthetic cases of one program.
+class Emitter {
+public:
+  Emitter(const ProgramProfile &Profile, const GeneratorOptions &Opts)
+      : Profile(Profile), Opts(Opts),
+        Rng(Opts.Seed ^ hashVector({static_cast<int64_t>(
+                            Profile.Name.empty() ? 0 : Profile.Name[0] +
+                                                           Profile.Lines)})) {
+  }
+
+  std::string run() {
+    // Decision targets -> case counts. Every non-constant template also
+    // produces one self output-dependence problem; for the gcd template
+    // that self problem is SVPC-decided, so the SVPC case budget shrinks
+    // accordingly (see Generator.h).
+    const DecisionTargets &T = Profile.Table1;
+    unsigned GcdCases = scaled(T.Gcd, Opts.Scale);
+    // FM cases mix the cross-nest variant ({Fm:1, Svpc:1} decisions)
+    // with the in-nest variant ({Fm:2}), three to one, so a case
+    // yields 1.25 FM decisions and spills 0.75 SVPC decisions.
+    unsigned FmCases = T.Fm == 0 ? 0 : (T.Fm * 4 + 2) / 5;
+    unsigned FmSvpcSpill = (FmCases * 3) / 4;
+    unsigned SvpcDecisions = T.Svpc > T.Gcd + FmSvpcSpill
+                                 ? T.Svpc - T.Gcd - FmSvpcSpill
+                                 : 0;
+    emitKind(Kind::Constant, scaled((T.Constant + 1) / 2, Opts.Scale),
+             std::max(1u, scaled((T.Constant + 19) / 20, Opts.Scale)));
+    emitKind(Kind::Gcd, GcdCases,
+             poolFor(std::max(1u, T.Gcd / 10), GcdCases));
+    emitKind(Kind::Svpc, scaled((SvpcDecisions + 1) / 2, Opts.Scale),
+             poolFor(Profile.Unique.Svpc,
+                     scaled((SvpcDecisions + 1) / 2, Opts.Scale)));
+    emitKind(Kind::Acyclic, scaled((T.Acyclic + 1) / 2, Opts.Scale),
+             poolFor(Profile.Unique.Acyclic,
+                     scaled((T.Acyclic + 1) / 2, Opts.Scale)));
+    emitKind(Kind::Residue, scaled((T.Residue + 1) / 2, Opts.Scale),
+             poolFor(Profile.Unique.Residue,
+                     scaled((T.Residue + 1) / 2, Opts.Scale)));
+    emitKind(Kind::Fm, scaled(FmCases, Opts.Scale),
+             poolFor(Profile.Unique.Fm, scaled(FmCases, Opts.Scale)));
+    if (Opts.IncludeSymbolic) {
+      emitKind(Kind::SymSvpc, scaled((Profile.SymSvpc + 1) / 2,
+                                     Opts.Scale),
+               std::max(1u, scaled((Profile.SymSvpc + 3) / 4,
+                                   Opts.Scale)));
+      emitKind(Kind::SymAcyclic, scaled((Profile.SymAcyclic + 1) / 2,
+                                        Opts.Scale),
+               std::max(1u, scaled((Profile.SymAcyclic + 3) / 4,
+                                   Opts.Scale)));
+      emitKind(Kind::SymResidue, scaled((Profile.SymResidue + 1) / 2,
+                                        Opts.Scale),
+               std::max(1u, scaled((Profile.SymResidue + 3) / 4,
+                                   Opts.Scale)));
+    }
+
+    std::string Out = "program " + Profile.Name + "\n";
+    Out += Decls;
+    if (NeedSymbolic)
+      Out += "  read n\n";
+    Out += Body;
+    Out += "end\n";
+    return Out;
+  }
+
+private:
+  enum class Kind {
+    Constant,
+    Gcd,
+    Svpc,
+    Acyclic,
+    Residue,
+    Fm,
+    SymSvpc,
+    SymAcyclic,
+    SymResidue,
+  };
+
+  const ProgramProfile &Profile;
+  const GeneratorOptions &Opts;
+  SplitRng Rng;
+  std::string Decls;
+  std::string Body;
+  unsigned NextArray = 0;
+  bool NeedSymbolic = false;
+
+  unsigned poolFor(unsigned UniqueTarget, unsigned Cases) {
+    if (Cases == 0)
+      return 0;
+    unsigned Pool = std::max<unsigned>(
+        1, static_cast<unsigned>(std::lround(UniqueTarget * Opts.Scale)));
+    return std::min(Pool, Cases);
+  }
+
+  std::string newArray(unsigned Rank) {
+    std::string Name = "a" + std::to_string(NextArray++);
+    Decls += "  array " + Name;
+    for (unsigned R = 0; R < Rank; ++R)
+      Decls += "[1024]";
+    Decls += "\n";
+    return Name;
+  }
+
+  /// Number of unused-loop wrap variants for one shape. The Table 2
+  /// simple/improved ratio is fractional (e.g. 1.45), so a matching
+  /// fraction of the shapes get an extra variant.
+  unsigned wrapVariants(unsigned Shape) const {
+    double F = Profile.WrapFactor < 1.0 ? 1.0 : Profile.WrapFactor;
+    unsigned Whole = static_cast<unsigned>(F);
+    double Frac = F - Whole;
+    // Deterministic per-shape coin weighted by the fractional part.
+    unsigned Hash = (Shape * 2654435761u) % 100;
+    return Whole + (Hash < Frac * 100.0 ? 1 : 0);
+  }
+
+  void emitKind(Kind K, unsigned Cases, unsigned Pool) {
+    if (Cases == 0 || Pool == 0)
+      return;
+    for (unsigned C = 0; C < Cases; ++C) {
+      unsigned Shape = C % Pool;
+      unsigned Variant = (C / Pool) % wrapVariants(Shape);
+      emitCase(K, Shape, Variant);
+    }
+  }
+
+  /// Number of unused loops wrapped around this emission: the
+  /// profile's constant depth plus one more for non-zero variants
+  /// (whose bound also varies, so simple memo keys differ).
+  unsigned wrapDepthFor(unsigned Variant) const {
+    unsigned Depth = std::min(Profile.WrapDepth, Opts.MaxWrapDepth);
+    return Depth + (Variant > 0 ? 1 : 0);
+  }
+
+  void open(unsigned Variant, std::string &Indent) {
+    unsigned Depth = wrapDepthFor(Variant);
+    for (unsigned D = 0; D < Depth; ++D) {
+      std::string Var = D == 0 ? "w" : "w" + std::to_string(D + 1);
+      int64_t Bound = D == 0 && Variant > 0 ? 10 * Variant : 10;
+      Body += Indent + "for " + Var + " = 1 to " +
+              std::to_string(Bound) + " do\n";
+      Indent += "  ";
+    }
+  }
+  void close(unsigned Variant, std::string &Indent) {
+    unsigned Depth = wrapDepthFor(Variant);
+    for (unsigned D = 0; D < Depth; ++D) {
+      Indent.resize(Indent.size() - 2);
+      Body += Indent + "end\n";
+    }
+  }
+
+  void emitCase(Kind K, unsigned Shape, unsigned Variant) {
+    std::string Indent = "  ";
+    open(Variant, Indent);
+    int64_t N = SizeList[Shape % NumSizes];
+    int64_t S = Shape / NumSizes;
+    switch (K) {
+    case Kind::Constant: {
+      // a[c1] = a[c2]: dependent when the constants collide.
+      std::string A = newArray(1);
+      int64_t C1 = 1 + static_cast<int64_t>(Shape);
+      int64_t C2 = Shape % 4 == 0 ? C1 : C1 + 1 + (Shape % 7);
+      Body += Indent + "for i = 1 to 10 do\n";
+      Body += Indent + "  " + A + "[" + std::to_string(C1) + "] = " + A +
+              "[" + std::to_string(C2) + "] + 1\n";
+      Body += Indent + "end\n";
+      break;
+    }
+    case Kind::Gcd: {
+      if (Shape % 2 == 1) {
+        // Coupled inconsistent subscripts: each dimension alone is
+        // solvable (the traditional per-dimension GCD/Banerjee baseline
+        // assumes dependence) but the joint system is not — the
+        // extended GCD test proves independence. These cases carry the
+        // section 7 accuracy gap.
+        std::string A = newArray(2);
+        int64_t C = 1 + Shape / 2;
+        Body += Indent + "for i = 1 to 100 do\n";
+        Body += Indent + "  " + A + "[i][i + " + std::to_string(C) +
+                "] = " + A + "[i][i] + 1\n";
+        Body += Indent + "end\n";
+        break;
+      }
+      std::string A = newArray(1);
+      // Fixed loop size: the template's self pairs then collapse to one
+      // memoized SVPC problem, as real repeated references would.
+      int64_t D = 2 * (Shape / 2) + 1; // odd: 2i never equals 2i' + D
+      Body += Indent + "for i = 1 to 100 do\n";
+      Body += Indent + "  " + A + "[2*i] = " + A + "[2*i + " +
+              std::to_string(D) + "] + 1\n";
+      Body += Indent + "end\n";
+      break;
+    }
+    case Kind::Svpc: {
+      std::string A;
+      if (Shape % 5 == 1) {
+        // Coupled permutation subscripts (the paper's worked example):
+        // still one variable per constraint after GCD preprocessing.
+        A = newArray(2);
+        int64_t C1 = 1 + S;
+        int64_t C2 = C1 + (Shape % 2);
+        Body += Indent + "for i = 1 to " + std::to_string(N) + " do\n";
+        Body += Indent + "  for j = 1 to " + std::to_string(N) + " do\n";
+        Body += Indent + "    " + A + "[i][j] = " + A + "[j + " +
+                std::to_string(C1) + "][i + " + std::to_string(C2) +
+                "] + 1\n";
+        Body += Indent + "  end\n";
+        Body += Indent + "end\n";
+      } else {
+        A = newArray(1);
+        // Mostly dependent small strides; every fifth shape is out of
+        // range and independent.
+        int64_t D = Shape % 5 == 4 ? N + 1 + S : 1 + S;
+        Body += Indent + "for i = 1 to " + std::to_string(N) + " do\n";
+        Body += Indent + "  " + A + "[i + " + std::to_string(D) +
+                "] = " + A + "[i] + 1\n";
+        Body += Indent + "end\n";
+      }
+      break;
+    }
+    case Kind::Acyclic: {
+      // Triangular nest: the j <= i bound is the multi-variable
+      // constraint the Acyclic test eliminates.
+      std::string A = newArray(1);
+      int64_t D = Shape % 4 == 3 ? N + S : 1 + S % (N - 1);
+      Body += Indent + "for i = 1 to " + std::to_string(N) + " do\n";
+      Body += Indent + "  for j = 1 to i do\n";
+      Body += Indent + "    " + A + "[j] = " + A + "[j + " +
+              std::to_string(D) + "] + 1\n";
+      Body += Indent + "  end\n";
+      Body += Indent + "end\n";
+      break;
+    }
+    case Kind::Residue: {
+      // Banded nest: j in [i-B, i+B] creates a difference-constraint
+      // cycle only the Loop Residue test untangles.
+      std::string A = newArray(1);
+      int64_t B = 2 + Shape % 3;
+      int64_t D = Shape % 4 == 3 ? 2 * B + N + S : S % (2 * B + 1);
+      Body += Indent + "for i = 1 to " + std::to_string(N) + " do\n";
+      Body += Indent + "  for j = i - " + std::to_string(B) + " to i + " +
+              std::to_string(B) + " do\n";
+      Body += Indent + "    " + A + "[j] = " + A + "[j + " +
+              std::to_string(D) + "] + 1\n";
+      Body += Indent + "  end\n";
+      Body += Indent + "end\n";
+      break;
+    }
+    case Kind::Fm: {
+      std::string A = newArray(1);
+      if (Shape % 4 != 3) {
+        // Cross-nest coupling with mixed coefficients (2 vs 3): after
+        // GCD elimination the bounds become two-variable constraints
+        // with unequal magnitudes, which only Fourier-Motzkin handles.
+        // No common loops, so direction testing costs a single root
+        // query — the common case in the paper's FM column.
+        bool Indep = Shape % 8 >= 4;
+        int64_t D = Indep ? 2 * N + 1 + S : 2 * (S % (N - 2));
+        Body += Indent + "for i = 1 to " + std::to_string(N) + " do\n";
+        Body += Indent + "  " + A + "[2*i] = 1\n";
+        Body += Indent + "end\n";
+        Body += Indent + "for i2 = 1 to " + std::to_string(N) + " do\n";
+        Body += Indent + "  for j2 = 1 to " + std::to_string(N) +
+                " do\n";
+        Body += Indent + "    s = s + " + A + "[i2 + 3*j2 + " +
+                std::to_string(D) + "]\n";
+        Body += Indent + "  end\n";
+        Body += Indent + "end\n";
+        break;
+      }
+      // Coupled i+j subscripts inside one nest: three-variable
+      // constraints in both directions, refined over two common loops.
+      int64_t D = Shape % 8 == 7 ? 2 * N - 1 + S : 1 + S % (2 * N - 2);
+      Body += Indent + "for i = 1 to " + std::to_string(N) + " do\n";
+      Body += Indent + "  for j = 1 to " + std::to_string(N) + " do\n";
+      Body += Indent + "    " + A + "[i + j] = " + A + "[i + j + " +
+              std::to_string(D) + "] + 1\n";
+      Body += Indent + "  end\n";
+      Body += Indent + "end\n";
+      break;
+    }
+    case Kind::SymSvpc: {
+      // The symbolic term cancels in the subscript difference.
+      NeedSymbolic = true;
+      std::string A = newArray(1);
+      int64_t D = 1 + static_cast<int64_t>(Shape);
+      Body += Indent + "for i = 1 to " + std::to_string(N) + " do\n";
+      Body += Indent + "  " + A + "[i + n] = " + A + "[i + n + " +
+              std::to_string(D) + "] + 1\n";
+      Body += Indent + "end\n";
+      break;
+    }
+    case Kind::SymAcyclic: {
+      // Symbolic upper bound: i <= n is the one-directional
+      // multi-variable constraint.
+      NeedSymbolic = true;
+      std::string A = newArray(1);
+      int64_t D = 1 + static_cast<int64_t>(Shape);
+      Body += Indent + "for i = 1 to n do\n";
+      Body += Indent + "  " + A + "[i] = " + A + "[i + " +
+              std::to_string(D) + "] + 1\n";
+      Body += Indent + "end\n";
+      break;
+    }
+    case Kind::SymResidue: {
+      // The paper's section 8 example: i + n vs i' + 2n + 1 leaves a
+      // two-variable cycle between i and n.
+      NeedSymbolic = true;
+      std::string A = newArray(1);
+      int64_t D = 1 + static_cast<int64_t>(Shape);
+      Body += Indent + "for i = 1 to " + std::to_string(N) + " do\n";
+      Body += Indent + "  " + A + "[i + n] = " + A + "[i + 2*n + " +
+              std::to_string(D) + "] + 1\n";
+      Body += Indent + "end\n";
+      break;
+    }
+    }
+    close(Variant, Indent);
+  }
+};
+
+} // namespace
+
+std::string edda::generateProgramSource(const ProgramProfile &Profile,
+                                        const GeneratorOptions &Opts) {
+  return Emitter(Profile, Opts).run();
+}
+
+std::vector<std::pair<std::string, std::string>>
+edda::generatePerfectClubSuite(const GeneratorOptions &Opts) {
+  std::vector<std::pair<std::string, std::string>> Suite;
+  for (const ProgramProfile &Profile : perfectClubProfiles())
+    Suite.push_back(
+        {Profile.Name, generateProgramSource(Profile, Opts)});
+  return Suite;
+}

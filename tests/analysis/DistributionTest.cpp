@@ -1,0 +1,260 @@
+//===- tests/analysis/DistributionTest.cpp - Loop fission tests -----------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Transforms.h"
+
+#include "analysis/Interp.h"
+#include "testutil/Helpers.h"
+#include "gtest/gtest.h"
+
+using namespace edda;
+using namespace edda::testutil;
+
+namespace {
+
+struct Planned {
+  Program Prog;
+  LoopStmt *Loop = nullptr;
+  DistributionPlan Plan;
+};
+
+Planned plan(const std::string &Source) {
+  Planned P;
+  P.Prog = mustParse(Source, /*Prepass=*/false);
+  DependenceAnalyzer Analyzer;
+  DependenceGraph Graph = DependenceGraph::build(P.Prog, Analyzer);
+  for (StmtPtr &S : P.Prog.body())
+    if (S->kind() == StmtKind::Loop) {
+      P.Loop = &asLoop(*S);
+      break;
+    }
+  if (P.Loop)
+    P.Plan = planDistribution(Graph, P.Loop);
+  return P;
+}
+
+unsigned loopIdx(const Program &Prog) {
+  for (unsigned I = 0; I < Prog.body().size(); ++I)
+    if (Prog.body()[I]->kind() == StmtKind::Loop)
+      return I;
+  ADD_FAILURE() << "no loop";
+  return 0;
+}
+
+/// Distributes and checks memory equivalence.
+void distributeAndCheck(Planned &P) {
+  Program Original(P.Prog);
+  unsigned Idx = loopIdx(P.Prog);
+  ASSERT_TRUE(distributeLoop(P.Prog.body(), Idx, P.Plan));
+  InterpResult Before = interpret(Original);
+  InterpResult After = interpret(P.Prog);
+  ASSERT_TRUE(Before.Ok);
+  ASSERT_TRUE(After.Ok);
+  EXPECT_EQ(Before.Memory, After.Memory)
+      << "distribution changed semantics";
+}
+
+} // namespace
+
+TEST(Distribution, IndependentStatementsSplit) {
+  Planned P = plan(R"(program s
+  array a[100]
+  array b[100]
+  for i = 1 to 10 do
+    a[i] = i
+    b[i] = 2 * i
+  end
+end
+)");
+  ASSERT_NE(P.Loop, nullptr);
+  ASSERT_TRUE(P.Plan.distributable());
+  EXPECT_EQ(P.Plan.Groups.size(), 2u);
+  distributeAndCheck(P);
+  // Two loops now.
+  unsigned Loops = 0;
+  for (const StmtPtr &S : P.Prog.body())
+    if (S->kind() == StmtKind::Loop)
+      ++Loops;
+  EXPECT_EQ(Loops, 2u);
+}
+
+TEST(Distribution, ProducerConsumerSplitsInOrder) {
+  // S1 produces a[i], S2 consumes a[i]: two groups, S1's first.
+  Planned P = plan(R"(program s
+  array a[100]
+  array b[100]
+  for i = 1 to 10 do
+    a[i] = i
+    b[i] = a[i] + 1
+  end
+end
+)");
+  ASSERT_TRUE(P.Plan.distributable());
+  ASSERT_EQ(P.Plan.Groups.size(), 2u);
+  EXPECT_EQ(P.Plan.Groups[0], (std::vector<unsigned>{0}));
+  EXPECT_EQ(P.Plan.Groups[1], (std::vector<unsigned>{1}));
+  distributeAndCheck(P);
+}
+
+TEST(Distribution, BackwardCarriedDependenceReorders) {
+  // S1 reads b[i-1] written by S2 in the *previous* iteration: the
+  // condensation places S2's loop first (all writes precede all reads
+  // of later iterations — legal), unless they form a cycle.
+  Planned P = plan(R"(program s
+  array a[100]
+  array b[100]
+  for i = 2 to 10 do
+    a[i] = b[i - 1]
+    b[i] = i
+  end
+end
+)");
+  ASSERT_TRUE(P.Plan.distributable());
+  ASSERT_EQ(P.Plan.Groups.size(), 2u);
+  // b's writer (statement 1) must come first.
+  EXPECT_EQ(P.Plan.Groups[0], (std::vector<unsigned>{1}));
+  distributeAndCheck(P);
+}
+
+TEST(Distribution, RecurrenceCycleStaysTogether) {
+  // S1 and S2 feed each other across iterations: one SCC, not
+  // distributable.
+  Planned P = plan(R"(program s
+  array a[100]
+  array b[100]
+  for i = 2 to 10 do
+    a[i] = b[i - 1] + 1
+    b[i] = a[i - 1] + 2
+  end
+end
+)");
+  ASSERT_NE(P.Loop, nullptr);
+  EXPECT_FALSE(P.Plan.distributable());
+  ASSERT_EQ(P.Plan.Groups.size(), 1u);
+  EXPECT_EQ(P.Plan.Groups[0].size(), 2u);
+}
+
+TEST(Distribution, ScalarFlowGluesStatements) {
+  // s carries a value from S1 to S2 — invisible to array analysis,
+  // caught by the scalar glue.
+  Planned P = plan(R"(program s
+  array a[100]
+  array b[100]
+  for i = 1 to 10 do
+    s = a[i] + 1
+    b[i] = s
+  end
+end
+)");
+  ASSERT_NE(P.Loop, nullptr);
+  EXPECT_FALSE(P.Plan.distributable());
+}
+
+TEST(Distribution, MixedGroupsWithNestedLoop) {
+  // Three statements: an independent init, a nested-loop consumer of
+  // it, and an unrelated one.
+  Planned P = plan(R"(program s
+  array a[100]
+  array b[100][100]
+  array c[100]
+  for i = 1 to 8 do
+    a[i] = i
+    for j = 1 to 8 do
+      b[i][j] = a[i] + j
+    end
+    c[i] = 3 * i
+  end
+end
+)");
+  ASSERT_TRUE(P.Plan.distributable());
+  EXPECT_EQ(P.Plan.Groups.size(), 3u);
+  distributeAndCheck(P);
+}
+
+TEST(Distribution, UnanalyzableGlues) {
+  Planned P = plan(R"(program s
+  array a[100]
+  array idx[100]
+  for i = 1 to 10 do
+    a[idx[i]] = i
+    a[i] = a[i] + 1
+  end
+end
+)");
+  ASSERT_NE(P.Loop, nullptr);
+  // The indirect write conflicts with everything touching a.
+  EXPECT_FALSE(P.Plan.distributable());
+}
+
+TEST(Distribution, ApplyRejectsBadPlans) {
+  Planned P = plan(R"(program s
+  array a[100]
+  for i = 1 to 10 do
+    a[i] = i
+  end
+end
+)");
+  ASSERT_NE(P.Loop, nullptr);
+  // Single group: nothing to do.
+  EXPECT_FALSE(P.Plan.distributable());
+  EXPECT_FALSE(distributeLoop(P.Prog.body(), loopIdx(P.Prog), P.Plan));
+  // Malformed plan: wrong coverage.
+  DistributionPlan Bad;
+  Bad.Groups = {{0}, {5}};
+  EXPECT_FALSE(distributeLoop(P.Prog.body(), loopIdx(P.Prog), Bad));
+}
+
+TEST(Distribution, SemanticsPreservedOnWorkloadSamples) {
+  // Distribute the first distributable loop of a couple of classic
+  // kernels and check the interpreter agrees.
+  const char *Kernels[] = {
+      R"(program k1
+  array a[100]
+  array b[100]
+  array c[100]
+  for i = 2 to 20 do
+    a[i] = a[i - 1] + 1
+    b[i] = a[i] * 2
+    c[i] = b[i] + a[i]
+  end
+end
+)",
+      R"(program k2
+  array x[100]
+  array y[100]
+  for i = 1 to 15 do
+    x[i] = i * i
+    y[i] = x[i] - 1
+  end
+end
+)",
+  };
+  for (const char *Source : Kernels) {
+    Planned P = plan(Source);
+    ASSERT_NE(P.Loop, nullptr);
+    if (!P.Plan.distributable())
+      continue;
+    distributeAndCheck(P);
+  }
+}
+
+TEST(DependenceGraphDot, RendersEdges) {
+  Program Prog = mustParse(R"(program s
+  array a[100]
+  for i = 1 to 10 do
+    a[i + 1] = a[i]
+  end
+end
+)");
+  DependenceAnalyzer Analyzer;
+  DependenceGraph G = DependenceGraph::build(Prog, Analyzer);
+  std::string Dot = G.toDot(Prog);
+  EXPECT_NE(Dot.find("digraph dependences"), std::string::npos);
+  EXPECT_NE(Dot.find("flow"), std::string::npos);
+  EXPECT_NE(Dot.find("->"), std::string::npos);
+  EXPECT_NE(Dot.find("(<)"), std::string::npos);
+}

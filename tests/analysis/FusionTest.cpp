@@ -1,0 +1,248 @@
+//===- tests/analysis/FusionTest.cpp - Loop fusion legality tests ---------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Transforms.h"
+
+#include "analysis/Interp.h"
+#include "testutil/Helpers.h"
+#include "gtest/gtest.h"
+
+using namespace edda;
+using namespace edda::testutil;
+
+namespace {
+
+struct TwoLoops {
+  Program Prog;
+  LoopStmt *First = nullptr;
+  LoopStmt *Second = nullptr;
+};
+
+TwoLoops parseTwo(const std::string &Source) {
+  TwoLoops T;
+  T.Prog = mustParse(Source, /*Prepass=*/false);
+  for (StmtPtr &S : T.Prog.body()) {
+    if (S->kind() != StmtKind::Loop)
+      continue;
+    if (!T.First)
+      T.First = &asLoop(*S);
+    else if (!T.Second)
+      T.Second = &asLoop(*S);
+  }
+  return T;
+}
+
+} // namespace
+
+TEST(Fusion, LegalProducerConsumer) {
+  // Second loop reads exactly what the same iteration of the first
+  // wrote: fusion keeps the producer before the consumer.
+  TwoLoops T = parseTwo(R"(program s
+  array a[100]
+  array b[100]
+  for i = 1 to 10 do
+    a[i] = i
+  end
+  for i = 1 to 10 do
+    b[i] = a[i] + 1
+  end
+end
+)");
+  ASSERT_NE(T.Second, nullptr);
+  EXPECT_TRUE(canFuse(T.Prog, T.First, T.Second).Legal);
+}
+
+TEST(Fusion, IllegalForwardRead) {
+  // Second loop reads a[i+1], written by a *later* iteration of the
+  // first loop: post-fusion iteration i would read before the write —
+  // the textbook fusion-preventing dependence.
+  TwoLoops T = parseTwo(R"(program s
+  array a[100]
+  array b[100]
+  for i = 1 to 10 do
+    a[i] = i
+  end
+  for i = 1 to 10 do
+    b[i] = a[i + 1] + 1
+  end
+end
+)");
+  ASSERT_NE(T.Second, nullptr);
+  LegalityResult R = canFuse(T.Prog, T.First, T.Second);
+  EXPECT_FALSE(R.Legal);
+  ASSERT_FALSE(R.Violation.empty());
+  EXPECT_EQ(R.Violation.back(), Dir::Greater);
+}
+
+TEST(Fusion, LegalBackwardRead) {
+  // Reading a[i-1] is fine: the producer iteration is earlier either
+  // way.
+  TwoLoops T = parseTwo(R"(program s
+  array a[100]
+  array b[100]
+  for i = 2 to 10 do
+    a[i] = i
+  end
+  for i = 2 to 10 do
+    b[i] = a[i - 1] + 1
+  end
+end
+)");
+  EXPECT_TRUE(canFuse(T.Prog, T.First, T.Second).Legal);
+}
+
+TEST(Fusion, IllegalWriteAfterRead) {
+  // First loop reads a[i+1]; second loop writes a[i]. Fusing would
+  // make iteration i+1's write precede iteration i+1's... the read of
+  // a[i+1] at iteration i must still see the *old* value, but after
+  // fusion the write a[i+1] (iteration i+1) runs after the read
+  // (iteration i) — that is fine; the violation needs the write at an
+  // iteration i2 < i1. Writing a[i-1] in the second loop creates it.
+  TwoLoops T = parseTwo(R"(program s
+  array a[100]
+  array b[100]
+  for i = 2 to 10 do
+    b[i] = a[i] + 1
+  end
+  for i = 2 to 10 do
+    a[i - 2] = i
+  end
+end
+)");
+  ASSERT_NE(T.Second, nullptr);
+  // Pre-fusion: every read of a[i] sees the original values. Fused,
+  // iteration i reads a[i] but iteration i-... the write a[i-2] at
+  // iteration i+2 > i comes later -> fine; the dangerous direction is
+  // the write at iteration i2 with i2 - 2 == i1 and i2 < ... i2 =
+  // i1 + 2 > i1, so actually legal. Verify via the interpreter that
+  // legality and semantics agree.
+  LegalityResult R = canFuse(T.Prog, T.First, T.Second);
+  // Anti dependence with the write strictly later: legal.
+  EXPECT_TRUE(R.Legal);
+
+  // Now the reverse offset: the second loop writes a[i+2], i.e. the
+  // value read by a *later* iteration of the first loop; fused, the
+  // write at i2 happens before the read at i1 = i2 + 2 — it clobbers.
+  TwoLoops U = parseTwo(R"(program s
+  array a[100]
+  array b[100]
+  for i = 2 to 10 do
+    b[i] = a[i] + 1
+  end
+  for i = 2 to 10 do
+    a[i + 2] = i
+  end
+end
+)");
+  EXPECT_FALSE(canFuse(U.Prog, U.First, U.Second).Legal);
+}
+
+TEST(Fusion, LegalityAgreesWithInterpreter) {
+  // For a spread of offsets, canFuse must say legal exactly when
+  // fusing preserves the memory image.
+  for (int64_t Offset = -3; Offset <= 3; ++Offset) {
+    std::string Source = R"(program s
+  array a[100]
+  array b[100]
+  for i = 4 to 12 do
+    a[i] = i
+  end
+  for i = 4 to 12 do
+    b[i] = a[i + )" + std::to_string(Offset >= 0 ? Offset : -Offset) +
+                         std::string(Offset >= 0 ? "" : " - 2 * " +
+                                     std::to_string(-Offset)) +
+                         R"(] + 1
+  end
+end
+)";
+    // Build "i + k" or "i + k - 2k" = i - k.
+    TwoLoops T = parseTwo(Source);
+    ASSERT_NE(T.Second, nullptr) << Source;
+    bool Legal = canFuse(T.Prog, T.First, T.Second).Legal;
+
+    Program Fused(T.Prog);
+    // Re-locate loops in the copy and fuse.
+    std::vector<StmtPtr> &Body = Fused.body();
+    unsigned FirstIdx = 0;
+    while (Body[FirstIdx]->kind() != StmtKind::Loop)
+      ++FirstIdx;
+    ASSERT_TRUE(fuseLoops(Fused, Body, FirstIdx));
+
+    InterpResult Before = interpret(T.Prog);
+    InterpResult After = interpret(Fused);
+    ASSERT_TRUE(Before.Ok);
+    ASSERT_TRUE(After.Ok);
+    bool SameSemantics = Before.Memory == After.Memory;
+    // Legality implies preservation; illegality must correspond to an
+    // actual change for these offsets (reads of written cells).
+    if (Legal)
+      EXPECT_TRUE(SameSemantics) << "offset " << Offset;
+    else
+      EXPECT_FALSE(SameSemantics) << "offset " << Offset;
+  }
+}
+
+TEST(Fusion, FuseLoopsStructuralChecks) {
+  TwoLoops T = parseTwo(R"(program s
+  array a[100]
+  for i = 1 to 10 do
+    a[i] = 1
+  end
+  for j = 1 to 9 do
+    a[j] = 2
+  end
+end
+)");
+  // Different upper bounds: refuse.
+  EXPECT_FALSE(fuseLoops(T.Prog, T.Prog.body(), 0));
+
+  TwoLoops U = parseTwo(R"(program s
+  array a[100]
+  array b[100]
+  for i = 1 to 10 do
+    a[i] = 1
+  end
+  for j = 1 to 10 do
+    b[j] = a[j] + 1
+  end
+end
+)");
+  ASSERT_TRUE(canFuse(U.Prog, U.First, U.Second).Legal);
+  ASSERT_TRUE(fuseLoops(U.Prog, U.Prog.body(), 0));
+  // One loop left, with both statements, j rewritten to i.
+  unsigned Loops = 0;
+  for (const StmtPtr &S : U.Prog.body())
+    if (S->kind() == StmtKind::Loop)
+      ++Loops;
+  EXPECT_EQ(Loops, 1u);
+  const LoopStmt &Fused = asLoop(*U.Prog.body()[0]);
+  EXPECT_EQ(Fused.body().size(), 2u);
+  const AssignStmt &Moved = asAssign(*Fused.body()[1]);
+  EXPECT_TRUE(Moved.rhs()->references(Fused.varId()));
+}
+
+TEST(Fusion, InterpreterConfirmsFusedProgram) {
+  TwoLoops T = parseTwo(R"(program s
+  array a[100]
+  array b[100]
+  for i = 1 to 10 do
+    a[i] = 2 * i
+  end
+  for i = 1 to 10 do
+    b[i] = a[i] + 1
+  end
+end
+)");
+  ASSERT_TRUE(canFuse(T.Prog, T.First, T.Second).Legal);
+  Program Fused(T.Prog);
+  ASSERT_TRUE(fuseLoops(Fused, Fused.body(), 0));
+  InterpResult Before = interpret(T.Prog);
+  InterpResult After = interpret(Fused);
+  ASSERT_TRUE(Before.Ok);
+  ASSERT_TRUE(After.Ok);
+  EXPECT_EQ(Before.Memory, After.Memory);
+}

@@ -1,0 +1,209 @@
+//===- tests/analysis/InterpTest.cpp - Interpreter tests ------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Interp.h"
+
+#include "testutil/Helpers.h"
+#include "gtest/gtest.h"
+
+using namespace edda;
+using namespace edda::testutil;
+
+TEST(Interp, ScalarArithmetic) {
+  Program P = mustParse(R"(program s
+  array a[10]
+  k = 2 + 3 * 4
+  a[1] = k - 1
+end
+)",
+                        /*Prepass=*/false);
+  InterpResult R = interpret(P);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ((R.Memory.at({0, {1}})), 13);
+}
+
+TEST(Interp, LoopExecution) {
+  Program P = mustParse(R"(program s
+  array a[20]
+  for i = 1 to 5 do
+    a[i] = 2 * i
+  end
+end
+)",
+                        /*Prepass=*/false);
+  InterpResult R = interpret(P);
+  ASSERT_TRUE(R.Ok);
+  for (int64_t I = 1; I <= 5; ++I)
+    EXPECT_EQ((R.Memory.at({0, {I}})), 2 * I);
+  EXPECT_EQ(R.Trace.size(), 5u); // five writes
+}
+
+TEST(Interp, NegativeStepLoop) {
+  Program P = mustParse(R"(program s
+  array a[20]
+  k = 0
+  for i = 5 to 1 step -2 do
+    k = k + i
+  end
+  a[1] = k
+end
+)",
+                        /*Prepass=*/false);
+  InterpResult R = interpret(P);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ((R.Memory.at({0, {1}})), 5 + 3 + 1);
+}
+
+TEST(Interp, ZeroTripLoop) {
+  Program P = mustParse(R"(program s
+  array a[20]
+  for i = 5 to 1 do
+    a[i] = 1
+  end
+end
+)",
+                        /*Prepass=*/false);
+  InterpResult R = interpret(P);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(R.Memory.empty());
+  EXPECT_TRUE(R.Trace.empty());
+}
+
+TEST(Interp, ReadsDefaultToZero) {
+  Program P = mustParse(R"(program s
+  array a[20]
+  a[1] = a[9] + 7
+end
+)",
+                        /*Prepass=*/false);
+  InterpResult R = interpret(P);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ((R.Memory.at({0, {1}})), 7);
+}
+
+TEST(Interp, TraceRecordsSlotsAndOrder) {
+  Program P = mustParse(R"(program s
+  array a[20]
+  for i = 1 to 2 do
+    a[i + 1] = a[i] + 1
+  end
+end
+)",
+                        /*Prepass=*/false);
+  InterpResult R = interpret(P);
+  ASSERT_TRUE(R.Ok);
+  ASSERT_EQ(R.Trace.size(), 4u);
+  // Per iteration: read slot 0 first, then the write (RHS evaluates
+  // before the store).
+  EXPECT_FALSE(R.Trace[0].IsWrite);
+  EXPECT_EQ(R.Trace[0].Slot, 0);
+  EXPECT_TRUE(R.Trace[1].IsWrite);
+  EXPECT_EQ(R.Trace[1].Slot, -1);
+  EXPECT_LT(R.Trace[0].Seq, R.Trace[1].Seq);
+  // Iteration vectors recorded.
+  ASSERT_EQ(R.Trace[0].Iteration.size(), 1u);
+  EXPECT_EQ(R.Trace[0].Iteration[0].second, 1);
+  EXPECT_EQ(R.Trace[2].Iteration[0].second, 2);
+}
+
+TEST(Interp, CarriedValueAcrossIterations) {
+  Program P = mustParse(R"(program s
+  array a[20]
+  a[1] = 1
+  for i = 2 to 6 do
+    a[i] = a[i - 1] * 2
+  end
+end
+)",
+                        /*Prepass=*/false);
+  InterpResult R = interpret(P);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ((R.Memory.at({0, {6}})), 32);
+}
+
+TEST(Interp, SymbolicValuesInjected) {
+  Program P = mustParse(R"(program s
+  array a[200]
+  read n
+  a[n] = n + 1
+end
+)",
+                        /*Prepass=*/false);
+  InterpOptions Opts;
+  Opts.SymbolicValues[*P.lookupVar("n")] = 42;
+  InterpResult R = interpret(P, Opts);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ((R.Memory.at({0, {42}})), 43);
+}
+
+TEST(Interp, MultiDimensionalIndices) {
+  Program P = mustParse(R"(program s
+  array a[10][10]
+  for i = 1 to 3 do
+    for j = 1 to 3 do
+      a[i][j] = 10 * i + j
+    end
+  end
+end
+)",
+                        /*Prepass=*/false);
+  InterpResult R = interpret(P);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ((R.Memory.at({0, {2, 3}})), 23);
+}
+
+TEST(Interp, AccessBudgetEnforced) {
+  Program P = mustParse(R"(program s
+  array a[10]
+  for i = 1 to 1000 do
+    a[1] = i
+  end
+end
+)",
+                        /*Prepass=*/false);
+  InterpOptions Opts;
+  Opts.MaxAccesses = 10;
+  InterpResult R = interpret(P, Opts);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("budget"), std::string::npos);
+}
+
+TEST(Interp, OverflowReported) {
+  Program P = mustParse(R"(program s
+  array a[10]
+  k = 9223372036854775807
+  a[1] = k + 1
+end
+)",
+                        /*Prepass=*/false);
+  InterpResult R = interpret(P);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("overflow"), std::string::npos);
+}
+
+TEST(Interp, NestedArrayReadSlots) {
+  Program P = mustParse(R"(program s
+  array a[10]
+  array idx[10]
+  idx[1] = 3
+  for i = 1 to 1 do
+    a[idx[i]] = a[2] + 1
+  end
+end
+)",
+                        /*Prepass=*/false);
+  InterpResult R = interpret(P);
+  ASSERT_TRUE(R.Ok);
+  // idx write, then per iteration: idx read (slot 0, LHS subscript),
+  // a read (slot 1), a write (slot -1).
+  ASSERT_EQ(R.Trace.size(), 4u);
+  EXPECT_EQ(R.Trace[1].Slot, 0);
+  EXPECT_EQ(R.Trace[1].ArrayId, *P.lookupArray("idx"));
+  EXPECT_EQ(R.Trace[2].Slot, 1);
+  EXPECT_EQ(R.Trace[3].Slot, -1);
+  EXPECT_EQ(R.Trace[3].Indices, (std::vector<int64_t>{3}));
+}

@@ -1,0 +1,183 @@
+//===- tests/analysis/ParallelizerTest.cpp - Parallelizer tests -----------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Parallelizer.h"
+
+#include "testutil/Helpers.h"
+#include "gtest/gtest.h"
+
+#include <functional>
+
+using namespace edda;
+using namespace edda::testutil;
+
+namespace {
+
+/// Runs the parallelizer and returns the program (mutated in place).
+Program parallelized(const std::string &Source,
+                     ParallelizeSummary *Summary = nullptr) {
+  Program P = mustParse(Source, /*Prepass=*/false);
+  DependenceAnalyzer Analyzer;
+  ParallelizeSummary S = parallelize(P, Analyzer);
+  if (Summary)
+    *Summary = S;
+  return P;
+}
+
+const LoopStmt &loopNamed(const Program &P, const std::string &Name) {
+  unsigned Var = *P.lookupVar(Name);
+  const LoopStmt *Found = nullptr;
+  std::function<void(const std::vector<StmtPtr> &)> Walk =
+      [&](const std::vector<StmtPtr> &Body) {
+        for (const StmtPtr &S : Body) {
+          if (S->kind() != StmtKind::Loop)
+            continue;
+          const LoopStmt &L = asLoop(*S);
+          if (L.varId() == Var)
+            Found = &L;
+          Walk(L.body());
+        }
+      };
+  Walk(P.body());
+  EXPECT_NE(Found, nullptr) << "loop " << Name << " not found";
+  return *Found;
+}
+
+} // namespace
+
+TEST(Parallelizer, PaperIntroExamples) {
+  // First intro loop: fully parallel; second: serial.
+  ParallelizeSummary S;
+  Program P = parallelized(R"(program s
+  array a[100]
+  array b[100]
+  for i = 1 to 10 do
+    a[i] = a[i + 10] + 3
+  end
+  for j = 1 to 10 do
+    b[j + 1] = b[j] + 3
+  end
+end
+)",
+                           &S);
+  EXPECT_TRUE(loopNamed(P, "i").isParallel());
+  EXPECT_FALSE(loopNamed(P, "j").isParallel());
+  EXPECT_EQ(S.LoopsTotal, 2u);
+  EXPECT_EQ(S.LoopsParallel, 1u);
+}
+
+TEST(Parallelizer, EqualDirectionDoesNotSerialize) {
+  // a[i] = a[i] + 1: dependence with direction '=' only.
+  Program P = parallelized(R"(program s
+  array a[100]
+  for i = 1 to 10 do
+    a[i] = a[i] + 1
+  end
+end
+)");
+  EXPECT_TRUE(loopNamed(P, "i").isParallel());
+}
+
+TEST(Parallelizer, OuterCarriedInnerParallel) {
+  // a[i][j] = a[i-1][j]: carried by i, j parallel.
+  Program P = parallelized(R"(program s
+  array a[20][20]
+  for i = 2 to 10 do
+    for j = 1 to 10 do
+      a[i][j] = a[i - 1][j] + 1
+    end
+  end
+end
+)");
+  EXPECT_FALSE(loopNamed(P, "i").isParallel());
+  EXPECT_TRUE(loopNamed(P, "j").isParallel());
+}
+
+TEST(Parallelizer, InnerCarriedOuterParallel) {
+  Program P = parallelized(R"(program s
+  array a[20][20]
+  for i = 1 to 10 do
+    for j = 2 to 10 do
+      a[i][j] = a[i][j - 1] + 1
+    end
+  end
+end
+)");
+  EXPECT_TRUE(loopNamed(P, "i").isParallel());
+  EXPECT_FALSE(loopNamed(P, "j").isParallel());
+}
+
+TEST(Parallelizer, UnusedLoopSerializedByCarriedScalarPattern) {
+  // a[j] = a[j] + 1 inside an i loop: every i iteration touches the
+  // same elements -> i is carried (direction '*' at i's level).
+  Program P = parallelized(R"(program s
+  array a[100]
+  for i = 1 to 10 do
+    for j = 1 to 10 do
+      a[j] = a[j] + 1
+    end
+  end
+end
+)");
+  EXPECT_FALSE(loopNamed(P, "i").isParallel());
+  EXPECT_TRUE(loopNamed(P, "j").isParallel());
+}
+
+TEST(Parallelizer, UnanalyzableSerializesConservatively) {
+  Program P = parallelized(R"(program s
+  array a[100]
+  array idx[100]
+  for i = 1 to 10 do
+    a[idx[i]] = a[i] + 1
+  end
+end
+)");
+  EXPECT_FALSE(loopNamed(P, "i").isParallel());
+}
+
+TEST(Parallelizer, StencilExample) {
+  // Jacobi-style: reads of the previous array only; fully parallel.
+  Program P = parallelized(R"(program s
+  array next[100][100]
+  array prev[100][100]
+  for i = 2 to 99 do
+    for j = 2 to 99 do
+      next[i][j] = prev[i - 1][j] + prev[i + 1][j] + prev[i][j - 1] + prev[i][j + 1]
+    end
+  end
+end
+)");
+  EXPECT_TRUE(loopNamed(P, "i").isParallel());
+  EXPECT_TRUE(loopNamed(P, "j").isParallel());
+}
+
+TEST(Parallelizer, WavefrontSerializesBothLevels) {
+  // a[i][j] = a[i-1][j-1]: carried by the outer loop; inner is then
+  // parallel for fixed i? The dependence (i-1, j-1) -> (i, j) has
+  // vector (<, <): carried at level 0 only, so j stays parallel.
+  Program P = parallelized(R"(program s
+  array a[20][20]
+  for i = 2 to 10 do
+    for j = 2 to 10 do
+      a[i][j] = a[i - 1][j - 1] + 1
+    end
+  end
+end
+)");
+  EXPECT_FALSE(loopNamed(P, "i").isParallel());
+  EXPECT_TRUE(loopNamed(P, "j").isParallel());
+}
+
+TEST(CarriedAt, DirectionVectorSemantics) {
+  EXPECT_TRUE(carriedAt({Dir::Less}, 0));
+  EXPECT_FALSE(carriedAt({Dir::Equal}, 0));
+  EXPECT_TRUE(carriedAt({Dir::Equal, Dir::Less}, 1));
+  EXPECT_FALSE(carriedAt({Dir::Less, Dir::Less}, 1)); // outer-carried
+  EXPECT_TRUE(carriedAt({Dir::Any, Dir::Less}, 1));   // '*' may be '='
+  EXPECT_TRUE(carriedAt({Dir::Greater}, 0));
+  EXPECT_FALSE(carriedAt({Dir::Less}, 3)); // outside the vector
+}

@@ -1,0 +1,103 @@
+//===- tests/analysis/RefsTest.cpp - Reference collection tests -----------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Refs.h"
+
+#include "testutil/Helpers.h"
+#include "gtest/gtest.h"
+
+using namespace edda;
+using namespace edda::testutil;
+
+TEST(Refs, WriteAndReadCollected) {
+  Program P = mustParse(R"(program s
+  array a[100]
+  for i = 1 to 10 do
+    a[i + 1] = a[i] + 2
+  end
+end
+)");
+  std::vector<ArrayReference> Refs = collectReferences(P);
+  ASSERT_EQ(Refs.size(), 2u);
+  EXPECT_TRUE(Refs[0].IsWrite);
+  EXPECT_EQ(Refs[0].Slot, -1);
+  EXPECT_FALSE(Refs[1].IsWrite);
+  EXPECT_EQ(Refs[1].Slot, 0);
+  EXPECT_EQ(Refs[0].Loops.size(), 1u);
+  EXPECT_EQ(Refs[0].Stmt, Refs[1].Stmt);
+}
+
+TEST(Refs, SlotOrderLhsSubscriptsFirst) {
+  Program P = mustParse(R"(program s
+  array a[100]
+  array idx[100]
+  for i = 1 to 10 do
+    a[idx[i]] = a[i] + idx[i + 1]
+  end
+end
+)",
+                        /*Prepass=*/false);
+  std::vector<ArrayReference> Refs = collectReferences(P);
+  // write a, read idx (LHS subscript), read a, read idx.
+  ASSERT_EQ(Refs.size(), 4u);
+  EXPECT_TRUE(Refs[0].IsWrite);
+  EXPECT_EQ(Refs[1].Slot, 0);
+  EXPECT_EQ(Refs[1].ArrayId, *P.lookupArray("idx"));
+  EXPECT_EQ(Refs[2].Slot, 1);
+  EXPECT_EQ(Refs[2].ArrayId, *P.lookupArray("a"));
+  EXPECT_EQ(Refs[3].Slot, 2);
+}
+
+TEST(Refs, ScalarAssignmentReadsCollected) {
+  Program P = mustParse(R"(program s
+  array a[100]
+  s = 0
+  for i = 1 to 10 do
+    s = s + a[i]
+  end
+end
+)",
+                        /*Prepass=*/false);
+  std::vector<ArrayReference> Refs = collectReferences(P);
+  ASSERT_EQ(Refs.size(), 1u);
+  EXPECT_FALSE(Refs[0].IsWrite);
+  EXPECT_EQ(Refs[0].Loops.size(), 1u);
+}
+
+TEST(Refs, NestingRecorded) {
+  Program P = mustParse(R"(program s
+  array a[100][100]
+  for i = 1 to 10 do
+    for j = 1 to 10 do
+      a[i][j] = 1
+    end
+    a[i][1] = 2
+  end
+end
+)");
+  std::vector<ArrayReference> Refs = collectReferences(P);
+  ASSERT_EQ(Refs.size(), 2u);
+  EXPECT_EQ(Refs[0].Loops.size(), 2u);
+  EXPECT_EQ(Refs[1].Loops.size(), 1u);
+  // Common outer loop object shared.
+  EXPECT_EQ(Refs[0].Loops[0], Refs[1].Loops[0]);
+}
+
+TEST(Refs, StrSmoke) {
+  Program P = mustParse(R"(program s
+  array a[100]
+  for i = 1 to 10 do
+    a[i + 1] = 0
+  end
+end
+)");
+  std::vector<ArrayReference> Refs = collectReferences(P);
+  ASSERT_EQ(Refs.size(), 1u);
+  std::string S = refStr(P, Refs[0]);
+  EXPECT_NE(S.find("a["), std::string::npos);
+  EXPECT_NE(S.find("write"), std::string::npos);
+}

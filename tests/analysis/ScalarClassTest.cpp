@@ -1,0 +1,232 @@
+//===- tests/analysis/ScalarClassTest.cpp - Scalar classification ---------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallelizer client must not stop at array dependences: scalars
+/// assigned in a loop body serialize it unless they are privatizable
+/// or reductions. These tests pin the classification and its effect on
+/// parallelization.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Parallelizer.h"
+
+#include "testutil/Helpers.h"
+#include "gtest/gtest.h"
+
+#include <map>
+
+using namespace edda;
+using namespace edda::testutil;
+
+namespace {
+
+std::map<std::string, ScalarClass>
+classesOf(const std::string &Source, bool Prepass = false) {
+  Program P = mustParse(Source, Prepass);
+  const LoopStmt *Loop = nullptr;
+  for (const StmtPtr &S : P.body())
+    if (S->kind() == StmtKind::Loop) {
+      Loop = &asLoop(*S);
+      break;
+    }
+  std::map<std::string, ScalarClass> Out;
+  if (!Loop)
+    return Out;
+  for (const auto &[Var, Class] : classifyScalars(P, *Loop))
+    Out[P.var(Var).Name] = Class;
+  return Out;
+}
+
+bool firstLoopParallel(const std::string &Source,
+                       ParallelizeSummary *Summary = nullptr) {
+  Program P = mustParse(Source, /*Prepass=*/false);
+  DependenceAnalyzer Analyzer;
+  ParallelizeSummary S = parallelize(P, Analyzer);
+  if (Summary)
+    *Summary = S;
+  for (const StmtPtr &Stmt : P.body())
+    if (Stmt->kind() == StmtKind::Loop)
+      return asLoop(*Stmt).isParallel();
+  return false;
+}
+
+} // namespace
+
+TEST(ScalarClass, SumReduction) {
+  auto C = classesOf(R"(program s
+  array a[100]
+  s = 0
+  for i = 1 to 10 do
+    s = s + a[i]
+  end
+end
+)");
+  EXPECT_EQ(C.at("s"), ScalarClass::Reduction);
+}
+
+TEST(ScalarClass, ProductAndSubtractionReductions) {
+  auto C = classesOf(R"(program s
+  array a[100]
+  p = 1
+  d = 0
+  for i = 1 to 10 do
+    p = p * 2
+    d = d - a[i]
+  end
+end
+)");
+  EXPECT_EQ(C.at("p"), ScalarClass::Reduction);
+  EXPECT_EQ(C.at("d"), ScalarClass::Reduction);
+}
+
+TEST(ScalarClass, NestedReduction) {
+  // The update sits in an inner loop; the outer loop is still a
+  // reduction.
+  auto C = classesOf(R"(program s
+  array a[100][100]
+  s = 0
+  for i = 1 to 10 do
+    for j = 1 to 10 do
+      s = s + a[i][j]
+    end
+  end
+end
+)");
+  EXPECT_EQ(C.at("s"), ScalarClass::Reduction);
+}
+
+TEST(ScalarClass, MixedOperatorsNotAReduction) {
+  auto C = classesOf(R"(program s
+  array a[100]
+  s = 0
+  for i = 1 to 10 do
+    s = s + a[i]
+    s = s * 2
+  end
+end
+)");
+  EXPECT_EQ(C.at("s"), ScalarClass::Carried);
+}
+
+TEST(ScalarClass, ReductionValueUsedInBodyIsCarried) {
+  auto C = classesOf(R"(program s
+  array a[100]
+  array b[100]
+  s = 0
+  for i = 1 to 10 do
+    s = s + a[i]
+    b[i] = s
+  end
+end
+)");
+  EXPECT_EQ(C.at("s"), ScalarClass::Carried);
+}
+
+TEST(ScalarClass, PrivateTemporary) {
+  auto C = classesOf(R"(program s
+  array a[100]
+  array b[100]
+  for i = 1 to 10 do
+    t = a[i] + 1
+    b[i] = t * t
+  end
+end
+)");
+  EXPECT_EQ(C.at("t"), ScalarClass::Private);
+}
+
+TEST(ScalarClass, ReadBeforeWriteIsCarried) {
+  auto C = classesOf(R"(program s
+  array a[100]
+  t = 5
+  for i = 1 to 10 do
+    a[i] = t
+    t = a[i] + 1
+  end
+end
+)");
+  EXPECT_EQ(C.at("t"), ScalarClass::Carried);
+}
+
+TEST(ScalarClass, ConditionalWriteInNestedLoopIsCarried) {
+  // The nested loop may run zero times, so the write is not definite.
+  auto C = classesOf(R"(program s
+  array a[100]
+  array b[100]
+  read n
+  t = 0
+  for i = 1 to 10 do
+    for j = 1 to n do
+      t = i + j
+    end
+    b[i] = t
+  end
+end
+)");
+  EXPECT_EQ(C.at("t"), ScalarClass::Carried);
+}
+
+TEST(ScalarClass, ParallelizerSerializesCarriedScalars) {
+  // Running max: genuinely sequential (not a recognized reduction).
+  EXPECT_FALSE(firstLoopParallel(R"(program s
+  array a[100]
+  array b[100]
+  m = 0
+  for i = 1 to 10 do
+    m = m + b[i] * m
+    a[i] = m
+  end
+end
+)"));
+}
+
+TEST(ScalarClass, ParallelizerAllowsReductions) {
+  ParallelizeSummary Summary;
+  EXPECT_TRUE(firstLoopParallel(R"(program s
+  array a[100]
+  s = 0
+  for i = 1 to 10 do
+    s = s + a[i]
+  end
+end
+)",
+                                &Summary));
+  EXPECT_EQ(Summary.LoopsWithReductions, 1u);
+}
+
+TEST(ScalarClass, ParallelizerAllowsPrivates) {
+  ParallelizeSummary Summary;
+  EXPECT_TRUE(firstLoopParallel(R"(program s
+  array a[100]
+  array b[100]
+  for i = 1 to 10 do
+    t = a[i] * 2
+    b[i] = t + 1
+  end
+end
+)",
+                                &Summary));
+  EXPECT_EQ(Summary.LoopsWithReductions, 0u);
+}
+
+TEST(ScalarClass, InductionRemnantStaysParallelAfterPrepass) {
+  // After the prepass rewrites uses, the increment's stored value no
+  // longer feeds anything in the loop; the loop must stay parallel.
+  Program P = mustParse(R"(program s
+  array a[500]
+  k = 0
+  for i = 1 to 10 do
+    k = k + 2
+    a[k] = i
+  end
+end
+)");
+  DependenceAnalyzer Analyzer;
+  ParallelizeSummary Summary = parallelize(P, Analyzer);
+  EXPECT_EQ(Summary.LoopsParallel, 1u);
+}

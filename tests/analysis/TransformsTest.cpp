@@ -1,0 +1,281 @@
+//===- tests/analysis/TransformsTest.cpp - Transform legality tests -------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Transforms.h"
+
+#include "analysis/Interp.h"
+#include "testutil/Helpers.h"
+#include "gtest/gtest.h"
+
+using namespace edda;
+using namespace edda::testutil;
+
+namespace {
+
+struct Built {
+  Program Prog;
+  DependenceGraph Graph;
+  LoopStmt *Outer = nullptr;
+  LoopStmt *Inner = nullptr;
+};
+
+Built buildNest(const std::string &Source) {
+  Built B;
+  B.Prog = mustParse(Source, /*Prepass=*/false);
+  DependenceAnalyzer Analyzer;
+  B.Graph = DependenceGraph::build(B.Prog, Analyzer);
+  for (StmtPtr &S : B.Prog.body()) {
+    if (S->kind() != StmtKind::Loop)
+      continue;
+    B.Outer = &asLoop(*S);
+    if (B.Outer->body().size() == 1 &&
+        B.Outer->body()[0]->kind() == StmtKind::Loop)
+      B.Inner = &asLoop(*B.Outer->body()[0]);
+    break;
+  }
+  return B;
+}
+
+} // namespace
+
+TEST(Transforms, InterchangeLegalForFullyParallel) {
+  Built B = buildNest(R"(program s
+  array a[30][30]
+  array b[30][30]
+  for i = 1 to 10 do
+    for j = 1 to 10 do
+      a[i][j] = b[i][j] + 1
+    end
+  end
+end
+)");
+  ASSERT_NE(B.Inner, nullptr);
+  EXPECT_TRUE(canInterchange(B.Graph, B.Outer, B.Inner).Legal);
+}
+
+TEST(Transforms, InterchangeIllegalForWavefront) {
+  // a[i][j] = a[i-1][j+1]: vector (<, >); swapped it becomes (>, <),
+  // lexicographically negative — the textbook illegal interchange.
+  Built B = buildNest(R"(program s
+  array a[30][30]
+  for i = 2 to 10 do
+    for j = 1 to 9 do
+      a[i][j] = a[i - 1][j + 1] + 1
+    end
+  end
+end
+)");
+  ASSERT_NE(B.Inner, nullptr);
+  LegalityResult R = canInterchange(B.Graph, B.Outer, B.Inner);
+  EXPECT_FALSE(R.Legal);
+  EXPECT_EQ(R.Violation, (DirVector{Dir::Less, Dir::Greater}));
+}
+
+TEST(Transforms, InterchangeLegalForForwardWavefront) {
+  // a[i][j] = a[i-1][j-1]: vector (<, <); swapping keeps (<, <).
+  Built B = buildNest(R"(program s
+  array a[30][30]
+  for i = 2 to 10 do
+    for j = 2 to 10 do
+      a[i][j] = a[i - 1][j - 1] + 1
+    end
+  end
+end
+)");
+  ASSERT_NE(B.Inner, nullptr);
+  EXPECT_TRUE(canInterchange(B.Graph, B.Outer, B.Inner).Legal);
+}
+
+TEST(Transforms, ReversalIllegalWhenCarried) {
+  Built B = buildNest(R"(program s
+  array a[100]
+  for i = 2 to 10 do
+    a[i] = a[i - 1] + 1
+  end
+end
+)");
+  ASSERT_NE(B.Outer, nullptr);
+  EXPECT_FALSE(canReverse(B.Graph, B.Outer).Legal);
+}
+
+TEST(Transforms, ReversalLegalWhenIndependentOrEqual) {
+  Built B = buildNest(R"(program s
+  array a[100]
+  for i = 1 to 10 do
+    a[i] = a[i] + 1
+  end
+end
+)");
+  ASSERT_NE(B.Outer, nullptr);
+  EXPECT_TRUE(canReverse(B.Graph, B.Outer).Legal);
+}
+
+TEST(Transforms, ReversalLegalForInnerWhenOuterCarries) {
+  // (<, <) dependence: reversing the inner loop gives (<, >), still
+  // lexicographically positive — legal.
+  Built B = buildNest(R"(program s
+  array a[30][30]
+  for i = 2 to 10 do
+    for j = 2 to 10 do
+      a[i][j] = a[i - 1][j - 1] + 1
+    end
+  end
+end
+)");
+  ASSERT_NE(B.Inner, nullptr);
+  EXPECT_FALSE(canReverse(B.Graph, B.Outer).Legal);
+  EXPECT_TRUE(canReverse(B.Graph, B.Inner).Legal);
+}
+
+TEST(Transforms, ParallelizeLegality) {
+  Built B = buildNest(R"(program s
+  array a[30][30]
+  for i = 2 to 10 do
+    for j = 1 to 10 do
+      a[i][j] = a[i - 1][j] + 1
+    end
+  end
+end
+)");
+  ASSERT_NE(B.Inner, nullptr);
+  EXPECT_FALSE(canParallelize(B.Graph, B.Outer).Legal);
+  EXPECT_TRUE(canParallelize(B.Graph, B.Inner).Legal);
+}
+
+TEST(Transforms, InterchangeAppliesAndPreservesSemantics) {
+  const char *Source = R"(program s
+  array a[30][30]
+  for i = 2 to 10 do
+    for j = 2 to 10 do
+      a[i][j] = a[i - 1][j - 1] + 1
+    end
+  end
+end
+)";
+  Built B = buildNest(Source);
+  ASSERT_NE(B.Inner, nullptr);
+  ASSERT_TRUE(canInterchange(B.Graph, B.Outer, B.Inner).Legal);
+
+  Program Original = mustParse(Source, /*Prepass=*/false);
+  ASSERT_TRUE(interchangeLoops(*B.Outer));
+  // Loop headers swapped in place.
+  EXPECT_EQ(B.Prog.var(B.Outer->varId()).Name, "j");
+  EXPECT_EQ(B.Prog.var(B.Inner->varId()).Name, "i");
+  // Semantics unchanged (the legality analysis promised this).
+  InterpResult R1 = interpret(Original);
+  InterpResult R2 = interpret(B.Prog);
+  ASSERT_TRUE(R1.Ok);
+  ASSERT_TRUE(R2.Ok);
+  EXPECT_EQ(R1.Memory, R2.Memory);
+}
+
+TEST(Transforms, InterchangeRefusesTriangularNest) {
+  Built B = buildNest(R"(program s
+  array a[30][30]
+  for i = 1 to 10 do
+    for j = 1 to i do
+      a[i][j] = 1
+    end
+  end
+end
+)");
+  ASSERT_NE(B.Inner, nullptr);
+  EXPECT_FALSE(interchangeLoops(*B.Outer));
+}
+
+TEST(Transforms, InterchangeRefusesImperfectNest) {
+  Built B = buildNest(R"(program s
+  array a[30][30]
+  for i = 1 to 10 do
+    a[i][1] = 0
+    for j = 1 to 10 do
+      a[i][j] = 1
+    end
+  end
+end
+)");
+  ASSERT_NE(B.Outer, nullptr);
+  EXPECT_FALSE(interchangeLoops(*B.Outer));
+}
+
+TEST(Transforms, VectorizeByDistance) {
+  // Distance-4 carried dependence: chunks of up to 4 lanes are safe,
+  // 8 are not.
+  Built B = buildNest(R"(program s
+  array a[100]
+  for i = 5 to 40 do
+    a[i] = a[i - 4] + 1
+  end
+end
+)");
+  ASSERT_NE(B.Outer, nullptr);
+  EXPECT_TRUE(canVectorize(B.Graph, B.Outer, 2).Legal);
+  EXPECT_TRUE(canVectorize(B.Graph, B.Outer, 4).Legal);
+  EXPECT_FALSE(canVectorize(B.Graph, B.Outer, 8).Legal);
+  EXPECT_FALSE(canParallelize(B.Graph, B.Outer).Legal);
+}
+
+TEST(Transforms, VectorizeIndependentLoopAnyWidth) {
+  Built B = buildNest(R"(program s
+  array a[100]
+  array b[100]
+  for i = 1 to 40 do
+    a[i] = b[i] + 1
+  end
+end
+)");
+  ASSERT_NE(B.Outer, nullptr);
+  EXPECT_TRUE(canVectorize(B.Graph, B.Outer, 64).Legal);
+}
+
+TEST(Transforms, VectorizeRejectsUnknownDistance) {
+  // Carried dependence whose distance is not a compile-time constant
+  // (i vs 2i'): no safe width.
+  Built B = buildNest(R"(program s
+  array a[100]
+  for i = 1 to 20 do
+    a[i] = a[2 * i] + 1
+  end
+end
+)");
+  ASSERT_NE(B.Outer, nullptr);
+  EXPECT_FALSE(canVectorize(B.Graph, B.Outer, 2).Legal);
+}
+
+TEST(Transforms, VectorizeInnerOfNest) {
+  // Carried by the outer loop only: the inner loop vectorizes at any
+  // width.
+  Built B = buildNest(R"(program s
+  array a[40][40]
+  for i = 2 to 20 do
+    for j = 1 to 20 do
+      a[i][j] = a[i - 1][j] + 1
+    end
+  end
+end
+)");
+  ASSERT_NE(B.Inner, nullptr);
+  EXPECT_TRUE(canVectorize(B.Graph, B.Inner, 16).Legal);
+  EXPECT_FALSE(canVectorize(B.Graph, B.Outer, 2).Legal); // distance 1
+}
+
+TEST(Transforms, UnanalyzableBlocksEverything) {
+  Built B = buildNest(R"(program s
+  array a[100]
+  array idx[100]
+  for i = 1 to 10 do
+    for j = 1 to 10 do
+      a[idx[j]] = a[i] + 1
+    end
+  end
+end
+)");
+  ASSERT_NE(B.Inner, nullptr);
+  EXPECT_FALSE(canInterchange(B.Graph, B.Outer, B.Inner).Legal);
+  EXPECT_FALSE(canReverse(B.Graph, B.Outer).Legal);
+  EXPECT_FALSE(canParallelize(B.Graph, B.Outer).Legal);
+}

@@ -1,0 +1,161 @@
+//===- tests/baseline/BaselineTest.cpp - Inexact baseline tests -----------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Banerjee.h"
+
+#include "deptest/Cascade.h"
+#include "testutil/Helpers.h"
+#include "testutil/Oracle.h"
+#include "gtest/gtest.h"
+
+using namespace edda;
+using namespace edda::testutil;
+
+TEST(Baseline, SimpleGcdCatchesParity) {
+  DependenceProblem P = ProblemBuilder(1, 1, 1)
+                            .eq({2, -2}, -1)
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .build();
+  EXPECT_EQ(baselineSimpleGcd(P), BaselineAnswer::Independent);
+  EXPECT_EQ(baselineGcdBanerjee(P), BaselineAnswer::Independent);
+}
+
+TEST(Baseline, BanerjeeCatchesRangeGap) {
+  // a[i] vs a[i'+10], both 1..10: subscript difference never zero.
+  DependenceProblem P = ProblemBuilder(1, 1, 1)
+                            .eq({1, -1}, -10)
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .build();
+  EXPECT_EQ(baselineSimpleGcd(P), BaselineAnswer::AssumedDependent);
+  EXPECT_EQ(baselineGcdBanerjee(P), BaselineAnswer::Independent);
+}
+
+TEST(Baseline, MissesCoupledSubscripts) {
+  // a[i][i+1] vs a[i'][i']: per-dimension reasoning cannot see the
+  // joint inconsistency; the exact cascade can (section 7's gap).
+  DependenceProblem P = ProblemBuilder(1, 1, 1)
+                            .eq({1, -1}, 0)
+                            .eq({1, -1}, 1)
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .build();
+  EXPECT_EQ(baselineGcdBanerjee(P), BaselineAnswer::AssumedDependent);
+  CascadeResult Exact = testDependence(P);
+  EXPECT_EQ(Exact.Answer, DepAnswer::Independent);
+}
+
+TEST(Baseline, TrapezoidRelaxationHandlesTriangular) {
+  // Triangular nest with an out-of-range distance: the transitive
+  // relaxation still proves it.
+  DependenceProblem P =
+      ProblemBuilder(2, 2, 2)
+          .eq({0, 1, 0, -1}, -11) // j = j' + 11, ranges <= 10
+          .bounds(0, 1, 10)
+          .bounds(2, 1, 10)
+          .loBound(1, {0, 0, 0, 0}, 1)
+          .hiBound(1, {1, 0, 0, 0}, 0)
+          .loBound(3, {0, 0, 0, 0}, 1)
+          .hiBound(3, {0, 0, 1, 0}, 0)
+          .build();
+  EXPECT_EQ(baselineGcdBanerjee(P), BaselineAnswer::Independent);
+}
+
+TEST(Baseline, SymbolicBoundsAssumeDependence) {
+  // Unknown bounds leave the range unbounded: conservative.
+  DependenceProblem P = ProblemBuilder(1, 1, 1, 1)
+                            .eq({1, -1, -1}, -1)
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .build();
+  EXPECT_EQ(baselineGcdBanerjee(P), BaselineAnswer::AssumedDependent);
+}
+
+TEST(Baseline, ConservativenessProperty) {
+  // The baseline may lose precision but must never claim independence
+  // for a really-dependent pair.
+  SplitRng Rng(31);
+  unsigned Checked = 0;
+  for (unsigned Iter = 0; Iter < 300; ++Iter) {
+    DependenceProblem P = randomProblem(Rng);
+    std::optional<bool> Truth = oracleDependent(P);
+    if (!Truth)
+      continue;
+    ++Checked;
+    if (*Truth) {
+      EXPECT_EQ(baselineSimpleGcd(P), BaselineAnswer::AssumedDependent)
+          << P.str();
+      EXPECT_EQ(baselineGcdBanerjee(P), BaselineAnswer::AssumedDependent)
+          << P.str();
+    }
+  }
+  EXPECT_GT(Checked, 100u);
+}
+
+TEST(BaselineDirections, CoverRealizedPatterns) {
+  SplitRng Rng(77);
+  unsigned Checked = 0;
+  for (unsigned Iter = 0; Iter < 200; ++Iter) {
+    DependenceProblem P = randomProblem(Rng);
+    std::optional<std::set<DirVector>> Truth = oracleDirections(P);
+    if (!Truth || Truth->empty())
+      continue;
+    ++Checked;
+    DirectionResult R = baselineDirectionVectors(P);
+    for (const DirVector &Real : *Truth) {
+      bool Covered = false;
+      for (const DirVector &Reported : R.Vectors)
+        Covered = Covered || dirMatches(Reported, Real);
+      EXPECT_TRUE(Covered) << dirVectorStr(Real) << "\n" << P.str();
+    }
+  }
+  EXPECT_GT(Checked, 60u);
+}
+
+TEST(BaselineDirections, ReportsSpuriousVectorsTheExactTestKills) {
+  // Transposed coupling a[i][j] = a[j'][i']: the equations tie i to j'
+  // and j to i' across dimension pairs, which per-pair rectangular
+  // reasoning cannot see. Direction (<,<) demands i < i' = j and
+  // j < j' = i simultaneously — impossible, and the exact cascade
+  // refutes it (the direction constraints close a negative residue
+  // cycle), while the baseline keeps it. This is the 22% direction
+  // vector inflation of section 7.
+  DependenceProblem P = ProblemBuilder(2, 2, 2)
+                            .eq({1, 0, 0, -1}, 0) // i - j' == 0
+                            .eq({0, 1, -1, 0}, 0) // j - i' == 0
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .bounds(2, 1, 10)
+                            .bounds(3, 1, 10)
+                            .build();
+  DirectionResult Exact = computeDirectionVectors(P);
+  DirectionResult Inexact = baselineDirectionVectors(P);
+  ASSERT_TRUE(Exact.Exact);
+  std::set<DirVector> ExactSet(Exact.Vectors.begin(),
+                               Exact.Vectors.end());
+  std::set<DirVector> InexactSet(Inexact.Vectors.begin(),
+                                 Inexact.Vectors.end());
+  EXPECT_TRUE(InexactSet.count({Dir::Less, Dir::Less}));
+  EXPECT_FALSE(ExactSet.count({Dir::Less, Dir::Less}));
+  EXPECT_GT(InexactSet.size(), ExactSet.size());
+  // And the exact set matches enumeration.
+  std::optional<std::set<DirVector>> Truth = oracleDirections(P);
+  ASSERT_TRUE(Truth.has_value());
+  EXPECT_EQ(ExactSet, *Truth);
+}
+
+TEST(BaselineDirections, IndependentRootShortCircuits) {
+  DependenceProblem P = ProblemBuilder(1, 1, 1)
+                            .eq({2, -2}, -1)
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .build();
+  DirectionResult R = baselineDirectionVectors(P);
+  EXPECT_EQ(R.RootAnswer, DepAnswer::Independent);
+  EXPECT_TRUE(R.Vectors.empty());
+}

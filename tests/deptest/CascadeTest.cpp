@@ -1,0 +1,319 @@
+//===- tests/deptest/CascadeTest.cpp - Cascade unit + property tests ------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deptest/Cascade.h"
+
+#include "testutil/Helpers.h"
+#include "testutil/Oracle.h"
+#include "gtest/gtest.h"
+
+using namespace edda;
+using namespace edda::testutil;
+
+TEST(Cascade, ConstantSubscriptsIndependent) {
+  // a[3] vs a[4].
+  DependenceProblem P = ProblemBuilder(1, 1, 1)
+                            .eq({0, 0}, -1) // 3 - 4
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .build();
+  CascadeResult R = testDependence(P);
+  EXPECT_EQ(R.Answer, DepAnswer::Independent);
+  EXPECT_EQ(R.DecidedBy, TestKind::ArrayConstant);
+  EXPECT_TRUE(R.Exact);
+}
+
+TEST(Cascade, ConstantSubscriptsDependent) {
+  // a[3] vs a[3].
+  DependenceProblem P = ProblemBuilder(1, 1, 1)
+                            .eq({0, 0}, 0)
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .build();
+  CascadeResult R = testDependence(P);
+  EXPECT_EQ(R.Answer, DepAnswer::Dependent);
+  EXPECT_EQ(R.DecidedBy, TestKind::ArrayConstant);
+}
+
+TEST(Cascade, ConstantSubscriptsEmptyLoop) {
+  // a[3] vs a[3] inside for i = 5 to 2: no iterations, no dependence.
+  DependenceProblem P = ProblemBuilder(1, 1, 1)
+                            .eq({0, 0}, 0)
+                            .bounds(0, 5, 2)
+                            .bounds(1, 5, 2)
+                            .build();
+  CascadeResult R = testDependence(P);
+  EXPECT_EQ(R.Answer, DepAnswer::Independent);
+  EXPECT_EQ(R.DecidedBy, TestKind::ArrayConstant);
+}
+
+TEST(Cascade, PaperIntroIndependentLoop) {
+  // for i = 1 to 10: a[i] = a[i+10]: the paper's first example. The
+  // equations are solvable ignoring bounds, the bounds kill it (SVPC).
+  DependenceProblem P = ProblemBuilder(1, 1, 1)
+                            .eq({1, -1}, -10) // i - (i' + 10) == 0
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .build();
+  CascadeResult R = testDependence(P);
+  EXPECT_EQ(R.Answer, DepAnswer::Independent);
+  EXPECT_EQ(R.DecidedBy, TestKind::Svpc);
+  EXPECT_TRUE(R.Exact);
+}
+
+TEST(Cascade, PaperIntroDependentLoop) {
+  // for i = 1 to 10: a[i+1] = a[i]: dependent.
+  DependenceProblem P = ProblemBuilder(1, 1, 1)
+                            .eq({1, -1}, 1) // (i+1) - i' == 0
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .build();
+  CascadeResult R = testDependence(P);
+  EXPECT_EQ(R.Answer, DepAnswer::Dependent);
+  EXPECT_EQ(R.DecidedBy, TestKind::Svpc);
+  ASSERT_TRUE(R.Witness.has_value());
+  EXPECT_TRUE(verifyWitness(P, *R.Witness));
+}
+
+TEST(Cascade, GcdIndependent) {
+  // a[2i] vs a[2i'+1].
+  DependenceProblem P = ProblemBuilder(1, 1, 1)
+                            .eq({2, -2}, -1)
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .build();
+  CascadeResult R = testDependence(P);
+  EXPECT_EQ(R.Answer, DepAnswer::Independent);
+  EXPECT_EQ(R.DecidedBy, TestKind::GcdTest);
+}
+
+TEST(Cascade, CoupledInconsistentEquations) {
+  // a[i][i+1] vs a[i'][i']: each dimension is fine alone, jointly
+  // impossible; the extended GCD back substitution catches it.
+  DependenceProblem P = ProblemBuilder(1, 1, 1)
+                            .eq({1, -1}, 0)
+                            .eq({1, -1}, 1)
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .build();
+  CascadeResult R = testDependence(P);
+  EXPECT_EQ(R.Answer, DepAnswer::Independent);
+  EXPECT_EQ(R.DecidedBy, TestKind::GcdTest);
+}
+
+TEST(Cascade, PaperCoupledSvpcExample) {
+  // Section 3.2 worked example: a[i1][i2] = a[i2+10][i1+9], both loops
+  // 1..10. x = (i1, i2, i1', i2').
+  DependenceProblem P = ProblemBuilder(2, 2, 2)
+                            .eq({1, 0, 0, -1}, -10) // i1 = i2' + 10
+                            .eq({0, 1, -1, 0}, -9)  // i2 = i1' + 9
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .bounds(2, 1, 10)
+                            .bounds(3, 1, 10)
+                            .build();
+  CascadeResult R = testDependence(P);
+  EXPECT_EQ(R.Answer, DepAnswer::Independent);
+  EXPECT_EQ(R.DecidedBy, TestKind::Svpc);
+}
+
+TEST(Cascade, TriangularAcyclic) {
+  // for i = 1..10, j = 1..i: a[j] = a[j+2]: the j <= i constraints are
+  // multi-variable, the Acyclic test eliminates them.
+  // x = (i, j, i', j').
+  DependenceProblem P =
+      ProblemBuilder(2, 2, 2)
+          .eq({0, 1, 0, -1}, -2) // j = j' + 2
+          .bounds(0, 1, 10)
+          .bounds(2, 1, 10)
+          .loBound(1, {0, 0, 0, 0}, 1)
+          .hiBound(1, {1, 0, 0, 0}, 0) // j <= i
+          .loBound(3, {0, 0, 0, 0}, 1)
+          .hiBound(3, {0, 0, 1, 0}, 0) // j' <= i'
+          .build();
+  CascadeResult R = testDependence(P);
+  EXPECT_EQ(R.Answer, DepAnswer::Dependent);
+  EXPECT_EQ(R.DecidedBy, TestKind::Acyclic);
+  ASSERT_TRUE(R.Witness.has_value());
+  EXPECT_TRUE(verifyWitness(P, *R.Witness));
+}
+
+TEST(Cascade, TriangularAcyclicIndependent) {
+  // Same shape with distance 11 > N: pinning j to its lower bound
+  // exposes the contradiction.
+  DependenceProblem P =
+      ProblemBuilder(2, 2, 2)
+          .eq({0, 1, 0, -1}, -11)
+          .bounds(0, 1, 10)
+          .bounds(2, 1, 10)
+          .loBound(1, {0, 0, 0, 0}, 1)
+          .hiBound(1, {1, 0, 0, 0}, 0)
+          .loBound(3, {0, 0, 0, 0}, 1)
+          .hiBound(3, {0, 0, 1, 0}, 0)
+          .build();
+  CascadeResult R = testDependence(P);
+  EXPECT_EQ(R.Answer, DepAnswer::Independent);
+  EXPECT_EQ(R.DecidedBy, TestKind::Acyclic);
+}
+
+TEST(Cascade, BandedResidue) {
+  // for i = 1..10, j = i-2..i+2: a[j] = a[j+1]: banded bounds leave a
+  // difference-constraint cycle for the Loop Residue test.
+  DependenceProblem P =
+      ProblemBuilder(2, 2, 2)
+          .eq({0, 1, 0, -1}, -1)
+          .bounds(0, 1, 10)
+          .bounds(2, 1, 10)
+          .loBound(1, {1, 0, 0, 0}, -2)
+          .hiBound(1, {1, 0, 0, 0}, 2)
+          .loBound(3, {0, 0, 1, 0}, -2)
+          .hiBound(3, {0, 0, 1, 0}, 2)
+          .build();
+  CascadeResult R = testDependence(P);
+  EXPECT_EQ(R.Answer, DepAnswer::Dependent);
+  EXPECT_EQ(R.DecidedBy, TestKind::LoopResidue);
+  ASSERT_TRUE(R.Witness.has_value());
+  EXPECT_TRUE(verifyWitness(P, *R.Witness));
+}
+
+TEST(Cascade, BandedResidueIndependent) {
+  // Distance far beyond the band and the loop range.
+  DependenceProblem P =
+      ProblemBuilder(2, 2, 2)
+          .eq({0, 1, 0, -1}, -25) // j = j' + 25
+          .bounds(0, 1, 10)
+          .bounds(2, 1, 10)
+          .loBound(1, {1, 0, 0, 0}, -2)
+          .hiBound(1, {1, 0, 0, 0}, 2)
+          .loBound(3, {0, 0, 1, 0}, -2)
+          .hiBound(3, {0, 0, 1, 0}, 2)
+          .build();
+  CascadeResult R = testDependence(P);
+  EXPECT_EQ(R.Answer, DepAnswer::Independent);
+  EXPECT_EQ(R.DecidedBy, TestKind::LoopResidue);
+}
+
+TEST(Cascade, CoupledSumFourierMotzkin) {
+  // a[i+j] = a[i+j+5], i,j in 1..10: three-variable constraints both
+  // ways defeat the special-case tests; FM decides dependent.
+  DependenceProblem P = ProblemBuilder(2, 2, 2)
+                            .eq({1, 1, -1, -1}, -5)
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .bounds(2, 1, 10)
+                            .bounds(3, 1, 10)
+                            .build();
+  CascadeResult R = testDependence(P);
+  EXPECT_EQ(R.Answer, DepAnswer::Dependent);
+  EXPECT_EQ(R.DecidedBy, TestKind::FourierMotzkin);
+  ASSERT_TRUE(R.Witness.has_value());
+  EXPECT_TRUE(verifyWitness(P, *R.Witness));
+}
+
+TEST(Cascade, CoupledSumFourierMotzkinIndependent) {
+  DependenceProblem P = ProblemBuilder(2, 2, 2)
+                            .eq({1, 1, -1, -1}, -19) // max gap is 18
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .bounds(2, 1, 10)
+                            .bounds(3, 1, 10)
+                            .build();
+  CascadeResult R = testDependence(P);
+  EXPECT_EQ(R.Answer, DepAnswer::Independent);
+  EXPECT_EQ(R.DecidedBy, TestKind::FourierMotzkin);
+}
+
+TEST(Cascade, SymbolicUnboundedVariable) {
+  // Section 8: a[i+n] = a[i+2n+1], i in 1..10, n symbolic. Dependent
+  // for suitable n (e.g. n = -1 - not "suitable" ... any n with
+  // i = i' + n + 1 in range), so the exact answer is Dependent.
+  DependenceProblem P = ProblemBuilder(1, 1, 1, 1)
+                            .eq({1, -1, -1}, -1) // i - i' - n - 1 == 0
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .build();
+  CascadeResult R = testDependence(P);
+  EXPECT_EQ(R.Answer, DepAnswer::Dependent);
+  ASSERT_TRUE(R.Witness.has_value());
+  EXPECT_TRUE(verifyWitness(P, *R.Witness));
+}
+
+TEST(Cascade, SymbolicCancellation) {
+  // a[i+n] vs a[i'+n+3]: n cancels, plain SVPC.
+  DependenceProblem P = ProblemBuilder(1, 1, 1, 1)
+                            .eq({1, -1, 0}, -3)
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .build();
+  CascadeResult R = testDependence(P);
+  EXPECT_EQ(R.Answer, DepAnswer::Dependent);
+  EXPECT_EQ(R.DecidedBy, TestKind::Svpc);
+}
+
+TEST(Cascade, ExtraConstraintsRestrictAnswer) {
+  // a[i+1] = a[i] is dependent, but not with direction '>' (i > i').
+  DependenceProblem P = ProblemBuilder(1, 1, 1)
+                            .eq({1, -1}, 1)
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .build();
+  XAffine Greater(2); // i' - i + 1 <= 0
+  Greater.Coeffs[0] = -1;
+  Greater.Coeffs[1] = 1;
+  Greater.Const = 1;
+  CascadeResult R = testDependenceConstrained(P, {Greater});
+  EXPECT_EQ(R.Answer, DepAnswer::Independent);
+
+  XAffine Less(2); // i - i' + 1 <= 0
+  Less.Coeffs[0] = 1;
+  Less.Coeffs[1] = -1;
+  Less.Const = 1;
+  CascadeResult R2 = testDependenceConstrained(P, {Less});
+  EXPECT_EQ(R2.Answer, DepAnswer::Dependent);
+}
+
+TEST(Cascade, StatsRecorded) {
+  DepStats Stats;
+  DependenceProblem P = ProblemBuilder(1, 1, 1)
+                            .eq({2, -2}, -1)
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .build();
+  testDependence(P, {}, &Stats);
+  EXPECT_EQ(Stats.Queries, 1u);
+  EXPECT_EQ(Stats.decided(TestKind::GcdTest), 1u);
+  EXPECT_EQ(Stats.decidedIndependent(TestKind::GcdTest), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// The central exactness property: cascade vs brute force.
+//===----------------------------------------------------------------------===//
+
+class CascadeOracleProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CascadeOracleProperty, MatchesBruteForce) {
+  SplitRng Rng(GetParam());
+  unsigned Conclusive = 0;
+  for (unsigned Iter = 0; Iter < 250; ++Iter) {
+    DependenceProblem P = randomProblem(Rng);
+    std::optional<bool> Truth = oracleDependent(P);
+    if (!Truth)
+      continue;
+    ++Conclusive;
+    CascadeResult R = testDependence(P);
+    if (R.Answer == DepAnswer::Unknown)
+      continue; // inexact fallback is allowed, never wrong
+    EXPECT_EQ(R.Answer == DepAnswer::Dependent, *Truth)
+        << "decided by " << testKindName(R.DecidedBy) << "\n" << P.str();
+    if (R.Answer == DepAnswer::Dependent && R.Witness)
+      EXPECT_TRUE(verifyWitness(P, *R.Witness)) << P.str();
+  }
+  EXPECT_GT(Conclusive, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CascadeOracleProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12));

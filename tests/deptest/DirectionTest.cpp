@@ -1,0 +1,267 @@
+//===- tests/deptest/DirectionTest.cpp - Direction vector tests -----------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deptest/Direction.h"
+
+#include "testutil/Helpers.h"
+#include "testutil/Oracle.h"
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace edda;
+using namespace edda::testutil;
+
+namespace {
+
+std::set<DirVector> asSet(const std::vector<DirVector> &Vs) {
+  return std::set<DirVector>(Vs.begin(), Vs.end());
+}
+
+} // namespace
+
+TEST(DirVectorStr, Rendering) {
+  EXPECT_EQ(dirVectorStr({Dir::Less, Dir::Equal, Dir::Any}), "(<, =, *)");
+  EXPECT_EQ(dirVectorStr({Dir::Greater}), "(>)");
+  EXPECT_EQ(dirVectorStr({}), "()");
+}
+
+TEST(Direction, ForwardCarriedDependence) {
+  // a[i+1] = a[i]: dependence with i < i', distance 1.
+  DependenceProblem P = ProblemBuilder(1, 1, 1)
+                            .eq({1, -1}, 1) // (i+1) - i' == 0
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .build();
+  DirectionResult R = computeDirectionVectors(P);
+  EXPECT_EQ(R.RootAnswer, DepAnswer::Dependent);
+  EXPECT_TRUE(R.Exact);
+  EXPECT_EQ(asSet(R.Vectors), asSet({{Dir::Less}}));
+  ASSERT_EQ(R.Distances.size(), 1u);
+  ASSERT_TRUE(R.Distances[0].has_value());
+  EXPECT_EQ(*R.Distances[0], 1);
+}
+
+TEST(Direction, LoopIndependentOnly) {
+  // a[i] = a[i]: only '='.
+  DependenceProblem P = ProblemBuilder(1, 1, 1)
+                            .eq({1, -1}, 0)
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .build();
+  DirectionResult R = computeDirectionVectors(P);
+  EXPECT_EQ(asSet(R.Vectors), asSet({{Dir::Equal}}));
+  ASSERT_TRUE(R.Distances[0].has_value());
+  EXPECT_EQ(*R.Distances[0], 0);
+}
+
+TEST(Direction, PaperTwoVectorExample) {
+  // Paper section 6: a[i][j] = a[2i][j] over 0..10 squared is
+  // dependent with (<, =) and (=, *)... the text reports (<, =) and
+  // (=, *) for the pair; enumeration gives i' such that i = 2i', so
+  // i = i' = 0 (equal) or i > i' (e.g. i=2, i'=1). Outer directions
+  // are thus '=' and '>', inner '='. With distance pruning the inner
+  // '=' is forced.
+  DependenceProblem P = ProblemBuilder(2, 2, 2)
+                            .eq({1, 0, -2, 0}, 0) // i - 2i' == 0
+                            .eq({0, 1, 0, -1}, 0) // j - j' == 0
+                            .bounds(0, 0, 10)
+                            .bounds(1, 0, 10)
+                            .bounds(2, 0, 10)
+                            .bounds(3, 0, 10)
+                            .build();
+  DirectionResult R = computeDirectionVectors(P);
+  std::optional<std::set<DirVector>> Truth = oracleDirections(P);
+  ASSERT_TRUE(Truth.has_value());
+  // Reported vectors (with wildcards) must cover exactly the realized
+  // sign patterns.
+  for (const DirVector &Real : *Truth) {
+    bool Covered = false;
+    for (const DirVector &Reported : R.Vectors)
+      Covered = Covered || dirMatches(Reported, Real);
+    EXPECT_TRUE(Covered) << dirVectorStr(Real);
+  }
+  for (const DirVector &Reported : R.Vectors) {
+    if (std::find(Reported.begin(), Reported.end(), Dir::Any) !=
+        Reported.end())
+      continue;
+    EXPECT_TRUE(Truth->count(Reported)) << dirVectorStr(Reported);
+  }
+}
+
+TEST(Direction, UnusedLoopGetsStar) {
+  // for i, for j: a[j+1] = a[j]: i is unused, direction (*, <).
+  DependenceProblem P = ProblemBuilder(2, 2, 2)
+                            .eq({0, 1, 0, -1}, 1)
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .bounds(2, 1, 10)
+                            .bounds(3, 1, 10)
+                            .build();
+  DirectionOptions Opts;
+  Opts.EliminateUnusedVars = true;
+  DirectionResult R = computeDirectionVectors(P, Opts);
+  EXPECT_EQ(asSet(R.Vectors), asSet({{Dir::Any, Dir::Less}}));
+}
+
+TEST(Direction, UnusedLoopEnumeratedWithoutElimination) {
+  DependenceProblem P = ProblemBuilder(2, 2, 2)
+                            .eq({0, 1, 0, -1}, 1)
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .bounds(2, 1, 10)
+                            .bounds(3, 1, 10)
+                            .build();
+  DirectionOptions Opts;
+  Opts.EliminateUnusedVars = false;
+  Opts.DistanceVectorPruning = false;
+  DirectionResult R = computeDirectionVectors(P, Opts);
+  // All three outer directions are realizable.
+  EXPECT_EQ(asSet(R.Vectors),
+            asSet({{Dir::Less, Dir::Less},
+                   {Dir::Equal, Dir::Less},
+                   {Dir::Greater, Dir::Less}}));
+  // And it cost strictly more tests than the pruned run.
+  DirectionOptions Pruned;
+  DirectionResult R2 = computeDirectionVectors(P, Pruned);
+  EXPECT_GT(R.TestsRun, R2.TestsRun);
+}
+
+TEST(Direction, DistancePruningSkipsTests) {
+  // Constant distance 3: direction forced to '<' without testing.
+  DependenceProblem P = ProblemBuilder(1, 1, 1)
+                            .eq({1, -1}, 3)
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .build();
+  DirectionOptions NoPrune;
+  NoPrune.DistanceVectorPruning = false;
+  DirectionOptions Prune;
+  DirectionResult R1 = computeDirectionVectors(P, NoPrune);
+  DirectionResult R2 = computeDirectionVectors(P, Prune);
+  EXPECT_EQ(asSet(R1.Vectors), asSet(R2.Vectors));
+  EXPECT_LT(R2.TestsRun, R1.TestsRun);
+  ASSERT_TRUE(R2.Distances[0].has_value());
+  EXPECT_EQ(*R2.Distances[0], 3);
+}
+
+TEST(Direction, IndependentRootShortCircuits) {
+  DependenceProblem P = ProblemBuilder(1, 1, 1)
+                            .eq({2, -2}, -1)
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .build();
+  DirectionResult R = computeDirectionVectors(P);
+  EXPECT_EQ(R.RootAnswer, DepAnswer::Independent);
+  EXPECT_TRUE(R.Vectors.empty());
+  EXPECT_EQ(R.TestsRun, 1u);
+}
+
+TEST(Direction, TriangularNest) {
+  // for i = 1..6, j = 1..i: a[i][j] = a[i-1][j]: carried by i with
+  // distance 1, j equal.
+  DependenceProblem P =
+      ProblemBuilder(2, 2, 2)
+          .eq({1, 0, -1, 0}, 1)  // (i... write a[i-1]? source: write
+                                 // a[i][j], read a[i-1][j]: i - (i'-1)
+          .eq({0, 1, 0, -1}, 0)
+          .bounds(0, 1, 6)
+          .bounds(2, 1, 6)
+          .loBound(1, {0, 0, 0, 0}, 1)
+          .hiBound(1, {1, 0, 0, 0}, 0)
+          .loBound(3, {0, 0, 0, 0}, 1)
+          .hiBound(3, {0, 0, 1, 0}, 0)
+          .build();
+  DirectionResult R = computeDirectionVectors(P);
+  std::optional<std::set<DirVector>> Truth = oracleDirections(P);
+  ASSERT_TRUE(Truth.has_value());
+  for (const DirVector &Real : *Truth) {
+    bool Covered = false;
+    for (const DirVector &Reported : R.Vectors)
+      Covered = Covered || dirMatches(Reported, Real);
+    EXPECT_TRUE(Covered) << dirVectorStr(Real);
+  }
+}
+
+TEST(Direction, SeparableMatchesGeneral) {
+  // Rectangular, per-dimension-decoupled problem: the Burke-Cytron
+  // separable path must agree with full hierarchical refinement.
+  DependenceProblem P = ProblemBuilder(2, 2, 2)
+                            .eq({1, 0, -1, 0}, 1)
+                            .eq({0, 1, 0, -1}, -2)
+                            .bounds(0, 1, 8)
+                            .bounds(1, 1, 8)
+                            .bounds(2, 1, 8)
+                            .bounds(3, 1, 8)
+                            .build();
+  DirectionOptions General;
+  General.SeparableDimensions = false;
+  DirectionOptions Separable;
+  Separable.SeparableDimensions = true;
+  DirectionResult R1 = computeDirectionVectors(P, General);
+  DirectionResult R2 = computeDirectionVectors(P, Separable);
+  EXPECT_EQ(asSet(R1.Vectors), asSet(R2.Vectors));
+  EXPECT_EQ(R1.RootAnswer, R2.RootAnswer);
+}
+
+TEST(Direction, EmptyCommonNest) {
+  // Disjoint nests: dependence is just overlap, the vector is empty.
+  DependenceProblem P = ProblemBuilder(1, 1, 0)
+                            .eq({1, -1}, 0)
+                            .bounds(0, 1, 10)
+                            .bounds(1, 5, 15)
+                            .build();
+  DirectionResult R = computeDirectionVectors(P);
+  EXPECT_EQ(R.RootAnswer, DepAnswer::Dependent);
+  ASSERT_EQ(R.Vectors.size(), 1u);
+  EXPECT_TRUE(R.Vectors[0].empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Property: reported vectors match enumeration on random problems.
+//===----------------------------------------------------------------------===//
+
+class DirectionOracleProperty : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(DirectionOracleProperty, CoversExactlyTheRealizedPatterns) {
+  SplitRng Rng(GetParam());
+  unsigned Conclusive = 0;
+  for (unsigned Iter = 0; Iter < 120; ++Iter) {
+    DependenceProblem P = randomProblem(Rng);
+    std::optional<std::set<DirVector>> Truth = oracleDirections(P);
+    if (!Truth)
+      continue;
+    ++Conclusive;
+    DirectionResult R = computeDirectionVectors(P);
+    if (!R.Exact)
+      continue;
+    // Soundness: every realized pattern is covered.
+    for (const DirVector &Real : *Truth) {
+      bool Covered = false;
+      for (const DirVector &Reported : R.Vectors)
+        Covered = Covered || dirMatches(Reported, Real);
+      EXPECT_TRUE(Covered) << dirVectorStr(Real) << "\n" << P.str();
+    }
+    // Exactness: every fully-refined reported vector is realized.
+    for (const DirVector &Reported : R.Vectors) {
+      if (std::find(Reported.begin(), Reported.end(), Dir::Any) !=
+          Reported.end())
+        continue;
+      EXPECT_TRUE(Truth->count(Reported))
+          << dirVectorStr(Reported) << "\n" << P.str();
+    }
+    // Root consistency.
+    EXPECT_EQ(R.RootAnswer == DepAnswer::Dependent, !Truth->empty())
+        << P.str();
+  }
+  EXPECT_GT(Conclusive, 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DirectionOracleProperty,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));

@@ -1,0 +1,332 @@
+//===- tests/deptest/ExtendedGcdTest.cpp - Extended GCD tests -------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deptest/ExtendedGcd.h"
+
+#include "testutil/Helpers.h"
+#include "workload/Generator.h"
+#include "gtest/gtest.h"
+
+using namespace edda;
+using namespace edda::testutil;
+
+namespace {
+
+/// x*A for a row vector x.
+std::vector<int64_t> rowTimes(const std::vector<int64_t> &X,
+                              const IntMatrix &A) {
+  std::vector<int64_t> Out(A.cols(), 0);
+  for (unsigned C = 0; C < A.cols(); ++C)
+    for (unsigned R = 0; R < A.rows(); ++R)
+      Out[C] += X[R] * A.at(R, C);
+  return Out;
+}
+
+} // namespace
+
+TEST(SolveDiophantine, SingleEquationGcdDivides) {
+  // 2x + 4y = 6 has integer solutions.
+  IntMatrix A(2, 1);
+  A.at(0, 0) = 2;
+  A.at(1, 0) = 4;
+  DiophantineSolution Sol = solveDiophantine(A, {6});
+  ASSERT_TRUE(Sol.Solvable);
+  EXPECT_FALSE(Sol.Overflow);
+  EXPECT_EQ(Sol.NumFree, 1u);
+  EXPECT_EQ(rowTimes(Sol.Offset, A), (std::vector<int64_t>{6}));
+}
+
+TEST(SolveDiophantine, SingleEquationGcdFails) {
+  // 2x + 4y = 7: gcd 2 does not divide 7.
+  IntMatrix A(2, 1);
+  A.at(0, 0) = 2;
+  A.at(1, 0) = 4;
+  DiophantineSolution Sol = solveDiophantine(A, {7});
+  EXPECT_FALSE(Sol.Solvable);
+  EXPECT_FALSE(Sol.Overflow);
+}
+
+TEST(SolveDiophantine, InconsistentSystem) {
+  // x = 0 and x = 1 simultaneously.
+  IntMatrix A(1, 2);
+  A.at(0, 0) = 1;
+  A.at(0, 1) = 1;
+  DiophantineSolution Sol = solveDiophantine(A, {0, 1});
+  EXPECT_FALSE(Sol.Solvable);
+}
+
+TEST(SolveDiophantine, FullRankUniqueSolution) {
+  // x = 3, y = -2 uniquely.
+  IntMatrix A(2, 2);
+  A.at(0, 0) = 1;
+  A.at(1, 1) = 1;
+  DiophantineSolution Sol = solveDiophantine(A, {3, -2});
+  ASSERT_TRUE(Sol.Solvable);
+  EXPECT_EQ(Sol.NumFree, 0u);
+  EXPECT_EQ(Sol.Offset, (std::vector<int64_t>{3, -2}));
+}
+
+TEST(SolveDiophantine, NoEquations) {
+  IntMatrix A(3, 0);
+  DiophantineSolution Sol = solveDiophantine(A, {});
+  ASSERT_TRUE(Sol.Solvable);
+  EXPECT_EQ(Sol.NumFree, 3u);
+  // Lattice basis must span Z^3: the free rows form a unimodular set.
+  bool Ok = false;
+  IntMatrix Basis(3, 3);
+  for (unsigned R = 0; R < 3; ++R)
+    for (unsigned C = 0; C < 3; ++C)
+      Basis.at(R, C) = Sol.FreeRows.at(R, C);
+  int64_t Det = Basis.determinant(Ok);
+  ASSERT_TRUE(Ok);
+  EXPECT_TRUE(Det == 1 || Det == -1);
+}
+
+TEST(SolveDiophantine, PaperIntroExample) {
+  // i = i' + 10 (paper section 3.1): solutions (t, t+10)... here as
+  // i - i' = 10 over x = (i, i').
+  IntMatrix A(2, 1);
+  A.at(0, 0) = 1;
+  A.at(1, 0) = -1;
+  DiophantineSolution Sol = solveDiophantine(A, {10});
+  ASSERT_TRUE(Sol.Solvable);
+  EXPECT_EQ(Sol.NumFree, 1u);
+  // Every instantiation satisfies i - i' == 10.
+  for (int64_t T = -3; T <= 3; ++T) {
+    auto X = Sol.instantiate({T});
+    ASSERT_TRUE(X.has_value());
+    EXPECT_EQ((*X)[0] - (*X)[1], 10);
+  }
+}
+
+TEST(SolveDiophantine, InstantiationsSatisfySystem) {
+  // 3x + 5y - z = 4 with three variables.
+  IntMatrix A(3, 1);
+  A.at(0, 0) = 3;
+  A.at(1, 0) = 5;
+  A.at(2, 0) = -1;
+  DiophantineSolution Sol = solveDiophantine(A, {4});
+  ASSERT_TRUE(Sol.Solvable);
+  EXPECT_EQ(Sol.NumFree, 2u);
+  for (int64_t T1 = -2; T1 <= 2; ++T1) {
+    for (int64_t T2 = -2; T2 <= 2; ++T2) {
+      auto X = Sol.instantiate({T1, T2});
+      ASSERT_TRUE(X.has_value());
+      EXPECT_EQ(rowTimes(*X, A), (std::vector<int64_t>{4}));
+    }
+  }
+}
+
+TEST(SolveDiophantine, CoupledSystem) {
+  // x + 2y = 5, 2x + 3y = 8 -> unique (x, y) = (1, 2).
+  IntMatrix A(2, 2);
+  A.at(0, 0) = 1;
+  A.at(0, 1) = 2;
+  A.at(1, 0) = 2;
+  A.at(1, 1) = 3;
+  DiophantineSolution Sol = solveDiophantine(A, {5, 8});
+  ASSERT_TRUE(Sol.Solvable);
+  EXPECT_EQ(Sol.NumFree, 0u);
+  EXPECT_EQ(Sol.Offset, (std::vector<int64_t>{1, 2}));
+}
+
+TEST(SolveDiophantineProperty, RandomSolvableSystems) {
+  // Build systems from a known solution; the solver must find them, and
+  // every instantiation must satisfy the system.
+  SplitRng Rng(2024);
+  for (unsigned Iter = 0; Iter < 300; ++Iter) {
+    unsigned NumX = 2 + static_cast<unsigned>(Rng.below(3));
+    unsigned NumEq = 1 + static_cast<unsigned>(Rng.below(NumX));
+    IntMatrix A(NumX, NumEq);
+    std::vector<int64_t> Known(NumX);
+    for (unsigned R = 0; R < NumX; ++R) {
+      Known[R] = static_cast<int64_t>(Rng.below(11)) - 5;
+      for (unsigned C = 0; C < NumEq; ++C)
+        A.at(R, C) = static_cast<int64_t>(Rng.below(9)) - 4;
+    }
+    std::vector<int64_t> C = rowTimes(Known, A);
+    DiophantineSolution Sol = solveDiophantine(A, C);
+    ASSERT_FALSE(Sol.Overflow);
+    ASSERT_TRUE(Sol.Solvable) << "iteration " << Iter;
+    // Offset satisfies the system.
+    EXPECT_EQ(rowTimes(Sol.Offset, A), C);
+    // A random instantiation does too.
+    std::vector<int64_t> T(Sol.NumFree);
+    for (int64_t &V : T)
+      V = static_cast<int64_t>(Rng.below(7)) - 3;
+    auto X = Sol.instantiate(T);
+    ASSERT_TRUE(X.has_value());
+    EXPECT_EQ(rowTimes(*X, A), C);
+  }
+}
+
+TEST(SolveDiophantineProperty, UnsolvableDetectedBySmallSearch) {
+  // When the solver says unsolvable, exhaustive search over a window
+  // must agree (completeness of the factorization).
+  SplitRng Rng(7);
+  unsigned Checked = 0;
+  for (unsigned Iter = 0; Iter < 400 && Checked < 60; ++Iter) {
+    IntMatrix A(2, 1);
+    A.at(0, 0) = static_cast<int64_t>(Rng.below(9)) - 4;
+    A.at(1, 0) = static_cast<int64_t>(Rng.below(9)) - 4;
+    int64_t C = static_cast<int64_t>(Rng.below(21)) - 10;
+    DiophantineSolution Sol = solveDiophantine(A, {C});
+    if (Sol.Solvable || Sol.Overflow)
+      continue;
+    ++Checked;
+    for (int64_t X = -30; X <= 30; ++X)
+      for (int64_t Y = -30; Y <= 30; ++Y)
+        ASSERT_NE(A.at(0, 0) * X + A.at(1, 0) * Y, C)
+            << "solver missed a solution";
+  }
+  EXPECT_GT(Checked, 10u);
+}
+
+TEST(FactorUnimodular, ProducesUnimodularEchelonFactorization) {
+  SplitRng Rng(314);
+  for (unsigned Iter = 0; Iter < 200; ++Iter) {
+    unsigned NumX = 2 + static_cast<unsigned>(Rng.below(3));
+    unsigned NumEq = 1 + static_cast<unsigned>(Rng.below(3));
+    IntMatrix A(NumX, NumEq);
+    for (unsigned R = 0; R < NumX; ++R)
+      for (unsigned C = 0; C < NumEq; ++C)
+        A.at(R, C) = static_cast<int64_t>(Rng.below(9)) - 4;
+
+    UnimodularFactorization F = factorUnimodular(A);
+    ASSERT_TRUE(F.Ok);
+    // D is echelon.
+    EXPECT_TRUE(F.D.isEchelon());
+    // U*A == D.
+    bool MulOk = false;
+    IntMatrix UA = F.U.multiply(A, MulOk);
+    ASSERT_TRUE(MulOk);
+    EXPECT_EQ(UA, F.D);
+    // U is unimodular.
+    bool DetOk = false;
+    int64_t Det = F.U.determinant(DetOk);
+    ASSERT_TRUE(DetOk);
+    EXPECT_TRUE(Det == 1 || Det == -1) << Det;
+    // Rank counts the nonzero rows of D.
+    unsigned NonzeroRows = 0;
+    for (unsigned R = 0; R < F.D.rows(); ++R)
+      for (unsigned C = 0; C < F.D.cols(); ++C)
+        if (F.D.at(R, C) != 0) {
+          ++NonzeroRows;
+          break;
+        }
+    EXPECT_EQ(F.Rank, NonzeroRows);
+  }
+}
+
+TEST(FactorUnimodular, LeadingEntriesPositive) {
+  // The paper requires d11 > 0; our echelon form makes every leading
+  // entry positive.
+  IntMatrix A(2, 2);
+  A.at(0, 0) = -3;
+  A.at(0, 1) = 1;
+  A.at(1, 0) = 0;
+  A.at(1, 1) = -2;
+  UnimodularFactorization F = factorUnimodular(A);
+  ASSERT_TRUE(F.Ok);
+  for (unsigned R = 0; R < F.Rank; ++R) {
+    for (unsigned C = 0; C < F.D.cols(); ++C) {
+      if (F.D.at(R, C) == 0)
+        continue;
+      EXPECT_GT(F.D.at(R, C), 0);
+      break;
+    }
+  }
+}
+
+TEST(SolveEquations, FromProblem) {
+  // a[i] vs a[i'+1] in 1..10: i - i' - 1 == 0.
+  DependenceProblem P = ProblemBuilder(1, 1, 1)
+                            .eq({1, -1}, -1)
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .build();
+  DiophantineSolution Sol = solveEquations(P);
+  ASSERT_TRUE(Sol.Solvable);
+  EXPECT_EQ(Sol.NumFree, 1u);
+  auto X = Sol.instantiate({5});
+  ASSERT_TRUE(X.has_value());
+  EXPECT_EQ((*X)[0] - (*X)[1] - 1, 0);
+}
+
+TEST(ProjectToFree, ConstantAndVaryingForms) {
+  DependenceProblem P = ProblemBuilder(1, 1, 1)
+                            .eq({1, -1}, -3) // i' = i - 3
+                            .bounds(0, 0, 10)
+                            .bounds(1, 0, 10)
+                            .build();
+  DiophantineSolution Sol = solveEquations(P);
+  ASSERT_TRUE(Sol.Solvable);
+  ASSERT_EQ(Sol.NumFree, 1u);
+
+  // The distance i' - i is the constant -3... careful: equation says
+  // i - i' - 3 == 0, so i' = i - 3 and i' - i == -3.
+  XAffine Delta(2);
+  Delta.Coeffs[0] = -1;
+  Delta.Coeffs[1] = 1;
+  std::vector<int64_t> TCoeffs;
+  int64_t TConst;
+  ASSERT_TRUE(projectToFree(Delta, Sol, TCoeffs, TConst));
+  EXPECT_EQ(TCoeffs, (std::vector<int64_t>{0}));
+  EXPECT_EQ(TConst, -3);
+
+  // i itself varies with the free variable.
+  XAffine JustI(2);
+  JustI.Coeffs[0] = 1;
+  ASSERT_TRUE(projectToFree(JustI, Sol, TCoeffs, TConst));
+  EXPECT_NE(TCoeffs[0], 0);
+}
+
+TEST(BoundsToFreeSpace, CountsAndSatisfaction) {
+  DependenceProblem P = ProblemBuilder(1, 1, 1)
+                            .eq({1, -1}, -10) // i = i' + 10
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .build();
+  DiophantineSolution Sol = solveEquations(P);
+  ASSERT_TRUE(Sol.Solvable);
+  std::optional<LinearSystem> Sys = boundsToFreeSpace(P, Sol);
+  ASSERT_TRUE(Sys.has_value());
+  // Two loops with both bounds -> 4 constraints over 1 free variable,
+  // and (per the paper's section 3.1 walkthrough) they are jointly
+  // unsatisfiable: 1 <= t <= 10 and 1 <= t +/- 10 <= 10.
+  EXPECT_EQ(Sys->constraints().size(), 4u);
+  bool AnySatisfying = false;
+  for (int64_t T = -30; T <= 30; ++T)
+    if (Sys->satisfiedBy({T}))
+      AnySatisfying = true;
+  EXPECT_FALSE(AnySatisfying);
+}
+
+TEST(SimpleGcdBaselineTest, Basics) {
+  // 2i vs 2i'+1: per-dimension gcd 2 does not divide 1.
+  DependenceProblem Odd = ProblemBuilder(1, 1, 1)
+                              .eq({2, -2}, -1)
+                              .bounds(0, 1, 10)
+                              .bounds(1, 1, 10)
+                              .build();
+  EXPECT_FALSE(simpleGcdTest(Odd));
+
+  DependenceProblem Even = ProblemBuilder(1, 1, 1)
+                               .eq({2, -2}, -4)
+                               .bounds(0, 1, 10)
+                               .bounds(1, 1, 10)
+                               .build();
+  EXPECT_TRUE(simpleGcdTest(Even));
+
+  // Constant contradiction.
+  DependenceProblem Constant = ProblemBuilder(1, 1, 1)
+                                   .eq({0, 0}, 5)
+                                   .bounds(0, 1, 10)
+                                   .bounds(1, 1, 10)
+                                   .build();
+  EXPECT_FALSE(simpleGcdTest(Constant));
+}

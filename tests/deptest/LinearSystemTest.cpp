@@ -1,0 +1,89 @@
+//===- tests/deptest/LinearSystemTest.cpp - LinearSystem tests ------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deptest/LinearSystem.h"
+
+#include "gtest/gtest.h"
+
+#include <climits>
+
+using namespace edda;
+
+TEST(LinearConstraint, ActiveVarCounting) {
+  LinearConstraint C({0, 3, 0, -1}, 5);
+  EXPECT_EQ(C.numActiveVars(), 2u);
+  LinearConstraint Single({0, 0, 7, 0}, 5);
+  EXPECT_EQ(Single.numActiveVars(), 1u);
+  EXPECT_EQ(Single.soleVar(), 2u);
+}
+
+TEST(LinearConstraint, Satisfaction) {
+  LinearConstraint C({2, -1}, 3);
+  EXPECT_TRUE(C.satisfiedBy({1, 0}));   // 2 <= 3
+  EXPECT_TRUE(C.satisfiedBy({2, 1}));   // 3 <= 3
+  EXPECT_FALSE(C.satisfiedBy({2, 0}));  // 4 > 3
+}
+
+TEST(LinearConstraint, LhsOverflowIsUnsatisfied) {
+  LinearConstraint C({1, 1}, 0);
+  EXPECT_FALSE(C.satisfiedBy({INT64_MAX, 1}));
+}
+
+TEST(LinearConstraint, NormalizeTightens) {
+  LinearConstraint C({2, 4}, 5);
+  ASSERT_TRUE(C.normalize());
+  EXPECT_EQ(C.Coeffs, (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(C.Bound, 2); // floor(5/2)
+}
+
+TEST(LinearConstraint, NormalizeNegativeBound) {
+  LinearConstraint C({3, -3}, -4);
+  ASSERT_TRUE(C.normalize());
+  EXPECT_EQ(C.Coeffs, (std::vector<int64_t>{1, -1}));
+  EXPECT_EQ(C.Bound, -2); // floor(-4/3)
+}
+
+TEST(LinearConstraint, NormalizeConstFalse) {
+  LinearConstraint C({0, 0}, -1);
+  EXPECT_FALSE(C.normalize());
+  LinearConstraint True({0, 0}, 0);
+  EXPECT_TRUE(True.normalize());
+}
+
+TEST(LinearSystem, Substitute) {
+  LinearSystem S(2);
+  S.addLe({2, 1}, 10);
+  S.addLe({-1, 3}, 0);
+  ASSERT_TRUE(S.substitute(0, 4));
+  EXPECT_EQ(S.constraints()[0].Coeffs, (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(S.constraints()[0].Bound, 2);  // 10 - 8
+  EXPECT_EQ(S.constraints()[1].Bound, 0 + 4);
+}
+
+TEST(LinearSystem, SubstituteOverflow) {
+  LinearSystem S(1);
+  S.addLe({INT64_MAX}, 0);
+  EXPECT_FALSE(S.substitute(0, 2));
+}
+
+TEST(LinearSystem, SatisfiedBy) {
+  LinearSystem S(2);
+  S.addLe({1, 0}, 5);
+  S.addLe({0, -1}, -3);
+  EXPECT_TRUE(S.satisfiedBy({5, 3}));
+  EXPECT_FALSE(S.satisfiedBy({6, 3}));
+  EXPECT_FALSE(S.satisfiedBy({5, 2}));
+}
+
+TEST(LinearSystem, StrSmoke) {
+  LinearSystem S(2);
+  S.addLe({1, -2}, 7);
+  std::string Text = S.str();
+  EXPECT_NE(Text.find("t0"), std::string::npos);
+  EXPECT_NE(Text.find("2*t1"), std::string::npos);
+  EXPECT_NE(Text.find("<= 7"), std::string::npos);
+}

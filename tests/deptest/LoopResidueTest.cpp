@@ -1,0 +1,137 @@
+//===- tests/deptest/LoopResidueTest.cpp - Loop Residue unit tests --------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deptest/LoopResidue.h"
+
+#include "gtest/gtest.h"
+
+using namespace edda;
+
+namespace {
+
+VarIntervals intervals(std::vector<std::pair<std::optional<int64_t>,
+                                             std::optional<int64_t>>>
+                           Pairs) {
+  VarIntervals V(static_cast<unsigned>(Pairs.size()));
+  for (unsigned I = 0; I < Pairs.size(); ++I) {
+    V.Lo[I] = Pairs[I].first;
+    V.Hi[I] = Pairs[I].second;
+  }
+  return V;
+}
+
+} // namespace
+
+TEST(LoopResidue, NotApplicableThreeVars) {
+  std::vector<LinearConstraint> Multi = {{{1, 1, -1}, 0}};
+  ResidueResult R = runLoopResidue(3, Multi, intervals({{}, {}, {}}));
+  EXPECT_EQ(R.St, ResidueResult::Status::NotApplicable);
+}
+
+TEST(LoopResidue, NotApplicableUnequalMagnitudes) {
+  std::vector<LinearConstraint> Multi = {{{2, -1}, 0}};
+  ResidueResult R = runLoopResidue(2, Multi, intervals({{}, {}}));
+  EXPECT_EQ(R.St, ResidueResult::Status::NotApplicable);
+}
+
+TEST(LoopResidue, EqualMagnitudeCoefficientsDividedExactly) {
+  // 3*t0 - 3*t1 <= 7 becomes t0 - t1 <= floor(7/3) = 2 (the paper's
+  // exactness-preserving extension of Shostak).
+  std::vector<LinearConstraint> Multi = {{{3, -3}, 7}};
+  ResidueResult R =
+      runLoopResidue(2, Multi, intervals({{0, 10}, {0, 10}}));
+  ASSERT_EQ(R.St, ResidueResult::Status::Dependent);
+  ASSERT_TRUE(R.Sample.has_value());
+  EXPECT_LE((*R.Sample)[0] - (*R.Sample)[1], 2);
+}
+
+TEST(LoopResidue, PaperFigure1NegativeCycle) {
+  // Paper section 3.4: t1 - t2 <= -4 (i.e. t1 <= t2 - 4), t2 <= t3 - 4
+  // ... adapted to the figure: edges t1->t3 (-4), t3->n0 (...), with a
+  // cycle of value -1 proving independence. Constraints:
+  //   t1 - t3 <= -4, t3 <= 3 (t3->n0 weight 3), t1 >= 0 (n0->t1 0).
+  // Cycle n0 -> t1 -> t3 -> n0 = 0 + (-4) + 3 = -1 < 0.
+  std::vector<LinearConstraint> Multi = {{{1, -1}, -4}};
+  ResidueResult R = runLoopResidue(
+      2, Multi, intervals({{0, std::nullopt}, {std::nullopt, 3}}));
+  EXPECT_EQ(R.St, ResidueResult::Status::Independent);
+  ASSERT_GE(R.NegativeCycle.size(), 3u);
+  EXPECT_EQ(R.NegativeCycle.front(), R.NegativeCycle.back());
+}
+
+TEST(LoopResidue, FeasibleCycleGivesWitness) {
+  // t0 <= t1, t1 <= t0 + 1, both in [1, 5].
+  std::vector<LinearConstraint> Multi = {{{1, -1}, 0}, {{-1, 1}, 1}};
+  ResidueResult R =
+      runLoopResidue(2, Multi, intervals({{1, 5}, {1, 5}}));
+  ASSERT_EQ(R.St, ResidueResult::Status::Dependent);
+  ASSERT_TRUE(R.Sample.has_value());
+  const std::vector<int64_t> &S = *R.Sample;
+  EXPECT_LE(S[0], S[1]);
+  EXPECT_LE(S[1], S[0] + 1);
+  EXPECT_GE(S[0], 1);
+  EXPECT_LE(S[0], 5);
+  EXPECT_GE(S[1], 1);
+  EXPECT_LE(S[1], 5);
+}
+
+TEST(LoopResidue, IntervalOnlyContradictionThroughCycle) {
+  // t0 <= t1 - 1 and t1 <= t0 - 1: pure negative 2-cycle.
+  std::vector<LinearConstraint> Multi = {{{1, -1}, -1}, {{-1, 1}, -1}};
+  ResidueResult R = runLoopResidue(2, Multi, intervals({{}, {}}));
+  EXPECT_EQ(R.St, ResidueResult::Status::Independent);
+}
+
+TEST(LoopResidue, LongerChainInfeasible) {
+  // t0 <= t1 - 2, t1 <= t2 - 2, t2 in [0,3], t0 >= 0.
+  std::vector<LinearConstraint> Multi = {{{1, -1, 0}, -2},
+                                         {{0, 1, -1}, -2}};
+  ResidueResult R = runLoopResidue(
+      3, Multi,
+      intervals({{0, std::nullopt}, {std::nullopt, std::nullopt},
+                 {std::nullopt, 3}}));
+  // t0 >= 0 and t2 <= 3 with t2 >= t0 + 4: cycle value -1.
+  EXPECT_EQ(R.St, ResidueResult::Status::Independent);
+}
+
+TEST(LoopResidue, DependentSampleSatisfiesEverything) {
+  std::vector<LinearConstraint> Multi = {
+      {{1, -1, 0}, 2},   // t0 - t1 <= 2
+      {{0, 1, -1}, -1},  // t1 <= t2 - 1
+      {{-1, 0, 1}, 4},   // t2 - t0 <= 4
+  };
+  VarIntervals V = intervals({{-3, 7}, {-3, 7}, {-3, 7}});
+  ResidueResult R = runLoopResidue(3, Multi, V);
+  ASSERT_EQ(R.St, ResidueResult::Status::Dependent);
+  ASSERT_TRUE(R.Sample.has_value());
+  const std::vector<int64_t> &S = *R.Sample;
+  for (const LinearConstraint &C : Multi) {
+    int64_t Lhs = 0;
+    for (unsigned K = 0; K < 3; ++K)
+      Lhs += C.Coeffs[K] * S[K];
+    EXPECT_LE(Lhs, C.Bound);
+  }
+  for (unsigned K = 0; K < 3; ++K) {
+    EXPECT_GE(S[K], -3);
+    EXPECT_LE(S[K], 7);
+  }
+}
+
+TEST(LoopResidue, GraphRendering) {
+  std::vector<LinearConstraint> Multi = {{{1, -1}, 5}};
+  ResidueResult R =
+      runLoopResidue(2, Multi, intervals({{0, 9}, {0, 9}}));
+  std::string S = R.Graph.str();
+  EXPECT_NE(S.find("t0 -> t1  (5)"), std::string::npos);
+  EXPECT_NE(S.find("n0"), std::string::npos);
+}
+
+TEST(LoopResidue, UnconstrainedVariablesDefaultToZero) {
+  ResidueResult R = runLoopResidue(2, {}, intervals({{}, {}}));
+  ASSERT_EQ(R.St, ResidueResult::Status::Dependent);
+  EXPECT_EQ(*R.Sample, (std::vector<int64_t>{0, 0}));
+}

@@ -1,0 +1,324 @@
+//===- tests/deptest/MemoTest.cpp - Memoization tests ---------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deptest/Memo.h"
+
+#include "testutil/Helpers.h"
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace edda;
+using namespace edda::testutil;
+
+namespace {
+
+DependenceProblem simpleProblem(int64_t Delta, int64_t Hi = 10) {
+  return ProblemBuilder(1, 1, 1)
+      .eq({1, -1}, Delta)
+      .bounds(0, 1, Hi)
+      .bounds(1, 1, Hi)
+      .build();
+}
+
+/// The paper's section 5 motivating pair: the same inner dependence
+/// under an unused outer loop whose bound differs.
+DependenceProblem wrappedProblem(int64_t OuterHi) {
+  return ProblemBuilder(2, 2, 2)
+      .eq({0, 1, 0, -1}, -5)
+      .bounds(0, 1, OuterHi)
+      .bounds(1, 1, 10)
+      .bounds(2, 1, OuterHi)
+      .bounds(3, 1, 10)
+      .build();
+}
+
+} // namespace
+
+TEST(Memo, FullTableHitAndMiss) {
+  DependenceCache Cache;
+  DependenceProblem P = simpleProblem(3);
+  EXPECT_FALSE(Cache.lookupFull(P).has_value());
+  CascadeResult R = testDependence(P);
+  Cache.insertFull(P, R);
+  std::optional<CascadeResult> Hit = Cache.lookupFull(P);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Hit->Answer, R.Answer);
+  EXPECT_EQ(Hit->DecidedBy, R.DecidedBy);
+  EXPECT_EQ(Cache.fullQueries(), 2u);
+  EXPECT_EQ(Cache.fullHits(), 1u);
+  EXPECT_EQ(Cache.uniqueFull(), 1u);
+}
+
+TEST(Memo, DifferentProblemsMiss) {
+  DependenceCache Cache;
+  Cache.insertFull(simpleProblem(3), testDependence(simpleProblem(3)));
+  EXPECT_FALSE(Cache.lookupFull(simpleProblem(4)).has_value());
+  EXPECT_FALSE(Cache.lookupFull(simpleProblem(3, 20)).has_value());
+}
+
+TEST(Memo, GcdTableIgnoresBounds) {
+  DependenceCache Cache;
+  Cache.insertGcdSolvable(simpleProblem(3, 10), true);
+  // Same equations, different bounds: still a hit.
+  std::optional<bool> Hit = Cache.lookupGcdSolvable(simpleProblem(3, 99));
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_TRUE(*Hit);
+}
+
+TEST(Memo, ImprovedKeyMergesUnusedLoops) {
+  MemoOptions Improved;
+  Improved.ImprovedKey = true;
+  DependenceCache Cache(Improved);
+  Cache.insertFull(wrappedProblem(10),
+                   testDependence(wrappedProblem(10)));
+  // Different unused-loop bound: merged by the improved scheme.
+  EXPECT_TRUE(Cache.lookupFull(wrappedProblem(50)).has_value());
+
+  MemoOptions Simple;
+  Simple.ImprovedKey = false;
+  DependenceCache SimpleCache(Simple);
+  SimpleCache.insertFull(wrappedProblem(10),
+                         testDependence(wrappedProblem(10)));
+  EXPECT_FALSE(SimpleCache.lookupFull(wrappedProblem(50)).has_value());
+}
+
+TEST(Memo, SymmetricKeyMergesSwappedPairs) {
+  MemoOptions Opts;
+  Opts.SymmetricKey = true;
+  DependenceCache Cache(Opts);
+  DependenceProblem P = simpleProblem(3);
+  Cache.insertFull(P, testDependence(P));
+  // a[i] vs a[i-3] is the same question as a[i-3] vs a[i].
+  EXPECT_TRUE(Cache.lookupFull(P.swapped()).has_value());
+
+  MemoOptions NoSym;
+  DependenceCache Plain(NoSym);
+  Plain.insertFull(P, testDependence(P));
+  // The asymmetric layout of the swapped problem still collides here
+  // because nA == nB and the improved key is identical; use distinct
+  // nest depths to tell them apart.
+  DependenceProblem Deep = ProblemBuilder(2, 1, 1)
+                               .eq({1, 0, -1}, 3)
+                               .bounds(0, 1, 10)
+                               .bounds(1, 1, 5)
+                               .bounds(2, 1, 10)
+                               .build();
+  Plain.insertFull(Deep, testDependence(Deep));
+  EXPECT_FALSE(Plain.lookupFull(Deep.swapped()).has_value());
+  DependenceCache Sym(Opts);
+  Sym.insertFull(Deep, testDependence(Deep));
+  EXPECT_TRUE(Sym.lookupFull(Deep.swapped()).has_value());
+}
+
+TEST(Memo, SymmetricDirectionsReversed) {
+  MemoOptions Opts;
+  Opts.SymmetricKey = true;
+  Opts.ImprovedKey = false;
+  DependenceCache Cache(Opts);
+  // Asymmetric problem so the swapped key differs: a[i+1] vs a[i] in
+  // nests of different depth.
+  DependenceProblem P = ProblemBuilder(2, 1, 1)
+                            .eq({1, 0, -1}, 1)
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 5)
+                            .bounds(2, 1, 10)
+                            .build();
+  DirectionResult Dirs = computeDirectionVectors(P);
+  Cache.insertDirections(P, Dirs);
+  std::optional<DirectionResult> Swapped =
+      Cache.lookupDirections(P.swapped());
+  ASSERT_TRUE(Swapped.has_value());
+  ASSERT_EQ(Swapped->Vectors.size(), Dirs.Vectors.size());
+  // '<' components flip to '>' and distances negate.
+  for (unsigned V = 0; V < Dirs.Vectors.size(); ++V) {
+    for (unsigned K = 0; K < Dirs.Vectors[V].size(); ++K) {
+      Dir D = Dirs.Vectors[V][K];
+      Dir E = Swapped->Vectors[V][K];
+      if (D == Dir::Less)
+        EXPECT_EQ(E, Dir::Greater);
+      else if (D == Dir::Greater)
+        EXPECT_EQ(E, Dir::Less);
+      else
+        EXPECT_EQ(E, D);
+    }
+  }
+  for (unsigned K = 0; K < Dirs.Distances.size(); ++K)
+    if (Dirs.Distances[K])
+      EXPECT_EQ(*Swapped->Distances[K], -*Dirs.Distances[K]);
+}
+
+TEST(Memo, DirectionsRoundTripThroughImprovedKey) {
+  DependenceCache Cache; // improved by default
+  DependenceProblem P = wrappedProblem(10);
+  DirectionResult Dirs = computeDirectionVectors(P);
+  Cache.insertDirections(P, Dirs);
+  std::optional<DirectionResult> Hit = Cache.lookupDirections(P);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Hit->Vectors.size(), Dirs.Vectors.size());
+  ASSERT_FALSE(Hit->Vectors.empty());
+  // The unused outer loop reads back as '*'.
+  EXPECT_EQ(Hit->Vectors[0][0], Dir::Any);
+  // The wrapped sibling with a different outer bound also hits.
+  std::optional<DirectionResult> Sibling =
+      Cache.lookupDirections(wrappedProblem(77));
+  ASSERT_TRUE(Sibling.has_value());
+  EXPECT_EQ(Sibling->Vectors.size(), Dirs.Vectors.size());
+}
+
+TEST(Memo, ReverseDirectionsHelper) {
+  DirectionResult R;
+  R.Vectors = {{Dir::Less, Dir::Equal}, {Dir::Greater, Dir::Any}};
+  R.Distances = {std::optional<int64_t>(3), std::nullopt};
+  DirectionResult Rev = reverseDirections(R);
+  EXPECT_EQ(Rev.Vectors[0], (DirVector{Dir::Greater, Dir::Equal}));
+  EXPECT_EQ(Rev.Vectors[1], (DirVector{Dir::Less, Dir::Any}));
+  EXPECT_EQ(*Rev.Distances[0], -3);
+  EXPECT_FALSE(Rev.Distances[1].has_value());
+}
+
+TEST(Memo, SwapWitnessLayout) {
+  std::vector<int64_t> X = {1, 2, 3, 4, 5}; // A = {1,2}, B = {3}, sym {4,5}
+  std::vector<int64_t> Swapped = swapWitness(X, 2, 1);
+  EXPECT_EQ(Swapped, (std::vector<int64_t>{3, 1, 2, 4, 5}));
+}
+
+TEST(Memo, EquationOrderCanonicalization) {
+  // a[i][j] vs a[i+1][j+2] and the dimension-swapped a[j][i] vs
+  // a[j+2][i+1] pose the same equations in a different order; the
+  // paper's "taken farther" extension merges them.
+  DependenceProblem P1 = ProblemBuilder(2, 2, 2)
+                             .eq({1, 0, -1, 0}, 1)
+                             .eq({0, 1, 0, -1}, 2)
+                             .bounds(0, 1, 10)
+                             .bounds(1, 1, 10)
+                             .bounds(2, 1, 10)
+                             .bounds(3, 1, 10)
+                             .build();
+  DependenceProblem P2 = P1;
+  std::swap(P2.Equations[0], P2.Equations[1]);
+
+  DependenceCache Plain;
+  Plain.insertFull(P1, testDependence(P1));
+  EXPECT_FALSE(Plain.lookupFull(P2).has_value());
+
+  MemoOptions Opts;
+  Opts.CanonicalizeEquations = true;
+  DependenceCache Canonical(Opts);
+  Canonical.insertFull(P1, testDependence(P1));
+  std::optional<CascadeResult> Hit = Canonical.lookupFull(P2);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Hit->Answer, testDependence(P2).Answer);
+}
+
+TEST(Memo, CanonicalizationPropertyOnRandomPermutations) {
+  // Shuffling a problem's equations never changes the canonical key or
+  // the cached answer.
+  MemoOptions Opts;
+  Opts.CanonicalizeEquations = true;
+  SplitRng Rng(777);
+  for (unsigned Iter = 0; Iter < 60; ++Iter) {
+    DependenceProblem P = randomProblem(Rng);
+    if (P.Equations.size() < 2)
+      continue;
+    DependenceCache Cache(Opts);
+    CascadeResult Fresh = testDependence(P);
+    Cache.insertFull(P, Fresh);
+    DependenceProblem Shuffled = P;
+    // Rotate the equations (a nontrivial permutation).
+    std::rotate(Shuffled.Equations.begin(),
+                Shuffled.Equations.begin() + 1,
+                Shuffled.Equations.end());
+    std::optional<CascadeResult> Hit = Cache.lookupFull(Shuffled);
+    ASSERT_TRUE(Hit.has_value()) << P.str();
+    EXPECT_EQ(Hit->Answer, Fresh.Answer);
+    // And the permuted problem genuinely has that answer.
+    EXPECT_EQ(testDependence(Shuffled).Answer, Fresh.Answer);
+  }
+}
+
+TEST(Memo, CanonicalizationComposesWithSymmetry) {
+  MemoOptions Opts;
+  Opts.CanonicalizeEquations = true;
+  Opts.SymmetricKey = true;
+  DependenceCache Cache(Opts);
+  DependenceProblem P = ProblemBuilder(2, 1, 1)
+                            .eq({1, 0, -1}, 3)
+                            .eq({0, 1, 0}, -2)
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 5)
+                            .bounds(2, 1, 10)
+                            .build();
+  Cache.insertFull(P, testDependence(P));
+  DependenceProblem Swapped = P.swapped();
+  std::swap(Swapped.Equations[0], Swapped.Equations[1]);
+  EXPECT_TRUE(Cache.lookupFull(Swapped).has_value());
+}
+
+TEST(Memo, PaperLiteralHashStillCorrect) {
+  MemoOptions Opts;
+  Opts.Hash = MemoHashKind::PaperLiteral;
+  DependenceCache Cache(Opts);
+  for (int64_t D = 0; D < 50; ++D)
+    Cache.insertFull(simpleProblem(D), testDependence(simpleProblem(D)));
+  EXPECT_EQ(Cache.uniqueFull(), 50u);
+  for (int64_t D = 0; D < 50; ++D)
+    EXPECT_TRUE(Cache.lookupFull(simpleProblem(D)).has_value());
+}
+
+TEST(Memo, PersistenceRoundTrip) {
+  std::string Path = ::testing::TempDir() + "/edda_cache_test.txt";
+  {
+    DependenceCache Cache;
+    Cache.insertFull(simpleProblem(3), testDependence(simpleProblem(3)));
+    Cache.insertFull(simpleProblem(99),
+                     testDependence(simpleProblem(99)));
+    Cache.insertGcdSolvable(simpleProblem(4), true);
+    Cache.insertDirections(simpleProblem(1),
+                           computeDirectionVectors(simpleProblem(1)));
+    ASSERT_TRUE(Cache.saveToFile(Path));
+  }
+  DependenceCache Loaded;
+  ASSERT_TRUE(Loaded.loadFromFile(Path));
+  EXPECT_EQ(Loaded.uniqueFull(), 2u);
+  std::optional<CascadeResult> Hit = Loaded.lookupFull(simpleProblem(3));
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Hit->Answer, DepAnswer::Dependent);
+  std::optional<DirectionResult> Dirs =
+      Loaded.lookupDirections(simpleProblem(1));
+  ASSERT_TRUE(Dirs.has_value());
+  ASSERT_EQ(Dirs->Vectors.size(), 1u);
+  EXPECT_EQ(Dirs->Vectors[0], (DirVector{Dir::Less}));
+  // Distances survive persistence too.
+  ASSERT_EQ(Dirs->Distances.size(), 1u);
+  ASSERT_TRUE(Dirs->Distances[0].has_value());
+  EXPECT_EQ(*Dirs->Distances[0], 1);
+  std::remove(Path.c_str());
+}
+
+TEST(Memo, LoadRejectsGarbage) {
+  std::string Path = ::testing::TempDir() + "/edda_cache_garbage.txt";
+  {
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    ASSERT_NE(F, nullptr);
+    std::fputs("not a cache file\n", F);
+    std::fclose(F);
+  }
+  DependenceCache Cache;
+  EXPECT_FALSE(Cache.loadFromFile(Path));
+  EXPECT_FALSE(Cache.loadFromFile(Path + ".does-not-exist"));
+  std::remove(Path.c_str());
+}
+
+TEST(Memo, ClearResets) {
+  DependenceCache Cache;
+  Cache.insertFull(simpleProblem(3), testDependence(simpleProblem(3)));
+  Cache.clear();
+  EXPECT_EQ(Cache.uniqueFull(), 0u);
+  EXPECT_FALSE(Cache.lookupFull(simpleProblem(3)).has_value());
+}

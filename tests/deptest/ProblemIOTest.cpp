@@ -1,0 +1,135 @@
+//===- tests/deptest/ProblemIOTest.cpp - Problem format tests -------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deptest/ProblemIO.h"
+
+#include "deptest/Cascade.h"
+#include "testutil/Helpers.h"
+#include "gtest/gtest.h"
+
+using namespace edda;
+using namespace edda::testutil;
+
+TEST(ProblemIO, ParseSimple) {
+  ProblemParseResult R = parseProblemText(R"(# a[i+10] = a[i], i = 1..10
+problem
+  loops 1 1 common 1 symbolic 0
+  eq 1 -1 = 10
+  lo 0 : 1
+  hi 0 : 10
+  lo 1 : 1
+  hi 1 : 10
+end
+)");
+  ASSERT_TRUE(R.succeeded()) << R.Error;
+  const DependenceProblem &P = *R.Problem;
+  EXPECT_EQ(P.NumLoopsA, 1u);
+  EXPECT_EQ(P.NumCommon, 1u);
+  ASSERT_EQ(P.Equations.size(), 1u);
+  EXPECT_EQ(P.Equations[0].Coeffs, (std::vector<int64_t>{1, -1}));
+  EXPECT_EQ(P.Equations[0].Const, 10);
+  ASSERT_TRUE(P.Hi[1].has_value());
+  EXPECT_EQ(P.Hi[1]->Const, 10);
+  // Matches the paper walkthrough: independent.
+  EXPECT_EQ(testDependence(P).Answer, DepAnswer::Independent);
+}
+
+TEST(ProblemIO, ParseAffineBound) {
+  ProblemParseResult R = parseProblemText(R"(problem
+  loops 2 2 common 2 symbolic 0
+  eq 0 1 0 -1 = -2
+  lo 0 : 1
+  hi 0 : 10
+  lo 1 : 1
+  hi 1 1 0 0 0 : 0   # j <= i
+  lo 2 : 1
+  hi 2 : 10
+  lo 3 : 1
+  hi 3 0 0 1 0 : 0
+end
+)");
+  ASSERT_TRUE(R.succeeded()) << R.Error;
+  EXPECT_EQ(R.Problem->Hi[1]->Coeffs[0], 1);
+  EXPECT_EQ(testDependence(*R.Problem).DecidedBy, TestKind::Acyclic);
+}
+
+TEST(ProblemIO, MissingBoundsAllowed) {
+  ProblemParseResult R = parseProblemText(R"(problem
+  loops 1 1 common 1 symbolic 1
+  eq 1 -1 -1 = -1
+  lo 0 : 1
+  hi 0 : 10
+  lo 1 : 1
+  hi 1 : 10
+end
+)");
+  ASSERT_TRUE(R.succeeded()) << R.Error;
+  EXPECT_EQ(R.Problem->NumSymbolic, 1u);
+  EXPECT_EQ(testDependence(*R.Problem).Answer, DepAnswer::Dependent);
+}
+
+TEST(ProblemIO, RoundTrip) {
+  SplitRng Rng(123);
+  for (unsigned Iter = 0; Iter < 100; ++Iter) {
+    DependenceProblem P = randomProblem(Rng);
+    std::string Text = printProblemText(P);
+    ProblemParseResult R = parseProblemText(Text);
+    ASSERT_TRUE(R.succeeded()) << R.Error << "\n" << Text;
+    EXPECT_EQ(R.Problem->serialize(true), P.serialize(true)) << Text;
+  }
+}
+
+TEST(ProblemIO, Errors) {
+  auto ErrorOf = [](const char *Text) {
+    ProblemParseResult R = parseProblemText(Text);
+    EXPECT_FALSE(R.succeeded());
+    return R.Error;
+  };
+  EXPECT_NE(ErrorOf("loops 1 1 common 1 symbolic 0\nend\n")
+                .find("expected 'problem'"),
+            std::string::npos);
+  EXPECT_NE(ErrorOf("problem\n  eq 1 -1 = 0\nend\n")
+                .find("'loops' header"),
+            std::string::npos);
+  EXPECT_NE(ErrorOf("problem\n  loops 1 1 common 2 symbolic 0\nend\n")
+                .find("more common"),
+            std::string::npos);
+  EXPECT_NE(
+      ErrorOf(
+          "problem\n  loops 1 1 common 1 symbolic 0\n  eq 1 = 0\nend\n")
+          .find("expected 'eq"),
+      std::string::npos);
+  EXPECT_NE(ErrorOf("problem\n  loops 1 1 common 1 symbolic 0\n  lo 9 "
+                    ": 1\nend\n")
+                .find("loop variable index"),
+            std::string::npos);
+  EXPECT_NE(ErrorOf("problem\n  loops 1 1 common 1 symbolic 0\n")
+                .find("missing 'end'"),
+            std::string::npos);
+  EXPECT_NE(ErrorOf("problem\n  loops 1 1 common 1 symbolic 0\nend\n"
+                    "eq 1 -1 = 0\n")
+                .find("after 'end'"),
+            std::string::npos);
+  EXPECT_NE(ErrorOf("problem\n  loops 1 1 common 1 symbolic 0\n  "
+                    "frobnicate\nend\n")
+                .find("unknown directive"),
+            std::string::npos);
+}
+
+TEST(ProblemIO, CommentsAndBlankLines) {
+  ProblemParseResult R = parseProblemText(R"(
+# leading comment
+
+problem
+  # inner comment
+  loops 1 1 common 1 symbolic 0
+
+  eq 1 -1 = 0   # trailing comment
+end
+)");
+  ASSERT_TRUE(R.succeeded()) << R.Error;
+}

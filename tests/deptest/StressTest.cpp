@@ -1,0 +1,217 @@
+//===- tests/deptest/StressTest.cpp - Deeper randomized stress ------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Heavier randomized checks than the per-module property tests:
+/// three-deep common nests, multi-equation systems, larger
+/// coefficients, and adversarial bound couplings — all validated
+/// against the enumeration oracle. These are the "keep the exactness
+/// claim honest" tests.
+///
+//===----------------------------------------------------------------------===//
+
+#include "deptest/Cascade.h"
+
+#include "deptest/Direction.h"
+#include "deptest/Memo.h"
+#include "testutil/Helpers.h"
+#include "testutil/Oracle.h"
+#include "gtest/gtest.h"
+
+using namespace edda;
+using namespace edda::testutil;
+
+namespace {
+
+/// Random problem with up to three common loops, up to three equations
+/// and coefficients up to +/-5; bounds kept tight so the oracle stays
+/// fast (spans <= 5 per variable).
+DependenceProblem deepRandomProblem(SplitRng &Rng) {
+  unsigned Common = 2 + static_cast<unsigned>(Rng.below(2));
+  ProblemBuilder PB(Common, Common, Common);
+  unsigned NumX = 2 * Common;
+  unsigned NumEq = 1 + static_cast<unsigned>(Rng.below(3));
+  for (unsigned E = 0; E < NumEq; ++E) {
+    std::vector<int64_t> Coeffs(NumX, 0);
+    for (unsigned J = 0; J < NumX; ++J)
+      Coeffs[J] = static_cast<int64_t>(Rng.below(11)) - 5;
+    PB.eq(std::move(Coeffs), static_cast<int64_t>(Rng.below(17)) - 8);
+  }
+  for (unsigned L = 0; L < Common; ++L) {
+    int64_t Lo = static_cast<int64_t>(Rng.below(7)) - 3;
+    int64_t Span = static_cast<int64_t>(Rng.below(6));
+    PB.bounds(L, Lo, Lo + Span);
+    PB.bounds(Common + L, Lo, Lo + Span);
+  }
+  DependenceProblem P = PB.build();
+  // Couple up to two inner bounds to outer variables.
+  for (unsigned L = 1; L < Common; ++L) {
+    if (Rng.below(3) != 0)
+      continue;
+    int64_t C = static_cast<int64_t>(Rng.below(5)) - 1;
+    XAffine HiA(NumX), HiB(NumX);
+    HiA.Coeffs[L - 1] = 1;
+    HiA.Const = C;
+    HiB.Coeffs[Common + L - 1] = 1;
+    HiB.Const = C;
+    P.Hi[L] = std::move(HiA);
+    P.Hi[Common + L] = std::move(HiB);
+  }
+  return P;
+}
+
+} // namespace
+
+class DeepCascadeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeepCascadeProperty, MatchesOracle) {
+  SplitRng Rng(GetParam());
+  unsigned Conclusive = 0;
+  for (unsigned Iter = 0; Iter < 150; ++Iter) {
+    DependenceProblem P = deepRandomProblem(Rng);
+    std::optional<bool> Truth = oracleDependent(P);
+    if (!Truth)
+      continue;
+    ++Conclusive;
+    CascadeResult R = testDependence(P);
+    if (R.Answer == DepAnswer::Unknown)
+      continue;
+    EXPECT_EQ(R.Answer == DepAnswer::Dependent, *Truth)
+        << "decided by " << testKindName(R.DecidedBy) << "\n"
+        << P.str();
+    if (R.Witness)
+      EXPECT_TRUE(verifyWitness(P, *R.Witness)) << P.str();
+  }
+  EXPECT_GT(Conclusive, 60u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeepCascadeProperty,
+                         ::testing::Values(21, 22, 23, 24, 25, 26, 27, 28));
+
+class DeepDirectionProperty : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(DeepDirectionProperty, MatchesOracle) {
+  SplitRng Rng(GetParam());
+  unsigned Conclusive = 0;
+  for (unsigned Iter = 0; Iter < 60; ++Iter) {
+    DependenceProblem P = deepRandomProblem(Rng);
+    std::optional<std::set<DirVector>> Truth = oracleDirections(P);
+    if (!Truth)
+      continue;
+    ++Conclusive;
+    DirectionResult R = computeDirectionVectors(P);
+    if (!R.Exact)
+      continue;
+    for (const DirVector &Real : *Truth) {
+      bool Covered = false;
+      for (const DirVector &Reported : R.Vectors)
+        Covered = Covered || dirMatches(Reported, Real);
+      EXPECT_TRUE(Covered) << dirVectorStr(Real) << "\n" << P.str();
+    }
+    for (const DirVector &Reported : R.Vectors) {
+      bool HasStar = false;
+      for (Dir D : Reported)
+        HasStar = HasStar || D == Dir::Any;
+      if (HasStar)
+        continue;
+      EXPECT_TRUE(Truth->count(Reported))
+          << dirVectorStr(Reported) << "\n" << P.str();
+    }
+  }
+  EXPECT_GT(Conclusive, 25u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeepDirectionProperty,
+                         ::testing::Values(31, 32, 33, 34, 35));
+
+TEST(Stress, CascadeDeterministic) {
+  SplitRng Rng(55);
+  for (unsigned Iter = 0; Iter < 100; ++Iter) {
+    DependenceProblem P = deepRandomProblem(Rng);
+    CascadeResult A = testDependence(P);
+    CascadeResult B = testDependence(P);
+    EXPECT_EQ(A.Answer, B.Answer);
+    EXPECT_EQ(A.DecidedBy, B.DecidedBy);
+    EXPECT_EQ(A.Witness.has_value(), B.Witness.has_value());
+    if (A.Witness)
+      EXPECT_EQ(*A.Witness, *B.Witness);
+  }
+}
+
+TEST(Stress, RedundantConstraintsDoNotChangeAnswer) {
+  // Duplicating an equation or widening a bound by a superset interval
+  // must not flip the answer.
+  SplitRng Rng(56);
+  for (unsigned Iter = 0; Iter < 100; ++Iter) {
+    DependenceProblem P = deepRandomProblem(Rng);
+    CascadeResult Base = testDependence(P);
+    if (Base.Answer == DepAnswer::Unknown)
+      continue;
+    DependenceProblem Dup = P;
+    Dup.Equations.push_back(P.Equations.front());
+    CascadeResult R = testDependence(Dup);
+    if (R.Answer != DepAnswer::Unknown)
+      EXPECT_EQ(R.Answer, Base.Answer) << P.str();
+  }
+}
+
+TEST(Stress, MemoizedAnswersMatchFreshOnes) {
+  SplitRng Rng(57);
+  DependenceCache Cache;
+  std::vector<DependenceProblem> Pool;
+  for (unsigned I = 0; I < 40; ++I)
+    Pool.push_back(deepRandomProblem(Rng));
+  // Fill.
+  for (const DependenceProblem &P : Pool)
+    Cache.insertFull(P, testDependence(P));
+  // Every lookup must agree with a fresh run.
+  for (const DependenceProblem &P : Pool) {
+    std::optional<CascadeResult> Hit = Cache.lookupFull(P);
+    ASSERT_TRUE(Hit.has_value());
+    CascadeResult Fresh = testDependence(P);
+    EXPECT_EQ(Hit->Answer, Fresh.Answer);
+    EXPECT_EQ(Hit->DecidedBy, Fresh.DecidedBy);
+  }
+}
+
+TEST(Stress, LargeCoefficientsStayExactOrHonest) {
+  // Coefficients near the overflow edge: the cascade must either stay
+  // exact (verified by witness) or say Unknown — never silently wrap.
+  SplitRng Rng(58);
+  for (unsigned Iter = 0; Iter < 200; ++Iter) {
+    int64_t Big = static_cast<int64_t>(Rng.below(1000000)) + 1000000;
+    DependenceProblem P =
+        ProblemBuilder(1, 1, 1)
+            .eq({Big, -Big}, static_cast<int64_t>(Rng.below(3)) - 1)
+            .bounds(0, 1, 1000)
+            .bounds(1, 1, 1000)
+            .build();
+    CascadeResult R = testDependence(P);
+    if (R.Answer == DepAnswer::Dependent && R.Witness)
+      EXPECT_TRUE(verifyWitness(P, *R.Witness));
+    if (R.Answer == DepAnswer::Independent) {
+      // Big*(i - i') == c with |c| < Big: only c == 0 is solvable.
+      EXPECT_NE(P.Equations[0].Const, 0);
+    }
+  }
+}
+
+TEST(Stress, ManyEquationsOverdetermined) {
+  // Five equations over one loop pair: consistent iff all demand the
+  // same offset.
+  for (int64_t Noise = 0; Noise < 3; ++Noise) {
+    ProblemBuilder PB(1, 1, 1);
+    for (unsigned E = 0; E < 5; ++E)
+      PB.eq({1, -1}, E == 4 ? 2 + Noise : 2);
+    DependenceProblem P =
+        PB.bounds(0, 1, 10).bounds(1, 1, 10).build();
+    CascadeResult R = testDependence(P);
+    EXPECT_EQ(R.Answer, Noise == 0 ? DepAnswer::Dependent
+                                   : DepAnswer::Independent);
+  }
+}

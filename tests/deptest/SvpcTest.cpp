@@ -1,0 +1,116 @@
+//===- tests/deptest/SvpcTest.cpp - SVPC unit tests -----------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deptest/Svpc.h"
+
+#include "gtest/gtest.h"
+
+using namespace edda;
+
+namespace {
+
+LinearSystem makeSystem(unsigned NumVars,
+                        std::vector<LinearConstraint> Cs) {
+  LinearSystem S(NumVars);
+  for (LinearConstraint &C : Cs)
+    S.add(std::move(C));
+  return S;
+}
+
+} // namespace
+
+TEST(Svpc, EmptySystemIsDependent) {
+  SvpcResult R = runSvpc(LinearSystem(2));
+  EXPECT_EQ(R.St, SvpcResult::Status::Dependent);
+  ASSERT_TRUE(R.Sample.has_value());
+  EXPECT_EQ(R.Sample->size(), 2u);
+}
+
+TEST(Svpc, IntervalIntersection) {
+  // 1 <= t <= 10 and t <= 5: feasible.
+  LinearSystem S = makeSystem(
+      1, {{{ -1 }, -1}, {{1}, 10}, {{1}, 5}});
+  SvpcResult R = runSvpc(S);
+  EXPECT_EQ(R.St, SvpcResult::Status::Dependent);
+  ASSERT_TRUE(R.Sample.has_value());
+  EXPECT_TRUE(S.satisfiedBy(*R.Sample));
+}
+
+TEST(Svpc, Contradiction) {
+  // t >= 11 and t <= 10.
+  LinearSystem S = makeSystem(1, {{{-1}, -11}, {{1}, 10}});
+  EXPECT_EQ(runSvpc(S).St, SvpcResult::Status::Independent);
+}
+
+TEST(Svpc, CoefficientRounding) {
+  // 2t <= 5 -> t <= 2; -3t <= -7 -> t >= ceil(7/3) = 3. Contradiction.
+  LinearSystem S = makeSystem(1, {{{2}, 5}, {{-3}, -7}});
+  EXPECT_EQ(runSvpc(S).St, SvpcResult::Status::Independent);
+  // Whereas real-valued reasoning would accept t = 2.4.
+  LinearSystem Looser = makeSystem(1, {{{2}, 5}, {{-3}, -6}});
+  EXPECT_EQ(runSvpc(Looser).St, SvpcResult::Status::Dependent);
+}
+
+TEST(Svpc, ConstantFalseConstraint) {
+  LinearSystem S = makeSystem(2, {{{0, 0}, -1}});
+  EXPECT_EQ(runSvpc(S).St, SvpcResult::Status::Independent);
+}
+
+TEST(Svpc, ConstantTrueConstraintIgnored) {
+  LinearSystem S = makeSystem(2, {{{0, 0}, 3}});
+  EXPECT_EQ(runSvpc(S).St, SvpcResult::Status::Dependent);
+}
+
+TEST(Svpc, MultiVarPassedThrough) {
+  LinearSystem S = makeSystem(2, {{{1, 0}, 5}, {{1, 1}, 3}});
+  SvpcResult R = runSvpc(S);
+  EXPECT_EQ(R.St, SvpcResult::Status::NeedsMore);
+  ASSERT_EQ(R.MultiVar.size(), 1u);
+  EXPECT_EQ(R.MultiVar[0].Coeffs, (std::vector<int64_t>{1, 1}));
+  ASSERT_TRUE(R.Intervals.Hi[0].has_value());
+  EXPECT_EQ(*R.Intervals.Hi[0], 5);
+}
+
+TEST(Svpc, PaperWorkedExample) {
+  // Paper section 3.2: after GCD, constraints over (t1, t2):
+  //   1 <= t1 <= 10, 1 <= t2 <= 10, 1 <= t2+9 <= 10, 1 <= t1-10 <= 10.
+  LinearSystem S = makeSystem(
+      2, {
+             {{-1, 0}, -1},  // t1 >= 1
+             {{1, 0}, 10},   // t1 <= 10
+             {{0, -1}, -1},  // t2 >= 1
+             {{0, 1}, 10},   // t2 <= 10
+             {{0, -1}, 8},   // t2 + 9 >= 1  ->  -t2 <= 8
+             {{0, 1}, 1},    // t2 + 9 <= 10 ->  t2 <= 1
+             {{-1, 0}, -11}, // t1 - 10 >= 1 ->  t1 >= 11
+             {{1, 0}, 20},   // t1 - 10 <= 10
+         });
+  // Lower bound of t1 (11) exceeds its upper bound (10): independent.
+  EXPECT_EQ(runSvpc(S).St, SvpcResult::Status::Independent);
+}
+
+TEST(Svpc, SampleRespectsOneSidedIntervals) {
+  // t0 >= 7 only; t1 <= -2 only.
+  LinearSystem S = makeSystem(2, {{{-1, 0}, -7}, {{0, 1}, -2}});
+  SvpcResult R = runSvpc(S);
+  ASSERT_EQ(R.St, SvpcResult::Status::Dependent);
+  ASSERT_TRUE(R.Sample.has_value());
+  EXPECT_GE((*R.Sample)[0], 7);
+  EXPECT_LE((*R.Sample)[1], -2);
+}
+
+TEST(VarIntervals, TightenAndContradict) {
+  VarIntervals V(1);
+  V.tightenLo(0, 3);
+  V.tightenLo(0, 1); // weaker, ignored
+  V.tightenHi(0, 5);
+  EXPECT_EQ(*V.Lo[0], 3);
+  EXPECT_EQ(*V.Hi[0], 5);
+  EXPECT_FALSE(V.contradictory());
+  V.tightenHi(0, 2);
+  EXPECT_TRUE(V.contradictory());
+}

@@ -1,0 +1,210 @@
+//===- tests/deptest/SymbolicTest.cpp - Symbolic testing properties -------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 8 of the paper: unknown loop-invariant variables join the
+/// system as unbounded integer unknowns, existentially quantified.
+/// The soundness contract is one-sided and machine-checkable:
+/// "independent" must mean independent for *every* concrete value of
+/// the symbolics; "dependent" asserts existence of *some* value. These
+/// properties are checked by concretizing random symbolic problems over
+/// a window of values and comparing against the enumeration oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "deptest/Cascade.h"
+
+#include "deptest/Direction.h"
+#include "testutil/Helpers.h"
+#include "testutil/Oracle.h"
+#include "gtest/gtest.h"
+
+using namespace edda;
+using namespace edda::testutil;
+
+namespace {
+
+/// Replaces the problem's single symbolic column with the concrete
+/// value \p N (folded into constants).
+DependenceProblem concretize(const DependenceProblem &P, int64_t N) {
+  assert(P.NumSymbolic == 1 && "expected one symbolic");
+  unsigned Col = P.numLoopVars();
+  DependenceProblem Out = P;
+  Out.NumSymbolic = 0;
+  auto Fold = [&](XAffine &Form) {
+    Form.Const += Form.Coeffs[Col] * N;
+    Form.Coeffs.erase(Form.Coeffs.begin() + Col);
+  };
+  for (XAffine &Eq : Out.Equations)
+    Fold(Eq);
+  for (auto &B : Out.Lo)
+    if (B)
+      Fold(*B);
+  for (auto &B : Out.Hi)
+    if (B)
+      Fold(*B);
+  assert(Out.wellFormed());
+  return Out;
+}
+
+/// Random problem with one symbolic column mixed into equations and
+/// occasionally into a bound.
+DependenceProblem randomSymbolicProblem(SplitRng &Rng) {
+  unsigned Common = 1;
+  ProblemBuilder PB(Common, Common, Common, /*Symbolic=*/1);
+  unsigned NumX = 2 * Common + 1;
+  std::vector<int64_t> Coeffs(NumX, 0);
+  for (unsigned J = 0; J < NumX; ++J)
+    Coeffs[J] = static_cast<int64_t>(Rng.below(5)) - 2;
+  PB.eq(std::move(Coeffs), static_cast<int64_t>(Rng.below(9)) - 4);
+  int64_t Lo = static_cast<int64_t>(Rng.below(5)) - 2;
+  int64_t Span = static_cast<int64_t>(Rng.below(7));
+  PB.bounds(0, Lo, Lo + Span);
+  PB.bounds(1, Lo, Lo + Span);
+  DependenceProblem P = PB.build();
+  if (Rng.below(3) == 0) {
+    // Symbolic upper bound: x0 <= n + c (and same for the copy).
+    XAffine Hi(NumX);
+    Hi.Coeffs[NumX - 1] = 1;
+    Hi.Const = static_cast<int64_t>(Rng.below(4));
+    P.Hi[0] = Hi;
+    P.Hi[1] = Hi;
+  }
+  return P;
+}
+
+} // namespace
+
+TEST(Symbolic, IndependentMeansIndependentForAllValues) {
+  SplitRng Rng(404);
+  unsigned IndependentSeen = 0;
+  for (unsigned Iter = 0; Iter < 400; ++Iter) {
+    DependenceProblem P = randomSymbolicProblem(Rng);
+    CascadeResult R = testDependence(P);
+    if (R.Answer != DepAnswer::Independent)
+      continue;
+    ++IndependentSeen;
+    for (int64_t N = -12; N <= 12; ++N) {
+      DependenceProblem C = concretize(P, N);
+      std::optional<bool> Truth = oracleDependent(C);
+      if (!Truth)
+        continue;
+      EXPECT_FALSE(*Truth) << "claimed independent but n = " << N
+                           << " depends\n"
+                           << P.str();
+    }
+  }
+  EXPECT_GT(IndependentSeen, 20u);
+}
+
+TEST(Symbolic, DependentWitnessIsConcrete) {
+  // When the cascade reports Dependent with a witness, the witness's
+  // symbolic component is a concrete value realizing the dependence —
+  // check it against the concretized oracle.
+  SplitRng Rng(405);
+  unsigned Checked = 0;
+  for (unsigned Iter = 0; Iter < 400; ++Iter) {
+    DependenceProblem P = randomSymbolicProblem(Rng);
+    CascadeResult R = testDependence(P);
+    if (R.Answer != DepAnswer::Dependent || !R.Witness)
+      continue;
+    ASSERT_TRUE(verifyWitness(P, *R.Witness)) << P.str();
+    int64_t N = (*R.Witness)[P.numLoopVars()];
+    if (N < -100 || N > 100)
+      continue; // keep the oracle's arithmetic small
+    DependenceProblem C = concretize(P, N);
+    std::optional<bool> Truth = oracleDependent(C);
+    if (!Truth)
+      continue;
+    ++Checked;
+    EXPECT_TRUE(*Truth) << "witness n = " << N << " does not realize\n"
+                        << P.str();
+  }
+  EXPECT_GT(Checked, 100u);
+}
+
+TEST(Symbolic, CancellationReducesToConcrete) {
+  // When the symbolic coefficients cancel between the two references,
+  // the answer must equal the concrete problem's answer.
+  for (int64_t Delta = -12; Delta <= 12; ++Delta) {
+    DependenceProblem Symbolic = ProblemBuilder(1, 1, 1, 1)
+                                     .eq({1, -1, 0}, Delta)
+                                     .bounds(0, 1, 10)
+                                     .bounds(1, 1, 10)
+                                     .build();
+    DependenceProblem Concrete = ProblemBuilder(1, 1, 1)
+                                     .eq({1, -1}, Delta)
+                                     .bounds(0, 1, 10)
+                                     .bounds(1, 1, 10)
+                                     .build();
+    CascadeResult RS = testDependence(Symbolic);
+    CascadeResult RC = testDependence(Concrete);
+    EXPECT_EQ(RS.Answer, RC.Answer) << "delta " << Delta;
+  }
+}
+
+TEST(Symbolic, DirectionVectorsSoundUnderConcretization) {
+  SplitRng Rng(406);
+  unsigned Checked = 0;
+  for (unsigned Iter = 0; Iter < 200 && Checked < 60; ++Iter) {
+    DependenceProblem P = randomSymbolicProblem(Rng);
+    DirectionResult R = computeDirectionVectors(P);
+    if (!R.Exact)
+      continue;
+    for (int64_t N : {-3, 0, 2, 7}) {
+      DependenceProblem C = concretize(P, N);
+      std::optional<std::set<DirVector>> Truth = oracleDirections(C);
+      if (!Truth)
+        continue;
+      ++Checked;
+      for (const DirVector &Real : *Truth) {
+        bool Covered = false;
+        for (const DirVector &Reported : R.Vectors)
+          Covered = Covered || dirMatches(Reported, Real);
+        EXPECT_TRUE(Covered)
+            << "n = " << N << " realizes " << dirVectorStr(Real)
+            << " but it was not reported\n"
+            << P.str();
+      }
+    }
+  }
+  EXPECT_GT(Checked, 30u);
+}
+
+TEST(Symbolic, MultipleSymbolicsHandled) {
+  // Two symbolic terms: a[i + m] vs a[i' + n]: dependent (choose m = n).
+  DependenceProblem P = ProblemBuilder(1, 1, 1, 2)
+                            .eq({1, -1, 1, -1}, 0)
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .build();
+  CascadeResult R = testDependence(P);
+  EXPECT_EQ(R.Answer, DepAnswer::Dependent);
+  ASSERT_TRUE(R.Witness.has_value());
+  EXPECT_TRUE(verifyWitness(P, *R.Witness));
+}
+
+TEST(Symbolic, ScaledSymbolicGcdInteraction) {
+  // a[2i + 2n] vs a[2i' + 2n + 1]: the symbolic cancels, parity kills
+  // it — the GCD test must see through the symbolic column.
+  DependenceProblem P = ProblemBuilder(1, 1, 1, 1)
+                            .eq({2, -2, 0}, -1)
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .build();
+  CascadeResult R = testDependence(P);
+  EXPECT_EQ(R.Answer, DepAnswer::Independent);
+  EXPECT_EQ(R.DecidedBy, TestKind::GcdTest);
+
+  // a[2i] vs a[2i' + n]: n odd works — dependent.
+  DependenceProblem Q = ProblemBuilder(1, 1, 1, 1)
+                            .eq({2, -2, -1}, 0)
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .build();
+  EXPECT_EQ(testDependence(Q).Answer, DepAnswer::Dependent);
+}

@@ -1,0 +1,117 @@
+//===- tests/integration/CorpusTest.cpp - .dep regression corpus ----------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs every problem file in tests/inputs/corpus/ through the cascade
+/// and checks the verdict annotated on its first line:
+///
+///   # expect: <independent|dependent> <deciding test name>
+///
+/// New regression cases are added by dropping a .dep file in the
+/// directory — no code change needed. Each case is additionally
+/// cross-checked against the enumeration oracle when applicable, and
+/// its witness verified.
+///
+//===----------------------------------------------------------------------===//
+
+#include "deptest/Cascade.h"
+#include "deptest/ProblemIO.h"
+#include "testutil/Oracle.h"
+#include "gtest/gtest.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifndef EDDA_CORPUS_DIR
+#error "EDDA_CORPUS_DIR must be defined by the build"
+#endif
+
+using namespace edda;
+using namespace edda::testutil;
+
+namespace {
+
+struct CorpusCase {
+  std::string Path;
+  std::string Text;
+  DepAnswer Expected;
+  std::string ExpectedDecider;
+};
+
+std::vector<CorpusCase> loadCorpus() {
+  std::vector<CorpusCase> Cases;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(EDDA_CORPUS_DIR)) {
+    if (Entry.path().extension() != ".dep")
+      continue;
+    std::ifstream In(Entry.path());
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    CorpusCase Case;
+    Case.Path = Entry.path().filename().string();
+    Case.Text = Buffer.str();
+
+    // First line: "# expect: <answer> <decider>".
+    std::istringstream Header(Case.Text);
+    std::string Hash, ExpectWord, Answer;
+    Header >> Hash >> ExpectWord >> Answer >> Case.ExpectedDecider;
+    EXPECT_EQ(Hash, "#") << Case.Path;
+    EXPECT_EQ(ExpectWord, "expect:") << Case.Path;
+    if (Answer == "independent")
+      Case.Expected = DepAnswer::Independent;
+    else if (Answer == "dependent")
+      Case.Expected = DepAnswer::Dependent;
+    else
+      ADD_FAILURE() << Case.Path << ": bad expectation '" << Answer
+                    << "'";
+    Cases.push_back(std::move(Case));
+  }
+  std::sort(Cases.begin(), Cases.end(),
+            [](const CorpusCase &A, const CorpusCase &B) {
+              return A.Path < B.Path;
+            });
+  return Cases;
+}
+
+} // namespace
+
+TEST(Corpus, AllCasesDecideAsAnnotated) {
+  std::vector<CorpusCase> Cases = loadCorpus();
+  ASSERT_GE(Cases.size(), 10u) << "corpus missing?";
+  for (const CorpusCase &Case : Cases) {
+    SCOPED_TRACE(Case.Path);
+    ProblemParseResult Parsed = parseProblemText(Case.Text);
+    ASSERT_TRUE(Parsed.succeeded()) << Parsed.Error;
+    CascadeResult R = testDependence(*Parsed.Problem);
+    EXPECT_EQ(R.Answer, Case.Expected);
+    EXPECT_STREQ(testKindName(R.DecidedBy),
+                 Case.ExpectedDecider.c_str());
+    if (R.Answer == DepAnswer::Dependent && R.Witness)
+      EXPECT_TRUE(verifyWitness(*Parsed.Problem, *R.Witness));
+
+    // Oracle cross-check where enumeration applies.
+    std::optional<bool> Truth = oracleDependent(*Parsed.Problem);
+    if (Truth)
+      EXPECT_EQ(*Truth, R.Answer == DepAnswer::Dependent);
+  }
+}
+
+TEST(Corpus, RoundTripsThroughPrinter) {
+  for (const CorpusCase &Case : loadCorpus()) {
+    SCOPED_TRACE(Case.Path);
+    ProblemParseResult Parsed = parseProblemText(Case.Text);
+    ASSERT_TRUE(Parsed.succeeded());
+    std::string Printed = printProblemText(*Parsed.Problem);
+    ProblemParseResult Again = parseProblemText(Printed);
+    ASSERT_TRUE(Again.succeeded()) << Printed;
+    EXPECT_EQ(Again.Problem->serialize(true),
+              Parsed.Problem->serialize(true));
+  }
+}

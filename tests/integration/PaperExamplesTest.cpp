@@ -1,0 +1,311 @@
+//===- tests/integration/PaperExamplesTest.cpp - Paper walkthroughs -------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every worked example in the paper, run end-to-end from LoopLang
+/// source through the prepass, the problem builder and the cascade.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "deptest/Direction.h"
+#include "testutil/Helpers.h"
+#include "gtest/gtest.h"
+
+#include <set>
+
+using namespace edda;
+using namespace edda::testutil;
+
+namespace {
+
+/// Analyzes and returns the unique write/read (non-self) pair.
+DependencePair crossPair(const std::string &Source,
+                         AnalyzerOptions Opts = {}) {
+  Program P = mustParse(Source, /*Prepass=*/false);
+  DependenceAnalyzer Analyzer(Opts);
+  AnalysisResult R = Analyzer.analyze(P);
+  for (DependencePair &Pair : R.Pairs)
+    if (Pair.RefA != Pair.RefB)
+      return std::move(Pair);
+  ADD_FAILURE() << "no cross pair found";
+  return {};
+}
+
+} // namespace
+
+TEST(PaperExamples, Section1IndependentLoop) {
+  // "for i=1 to 10 do a[i] = a[i+10]+3": all iterations concurrent.
+  DependencePair Pair = crossPair(R"(program intro1
+  array a[100]
+  for i = 1 to 10 do
+    a[i] = a[i + 10] + 3
+  end
+end
+)");
+  EXPECT_EQ(Pair.Answer, DepAnswer::Independent);
+  EXPECT_EQ(Pair.DecidedBy, TestKind::Svpc);
+}
+
+TEST(PaperExamples, Section1DependentLoop) {
+  // "for i=1 to 10 do a[i+1] = a[i]+3": forced sequential.
+  DependencePair Pair = crossPair(R"(program intro2
+  array a[100]
+  for i = 1 to 10 do
+    a[i + 1] = a[i] + 3
+  end
+end
+)");
+  EXPECT_EQ(Pair.Answer, DepAnswer::Dependent);
+}
+
+TEST(PaperExamples, Section31ExtendedGcdWalkthrough) {
+  // "for i=1 to 10 do a[i+10] = a[i]": GCD gives (i, i') = (t, t+10);
+  // transformed bounds are contradictory, SVPC notices.
+  DependencePair Pair = crossPair(R"(program sec31
+  array a[100]
+  for i = 1 to 10 do
+    a[i + 10] = a[i]
+  end
+end
+)");
+  EXPECT_EQ(Pair.Answer, DepAnswer::Independent);
+  EXPECT_EQ(Pair.DecidedBy, TestKind::Svpc);
+}
+
+TEST(PaperExamples, Section32CoupledSubscripts) {
+  // a[i1][i2] = a[i2+10][i1+9]: the SVPC walkthrough ending with
+  // lb(t1) = 11 > ub(t1) = 10.
+  DependencePair Pair = crossPair(R"(program sec32
+  array a[100][100]
+  for i1 = 1 to 10 do
+    for i2 = 1 to 10 do
+      a[i1][i2] = a[i2 + 10][i1 + 9]
+    end
+  end
+end
+)");
+  EXPECT_EQ(Pair.Answer, DepAnswer::Independent);
+  EXPECT_EQ(Pair.DecidedBy, TestKind::Svpc);
+}
+
+TEST(PaperExamples, Section32SvpcFriendlyForms) {
+  // The two "common multi-dimensional cases" listed as SVPC-amenable.
+  DependencePair Shifted = crossPair(R"(program sec32a
+  array a[100][100]
+  for i1 = 1 to 10 do
+    for i2 = 1 to 10 do
+      a[i1][i2] = a[i1 + 3][i2 + 4]
+    end
+  end
+end
+)");
+  EXPECT_EQ(Shifted.DecidedBy, TestKind::Svpc);
+  EXPECT_EQ(Shifted.Answer, DepAnswer::Dependent);
+
+  DependencePair Transposed = crossPair(R"(program sec32b
+  array a[100][100]
+  for i1 = 1 to 10 do
+    for i2 = 1 to 10 do
+      a[i1][i2] = a[i2 + 2][i1 + 1]
+    end
+  end
+end
+)");
+  EXPECT_EQ(Transposed.DecidedBy, TestKind::Svpc);
+  EXPECT_EQ(Transposed.Answer, DepAnswer::Dependent);
+}
+
+TEST(PaperExamples, Section5MemoizationCollapse) {
+  // Programs (a) and (b): different surrounding loops, same inner
+  // dependence; the improved scheme memoizes them as one.
+  const char *ProgramA = R"(program pa
+  array a[100]
+  for i = 1 to 10 do
+    for j = 1 to 10 do
+      a[i + 10] = a[i] + 3
+    end
+  end
+end
+)";
+  const char *ProgramB = R"(program pb
+  array a[100]
+  for i = 1 to 10 do
+    for j = 1 to 10 do
+      a[j + 10] = a[j] + 3
+    end
+  end
+end
+)";
+  AnalyzerOptions Opts; // improved memo by default
+  DependenceAnalyzer Analyzer(Opts);
+  Program PA = mustParse(ProgramA, false);
+  Analyzer.analyze(PA);
+  uint64_t UniqueAfterA = Analyzer.cache().uniqueFull();
+  Program PB = mustParse(ProgramB, false);
+  AnalysisResult RB = Analyzer.analyze(PB);
+  // Program (b) added nothing new.
+  EXPECT_EQ(Analyzer.cache().uniqueFull(), UniqueAfterA);
+  EXPECT_EQ(RB.Stats.totalDecided(), 0u);
+}
+
+TEST(PaperExamples, Section6DirectionMotivation) {
+  // a[i+1] = a[i] vs a[i] = a[i]: both dependent, only the second
+  // parallel (direction '=').
+  AnalyzerOptions Opts;
+  Opts.ComputeDirections = true;
+  DependencePair First = crossPair(R"(program sec6a
+  array a[100]
+  for i = 1 to 10 do
+    a[i + 1] = a[i] + 7
+  end
+end
+)",
+                                   Opts);
+  ASSERT_TRUE(First.Directions.has_value());
+  ASSERT_EQ(First.Directions->Vectors.size(), 1u);
+  EXPECT_EQ(First.Directions->Vectors[0], (DirVector{Dir::Less}));
+
+  DependencePair Second = crossPair(R"(program sec6b
+  array a[100]
+  for i = 1 to 10 do
+    a[i] = a[i] + 7
+  end
+end
+)",
+                                    Opts);
+  ASSERT_TRUE(Second.Directions.has_value());
+  ASSERT_EQ(Second.Directions->Vectors.size(), 1u);
+  EXPECT_EQ(Second.Directions->Vectors[0], (DirVector{Dir::Equal}));
+}
+
+TEST(PaperExamples, Section6TwoDirectionVectors) {
+  // "a[i][j] = a[2i][j]+7" over 0..10: dependent with more than one
+  // direction vector.
+  AnalyzerOptions Opts;
+  Opts.ComputeDirections = true;
+  DependencePair Pair = crossPair(R"(program sec6c
+  array a[100][100]
+  for i = 0 to 10 do
+    for j = 0 to 10 do
+      a[i][j] = a[2 * i][j] + 7
+    end
+  end
+end
+)",
+                                  Opts);
+  EXPECT_EQ(Pair.Answer, DepAnswer::Dependent);
+  ASSERT_TRUE(Pair.Directions.has_value());
+  EXPECT_GT(Pair.Directions->Vectors.size(), 1u);
+}
+
+TEST(PaperExamples, Section6DistanceVector) {
+  // a[i] = a[i-3]: distance 3.
+  AnalyzerOptions Opts;
+  Opts.ComputeDirections = true;
+  DependencePair Pair = crossPair(R"(program sec6d
+  array a[100]
+  for i = 3 to 10 do
+    a[i] = a[i - 3] + 7
+  end
+end
+)",
+                                  Opts);
+  ASSERT_TRUE(Pair.Directions.has_value());
+  ASSERT_EQ(Pair.Directions->Distances.size(), 1u);
+  ASSERT_TRUE(Pair.Directions->Distances[0].has_value());
+  EXPECT_EQ(*Pair.Directions->Distances[0], 3);
+}
+
+TEST(PaperExamples, Section6UnusedVariablePruning) {
+  // "for i, for j: a[i] = a[j+1]": j... i is used, j unused? The
+  // example: subscripts use i on the left, j+1 on the right — both
+  // loops appear. The paper's pruning example is the reverse: i does
+  // not appear. Reproduce that: a[j] = a[j+1] with unused i.
+  AnalyzerOptions Opts;
+  Opts.ComputeDirections = true;
+  DependencePair Pair = crossPair(R"(program sec6e
+  array a[100]
+  for i = 1 to 10 do
+    for j = 1 to 10 do
+      a[j] = a[j + 1]
+    end
+  end
+end
+)",
+                                  Opts);
+  ASSERT_TRUE(Pair.Directions.has_value());
+  for (const DirVector &V : Pair.Directions->Vectors) {
+    ASSERT_EQ(V.size(), 2u);
+    EXPECT_EQ(V[0], Dir::Any); // '*' prepended without testing
+  }
+}
+
+TEST(PaperExamples, Section8SymbolicWalkthrough) {
+  // read(n); a[i+n] = a[i+2n+1]: exact even with the unknown.
+  AnalyzerOptions Opts;
+  Opts.ComputeDirections = true;
+  DependencePair Pair = crossPair(R"(program sec8
+  array a[500]
+  read n
+  for i = 1 to 10 do
+    a[i + n] = a[i + 2 * n + 1] + 3
+  end
+end
+)",
+                                  Opts);
+  // Dependent for suitable n (the system has integer solutions).
+  EXPECT_EQ(Pair.Answer, DepAnswer::Dependent);
+  EXPECT_TRUE(Pair.Exact);
+}
+
+TEST(PaperExamples, Section8PrepassNormalization) {
+  // The optimizer example: iz induction + n propagation makes the
+  // references affine; the pair is then decided exactly.
+  DependencePair Pair = crossPair(R"(program sec8pre
+  array a[500]
+  param n = 100
+  iz = 0
+  for i = 1 to 10 do
+    iz = iz + 2
+    a[iz + n] = a[iz + 2 * n + 1] + 3
+  end
+end
+)");
+  // a[2i+100] vs a[2i+201]: gcd 2 does not divide 101.
+  EXPECT_EQ(Pair.Answer, DepAnswer::Independent);
+  EXPECT_EQ(Pair.DecidedBy, TestKind::GcdTest);
+}
+
+TEST(PaperExamples, Section2IntegerProgrammingReduction) {
+  // The reduction of section 2.1: Ax = b with x >= 0 encoded as a
+  // dependence problem. Use A = [2 3], b = 12, x1, x2 >= 0:
+  // solutions exist (x = (3, 2) e.g.), so the references depend.
+  DependencePair Pair = crossPair(R"(program ipreduction
+  array a[200]
+  for x1 = 0 to 50 do
+    for x2 = 0 to 50 do
+      a[2 * x1 + 3 * x2] = a[12] + 1
+    end
+  end
+end
+)");
+  EXPECT_EQ(Pair.Answer, DepAnswer::Dependent);
+}
+
+TEST(PaperExamples, Section4ConstantColumn) {
+  // "a[3] versus a[4]": handled without dependence testing.
+  DependencePair Pair = crossPair(R"(program constants
+  array a[100]
+  for i = 1 to 10 do
+    a[3] = a[4] + 1
+  end
+end
+)");
+  EXPECT_EQ(Pair.Answer, DepAnswer::Independent);
+  EXPECT_EQ(Pair.DecidedBy, TestKind::ArrayConstant);
+}

@@ -1,0 +1,107 @@
+//===- tests/ir/ProgramTest.cpp - Program/Stmt tests ----------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Program.h"
+
+#include "parser/Parser.h"
+#include "gtest/gtest.h"
+
+using namespace edda;
+
+TEST(Program, SymbolTables) {
+  Program P("demo");
+  unsigned I = P.addVar("i", VarKind::Loop);
+  unsigned N = P.addVar("n", VarKind::Symbolic);
+  unsigned A = P.addArray("a", {100});
+  EXPECT_EQ(P.numVars(), 2u);
+  EXPECT_EQ(P.numArrays(), 1u);
+  EXPECT_EQ(P.lookupVar("i"), std::optional<unsigned>(I));
+  EXPECT_EQ(P.lookupVar("n"), std::optional<unsigned>(N));
+  EXPECT_EQ(P.lookupVar("missing"), std::nullopt);
+  EXPECT_EQ(P.lookupArray("a"), std::optional<unsigned>(A));
+  EXPECT_EQ(P.var(N).Kind, VarKind::Symbolic);
+  EXPECT_EQ(P.array(A).rank(), 1u);
+  P.setVarKind(N, VarKind::Scalar);
+  EXPECT_EQ(P.var(N).Kind, VarKind::Scalar);
+}
+
+TEST(Program, StmtConstructionAndCasts) {
+  Program P("demo");
+  unsigned I = P.addVar("i", VarKind::Loop);
+  unsigned A = P.addArray("a", {10});
+  auto Loop = std::make_unique<LoopStmt>(I, Expr::makeConst(1),
+                                         Expr::makeConst(10), 1);
+  std::vector<ExprPtr> Subs;
+  Subs.push_back(Expr::makeVar(I));
+  Loop->body().push_back(std::make_unique<AssignStmt>(
+      A, std::move(Subs), Expr::makeConst(0)));
+  EXPECT_EQ(Loop->kind(), StmtKind::Loop);
+  const AssignStmt &Assign = asAssign(*Loop->body()[0]);
+  EXPECT_TRUE(Assign.isArrayLhs());
+  EXPECT_EQ(Assign.lhsArray(), A);
+  EXPECT_EQ(Assign.lhsSubscripts().size(), 1u);
+}
+
+TEST(Program, CloneIsDeep) {
+  Program P("demo");
+  unsigned I = P.addVar("i", VarKind::Loop);
+  auto Loop = std::make_unique<LoopStmt>(I, Expr::makeConst(1),
+                                         Expr::makeConst(3), 1);
+  Loop->body().push_back(
+      std::make_unique<AssignStmt>(P.addVar("s", VarKind::Scalar),
+                                   Expr::makeConst(7)));
+  P.body().push_back(std::move(Loop));
+
+  Program Copy(P);
+  // Mutating the copy leaves the original alone.
+  asLoop(*Copy.body()[0]).setHi(Expr::makeConst(99));
+  EXPECT_EQ(asLoop(*P.body()[0]).hi()->constValue(), 3);
+  EXPECT_EQ(asLoop(*Copy.body()[0]).hi()->constValue(), 99);
+}
+
+TEST(Program, PrintParsesBack) {
+  const char *Source = R"(program roundtrip
+  array a[100][100]
+  read n
+  for i = 1 to n do
+    for j = 1 to i do
+      a[i][j] = a[i - 1][j + 1] + 3
+    end
+  end
+end
+)";
+  ParseResult First = parseProgram(Source);
+  ASSERT_TRUE(First.succeeded());
+  std::string Printed = First.Prog->print();
+  ParseResult Second = parseProgram(Printed);
+  ASSERT_TRUE(Second.succeeded()) << Printed;
+  // Printing is a fixpoint after one round.
+  EXPECT_EQ(Second.Prog->print(), Printed);
+}
+
+TEST(Program, PrintShowsStep) {
+  const char *Source = R"(program s
+  array a[10]
+  for i = 1 to 9 step 2 do
+    a[i] = 0
+  end
+end
+)";
+  ParseResult R = parseProgram(Source);
+  ASSERT_TRUE(R.succeeded());
+  EXPECT_NE(R.Prog->print().find("step 2"), std::string::npos);
+}
+
+TEST(Program, ParallelFlagSurvivesClone) {
+  Program P("demo");
+  unsigned I = P.addVar("i", VarKind::Loop);
+  auto Loop = std::make_unique<LoopStmt>(I, Expr::makeConst(1),
+                                         Expr::makeConst(3), 1);
+  Loop->setParallel(true);
+  StmtPtr Copy = Loop->clone();
+  EXPECT_TRUE(asLoop(*Copy).isParallel());
+}

@@ -1,0 +1,104 @@
+//===- tests/opt/FoldTest.cpp - Constant folding tests --------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Fold.h"
+
+#include "gtest/gtest.h"
+
+#include <climits>
+
+using namespace edda;
+
+namespace {
+
+std::string nameOf(unsigned Id) { return "v" + std::to_string(Id); }
+
+std::string folded(const ExprPtr &E) { return foldExpr(E)->str(nameOf); }
+
+} // namespace
+
+TEST(Fold, ConstantArithmetic) {
+  EXPECT_EQ(folded(Expr::makeAdd(Expr::makeConst(2), Expr::makeConst(3))),
+            "5");
+  EXPECT_EQ(folded(Expr::makeSub(Expr::makeConst(2), Expr::makeConst(3))),
+            "-1");
+  EXPECT_EQ(folded(Expr::makeMul(Expr::makeConst(4), Expr::makeConst(3))),
+            "12");
+  EXPECT_EQ(folded(Expr::makeNeg(Expr::makeConst(7))), "-7");
+}
+
+TEST(Fold, IdentityElements) {
+  ExprPtr V = Expr::makeVar(0);
+  EXPECT_EQ(folded(Expr::makeAdd(V, Expr::makeConst(0))), "v0");
+  EXPECT_EQ(folded(Expr::makeAdd(Expr::makeConst(0), V)), "v0");
+  EXPECT_EQ(folded(Expr::makeSub(V, Expr::makeConst(0))), "v0");
+  EXPECT_EQ(folded(Expr::makeMul(V, Expr::makeConst(1))), "v0");
+  EXPECT_EQ(folded(Expr::makeMul(Expr::makeConst(1), V)), "v0");
+}
+
+TEST(Fold, MulZeroAndMinusOne) {
+  ExprPtr V = Expr::makeVar(0);
+  EXPECT_EQ(folded(Expr::makeMul(V, Expr::makeConst(0))), "0");
+  EXPECT_EQ(folded(Expr::makeMul(Expr::makeConst(-1), V)), "(-v0)");
+}
+
+TEST(Fold, DoubleNegation) {
+  ExprPtr V = Expr::makeVar(0);
+  EXPECT_EQ(folded(Expr::makeNeg(Expr::makeNeg(V))), "v0");
+}
+
+TEST(Fold, ZeroMinusX) {
+  ExprPtr V = Expr::makeVar(0);
+  EXPECT_EQ(folded(Expr::makeSub(Expr::makeConst(0), V)), "(-v0)");
+}
+
+TEST(Fold, NestedFolding) {
+  // (2 + 3) * (v0 + 0) -> 5 * v0.
+  ExprPtr E = Expr::makeMul(
+      Expr::makeAdd(Expr::makeConst(2), Expr::makeConst(3)),
+      Expr::makeAdd(Expr::makeVar(0), Expr::makeConst(0)));
+  EXPECT_EQ(folded(E), "(5 * v0)");
+}
+
+TEST(Fold, OverflowLeftUnfolded) {
+  ExprPtr E = Expr::makeAdd(Expr::makeConst(INT64_MAX),
+                            Expr::makeConst(1));
+  ExprPtr F = foldExpr(E);
+  EXPECT_EQ(F->kind(), ExprKind::Add); // kept symbolic, not wrapped
+}
+
+TEST(Fold, InsideArrayReadSubscripts) {
+  std::vector<ExprPtr> Subs;
+  Subs.push_back(Expr::makeAdd(Expr::makeConst(1), Expr::makeConst(2)));
+  ExprPtr E = Expr::makeArrayRead(0, std::move(Subs));
+  ExprPtr F = foldExpr(E);
+  ASSERT_EQ(F->kind(), ExprKind::ArrayRead);
+  EXPECT_EQ(F->subscripts()[0]->constValue(), 3);
+}
+
+TEST(Fold, WholeProgram) {
+  Program P("demo");
+  unsigned I = P.addVar("i", VarKind::Loop);
+  unsigned A = P.addArray("a", {10});
+  auto Loop = std::make_unique<LoopStmt>(
+      I, Expr::makeAdd(Expr::makeConst(0), Expr::makeConst(1)),
+      Expr::makeMul(Expr::makeConst(2), Expr::makeConst(5)), 1);
+  std::vector<ExprPtr> Subs;
+  Subs.push_back(Expr::makeAdd(Expr::makeVar(I), Expr::makeConst(0)));
+  Loop->body().push_back(std::make_unique<AssignStmt>(
+      A, std::move(Subs),
+      Expr::makeSub(Expr::makeConst(9), Expr::makeConst(4))));
+  P.body().push_back(std::move(Loop));
+
+  foldConstants(P);
+  const LoopStmt &L = asLoop(*P.body()[0]);
+  EXPECT_EQ(L.lo()->constValue(), 1);
+  EXPECT_EQ(L.hi()->constValue(), 10);
+  const AssignStmt &S = asAssign(*L.body()[0]);
+  EXPECT_EQ(S.lhsSubscripts()[0]->kind(), ExprKind::Var);
+  EXPECT_EQ(S.rhs()->constValue(), 5);
+}

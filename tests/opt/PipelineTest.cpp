@@ -1,0 +1,145 @@
+//===- tests/opt/PipelineTest.cpp - Prepass pipeline tests ----------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Pipeline.h"
+
+#include "analysis/Builder.h"
+#include "analysis/Interp.h"
+#include "analysis/Refs.h"
+#include "parser/Parser.h"
+#include "testutil/Helpers.h"
+#include "workload/Generator.h"
+#include "gtest/gtest.h"
+
+using namespace edda;
+using namespace edda::testutil;
+
+namespace {
+
+Program prepassed(const std::string &Source) {
+  Program P = mustParse(Source, /*Prepass=*/false);
+  Program Before(P);
+  runPrepass(P);
+  InterpResult R1 = interpret(Before);
+  InterpResult R2 = interpret(P);
+  EXPECT_TRUE(R1.Ok);
+  EXPECT_TRUE(R2.Ok);
+  EXPECT_EQ(R1.Memory, R2.Memory) << "prepass changed semantics";
+  return P;
+}
+
+/// True when every reference's subscripts are affine in enclosing loop
+/// variables and symbolics (i.e. buildProblem succeeds for every pair
+/// with itself).
+bool allAnalyzable(const Program &P) {
+  std::vector<ArrayReference> Refs = collectReferences(P);
+  for (const ArrayReference &Ref : Refs)
+    if (!buildProblem(P, Ref, Ref))
+      return false;
+  return true;
+}
+
+} // namespace
+
+TEST(Pipeline, PaperSection8EndToEnd) {
+  // The paper's full motivating chain: strided loop + induction scalar +
+  // param, all collapsing to affine subscripts.
+  Program P = prepassed(R"(program s
+  array a[500]
+  param n = 100
+  iz = 0
+  for i = 1 to 10 do
+    iz = iz + 2
+    a[iz + n] = a[iz + 2 * n + 1] + 3
+  end
+end
+)");
+  EXPECT_TRUE(allAnalyzable(P));
+}
+
+TEST(Pipeline, StridedInduction) {
+  // Induction inside a strided loop: normalization first, then
+  // induction over the normalized variable.
+  Program P = prepassed(R"(program s
+  array a[500]
+  k = 0
+  for i = 1 to 19 step 2 do
+    k = k + 1
+    a[k] = i
+  end
+end
+)");
+  EXPECT_TRUE(allAnalyzable(P));
+}
+
+TEST(Pipeline, SymbolicProgramAnalyzable) {
+  Program P = prepassed(R"(program s
+  array a[500]
+  read n
+  for i = 1 to 10 do
+    a[i + n] = a[i + 2 * n + 1] + 3
+  end
+end
+)");
+  EXPECT_TRUE(allAnalyzable(P));
+}
+
+TEST(Pipeline, NonAffineStaysUnanalyzable) {
+  Program P = prepassed(R"(program s
+  array a[500]
+  for i = 1 to 10 do
+    for j = 1 to 10 do
+      a[i * j] = 1
+    end
+  end
+end
+)");
+  EXPECT_FALSE(allAnalyzable(P));
+}
+
+TEST(Pipeline, IndirectionStaysUnanalyzable) {
+  Program P = prepassed(R"(program s
+  array a[500]
+  array idx[500]
+  for i = 1 to 10 do
+    a[idx[i]] = 1
+  end
+end
+)");
+  std::vector<ArrayReference> Refs = collectReferences(P);
+  bool FoundUnanalyzable = false;
+  for (const ArrayReference &Ref : Refs)
+    if (Ref.ArrayId == *P.lookupArray("a") && !buildProblem(P, Ref, Ref))
+      FoundUnanalyzable = true;
+  EXPECT_TRUE(FoundUnanalyzable);
+}
+
+TEST(Pipeline, GeneratedSuiteIsFullyAnalyzable) {
+  // Every synthetic PERFECT Club case must come out of the prepass in
+  // analyzable form.
+  GeneratorOptions Opts;
+  Opts.Scale = 0.02;
+  Opts.IncludeSymbolic = true;
+  for (const auto &[Name, Source] : generatePerfectClubSuite(Opts)) {
+    Program P = mustParse(Source, /*Prepass=*/false);
+    runPrepass(P);
+    EXPECT_TRUE(allAnalyzable(P)) << Name;
+  }
+}
+
+TEST(Pipeline, IdempotentOnSimplePrograms) {
+  Program P = prepassed(R"(program s
+  array a[100]
+  for i = 1 to 10 do
+    a[i + 1] = a[i]
+  end
+end
+)");
+  std::string Once = P.print();
+  runPrepass(P);
+  EXPECT_EQ(P.print(), Once);
+}

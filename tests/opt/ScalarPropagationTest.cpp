@@ -1,0 +1,207 @@
+//===- tests/opt/ScalarPropagationTest.cpp - Scalar prop tests ------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/ScalarPropagation.h"
+
+#include "analysis/Interp.h"
+#include "opt/Fold.h"
+#include "parser/Parser.h"
+#include "testutil/Helpers.h"
+#include "gtest/gtest.h"
+
+using namespace edda;
+using namespace edda::testutil;
+
+namespace {
+
+/// Parses, optimizes with scalar propagation only, and checks the final
+/// memory image is unchanged (semantics preservation).
+Program propagated(const std::string &Source) {
+  Program P = mustParse(Source, /*Prepass=*/false);
+  Program Before(P);
+  foldConstants(P);
+  propagateScalars(P);
+  foldConstants(P);
+  InterpResult R1 = interpret(Before);
+  InterpResult R2 = interpret(P);
+  EXPECT_TRUE(R1.Ok);
+  EXPECT_TRUE(R2.Ok);
+  EXPECT_EQ(R1.Memory, R2.Memory) << "propagation changed semantics";
+  EXPECT_EQ(R1.VarValues, R2.VarValues);
+  return P;
+}
+
+std::string printOf(const Program &P) { return P.print(); }
+
+} // namespace
+
+TEST(ScalarPropagation, ConstantPropagatesIntoSubscript) {
+  Program P = propagated(R"(program s
+  array a[200]
+  k = 100
+  for i = 1 to 10 do
+    a[i + k] = a[i + 2 * k] + 3
+  end
+end
+)");
+  std::string Text = printOf(P);
+  EXPECT_NE(Text.find("a[(i + 100)]"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("a[(i + 200)]"), std::string::npos) << Text;
+}
+
+TEST(ScalarPropagation, ParamFoldsAway) {
+  Program P = propagated(R"(program s
+  array a[200]
+  param n = 50
+  for i = 1 to 10 do
+    a[i + n] = 1
+  end
+end
+)");
+  EXPECT_NE(printOf(P).find("a[(i + 50)]"), std::string::npos);
+}
+
+TEST(ScalarPropagation, ForwardSubstitutionOfAffineExpr) {
+  Program P = propagated(R"(program s
+  array a[200]
+  for i = 1 to 10 do
+    k = 2 * i + 1
+    a[k] = a[k + 3] + 1
+  end
+end
+)");
+  std::string Text = printOf(P);
+  // k replaced by 2i+1 in both references.
+  EXPECT_EQ(Text.find("a[k]"), std::string::npos) << Text;
+}
+
+TEST(ScalarPropagation, LoopVaryingScalarNotPropagatedAcrossIterations) {
+  // k = k + 1 in the body: the pre-loop constant must not survive into
+  // the body.
+  Program P = propagated(R"(program s
+  array a[200]
+  k = 5
+  for i = 1 to 10 do
+    k = k + 1
+    a[k] = 1
+  end
+end
+)");
+  // a[k] must still reference k (scalar propagation alone cannot do
+  // induction rewriting).
+  EXPECT_NE(printOf(P).find("a[k]"), std::string::npos);
+}
+
+TEST(ScalarPropagation, KilledByArrayReadRhs) {
+  Program P = propagated(R"(program s
+  array a[200]
+  for i = 1 to 10 do
+    k = a[i]
+    a[k + 1] = 2
+  end
+end
+)");
+  // k's value reads memory: not substitutable.
+  EXPECT_NE(printOf(P).find("a[(k + 1)]"), std::string::npos);
+}
+
+TEST(ScalarPropagation, BindingDiesWithLoopVariable) {
+  Program P = propagated(R"(program s
+  array a[200]
+  for i = 1 to 10 do
+    k = i + 1
+    a[k] = 0
+  end
+  a[k + 5] = 1
+end
+)");
+  std::string Text = printOf(P);
+  // Inside the loop k was substituted; after the loop it must not be
+  // (its value references the dead loop variable).
+  EXPECT_NE(Text.find("a[(k + 5)]"), std::string::npos) << Text;
+}
+
+TEST(ScalarPropagation, BindingFromPreviousLoopIncarnationDies) {
+  Program P = propagated(R"(program s
+  array a[200]
+  for i = 1 to 10 do
+    a[i] = 0
+  end
+  k = i + 1
+  for i = 3 to 7 do
+    a[k] = 1
+  end
+end
+)");
+  // k was bound to old-i + 1; inside the second i loop that binding is
+  // stale and must not be substituted.
+  EXPECT_NE(printOf(P).find("a[k]"), std::string::npos);
+}
+
+TEST(ScalarPropagation, ZeroTripLoopDoesNotLeakBindings) {
+  Program P = propagated(R"(program s
+  array a[200]
+  k = 7
+  for i = 5 to 1 do
+    k = 9
+  end
+  a[k] = 1
+end
+)");
+  // The loop never runs, so k is still 7; the conservative kill means
+  // no substitution after the loop — but never the wrong value 9.
+  std::string Text = printOf(P);
+  EXPECT_EQ(Text.find("a[9]"), std::string::npos) << Text;
+}
+
+TEST(ScalarPropagation, ChainedSubstitution) {
+  Program P = propagated(R"(program s
+  array a[200]
+  k = 10
+  m = k + 5
+  for i = 1 to 10 do
+    a[i + m] = 1
+  end
+end
+)");
+  EXPECT_NE(printOf(P).find("a[(i + 15)]"), std::string::npos);
+}
+
+TEST(ScalarPropagation, RedefinitionInvalidatesDependents) {
+  Program P = propagated(R"(program s
+  array a[200]
+  k = 10
+  m = k + 5
+  k = 20
+  for i = 1 to 5 do
+    a[m] = 1
+    a[k] = 2
+  end
+end
+)");
+  std::string Text = printOf(P);
+  // m keeps its value from the first k (15), k is now 20.
+  EXPECT_NE(Text.find("a[15]"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("a[20]"), std::string::npos) << Text;
+}
+
+TEST(ScalarPropagation, SymbolicStaysSymbolic) {
+  Program P = propagated(R"(program s
+  array a[200]
+  read n
+  k = n + 1
+  for i = 1 to 10 do
+    a[i + k] = 1
+  end
+end
+)");
+  // k = n + 1 is rememberable (symbolic), so it substitutes; the
+  // canonical affine form orders terms by variable id (n was declared
+  // first).
+  EXPECT_NE(printOf(P).find("a[((n + i) + 1)]"), std::string::npos)
+      << printOf(P);
+}

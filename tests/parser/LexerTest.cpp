@@ -1,0 +1,104 @@
+//===- tests/parser/LexerTest.cpp - Lexer tests ---------------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Lexer.h"
+
+#include "gtest/gtest.h"
+
+using namespace edda;
+
+namespace {
+
+std::vector<TokenKind> kindsOf(std::string_view Source) {
+  std::vector<Token> Tokens = Lexer(Source).lexAll();
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : Tokens)
+    Kinds.push_back(T.Kind);
+  return Kinds;
+}
+
+} // namespace
+
+TEST(Lexer, EmptyInput) {
+  EXPECT_EQ(kindsOf(""), (std::vector<TokenKind>{TokenKind::Eof}));
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  EXPECT_EQ(kindsOf("program foo end"),
+            (std::vector<TokenKind>{TokenKind::KwProgram,
+                                    TokenKind::Identifier,
+                                    TokenKind::KwEnd, TokenKind::Eof}));
+  // Keywords are whole-word: "forx" is an identifier.
+  EXPECT_EQ(kindsOf("forx")[0], TokenKind::Identifier);
+}
+
+TEST(Lexer, AllKeywords) {
+  std::vector<TokenKind> K =
+      kindsOf("program end for to step do array read param");
+  EXPECT_EQ(K, (std::vector<TokenKind>{
+                   TokenKind::KwProgram, TokenKind::KwEnd,
+                   TokenKind::KwFor, TokenKind::KwTo, TokenKind::KwStep,
+                   TokenKind::KwDo, TokenKind::KwArray, TokenKind::KwRead,
+                   TokenKind::KwParam, TokenKind::Eof}));
+}
+
+TEST(Lexer, Punctuation) {
+  EXPECT_EQ(kindsOf("+ - * ( ) [ ] ="),
+            (std::vector<TokenKind>{
+                TokenKind::Plus, TokenKind::Minus, TokenKind::Star,
+                TokenKind::LParen, TokenKind::RParen, TokenKind::LBracket,
+                TokenKind::RBracket, TokenKind::Equals, TokenKind::Eof}));
+}
+
+TEST(Lexer, IntegerValues) {
+  std::vector<Token> Tokens = Lexer("0 42 12345").lexAll();
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].IntValue, 0);
+  EXPECT_EQ(Tokens[1].IntValue, 42);
+  EXPECT_EQ(Tokens[2].IntValue, 12345);
+}
+
+TEST(Lexer, IntegerOverflowIsInvalid) {
+  std::vector<Token> Tokens = Lexer("99999999999999999999").lexAll();
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Invalid);
+}
+
+TEST(Lexer, CommentsSkipped) {
+  std::vector<Token> Tokens =
+      Lexer("a # comment until end of line\nb").lexAll();
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+  EXPECT_EQ(Tokens[1].Line, 2u);
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  std::vector<Token> Tokens = Lexer("ab cd\n  ef").lexAll();
+  EXPECT_EQ(Tokens[0].Line, 1u);
+  EXPECT_EQ(Tokens[0].Column, 1u);
+  EXPECT_EQ(Tokens[1].Column, 4u);
+  EXPECT_EQ(Tokens[2].Line, 2u);
+  EXPECT_EQ(Tokens[2].Column, 3u);
+}
+
+TEST(Lexer, InvalidCharacter) {
+  std::vector<Token> Tokens = Lexer("a $ b").lexAll();
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Invalid);
+}
+
+TEST(Lexer, UnderscoreIdentifiers) {
+  std::vector<Token> Tokens = Lexer("_foo bar_9").lexAll();
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[0].Text, "_foo");
+  EXPECT_EQ(Tokens[1].Text, "bar_9");
+}
+
+TEST(Lexer, TokenKindNames) {
+  EXPECT_STREQ(tokenKindName(TokenKind::KwFor), "'for'");
+  EXPECT_STREQ(tokenKindName(TokenKind::Identifier), "identifier");
+  EXPECT_STREQ(tokenKindName(TokenKind::Eof), "end of input");
+}

@@ -1,0 +1,114 @@
+//===- tests/parser/ParserFuzzTest.cpp - Parser robustness ----------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Robustness: the parser must never crash, loop or accept garbage —
+/// every malformed input produces diagnostics. Inputs are random token
+/// soups, truncated valid programs, and byte noise.
+///
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+#include "workload/Generator.h"
+#include "gtest/gtest.h"
+
+using namespace edda;
+
+namespace {
+
+const char *Tokens[] = {"program", "end",  "for",  "to",    "step",
+                        "do",      "array", "read", "param", "+",
+                        "-",       "*",     "(",    ")",     "[",
+                        "]",       "=",     "i",    "j",     "a",
+                        "n",       "0",     "1",    "42",    "#x\n",
+                        "\n",      "$",     "9999999999999999999999"};
+
+std::string randomSoup(SplitRng &Rng, unsigned Len) {
+  std::string Out;
+  for (unsigned I = 0; I < Len; ++I) {
+    Out += Tokens[Rng.below(sizeof(Tokens) / sizeof(Tokens[0]))];
+    Out += " ";
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(ParserFuzz, TokenSoupNeverCrashes) {
+  SplitRng Rng(4242);
+  unsigned Accepted = 0;
+  for (unsigned Iter = 0; Iter < 2000; ++Iter) {
+    std::string Source = randomSoup(Rng, 1 + Rng.below(60));
+    ParseResult R = parseProgram(Source);
+    if (R.succeeded())
+      ++Accepted;
+    else
+      EXPECT_FALSE(R.Diags.empty()) << Source;
+  }
+  // Random soups occasionally form valid programs ("program i end"),
+  // but the vast majority must be rejected.
+  EXPECT_LT(Accepted, 200u);
+}
+
+TEST(ParserFuzz, TruncatedValidProgramsAlwaysDiagnose) {
+  const std::string Valid = R"(program demo
+  array a[100]
+  read n
+  for i = 1 to n do
+    for j = 1 to i do
+      a[i + 2 * j] = a[i] + 3
+    end
+  end
+end
+)";
+  for (size_t Len = 0; Len + 1 < Valid.size(); Len += 3) {
+    ParseResult R = parseProgram(Valid.substr(0, Len));
+    if (!R.succeeded())
+      EXPECT_FALSE(R.Diags.empty()) << "prefix length " << Len;
+  }
+  EXPECT_TRUE(parseProgram(Valid).succeeded());
+}
+
+TEST(ParserFuzz, ByteNoiseNeverCrashes) {
+  SplitRng Rng(99);
+  for (unsigned Iter = 0; Iter < 500; ++Iter) {
+    std::string Source;
+    unsigned Len = 1 + static_cast<unsigned>(Rng.below(200));
+    for (unsigned I = 0; I < Len; ++I)
+      Source += static_cast<char>(Rng.below(127) + 1); // avoid NUL
+    ParseResult R = parseProgram(Source);
+    if (!R.succeeded())
+      EXPECT_FALSE(R.Diags.empty());
+  }
+}
+
+TEST(ParserFuzz, DeepNestingHandled) {
+  // 200 nested loops: recursion depth must be fine and the program
+  // valid.
+  std::string Source = "program deep\n  array a[10]\n";
+  for (int I = 0; I < 200; ++I)
+    Source += "for v" + std::to_string(I) + " = 1 to 2 do\n";
+  Source += "a[1] = 0\n";
+  for (int I = 0; I < 200; ++I)
+    Source += "end\n";
+  Source += "end\n";
+  ParseResult R = parseProgram(Source);
+  EXPECT_TRUE(R.succeeded());
+}
+
+TEST(ParserFuzz, DeepExpressionNesting) {
+  std::string Source = "program deep\n  array a[10]\n  a[1] = ";
+  for (int I = 0; I < 400; ++I)
+    Source += "(1 + ";
+  Source += "0";
+  for (int I = 0; I < 400; ++I)
+    Source += ")";
+  Source += "\nend\n";
+  ParseResult R = parseProgram(Source);
+  EXPECT_TRUE(R.succeeded());
+}

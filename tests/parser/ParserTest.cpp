@@ -1,0 +1,219 @@
+//===- tests/parser/ParserTest.cpp - Parser tests -------------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+#include "gtest/gtest.h"
+
+using namespace edda;
+
+namespace {
+
+bool failsWith(const std::string &Source, const std::string &Needle) {
+  ParseResult R = parseProgram(Source);
+  if (R.succeeded())
+    return false;
+  for (const Diagnostic &D : R.Diags)
+    if (D.Message.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(Parser, MinimalProgram) {
+  ParseResult R = parseProgram("program p end");
+  ASSERT_TRUE(R.succeeded());
+  EXPECT_EQ(R.Prog->name(), "p");
+  EXPECT_TRUE(R.Prog->body().empty());
+}
+
+TEST(Parser, FullFeatureProgram) {
+  const char *Source = R"(program full
+  array a[100]
+  array b[10][20]
+  read n
+  param k = -5
+  for i = 1 to n do
+    for j = 1 to i do
+      b[i][j] = a[i + 2 * j - k] + b[i][j] * 3
+    end
+  end
+end
+)";
+  ParseResult R = parseProgram(Source);
+  ASSERT_TRUE(R.succeeded());
+  const Program &P = *R.Prog;
+  EXPECT_EQ(P.numArrays(), 2u);
+  EXPECT_EQ(P.var(*P.lookupVar("n")).Kind, VarKind::Symbolic);
+  EXPECT_EQ(P.var(*P.lookupVar("k")).Kind, VarKind::Scalar);
+  EXPECT_EQ(P.var(*P.lookupVar("i")).Kind, VarKind::Loop);
+  // param becomes an initializing assignment followed by the loop.
+  ASSERT_EQ(P.body().size(), 2u);
+  EXPECT_EQ(P.body()[0]->kind(), StmtKind::Assign);
+  EXPECT_EQ(P.body()[1]->kind(), StmtKind::Loop);
+}
+
+TEST(Parser, NegativeStepAndParenExpr) {
+  const char *Source = R"(program s
+  array a[10]
+  for i = 9 to 1 step -2 do
+    a[(i + 1) * 2 - 3] = -(i)
+  end
+end
+)";
+  ParseResult R = parseProgram(Source);
+  ASSERT_TRUE(R.succeeded());
+  EXPECT_EQ(asLoop(*R.Prog->body()[0]).step(), -2);
+}
+
+TEST(Parser, LoopVarReuseAcrossSiblings) {
+  const char *Source = R"(program s
+  array a[10]
+  for i = 1 to 5 do
+    a[i] = 0
+  end
+  for i = 1 to 8 do
+    a[i] = 1
+  end
+end
+)";
+  ParseResult R = parseProgram(Source);
+  ASSERT_TRUE(R.succeeded());
+  EXPECT_EQ(asLoop(*R.Prog->body()[0]).varId(),
+            asLoop(*R.Prog->body()[1]).varId());
+}
+
+TEST(Parser, ErrorNestedLoopVarReuse) {
+  EXPECT_TRUE(failsWith(R"(program s
+  array a[10]
+  for i = 1 to 5 do
+    for i = 1 to 5 do
+      a[i] = 0
+    end
+  end
+end
+)",
+                        "reused by an enclosing loop"));
+}
+
+TEST(Parser, ErrorUndeclaredVariable) {
+  EXPECT_TRUE(failsWith(R"(program s
+  array a[10]
+  for i = 1 to 5 do
+    a[i] = q + 1
+  end
+end
+)",
+                        "undeclared variable 'q'"));
+}
+
+TEST(Parser, ErrorRankMismatch) {
+  EXPECT_TRUE(failsWith(R"(program s
+  array a[10][10]
+  for i = 1 to 5 do
+    a[i] = 1
+  end
+end
+)",
+                        "rank 2"));
+}
+
+TEST(Parser, ErrorAssignToSymbolic) {
+  EXPECT_TRUE(failsWith(R"(program s
+  read n
+  n = 5
+end
+)",
+                        "symbolic"));
+}
+
+TEST(Parser, ErrorAssignToActiveLoopVar) {
+  EXPECT_TRUE(failsWith(R"(program s
+  for i = 1 to 5 do
+    i = 3
+  end
+end
+)",
+                        "active loop variable"));
+}
+
+TEST(Parser, ErrorZeroStep) {
+  EXPECT_TRUE(failsWith(R"(program s
+  array a[5]
+  for i = 1 to 5 step 0 do
+    a[i] = 0
+  end
+end
+)",
+                        "nonzero"));
+}
+
+TEST(Parser, ErrorRedeclaration) {
+  EXPECT_TRUE(failsWith("program s\narray a[5]\nread a\nend",
+                        "redeclaration"));
+  EXPECT_TRUE(failsWith("program s\nread n\nparam n = 3\nend",
+                        "redeclaration"));
+}
+
+TEST(Parser, ErrorArrayReadInBounds) {
+  EXPECT_TRUE(failsWith(R"(program s
+  array a[5]
+  for i = 1 to a[1] do
+    a[i] = 0
+  end
+end
+)",
+                        "loop bounds"));
+}
+
+TEST(Parser, ErrorMissingEnd) {
+  EXPECT_TRUE(failsWith(R"(program s
+  array a[5]
+  for i = 1 to 5 do
+    a[i] = 0
+)",
+                        "expected"));
+}
+
+TEST(Parser, ErrorJunkAfterEnd) {
+  EXPECT_TRUE(failsWith("program s end extra", "after 'end'"));
+}
+
+TEST(Parser, ErrorScalarAsLoopVar) {
+  EXPECT_TRUE(failsWith(R"(program s
+  array a[5]
+  k = 3
+  for k = 1 to 5 do
+    a[k] = 0
+  end
+end
+)",
+                        "not usable as a loop variable"));
+}
+
+TEST(Parser, DiagnosticPositions) {
+  ParseResult R = parseProgram("program s\n  q = r\nend");
+  ASSERT_FALSE(R.succeeded());
+  ASSERT_FALSE(R.Diags.empty());
+  EXPECT_EQ(R.Diags[0].Line, 2u);
+  EXPECT_NE(R.Diags[0].str().find("2:"), std::string::npos);
+}
+
+TEST(Parser, ScalarReductionWithArrayRead) {
+  // s = s + a[i]: scalar assignment whose RHS reads an array.
+  const char *Source = R"(program s
+  array a[10]
+  s = 0
+  for i = 1 to 10 do
+    s = s + a[i]
+  end
+end
+)";
+  ParseResult R = parseProgram(Source);
+  ASSERT_TRUE(R.succeeded());
+}

@@ -1,0 +1,164 @@
+//===- tests/support/MatrixTest.cpp - IntMatrix unit tests ----------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Matrix.h"
+
+#include "gtest/gtest.h"
+
+#include <climits>
+
+using namespace edda;
+
+TEST(IntMatrix, IdentityShape) {
+  IntMatrix I = IntMatrix::identity(3);
+  for (unsigned R = 0; R < 3; ++R)
+    for (unsigned C = 0; C < 3; ++C)
+      EXPECT_EQ(I.at(R, C), R == C ? 1 : 0);
+}
+
+TEST(IntMatrix, SwapRows) {
+  IntMatrix M(2, 2);
+  M.at(0, 0) = 1;
+  M.at(1, 1) = 2;
+  M.swapRows(0, 1);
+  EXPECT_EQ(M.at(0, 1), 2);
+  EXPECT_EQ(M.at(1, 0), 1);
+}
+
+TEST(IntMatrix, AddRowMultiple) {
+  IntMatrix M(2, 2);
+  M.at(0, 0) = 4;
+  M.at(0, 1) = 6;
+  M.at(1, 0) = 1;
+  M.at(1, 1) = 1;
+  // Row0 -= 2 * Row1.
+  ASSERT_TRUE(M.addRowMultiple(0, 1, 2));
+  EXPECT_EQ(M.at(0, 0), 2);
+  EXPECT_EQ(M.at(0, 1), 4);
+}
+
+TEST(IntMatrix, AddRowMultipleOverflow) {
+  IntMatrix M(2, 1);
+  M.at(0, 0) = INT64_MAX;
+  M.at(1, 0) = -1;
+  EXPECT_FALSE(M.addRowMultiple(0, 1, 1)); // MAX - (-1) overflows
+}
+
+TEST(IntMatrix, NegateRow) {
+  IntMatrix M(1, 2);
+  M.at(0, 0) = 3;
+  M.at(0, 1) = -4;
+  ASSERT_TRUE(M.negateRow(0));
+  EXPECT_EQ(M.at(0, 0), -3);
+  EXPECT_EQ(M.at(0, 1), 4);
+  M.at(0, 0) = INT64_MIN;
+  EXPECT_FALSE(M.negateRow(0));
+}
+
+TEST(IntMatrix, Multiply) {
+  IntMatrix A(2, 3), B(3, 2);
+  int64_t V = 1;
+  for (unsigned R = 0; R < 2; ++R)
+    for (unsigned C = 0; C < 3; ++C)
+      A.at(R, C) = V++;
+  for (unsigned R = 0; R < 3; ++R)
+    for (unsigned C = 0; C < 2; ++C)
+      B.at(R, C) = V++;
+  bool Ok = false;
+  IntMatrix P = A.multiply(B, Ok);
+  ASSERT_TRUE(Ok);
+  // A = [1 2 3; 4 5 6], B = [7 8; 9 10; 11 12].
+  EXPECT_EQ(P.at(0, 0), 1 * 7 + 2 * 9 + 3 * 11);
+  EXPECT_EQ(P.at(1, 1), 4 * 8 + 5 * 10 + 6 * 12);
+}
+
+TEST(IntMatrix, IsEchelon) {
+  IntMatrix Good(3, 4);
+  Good.at(0, 0) = 2;
+  Good.at(0, 2) = 5;
+  Good.at(1, 1) = 1;
+  Good.at(2, 3) = 7;
+  EXPECT_TRUE(Good.isEchelon());
+
+  IntMatrix ZeroRowInMiddle(3, 3);
+  ZeroRowInMiddle.at(0, 0) = 1;
+  ZeroRowInMiddle.at(2, 1) = 1; // nonzero row after a zero row
+  EXPECT_FALSE(ZeroRowInMiddle.isEchelon());
+
+  IntMatrix SameLead(2, 2);
+  SameLead.at(0, 0) = 1;
+  SameLead.at(1, 0) = 1;
+  EXPECT_FALSE(SameLead.isEchelon());
+
+  IntMatrix AllZero(2, 2);
+  EXPECT_TRUE(AllZero.isEchelon());
+}
+
+TEST(IntMatrix, Determinant2x2) {
+  IntMatrix M(2, 2);
+  M.at(0, 0) = 3;
+  M.at(0, 1) = 7;
+  M.at(1, 0) = 2;
+  M.at(1, 1) = 5;
+  bool Ok = false;
+  EXPECT_EQ(M.determinant(Ok), 1);
+  EXPECT_TRUE(Ok);
+}
+
+TEST(IntMatrix, DeterminantSingular) {
+  IntMatrix M(3, 3);
+  M.at(0, 0) = 1;
+  M.at(1, 0) = 2; // rows 0,1 proportional with col 1..2 zero
+  bool Ok = false;
+  EXPECT_EQ(M.determinant(Ok), 0);
+  EXPECT_TRUE(Ok);
+}
+
+TEST(IntMatrix, DeterminantNeedsPivotSwap) {
+  IntMatrix M(2, 2);
+  M.at(0, 1) = 1;
+  M.at(1, 0) = 1;
+  bool Ok = false;
+  EXPECT_EQ(M.determinant(Ok), -1);
+  EXPECT_TRUE(Ok);
+}
+
+TEST(IntMatrix, DeterminantLarger) {
+  // det = 1 for a known unimodular matrix.
+  IntMatrix M(3, 3);
+  int64_t Vals[3][3] = {{2, 3, 1}, {1, 2, 1}, {1, 1, 1}};
+  for (unsigned R = 0; R < 3; ++R)
+    for (unsigned C = 0; C < 3; ++C)
+      M.at(R, C) = Vals[R][C];
+  bool Ok = false;
+  EXPECT_EQ(M.determinant(Ok), 1);
+  EXPECT_TRUE(Ok);
+}
+
+TEST(IntMatrix, ZeroDimensionDeterminant) {
+  IntMatrix M(0, 0);
+  bool Ok = false;
+  EXPECT_EQ(M.determinant(Ok), 1);
+  EXPECT_TRUE(Ok);
+}
+
+TEST(IntMatrix, RowExtraction) {
+  IntMatrix M(2, 3);
+  M.at(1, 0) = 4;
+  M.at(1, 2) = 9;
+  std::vector<int64_t> R = M.row(1);
+  EXPECT_EQ(R, (std::vector<int64_t>{4, 0, 9}));
+}
+
+TEST(IntMatrix, EqualityAndStr) {
+  IntMatrix A(1, 2), B(1, 2);
+  A.at(0, 0) = 1;
+  EXPECT_NE(A, B);
+  B.at(0, 0) = 1;
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.str(), "[1 0]\n");
+}

@@ -1,0 +1,93 @@
+//===- tests/support/RationalTest.cpp - Rational unit tests ---------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rational.h"
+
+#include "gtest/gtest.h"
+
+#include <climits>
+
+using namespace edda;
+
+TEST(Rational, NormalizationToLowestTerms) {
+  Rational R(6, 4);
+  EXPECT_EQ(R.num(), 3);
+  EXPECT_EQ(R.den(), 2);
+}
+
+TEST(Rational, DenominatorMadePositive) {
+  Rational R(3, -6);
+  EXPECT_EQ(R.num(), -1);
+  EXPECT_EQ(R.den(), 2);
+}
+
+TEST(Rational, IntegerDetection) {
+  EXPECT_TRUE(Rational(4, 2).isInteger());
+  EXPECT_FALSE(Rational(5, 2).isInteger());
+  EXPECT_TRUE(Rational(0, 7).isInteger());
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(6, 3).floor(), 2);
+  EXPECT_EQ(Rational(6, 3).ceil(), 2);
+}
+
+TEST(Rational, Arithmetic) {
+  Rational Half(1, 2), Third(1, 3);
+  EXPECT_EQ(Half + Third, Rational(5, 6));
+  EXPECT_EQ(Half - Third, Rational(1, 6));
+  EXPECT_EQ(Half * Third, Rational(1, 6));
+  EXPECT_EQ(Half / Third, Rational(3, 2));
+  EXPECT_EQ(-Half, Rational(-1, 2));
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_GE(Rational(7), Rational(13, 2));
+}
+
+TEST(Rational, ComparisonDoesNotOverflow) {
+  // Cross-multiplication uses 128-bit products internally.
+  Rational Big(INT64_MAX, 3);
+  Rational Bigger(INT64_MAX, 2);
+  EXPECT_LT(Big, Bigger);
+}
+
+TEST(Rational, DivisionByZeroIsInvalid) {
+  Rational R = Rational(1) / Rational(0);
+  EXPECT_FALSE(R.valid());
+}
+
+TEST(Rational, OverflowPoisons) {
+  Rational Big(INT64_MAX, 1);
+  Rational R = Big + Big;
+  EXPECT_FALSE(R.valid());
+  // Poison propagates through further operations.
+  EXPECT_FALSE((R * Rational(0)).valid());
+}
+
+TEST(Rational, CrossCancellationAvoidsOverflow) {
+  // (MAX/3) * (3/MAX) = 1 is representable via cross-cancellation even
+  // though the naive numerator product overflows.
+  Rational A(INT64_MAX / 3 * 3, 3);
+  Rational B(3, INT64_MAX / 3 * 3);
+  Rational Product = A * B;
+  ASSERT_TRUE(Product.valid());
+  EXPECT_EQ(Product, Rational(1));
+}
+
+TEST(Rational, Str) {
+  EXPECT_EQ(Rational(3).str(), "3");
+  EXPECT_EQ(Rational(7, 2).str(), "7/2");
+  EXPECT_EQ(Rational::invalid().str(), "<invalid>");
+}

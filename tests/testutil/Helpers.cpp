@@ -1,0 +1,104 @@
+//===- tests/testutil/Helpers.cpp - Shared test helpers -------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testutil/Helpers.h"
+
+#include "opt/Pipeline.h"
+#include "parser/Parser.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace edda;
+using namespace edda::testutil;
+
+Program edda::testutil::mustParse(const std::string &Source,
+                                  bool Prepass) {
+  ParseResult Result = parseProgram(Source);
+  if (!Result.succeeded()) {
+    std::fprintf(stderr, "test source failed to parse:\n");
+    for (const Diagnostic &D : Result.Diags)
+      std::fprintf(stderr, "  %s\n", D.str().c_str());
+    std::abort();
+  }
+  if (Prepass)
+    runPrepass(*Result.Prog);
+  return std::move(*Result.Prog);
+}
+
+std::optional<BuiltProblem>
+edda::testutil::problemFromSource(const std::string &Source,
+                                  unsigned ReadIdx) {
+  Program Prog = mustParse(Source);
+  std::vector<ArrayReference> Refs = collectReferences(Prog);
+  const ArrayReference *Write = nullptr;
+  for (const ArrayReference &Ref : Refs)
+    if (Ref.IsWrite) {
+      Write = &Ref;
+      break;
+    }
+  if (!Write)
+    return std::nullopt;
+  unsigned Seen = 0;
+  for (const ArrayReference &Ref : Refs) {
+    if (Ref.IsWrite || Ref.ArrayId != Write->ArrayId)
+      continue;
+    if (Seen++ == ReadIdx)
+      return buildProblem(Prog, *Write, Ref);
+  }
+  return std::nullopt;
+}
+
+DependenceProblem edda::testutil::randomProblem(SplitRng &Rng) {
+  unsigned Common = 1 + static_cast<unsigned>(Rng.below(2));
+  unsigned ExtraA = Rng.below(4) == 0 ? 1 : 0;
+  unsigned ExtraB = Rng.below(4) == 0 ? 1 : 0;
+  unsigned LoopsA = Common + ExtraA;
+  unsigned LoopsB = Common + ExtraB;
+  ProblemBuilder PB(LoopsA, LoopsB, Common);
+  DependenceProblem Skeleton = PB.build();
+  unsigned NumX = Skeleton.numX();
+
+  unsigned NumEq = 1 + static_cast<unsigned>(Rng.below(2));
+  for (unsigned E = 0; E < NumEq; ++E) {
+    std::vector<int64_t> Coeffs(NumX, 0);
+    for (unsigned J = 0; J < NumX; ++J)
+      Coeffs[J] = static_cast<int64_t>(Rng.below(7)) - 3;
+    int64_t Const = static_cast<int64_t>(Rng.below(13)) - 6;
+    PB.eq(std::move(Coeffs), Const);
+  }
+  // Common loops share one bound pair between their two copies, as they
+  // would coming out of the problem builder.
+  for (unsigned L = 0; L < LoopsA; ++L) {
+    int64_t Lo = static_cast<int64_t>(Rng.below(9)) - 4;
+    int64_t Span = static_cast<int64_t>(Rng.below(9));
+    PB.bounds(L, Lo, Lo + Span);
+    if (L < Common)
+      PB.bounds(LoopsA + L, Lo, Lo + Span);
+  }
+  for (unsigned L = Common; L < LoopsB; ++L) {
+    int64_t Lo = static_cast<int64_t>(Rng.below(9)) - 4;
+    int64_t Span = static_cast<int64_t>(Rng.below(9));
+    PB.bounds(LoopsA + L, Lo, Lo + Span);
+  }
+  // Occasionally couple an inner bound to the outer loop (triangular).
+  DependenceProblem P = PB.build();
+  if (P.NumCommon == 2 && Rng.below(2) == 0) {
+    // Triangular inner bound x_inner <= x_outer + c, same c on both
+    // copies (one source loop).
+    int64_t C = static_cast<int64_t>(Rng.below(5)) - 1;
+    for (unsigned Side = 0; Side < 2; ++Side) {
+      unsigned Outer = Side == 0 ? P.xOfCommonA(0) : P.xOfCommonB(0);
+      unsigned Inner = Side == 0 ? P.xOfCommonA(1) : P.xOfCommonB(1);
+      XAffine Hi(P.numX());
+      Hi.Coeffs[Outer] = 1;
+      Hi.Const = C;
+      P.Hi[Inner] = std::move(Hi);
+    }
+  }
+  return P;
+}

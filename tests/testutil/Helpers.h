@@ -1,0 +1,105 @@
+//===- tests/testutil/Helpers.h - Shared test helpers ----------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builders shared by the unit and integration tests: a fluent
+/// DependenceProblem builder, random problem generation for property
+/// tests, and a source -> first write/read problem shortcut.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_TESTS_TESTUTIL_HELPERS_H
+#define EDDA_TESTS_TESTUTIL_HELPERS_H
+
+#include "analysis/Builder.h"
+#include "deptest/Problem.h"
+#include "ir/Program.h"
+#include "workload/Generator.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace edda {
+namespace testutil {
+
+/// Fluent builder for DependenceProblem values in tests.
+class ProblemBuilder {
+public:
+  ProblemBuilder(unsigned LoopsA, unsigned LoopsB, unsigned Common,
+                 unsigned Symbolic = 0) {
+    P.NumLoopsA = LoopsA;
+    P.NumLoopsB = LoopsB;
+    P.NumCommon = Common;
+    P.NumSymbolic = Symbolic;
+    P.Lo.resize(P.numLoopVars());
+    P.Hi.resize(P.numLoopVars());
+  }
+
+  /// Adds the equation sum Coeffs*x + Const == 0.
+  ProblemBuilder &eq(std::vector<int64_t> Coeffs, int64_t Const) {
+    XAffine E(P.numX());
+    E.Coeffs = std::move(Coeffs);
+    E.Const = Const;
+    P.Equations.push_back(std::move(E));
+    return *this;
+  }
+
+  /// Constant bounds Lo <= x_Var <= Hi.
+  ProblemBuilder &bounds(unsigned Var, int64_t Lo, int64_t Hi) {
+    P.Lo[Var] = XAffine(P.numX());
+    P.Lo[Var]->Const = Lo;
+    P.Hi[Var] = XAffine(P.numX());
+    P.Hi[Var]->Const = Hi;
+    return *this;
+  }
+
+  /// Affine bound forms (full coefficient vectors).
+  ProblemBuilder &loBound(unsigned Var, std::vector<int64_t> Coeffs,
+                          int64_t Const) {
+    XAffine F(P.numX());
+    F.Coeffs = std::move(Coeffs);
+    F.Const = Const;
+    P.Lo[Var] = std::move(F);
+    return *this;
+  }
+  ProblemBuilder &hiBound(unsigned Var, std::vector<int64_t> Coeffs,
+                          int64_t Const) {
+    XAffine F(P.numX());
+    F.Coeffs = std::move(Coeffs);
+    F.Const = Const;
+    P.Hi[Var] = std::move(F);
+    return *this;
+  }
+
+  DependenceProblem build() const { return P; }
+
+private:
+  DependenceProblem P;
+};
+
+/// Parses \p Source (failing the test on errors via the returned
+/// optional), runs the prepass, and builds the problem for the first
+/// write against the read with index \p ReadIdx (both on the same
+/// array as the write). Returns nullopt when anything fails.
+std::optional<BuiltProblem> problemFromSource(const std::string &Source,
+                                              unsigned ReadIdx = 0);
+
+/// Parses and preprocesses \p Source, aborting the process on parse
+/// errors (for tests that know the source is valid).
+Program mustParse(const std::string &Source, bool Prepass = true);
+
+/// Generates a random small dependence problem for property tests:
+/// 1-2 common loops (plus occasionally an extra loop on one side),
+/// constant bounds in [-4, 8] spans, 1-2 equations with coefficients in
+/// [-3, 3]. All bounds present so the oracle applies.
+DependenceProblem randomProblem(SplitRng &Rng);
+
+} // namespace testutil
+} // namespace edda
+
+#endif // EDDA_TESTS_TESTUTIL_HELPERS_H

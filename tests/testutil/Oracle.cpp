@@ -1,0 +1,137 @@
+//===- tests/testutil/Oracle.cpp - Brute-force ground truth ---------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testutil/Oracle.h"
+
+#include "support/IntMath.h"
+
+using namespace edda;
+using namespace edda::testutil;
+
+namespace {
+
+/// Shared recursive enumerator. Calls \p Visit on every integer point
+/// satisfying bounds and equations; Visit returns false to stop early.
+/// Returns nullopt when enumeration is inapplicable or too large.
+template <typename VisitFn>
+std::optional<bool> enumerate(const DependenceProblem &P,
+                              const std::vector<XAffine> &ExtraLe0,
+                              const OracleOptions &Opts, VisitFn Visit) {
+  if (P.NumSymbolic != 0)
+    return std::nullopt;
+  const unsigned NumL = P.numLoopVars();
+  for (unsigned L = 0; L < NumL; ++L) {
+    if (!P.Lo[L] || !P.Hi[L])
+      return std::nullopt;
+    // Bounds may only reference earlier variables so left-to-right
+    // enumeration can evaluate them.
+    for (unsigned J = L; J < NumL; ++J)
+      if (P.Lo[L]->Coeffs[J] != 0 || P.Hi[L]->Coeffs[J] != 0)
+        return std::nullopt;
+  }
+
+  std::vector<int64_t> X(NumL, 0);
+  uint64_t Visited = 0;
+  bool Aborted = false;
+  bool Stopped = false;
+
+  auto Eval = [&X](const XAffine &Form) -> std::optional<int64_t> {
+    CheckedInt Sum(Form.Const);
+    for (unsigned J = 0; J < Form.Coeffs.size(); ++J)
+      if (Form.Coeffs[J] != 0)
+        Sum += CheckedInt(Form.Coeffs[J]) * X[J];
+    return Sum.getOpt();
+  };
+
+  auto Rec = [&](auto &&Self, unsigned L) -> void {
+    if (Stopped || Aborted)
+      return;
+    if (L == NumL) {
+      for (const XAffine &Eq : P.Equations) {
+        std::optional<int64_t> V = Eval(Eq);
+        if (!V) {
+          Aborted = true;
+          return;
+        }
+        if (*V != 0)
+          return;
+      }
+      for (const XAffine &Form : ExtraLe0) {
+        std::optional<int64_t> V = Eval(Form);
+        if (!V) {
+          Aborted = true;
+          return;
+        }
+        if (*V > 0)
+          return;
+      }
+      if (!Visit(X))
+        Stopped = true;
+      return;
+    }
+    std::optional<int64_t> Lo = Eval(*P.Lo[L]);
+    std::optional<int64_t> Hi = Eval(*P.Hi[L]);
+    if (!Lo || !Hi) {
+      Aborted = true;
+      return;
+    }
+    for (int64_t V = *Lo; V <= *Hi; ++V) {
+      if (++Visited > Opts.MaxPoints) {
+        Aborted = true;
+        return;
+      }
+      X[L] = V;
+      Self(Self, L + 1);
+      if (Stopped || Aborted)
+        return;
+    }
+  };
+  Rec(Rec, 0);
+  if (Aborted)
+    return std::nullopt;
+  return Stopped;
+}
+
+} // namespace
+
+std::optional<bool>
+edda::testutil::oracleDependent(const DependenceProblem &Problem,
+                                const std::vector<XAffine> &ExtraLe0,
+                                const OracleOptions &Opts) {
+  return enumerate(Problem, ExtraLe0, Opts,
+                   [](const std::vector<int64_t> &) { return false; });
+}
+
+std::optional<std::set<DirVector>>
+edda::testutil::oracleDirections(const DependenceProblem &Problem,
+                                 const OracleOptions &Opts) {
+  std::set<DirVector> Found;
+  std::optional<bool> Ran = enumerate(
+      Problem, {}, Opts, [&](const std::vector<int64_t> &X) {
+        DirVector V(Problem.NumCommon);
+        for (unsigned K = 0; K < Problem.NumCommon; ++K) {
+          int64_t A = X[Problem.xOfCommonA(K)];
+          int64_t B = X[Problem.xOfCommonB(K)];
+          V[K] = A < B ? Dir::Less : A == B ? Dir::Equal : Dir::Greater;
+        }
+        Found.insert(std::move(V));
+        return true; // keep enumerating
+      });
+  if (!Ran)
+    return std::nullopt;
+  return Found;
+}
+
+bool edda::testutil::dirMatches(const DirVector &Reported,
+                                const DirVector &Concrete) {
+  if (Reported.size() != Concrete.size())
+    return false;
+  for (unsigned K = 0; K < Reported.size(); ++K)
+    if (Reported[K] != Dir::Any && Reported[K] != Concrete[K])
+      return false;
+  return true;
+}

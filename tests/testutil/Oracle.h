@@ -1,0 +1,57 @@
+//===- tests/testutil/Oracle.h - Brute-force ground truth ------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exhaustive-enumeration ground truth for small dependence problems:
+/// the paper's exactness claims are machine-checked by comparing every
+/// test's answer against enumeration of all integer points within the
+/// loop bounds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_TESTS_TESTUTIL_ORACLE_H
+#define EDDA_TESTS_TESTUTIL_ORACLE_H
+
+#include "deptest/Direction.h"
+#include "deptest/Problem.h"
+
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace edda {
+namespace testutil {
+
+/// Enumeration limits.
+struct OracleOptions {
+  /// Give up (return nullopt) past this many points.
+  uint64_t MaxPoints = 4u << 20;
+};
+
+/// True/false when enumeration is conclusive: the problem must have no
+/// symbolic variables and every loop variable needs both bounds, each
+/// referencing only variables earlier in x order. Extra forms are
+/// required <= 0 as in the cascade.
+std::optional<bool>
+oracleDependent(const DependenceProblem &Problem,
+                const std::vector<XAffine> &ExtraLe0 = {},
+                const OracleOptions &Opts = {});
+
+/// All direction sign patterns (over the common loops) realized by some
+/// dependence, by enumeration. Same applicability conditions.
+std::optional<std::set<DirVector>>
+oracleDirections(const DependenceProblem &Problem,
+                 const OracleOptions &Opts = {});
+
+/// True when \p Concrete (all components <, =, >) matches \p Reported
+/// componentwise, treating '*' as a wildcard.
+bool dirMatches(const DirVector &Reported, const DirVector &Concrete);
+
+} // namespace testutil
+} // namespace edda
+
+#endif // EDDA_TESTS_TESTUTIL_ORACLE_H

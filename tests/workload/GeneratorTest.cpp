@@ -1,0 +1,239 @@
+//===- tests/workload/GeneratorTest.cpp - Workload generator tests --------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Generator.h"
+
+#include "analysis/Analyzer.h"
+#include "parser/Parser.h"
+#include "testutil/Helpers.h"
+#include "gtest/gtest.h"
+
+using namespace edda;
+using namespace edda::testutil;
+
+TEST(Generator, ProfilesMatchPaperTotals) {
+  const std::vector<ProgramProfile> &Profiles = perfectClubProfiles();
+  ASSERT_EQ(Profiles.size(), 13u);
+  DecisionTargets Total;
+  for (const ProgramProfile &P : Profiles) {
+    Total.Constant += P.Table1.Constant;
+    Total.Gcd += P.Table1.Gcd;
+    Total.Svpc += P.Table1.Svpc;
+    Total.Acyclic += P.Table1.Acyclic;
+    Total.Residue += P.Table1.Residue;
+    Total.Fm += P.Table1.Fm;
+  }
+  // The paper's Table 1 TOTAL row.
+  EXPECT_EQ(Total.Constant, 11859u);
+  EXPECT_EQ(Total.Gcd, 384u);
+  EXPECT_EQ(Total.Svpc, 5176u);
+  EXPECT_EQ(Total.Acyclic, 323u);
+  EXPECT_EQ(Total.Residue, 6u);
+  EXPECT_EQ(Total.Fm, 174u);
+
+  // Table 3 TOTAL row (unique cases).
+  unsigned USvpc = 0, UAcyclic = 0, UResidue = 0, UFm = 0;
+  for (const ProgramProfile &P : Profiles) {
+    USvpc += P.Unique.Svpc;
+    UAcyclic += P.Unique.Acyclic;
+    UResidue += P.Unique.Residue;
+    UFm += P.Unique.Fm;
+  }
+  EXPECT_EQ(USvpc, 262u);
+  EXPECT_EQ(UAcyclic, 34u);
+  EXPECT_EQ(UResidue, 4u);
+  EXPECT_EQ(UFm, 32u);
+}
+
+TEST(Generator, SourceParses) {
+  GeneratorOptions Opts;
+  Opts.Scale = 0.05;
+  for (const ProgramProfile &Profile : perfectClubProfiles()) {
+    std::string Source = generateProgramSource(Profile, Opts);
+    ParseResult R = parseProgram(Source);
+    EXPECT_TRUE(R.succeeded()) << Profile.Name;
+  }
+}
+
+TEST(Generator, Deterministic) {
+  GeneratorOptions Opts;
+  Opts.Scale = 0.05;
+  std::string A =
+      generateProgramSource(perfectClubProfiles()[0], Opts);
+  std::string B =
+      generateProgramSource(perfectClubProfiles()[0], Opts);
+  EXPECT_EQ(A, B);
+}
+
+TEST(Generator, SymbolicModeAddsReadDecl) {
+  GeneratorOptions Opts;
+  Opts.Scale = 0.2;
+  Opts.IncludeSymbolic = true;
+  // NA has symbolic extras in its profile.
+  const ProgramProfile *NA = nullptr;
+  for (const ProgramProfile &P : perfectClubProfiles())
+    if (P.Name == "NA")
+      NA = &P;
+  ASSERT_NE(NA, nullptr);
+  std::string Source = generateProgramSource(*NA, Opts);
+  EXPECT_NE(Source.find("read n"), std::string::npos);
+}
+
+/// Templates must be decided by the intended cascade test. Run a small
+/// scaled suite and check each program's decision mix is dominated by
+/// the targeted kinds.
+TEST(Generator, DecisionMixMatchesTargets) {
+  GeneratorOptions Opts;
+  Opts.Scale = 0.05;
+  AnalyzerOptions AOpts;
+  AOpts.UseMemoization = false;
+
+  for (const ProgramProfile &Profile : perfectClubProfiles()) {
+    std::string Source = generateProgramSource(Profile, Opts);
+    Program P = mustParse(Source, /*Prepass=*/false);
+    DependenceAnalyzer Analyzer(AOpts);
+    AnalysisResult R = Analyzer.analyze(P);
+
+    EXPECT_EQ(R.UnanalyzablePairs, 0u) << Profile.Name;
+    EXPECT_EQ(R.Stats.decided(TestKind::Unanalyzable), 0u)
+        << Profile.Name;
+    auto CheckKind = [&](TestKind Kind, unsigned Target) {
+      uint64_t Got = R.Stats.decided(Kind);
+      if (Target == 0) {
+        EXPECT_EQ(Got, 0u)
+            << Profile.Name << " " << testKindName(Kind);
+      } else {
+        EXPECT_GT(Got, 0u)
+            << Profile.Name << " " << testKindName(Kind);
+      }
+    };
+    CheckKind(TestKind::ArrayConstant, Profile.Table1.Constant);
+    CheckKind(TestKind::GcdTest, Profile.Table1.Gcd);
+    CheckKind(TestKind::Svpc, Profile.Table1.Svpc);
+    CheckKind(TestKind::Acyclic, Profile.Table1.Acyclic);
+    CheckKind(TestKind::LoopResidue, Profile.Table1.Residue);
+    CheckKind(TestKind::FourierMotzkin, Profile.Table1.Fm);
+  }
+}
+
+/// At full scale the per-kind decision counts track the paper's Table 1
+/// within a small tolerance (the +/-1 rounding of case-to-decision
+/// conversion).
+TEST(Generator, FullScaleCountsTrackTable1ForAP) {
+  GeneratorOptions Opts; // Scale = 1
+  const ProgramProfile &AP = perfectClubProfiles()[0];
+  std::string Source = generateProgramSource(AP, Opts);
+  Program P = mustParse(Source, /*Prepass=*/false);
+  AnalyzerOptions AOpts;
+  AOpts.UseMemoization = false;
+  DependenceAnalyzer Analyzer(AOpts);
+  AnalysisResult R = Analyzer.analyze(P);
+  auto Near = [](uint64_t Got, unsigned Want) {
+    double Tolerance = 0.05 * Want + 3;
+    return Got + Tolerance >= Want && Got <= Want + Tolerance;
+  };
+  EXPECT_TRUE(Near(R.Stats.decided(TestKind::ArrayConstant),
+                   AP.Table1.Constant))
+      << R.Stats.decided(TestKind::ArrayConstant);
+  EXPECT_TRUE(Near(R.Stats.decided(TestKind::GcdTest), AP.Table1.Gcd))
+      << R.Stats.decided(TestKind::GcdTest);
+  EXPECT_TRUE(Near(R.Stats.decided(TestKind::Svpc), AP.Table1.Svpc))
+      << R.Stats.decided(TestKind::Svpc);
+}
+
+TEST(Generator, MemoizationShrinksUniqueCases) {
+  GeneratorOptions Opts;
+  Opts.Scale = 0.2;
+  const ProgramProfile &SR = perfectClubProfiles()[9]; // highly repetitive
+  ASSERT_EQ(SR.Name, "SR");
+  std::string Source = generateProgramSource(SR, Opts);
+  Program P = mustParse(Source, /*Prepass=*/false);
+  DependenceAnalyzer Analyzer;
+  AnalysisResult R = Analyzer.analyze(P);
+  // Most real-test queries must be served from the cache (constant
+  // pairs bypass both the tests and the cache).
+  uint64_t ExactDecisions =
+      R.Stats.totalDecided() - R.Stats.decided(TestKind::ArrayConstant);
+  EXPECT_GT(R.Stats.MemoHitsFull, ExactDecisions);
+}
+
+TEST(Generator, WrapVariantsSplitSimpleKeysOnly) {
+  // Generate LG (high wrap factor) and compare unique counts under the
+  // simple and improved schemes.
+  GeneratorOptions Opts;
+  Opts.Scale = 0.3;
+  const ProgramProfile &LG = perfectClubProfiles()[2];
+  ASSERT_EQ(LG.Name, "LG");
+  std::string Source = generateProgramSource(LG, Opts);
+
+  MemoOptions Simple;
+  Simple.ImprovedKey = false;
+  MemoOptions Improved;
+  Improved.ImprovedKey = true;
+  AnalyzerOptions SimpleOpts;
+  SimpleOpts.Memo = Simple;
+  AnalyzerOptions ImprovedOpts;
+  ImprovedOpts.Memo = Improved;
+
+  Program P1 = mustParse(Source, false);
+  DependenceAnalyzer A1(SimpleOpts);
+  A1.analyze(P1);
+  Program P2 = mustParse(Source, false);
+  DependenceAnalyzer A2(ImprovedOpts);
+  A2.analyze(P2);
+  EXPECT_GT(A1.cache().uniqueFull(), A2.cache().uniqueFull());
+}
+
+TEST(Generator, WrapDepthCapRespected) {
+  // LG's profile wraps cases in three unused loops; the cap trims that
+  // for interpreter-bound consumers.
+  const ProgramProfile *LG = nullptr;
+  for (const ProgramProfile &P : perfectClubProfiles())
+    if (P.Name == "LG")
+      LG = &P;
+  ASSERT_NE(LG, nullptr);
+  EXPECT_EQ(LG->WrapDepth, 3u);
+
+  GeneratorOptions Deep;
+  Deep.Scale = 0.02;
+  GeneratorOptions Shallow = Deep;
+  Shallow.MaxWrapDepth = 0;
+  std::string DeepSrc = generateProgramSource(*LG, Deep);
+  std::string ShallowSrc = generateProgramSource(*LG, Shallow);
+  EXPECT_NE(DeepSrc.find("for w3"), std::string::npos);
+  EXPECT_EQ(ShallowSrc.find("for w3"), std::string::npos);
+  // Both parse and analyze to the same decision mix.
+  AnalyzerOptions AOpts;
+  AOpts.UseMemoization = false;
+  Program P1 = mustParse(DeepSrc, false);
+  Program P2 = mustParse(ShallowSrc, false);
+  DependenceAnalyzer A1(AOpts), A2(AOpts);
+  AnalysisResult R1 = A1.analyze(P1);
+  AnalysisResult R2 = A2.analyze(P2);
+  EXPECT_EQ(R1.Stats.decided(TestKind::Svpc),
+            R2.Stats.decided(TestKind::Svpc));
+  EXPECT_EQ(R1.Stats.decided(TestKind::ArrayConstant),
+            R2.Stats.decided(TestKind::ArrayConstant));
+}
+
+TEST(Generator, SuiteCoversAllPrograms) {
+  GeneratorOptions Opts;
+  Opts.Scale = 0.01;
+  auto Suite = generatePerfectClubSuite(Opts);
+  ASSERT_EQ(Suite.size(), 13u);
+  EXPECT_EQ(Suite[0].first, "AP");
+  EXPECT_EQ(Suite[12].first, "WS");
+}
+
+TEST(SplitRngTest, DeterministicAndBounded) {
+  SplitRng A(7), B(7);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+  SplitRng C(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(C.below(13), 13u);
+}
