@@ -1,13 +1,34 @@
 #!/bin/sh
 # Runs every bench binary in order, as recorded in EXPERIMENTS.md.
+#
+# Usage: run_benches.sh [BUILD_DIR] [EXTRA_ARGS...]
+#
+# The binary list is generated from the edda_add_bench() registrations
+# in bench/CMakeLists.txt, so a newly added bench cannot silently drop
+# out of the CI smoke run. EXTRA_ARGS are forwarded to every binary
+# (benches ignore flags they do not understand).
 set -e
 BUILD=${1:-build}
-for b in table1_test_frequency table2_memoization table3_unique_cases \
-         table4_direction_vectors table5_pruning table6_compile_cost \
-         table7_symbolic fig1_loop_residue section7_accuracy \
-         ext_shared_cache; do
+[ $# -gt 0 ] && shift
+
+SCRIPT_DIR=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+BENCH_CMAKE="$SCRIPT_DIR/../bench/CMakeLists.txt"
+
+BENCHES=$(sed -n 's/^edda_add_bench(\([A-Za-z0-9_]*\)).*/\1/p' \
+          "$BENCH_CMAKE")
+if [ -z "$BENCHES" ]; then
+  echo "error: no edda_add_bench() targets found in $BENCH_CMAKE" >&2
+  exit 1
+fi
+
+for b in $BENCHES; do
+  if [ ! -x "$BUILD/bench/$b" ]; then
+    echo "error: bench binary '$BUILD/bench/$b' is missing" >&2
+    exit 1
+  fi
   echo "===== $b ====="
-  "$BUILD/bench/$b"
+  "$BUILD/bench/$b" "$@"
   echo
 done
-"$BUILD/bench/micro_test_cost" --benchmark_min_time=0.2
+echo "===== micro_test_cost ====="
+"$BUILD/bench/micro_test_cost" --benchmark_min_time=0.2 "$@"

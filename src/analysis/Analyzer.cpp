@@ -4,12 +4,163 @@
 // "Efficient and Exact Data Dependence Analysis", PLDI 1991.
 //
 //===----------------------------------------------------------------------===//
+///
+/// The parallel driver's determinism argument, in one place:
+///
+///  1. Pair enumeration, problem construction and memo keying are pure
+///     per pair, so they fan out freely; results land in slots indexed
+///     by the serial enumeration order.
+///  2. Two tested pairs can observe each other through the cache only
+///     when their without-bounds memo keys are equal (the with-bounds
+///     key extends the without-bounds key, so equal full keys imply
+///     equal no-bounds keys). Pairs are therefore grouped by
+///     without-bounds key and each group runs sequentially, in serial
+///     enumeration order, inside one worker task. Across groups the
+///     cache is accessed on disjoint keys, so every pair sees exactly
+///     the hits and misses a serial run would have produced.
+///  3. Per-group DepStats are summed after the barrier; counter sums
+///     are order-independent.
+///
+//===----------------------------------------------------------------------===//
 
 #include "analysis/Analyzer.h"
 
 #include "opt/Pipeline.h"
 
+#include <unordered_map>
+
 using namespace edda;
+
+namespace {
+
+/// Resolves MemoOptions::Shards = 0 (auto): one shard for the serial
+/// analyzer — byte-identical to the pre-sharding cache — or a few
+/// shards per worker so concurrent lookups rarely collide on a lock.
+MemoOptions resolveMemoOptions(const AnalyzerOptions &Opts,
+                               unsigned NumThreads) {
+  MemoOptions M = Opts.Memo;
+  if (M.Shards == 0)
+    M.Shards = NumThreads <= 1 ? 1 : std::min(64u, NumThreads * 4);
+  return M;
+}
+
+unsigned resolveThreads(unsigned NumThreads) {
+  return NumThreads == 0 ? ThreadPool::hardwareThreads() : NumThreads;
+}
+
+AnalyzerOptions resolveOptions(AnalyzerOptions Opts) {
+  Opts.NumThreads = resolveThreads(Opts.NumThreads);
+  Opts.Memo = resolveMemoOptions(Opts, Opts.NumThreads);
+  return Opts;
+}
+
+struct VectorHash {
+  size_t operator()(const std::vector<int64_t> &V) const {
+    size_t H = V.size();
+    for (int64_t X : V)
+      H = H * 1099511628211ull + static_cast<uint64_t>(X);
+    return H;
+  }
+};
+
+} // namespace
+
+DependenceAnalyzer::DependenceAnalyzer(AnalyzerOptions O)
+    : Opts(resolveOptions(std::move(O))), Cache(Opts.Memo) {}
+
+void DependenceAnalyzer::runIndexed(
+    size_t N, const std::function<void(size_t)> &Body) {
+  if (Opts.NumThreads <= 1 || N <= 1) {
+    for (size_t I = 0; I < N; ++I)
+      Body(I);
+    return;
+  }
+  if (!Pool)
+    Pool = std::make_unique<ThreadPool>(Opts.NumThreads);
+  Pool->parallelFor(N, Body);
+}
+
+void DependenceAnalyzer::decideTestedPair(const BuiltProblem &Built,
+                                          DependencePair &Pair,
+                                          DepStats &Stats) {
+  const DependenceProblem &Problem = Built.Problem;
+
+  if (Opts.ComputeDirections) {
+    // Direction mode: the direction computation's root (*,...,*)
+    // query IS the plain dependence test, so it drives everything
+    // (running the cascade separately would double-count).
+    std::optional<DirectionResult> CachedDirs;
+    if (Opts.UseMemoization) {
+      CachedDirs = Cache.lookupDirections(Problem);
+      if (CachedDirs)
+        Stats.MemoHitsFull++;
+    }
+    DirectionResult Dirs;
+    if (CachedDirs) {
+      Dirs = std::move(*CachedDirs);
+      Pair.FromCache = true;
+    } else {
+      Dirs = computeDirectionVectors(Problem, Opts.Direction);
+      if (Opts.UseMemoization) {
+        Cache.insertDirections(Problem, Dirs);
+        // The root answer also serves plain (non-direction) runs
+        // sharing this cache.
+        CascadeResult Root;
+        Root.Answer = Dirs.RootAnswer;
+        Root.DecidedBy = Dirs.RootDecidedBy;
+        Root.Exact = Dirs.Exact;
+        Cache.insertFull(Problem, Root);
+      }
+      Stats += Dirs.TestStats;
+    }
+    Pair.Answer = Dirs.RootAnswer;
+    Pair.DecidedBy = Dirs.RootDecidedBy;
+    Pair.Exact = Dirs.Exact && Built.Exact;
+    Pair.Directions = std::move(Dirs);
+    return;
+  }
+
+  // Plain answer, via the full-key table when enabled.
+  std::optional<CascadeResult> Cached;
+  if (Opts.UseMemoization) {
+    Cached = Cache.lookupFull(Problem);
+    if (Cached)
+      Stats.MemoHitsFull++;
+  }
+  CascadeResult Outcome;
+  if (Cached) {
+    Outcome = *Cached;
+    Pair.FromCache = true;
+  } else {
+    // The bounds-free table can spare the whole cascade when the
+    // equations alone were already proved unsolvable.
+    std::optional<bool> GcdKnown;
+    if (Opts.UseMemoization) {
+      GcdKnown = Cache.lookupGcdSolvable(Problem);
+      if (GcdKnown)
+        Stats.MemoHitsNoBounds++;
+    }
+    if (GcdKnown && !*GcdKnown) {
+      Outcome.Answer = DepAnswer::Independent;
+      Outcome.DecidedBy = TestKind::GcdTest;
+      Outcome.Exact = true;
+      Pair.FromCache = true;
+    } else {
+      Outcome = testDependence(Problem, Opts.Cascade, &Stats);
+      if (Opts.UseMemoization) {
+        Cache.insertFull(Problem, Outcome);
+        if (Outcome.DecidedBy == TestKind::GcdTest)
+          Cache.insertGcdSolvable(Problem, false);
+        else if (Outcome.DecidedBy != TestKind::ArrayConstant &&
+                 Outcome.DecidedBy != TestKind::Unanalyzable)
+          Cache.insertGcdSolvable(Problem, true);
+      }
+    }
+  }
+  Pair.Answer = Outcome.Answer;
+  Pair.DecidedBy = Outcome.DecidedBy;
+  Pair.Exact = Outcome.Exact && Built.Exact;
+}
 
 AnalysisResult DependenceAnalyzer::analyze(Program &Prog) {
   if (Opts.RunPrepass)
@@ -19,6 +170,9 @@ AnalysisResult DependenceAnalyzer::analyze(Program &Prog) {
   Result.Refs = collectReferences(Prog);
   const std::vector<ArrayReference> &Refs = Result.Refs;
 
+  // Phase 1 (serial, cheap): enumerate candidate pairs in the canonical
+  // (source ref, sink ref) order every downstream consumer relies on.
+  std::vector<std::pair<unsigned, unsigned>> Candidates;
   for (unsigned I = 0; I < Refs.size(); ++I) {
     for (unsigned J = I; J < Refs.size(); ++J) {
       // A dependence needs a write and a shared array.
@@ -26,137 +180,128 @@ AnalysisResult DependenceAnalyzer::analyze(Program &Prog) {
         continue;
       if (Refs[I].ArrayId != Refs[J].ArrayId)
         continue;
-      ++Result.PairsConsidered;
-
-      DependencePair Pair;
-      Pair.RefA = I;
-      Pair.RefB = J;
-
-      std::optional<BuiltProblem> Built =
-          buildProblem(Prog, Refs[I], Refs[J]);
-      if (!Built) {
-        ++Result.UnanalyzablePairs;
-        Pair.Answer = DepAnswer::Unknown;
-        Pair.DecidedBy = TestKind::Unanalyzable;
-        Pair.Exact = false;
-        // Clients (the parallelizer) still need the common nest to
-        // serialize conservatively.
-        for (unsigned L = 0; L < Refs[I].Loops.size() &&
-                             L < Refs[J].Loops.size() &&
-                             Refs[I].Loops[L] == Refs[J].Loops[L];
-             ++L)
-          Pair.CommonLoops.push_back(Refs[I].Loops[L]);
-        Result.Stats.recordDecision(TestKind::Unanalyzable, false);
-        Result.Pairs.push_back(std::move(Pair));
-        continue;
-      }
-      Pair.CommonLoops = Built->CommonLoops;
-      const DependenceProblem &Problem = Built->Problem;
-
-      // Array constants are handled without dependence testing (paper
-      // section 4) — and without memoization overhead, which would
-      // otherwise dominate constant-heavy programs like LG.
-      bool AllConstantEqs = true;
-      for (const XAffine &Eq : Problem.Equations)
-        AllConstantEqs = AllConstantEqs && Eq.isConstant();
-      if (AllConstantEqs) {
-        CascadeResult Outcome =
-            testDependence(Problem, Opts.Cascade, &Result.Stats);
-        Pair.Answer = Outcome.Answer;
-        Pair.DecidedBy = Outcome.DecidedBy;
-        Pair.Exact = Outcome.Exact && Built->Exact;
-        if (Opts.ComputeDirections &&
-            Pair.Answer != DepAnswer::Independent) {
-          DirectionResult Dirs;
-          Dirs.RootAnswer = Pair.Answer;
-          Dirs.RootDecidedBy = Outcome.DecidedBy;
-          Dirs.Distances.assign(Problem.NumCommon, std::nullopt);
-          // Every direction is possible for a constant overlap.
-          Dirs.Vectors.push_back(DirVector(Problem.NumCommon, Dir::Any));
-          Pair.Directions = std::move(Dirs);
-        }
-        Result.Pairs.push_back(std::move(Pair));
-        continue;
-      }
-
-      if (Opts.ComputeDirections) {
-        // Direction mode: the direction computation's root (*,...,*)
-        // query IS the plain dependence test, so it drives everything
-        // (running the cascade separately would double-count).
-        std::optional<DirectionResult> CachedDirs;
-        if (Opts.UseMemoization) {
-          CachedDirs = Cache.lookupDirections(Problem);
-          if (CachedDirs)
-            Result.Stats.MemoHitsFull++;
-        }
-        DirectionResult Dirs;
-        if (CachedDirs) {
-          Dirs = std::move(*CachedDirs);
-          Pair.FromCache = true;
-        } else {
-          Dirs = computeDirectionVectors(Problem, Opts.Direction);
-          if (Opts.UseMemoization) {
-            Cache.insertDirections(Problem, Dirs);
-            // The root answer also serves plain (non-direction) runs
-            // sharing this cache.
-            CascadeResult Root;
-            Root.Answer = Dirs.RootAnswer;
-            Root.DecidedBy = Dirs.RootDecidedBy;
-            Root.Exact = Dirs.Exact;
-            Cache.insertFull(Problem, Root);
-          }
-          Result.Stats += Dirs.TestStats;
-        }
-        Pair.Answer = Dirs.RootAnswer;
-        Pair.DecidedBy = Dirs.RootDecidedBy;
-        Pair.Exact = Dirs.Exact && Built->Exact;
-        Pair.Directions = std::move(Dirs);
-        Result.Pairs.push_back(std::move(Pair));
-        continue;
-      }
-
-      // Plain answer, via the full-key table when enabled.
-      std::optional<CascadeResult> Cached;
-      if (Opts.UseMemoization) {
-        Cached = Cache.lookupFull(Problem);
-        if (Cached)
-          Result.Stats.MemoHitsFull++;
-      }
-      CascadeResult Outcome;
-      if (Cached) {
-        Outcome = *Cached;
-        Pair.FromCache = true;
-      } else {
-        // The bounds-free table can spare the whole cascade when the
-        // equations alone were already proved unsolvable.
-        std::optional<bool> GcdKnown;
-        if (Opts.UseMemoization) {
-          GcdKnown = Cache.lookupGcdSolvable(Problem);
-          if (GcdKnown)
-            Result.Stats.MemoHitsNoBounds++;
-        }
-        if (GcdKnown && !*GcdKnown) {
-          Outcome.Answer = DepAnswer::Independent;
-          Outcome.DecidedBy = TestKind::GcdTest;
-          Outcome.Exact = true;
-          Pair.FromCache = true;
-        } else {
-          Outcome = testDependence(Problem, Opts.Cascade, &Result.Stats);
-          if (Opts.UseMemoization) {
-            Cache.insertFull(Problem, Outcome);
-            if (Outcome.DecidedBy == TestKind::GcdTest)
-              Cache.insertGcdSolvable(Problem, false);
-            else if (Outcome.DecidedBy != TestKind::ArrayConstant &&
-                     Outcome.DecidedBy != TestKind::Unanalyzable)
-              Cache.insertGcdSolvable(Problem, true);
-          }
-        }
-      }
-      Pair.Answer = Outcome.Answer;
-      Pair.DecidedBy = Outcome.DecidedBy;
-      Pair.Exact = Outcome.Exact && Built->Exact;
-      Result.Pairs.push_back(std::move(Pair));
+      Candidates.emplace_back(I, J);
     }
   }
+  Result.PairsConsidered = Candidates.size();
+
+  // Phase 2 (parallel): build each candidate's dependence problem and,
+  // when the cache is in play, its without-bounds memo key — the
+  // determinism grouping key. Pure per candidate.
+  struct BuiltCandidate {
+    std::optional<BuiltProblem> Built;
+    bool AllConstantEqs = false;
+    std::vector<int64_t> GroupKey;
+  };
+  std::vector<BuiltCandidate> BuiltPairs(Candidates.size());
+  runIndexed(Candidates.size(), [&](size_t C) {
+    auto [I, J] = Candidates[C];
+    BuiltCandidate &BC = BuiltPairs[C];
+    BC.Built = buildProblem(Prog, Refs[I], Refs[J]);
+    if (!BC.Built)
+      return;
+    BC.AllConstantEqs = true;
+    for (const XAffine &Eq : BC.Built->Problem.Equations)
+      BC.AllConstantEqs = BC.AllConstantEqs && Eq.isConstant();
+    if (!BC.AllConstantEqs && Opts.UseMemoization) {
+      bool Swapped;
+      BC.GroupKey =
+          Cache.keyFor(BC.Built->Problem, /*IncludeBounds=*/false,
+                       Swapped);
+    }
+  });
+
+  // Phase 3 (serial): assemble the ordered pair list. Unanalyzable and
+  // all-constant pairs are decided inline — they never touch the cache
+  // and cost next to nothing. Tested pairs get a slot now and a task
+  // for the fan-out.
+  std::vector<size_t> TaskCandidate; // candidate index per task
+  std::vector<size_t> TaskSlot;      // Result.Pairs index per task
+  for (size_t C = 0; C < Candidates.size(); ++C) {
+    auto [I, J] = Candidates[C];
+    BuiltCandidate &BC = BuiltPairs[C];
+
+    DependencePair Pair;
+    Pair.RefA = I;
+    Pair.RefB = J;
+
+    if (!BC.Built) {
+      ++Result.UnanalyzablePairs;
+      Pair.Answer = DepAnswer::Unknown;
+      Pair.DecidedBy = TestKind::Unanalyzable;
+      Pair.Exact = false;
+      // Clients (the parallelizer) still need the common nest to
+      // serialize conservatively.
+      for (unsigned L = 0; L < Refs[I].Loops.size() &&
+                           L < Refs[J].Loops.size() &&
+                           Refs[I].Loops[L] == Refs[J].Loops[L];
+           ++L)
+        Pair.CommonLoops.push_back(Refs[I].Loops[L]);
+      Result.Stats.recordDecision(TestKind::Unanalyzable, false);
+      Result.Pairs.push_back(std::move(Pair));
+      continue;
+    }
+    Pair.CommonLoops = BC.Built->CommonLoops;
+
+    // Array constants are handled without dependence testing (paper
+    // section 4) — and without memoization overhead, which would
+    // otherwise dominate constant-heavy programs like LG.
+    if (BC.AllConstantEqs) {
+      const DependenceProblem &Problem = BC.Built->Problem;
+      CascadeResult Outcome =
+          testDependence(Problem, Opts.Cascade, &Result.Stats);
+      Pair.Answer = Outcome.Answer;
+      Pair.DecidedBy = Outcome.DecidedBy;
+      Pair.Exact = Outcome.Exact && BC.Built->Exact;
+      if (Opts.ComputeDirections &&
+          Pair.Answer != DepAnswer::Independent) {
+        DirectionResult Dirs;
+        Dirs.RootAnswer = Pair.Answer;
+        Dirs.RootDecidedBy = Outcome.DecidedBy;
+        Dirs.Distances.assign(Problem.NumCommon, std::nullopt);
+        // Every direction is possible for a constant overlap.
+        Dirs.Vectors.push_back(DirVector(Problem.NumCommon, Dir::Any));
+        Pair.Directions = std::move(Dirs);
+      }
+      Result.Pairs.push_back(std::move(Pair));
+      continue;
+    }
+
+    TaskCandidate.push_back(C);
+    TaskSlot.push_back(Result.Pairs.size());
+    Result.Pairs.push_back(std::move(Pair));
+  }
+
+  // Phase 4 (serial, cheap): batch tasks into determinism groups. With
+  // memoization on, tasks sharing a without-bounds key form one group,
+  // ordered by first occurrence; with it off every task is independent.
+  std::vector<std::vector<size_t>> Groups;
+  if (Opts.UseMemoization) {
+    std::unordered_map<std::vector<int64_t>, size_t, VectorHash>
+        GroupIndex;
+    for (size_t T = 0; T < TaskCandidate.size(); ++T) {
+      const std::vector<int64_t> &Key =
+          BuiltPairs[TaskCandidate[T]].GroupKey;
+      auto [It, Inserted] = GroupIndex.emplace(Key, Groups.size());
+      if (Inserted)
+        Groups.emplace_back();
+      Groups[It->second].push_back(T);
+    }
+  } else {
+    Groups.resize(TaskCandidate.size());
+    for (size_t T = 0; T < TaskCandidate.size(); ++T)
+      Groups[T].push_back(T);
+  }
+
+  // Phase 5 (parallel): decide each group. Groups touch disjoint cache
+  // keys, so inter-group scheduling cannot change any outcome.
+  std::vector<DepStats> GroupStats(Groups.size());
+  runIndexed(Groups.size(), [&](size_t G) {
+    for (size_t T : Groups[G])
+      decideTestedPair(*BuiltPairs[TaskCandidate[T]].Built,
+                       Result.Pairs[TaskSlot[T]], GroupStats[G]);
+  });
+  for (const DepStats &S : GroupStats)
+    Result.Stats += S;
   return Result;
 }

@@ -13,6 +13,14 @@
 /// cascade (and optionally direction/distance vector computation) on
 /// misses.
 ///
+/// With NumThreads > 1 the driver fans the per-pair work out across an
+/// internal thread pool. Results are bit-identical to a serial run: the
+/// pair list keeps its (source ref, sink ref) enumeration order, and
+/// pairs whose memoization keys could interact are batched into one
+/// sequential unit of work, so every pair sees exactly the cache state a
+/// serial run would have shown it (see docs/ALGORITHMS.md, "Parallel
+/// analysis").
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EDDA_ANALYSIS_ANALYZER_H
@@ -24,8 +32,11 @@
 #include "deptest/Memo.h"
 #include "deptest/Stats.h"
 #include "ir/Program.h"
+#include "support/ThreadPool.h"
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -42,6 +53,10 @@ struct AnalyzerOptions {
   bool ComputeDirections = false;
   DirectionOptions Direction;
   CascadeOptions Cascade;
+  /// Worker threads for the ref-pair fan-out. 1 (the default) runs the
+  /// exact serial pipeline on the calling thread; 0 means one thread
+  /// per hardware core. Results are identical at every thread count.
+  unsigned NumThreads = 1;
 };
 
 /// The analysis outcome for one reference pair.
@@ -73,21 +88,34 @@ struct AnalysisResult {
 /// Runs dependence analysis over a program. The analyzer owns the
 /// memoization tables, which persist across analyze() calls (so a
 /// benchmark suite shares one cache, as the paper's compiler did within
-/// a compilation).
+/// a compilation). analyze() itself parallelizes internally; concurrent
+/// analyze() calls on one analyzer are not supported.
 class DependenceAnalyzer {
 public:
-  explicit DependenceAnalyzer(AnalyzerOptions Opts = {})
-      : Opts(Opts), Cache(Opts.Memo) {}
+  explicit DependenceAnalyzer(AnalyzerOptions Opts = {});
 
   /// Analyzes \p Prog (mutating it when the prepass is enabled).
   AnalysisResult analyze(Program &Prog);
 
   DependenceCache &cache() { return Cache; }
   const AnalyzerOptions &options() const { return Opts; }
+  /// The resolved worker count (NumThreads with 0 expanded).
+  unsigned threadCount() const { return Opts.NumThreads; }
 
 private:
   AnalyzerOptions Opts;
   DependenceCache Cache;
+  /// Created on the first parallel analyze(), reused afterwards.
+  std::unique_ptr<ThreadPool> Pool;
+
+  /// Runs Body(0..N-1): on the pool when parallel, inline when serial.
+  void runIndexed(size_t N, const std::function<void(size_t)> &Body);
+
+  /// Decides one analyzable, non-constant pair: memo lookup, cascade or
+  /// direction computation on a miss, insert. Writes the outcome into
+  /// \p Pair and the decision counters into \p Stats.
+  void decideTestedPair(const BuiltProblem &Built, DependencePair &Pair,
+                        DepStats &Stats);
 };
 
 } // namespace edda

@@ -21,15 +21,30 @@ size_t DependenceCache::KeyHash::operator()(
   return static_cast<size_t>(H);
 }
 
-void DependenceCache::ensureTables() {
-  if (TablesInitialized)
-    return;
-  TablesInitialized = true;
-  Full = std::unordered_map<Key, CascadeResult, KeyHash>(
-      16, KeyHash{Opts.Hash});
-  Directions = std::unordered_map<Key, DirectionResult, KeyHash>(
-      16, KeyHash{Opts.Hash});
-  Gcd = std::unordered_map<Key, bool, KeyHash>(16, KeyHash{Opts.Hash});
+namespace {
+
+unsigned roundUpPow2(unsigned N) {
+  unsigned P = 1;
+  while (P < N && P < (1u << 16))
+    P <<= 1;
+  return P;
+}
+
+} // namespace
+
+DependenceCache::DependenceCache(MemoOptions Opts) : Opts(Opts) {
+  unsigned Count = roundUpPow2(std::max(1u, Opts.Shards));
+  Shards.reserve(Count);
+  for (unsigned I = 0; I < Count; ++I)
+    Shards.push_back(std::make_unique<Shard>(Opts.Hash));
+}
+
+DependenceCache::Shard &DependenceCache::shardFor(const Key &K) {
+  // Shard selection reuses the table's own memo hash; the per-shard
+  // unordered_map re-hashes with the same function, which is harmless
+  // (shard index uses the low bits as a prefix, the map the rest).
+  uint64_t H = KeyHash{Opts.Hash}(K);
+  return *Shards[H & (Shards.size() - 1)];
 }
 
 std::vector<int64_t>
@@ -77,15 +92,19 @@ DependenceCache::keyFor(const DependenceProblem &P, bool IncludeBounds,
 
 std::optional<CascadeResult>
 DependenceCache::lookupFull(const DependenceProblem &P) {
-  ensureTables();
-  ++FullQueries;
+  FullQueries.fetch_add(1, std::memory_order_relaxed);
   bool Swapped;
   Key K = keyFor(P, /*IncludeBounds=*/true, Swapped);
-  auto It = Full.find(K);
-  if (It == Full.end())
-    return std::nullopt;
-  ++FullHits;
-  CascadeResult R = It->second;
+  Shard &S = shardFor(K);
+  CascadeResult R;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    auto It = S.Full.find(K);
+    if (It == S.Full.end())
+      return std::nullopt;
+    R = It->second;
+  }
+  FullHits.fetch_add(1, std::memory_order_relaxed);
   if (Swapped && R.Witness)
     R.Witness = swapWitness(*R.Witness, P.NumLoopsB, P.NumLoopsA);
   return R;
@@ -93,7 +112,6 @@ DependenceCache::lookupFull(const DependenceProblem &P) {
 
 void DependenceCache::insertFull(const DependenceProblem &P,
                                  const CascadeResult &R) {
-  ensureTables();
   bool Swapped;
   Key K = keyFor(P, /*IncludeBounds=*/true, Swapped);
   CascadeResult Stored = R;
@@ -105,18 +123,26 @@ void DependenceCache::insertFull(const DependenceProblem &P,
   // qualitative answer is what the cache is for).
   if (Opts.ImprovedKey)
     Stored.Witness.reset();
-  Full.emplace(std::move(K), std::move(Stored));
+  Shard &S = shardFor(K);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  // emplace keeps the first entry on a duplicate key, so concurrent
+  // inserters of the same problem converge on one canonical entry.
+  S.Full.emplace(std::move(K), std::move(Stored));
 }
 
 std::optional<DirectionResult>
 DependenceCache::lookupDirections(const DependenceProblem &P) {
-  ensureTables();
   bool Swapped;
   Key K = keyFor(P, /*IncludeBounds=*/true, Swapped);
-  auto It = Directions.find(K);
-  if (It == Directions.end())
-    return std::nullopt;
-  DirectionResult R = It->second;
+  Shard &S = shardFor(K);
+  DirectionResult R;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    auto It = S.Directions.find(K);
+    if (It == S.Directions.end())
+      return std::nullopt;
+    R = It->second;
+  }
   if (Swapped)
     R = reverseDirections(R);
   if (!Opts.ImprovedKey)
@@ -143,7 +169,6 @@ DependenceCache::lookupDirections(const DependenceProblem &P) {
 
 void DependenceCache::insertDirections(const DependenceProblem &P,
                                        const DirectionResult &R) {
-  ensureTables();
   bool Swapped;
   Key K = keyFor(P, /*IncludeBounds=*/true, Swapped);
   DirectionResult Stored = R;
@@ -169,34 +194,66 @@ void DependenceCache::insertDirections(const DependenceProblem &P,
   }
   if (Swapped)
     Stored = reverseDirections(Stored);
-  Directions.emplace(std::move(K), std::move(Stored));
+  Shard &S = shardFor(K);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  S.Directions.emplace(std::move(K), std::move(Stored));
 }
 
 std::optional<bool>
 DependenceCache::lookupGcdSolvable(const DependenceProblem &P) {
-  ensureTables();
-  ++GcdQueries;
+  GcdQueries.fetch_add(1, std::memory_order_relaxed);
   bool Swapped;
   Key K = keyFor(P, /*IncludeBounds=*/false, Swapped);
-  auto It = Gcd.find(K);
-  if (It == Gcd.end())
-    return std::nullopt;
-  ++GcdHits;
-  return It->second;
+  Shard &S = shardFor(K);
+  bool Solvable;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    auto It = S.Gcd.find(K);
+    if (It == S.Gcd.end())
+      return std::nullopt;
+    Solvable = It->second;
+  }
+  GcdHits.fetch_add(1, std::memory_order_relaxed);
+  return Solvable;
 }
 
 void DependenceCache::insertGcdSolvable(const DependenceProblem &P,
                                         bool Solvable) {
-  ensureTables();
   bool Swapped;
   Key K = keyFor(P, /*IncludeBounds=*/false, Swapped);
-  Gcd.emplace(std::move(K), Solvable);
+  Shard &S = shardFor(K);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  S.Gcd.emplace(std::move(K), Solvable);
+}
+
+uint64_t DependenceCache::uniqueFull() const {
+  uint64_t Total = 0;
+  for (const auto &S : Shards)
+    Total += S->Full.size();
+  return Total;
+}
+
+uint64_t DependenceCache::uniqueDirections() const {
+  uint64_t Total = 0;
+  for (const auto &S : Shards)
+    Total += S->Directions.size();
+  return Total;
+}
+
+uint64_t DependenceCache::uniqueNoBounds() const {
+  uint64_t Total = 0;
+  for (const auto &S : Shards)
+    Total += S->Gcd.size();
+  return Total;
 }
 
 void DependenceCache::clear() {
-  Full.clear();
-  Directions.clear();
-  Gcd.clear();
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    S->Full.clear();
+    S->Directions.clear();
+    S->Gcd.clear();
+  }
   FullQueries = FullHits = GcdQueries = GcdHits = 0;
 }
 
@@ -259,36 +316,43 @@ bool DependenceCache::saveToFile(const std::string &Path) const {
   if (!Out)
     return false;
   Out << "edda-depcache 2\n";
-  Out << Full.size() << "\n";
-  for (const auto &[K, R] : Full) {
-    writeVector(Out, K);
-    Out << static_cast<int>(R.Answer) << " "
-        << static_cast<int>(R.DecidedBy) << " " << (R.Exact ? 1 : 0)
-        << "\n";
-  }
-  Out << Directions.size() << "\n";
-  for (const auto &[K, R] : Directions) {
-    writeVector(Out, K);
-    Out << static_cast<int>(R.RootAnswer) << " "
-        << static_cast<int>(R.RootDecidedBy) << " " << (R.Exact ? 1 : 0)
-        << " " << R.Vectors.size() << " " << R.Distances.size() << "\n";
-    for (const DirVector &V : R.Vectors) {
-      Out << V.size();
-      for (Dir D : V)
-        Out << " " << static_cast<int>(D);
-      Out << "\n";
-    }
-    for (const std::optional<int64_t> &Dist : R.Distances) {
-      if (Dist)
-        Out << "d " << *Dist << "\n";
-      else
-        Out << "u\n";
+  Out << uniqueFull() << "\n";
+  for (const auto &S : Shards) {
+    for (const auto &[K, R] : S->Full) {
+      writeVector(Out, K);
+      Out << static_cast<int>(R.Answer) << " "
+          << static_cast<int>(R.DecidedBy) << " " << (R.Exact ? 1 : 0)
+          << "\n";
     }
   }
-  Out << Gcd.size() << "\n";
-  for (const auto &[K, Solvable] : Gcd) {
-    writeVector(Out, K);
-    Out << (Solvable ? 1 : 0) << "\n";
+  Out << uniqueDirections() << "\n";
+  for (const auto &S : Shards) {
+    for (const auto &[K, R] : S->Directions) {
+      writeVector(Out, K);
+      Out << static_cast<int>(R.RootAnswer) << " "
+          << static_cast<int>(R.RootDecidedBy) << " "
+          << (R.Exact ? 1 : 0) << " " << R.Vectors.size() << " "
+          << R.Distances.size() << "\n";
+      for (const DirVector &V : R.Vectors) {
+        Out << V.size();
+        for (Dir D : V)
+          Out << " " << static_cast<int>(D);
+        Out << "\n";
+      }
+      for (const std::optional<int64_t> &Dist : R.Distances) {
+        if (Dist)
+          Out << "d " << *Dist << "\n";
+        else
+          Out << "u\n";
+      }
+    }
+  }
+  Out << uniqueNoBounds() << "\n";
+  for (const auto &S : Shards) {
+    for (const auto &[K, Solvable] : S->Gcd) {
+      writeVector(Out, K);
+      Out << (Solvable ? 1 : 0) << "\n";
+    }
   }
   return static_cast<bool>(Out);
 }
@@ -302,7 +366,6 @@ bool DependenceCache::loadFromFile(const std::string &Path) {
   if (!(In >> Magic >> Version) || Magic != "edda-depcache" ||
       Version != 2)
     return false;
-  ensureTables();
 
   size_t Count;
   if (!(In >> Count))
@@ -316,7 +379,8 @@ bool DependenceCache::loadFromFile(const std::string &Path) {
     R.Answer = static_cast<DepAnswer>(Answer);
     R.DecidedBy = static_cast<TestKind>(DecidedBy);
     R.Exact = Exact != 0;
-    Full.emplace(std::move(K), std::move(R));
+    Shard &S = shardFor(K);
+    S.Full.emplace(std::move(K), std::move(R));
   }
 
   if (!(In >> Count))
@@ -361,7 +425,8 @@ bool DependenceCache::loadFromFile(const std::string &Path) {
         return false;
       }
     }
-    Directions.emplace(std::move(K), std::move(R));
+    Shard &S = shardFor(K);
+    S.Directions.emplace(std::move(K), std::move(R));
   }
 
   if (!(In >> Count))
@@ -371,7 +436,8 @@ bool DependenceCache::loadFromFile(const std::string &Path) {
     int Solvable;
     if (!readVector(In, K) || !(In >> Solvable))
       return false;
-    Gcd.emplace(std::move(K), Solvable != 0);
+    Shard &S = shardFor(K);
+    S.Gcd.emplace(std::move(K), Solvable != 0);
   }
   return true;
 }

@@ -16,6 +16,14 @@
 /// Extensions the paper sketches are implemented behind options:
 /// symmetric-pair canonicalization and cross-compilation persistence.
 ///
+/// The cache is safe for concurrent lookup/insert: the tables are split
+/// into independently-locked shards selected by the memo hash of the
+/// key, so under the parallel analyzer the hot path takes one
+/// uncontended lock. Shard count 1 degenerates to the original
+/// single-table behaviour. Sharding never changes which key maps to
+/// which entry — only which mutex guards it — so results are identical
+/// at every shard count.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EDDA_DEPTEST_MEMO_H
@@ -25,7 +33,10 @@
 #include "deptest/Direction.h"
 #include "deptest/Problem.h"
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -55,14 +66,24 @@ struct MemoOptions {
   /// a[j+1][i+1]"). Sound: the equations are a conjunction.
   bool CanonicalizeEquations = false;
   MemoHashKind Hash = MemoHashKind::Mixing;
+  /// Number of independently-locked shards (rounded up to a power of
+  /// two). 0 = auto: 1 shard for a serial analyzer, a few shards per
+  /// thread otherwise (the analyzer resolves this from its thread
+  /// count). Sharding affects contention only, never results.
+  unsigned Shards = 0;
 };
 
 /// The two-table dependence cache.
 class DependenceCache {
 public:
-  explicit DependenceCache(MemoOptions Opts = {}) : Opts(Opts) {}
+  explicit DependenceCache(MemoOptions Opts = {});
 
   const MemoOptions &options() const { return Opts; }
+
+  /// The resolved shard count (power of two).
+  unsigned shardCount() const {
+    return static_cast<unsigned>(Shards.size());
+  }
 
   /// Full-answer table (bounds included in the key).
   std::optional<CascadeResult> lookupFull(const DependenceProblem &P);
@@ -78,14 +99,15 @@ public:
   std::optional<bool> lookupGcdSolvable(const DependenceProblem &P);
   void insertGcdSolvable(const DependenceProblem &P, bool Solvable);
 
-  /// Accounting for the Table 2 reproduction.
-  uint64_t fullQueries() const { return FullQueries; }
-  uint64_t fullHits() const { return FullHits; }
-  uint64_t uniqueFull() const { return Full.size(); }
-  uint64_t uniqueDirections() const { return Directions.size(); }
-  uint64_t gcdQueries() const { return GcdQueries; }
-  uint64_t gcdHits() const { return GcdHits; }
-  uint64_t uniqueNoBounds() const { return Gcd.size(); }
+  /// Accounting for the Table 2 reproduction. Counter reads are exact
+  /// once concurrent callers have quiesced.
+  uint64_t fullQueries() const { return FullQueries.load(); }
+  uint64_t fullHits() const { return FullHits.load(); }
+  uint64_t uniqueFull() const;
+  uint64_t uniqueDirections() const;
+  uint64_t gcdQueries() const { return GcdQueries.load(); }
+  uint64_t gcdHits() const { return GcdHits.load(); }
+  uint64_t uniqueNoBounds() const;
 
   /// The key a problem maps to (exposed so benches can study hash
   /// collision behaviour directly).
@@ -94,7 +116,8 @@ public:
 
   /// Persistence across compilations (extension, paper section 5):
   /// writes/reads the full-answer and direction tables (witnesses are
-  /// not persisted). Returns false on I/O or format errors.
+  /// not persisted). Returns false on I/O or format errors. Not safe
+  /// against concurrent mutation — call while quiescent.
   bool saveToFile(const std::string &Path) const;
   bool loadFromFile(const std::string &Path);
 
@@ -107,20 +130,28 @@ private:
   };
   using Key = std::vector<int64_t>;
 
-  MemoOptions Opts;
-  std::unordered_map<Key, CascadeResult, KeyHash> Full{
-      0, KeyHash{MemoHashKind::Mixing}};
-  std::unordered_map<Key, DirectionResult, KeyHash> Directions{
-      0, KeyHash{MemoHashKind::Mixing}};
-  std::unordered_map<Key, bool, KeyHash> Gcd{
-      0, KeyHash{MemoHashKind::Mixing}};
-  bool TablesInitialized = false;
-  uint64_t FullQueries = 0;
-  uint64_t FullHits = 0;
-  uint64_t GcdQueries = 0;
-  uint64_t GcdHits = 0;
+  /// One lock plus its slice of all three tables. Heap-allocated so the
+  /// shard array never moves (mutexes are not movable) and adjacent
+  /// shards do not false-share.
+  struct Shard {
+    std::mutex Mutex;
+    std::unordered_map<Key, CascadeResult, KeyHash> Full;
+    std::unordered_map<Key, DirectionResult, KeyHash> Directions;
+    std::unordered_map<Key, bool, KeyHash> Gcd;
 
-  void ensureTables();
+    explicit Shard(MemoHashKind Hash)
+        : Full(16, KeyHash{Hash}), Directions(16, KeyHash{Hash}),
+          Gcd(16, KeyHash{Hash}) {}
+  };
+
+  MemoOptions Opts;
+  std::vector<std::unique_ptr<Shard>> Shards;
+  std::atomic<uint64_t> FullQueries{0};
+  std::atomic<uint64_t> FullHits{0};
+  std::atomic<uint64_t> GcdQueries{0};
+  std::atomic<uint64_t> GcdHits{0};
+
+  Shard &shardFor(const Key &K);
 };
 
 /// Reverses a direction result between (A,B) and (B,A): '<' and '>'

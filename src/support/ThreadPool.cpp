@@ -1,0 +1,98 @@
+//===- support/ThreadPool.cpp - Minimal worker thread pool ----------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+
+using namespace edda;
+
+unsigned ThreadPool::hardwareThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  NumThreads = std::max(1u, NumThreads);
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Job) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Job));
+    ++InFlight;
+  }
+  WorkAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllDone.wait(Lock, [this] { return InFlight == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkAvailable.wait(Lock,
+                         [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      Job = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Job();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (--InFlight == 0)
+        AllDone.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Body) {
+  if (N == 0)
+    return;
+  // Several chunks per worker so uneven per-item cost still balances.
+  size_t NumChunks =
+      std::min<size_t>(N, static_cast<size_t>(threadCount()) * 8);
+  if (NumChunks <= 1 || threadCount() == 1) {
+    for (size_t I = 0; I < N; ++I)
+      Body(I);
+    return;
+  }
+  // Contiguous chunks keep per-job overhead proportional to the chunk
+  // count, not the item count.
+  size_t ChunkSize = (N + NumChunks - 1) / NumChunks;
+  for (size_t C = 0; C < NumChunks; ++C) {
+    size_t Begin = C * ChunkSize;
+    size_t End = std::min(N, Begin + ChunkSize);
+    if (Begin >= End)
+      break;
+    submit([&Body, Begin, End] {
+      for (size_t I = Begin; I < End; ++I)
+        Body(I);
+    });
+  }
+  wait();
+}

@@ -1,0 +1,190 @@
+//===- tests/integration/ParallelDeterminismTest.cpp ----------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel driver's headline guarantee: analyze() at 1, 2 and 8
+/// threads produces identical dependence pairs (answers, deciding
+/// tests, cache provenance, directions), identical memo hit/miss
+/// Stats, and identical dependence graphs over the generated
+/// PERFECT-style corpus (the edda-genperfect output).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "analysis/DependenceGraph.h"
+#include "parser/Parser.h"
+#include "workload/Generator.h"
+#include "gtest/gtest.h"
+
+#include <iterator>
+#include <string>
+#include <vector>
+
+using namespace edda;
+
+namespace {
+
+constexpr unsigned ThreadCounts[] = {1, 2, 8};
+
+/// One program's full analysis outcome under a given thread count.
+struct ProgramOutcome {
+  AnalysisResult Result;
+  std::string GraphText;
+};
+
+/// Analyzes every corpus program through one analyzer (shared cache,
+/// as a compilation would) at \p Threads workers.
+std::vector<ProgramOutcome> analyzeCorpusAt(unsigned Threads,
+                                            bool Directions) {
+  GeneratorOptions GOpts;
+  GOpts.Scale = 0.5; // keep the three-way run affordable in Debug/TSan
+
+  AnalyzerOptions AOpts;
+  AOpts.NumThreads = Threads;
+  AOpts.ComputeDirections = Directions;
+  DependenceAnalyzer Analyzer(AOpts);
+
+  std::vector<ProgramOutcome> Outcomes;
+  for (const auto &[Name, Source] : generatePerfectClubSuite(GOpts)) {
+    ParseResult Parsed = parseProgram(Source);
+    EXPECT_TRUE(Parsed.succeeded()) << Name;
+    if (!Parsed.succeeded())
+      continue;
+    Program Prog = std::move(*Parsed.Prog);
+    ProgramOutcome Out;
+    Out.Result = Analyzer.analyze(Prog);
+    if (Directions)
+      Out.GraphText = DependenceGraph::build(Prog, Analyzer).str(Prog);
+    Outcomes.push_back(std::move(Out));
+  }
+  return Outcomes;
+}
+
+void expectSameStats(const DepStats &A, const DepStats &B,
+                     const std::string &Label) {
+  for (unsigned K = 0; K < NumTestKinds; ++K) {
+    EXPECT_EQ(A.Decided[K], B.Decided[K])
+        << Label << ": decided count for "
+        << testKindName(static_cast<TestKind>(K));
+    EXPECT_EQ(A.DecidedIndependent[K], B.DecidedIndependent[K])
+        << Label << ": independent count for "
+        << testKindName(static_cast<TestKind>(K));
+  }
+  EXPECT_EQ(A.MemoHitsFull, B.MemoHitsFull) << Label;
+  EXPECT_EQ(A.MemoHitsNoBounds, B.MemoHitsNoBounds) << Label;
+}
+
+void expectSamePairs(const AnalysisResult &A, const AnalysisResult &B,
+                     const std::string &Label) {
+  EXPECT_EQ(A.PairsConsidered, B.PairsConsidered) << Label;
+  EXPECT_EQ(A.UnanalyzablePairs, B.UnanalyzablePairs) << Label;
+  ASSERT_EQ(A.Pairs.size(), B.Pairs.size()) << Label;
+  for (size_t I = 0; I < A.Pairs.size(); ++I) {
+    const DependencePair &PA = A.Pairs[I];
+    const DependencePair &PB = B.Pairs[I];
+    EXPECT_EQ(PA.RefA, PB.RefA) << Label << " pair " << I;
+    EXPECT_EQ(PA.RefB, PB.RefB) << Label << " pair " << I;
+    EXPECT_EQ(PA.Answer, PB.Answer) << Label << " pair " << I;
+    EXPECT_EQ(PA.DecidedBy, PB.DecidedBy) << Label << " pair " << I;
+    EXPECT_EQ(PA.Exact, PB.Exact) << Label << " pair " << I;
+    EXPECT_EQ(PA.FromCache, PB.FromCache) << Label << " pair " << I;
+    ASSERT_EQ(PA.Directions.has_value(), PB.Directions.has_value())
+        << Label << " pair " << I;
+    if (PA.Directions) {
+      EXPECT_EQ(PA.Directions->RootAnswer, PB.Directions->RootAnswer)
+          << Label << " pair " << I;
+      EXPECT_EQ(PA.Directions->Vectors, PB.Directions->Vectors)
+          << Label << " pair " << I;
+      EXPECT_EQ(PA.Directions->Distances, PB.Directions->Distances)
+          << Label << " pair " << I;
+    }
+  }
+}
+
+void checkDeterminism(bool Directions) {
+  std::vector<ProgramOutcome> Base =
+      analyzeCorpusAt(ThreadCounts[0], Directions);
+  ASSERT_FALSE(Base.empty());
+  for (unsigned T = 1; T < std::size(ThreadCounts); ++T) {
+    unsigned Threads = ThreadCounts[T];
+    std::vector<ProgramOutcome> Run =
+        analyzeCorpusAt(Threads, Directions);
+    ASSERT_EQ(Run.size(), Base.size());
+    DepStats BaseTotal, RunTotal;
+    for (size_t P = 0; P < Base.size(); ++P) {
+      std::string Label =
+          "threads=" + std::to_string(Threads) + " program " +
+          std::to_string(P);
+      expectSamePairs(Base[P].Result, Run[P].Result, Label);
+      expectSameStats(Base[P].Result.Stats, Run[P].Result.Stats,
+                      Label);
+      EXPECT_EQ(Base[P].GraphText, Run[P].GraphText) << Label;
+      BaseTotal += Base[P].Result.Stats;
+      RunTotal += Run[P].Result.Stats;
+    }
+    expectSameStats(BaseTotal, RunTotal,
+                    "suite totals at threads=" +
+                        std::to_string(Threads));
+  }
+}
+
+} // namespace
+
+TEST(ParallelDeterminism, PlainAnalysisIdenticalAcrossThreadCounts) {
+  checkDeterminism(/*Directions=*/false);
+}
+
+TEST(ParallelDeterminism, DirectionsIdenticalAcrossThreadCounts) {
+  checkDeterminism(/*Directions=*/true);
+}
+
+TEST(ParallelDeterminism, MemoizationOffStillDeterministic) {
+  GeneratorOptions GOpts;
+  GOpts.Scale = 0.3;
+  std::vector<std::pair<std::string, std::string>> Suite =
+      generatePerfectClubSuite(GOpts);
+
+  auto RunAt = [&Suite](unsigned Threads) {
+    AnalyzerOptions AOpts;
+    AOpts.NumThreads = Threads;
+    AOpts.UseMemoization = false;
+    DependenceAnalyzer Analyzer(AOpts);
+    std::vector<AnalysisResult> Results;
+    for (const auto &[Name, Source] : Suite) {
+      ParseResult Parsed = parseProgram(Source);
+      EXPECT_TRUE(Parsed.succeeded()) << Name;
+      Program Prog = std::move(*Parsed.Prog);
+      Results.push_back(Analyzer.analyze(Prog));
+    }
+    return Results;
+  };
+
+  std::vector<AnalysisResult> Base = RunAt(1);
+  for (unsigned Threads : {2u, 8u}) {
+    std::vector<AnalysisResult> Run = RunAt(Threads);
+    ASSERT_EQ(Run.size(), Base.size());
+    for (size_t P = 0; P < Base.size(); ++P) {
+      std::string Label = "no-memo threads=" +
+                          std::to_string(Threads) + " program " +
+                          std::to_string(P);
+      expectSamePairs(Base[P], Run[P], Label);
+      expectSameStats(Base[P].Stats, Run[P].Stats, Label);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, AutoThreadAndShardResolution) {
+  AnalyzerOptions AOpts;
+  AOpts.NumThreads = 0; // one per core
+  DependenceAnalyzer Analyzer(AOpts);
+  EXPECT_GE(Analyzer.threadCount(), 1u);
+  EXPECT_GE(Analyzer.cache().shardCount(), 1u);
+  // Serial analyzers keep the degenerate single-shard cache.
+  DependenceAnalyzer Serial;
+  EXPECT_EQ(Serial.threadCount(), 1u);
+  EXPECT_EQ(Serial.cache().shardCount(), 1u);
+}

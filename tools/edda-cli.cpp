@@ -20,6 +20,8 @@
 ///   --print-optimized   print the program after the prepass
 ///   --no-prepass        analyze the program as written
 ///   --no-memo           disable memoization
+///   --threads N         analyze with N worker threads (0 = one per
+///                       core); results are identical at any N
 ///   --cache FILE        load/save the memo tables (persistence across
 ///                       compilations, the paper's section 5 extension)
 ///   --stats             print cascade decision statistics
@@ -37,6 +39,7 @@
 #include "parser/Parser.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -58,6 +61,7 @@ struct CliOptions {
   bool Memo = true;
   bool Stats = false;
   bool RawProblem = false;
+  unsigned Threads = 1;
   std::string CachePath;
   std::string InputPath;
 };
@@ -67,7 +71,7 @@ int usage(const char *Prog) {
       stderr,
       "usage: %s [--directions] [--graph] [--dot FILE] [--parallelize]\n"
       "          [--print-optimized] [--no-prepass] [--no-memo]\n"
-      "          [--cache FILE] [--stats] file.loop\n"
+      "          [--threads N] [--cache FILE] [--stats] file.loop\n"
       "       %s --problem [--directions] file.dep\n",
       Prog, Prog);
   return 2;
@@ -137,6 +141,17 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Stats = true;
     else if (Arg == "--problem")
       Opts.RawProblem = true;
+    else if (Arg == "--threads") {
+      if (I + 1 >= Argc)
+        return false;
+      char *End = nullptr;
+      unsigned long N = std::strtoul(Argv[++I], &End, 10);
+      if (End == Argv[I] || *End != '\0' || N > 1024) {
+        std::fprintf(stderr, "bad --threads value '%s'\n", Argv[I]);
+        return false;
+      }
+      Opts.Threads = static_cast<unsigned>(N);
+    }
     else if (Arg == "--cache") {
       if (I + 1 >= Argc)
         return false;
@@ -214,6 +229,7 @@ int main(int Argc, char **Argv) {
   Opts.ComputeDirections = Cli.Directions || Cli.Graph ||
                            Cli.Parallelize || Cli.Transforms ||
                            !Cli.DotPath.empty();
+  Opts.NumThreads = Cli.Threads;
   DependenceAnalyzer Analyzer(Opts);
 
   if (!Cli.CachePath.empty()) {
