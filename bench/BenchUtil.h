@@ -42,6 +42,12 @@ struct ProgramRun {
 std::vector<ProgramRun> runSuite(const AnalyzerOptions &AOpts,
                                  const GeneratorOptions &GOpts);
 
+/// Column header for a test kind, taken from the pipeline stage
+/// registry so table headers track the stages' own labels.
+inline const char *stageHeader(TestKind Kind) {
+  return stageForKind(Kind)->label();
+}
+
 /// Prints "measured|paper" in a fixed-width cell.
 std::string cell(uint64_t Measured, uint64_t Paper);
 

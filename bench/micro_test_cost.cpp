@@ -17,7 +17,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "baseline/Banerjee.h"
+#include "deptest/Banerjee.h"
 #include "deptest/Cascade.h"
 #include "deptest/Direction.h"
 #include "deptest/Memo.h"

@@ -34,8 +34,12 @@ int main() {
   std::printf("Suite: synthetic PERFECT Club (see DESIGN.md "
               "substitutions)\n\n");
   std::printf("%-4s %6s %12s %12s %12s %12s %12s %12s\n", "Prog",
-              "Lines", "Constant", "GCD", "SVPC", "Acyclic", "Residue",
-              "F-M");
+              "Lines", stageHeader(TestKind::ArrayConstant),
+              stageHeader(TestKind::GcdTest),
+              stageHeader(TestKind::Svpc),
+              stageHeader(TestKind::Acyclic),
+              stageHeader(TestKind::LoopResidue),
+              stageHeader(TestKind::FourierMotzkin));
   rule(100);
 
   DepStats Total;

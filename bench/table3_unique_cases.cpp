@@ -29,7 +29,10 @@ int main() {
   std::printf("Table 3: tests executed for unique cases only "
               "(memoization on, measured|paper)\n\n");
   std::printf("%-4s %10s %12s %12s %12s %12s\n", "Prog", "TotalCases",
-              "SVPC", "Acyclic", "Residue", "F-M");
+              stageHeader(TestKind::Svpc),
+              stageHeader(TestKind::Acyclic),
+              stageHeader(TestKind::LoopResidue),
+              stageHeader(TestKind::FourierMotzkin));
   rule(80);
 
   DepStats Total;

@@ -37,8 +37,11 @@ int main() {
 
   std::printf("Table 4: tests executed computing direction vectors, no "
               "pruning (measured|paper)\n\n");
-  std::printf("%-4s %12s %12s %12s %12s\n", "Prog", "SVPC", "Acyclic",
-              "Residue", "F-M");
+  std::printf("%-4s %12s %12s %12s %12s\n", "Prog",
+              stageHeader(TestKind::Svpc),
+              stageHeader(TestKind::Acyclic),
+              stageHeader(TestKind::LoopResidue),
+              stageHeader(TestKind::FourierMotzkin));
   rule(64);
 
   // Paper Table 4 rows (SVPC, Acyclic, Residue, FM).

@@ -41,8 +41,11 @@ int main() {
 
   std::printf("Table 7: direction vector tests with symbolic terms "
               "(measured|paper)\n\n");
-  std::printf("%-4s %12s %12s %12s %12s\n", "Prog", "SVPC", "Acyclic",
-              "Residue", "F-M");
+  std::printf("%-4s %12s %12s %12s %12s\n", "Prog",
+              stageHeader(TestKind::Svpc),
+              stageHeader(TestKind::Acyclic),
+              stageHeader(TestKind::LoopResidue),
+              stageHeader(TestKind::FourierMotzkin));
   rule(64);
 
   const unsigned Paper[13][4] = {

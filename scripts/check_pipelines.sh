@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Pipeline equivalence checks over the generated PERFECT-style corpus:
+#
+#   * a permutation of the exact stages must produce identical analysis
+#     output — answers, direction vectors, cache hits, dependence graph
+#     — differing only in which stage gets the credit (the bracketed
+#     [DecidedBy] labels, which are stripped before diffing);
+#   * the inexact `banerjee` pipeline must produce a *superset*
+#     dependence graph: every edge the exact cascade finds must also be
+#     present (Banerjee may only add spurious edges, never drop real
+#     ones).
+#
+# Usage: scripts/check_pipelines.sh [BUILD_DIR] [PERMUTED_SPEC]
+set -euo pipefail
+
+BUILD=${1:-build}
+PERMUTED=${2:-const,fm,residue,acyclic,svpc,gcd}
+CLI=$BUILD/tools/edda-cli
+GEN=$BUILD/tools/edda-genperfect
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+mkdir "$tmp/corpus"
+"$GEN" "$tmp/corpus"
+cp tests/inputs/demo.loop "$tmp/corpus/"
+
+strip_labels() { sed 's/ \[[^]]*\]//'; }
+# Graph edges without their direction annotations (Banerjee may report
+# extra direction vectors on a real edge).
+graph_edges() {
+  sed -n '/^dependence graph:/,$p' | sed '1d;/^$/d;s/  (.*$//' | sort -u
+}
+
+fail=0
+for f in "$tmp/corpus"/*.loop; do
+  name=$(basename "$f")
+
+  "$CLI" --directions --graph "$f" > "$tmp/default.out"
+  "$CLI" --directions --graph --pipeline "$PERMUTED" "$f" \
+    > "$tmp/perm.out"
+  if ! diff <(strip_labels < "$tmp/default.out") \
+            <(strip_labels < "$tmp/perm.out") > "$tmp/perm.diff"; then
+    echo "FAIL: pipeline '$PERMUTED' diverges from default on $name"
+    head -20 "$tmp/perm.diff"
+    fail=1
+  fi
+
+  "$CLI" --directions --graph --pipeline banerjee "$f" \
+    > "$tmp/banerjee.out"
+  graph_edges < "$tmp/default.out" > "$tmp/default.edges"
+  graph_edges < "$tmp/banerjee.out" > "$tmp/banerjee.edges"
+  missing=$(comm -23 "$tmp/default.edges" "$tmp/banerjee.edges")
+  if [ -n "$missing" ]; then
+    echo "FAIL: banerjee graph drops exact edges on $name:"
+    echo "$missing"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "pipeline equivalence checks FAILED"
+  exit 1
+fi
+echo "pipeline equivalence checks passed (permuted: $PERMUTED; banerjee superset)"

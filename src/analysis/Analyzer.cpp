@@ -149,9 +149,14 @@ void DependenceAnalyzer::decideTestedPair(const BuiltProblem &Built,
       Outcome = testDependence(Problem, Opts.Cascade, &Stats);
       if (Opts.UseMemoization) {
         Cache.insertFull(Problem, Outcome);
+        // A system-stage decision implies the extended GCD found the
+        // equations solvable. The Banerjee stage is excluded: its
+        // Independent answers can come from the simple GCD test, i.e.
+        // from UNsolvable equations.
         if (Outcome.DecidedBy == TestKind::GcdTest)
           Cache.insertGcdSolvable(Problem, false);
         else if (Outcome.DecidedBy != TestKind::ArrayConstant &&
+                 Outcome.DecidedBy != TestKind::Banerjee &&
                  Outcome.DecidedBy != TestKind::Unanalyzable)
           Cache.insertGcdSolvable(Problem, true);
       }
@@ -303,5 +308,24 @@ AnalysisResult DependenceAnalyzer::analyze(Program &Prog) {
   });
   for (const DepStats &S : GroupStats)
     Result.Stats += S;
+
+  // Optional trace pass: re-run the pipeline observationally on every
+  // analyzable pair — no stats, no memoization — so the records show
+  // what each stage did without perturbing the results above. Phase 3
+  // pushed exactly one pair per candidate, so candidate C's outcome
+  // lives in Result.Pairs[C].
+  if (Opts.Trace) {
+    const TestPipeline &Pipeline = Opts.Cascade.Pipeline
+                                       ? *Opts.Cascade.Pipeline
+                                       : TestPipeline::defaultPipeline();
+    runIndexed(Candidates.size(), [&](size_t C) {
+      if (!BuiltPairs[C].Built)
+        return;
+      PipelineTrace Trace;
+      Pipeline.run(BuiltPairs[C].Built->Problem, {}, Opts.Cascade,
+                   /*Stats=*/nullptr, &Trace);
+      Result.Pairs[C].Trace = std::move(Trace);
+    });
+  }
   return Result;
 }

@@ -31,6 +31,7 @@
 #include "deptest/Direction.h"
 #include "deptest/Memo.h"
 #include "deptest/Stats.h"
+#include "deptest/TestPipeline.h"
 #include "ir/Program.h"
 #include "support/ThreadPool.h"
 
@@ -53,6 +54,13 @@ struct AnalyzerOptions {
   bool ComputeDirections = false;
   DirectionOptions Direction;
   CascadeOptions Cascade;
+  /// Record a per-stage pipeline trace for every analyzable pair
+  /// (DependencePair::Trace; surfaced by `edda-cli --explain`). The
+  /// trace comes from an observational re-run of the pipeline on the
+  /// pair's unconstrained problem — no stats, no memoization — so
+  /// enabling it cannot perturb results; expect roughly double the
+  /// testing cost.
+  bool Trace = false;
   /// Worker threads for the ref-pair fan-out. 1 (the default) runs the
   /// exact serial pipeline on the calling thread; 0 means one thread
   /// per hardware core. Results are identical at every thread count.
@@ -73,6 +81,9 @@ struct DependencePair {
   std::vector<const LoopStmt *> CommonLoops;
   /// Present when directions were requested and the pair may depend.
   std::optional<DirectionResult> Directions;
+  /// Per-stage pipeline trace (AnalyzerOptions::Trace); absent for
+  /// pairs whose problem could not be built.
+  std::optional<PipelineTrace> Trace;
 };
 
 /// Whole-program analysis result.

@@ -1,11 +1,11 @@
-//===- baseline/Banerjee.cpp - Inexact baseline tests ---------------------===//
+//===- deptest/Banerjee.cpp - Inexact baseline tests ----------------------===//
 //
 // Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
 // "Efficient and Exact Data Dependence Analysis", PLDI 1991.
 //
 //===----------------------------------------------------------------------===//
 
-#include "baseline/Banerjee.h"
+#include "deptest/Banerjee.h"
 
 #include "deptest/ExtendedGcd.h"
 #include "support/IntMath.h"
@@ -245,16 +245,21 @@ BaselineAnswer edda::baselineSimpleGcd(const DependenceProblem &Problem) {
                                 : BaselineAnswer::Independent;
 }
 
-BaselineAnswer
-edda::baselineGcdBanerjee(const DependenceProblem &Problem) {
+BaselineAnswer edda::banerjeeDirected(const DependenceProblem &Problem,
+                                      const DirVector &Psi) {
   if (!simpleGcdTest(Problem))
     return BaselineAnswer::Independent;
   std::vector<Interval> Ranges = constantRanges(Problem);
-  DirVector AllAny(Problem.NumCommon, Dir::Any);
   for (const XAffine &Eq : Problem.Equations)
-    if (equationExcludesZero(Problem, Eq, Ranges, AllAny))
+    if (equationExcludesZero(Problem, Eq, Ranges, Psi))
       return BaselineAnswer::Independent;
   return BaselineAnswer::AssumedDependent;
+}
+
+BaselineAnswer
+edda::baselineGcdBanerjee(const DependenceProblem &Problem) {
+  return banerjeeDirected(Problem,
+                          DirVector(Problem.NumCommon, Dir::Any));
 }
 
 DirectionResult

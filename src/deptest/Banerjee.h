@@ -1,4 +1,4 @@
-//===- baseline/Banerjee.h - Inexact baseline tests ------------*- C++ -*-===//
+//===- deptest/Banerjee.h - Inexact baseline tests -------------*- C++ -*-===//
 //
 // Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
 // "Efficient and Exact Data Dependence Analysis", PLDI 1991.
@@ -18,8 +18,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef EDDA_BASELINE_BANERJEE_H
-#define EDDA_BASELINE_BANERJEE_H
+#ifndef EDDA_DEPTEST_BANERJEE_H
+#define EDDA_DEPTEST_BANERJEE_H
 
 #include "deptest/Direction.h"
 #include "deptest/Problem.h"
@@ -35,6 +35,13 @@ enum class BaselineAnswer {
 
 /// The simple GCD test alone (per-dimension divisibility).
 BaselineAnswer baselineSimpleGcd(const DependenceProblem &Problem);
+
+/// Simple GCD followed by the Banerjee bounds test under direction
+/// vector \p Psi (all-Any components are unconstrained; this is the
+/// per-direction test the "banerjee" pipeline stage runs when direction
+/// constraints are imposed). Independence answers are sound.
+BaselineAnswer banerjeeDirected(const DependenceProblem &Problem,
+                                const DirVector &Psi);
 
 /// Simple GCD followed by the Banerjee bounds test. The bounds test
 /// computes, per equation, real-valued minimum and maximum of the
@@ -54,4 +61,4 @@ baselineDirectionVectors(const DependenceProblem &Problem);
 
 } // namespace edda
 
-#endif // EDDA_BASELINE_BANERJEE_H
+#endif // EDDA_DEPTEST_BANERJEE_H

@@ -4,37 +4,21 @@
 // "Efficient and Exact Data Dependence Analysis", PLDI 1991.
 //
 //===----------------------------------------------------------------------===//
+//
+// The cascade proper lives in TestPipeline.cpp, where each of the
+// paper's tests is a registered pipeline stage; these entry points keep
+// the original call signature and run whichever pipeline the options
+// select (the default pipeline reproduces the hard-wired cascade
+// bit for bit).
+//
+//===----------------------------------------------------------------------===//
 
 #include "deptest/Cascade.h"
 
-#include "deptest/Acyclic.h"
-#include "deptest/ExtendedGcd.h"
-#include "deptest/LoopResidue.h"
-#include "deptest/Svpc.h"
+#include "deptest/TestPipeline.h"
 #include "support/IntMath.h"
 
 using namespace edda;
-
-namespace {
-
-CascadeResult decide(DepAnswer Answer, TestKind Kind, DepStats *Stats) {
-  if (Stats)
-    Stats->recordDecision(Kind, Answer == DepAnswer::Independent);
-  CascadeResult Result;
-  Result.Answer = Answer;
-  Result.DecidedBy = Kind;
-  Result.Exact = Answer != DepAnswer::Unknown;
-  return Result;
-}
-
-/// Maps a t-space witness back to x space, discarding it on overflow
-/// (the qualitative answer remains exact).
-void attachWitness(CascadeResult &Result, const DiophantineSolution &Sol,
-                   const std::vector<int64_t> &TSample) {
-  Result.Witness = Sol.instantiate(TSample);
-}
-
-} // namespace
 
 bool edda::verifyWitness(const DependenceProblem &Problem,
                          const std::vector<int64_t> &X,
@@ -84,125 +68,7 @@ edda::testDependenceConstrained(const DependenceProblem &Problem,
                                 const std::vector<XAffine> &ExtraLe0,
                                 const CascadeOptions &Opts,
                                 DepStats *Stats) {
-  assert(Problem.wellFormed() && "malformed problem");
-  if (Stats)
-    ++Stats->Queries;
-
-  // Step 0: array constants (paper Table 1, first column). When every
-  // subscript equation is constant there is nothing to test: a nonzero
-  // constant can never equal zero, and all-zero equations depend only on
-  // the loops being non-empty.
-  bool AllConstant = true;
-  for (const XAffine &Eq : Problem.Equations) {
-    if (!Eq.isConstant()) {
-      AllConstant = false;
-      continue;
-    }
-    if (Eq.Const != 0)
-      return decide(DepAnswer::Independent, TestKind::ArrayConstant,
-                    Stats);
-  }
-  if (AllConstant && ExtraLe0.empty()) {
-    // Detect constant-bound empty loops exactly; otherwise follow the
-    // paper and assume enclosing loops execute.
-    for (unsigned L = 0; L < Problem.numLoopVars(); ++L) {
-      if (Problem.Lo[L] && Problem.Hi[L] && Problem.Lo[L]->isConstant() &&
-          Problem.Hi[L]->isConstant() &&
-          Problem.Lo[L]->Const > Problem.Hi[L]->Const)
-        return decide(DepAnswer::Independent, TestKind::ArrayConstant,
-                      Stats);
-    }
-    if (Opts.AssumeNonEmptyLoops) {
-      CascadeResult Result = decide(DepAnswer::Dependent,
-                                    TestKind::ArrayConstant, Stats);
-      return Result;
-    }
-    // Fall through to the full cascade to decide bounds feasibility.
-  }
-
-  // Step 1: extended GCD preprocessing.
-  DiophantineSolution Sol = solveEquations(Problem);
-  if (Sol.Overflow)
-    return decide(DepAnswer::Unknown, TestKind::Unanalyzable, Stats);
-  if (!Sol.Solvable)
-    return decide(DepAnswer::Independent, TestKind::GcdTest, Stats);
-
-  // Step 2: rewrite the bound constraints (and any direction-vector
-  // constraints) over the free variables.
-  std::optional<LinearSystem> MaybeSystem =
-      boundsToFreeSpace(Problem, Sol);
-  if (!MaybeSystem)
-    return decide(DepAnswer::Unknown, TestKind::Unanalyzable, Stats);
-  LinearSystem System = std::move(*MaybeSystem);
-  for (const XAffine &Form : ExtraLe0) {
-    std::vector<int64_t> TCoeffs;
-    int64_t TConst;
-    if (!projectToFree(Form, Sol, TCoeffs, TConst))
-      return decide(DepAnswer::Unknown, TestKind::Unanalyzable, Stats);
-    std::optional<int64_t> Bound = checkedNeg(TConst);
-    if (!Bound)
-      return decide(DepAnswer::Unknown, TestKind::Unanalyzable, Stats);
-    System.addLe(std::move(TCoeffs), *Bound);
-  }
-
-  // Step 3: SVPC.
-  SvpcResult Svpc = runSvpc(System);
-  if (Svpc.St == SvpcResult::Status::Independent)
-    return decide(DepAnswer::Independent, TestKind::Svpc, Stats);
-  if (Svpc.St == SvpcResult::Status::Dependent) {
-    CascadeResult Result =
-        decide(DepAnswer::Dependent, TestKind::Svpc, Stats);
-    if (Svpc.Sample)
-      attachWitness(Result, Sol, *Svpc.Sample);
-    return Result;
-  }
-
-  // Step 4: Acyclic.
-  AcyclicResult Acyc =
-      runAcyclic(System.numVars(), Svpc.MultiVar, Svpc.Intervals);
-  if (Acyc.St == AcyclicResult::Status::Independent)
-    return decide(DepAnswer::Independent, TestKind::Acyclic, Stats);
-  if (Acyc.St == AcyclicResult::Status::Dependent) {
-    CascadeResult Result =
-        decide(DepAnswer::Dependent, TestKind::Acyclic, Stats);
-    if (Acyc.Sample)
-      attachWitness(Result, Sol, *Acyc.Sample);
-    return Result;
-  }
-
-  // Step 5: Loop Residue on the cyclic core (skipped if Acyclic
-  // overflowed, since its simplified state is then unusable).
-  if (Acyc.St == AcyclicResult::Status::NeedsMore) {
-    ResidueResult Residue = runLoopResidue(System.numVars(),
-                                           Acyc.Remaining, Acyc.Intervals);
-    if (Residue.St == ResidueResult::Status::Independent)
-      return decide(DepAnswer::Independent, TestKind::LoopResidue, Stats);
-    if (Residue.St == ResidueResult::Status::Dependent) {
-      CascadeResult Result =
-          decide(DepAnswer::Dependent, TestKind::LoopResidue, Stats);
-      if (Residue.Sample) {
-        std::vector<int64_t> TSample = std::move(*Residue.Sample);
-        if (completeSample(TSample, Acyc.Log, Acyc.Intervals))
-          attachWitness(Result, Sol, TSample);
-      }
-      return Result;
-    }
-    // NotApplicable / Overflow: fall through to Fourier-Motzkin.
-  }
-
-  // Step 6: backup Fourier-Motzkin on the full t-space system.
-  FmResult Fm = runFourierMotzkin(System, Opts.Fm);
-  if (Fm.St == FmResult::Status::Independent)
-    return decide(DepAnswer::Independent, TestKind::FourierMotzkin, Stats);
-  if (Fm.St == FmResult::Status::Dependent) {
-    CascadeResult Result =
-        decide(DepAnswer::Dependent, TestKind::FourierMotzkin, Stats);
-    if (Fm.Sample)
-      attachWitness(Result, Sol, *Fm.Sample);
-    return Result;
-  }
-  CascadeResult Result =
-      decide(DepAnswer::Unknown, TestKind::FourierMotzkin, Stats);
-  Result.Exact = false;
-  return Result;
+  const TestPipeline &Pipeline =
+      Opts.Pipeline ? *Opts.Pipeline : TestPipeline::defaultPipeline();
+  return Pipeline.run(Problem, ExtraLe0, Opts, Stats);
 }

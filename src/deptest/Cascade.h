@@ -27,10 +27,13 @@
 #include "deptest/Stats.h"
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 namespace edda {
+
+class TestPipeline;
 
 /// Three-valued dependence answer. Unknown is conservatively treated as
 /// dependent by clients.
@@ -48,6 +51,11 @@ struct CascadeOptions {
   /// nothing to parallelize). Constant-bound empty loops are still
   /// detected exactly.
   bool AssumeNonEmptyLoops = true;
+  /// The stage pipeline to run; null selects
+  /// TestPipeline::defaultPipeline() (the paper's cascade). Parse a spec
+  /// string once with makePipeline() and share the result — see
+  /// TestPipeline.h.
+  std::shared_ptr<const TestPipeline> Pipeline;
 };
 
 /// Result of one cascaded dependence test.

@@ -315,7 +315,9 @@ bool DependenceCache::saveToFile(const std::string &Path) const {
   std::ofstream Out(Path);
   if (!Out)
     return false;
-  Out << "edda-depcache 2\n";
+  // Version 3: TestKind gained Banerjee before Unanalyzable, changing
+  // the DecidedBy integer encoding; older caches are rejected on load.
+  Out << "edda-depcache 3\n";
   Out << uniqueFull() << "\n";
   for (const auto &S : Shards) {
     for (const auto &[K, R] : S->Full) {
@@ -364,7 +366,7 @@ bool DependenceCache::loadFromFile(const std::string &Path) {
   std::string Magic;
   int Version;
   if (!(In >> Magic >> Version) || Magic != "edda-depcache" ||
-      Version != 2)
+      Version != 3)
     return false;
 
   size_t Count;

@@ -7,6 +7,10 @@
 
 #include "deptest/Stats.h"
 
+#include "deptest/TestPipeline.h"
+
+#include <algorithm>
+
 using namespace edda;
 
 const char *edda::testKindName(TestKind Kind) {
@@ -23,6 +27,8 @@ const char *edda::testKindName(TestKind Kind) {
     return "LoopResidue";
   case TestKind::FourierMotzkin:
     return "Fourier-Motzkin";
+  case TestKind::Banerjee:
+    return "Banerjee";
   case TestKind::Unanalyzable:
     return "Unanalyzable";
   }
@@ -41,6 +47,17 @@ DepStats &DepStats::operator+=(const DepStats &RHS) {
     Decided[K] += RHS.Decided[K];
     DecidedIndependent[K] += RHS.DecidedIndependent[K];
   }
+  size_t NumStages = std::max(StageDecided.size(), RHS.StageDecided.size());
+  if (StageDecided.size() < NumStages) {
+    StageDecided.resize(NumStages);
+    StageIndependent.resize(NumStages);
+    StageOverflow.resize(NumStages);
+  }
+  for (unsigned S = 0; S < RHS.StageDecided.size(); ++S) {
+    StageDecided[S] += RHS.StageDecided[S];
+    StageIndependent[S] += RHS.StageIndependent[S];
+    StageOverflow[S] += RHS.StageOverflow[S];
+  }
   Queries += RHS.Queries;
   MemoHitsFull += RHS.MemoHitsFull;
   MemoHitsNoBounds += RHS.MemoHitsNoBounds;
@@ -55,6 +72,12 @@ std::string DepStats::str() const {
     Out += std::string(testKindName(static_cast<TestKind>(K))) + ": " +
            std::to_string(Decided[K]) + " decided, " +
            std::to_string(DecidedIndependent[K]) + " independent\n";
+  }
+  for (unsigned S = 0; S < StageOverflow.size(); ++S) {
+    if (StageOverflow[S] == 0)
+      continue;
+    Out += std::string("overflow in stage '") + stageName(S) +
+           "': " + std::to_string(StageOverflow[S]) + "\n";
   }
   Out += "queries: " + std::to_string(Queries) +
          ", memo hits (full): " + std::to_string(MemoHitsFull) +

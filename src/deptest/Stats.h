@@ -18,6 +18,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace edda {
 
@@ -30,10 +31,11 @@ enum class TestKind {
   Acyclic,        ///< Acyclic test.
   LoopResidue,    ///< Simple Loop Residue test.
   FourierMotzkin, ///< Backup Fourier-Motzkin test.
+  Banerjee,       ///< Inexact section 7 baseline (pipeline stage).
   Unanalyzable,   ///< Overflow / non-affine input: conservative answer.
 };
 
-constexpr unsigned NumTestKinds = 7;
+constexpr unsigned NumTestKinds = 8;
 
 /// Printable name of a test kind.
 const char *testKindName(TestKind Kind);
@@ -46,6 +48,16 @@ struct DepStats {
   /// per-test independence rates).
   std::array<uint64_t, NumTestKinds> DecidedIndependent{};
 
+  /// Per-pipeline-stage counters, indexed by registry stage id (see
+  /// stageRegistry() in TestPipeline.h) and grown on demand — the
+  /// dynamic generalization of the fixed TestKind arrays above, which
+  /// survive for the Table 1-5 reproductions. StageOverflow records
+  /// which stage's arithmetic gave up on queries that end Unanalyzable
+  /// (provenance the single Unanalyzable bucket cannot carry).
+  std::vector<uint64_t> StageDecided;
+  std::vector<uint64_t> StageIndependent;
+  std::vector<uint64_t> StageOverflow;
+
   /// Memoization accounting (paper section 5 / Table 2).
   uint64_t Queries = 0;          ///< Dependence questions asked.
   uint64_t MemoHitsFull = 0;     ///< Served from the with-bounds table.
@@ -56,6 +68,18 @@ struct DepStats {
     ++Decided[static_cast<unsigned>(Kind)];
     if (Independent)
       ++DecidedIndependent[static_cast<unsigned>(Kind)];
+  }
+
+  void recordStageDecision(unsigned StageId, bool Independent) {
+    growStage(StageId);
+    ++StageDecided[StageId];
+    if (Independent)
+      ++StageIndependent[StageId];
+  }
+
+  void recordStageOverflow(unsigned StageId) {
+    growStage(StageId);
+    ++StageOverflow[StageId];
   }
 
   uint64_t decided(TestKind Kind) const {
@@ -72,6 +96,15 @@ struct DepStats {
 
   /// Multi-line human-readable dump.
   std::string str() const;
+
+private:
+  void growStage(unsigned StageId) {
+    if (StageDecided.size() <= StageId) {
+      StageDecided.resize(StageId + 1);
+      StageIndependent.resize(StageId + 1);
+      StageOverflow.resize(StageId + 1);
+    }
+  }
 };
 
 } // namespace edda

@@ -1,0 +1,737 @@
+//===- deptest/TestPipeline.cpp - Pluggable dependence-test pipeline ------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deptest/TestPipeline.h"
+
+#include "deptest/Banerjee.h"
+#include "deptest/Direction.h"
+#include "deptest/LoopResidue.h"
+#include "support/IntMath.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+
+using namespace edda;
+
+//===----------------------------------------------------------------------===//
+// PipelineContext
+//===----------------------------------------------------------------------===//
+
+const DiophantineSolution &PipelineContext::solution() {
+  if (!Solution)
+    Solution = solveEquations(Problem);
+  return *Solution;
+}
+
+PipelineContext::Prep PipelineContext::prep() {
+  const DiophantineSolution &Sol = solution();
+  if (Sol.Overflow)
+    return Prep::Overflow;
+  if (!Sol.Solvable)
+    return Prep::Infeasible;
+  if (!SystemBuilt) {
+    SystemBuilt = true;
+    std::optional<LinearSystem> MaybeSystem =
+        boundsToFreeSpace(Problem, Sol);
+    if (!MaybeSystem) {
+      SystemOverflow = true;
+    } else {
+      for (const XAffine &Form : ExtraLe0) {
+        std::vector<int64_t> TCoeffs;
+        int64_t TConst;
+        if (!projectToFree(Form, Sol, TCoeffs, TConst)) {
+          SystemOverflow = true;
+          break;
+        }
+        std::optional<int64_t> Bound = checkedNeg(TConst);
+        if (!Bound) {
+          SystemOverflow = true;
+          break;
+        }
+        MaybeSystem->addLe(std::move(TCoeffs), *Bound);
+      }
+      if (!SystemOverflow)
+        System = std::move(*MaybeSystem);
+    }
+  }
+  return SystemOverflow ? Prep::Overflow : Prep::Ready;
+}
+
+const LinearSystem &PipelineContext::system() {
+  Prep P = prep();
+  (void)P;
+  assert(P == Prep::Ready && "system requested without Ready prep");
+  return *System;
+}
+
+const SvpcResult &PipelineContext::svpcPass() {
+  if (!Svpc)
+    Svpc = runSvpc(system());
+  return *Svpc;
+}
+
+std::optional<unsigned> PipelineContext::prepOverflowStage() const {
+  if ((Solution && Solution->Overflow) || SystemOverflow) {
+    // All of preprocessing — the Diophantine solve and the free-space
+    // rewrite of bounds and direction constraints — lives in
+    // ExtendedGcd.*, so its overflows are the GCD stage's regardless of
+    // which stage's lazy access tripped them (stage order must not
+    // change the attribution).
+    if (const DependenceTest *Gcd = stageForKind(TestKind::GcdTest))
+      return Gcd->id();
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<int64_t>>
+PipelineContext::witnessFrom(const std::vector<int64_t> &TSample) {
+  return solution().instantiate(TSample);
+}
+
+//===----------------------------------------------------------------------===//
+// The stages
+//===----------------------------------------------------------------------===//
+
+namespace edda {
+
+/// Grants the registry builder access to assign stage ids.
+class StageRegistryBuilder {
+public:
+  static void setId(DependenceTest &T, unsigned Id) { T.Id = Id; }
+};
+
+} // namespace edda
+
+namespace {
+
+/// Step 0 of the cascade (paper Table 1, first column): all-constant
+/// subscripts need no dependence testing.
+class ArrayConstantStage final : public DependenceTest {
+public:
+  const char *name() const override { return "const"; }
+  const char *label() const override { return "Constant"; }
+  const char *description() const override {
+    return "all-constant subscripts: nonzero difference is independence, "
+           "otherwise dependence hinges only on loops executing";
+  }
+  TestKind kind() const override { return TestKind::ArrayConstant; }
+  bool exact() const override { return true; }
+
+  bool applicable(PipelineContext &Ctx) const override {
+    const DependenceProblem &P = Ctx.problem();
+    if (P.Equations.empty())
+      return true;
+    for (const XAffine &Eq : P.Equations)
+      if (Eq.isConstant())
+        return true;
+    return false;
+  }
+
+  StageResult run(PipelineContext &Ctx) const override {
+    const DependenceProblem &P = Ctx.problem();
+    bool AllConstant = true;
+    for (const XAffine &Eq : P.Equations) {
+      if (!Eq.isConstant()) {
+        AllConstant = false;
+        continue;
+      }
+      if (Eq.Const != 0)
+        return StageResult::independent();
+    }
+    if (!AllConstant || !Ctx.extraLe0().empty())
+      return StageResult::notApplicable();
+    // Detect constant-bound empty loops exactly; otherwise follow the
+    // paper and assume enclosing loops execute. When that assumption is
+    // disabled the later stages decide bounds feasibility.
+    for (unsigned L = 0; L < P.numLoopVars(); ++L) {
+      if (P.Lo[L] && P.Hi[L] && P.Lo[L]->isConstant() &&
+          P.Hi[L]->isConstant() && P.Lo[L]->Const > P.Hi[L]->Const)
+        return StageResult::independent();
+    }
+    if (Ctx.options().AssumeNonEmptyLoops)
+      return StageResult::dependent();
+    return StageResult::notApplicable();
+  }
+};
+
+/// Step 1: extended GCD. Owns all of the shared preprocessing, so a
+/// preprocessing overflow surfaces (and is attributed) here when the
+/// stage is part of the pipeline.
+class GcdStage final : public DependenceTest {
+public:
+  const char *name() const override { return "gcd"; }
+  const char *label() const override { return "GCD"; }
+  const char *description() const override {
+    return "extended GCD: integer-solves the subscript equations and "
+           "rewrites the bounds over the free variables";
+  }
+  TestKind kind() const override { return TestKind::GcdTest; }
+  bool exact() const override { return true; }
+
+  bool applicable(PipelineContext &) const override { return true; }
+
+  StageResult run(PipelineContext &Ctx) const override {
+    switch (Ctx.prep()) {
+    case PipelineContext::Prep::Overflow:
+      return StageResult::overflow();
+    case PipelineContext::Prep::Infeasible:
+      return StageResult::independent();
+    case PipelineContext::Prep::Ready:
+      return StageResult::notApplicable();
+    }
+    return StageResult::notApplicable();
+  }
+};
+
+/// Step 2: Single Variable Per Constraint.
+class SvpcStage final : public DependenceTest {
+public:
+  const char *name() const override { return "svpc"; }
+  const char *label() const override { return "SVPC"; }
+  const char *description() const override {
+    return "single variable per constraint: intersects per-variable "
+           "integer intervals; exact when no constraint couples variables";
+  }
+  TestKind kind() const override { return TestKind::Svpc; }
+  bool exact() const override { return true; }
+
+  bool applicable(PipelineContext &Ctx) const override {
+    return Ctx.prep() != PipelineContext::Prep::Overflow;
+  }
+
+  StageResult run(PipelineContext &Ctx) const override {
+    if (Ctx.prep() == PipelineContext::Prep::Infeasible)
+      return StageResult::independent();
+    const SvpcResult &Svpc = Ctx.svpcPass();
+    switch (Svpc.St) {
+    case SvpcResult::Status::Independent:
+      return StageResult::independent();
+    case SvpcResult::Status::Dependent:
+      return StageResult::dependent(
+          Svpc.Sample ? Ctx.witnessFrom(*Svpc.Sample) : std::nullopt);
+    case SvpcResult::Status::NeedsMore:
+      return StageResult::notApplicable();
+    }
+    return StageResult::notApplicable();
+  }
+};
+
+/// Step 3: the Acyclic test on SVPC's leftover multi-variable
+/// constraints. Publishes its simplified core for the residue stage.
+class AcyclicStage final : public DependenceTest {
+public:
+  const char *name() const override { return "acyclic"; }
+  const char *label() const override { return "Acyclic"; }
+  const char *description() const override {
+    return "acyclic: pins one-directional variables to interval "
+           "endpoints; exact unless a cyclic core remains";
+  }
+  TestKind kind() const override { return TestKind::Acyclic; }
+  bool exact() const override { return true; }
+
+  bool applicable(PipelineContext &Ctx) const override {
+    return Ctx.prep() != PipelineContext::Prep::Overflow;
+  }
+
+  StageResult run(PipelineContext &Ctx) const override {
+    if (Ctx.prep() == PipelineContext::Prep::Infeasible)
+      return StageResult::independent();
+    const SvpcResult &Svpc = Ctx.svpcPass();
+    // In a permuted pipeline SVPC may not have run as a stage; its
+    // classification is shared preprocessing either way, and a system it
+    // already decides is decided here with the same certainty.
+    if (Svpc.St == SvpcResult::Status::Independent)
+      return StageResult::independent();
+    if (Svpc.St == SvpcResult::Status::Dependent)
+      return StageResult::dependent(
+          Svpc.Sample ? Ctx.witnessFrom(*Svpc.Sample) : std::nullopt);
+    AcyclicResult Acyc = runAcyclic(Ctx.system().numVars(), Svpc.MultiVar,
+                                    Svpc.Intervals);
+    StageResult Out;
+    switch (Acyc.St) {
+    case AcyclicResult::Status::Independent:
+      Out = StageResult::independent();
+      break;
+    case AcyclicResult::Status::Dependent:
+      Out = StageResult::dependent(
+          Acyc.Sample ? Ctx.witnessFrom(*Acyc.Sample) : std::nullopt);
+      break;
+    case AcyclicResult::Status::NeedsMore:
+      Out = StageResult::notApplicable();
+      break;
+    case AcyclicResult::Status::Overflow:
+      Out = StageResult::overflow();
+      break;
+    }
+    Ctx.setAcyclicOutcome(std::move(Acyc));
+    return Out;
+  }
+};
+
+/// Step 4: the Simple Loop Residue test, preferably on the cyclic core
+/// the Acyclic stage left behind, directly on the SVPC leftovers when
+/// Acyclic has not run.
+class LoopResidueStage final : public DependenceTest {
+public:
+  const char *name() const override { return "residue"; }
+  const char *label() const override { return "Residue"; }
+  const char *description() const override {
+    return "loop residue: negative-cycle detection over difference "
+           "constraints; exact via total unimodularity";
+  }
+  TestKind kind() const override { return TestKind::LoopResidue; }
+  bool exact() const override { return true; }
+
+  bool applicable(PipelineContext &Ctx) const override {
+    if (Ctx.prep() == PipelineContext::Prep::Overflow)
+      return false;
+    // When Acyclic ran and overflowed its simplified state is unusable;
+    // skip straight to Fourier-Motzkin as the cascade always has.
+    if (const AcyclicResult *Acyc = Ctx.acyclicOutcome())
+      return Acyc->St == AcyclicResult::Status::NeedsMore;
+    return true;
+  }
+
+  StageResult run(PipelineContext &Ctx) const override {
+    if (Ctx.prep() == PipelineContext::Prep::Infeasible)
+      return StageResult::independent();
+
+    const std::vector<LinearConstraint> *MultiVar;
+    const VarIntervals *Intervals;
+    const AcyclicResult *Acyc = Ctx.acyclicOutcome();
+    if (Acyc) {
+      MultiVar = &Acyc->Remaining;
+      Intervals = &Acyc->Intervals;
+    } else {
+      const SvpcResult &Svpc = Ctx.svpcPass();
+      if (Svpc.St == SvpcResult::Status::Independent)
+        return StageResult::independent();
+      if (Svpc.St == SvpcResult::Status::Dependent)
+        return StageResult::dependent(
+            Svpc.Sample ? Ctx.witnessFrom(*Svpc.Sample) : std::nullopt);
+      MultiVar = &Svpc.MultiVar;
+      Intervals = &Svpc.Intervals;
+    }
+
+    ResidueResult Residue =
+        runLoopResidue(Ctx.system().numVars(), *MultiVar, *Intervals);
+    switch (Residue.St) {
+    case ResidueResult::Status::Independent:
+      return StageResult::independent();
+    case ResidueResult::Status::Dependent: {
+      std::optional<std::vector<int64_t>> Witness;
+      if (Residue.Sample) {
+        std::vector<int64_t> TSample = std::move(*Residue.Sample);
+        // Replay the acyclic eliminations backwards to re-fill the
+        // pinned/dropped variables (no-op when Acyclic did not run).
+        if (!Acyc || completeSample(TSample, Acyc->Log, Acyc->Intervals))
+          Witness = Ctx.witnessFrom(TSample);
+      }
+      return StageResult::dependent(std::move(Witness));
+    }
+    case ResidueResult::Status::NotApplicable:
+      return StageResult::notApplicable();
+    case ResidueResult::Status::Overflow:
+      return StageResult::overflow();
+    }
+    return StageResult::notApplicable();
+  }
+};
+
+/// Step 5: the backup Fourier-Motzkin test on the full t-space system.
+class FourierMotzkinStage final : public DependenceTest {
+public:
+  const char *name() const override { return "fm"; }
+  const char *label() const override { return "F-M"; }
+  const char *description() const override {
+    return "Fourier-Motzkin backup: real projection with gcd tightening "
+           "and branch & bound; inexact only on budget exhaustion";
+  }
+  TestKind kind() const override { return TestKind::FourierMotzkin; }
+  bool exact() const override { return true; }
+
+  bool applicable(PipelineContext &Ctx) const override {
+    return Ctx.prep() != PipelineContext::Prep::Overflow;
+  }
+
+  StageResult run(PipelineContext &Ctx) const override {
+    if (Ctx.prep() == PipelineContext::Prep::Infeasible)
+      return StageResult::independent();
+    FmResult Fm = runFourierMotzkin(Ctx.system(), Ctx.options().Fm);
+    switch (Fm.St) {
+    case FmResult::Status::Independent:
+      return StageResult::independent();
+    case FmResult::Status::Dependent:
+      return StageResult::dependent(
+          Fm.Sample ? Ctx.witnessFrom(*Fm.Sample) : std::nullopt);
+    case FmResult::Status::Unknown:
+      return StageResult::unknown();
+    }
+    return StageResult::unknown();
+  }
+};
+
+/// Decodes ExtraLe0 forms produced by the direction-vector refinement
+/// back into a direction vector, when every form matches one of the
+/// patterns appendDirConstraints emits (Less: +xA -xB, const 1;
+/// Greater: -xA +xB, const 1; Equal: the two complementary const-0
+/// halves). Returns nullopt for any other constraint shape — the
+/// Banerjee baseline has no notion of general linear side constraints.
+std::optional<DirVector>
+decodeDirConstraints(const DependenceProblem &P,
+                     const std::vector<XAffine> &ExtraLe0) {
+  DirVector Psi(P.NumCommon, Dir::Any);
+  // Per common loop: which Equal halves were seen (A-B and B-A).
+  std::vector<uint8_t> EqualHalves(P.NumCommon, 0);
+  for (const XAffine &Form : ExtraLe0) {
+    std::optional<unsigned> PosVar, NegVar;
+    for (unsigned J = 0; J < Form.Coeffs.size(); ++J) {
+      if (Form.Coeffs[J] == 0)
+        continue;
+      if (Form.Coeffs[J] == 1 && !PosVar)
+        PosVar = J;
+      else if (Form.Coeffs[J] == -1 && !NegVar)
+        NegVar = J;
+      else
+        return std::nullopt;
+    }
+    if (!PosVar || !NegVar)
+      return std::nullopt;
+    // Identify the common loop the pair (PosVar, NegVar) belongs to.
+    unsigned K;
+    bool AFirst;
+    if (*PosVar < P.NumCommon && *NegVar == P.NumLoopsA + *PosVar) {
+      K = *PosVar;
+      AFirst = true;
+    } else if (*NegVar < P.NumCommon &&
+               *PosVar == P.NumLoopsA + *NegVar) {
+      K = *NegVar;
+      AFirst = false;
+    } else {
+      return std::nullopt;
+    }
+    Dir Seen;
+    if (Form.Const == 1)
+      Seen = AFirst ? Dir::Less : Dir::Greater;
+    else if (Form.Const == 0) {
+      EqualHalves[K] |= AFirst ? 1 : 2;
+      if (EqualHalves[K] == 3)
+        Seen = Dir::Equal;
+      else
+        continue; // waiting for the complementary half
+    } else {
+      return std::nullopt;
+    }
+    if (Psi[K] != Dir::Any && Psi[K] != Seen)
+      return std::nullopt; // contradictory redundant constraints
+    Psi[K] = Seen;
+  }
+  // A lone Equal half is a one-sided <= we cannot express.
+  for (unsigned K = 0; K < P.NumCommon; ++K)
+    if (EqualHalves[K] != 0 && Psi[K] != Dir::Equal)
+      return std::nullopt;
+  return Psi;
+}
+
+/// The inexact section 7 baseline behind the same interface: simple GCD
+/// plus the Banerjee bounds test (Wolfe's rectangular per-direction
+/// variant when direction constraints are imposed). Independent answers
+/// are sound; anything else is "assumed dependent" (Unknown).
+class BanerjeeStage final : public DependenceTest {
+public:
+  const char *name() const override { return "banerjee"; }
+  const char *label() const override { return "Banerjee"; }
+  const char *description() const override {
+    return "inexact baseline: simple GCD + Banerjee bounds test "
+           "(assumes dependence when real extremes straddle zero)";
+  }
+  TestKind kind() const override { return TestKind::Banerjee; }
+  bool exact() const override { return false; }
+
+  bool applicable(PipelineContext &Ctx) const override {
+    return decodeDirConstraints(Ctx.problem(), Ctx.extraLe0())
+        .has_value();
+  }
+
+  StageResult run(PipelineContext &Ctx) const override {
+    std::optional<DirVector> Psi =
+        decodeDirConstraints(Ctx.problem(), Ctx.extraLe0());
+    assert(Psi && "run() without applicable()");
+    return banerjeeDirected(Ctx.problem(), *Psi) ==
+                   BaselineAnswer::Independent
+               ? StageResult::independent()
+               : StageResult::unknown();
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The registry
+//===----------------------------------------------------------------------===//
+
+const std::vector<const DependenceTest *> &edda::stageRegistry() {
+  static const std::vector<const DependenceTest *> Registry = [] {
+    static ArrayConstantStage Const;
+    static GcdStage Gcd;
+    static SvpcStage Svpc;
+    static AcyclicStage Acyclic;
+    static LoopResidueStage Residue;
+    static FourierMotzkinStage Fm;
+    static BanerjeeStage Banerjee;
+    std::vector<DependenceTest *> Stages = {
+        &Const, &Gcd, &Svpc, &Acyclic, &Residue, &Fm, &Banerjee};
+    std::vector<const DependenceTest *> Out;
+    Out.reserve(Stages.size());
+    for (unsigned I = 0; I < Stages.size(); ++I) {
+      StageRegistryBuilder::setId(*Stages[I], I);
+      Out.push_back(Stages[I]);
+    }
+    return Out;
+  }();
+  return Registry;
+}
+
+const DependenceTest *edda::findStage(std::string_view Name) {
+  for (const DependenceTest *Stage : stageRegistry())
+    if (Name == Stage->name())
+      return Stage;
+  return nullptr;
+}
+
+const DependenceTest *edda::stageForKind(TestKind Kind) {
+  for (const DependenceTest *Stage : stageRegistry())
+    if (Stage->kind() == Kind)
+      return Stage;
+  return nullptr;
+}
+
+/// Printable name for an overflow-provenance stage id (see
+/// DepStats::StageOverflow).
+const char *edda::stageName(unsigned StageId) {
+  const std::vector<const DependenceTest *> &Registry = stageRegistry();
+  return StageId < Registry.size() ? Registry[StageId]->name()
+                                   : "unknown";
+}
+
+//===----------------------------------------------------------------------===//
+// TestPipeline
+//===----------------------------------------------------------------------===//
+
+const TestPipeline &TestPipeline::defaultPipeline() {
+  static const TestPipeline Default = [] {
+    TestPipeline P;
+    for (const DependenceTest *Stage : stageRegistry())
+      if (Stage->exact())
+        P.Stages.push_back(Stage);
+    return P;
+  }();
+  return Default;
+}
+
+std::optional<TestPipeline> TestPipeline::parse(std::string_view Spec,
+                                                std::string *Error) {
+  auto Fail = [&](const std::string &Message) -> std::optional<TestPipeline> {
+    if (Error) {
+      *Error = Message + "; valid stages:";
+      for (const DependenceTest *Stage : stageRegistry())
+        *Error += std::string(" ") + Stage->name();
+      *Error += ", or 'default'";
+    }
+    return std::nullopt;
+  };
+
+  if (Spec == "default")
+    return defaultPipeline();
+
+  TestPipeline P;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string_view Token = Spec.substr(
+        Pos, Comma == std::string_view::npos ? Comma : Comma - Pos);
+    if (Token.empty())
+      return Fail("empty stage name in pipeline spec '" +
+                  std::string(Spec) + "'");
+    const DependenceTest *Stage = findStage(Token);
+    if (!Stage)
+      return Fail("unknown stage '" + std::string(Token) +
+                  "' in pipeline spec '" + std::string(Spec) + "'");
+    for (const DependenceTest *Prev : P.Stages)
+      if (Prev == Stage)
+        return Fail("duplicate stage '" + std::string(Token) +
+                    "' in pipeline spec '" + std::string(Spec) + "'");
+    P.Stages.push_back(Stage);
+    if (Comma == std::string_view::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  if (P.Stages.empty())
+    return Fail("empty pipeline spec");
+  return P;
+}
+
+std::string TestPipeline::spec() const {
+  std::string Out;
+  for (const DependenceTest *Stage : Stages) {
+    if (!Out.empty())
+      Out += ',';
+    Out += Stage->name();
+  }
+  return Out;
+}
+
+std::shared_ptr<const TestPipeline>
+edda::makePipeline(std::string_view Spec, std::string *Error) {
+  std::optional<TestPipeline> P = TestPipeline::parse(Spec, Error);
+  if (!P)
+    return nullptr;
+  return std::make_shared<const TestPipeline>(std::move(*P));
+}
+
+CascadeResult TestPipeline::run(const DependenceProblem &Problem,
+                                const std::vector<XAffine> &ExtraLe0,
+                                const CascadeOptions &Opts,
+                                DepStats *Stats,
+                                PipelineTrace *Trace) const {
+  assert(Problem.wellFormed() && "malformed problem");
+  if (Stats)
+    ++Stats->Queries;
+
+  PipelineContext Ctx(Problem, ExtraLe0, Opts);
+  // First stage whose own arithmetic gave up, for Unanalyzable
+  // provenance (one record per query even if several stages overflow).
+  std::optional<unsigned> OverflowStage;
+
+  auto Decide = [&](const DependenceTest *Stage, DepAnswer Answer,
+                    std::optional<std::vector<int64_t>> Witness) {
+    if (Stats) {
+      Stats->recordDecision(Stage->kind(),
+                            Answer == DepAnswer::Independent);
+      Stats->recordStageDecision(Stage->id(),
+                                 Answer == DepAnswer::Independent);
+    }
+    CascadeResult Result;
+    Result.Answer = Answer;
+    Result.DecidedBy = Stage->kind();
+    Result.Exact = Answer != DepAnswer::Unknown;
+    Result.Witness = std::move(Witness);
+    return Result;
+  };
+
+  for (const DependenceTest *Stage : Stages) {
+    std::chrono::steady_clock::time_point Start;
+    if (Trace)
+      Start = std::chrono::steady_clock::now();
+
+    bool Applicable = Stage->applicable(Ctx);
+    StageResult R = Applicable ? Stage->run(Ctx)
+                               : StageResult::notApplicable();
+
+    if (Trace) {
+      StageTrace &T = Trace->Stages.emplace_back();
+      T.Stage = Stage;
+      T.Applicable = Applicable;
+      T.St = R.St;
+      // Mirrors CascadeResult::Exact: a decided Independent/Dependent is
+      // certain (even from the Banerjee stage, whose Independent answers
+      // are sound); only Unknown is inexact.
+      T.Exact = R.St == StageResult::Status::Independent ||
+                R.St == StageResult::Status::Dependent;
+      T.Witness = R.Witness;
+      T.Nanos = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - Start)
+              .count());
+    }
+
+    switch (R.St) {
+    case StageResult::Status::Independent:
+      return Decide(Stage, DepAnswer::Independent, std::nullopt);
+    case StageResult::Status::Dependent:
+      return Decide(Stage, DepAnswer::Dependent, std::move(R.Witness));
+    case StageResult::Status::Unknown:
+      return Decide(Stage, DepAnswer::Unknown, std::nullopt);
+    case StageResult::Status::Overflow:
+      if (!OverflowStage)
+        OverflowStage = Stage->id();
+      continue;
+    case StageResult::Status::NotApplicable:
+      continue;
+    }
+  }
+
+  // No stage decided: conservatively unknown. Record which stage's
+  // arithmetic gave up — a shared-preprocessing overflow is the GCD
+  // stage's even when another stage's lazy access tripped it.
+  if (!OverflowStage)
+    OverflowStage = Ctx.prepOverflowStage();
+  if (Stats) {
+    Stats->recordDecision(TestKind::Unanalyzable, false);
+    if (OverflowStage)
+      Stats->recordStageOverflow(*OverflowStage);
+  }
+  CascadeResult Result;
+  Result.Answer = DepAnswer::Unknown;
+  Result.DecidedBy = TestKind::Unanalyzable;
+  Result.Exact = false;
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Trace rendering
+//===----------------------------------------------------------------------===//
+
+static const char *statusStr(StageResult::Status St) {
+  switch (St) {
+  case StageResult::Status::Independent:
+    return "independent";
+  case StageResult::Status::Dependent:
+    return "dependent";
+  case StageResult::Status::Unknown:
+    return "unknown";
+  case StageResult::Status::NotApplicable:
+    return "not-applicable";
+  case StageResult::Status::Overflow:
+    return "overflow";
+  }
+  return "?";
+}
+
+std::string PipelineTrace::str(unsigned Indent) const {
+  std::string Pad(Indent, ' ');
+  std::string Out;
+  for (const StageTrace &T : Stages) {
+    Out += Pad + T.Stage->name() + std::string(": ");
+    if (!T.Applicable) {
+      Out += "skipped (not applicable)";
+    } else {
+      Out += statusStr(T.St);
+      if (T.St == StageResult::Status::Independent ||
+          T.St == StageResult::Status::Dependent)
+        Out += T.Exact ? " (exact)" : " (inexact)";
+      else if (T.St == StageResult::Status::Unknown)
+        Out += " (inexact)";
+      if (T.Witness) {
+        Out += ", witness [";
+        for (unsigned J = 0; J < T.Witness->size(); ++J) {
+          if (J)
+            Out += ", ";
+          Out += std::to_string((*T.Witness)[J]);
+        }
+        Out += "]";
+      }
+    }
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), ", %llu ns",
+                  static_cast<unsigned long long>(T.Nanos));
+    Out += Buf;
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,265 @@
+//===- deptest/TestPipeline.h - Pluggable dependence-test pipeline -*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's cascade (section 3) restated as a *pipeline of pluggable
+/// stages*: each test — array constants, extended GCD, SVPC, Acyclic,
+/// Loop Residue, Fourier-Motzkin, and the inexact Banerjee baseline of
+/// section 7 — implements one uniform DependenceTest interface and is
+/// registered in a global stage registry. A pipeline is an ordered
+/// selection of stages, built from a spec string such as
+///
+///   "const,gcd,svpc,acyclic,residue,fm"   (the default exact cascade)
+///   "banerjee"                            (the section 7 baseline)
+///   "const,gcd,fm"                        (skip the special cases)
+///
+/// Stages share preprocessing through a PipelineContext that computes
+/// the extended-GCD solution, the free-space bounds system and the SVPC
+/// constraint classification lazily and at most once per query, so a
+/// stage costs the same whether it runs first or fifth. Every exact
+/// stage answers Independent/Dependent only when the answer is certain
+/// and reports NotApplicable otherwise, which is what makes the final
+/// Independent/Dependent verdict invariant under stage reordering
+/// (checked by the pipeline permutation property test).
+///
+/// A structured trace layer records, per stage: the applicability
+/// verdict, the answer, exactness, the witness and elapsed nanoseconds
+/// — surfaced as AnalyzerOptions::Trace and `edda-cli --explain`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_DEPTEST_TESTPIPELINE_H
+#define EDDA_DEPTEST_TESTPIPELINE_H
+
+#include "deptest/Acyclic.h"
+#include "deptest/Cascade.h"
+#include "deptest/ExtendedGcd.h"
+#include "deptest/Problem.h"
+#include "deptest/Stats.h"
+#include "deptest/Svpc.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edda {
+
+/// Outcome of one stage's attempt at a problem.
+struct StageResult {
+  enum class Status {
+    Independent,   ///< Exact: no dependence.
+    Dependent,     ///< Exact: dependence, witness attached when
+                   ///< reconstruction did not overflow.
+    Unknown,       ///< The stage consumed the problem but could not
+                   ///< decide exactly (FM budget exhaustion, Banerjee
+                   ///< "assumed dependent"). Ends the pipeline,
+                   ///< flagged inexact.
+    NotApplicable, ///< The stage cannot decide this problem; later
+                   ///< stages continue.
+    Overflow,      ///< 64-bit arithmetic gave up mid-run; later stages
+                   ///< continue, provenance is recorded.
+  };
+
+  Status St = Status::NotApplicable;
+  /// Witness iteration vector in x space when Dependent.
+  std::optional<std::vector<int64_t>> Witness;
+
+  static StageResult independent() {
+    return {Status::Independent, std::nullopt};
+  }
+  static StageResult dependent(
+      std::optional<std::vector<int64_t>> Witness = std::nullopt) {
+    return {Status::Dependent, std::move(Witness)};
+  }
+  static StageResult unknown() { return {Status::Unknown, std::nullopt}; }
+  static StageResult notApplicable() {
+    return {Status::NotApplicable, std::nullopt};
+  }
+  static StageResult overflow() {
+    return {Status::Overflow, std::nullopt};
+  }
+};
+
+/// Shared per-query state. The preprocessing artifacts every stage
+/// builds on (extended-GCD solution, free-space bounds system, SVPC
+/// classification) are computed lazily and cached, so each is paid for
+/// at most once regardless of stage order; the acyclic stage publishes
+/// its simplified core here for the residue stage, mirroring the
+/// paper's "applicability checks are byproducts of the previous stage".
+class PipelineContext {
+public:
+  PipelineContext(const DependenceProblem &Problem,
+                  const std::vector<XAffine> &ExtraLe0,
+                  const CascadeOptions &Opts)
+      : Problem(Problem), ExtraLe0(ExtraLe0), Opts(Opts) {}
+
+  const DependenceProblem &problem() const { return Problem; }
+  const std::vector<XAffine> &extraLe0() const { return ExtraLe0; }
+  const CascadeOptions &options() const { return Opts; }
+
+  /// Readiness of the shared free-space system.
+  enum class Prep {
+    Ready,      ///< System over the free variables is available.
+    Infeasible, ///< The equations alone have no integer solution.
+    Overflow,   ///< Preprocessing overflowed (attributed to "gcd").
+  };
+
+  /// Extended-GCD solution of the subscript equations (lazy).
+  const DiophantineSolution &solution();
+
+  /// Builds (lazily) the bounds + ExtraLe0 system over the free
+  /// variables and reports its readiness.
+  Prep prep();
+
+  /// The free-space system. \pre prep() == Prep::Ready.
+  const LinearSystem &system();
+
+  /// The SVPC classification of system() (lazy).
+  /// \pre prep() == Prep::Ready.
+  const SvpcResult &svpcPass();
+
+  /// The acyclic stage's outcome, when it ran earlier in the pipeline.
+  const AcyclicResult *acyclicOutcome() const {
+    return Acyclic ? &*Acyclic : nullptr;
+  }
+  void setAcyclicOutcome(AcyclicResult R) { Acyclic = std::move(R); }
+
+  /// Registry id of the stage whose *preprocessing* overflowed, when
+  /// prep() == Prep::Overflow (always the extended-GCD stage: overflow
+  /// attribution must not depend on which stage triggered the lazy
+  /// computation, or permutations would disagree).
+  std::optional<unsigned> prepOverflowStage() const;
+
+  /// Maps a free-space sample back to an x-space witness (nullopt when
+  /// reconstruction overflows; the qualitative answer stays exact).
+  std::optional<std::vector<int64_t>>
+  witnessFrom(const std::vector<int64_t> &TSample);
+
+private:
+  const DependenceProblem &Problem;
+  const std::vector<XAffine> &ExtraLe0;
+  const CascadeOptions &Opts;
+
+  std::optional<DiophantineSolution> Solution;
+  bool SystemBuilt = false;
+  bool SystemOverflow = false;
+  std::optional<LinearSystem> System;
+  std::optional<SvpcResult> Svpc;
+  std::optional<AcyclicResult> Acyclic;
+};
+
+/// One pluggable dependence test. Implementations are stateless
+/// singletons owned by the registry; all per-query state lives in the
+/// PipelineContext.
+class DependenceTest {
+public:
+  virtual ~DependenceTest() = default;
+
+  /// Spec-string token ("svpc", "fm", ...).
+  virtual const char *name() const = 0;
+  /// Column label for the paper-table benches ("SVPC", "F-M", ...).
+  virtual const char *label() const = 0;
+  /// One-line description for `edda-cli --list-tests`.
+  virtual const char *description() const = 0;
+  /// Stats bucket this stage decides into.
+  virtual TestKind kind() const = 0;
+  /// False for the inexact baselines (their Unknown answers assume
+  /// dependence instead of proving it).
+  virtual bool exact() const = 0;
+
+  /// Cheap applicability screen. May consult the context's lazy shared
+  /// state (each artifact is computed at most once per query).
+  virtual bool applicable(PipelineContext &Ctx) const = 0;
+
+  /// Runs the test. Called only when applicable() returned true.
+  virtual StageResult run(PipelineContext &Ctx) const = 0;
+
+  /// Registry id (index in stageRegistry()); assigned at registration.
+  unsigned id() const { return Id; }
+
+private:
+  friend class StageRegistryBuilder;
+  unsigned Id = 0;
+};
+
+/// All registered stages, in registration (= default cascade) order.
+/// Stage ids index this vector.
+const std::vector<const DependenceTest *> &stageRegistry();
+
+/// Looks a stage up by spec token; nullptr when unknown.
+const DependenceTest *findStage(std::string_view Name);
+
+/// The registered stage that decides into \p Kind; nullptr for
+/// TestKind::Unanalyzable. Single source of truth for table headers.
+const DependenceTest *stageForKind(TestKind Kind);
+
+/// Printable spec token for a registry stage id ("unknown" when out of
+/// range); used for overflow-provenance reporting.
+const char *stageName(unsigned StageId);
+
+/// Trace record for one stage of one query.
+struct StageTrace {
+  const DependenceTest *Stage = nullptr;
+  bool Applicable = false;
+  StageResult::Status St = StageResult::Status::NotApplicable;
+  /// True when the stage decided and the answer is exact.
+  bool Exact = false;
+  std::optional<std::vector<int64_t>> Witness;
+  /// Wall-clock spent in applicable() + run(), nanoseconds.
+  uint64_t Nanos = 0;
+};
+
+/// Trace of one full pipeline run.
+struct PipelineTrace {
+  std::vector<StageTrace> Stages;
+  /// Human-readable multi-line rendering (indented by \p Indent).
+  std::string str(unsigned Indent = 0) const;
+};
+
+/// An ordered selection of registered stages.
+class TestPipeline {
+public:
+  /// The paper's cascade: const,gcd,svpc,acyclic,residue,fm.
+  static const TestPipeline &defaultPipeline();
+
+  /// Parses a comma-separated spec ("gcd,svpc,fm", "banerjee", or
+  /// "default"). On failure returns nullopt and, when \p Error is
+  /// non-null, an actionable message naming the valid stages.
+  static std::optional<TestPipeline> parse(std::string_view Spec,
+                                           std::string *Error = nullptr);
+
+  const std::vector<const DependenceTest *> &stages() const {
+    return Stages;
+  }
+
+  /// Canonical spec string (round-trips through parse()).
+  std::string spec() const;
+
+  /// Runs the pipeline on one problem. Decision counters land in
+  /// \p Stats and per-stage records in \p Trace when provided. Stage
+  /// timing is measured only when tracing.
+  CascadeResult run(const DependenceProblem &Problem,
+                    const std::vector<XAffine> &ExtraLe0,
+                    const CascadeOptions &Opts = {},
+                    DepStats *Stats = nullptr,
+                    PipelineTrace *Trace = nullptr) const;
+
+private:
+  std::vector<const DependenceTest *> Stages;
+};
+
+/// Shared-ownership convenience for options structs.
+std::shared_ptr<const TestPipeline> makePipeline(std::string_view Spec,
+                                                 std::string *Error
+                                                 = nullptr);
+
+} // namespace edda
+
+#endif // EDDA_DEPTEST_TESTPIPELINE_H

@@ -5,7 +5,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "baseline/Banerjee.h"
+#include "deptest/Banerjee.h"
 
 #include "deptest/Cascade.h"
 #include "testutil/Helpers.h"

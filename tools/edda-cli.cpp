@@ -25,6 +25,13 @@
 ///   --cache FILE        load/save the memo tables (persistence across
 ///                       compilations, the paper's section 5 extension)
 ///   --stats             print cascade decision statistics
+///   --pipeline SPEC     select the dependence-test pipeline: a comma
+///                       separated stage list ('gcd,svpc,fm'), a single
+///                       stage ('banerjee'), or 'default' (the paper's
+///                       cascade). Do not share --cache files across
+///                       different pipelines.
+///   --list-tests        print the registered test stages and exit
+///   --explain           print a per-stage trace under every pair
 ///   --problem           treat the input as a raw dependence problem in
 ///                       the deptest/ProblemIO.h format and decide it
 ///
@@ -61,7 +68,10 @@ struct CliOptions {
   bool Memo = true;
   bool Stats = false;
   bool RawProblem = false;
+  bool ListTests = false;
+  bool Explain = false;
   unsigned Threads = 1;
+  std::shared_ptr<const TestPipeline> Pipeline;
   std::string CachePath;
   std::string InputPath;
 };
@@ -71,9 +81,11 @@ int usage(const char *Prog) {
       stderr,
       "usage: %s [--directions] [--graph] [--dot FILE] [--parallelize]\n"
       "          [--print-optimized] [--no-prepass] [--no-memo]\n"
-      "          [--threads N] [--cache FILE] [--stats] file.loop\n"
-      "       %s --problem [--directions] file.dep\n",
-      Prog, Prog);
+      "          [--threads N] [--cache FILE] [--stats]\n"
+      "          [--pipeline SPEC] [--explain] file.loop\n"
+      "       %s --problem [--directions] file.dep\n"
+      "       %s --list-tests\n",
+      Prog, Prog, Prog);
   return 2;
 }
 
@@ -88,7 +100,16 @@ int runRawProblem(const CliOptions &Cli, const std::string &Source) {
   const DependenceProblem &P = *Parsed.Problem;
   std::printf("%s", P.str().c_str());
 
-  CascadeResult R = testDependence(P);
+  CascadeOptions CascadeOpts;
+  CascadeOpts.Pipeline = Cli.Pipeline;
+  CascadeResult R = testDependence(P, CascadeOpts);
+  if (Cli.Explain) {
+    const TestPipeline &Pipeline =
+        Cli.Pipeline ? *Cli.Pipeline : TestPipeline::defaultPipeline();
+    PipelineTrace Trace;
+    Pipeline.run(P, {}, CascadeOpts, /*Stats=*/nullptr, &Trace);
+    std::printf("%s", Trace.str(2).c_str());
+  }
   std::printf("answer: %s  [decided by %s]\n",
               R.Answer == DepAnswer::Independent   ? "INDEPENDENT"
               : R.Answer == DepAnswer::Dependent   ? "dependent"
@@ -102,7 +123,9 @@ int runRawProblem(const CliOptions &Cli, const std::string &Source) {
     std::printf(")\n");
   }
   if (Cli.Directions && R.Answer != DepAnswer::Independent) {
-    DirectionResult Dirs = computeDirectionVectors(P);
+    DirectionOptions DirOpts;
+    DirOpts.Cascade = CascadeOpts;
+    DirectionResult Dirs = computeDirectionVectors(P, DirOpts);
     std::printf("directions:");
     for (const DirVector &V : Dirs.Vectors)
       std::printf(" %s", dirVectorStr(V).c_str());
@@ -141,6 +164,20 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Stats = true;
     else if (Arg == "--problem")
       Opts.RawProblem = true;
+    else if (Arg == "--list-tests")
+      Opts.ListTests = true;
+    else if (Arg == "--explain")
+      Opts.Explain = true;
+    else if (Arg == "--pipeline") {
+      if (I + 1 >= Argc)
+        return false;
+      std::string Error;
+      Opts.Pipeline = makePipeline(Argv[++I], &Error);
+      if (!Opts.Pipeline) {
+        std::fprintf(stderr, "bad --pipeline value: %s\n", Error.c_str());
+        return false;
+      }
+    }
     else if (Arg == "--threads") {
       if (I + 1 >= Argc)
         return false;
@@ -165,7 +202,16 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       return false;
     }
   }
-  return !Opts.InputPath.empty();
+  return Opts.ListTests || !Opts.InputPath.empty();
+}
+
+int listTests() {
+  std::printf("registered dependence tests (default pipeline: %s):\n",
+              TestPipeline::defaultPipeline().spec().c_str());
+  for (const DependenceTest *Stage : stageRegistry())
+    std::printf("  %-9s %s%s\n", Stage->name(), Stage->description(),
+                Stage->exact() ? "" : " [inexact]");
+  return 0;
 }
 
 const char *answerName(DepAnswer Answer) {
@@ -201,6 +247,9 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, Cli))
     return usage(Argv[0]);
 
+  if (Cli.ListTests)
+    return listTests();
+
   std::ifstream In(Cli.InputPath);
   if (!In) {
     std::fprintf(stderr, "error: cannot open '%s'\n",
@@ -230,6 +279,9 @@ int main(int Argc, char **Argv) {
                            Cli.Parallelize || Cli.Transforms ||
                            !Cli.DotPath.empty();
   Opts.NumThreads = Cli.Threads;
+  Opts.Cascade.Pipeline = Cli.Pipeline;
+  Opts.Direction.Cascade.Pipeline = Cli.Pipeline;
+  Opts.Trace = Cli.Explain;
   DependenceAnalyzer Analyzer(Opts);
 
   if (!Cli.CachePath.empty()) {
@@ -269,6 +321,8 @@ int main(int Argc, char **Argv) {
                       static_cast<long long>(
                           *Pair.Directions->Distances[K]));
     }
+    if (Cli.Explain && Pair.Trace)
+      std::printf("%s", Pair.Trace->str(4).c_str());
   }
 
   if (Cli.Graph || !Cli.DotPath.empty()) {
