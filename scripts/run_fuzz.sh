@@ -1,0 +1,23 @@
+#!/bin/sh
+# Runs the edda-fuzz differential fuzzer for a wall-clock budget and
+# collects any minimized reproducers.
+#
+# Usage: run_fuzz.sh [BUILD_DIR] [BUDGET_SECONDS] [OUT_DIR] [SEED]
+#
+# Exit status is edda-fuzz's own: 0 when every iteration agreed across
+# all axes, 1 when a mismatch was found (reproducers are in OUT_DIR,
+# ready to be dropped into tests/inputs/corpus/), 2 on usage errors.
+set -e
+BUILD=${1:-build}
+BUDGET=${2:-60}
+OUT=${3:-fuzz-failures}
+SEED=${4:-1}
+
+FUZZ="$BUILD/tools/edda-fuzz"
+if [ ! -x "$FUZZ" ]; then
+  echo "error: '$FUZZ' is missing (build the edda-fuzz target)" >&2
+  exit 2
+fi
+
+echo "edda-fuzz: seed $SEED, budget ${BUDGET}s, reproducers -> $OUT"
+"$FUZZ" --seed "$SEED" --time-budget "$BUDGET" --out "$OUT"

@@ -1,0 +1,548 @@
+//===- fuzz/Fuzzer.cpp - Seeded differential fuzzer -----------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "analysis/Analyzer.h"
+#include "deptest/Cascade.h"
+#include "deptest/Memo.h"
+#include "deptest/ProblemIO.h"
+#include "deptest/TestPipeline.h"
+#include "fuzz/Shrink.h"
+#include "oracle/Oracle.h"
+#include "parser/Parser.h"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <unistd.h>
+
+namespace edda {
+namespace fuzz {
+
+const char *fuzzAxisName(FuzzAxis Axis) {
+  switch (Axis) {
+  case FuzzAxis::Oracle:
+    return "oracle";
+  case FuzzAxis::Pipeline:
+    return "pipeline";
+  case FuzzAxis::Threads:
+    return "threads";
+  case FuzzAxis::Memo:
+    return "memo";
+  case FuzzAxis::Parse:
+    return "parse";
+  }
+  return "unknown";
+}
+
+namespace {
+
+namespace fs = std::filesystem;
+using oracle::oracleDependent;
+using oracle::oracleDependentSampled;
+
+/// Perturbs the problem handed to the cascade under test; the oracle
+/// always judges the original.
+DependenceProblem applyBug(DependenceProblem P, InjectedBug Bug) {
+  if (Bug == InjectedBug::NegateEqConst && !P.Equations.empty())
+    P.Equations[0].Const = -P.Equations[0].Const;
+  return P;
+}
+
+std::string answerName(DepAnswer A) {
+  switch (A) {
+  case DepAnswer::Independent:
+    return "independent";
+  case DepAnswer::Dependent:
+    return "dependent";
+  case DepAnswer::Unknown:
+    return "unknown";
+  }
+  return "?";
+}
+
+/// A collision-safe scratch path (parallel ctest runs fuzz too).
+std::string tempCachePath(const char *Tag) {
+  std::ostringstream OS;
+  OS << "edda-fuzz-" << ::getpid() << "-" << Tag << ".memo";
+  return (fs::temp_directory_path() / OS.str()).string();
+}
+
+/// Single-problem cache persistence check; doubles as the memo-axis
+/// shrink predicate.
+bool memoRoundTripFails(const DependenceProblem &P) {
+  DependenceCache C1;
+  CascadeResult R = testDependence(P);
+  C1.insertFull(P, R);
+  std::optional<CascadeResult> Expected = C1.lookupFull(P);
+  if (!Expected)
+    return false;
+  std::string Path = tempCachePath("shrink");
+  bool Failed = true;
+  if (C1.saveToFile(Path)) {
+    DependenceCache C2;
+    if (C2.loadFromFile(Path)) {
+      std::optional<CascadeResult> Got = C2.lookupFull(P);
+      Failed = !Got || Got->Answer != Expected->Answer ||
+               Got->DecidedBy != Expected->DecidedBy ||
+               Got->Exact != Expected->Exact;
+    }
+  }
+  std::error_code EC;
+  fs::remove(Path, EC);
+  return Failed;
+}
+
+/// Per-pair comparison for the threads and whole-program memo axes.
+/// \p CacheSensitive also requires identical FromCache flags (true for
+/// the serial-vs-threads bit-identical guarantee; false across a
+/// save/load, where hitting the preloaded cache is the point).
+std::optional<std::string> comparePairs(const AnalysisResult &A,
+                                        const AnalysisResult &B,
+                                        bool CacheSensitive) {
+  if (A.Refs.size() != B.Refs.size())
+    return "reference count mismatch";
+  if (A.Pairs.size() != B.Pairs.size())
+    return "pair count mismatch";
+  for (size_t I = 0; I < A.Pairs.size(); ++I) {
+    const DependencePair &PA = A.Pairs[I];
+    const DependencePair &PB = B.Pairs[I];
+    std::ostringstream Where;
+    Where << "pair " << I << " (refs " << PA.RefA << "," << PA.RefB
+          << "): ";
+    if (PA.RefA != PB.RefA || PA.RefB != PB.RefB)
+      return Where.str() + "ref indices differ";
+    if (PA.Answer != PB.Answer)
+      return Where.str() + "answer " + answerName(PA.Answer) + " vs " +
+             answerName(PB.Answer);
+    if (PA.DecidedBy != PB.DecidedBy)
+      return Where.str() + std::string("decider ") +
+             testKindName(PA.DecidedBy) + " vs " +
+             testKindName(PB.DecidedBy);
+    if (PA.Exact != PB.Exact)
+      return Where.str() + "exactness differs";
+    if (CacheSensitive && PA.FromCache != PB.FromCache)
+      return Where.str() + "cache provenance differs";
+    if (PA.Directions.has_value() != PB.Directions.has_value())
+      return Where.str() + "direction presence differs";
+    if (PA.Directions &&
+        (PA.Directions->RootAnswer != PB.Directions->RootAnswer ||
+         PA.Directions->Vectors != PB.Directions->Vectors ||
+         PA.Directions->Distances != PB.Directions->Distances))
+      return Where.str() + "direction vectors differ";
+  }
+  return std::nullopt;
+}
+
+class FuzzRunner {
+public:
+  FuzzRunner(const FuzzOptions &Opts, std::ostream *Log)
+      : Opts(Opts), Log(Log) {
+    // Small spans keep enumeration cheap; the cap below still covers
+    // every problem the generator can emit with room to spare.
+    OOpts.MaxPoints = 1u << 18;
+    SOpts.Base = OOpts;
+    for (const char *Spec : {"fm,residue,acyclic,svpc,gcd,const",
+                             "svpc,acyclic,residue,const,gcd,fm"}) {
+      std::shared_ptr<const TestPipeline> P = makePipeline(Spec);
+      assert(P && "permuted pipeline spec failed to parse");
+      Permuted.emplace_back(Spec, std::move(P));
+    }
+  }
+
+  FuzzSummary run();
+
+private:
+  const FuzzOptions &Opts;
+  std::ostream *Log;
+  FuzzSummary S;
+  oracle::OracleOptions OOpts;
+  oracle::SymbolicOracleOptions SOpts;
+  std::vector<std::pair<std::string, std::shared_ptr<const TestPipeline>>>
+      Permuted;
+  std::vector<DependenceProblem> MemoBatch;
+
+  bool done() const { return S.Failures.size() >= Opts.MaxFailures; }
+
+  void checkProblem(const DependenceProblem &P, uint64_t Iter);
+  void checkProgram(const std::string &Source, uint64_t Iter);
+  void flushMemoBatch(uint64_t Iter);
+
+  void reportProblem(FuzzAxis Axis, uint64_t Iter, std::string Detail,
+                     const DependenceProblem &Shrunk);
+  void reportProgram(FuzzAxis Axis, uint64_t Iter, std::string Detail,
+                     const std::string &Source);
+  void emit(FuzzFailure F);
+};
+
+FuzzSummary FuzzRunner::run() {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start = Clock::now();
+  uint64_t Limit = Opts.Count;
+  if (Limit == 0 && Opts.TimeBudgetSeconds <= 0)
+    Limit = 5000;
+
+  for (uint64_t I = 0;; ++I) {
+    if (Limit && I >= Limit)
+      break;
+    if (Opts.TimeBudgetSeconds > 0 &&
+        std::chrono::duration<double>(Clock::now() - Start).count() >=
+            Opts.TimeBudgetSeconds)
+      break;
+    if (done())
+      break;
+
+    // Each iteration owns an independent deterministic stream, so a
+    // failure report's (seed, iteration) replays in isolation.
+    SplitRng Rng(Opts.Seed + 0x9E3779B97F4A7C15ULL * (I + 1));
+    ++S.Iterations;
+    bool ProgramIter =
+        Opts.ProgramEvery && (I % Opts.ProgramEvery) == Opts.ProgramEvery - 1;
+    if (ProgramIter) {
+      ++S.Programs;
+      checkProgram(generateRandomProgram(Rng, Opts.Program), I);
+    } else {
+      ++S.Problems;
+      checkProblem(randomFuzzProblem(Rng, Opts.Problem), I);
+    }
+
+    if (Log && S.Iterations % 1000 == 0)
+      *Log << "edda-fuzz: " << S.Iterations << " iterations, "
+           << S.Failures.size() << " failure(s)\n";
+  }
+
+  flushMemoBatch(S.Iterations);
+  return std::move(S);
+}
+
+void FuzzRunner::checkProblem(const DependenceProblem &P, uint64_t Iter) {
+  DependenceProblem Buggy = applyBug(P, Opts.Bug);
+  CascadeResult R = testDependence(Buggy);
+
+  if (Opts.CheckOracle) {
+    // The differential core: cascade vs. enumeration, with the witness
+    // checked against the *original* problem so an injected (or real)
+    // perturbation cannot hide behind a self-consistent wrong answer.
+    auto OracleFails = [this](const DependenceProblem &Q) {
+      CascadeResult RQ = testDependence(applyBug(Q, Opts.Bug));
+      if (RQ.Answer == DepAnswer::Dependent && RQ.Witness &&
+          !verifyWitness(Q, *RQ.Witness))
+        return true;
+      if (Q.NumSymbolic == 0) {
+        std::optional<bool> Truth = oracleDependent(Q, {}, OOpts);
+        return Truth && RQ.Answer != DepAnswer::Unknown &&
+               (RQ.Answer == DepAnswer::Dependent) != *Truth;
+      }
+      std::optional<bool> Sampled = oracleDependentSampled(Q, {}, SOpts);
+      return RQ.Answer == DepAnswer::Independent && Sampled && *Sampled;
+    };
+
+    bool Conclusive = false;
+    std::string Detail;
+    if (P.NumSymbolic == 0) {
+      std::optional<bool> Truth = oracleDependent(P, {}, OOpts);
+      Conclusive = Truth.has_value();
+      if (Truth && R.Answer != DepAnswer::Unknown &&
+          (R.Answer == DepAnswer::Dependent) != *Truth)
+        Detail = "cascade says " + answerName(R.Answer) + " (" +
+                 testKindName(R.DecidedBy) + "), enumeration says " +
+                 (*Truth ? "dependent" : "independent");
+    } else {
+      std::optional<bool> Sampled = oracleDependentSampled(P, {}, SOpts);
+      Conclusive = Sampled.has_value();
+      if (Sampled && R.Answer == DepAnswer::Independent && *Sampled)
+        Detail = std::string("cascade says independent (") +
+                 testKindName(R.DecidedBy) +
+                 ") but a sampled symbolic valuation depends";
+    }
+    if (Conclusive)
+      ++S.OracleConclusive;
+    if (Detail.empty() && R.Answer == DepAnswer::Dependent && R.Witness &&
+        !verifyWitness(P, *R.Witness))
+      Detail = std::string("witness from ") + testKindName(R.DecidedBy) +
+               " violates the problem";
+    if (!Detail.empty()) {
+      reportProblem(FuzzAxis::Oracle, Iter, std::move(Detail),
+                    shrinkProblem(P, OracleFails));
+      if (done())
+        return;
+    }
+  }
+
+  if (Opts.CheckPipeline && R.Answer != DepAnswer::Unknown) {
+    // Decisive answers are permutation-invariant; Unknown is not (a
+    // consuming stage like FM ends whichever pipeline reaches it
+    // first), so only decisive-vs-decisive contradictions count.
+    for (const auto &[Spec, PP] : Permuted) {
+      CascadeOptions CO;
+      CO.Pipeline = PP;
+      CascadeResult R2 = testDependence(Buggy, CO);
+      if (R2.Answer == DepAnswer::Unknown || R2.Answer == R.Answer)
+        continue;
+      auto PipelineFails = [this, PP = PP](const DependenceProblem &Q) {
+        DependenceProblem QB = applyBug(Q, Opts.Bug);
+        CascadeResult D = testDependence(QB);
+        CascadeOptions QO;
+        QO.Pipeline = PP;
+        CascadeResult M = testDependence(QB, QO);
+        return D.Answer != DepAnswer::Unknown &&
+               M.Answer != DepAnswer::Unknown && D.Answer != M.Answer;
+      };
+      reportProblem(FuzzAxis::Pipeline, Iter,
+                    "default pipeline says " + answerName(R.Answer) +
+                        ", '" + Spec + "' says " + answerName(R2.Answer),
+                    shrinkProblem(P, PipelineFails));
+      if (done())
+        return;
+    }
+  }
+
+  if (Opts.CheckMemo) {
+    MemoBatch.push_back(std::move(Buggy));
+    if (MemoBatch.size() >= 32)
+      flushMemoBatch(Iter);
+  }
+}
+
+void FuzzRunner::flushMemoBatch(uint64_t Iter) {
+  if (MemoBatch.empty() || done()) {
+    MemoBatch.clear();
+    return;
+  }
+  std::vector<DependenceProblem> Batch;
+  Batch.swap(MemoBatch);
+
+  DependenceCache C1;
+  std::vector<CascadeResult> Expected;
+  for (const DependenceProblem &P : Batch) {
+    if (!C1.lookupFull(P))
+      C1.insertFull(P, testDependence(P));
+    // The post-insert lookup is the canonical stored value, so the
+    // check below is purely about persistence.
+    Expected.push_back(*C1.lookupFull(P));
+  }
+
+  std::string Path = tempCachePath("batch");
+  DependenceCache C2;
+  bool Persisted = C1.saveToFile(Path) && C2.loadFromFile(Path);
+  std::error_code EC;
+  fs::remove(Path, EC);
+
+  for (size_t I = 0; I < Batch.size(); ++I) {
+    std::string Detail;
+    if (!Persisted) {
+      Detail = "cache save/load failed";
+    } else {
+      std::optional<CascadeResult> Got = C2.lookupFull(Batch[I]);
+      if (!Got)
+        Detail = "entry missing after cache round-trip";
+      else if (Got->Answer != Expected[I].Answer ||
+               Got->DecidedBy != Expected[I].DecidedBy ||
+               Got->Exact != Expected[I].Exact)
+        Detail = "cached " + answerName(Expected[I].Answer) + " (" +
+                 testKindName(Expected[I].DecidedBy) + ") became " +
+                 answerName(Got->Answer) + " (" +
+                 testKindName(Got->DecidedBy) + ") after round-trip";
+    }
+    if (!Detail.empty()) {
+      reportProblem(FuzzAxis::Memo, Iter, std::move(Detail),
+                    shrinkProblem(Batch[I], memoRoundTripFails));
+      if (done())
+        return;
+      if (!Persisted)
+        return; // One report covers a whole-file failure.
+    }
+  }
+}
+
+void FuzzRunner::checkProgram(const std::string &Source, uint64_t Iter) {
+  ParseResult PR = parseProgram(Source);
+  if (!PR.succeeded()) {
+    std::string Diag =
+        PR.Diags.empty() ? std::string("no diagnostic") : PR.Diags[0].str();
+    reportProgram(FuzzAxis::Parse, Iter,
+                  "generated program failed to parse: " + Diag, Source);
+    return;
+  }
+
+  // print/parse must reach a fixed point in one step.
+  std::string S1 = PR.Prog->print();
+  ParseResult PR2 = parseProgram(S1);
+  if (!PR2.succeeded() || PR2.Prog->print() != S1) {
+    auto ReprintFails = [](const std::string &Src) {
+      ParseResult A = parseProgram(Src);
+      if (!A.succeeded())
+        return false;
+      std::string Printed = A.Prog->print();
+      ParseResult B = parseProgram(Printed);
+      return !B.succeeded() || B.Prog->print() != Printed;
+    };
+    reportProgram(FuzzAxis::Parse, Iter,
+                  "print/parse round-trip is not stable",
+                  shrinkProgramSource(Source, ReprintFails));
+    if (done())
+      return;
+  }
+
+  AnalyzerOptions Serial;
+  Serial.ComputeDirections = true;
+  Serial.NumThreads = 1;
+
+  if (Opts.CheckThreads) {
+    Program Copy1 = *PR.Prog;
+    DependenceAnalyzer A1(Serial);
+    AnalysisResult Res1 = A1.analyze(Copy1);
+
+    AnalyzerOptions Parallel = Serial;
+    Parallel.NumThreads = Opts.Threads;
+    Program Copy2 = *PR.Prog;
+    DependenceAnalyzer A2(Parallel);
+    AnalysisResult Res2 = A2.analyze(Copy2);
+
+    if (std::optional<std::string> Mismatch =
+            comparePairs(Res1, Res2, /*CacheSensitive=*/true)) {
+      auto ThreadsFail = [this, &Serial](const std::string &Src) {
+        ParseResult R = parseProgram(Src);
+        if (!R.succeeded())
+          return false;
+        Program CA = *R.Prog, CB = *R.Prog;
+        DependenceAnalyzer SA(Serial);
+        AnalyzerOptions PO = Serial;
+        PO.NumThreads = Opts.Threads;
+        DependenceAnalyzer PA(PO);
+        return comparePairs(SA.analyze(CA), PA.analyze(CB), true)
+            .has_value();
+      };
+      reportProgram(FuzzAxis::Threads, Iter,
+                    "serial vs --threads " + std::to_string(Opts.Threads) +
+                        ": " + *Mismatch,
+                    shrinkProgramSource(Source, ThreadsFail));
+      if (done())
+        return;
+    }
+
+    if (Opts.CheckMemo) {
+      // Whole-program cache persistence: a reload must reproduce every
+      // answer (cache provenance legitimately flips to hits).
+      std::string Path = tempCachePath("prog");
+      bool Saved = A1.cache().saveToFile(Path);
+      DependenceAnalyzer A3(Serial);
+      bool Loaded = Saved && A3.cache().loadFromFile(Path);
+      std::error_code EC;
+      fs::remove(Path, EC);
+      std::optional<std::string> Mis;
+      if (!Saved || !Loaded) {
+        Mis = "cache save/load failed";
+      } else {
+        Program Copy3 = *PR.Prog;
+        AnalysisResult Res3 = A3.analyze(Copy3);
+        Mis = comparePairs(Res1, Res3, /*CacheSensitive=*/false);
+      }
+      if (Mis) {
+        auto MemoFail = [this, &Serial](const std::string &Src) {
+          ParseResult R = parseProgram(Src);
+          if (!R.succeeded())
+            return false;
+          Program CA = *R.Prog;
+          DependenceAnalyzer SA(Serial);
+          AnalysisResult RA = SA.analyze(CA);
+          std::string P = tempCachePath("prog-shrink");
+          DependenceAnalyzer SB(Serial);
+          bool OK = SA.cache().saveToFile(P) &&
+                    SB.cache().loadFromFile(P);
+          std::error_code E2;
+          fs::remove(P, E2);
+          if (!OK)
+            return true;
+          Program CB = *R.Prog;
+          return comparePairs(RA, SB.analyze(CB), false).has_value();
+        };
+        reportProgram(FuzzAxis::Memo, Iter,
+                      "whole-program cache round-trip: " + *Mis,
+                      shrinkProgramSource(Source, MemoFail));
+      }
+    }
+  }
+}
+
+void FuzzRunner::reportProblem(FuzzAxis Axis, uint64_t Iter,
+                               std::string Detail,
+                               const DependenceProblem &Shrunk) {
+  // The expectation header comes from the clean cascade, corrected by
+  // enumeration when they disagree (which is the bug being reported):
+  // once fixed, the file drops into tests/inputs/corpus/ unchanged.
+  CascadeResult Clean = testDependence(Shrunk);
+  std::optional<bool> Truth = Shrunk.NumSymbolic == 0
+                                  ? oracleDependent(Shrunk, {}, OOpts)
+                                  : std::nullopt;
+  std::ostringstream OS;
+  bool Dep = Truth ? *Truth : Clean.Answer == DepAnswer::Dependent;
+  if (Truth || Clean.Answer != DepAnswer::Unknown)
+    OS << "# expect: " << (Dep ? "dependent" : "independent") << " "
+       << testKindName(Clean.DecidedBy) << "\n";
+  OS << "# edda-fuzz: axis=" << fuzzAxisName(Axis) << " seed=" << Opts.Seed
+     << " iteration=" << Iter;
+  if (Opts.Bug != InjectedBug::None)
+    OS << " inject-bug=negate-eq-const";
+  OS << "\n# " << Detail << "\n" << printProblemText(Shrunk);
+
+  FuzzFailure F;
+  F.Axis = Axis;
+  F.Iteration = Iter;
+  F.Detail = std::move(Detail);
+  F.Reproducer = OS.str();
+  F.IsProgram = false;
+  emit(std::move(F));
+}
+
+void FuzzRunner::reportProgram(FuzzAxis Axis, uint64_t Iter,
+                               std::string Detail,
+                               const std::string &Source) {
+  std::ostringstream OS;
+  OS << "# edda-fuzz: axis=" << fuzzAxisName(Axis) << " seed=" << Opts.Seed
+     << " iteration=" << Iter << "\n# " << Detail << "\n" << Source;
+
+  FuzzFailure F;
+  F.Axis = Axis;
+  F.Iteration = Iter;
+  F.Detail = std::move(Detail);
+  F.Reproducer = OS.str();
+  F.IsProgram = true;
+  emit(std::move(F));
+}
+
+void FuzzRunner::emit(FuzzFailure F) {
+  if (!Opts.OutDir.empty()) {
+    std::error_code EC;
+    fs::create_directories(Opts.OutDir, EC);
+    std::ostringstream Name;
+    Name << "fuzz-" << fuzzAxisName(F.Axis) << "-seed" << Opts.Seed << "-i"
+         << F.Iteration << (F.IsProgram ? ".loop" : ".dep");
+    fs::path Path = fs::path(Opts.OutDir) / Name.str();
+    std::ofstream Out(Path);
+    Out << F.Reproducer;
+    if (Out)
+      F.Path = Path.string();
+  }
+  if (Log)
+    *Log << "edda-fuzz: FAILURE [" << fuzzAxisName(F.Axis) << "] iteration "
+         << F.Iteration << ": " << F.Detail
+         << (F.Path.empty() ? "" : "\n  reproducer: " + F.Path) << "\n";
+  S.Failures.push_back(std::move(F));
+}
+
+} // namespace
+
+FuzzSummary runFuzz(const FuzzOptions &Opts, std::ostream *Log) {
+  return FuzzRunner(Opts, Log).run();
+}
+
+} // namespace fuzz
+} // namespace edda

@@ -1,0 +1,124 @@
+//===- fuzz/Fuzzer.h - Seeded differential fuzzer --------------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The edda-fuzz engine: generates random DependenceProblems and whole
+/// LoopLang programs from a seed and cross-checks the analysis stack
+/// along four differential axes:
+///
+///   oracle    cascade verdict vs. brute-force enumeration (symbolic
+///             problems via the sampled-concretization soundness check),
+///             plus witness verification;
+///   pipeline  default cascade vs. permuted stage pipelines — decisive
+///             answers must agree (Unknown is order-dependent by
+///             design: a consuming stage ends the pipeline);
+///   threads   serial analyzer vs. --threads N on the same program,
+///             bit-identical pair results required;
+///   memo      cache save/load round-trips must preserve every cached
+///             answer, both problem batches and whole-program caches.
+///
+/// Every run is a pure function of the seed: iteration i derives its
+/// own SplitRng stream, so `--seed S` reproduces exactly and a failure
+/// report names the iteration. Failures are delta-debugged (see
+/// Shrink.h) into minimal `.dep`/`.loop` reproducers suitable for
+/// tests/inputs/corpus/.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_FUZZ_FUZZER_H
+#define EDDA_FUZZ_FUZZER_H
+
+#include "fuzz/ProblemGen.h"
+#include "workload/Generator.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace edda {
+namespace fuzz {
+
+/// The differential axis a check (or failure) belongs to.
+enum class FuzzAxis {
+  Oracle,   ///< Cascade vs. enumeration / sampled concretization.
+  Pipeline, ///< Default vs. permuted stage orders.
+  Threads,  ///< Serial vs. multi-threaded analyzer.
+  Memo,     ///< Cache persistence round-trip.
+  Parse,    ///< Generated program failed to parse or reprint stably.
+};
+
+const char *fuzzAxisName(FuzzAxis Axis);
+
+/// Deliberate bugs injected between generation and the cascade under
+/// test (the oracle always sees the original problem). Used to prove
+/// the fuzzer catches and shrinks real mismatches; hidden behind the
+/// --inject-bug flag.
+enum class InjectedBug {
+  None,
+  NegateEqConst, ///< Flips the sign of the first equation's constant —
+                 ///< the classic transcription error in a subscript
+                 ///< difference.
+};
+
+struct FuzzOptions {
+  uint64_t Seed = 1;
+  /// Iterations to run; 0 means until the time budget expires (or a
+  /// default of 5000 iterations when no budget is set either).
+  uint64_t Count = 0;
+  /// Wall-clock budget in seconds; 0 disables.
+  double TimeBudgetSeconds = 0;
+  /// Directory for minimized reproducers; empty writes none.
+  std::string OutDir;
+  /// Thread count for the parallel-analyzer axis.
+  unsigned Threads = 4;
+  /// Which axes run (all by default; --check narrows).
+  bool CheckOracle = true;
+  bool CheckPipeline = true;
+  bool CheckThreads = true;
+  bool CheckMemo = true;
+  /// Stop after this many failures.
+  unsigned MaxFailures = 8;
+  InjectedBug Bug = InjectedBug::None;
+  FuzzProblemOptions Problem;
+  RandomProgramOptions Program;
+  /// Every Nth iteration generates a whole program instead of a bare
+  /// problem (the threads and whole-program memo axes need programs).
+  unsigned ProgramEvery = 8;
+};
+
+/// One confirmed, minimized mismatch.
+struct FuzzFailure {
+  FuzzAxis Axis = FuzzAxis::Oracle;
+  uint64_t Iteration = 0;
+  std::string Detail;     ///< Human-readable mismatch description.
+  std::string Reproducer; ///< Minimized .dep / .loop text.
+  bool IsProgram = false;
+  std::string Path; ///< File written under OutDir (empty when none).
+};
+
+struct FuzzSummary {
+  uint64_t Iterations = 0;
+  uint64_t Problems = 0;
+  uint64_t Programs = 0;
+  /// Problem iterations where enumeration (or the sampled grid) was
+  /// conclusive — the denominator of real oracle coverage.
+  uint64_t OracleConclusive = 0;
+  std::vector<FuzzFailure> Failures;
+
+  bool ok() const { return Failures.empty(); }
+};
+
+/// Runs the fuzzer. Deterministic in Opts.Seed (iteration counts under
+/// a pure time budget excepted). Progress lines go to \p Log when
+/// non-null.
+FuzzSummary runFuzz(const FuzzOptions &Opts, std::ostream *Log = nullptr);
+
+} // namespace fuzz
+} // namespace edda
+
+#endif // EDDA_FUZZ_FUZZER_H

@@ -1,0 +1,174 @@
+//===- fuzz/ProblemGen.cpp - Random dependence problems -------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/ProblemGen.h"
+
+#include <optional>
+
+namespace edda {
+namespace fuzz {
+
+namespace {
+
+/// Uniform value in [Lo, Hi].
+int64_t rangeInt(SplitRng &Rng, int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi);
+  return Lo + static_cast<int64_t>(Rng.below(uint64_t(Hi - Lo + 1)));
+}
+
+bool percent(SplitRng &Rng, unsigned P) { return Rng.below(100) < P; }
+
+/// A nonzero coefficient in [-Range, Range].
+int64_t nonzeroCoeff(SplitRng &Rng, int64_t Range) {
+  int64_t C = rangeInt(Rng, 1, Range);
+  return percent(Rng, 50) ? C : -C;
+}
+
+/// Evaluates an affine form at \p X (values are tiny; no overflow
+/// concern at the generator's ranges).
+int64_t evalForm(const XAffine &F, const std::vector<int64_t> &X) {
+  int64_t V = F.Const;
+  for (unsigned J = 0; J < F.Coeffs.size(); ++J)
+    V += F.Coeffs[J] * X[J];
+  return V;
+}
+
+} // namespace
+
+DependenceProblem randomFuzzProblem(SplitRng &Rng,
+                                    const FuzzProblemOptions &Opts) {
+  DependenceProblem P;
+  P.NumCommon = static_cast<unsigned>(Rng.below(Opts.MaxCommon + 1));
+  P.NumLoopsA =
+      P.NumCommon + static_cast<unsigned>(Rng.below(Opts.MaxExtraLoops + 1));
+  P.NumLoopsB =
+      P.NumCommon + static_cast<unsigned>(Rng.below(Opts.MaxExtraLoops + 1));
+  if (percent(Rng, Opts.SymbolicPercent))
+    P.NumSymbolic = 1 + static_cast<unsigned>(Rng.below(Opts.MaxSymbolic));
+
+  const unsigned NumX = P.numX();
+  const unsigned NumLoopVars = P.numLoopVars();
+
+  // Bounds first (the equation constants below are planted inside
+  // them). Shapes that reference another variable only use variables
+  // earlier in x, which is what both the enumeration oracle and the
+  // Acyclic test want; spans stay small so enumeration is cheap.
+  P.Lo.resize(NumLoopVars);
+  P.Hi.resize(NumLoopVars);
+  for (unsigned L = 0; L < NumLoopVars; ++L) {
+    if (percent(Rng, Opts.MissingBoundPercent))
+      continue; // Unanalyzable bound: tests fall back to a weaker system.
+
+    unsigned Shape = static_cast<unsigned>(Rng.below(100));
+    XAffine Lo(NumX), Hi(NumX);
+    if (Shape < 20 && L > 0) {
+      // Triangular: lo constant, hi tracks an earlier loop variable.
+      unsigned E = static_cast<unsigned>(Rng.below(L));
+      Lo.Const = rangeInt(Rng, 0, 1);
+      Hi.Coeffs[E] = 1;
+      Hi.Const = rangeInt(Rng, 0, 2);
+    } else if (Shape < 35 && L > 0) {
+      // Banded: earlier variable +/- a small band.
+      unsigned E = static_cast<unsigned>(Rng.below(L));
+      int64_t Band = rangeInt(Rng, 1, 2);
+      Lo.Coeffs[E] = 1;
+      Lo.Const = -Band;
+      Hi.Coeffs[E] = 1;
+      Hi.Const = Band;
+    } else if (Shape < 47 && P.NumSymbolic > 0) {
+      // Symbolic upper bound (the paper's section 8 shape: 1..n).
+      unsigned S =
+          NumLoopVars + static_cast<unsigned>(Rng.below(P.NumSymbolic));
+      Lo.Const = rangeInt(Rng, 0, 1);
+      Hi.Coeffs[S] = 1;
+      Hi.Const = rangeInt(Rng, -1, 1);
+    } else if (Shape < 52) {
+      // Degenerate: empty constant range, provably independent.
+      Lo.Const = rangeInt(Rng, -2, 2);
+      Hi.Const = Lo.Const - rangeInt(Rng, 1, 3);
+    } else {
+      // Constant box, small span; lows skew non-negative like real
+      // loop headers so variable-tracking bounds stay satisfiable.
+      Lo.Const = rangeInt(Rng, -1, 3);
+      Hi.Const = Lo.Const + static_cast<int64_t>(Rng.below(Opts.MaxSpan + 1));
+    }
+    P.Lo[L] = std::move(Lo);
+    P.Hi[L] = std::move(Hi);
+  }
+
+  // Sample a point inside the bounds. Purely random equation constants
+  // are almost never simultaneously solvable over boxes this small, so
+  // without planting, dependent problems would be vanishingly rare and
+  // the differential would exercise only the Independent path.
+  // Symbolic values come first (bounds may reference them), then loop
+  // variables in x order (bounds reference earlier variables only).
+  // A single draw often lands in an empty triangular range (hi tracks
+  // an earlier variable that sampled low), so retry a few times; truly
+  // empty polytopes (degenerate bounds) stay unplanted and provide the
+  // Independent side of the differential.
+  std::optional<std::vector<int64_t>> Planted;
+  for (unsigned Attempt = 0; Attempt < 4 && !Planted; ++Attempt) {
+    std::vector<int64_t> X(NumX, 0);
+    for (unsigned S = NumLoopVars; S < NumX; ++S)
+      X[S] = rangeInt(Rng, -2, 5);
+    bool Feasible = true;
+    for (unsigned L = 0; L < NumLoopVars && Feasible; ++L) {
+      int64_t LoV = P.Lo[L] ? evalForm(*P.Lo[L], X) : -2;
+      int64_t HiV = P.Hi[L] ? evalForm(*P.Hi[L], X) : 2;
+      if (LoV > HiV)
+        Feasible = false;
+      else
+        X[L] = rangeInt(Rng, LoV, HiV);
+    }
+    if (Feasible)
+      Planted = std::move(X);
+  }
+
+  // Subscript equations: mostly-sparse random coefficient rows. The
+  // constant is planted on the sampled point (sometimes with an off-by
+  // one perturbation, landing just beside a solution) or drawn freely.
+  unsigned NumEq = 1 + static_cast<unsigned>(Rng.below(Opts.MaxEquations));
+  bool Plant = Planted && percent(Rng, 70);
+  for (unsigned E = 0; E < NumEq; ++E) {
+    XAffine Eq(NumX);
+    for (unsigned J = 0; J < NumX; ++J) {
+      bool IsSymbolic = J >= NumLoopVars;
+      unsigned KeepPercent = IsSymbolic ? 30 : 45;
+      if (percent(Rng, KeepPercent))
+        Eq.Coeffs[J] = nonzeroCoeff(Rng, Opts.CoeffRange);
+    }
+    if (E == 0) {
+      // Couple the first equation to both reference sides so the
+      // generated matrices are not trivially decoupled.
+      if (P.NumLoopsA > 0 && percent(Rng, 70)) {
+        unsigned A = static_cast<unsigned>(Rng.below(P.NumLoopsA));
+        if (Eq.Coeffs[A] == 0)
+          Eq.Coeffs[A] = nonzeroCoeff(Rng, Opts.CoeffRange);
+      }
+      if (P.NumLoopsB > 0 && percent(Rng, 70)) {
+        unsigned B =
+            P.NumLoopsA + static_cast<unsigned>(Rng.below(P.NumLoopsB));
+        if (Eq.Coeffs[B] == 0)
+          Eq.Coeffs[B] = nonzeroCoeff(Rng, Opts.CoeffRange);
+      }
+    }
+    if (Plant) {
+      Eq.Const = -evalForm(Eq, *Planted);
+      if (percent(Rng, 15))
+        Eq.Const += percent(Rng, 50) ? 1 : -1;
+    } else {
+      Eq.Const = rangeInt(Rng, -Opts.ConstRange, Opts.ConstRange);
+    }
+    P.Equations.push_back(std::move(Eq));
+  }
+
+  assert(P.wellFormed() && "generator produced malformed problem");
+  return P;
+}
+
+} // namespace fuzz
+} // namespace edda

@@ -1,0 +1,51 @@
+//===- fuzz/ProblemGen.h - Random dependence problems ----------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Random DependenceProblem generation for the differential fuzzer.
+/// Unlike the workload generator's seven Table 1 templates, these
+/// problems are drawn from the whole small-problem space: random
+/// coefficient matrices (coupled subscripts arise naturally), bounds
+/// that are constant, triangular, banded, degenerate or missing, and
+/// optional symbolic columns. Spans are kept small so the enumeration
+/// oracle stays conclusive on most draws.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_FUZZ_PROBLEMGEN_H
+#define EDDA_FUZZ_PROBLEMGEN_H
+
+#include "deptest/Problem.h"
+#include "workload/Generator.h"
+
+namespace edda {
+namespace fuzz {
+
+/// Shape knobs for random problem generation.
+struct FuzzProblemOptions {
+  unsigned MaxCommon = 3;     ///< Common loops (0..MaxCommon).
+  unsigned MaxExtraLoops = 1; ///< Extra non-common loops per side.
+  unsigned MaxEquations = 3;  ///< Subscript equations (1..Max).
+  unsigned MaxSymbolic = 2;   ///< Symbolic columns when symbolic.
+  unsigned SymbolicPercent = 20; ///< Chance a problem gets symbolics.
+  unsigned MissingBoundPercent = 6; ///< Chance a loop var loses a bound
+                                    ///< (oracle-inapplicable, still
+                                    ///< exercises the pipeline).
+  int64_t CoeffRange = 4; ///< Coefficients in [-CoeffRange, CoeffRange].
+  int64_t ConstRange = 9; ///< Equation constants in [-C, C].
+  int64_t MaxSpan = 4;    ///< Constant-bound spans (0..MaxSpan).
+};
+
+/// Draws one random problem. Always wellFormed(); deterministic in
+/// \p Rng.
+DependenceProblem randomFuzzProblem(SplitRng &Rng,
+                                    const FuzzProblemOptions &Opts = {});
+
+} // namespace fuzz
+} // namespace edda
+
+#endif // EDDA_FUZZ_PROBLEMGEN_H

@@ -1,0 +1,233 @@
+//===- fuzz/Shrink.cpp - Delta-debugging reproducer minimizer -------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Shrink.h"
+
+#include "ir/Program.h"
+#include "parser/Parser.h"
+
+#include <optional>
+#include <utility>
+
+namespace edda {
+namespace fuzz {
+
+namespace {
+
+XAffine dropFormColumn(const XAffine &F, unsigned Col) {
+  XAffine R = F;
+  R.Coeffs.erase(R.Coeffs.begin() + Col);
+  return R;
+}
+
+/// Bounds that reference the dropped column cannot keep their meaning,
+/// so they are dropped with it (the predicate revalidates anyway).
+std::optional<XAffine> dropBoundColumn(const std::optional<XAffine> &B,
+                                       unsigned Col) {
+  if (!B || B->Coeffs[Col] != 0)
+    return std::nullopt;
+  return dropFormColumn(*B, Col);
+}
+
+/// Removes loop-variable column \p Col. Dropping one side of a common
+/// pair demotes that pair (and, to keep the positional pairing intact,
+/// every later pair) to non-common loops — this is the step that lets
+/// reproducers reach a single loop variable.
+DependenceProblem dropLoopVar(const DependenceProblem &P, unsigned Col) {
+  bool IsA = Col < P.NumLoopsA;
+  unsigned SideIdx = IsA ? Col : Col - P.NumLoopsA;
+
+  DependenceProblem Q;
+  Q.NumLoopsA = P.NumLoopsA - (IsA ? 1u : 0u);
+  Q.NumLoopsB = P.NumLoopsB - (IsA ? 0u : 1u);
+  Q.NumCommon = SideIdx < P.NumCommon ? SideIdx : P.NumCommon;
+  Q.NumSymbolic = P.NumSymbolic;
+  for (const XAffine &Eq : P.Equations)
+    Q.Equations.push_back(dropFormColumn(Eq, Col));
+  for (unsigned L = 0; L < P.numLoopVars(); ++L) {
+    if (L == Col)
+      continue;
+    Q.Lo.push_back(dropBoundColumn(P.Lo[L], Col));
+    Q.Hi.push_back(dropBoundColumn(P.Hi[L], Col));
+  }
+  return Q;
+}
+
+DependenceProblem dropSymbolic(const DependenceProblem &P, unsigned K) {
+  unsigned Col = P.numLoopVars() + K;
+  DependenceProblem Q;
+  Q.NumLoopsA = P.NumLoopsA;
+  Q.NumLoopsB = P.NumLoopsB;
+  Q.NumCommon = P.NumCommon;
+  Q.NumSymbolic = P.NumSymbolic - 1;
+  for (const XAffine &Eq : P.Equations)
+    Q.Equations.push_back(dropFormColumn(Eq, Col));
+  for (unsigned L = 0; L < P.numLoopVars(); ++L) {
+    Q.Lo.push_back(dropBoundColumn(P.Lo[L], Col));
+    Q.Hi.push_back(dropBoundColumn(P.Hi[L], Col));
+  }
+  return Q;
+}
+
+} // namespace
+
+DependenceProblem
+shrinkProblem(DependenceProblem P,
+              const std::function<bool(const DependenceProblem &)> &Fails,
+              unsigned MaxRounds) {
+  // Accept a candidate when the failure persists.
+  auto Accept = [&](DependenceProblem &Q) {
+    if (!Q.wellFormed() || !Fails(Q))
+      return false;
+    P = std::move(Q);
+    return true;
+  };
+
+  bool Changed = true;
+  for (unsigned Round = 0; Changed && Round < MaxRounds; ++Round) {
+    Changed = false;
+
+    for (unsigned I = 0; P.Equations.size() > 1 && I < P.Equations.size();) {
+      DependenceProblem Q = P;
+      Q.Equations.erase(Q.Equations.begin() + I);
+      if (Accept(Q))
+        Changed = true;
+      else
+        ++I;
+    }
+
+    for (unsigned Col = 0; Col < P.numLoopVars();) {
+      DependenceProblem Q = dropLoopVar(P, Col);
+      if (Accept(Q))
+        Changed = true;
+      else
+        ++Col;
+    }
+
+    for (unsigned K = 0; K < P.NumSymbolic;) {
+      DependenceProblem Q = dropSymbolic(P, K);
+      if (Accept(Q))
+        Changed = true;
+      else
+        ++K;
+    }
+
+    for (unsigned L = 0; L < P.numLoopVars(); ++L) {
+      if (P.Lo[L]) {
+        DependenceProblem Q = P;
+        Q.Lo[L] = std::nullopt;
+        Changed |= Accept(Q);
+      }
+      if (P.Hi[L]) {
+        DependenceProblem Q = P;
+        Q.Hi[L] = std::nullopt;
+        Changed |= Accept(Q);
+      }
+    }
+
+    // Simplify the forms that remain: zero coefficients, then pull
+    // constants toward zero (halving gives log-many candidates).
+    auto SimplifyForm = [&](auto GetForm) {
+      for (unsigned J = 0; J <= P.numX(); ++J) {
+        DependenceProblem Q = P;
+        XAffine *F = GetForm(Q);
+        if (!F)
+          return;
+        int64_t &Slot = J < P.numX() ? F->Coeffs[J] : F->Const;
+        if (Slot == 0)
+          continue;
+        int64_t Orig = Slot;
+        Slot = 0;
+        if (Accept(Q)) {
+          Changed = true;
+          continue;
+        }
+        Q = P;
+        XAffine *F2 = GetForm(Q);
+        int64_t &Slot2 = J < P.numX() ? F2->Coeffs[J] : F2->Const;
+        Slot2 = Orig / 2;
+        if (Slot2 != Orig && Accept(Q))
+          Changed = true;
+      }
+    };
+    for (unsigned I = 0; I < P.Equations.size(); ++I)
+      SimplifyForm([I](DependenceProblem &Q) -> XAffine * {
+        return I < Q.Equations.size() ? &Q.Equations[I] : nullptr;
+      });
+    for (unsigned L = 0; L < P.numLoopVars(); ++L) {
+      SimplifyForm([L](DependenceProblem &Q) -> XAffine * {
+        return L < Q.Lo.size() && Q.Lo[L] ? &*Q.Lo[L] : nullptr;
+      });
+      SimplifyForm([L](DependenceProblem &Q) -> XAffine * {
+        return L < Q.Hi.size() && Q.Hi[L] ? &*Q.Hi[L] : nullptr;
+      });
+    }
+  }
+  return P;
+}
+
+namespace {
+
+/// Pre-order paths to every statement (indices through nested bodies).
+void collectPaths(const std::vector<StmtPtr> &Body,
+                  std::vector<unsigned> &Prefix,
+                  std::vector<std::vector<unsigned>> &Out) {
+  for (unsigned I = 0; I < Body.size(); ++I) {
+    Prefix.push_back(I);
+    Out.push_back(Prefix);
+    if (Body[I]->kind() == StmtKind::Loop)
+      collectPaths(asLoop(*Body[I]).body(), Prefix, Out);
+    Prefix.pop_back();
+  }
+}
+
+std::vector<StmtPtr> *parentBody(Program &Prog,
+                                 const std::vector<unsigned> &Path) {
+  std::vector<StmtPtr> *B = &Prog.body();
+  for (unsigned I = 0; I + 1 < Path.size(); ++I)
+    B = &asLoop(*(*B)[Path[I]]).body();
+  return B;
+}
+
+} // namespace
+
+std::string
+shrinkProgramSource(std::string Source,
+                    const std::function<bool(const std::string &)> &Fails,
+                    unsigned MaxRounds) {
+  for (unsigned Round = 0; Round < MaxRounds; ++Round) {
+    ParseResult R = parseProgram(Source);
+    if (!R.succeeded())
+      return Source;
+
+    std::vector<std::vector<unsigned>> Paths;
+    std::vector<unsigned> Prefix;
+    collectPaths(R.Prog->body(), Prefix, Paths);
+
+    // Try removing whole subtrees, largest first (pre-order puts a loop
+    // before its body). A successful removal invalidates the collected
+    // paths, so restart the scan from a fresh parse.
+    bool Changed = false;
+    for (const std::vector<unsigned> &Path : Paths) {
+      Program Copy = *R.Prog;
+      std::vector<StmtPtr> *B = parentBody(Copy, Path);
+      B->erase(B->begin() + Path.back());
+      std::string Candidate = Copy.print();
+      if (Fails(Candidate)) {
+        Source = std::move(Candidate);
+        Changed = true;
+        break;
+      }
+    }
+    if (!Changed)
+      return Source;
+  }
+  return Source;
+}
+
+} // namespace fuzz
+} // namespace edda

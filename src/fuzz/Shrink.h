@@ -1,0 +1,49 @@
+//===- fuzz/Shrink.h - Delta-debugging reproducer minimizer ----*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy delta debugging for fuzzer failures. Given a failing input and
+/// a predicate that re-runs the differential check, the shrinkers apply
+/// structure-aware reductions (drop an equation, drop a loop variable
+/// column, zero a coefficient, remove a statement) and keep any change
+/// under which the failure persists. The result is the minimal `.dep` /
+/// `.loop` reproducer the fuzzer writes into the corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_FUZZ_SHRINK_H
+#define EDDA_FUZZ_SHRINK_H
+
+#include "deptest/Problem.h"
+
+#include <functional>
+#include <string>
+
+namespace edda {
+namespace fuzz {
+
+/// Minimizes \p P while \p Fails stays true. \p Fails must be true for
+/// \p P on entry and is re-evaluated on every candidate, so the result
+/// is always a genuine failure. Runs greedy passes to a fixed point,
+/// at most \p MaxRounds rounds.
+DependenceProblem
+shrinkProblem(DependenceProblem P,
+              const std::function<bool(const DependenceProblem &)> &Fails,
+              unsigned MaxRounds = 8);
+
+/// Minimizes LoopLang \p Source (statement-tree removal plus reprint)
+/// while \p Fails stays true. Returns \p Source unchanged when it does
+/// not parse.
+std::string
+shrinkProgramSource(std::string Source,
+                    const std::function<bool(const std::string &)> &Fails,
+                    unsigned MaxRounds = 8);
+
+} // namespace fuzz
+} // namespace edda
+
+#endif // EDDA_FUZZ_SHRINK_H

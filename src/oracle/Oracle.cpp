@@ -1,0 +1,256 @@
+//===- oracle/Oracle.cpp - Brute-force ground truth -----------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "oracle/Oracle.h"
+
+#include "support/IntMath.h"
+
+using namespace edda;
+using namespace edda::oracle;
+
+namespace {
+
+/// Shared recursive enumerator. Calls \p Visit on every integer point
+/// satisfying bounds and equations; Visit returns false to stop early.
+/// Returns nullopt when enumeration is inapplicable or too large.
+template <typename VisitFn>
+std::optional<bool> enumerate(const DependenceProblem &P,
+                              const std::vector<XAffine> &ExtraLe0,
+                              const OracleOptions &Opts, VisitFn Visit) {
+  if (P.NumSymbolic != 0)
+    return std::nullopt;
+  const unsigned NumL = P.numLoopVars();
+  for (unsigned L = 0; L < NumL; ++L) {
+    if (!P.Lo[L] || !P.Hi[L])
+      return std::nullopt;
+    // Bounds may only reference earlier variables so left-to-right
+    // enumeration can evaluate them.
+    for (unsigned J = L; J < NumL; ++J)
+      if (P.Lo[L]->Coeffs[J] != 0 || P.Hi[L]->Coeffs[J] != 0)
+        return std::nullopt;
+  }
+
+  std::vector<int64_t> X(NumL, 0);
+  uint64_t Visited = 0;
+  bool Aborted = false;
+  bool Stopped = false;
+
+  auto Eval = [&X](const XAffine &Form) -> std::optional<int64_t> {
+    CheckedInt Sum(Form.Const);
+    for (unsigned J = 0; J < Form.Coeffs.size(); ++J)
+      if (Form.Coeffs[J] != 0)
+        Sum += CheckedInt(Form.Coeffs[J]) * X[J];
+    return Sum.getOpt();
+  };
+
+  auto Rec = [&](auto &&Self, unsigned L) -> void {
+    if (Stopped || Aborted)
+      return;
+    if (L == NumL) {
+      for (const XAffine &Eq : P.Equations) {
+        std::optional<int64_t> V = Eval(Eq);
+        if (!V) {
+          Aborted = true;
+          return;
+        }
+        if (*V != 0)
+          return;
+      }
+      for (const XAffine &Form : ExtraLe0) {
+        std::optional<int64_t> V = Eval(Form);
+        if (!V) {
+          Aborted = true;
+          return;
+        }
+        if (*V > 0)
+          return;
+      }
+      if (!Visit(X))
+        Stopped = true;
+      return;
+    }
+    std::optional<int64_t> Lo = Eval(*P.Lo[L]);
+    std::optional<int64_t> Hi = Eval(*P.Hi[L]);
+    if (!Lo || !Hi) {
+      Aborted = true;
+      return;
+    }
+    for (int64_t V = *Lo; V <= *Hi; ++V) {
+      if (++Visited > Opts.MaxPoints) {
+        Aborted = true;
+        return;
+      }
+      X[L] = V;
+      Self(Self, L + 1);
+      if (Stopped || Aborted)
+        return;
+    }
+  };
+  Rec(Rec, 0);
+  if (Aborted)
+    return std::nullopt;
+  return Stopped;
+}
+
+/// Folds the symbolic columns of \p Form into its constant, keeping the
+/// first \p NumLoopVars columns.
+std::optional<XAffine> foldSymbolic(const XAffine &Form,
+                                    unsigned NumLoopVars,
+                                    const std::vector<int64_t> &Vals) {
+  XAffine Out(NumLoopVars);
+  for (unsigned J = 0; J < NumLoopVars; ++J)
+    Out.Coeffs[J] = Form.Coeffs[J];
+  CheckedInt C(Form.Const);
+  for (unsigned K = 0; K < Vals.size(); ++K)
+    C += CheckedInt(Form.Coeffs[NumLoopVars + K]) * Vals[K];
+  std::optional<int64_t> V = C.getOpt();
+  if (!V)
+    return std::nullopt;
+  Out.Const = *V;
+  return Out;
+}
+
+} // namespace
+
+std::optional<bool>
+edda::oracle::oracleDependent(const DependenceProblem &Problem,
+                              const std::vector<XAffine> &ExtraLe0,
+                              const OracleOptions &Opts) {
+  return enumerate(Problem, ExtraLe0, Opts,
+                   [](const std::vector<int64_t> &) { return false; });
+}
+
+std::optional<std::set<DirVector>>
+edda::oracle::oracleDirections(const DependenceProblem &Problem,
+                               const OracleOptions &Opts) {
+  std::set<DirVector> Found;
+  std::optional<bool> Ran = enumerate(
+      Problem, {}, Opts, [&](const std::vector<int64_t> &X) {
+        DirVector V(Problem.NumCommon);
+        for (unsigned K = 0; K < Problem.NumCommon; ++K) {
+          int64_t A = X[Problem.xOfCommonA(K)];
+          int64_t B = X[Problem.xOfCommonB(K)];
+          V[K] = A < B ? Dir::Less : A == B ? Dir::Equal : Dir::Greater;
+        }
+        Found.insert(std::move(V));
+        return true; // keep enumerating
+      });
+  if (!Ran)
+    return std::nullopt;
+  return Found;
+}
+
+bool edda::oracle::dirMatches(const DirVector &Reported,
+                              const DirVector &Concrete) {
+  if (Reported.size() != Concrete.size())
+    return false;
+  for (unsigned K = 0; K < Reported.size(); ++K)
+    if (Reported[K] != Dir::Any && Reported[K] != Concrete[K])
+      return false;
+  return true;
+}
+
+std::optional<DependenceProblem>
+edda::oracle::concretize(const DependenceProblem &Problem,
+                         const std::vector<int64_t> &SymValues) {
+  if (SymValues.size() != Problem.NumSymbolic)
+    return std::nullopt;
+  const unsigned NumL = Problem.numLoopVars();
+  DependenceProblem Out;
+  Out.NumLoopsA = Problem.NumLoopsA;
+  Out.NumLoopsB = Problem.NumLoopsB;
+  Out.NumCommon = Problem.NumCommon;
+  Out.NumSymbolic = 0;
+  Out.Lo.resize(NumL);
+  Out.Hi.resize(NumL);
+  for (const XAffine &Eq : Problem.Equations) {
+    std::optional<XAffine> F = foldSymbolic(Eq, NumL, SymValues);
+    if (!F)
+      return std::nullopt;
+    Out.Equations.push_back(std::move(*F));
+  }
+  for (unsigned L = 0; L < NumL; ++L) {
+    if (Problem.Lo[L]) {
+      std::optional<XAffine> F = foldSymbolic(*Problem.Lo[L], NumL,
+                                              SymValues);
+      if (!F)
+        return std::nullopt;
+      Out.Lo[L] = std::move(*F);
+    }
+    if (Problem.Hi[L]) {
+      std::optional<XAffine> F = foldSymbolic(*Problem.Hi[L], NumL,
+                                              SymValues);
+      if (!F)
+        return std::nullopt;
+      Out.Hi[L] = std::move(*F);
+    }
+  }
+  return Out;
+}
+
+std::optional<std::vector<XAffine>>
+edda::oracle::concretizeForms(const std::vector<XAffine> &Forms,
+                              unsigned NumLoopVars,
+                              const std::vector<int64_t> &SymValues) {
+  std::vector<XAffine> Out;
+  Out.reserve(Forms.size());
+  for (const XAffine &Form : Forms) {
+    std::optional<XAffine> F = foldSymbolic(Form, NumLoopVars,
+                                            SymValues);
+    if (!F)
+      return std::nullopt;
+    Out.push_back(std::move(*F));
+  }
+  return Out;
+}
+
+std::optional<bool>
+edda::oracle::oracleDependentSampled(const DependenceProblem &Problem,
+                                     const std::vector<XAffine> &ExtraLe0,
+                                     const SymbolicOracleOptions &Opts) {
+  if (Problem.NumSymbolic == 0)
+    return oracleDependent(Problem, ExtraLe0, Opts.Base);
+  if (Opts.SampleValues.empty())
+    return std::nullopt;
+
+  uint64_t Total = 1;
+  for (unsigned K = 0; K < Problem.NumSymbolic; ++K) {
+    Total *= Opts.SampleValues.size();
+    if (Total > Opts.MaxValuations)
+      return std::nullopt;
+  }
+
+  std::vector<int64_t> Values(Problem.NumSymbolic,
+                              Opts.SampleValues.front());
+  std::vector<unsigned> Odometer(Problem.NumSymbolic, 0);
+  for (uint64_t V = 0; V < Total; ++V) {
+    for (unsigned K = 0; K < Problem.NumSymbolic; ++K)
+      Values[K] = Opts.SampleValues[Odometer[K]];
+
+    std::optional<DependenceProblem> Concrete =
+        concretize(Problem, Values);
+    if (!Concrete)
+      return std::nullopt;
+    std::optional<std::vector<XAffine>> Extra =
+        concretizeForms(ExtraLe0, Problem.numLoopVars(), Values);
+    if (!Extra)
+      return std::nullopt;
+    std::optional<bool> Truth =
+        oracleDependent(*Concrete, *Extra, Opts.Base);
+    if (!Truth)
+      return std::nullopt;
+    if (*Truth)
+      return true;
+
+    for (unsigned K = 0; K < Problem.NumSymbolic; ++K) {
+      if (++Odometer[K] < Opts.SampleValues.size())
+        break;
+      Odometer[K] = 0;
+    }
+  }
+  return false;
+}

@@ -1,0 +1,103 @@
+//===- oracle/Oracle.h - Brute-force ground truth --------------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exhaustive-enumeration ground truth for small dependence problems:
+/// the paper's exactness claims are machine-checked by comparing every
+/// test's answer against enumeration of all integer points within the
+/// loop bounds. Promoted out of the test tree so the differential
+/// fuzzer (src/fuzz), the regression tests and the benches share one
+/// oracle.
+///
+/// Symbolic problems are handled by *sampled concretization*: a grid of
+/// concrete values is substituted for each symbolic constant and every
+/// resulting concrete problem is enumerated. A sampled oracle is a
+/// soundness check, not an exactness check — "no sampled valuation
+/// admits a dependence" is necessary for independence but does not
+/// prove it, so clients compare only in the sound direction (analyzer
+/// says Independent => no sample may depend).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_ORACLE_ORACLE_H
+#define EDDA_ORACLE_ORACLE_H
+
+#include "deptest/Direction.h"
+#include "deptest/Problem.h"
+
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace edda {
+namespace oracle {
+
+/// Enumeration limits.
+struct OracleOptions {
+  /// Give up (return nullopt) past this many points.
+  uint64_t MaxPoints = 4u << 20;
+};
+
+/// True/false when enumeration is conclusive: the problem must have no
+/// symbolic variables and every loop variable needs both bounds, each
+/// referencing only variables earlier in x order. Extra forms are
+/// required <= 0 as in the cascade.
+std::optional<bool>
+oracleDependent(const DependenceProblem &Problem,
+                const std::vector<XAffine> &ExtraLe0 = {},
+                const OracleOptions &Opts = {});
+
+/// All direction sign patterns (over the common loops) realized by some
+/// dependence, by enumeration. Same applicability conditions.
+std::optional<std::set<DirVector>>
+oracleDirections(const DependenceProblem &Problem,
+                 const OracleOptions &Opts = {});
+
+/// True when \p Concrete (all components <, =, >) matches \p Reported
+/// componentwise, treating '*' as a wildcard.
+bool dirMatches(const DirVector &Reported, const DirVector &Concrete);
+
+/// Substitutes one concrete value per symbolic constant, folding each
+/// symbolic column into the constant terms of every equation and bound.
+/// The result has NumSymbolic == 0 and numX() == numLoopVars(). Returns
+/// nullopt when the substitution overflows 64-bit arithmetic.
+std::optional<DependenceProblem>
+concretize(const DependenceProblem &Problem,
+           const std::vector<int64_t> &SymValues);
+
+/// Rewrites extra constraint forms (over the original x layout) to the
+/// concretized layout, folding the symbolic columns the same way.
+std::optional<std::vector<XAffine>>
+concretizeForms(const std::vector<XAffine> &Forms, unsigned NumLoopVars,
+                const std::vector<int64_t> &SymValues);
+
+/// Knobs for the sampled symbolic oracle.
+struct SymbolicOracleOptions {
+  OracleOptions Base;
+  /// The per-constant sample grid. Includes negatives, zero and a few
+  /// magnitudes so cancellation, sign and emptiness cases all occur.
+  std::vector<int64_t> SampleValues = {-7, -2, -1, 0, 1, 2, 3, 5, 10};
+  /// Give up (return nullopt) when the full cartesian grid over the
+  /// symbolic constants exceeds this many valuations.
+  uint64_t MaxValuations = 1024;
+};
+
+/// Sampled concretization: enumerates the cartesian grid of
+/// SampleValues over the symbolic constants and returns true when some
+/// sampled valuation admits a dependence. Returns nullopt when any
+/// sample is itself inconclusive (missing bounds, overflow, too many
+/// points) or the grid is too large. For problems without symbolic
+/// constants this is exactly oracleDependent().
+std::optional<bool>
+oracleDependentSampled(const DependenceProblem &Problem,
+                       const std::vector<XAffine> &ExtraLe0 = {},
+                       const SymbolicOracleOptions &Opts = {});
+
+} // namespace oracle
+} // namespace edda
+
+#endif // EDDA_ORACLE_ORACLE_H

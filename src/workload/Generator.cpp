@@ -395,3 +395,164 @@ edda::generatePerfectClubSuite(const GeneratorOptions &Opts) {
         {Profile.Name, generateProgramSource(Profile, Opts)});
   return Suite;
 }
+
+namespace {
+
+/// Emits one unconstrained random program for the fuzzer.
+class RandomEmitter {
+public:
+  RandomEmitter(SplitRng &Rng, const RandomProgramOptions &Opts)
+      : Rng(Rng), Opts(Opts) {}
+
+  std::string run() {
+    unsigned NumArrays = 1 + Rng.below(std::max(1u, Opts.MaxArrays));
+    for (unsigned A = 0; A < NumArrays; ++A)
+      Ranks.push_back(1 + static_cast<unsigned>(Rng.below(2)));
+
+    std::string Body;
+    unsigned Stmts = 1 + Rng.below(std::max(1u, Opts.MaxTopStmts));
+    for (unsigned S = 0; S < Stmts; ++S)
+      Body += emitStmt(1);
+
+    std::string Out = "program fuzz\n";
+    for (unsigned A = 0; A < Ranks.size(); ++A) {
+      Out += "  array a" + std::to_string(A);
+      for (unsigned R = 0; R < Ranks[A]; ++R)
+        Out += "[4096]";
+      Out += "\n";
+    }
+    if (UsedSymbolic)
+      Out += "  read n\n";
+    Out += Body;
+    Out += "end\n";
+    return Out;
+  }
+
+private:
+  SplitRng &Rng;
+  const RandomProgramOptions &Opts;
+  std::vector<unsigned> Ranks;
+  std::vector<std::string> Scope; ///< In-scope loop variables.
+  unsigned NextVar = 0;
+  bool UsedSymbolic = false;
+
+  int64_t smallConst() { return static_cast<int64_t>(Rng.below(7)) - 3; }
+
+  /// Appends " + c" / " - c" to \p E (nothing for c == 0).
+  static void addConst(std::string &E, int64_t C) {
+    if (C > 0)
+      E += " + " + std::to_string(C);
+    else if (C < 0)
+      E += " - " + std::to_string(-C);
+  }
+
+  /// A random affine expression over the in-scope loop variables (and
+  /// occasionally the symbolic constant n).
+  std::string affine() {
+    std::string E;
+    for (const std::string &Var : Scope) {
+      if (Rng.below(100) >= 45)
+        continue;
+      int64_t C = 1 + static_cast<int64_t>(Rng.below(3));
+      std::string Term =
+          C == 1 ? Var : std::to_string(C) + "*" + Var;
+      E += E.empty() ? Term : " + " + Term;
+    }
+    if (Opts.AllowSymbolic && Rng.below(100) < 15) {
+      UsedSymbolic = true;
+      int64_t C = 1 + static_cast<int64_t>(Rng.below(2));
+      std::string Term = C == 1 ? std::string("n") : "2*n";
+      E += E.empty() ? Term : " + " + Term;
+    }
+    if (E.empty())
+      return std::to_string(1 + Rng.below(9));
+    addConst(E, smallConst());
+    return E;
+  }
+
+  std::string subscripts(unsigned Array) {
+    std::string S;
+    for (unsigned R = 0; R < Ranks[Array]; ++R)
+      S += "[" + affine() + "]";
+    return S;
+  }
+
+  std::string indent(unsigned Depth) {
+    return std::string(2 * Depth, ' ');
+  }
+
+  std::string emitAssign(unsigned Depth) {
+    unsigned Lhs = static_cast<unsigned>(Rng.below(Ranks.size()));
+    if (Rng.below(100) < 12) {
+      // Scalar accumulation reading an array (a read-only pair source).
+      return indent(Depth) + "s = s + a" + std::to_string(Lhs) +
+             subscripts(Lhs) + "\n";
+    }
+    unsigned Rhs = Rng.below(100) < 70
+                       ? Lhs
+                       : static_cast<unsigned>(Rng.below(Ranks.size()));
+    return indent(Depth) + "a" + std::to_string(Lhs) +
+           subscripts(Lhs) + " = a" + std::to_string(Rhs) +
+           subscripts(Rhs) + " + 1\n";
+  }
+
+  std::string emitLoop(unsigned Depth) {
+    std::string Var = "v" + std::to_string(NextVar++);
+    int64_t MaxB = std::max<int64_t>(2, Opts.MaxBound);
+
+    std::string Lo, Hi;
+    unsigned Shape = static_cast<unsigned>(Rng.below(100));
+    if (!Scope.empty() && Shape < 20) {
+      // Triangular: couple the upper bound to an outer variable.
+      const std::string &Outer = Scope[Rng.below(Scope.size())];
+      Lo = "1";
+      Hi = Outer;
+      addConst(Hi, smallConst());
+    } else if (!Scope.empty() && Shape < 35) {
+      // Banded: a window around an outer variable.
+      const std::string &Outer = Scope[Rng.below(Scope.size())];
+      int64_t B = 1 + static_cast<int64_t>(Rng.below(3));
+      Lo = Outer + " - " + std::to_string(B);
+      Hi = Outer + " + " + std::to_string(B);
+    } else if (Opts.AllowSymbolic && Shape < 47) {
+      // Symbolic extent (the paper's section 8 shape).
+      UsedSymbolic = true;
+      Lo = "1";
+      Hi = "n";
+    } else if (Shape < 52) {
+      // Degenerate: empty on its face.
+      Lo = std::to_string(2 + Rng.below(3));
+      Hi = "1";
+    } else {
+      int64_t L = 1 + static_cast<int64_t>(Rng.below(3));
+      Lo = std::to_string(L);
+      Hi = std::to_string(L + 1 +
+                          static_cast<int64_t>(Rng.below(MaxB)));
+    }
+
+    std::string Out = indent(Depth) + "for " + Var + " = " + Lo +
+                      " to " + Hi + " do\n";
+    Scope.push_back(Var);
+    unsigned BodyStmts = 1 + Rng.below(2);
+    for (unsigned S = 0; S < BodyStmts; ++S)
+      Out += emitStmt(Depth + 1);
+    Scope.pop_back();
+    Out += indent(Depth) + "end\n";
+    return Out;
+  }
+
+  std::string emitStmt(unsigned Depth) {
+    bool CanNest = Depth <= Opts.MaxDepth;
+    if (CanNest && (Scope.empty() || Rng.below(100) < 55))
+      return emitLoop(Depth);
+    return emitAssign(Depth);
+  }
+};
+
+} // namespace
+
+std::string
+edda::generateRandomProgram(SplitRng &Rng,
+                            const RandomProgramOptions &Opts) {
+  return RandomEmitter(Rng, Opts).run();
+}

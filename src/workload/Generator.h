@@ -105,6 +105,27 @@ std::string generateProgramSource(const ProgramProfile &Profile,
 std::vector<std::pair<std::string, std::string>>
 generatePerfectClubSuite(const GeneratorOptions &Opts);
 
+class SplitRng;
+
+/// Options for unconstrained random LoopLang programs — the fuzzer's
+/// program-level inputs. Unlike the profile templates above, these are
+/// not tied to any paper table: nests mix triangular, banded,
+/// degenerate and symbolic bounds, and subscripts are arbitrary small
+/// affine forms (including coupled multi-variable terms).
+struct RandomProgramOptions {
+  unsigned MaxDepth = 3;    ///< Deepest loop nesting.
+  unsigned MaxTopStmts = 4; ///< Top-level loop nests per program.
+  unsigned MaxArrays = 3;   ///< Arrays declared (rank 1 or 2).
+  int64_t MaxBound = 8;     ///< Magnitude cap for constant loop bounds.
+  bool AllowSymbolic = true; ///< Allow "read n" symbolic bounds and
+                             ///< subscript terms.
+};
+
+/// Emits one random LoopLang program. Always parseable; whether any
+/// reference pair depends is arbitrary. Deterministic in \p Rng.
+std::string generateRandomProgram(SplitRng &Rng,
+                                  const RandomProgramOptions &Opts = {});
+
 /// A tiny deterministic xorshift64* generator (reproducible across
 /// platforms, unlike <random> distributions).
 class SplitRng {

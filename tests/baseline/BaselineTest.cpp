@@ -9,11 +9,12 @@
 
 #include "deptest/Cascade.h"
 #include "testutil/Helpers.h"
-#include "testutil/Oracle.h"
+#include "oracle/Oracle.h"
 #include "gtest/gtest.h"
 
 using namespace edda;
 using namespace edda::testutil;
+using namespace edda::oracle;
 
 TEST(Baseline, SimpleGcdCatchesParity) {
   DependenceProblem P = ProblemBuilder(1, 1, 1)

@@ -8,11 +8,12 @@
 #include "deptest/Cascade.h"
 
 #include "testutil/Helpers.h"
-#include "testutil/Oracle.h"
+#include "oracle/Oracle.h"
 #include "gtest/gtest.h"
 
 using namespace edda;
 using namespace edda::testutil;
+using namespace edda::oracle;
 
 TEST(Cascade, ConstantSubscriptsIndependent) {
   // a[3] vs a[4].

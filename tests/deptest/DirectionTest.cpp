@@ -8,7 +8,7 @@
 #include "deptest/Direction.h"
 
 #include "testutil/Helpers.h"
-#include "testutil/Oracle.h"
+#include "oracle/Oracle.h"
 #include "gtest/gtest.h"
 
 #include <algorithm>
@@ -16,6 +16,7 @@
 
 using namespace edda;
 using namespace edda::testutil;
+using namespace edda::oracle;
 
 namespace {
 

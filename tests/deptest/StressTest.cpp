@@ -19,13 +19,43 @@
 #include "deptest/Direction.h"
 #include "deptest/Memo.h"
 #include "testutil/Helpers.h"
-#include "testutil/Oracle.h"
+#include "oracle/Oracle.h"
 #include "gtest/gtest.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
 
 using namespace edda;
 using namespace edda::testutil;
+using namespace edda::oracle;
 
 namespace {
+
+/// Seeds for the randomized suites. EDDA_STRESS_SEED overrides the
+/// defaults with a comma-separated list, so a failing seed reported by
+/// an assertion (or found by edda-fuzz) replays without recompiling:
+///
+///   EDDA_STRESS_SEED=12345 ./stress_test
+std::vector<uint64_t> stressSeeds(std::initializer_list<uint64_t> Defaults) {
+  if (const char *Env = std::getenv("EDDA_STRESS_SEED")) {
+    std::vector<uint64_t> Seeds;
+    std::istringstream In(Env);
+    std::string Tok;
+    while (std::getline(In, Tok, ','))
+      if (!Tok.empty())
+        Seeds.push_back(std::strtoull(Tok.c_str(), nullptr, 10));
+    if (!Seeds.empty())
+      return Seeds;
+  }
+  return Defaults;
+}
+
+/// Env override for the fixed-seed tests below.
+uint64_t stressSeed(uint64_t Default) {
+  return stressSeeds({Default}).front();
+}
 
 /// Random problem with up to three common loops, up to three equations
 /// and coefficients up to +/-5; bounds kept tight so the oracle stays
@@ -69,6 +99,9 @@ DependenceProblem deepRandomProblem(SplitRng &Rng) {
 class DeepCascadeProperty : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(DeepCascadeProperty, MatchesOracle) {
+  SCOPED_TRACE("seed " + std::to_string(GetParam()) +
+               " (replay: EDDA_STRESS_SEED=" +
+               std::to_string(GetParam()) + ")");
   SplitRng Rng(GetParam());
   unsigned Conclusive = 0;
   for (unsigned Iter = 0; Iter < 150; ++Iter) {
@@ -89,13 +122,17 @@ TEST_P(DeepCascadeProperty, MatchesOracle) {
   EXPECT_GT(Conclusive, 60u);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, DeepCascadeProperty,
-                         ::testing::Values(21, 22, 23, 24, 25, 26, 27, 28));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, DeepCascadeProperty,
+    ::testing::ValuesIn(stressSeeds({21, 22, 23, 24, 25, 26, 27, 28})));
 
 class DeepDirectionProperty : public ::testing::TestWithParam<uint64_t> {
 };
 
 TEST_P(DeepDirectionProperty, MatchesOracle) {
+  SCOPED_TRACE("seed " + std::to_string(GetParam()) +
+               " (replay: EDDA_STRESS_SEED=" +
+               std::to_string(GetParam()) + ")");
   SplitRng Rng(GetParam());
   unsigned Conclusive = 0;
   for (unsigned Iter = 0; Iter < 60; ++Iter) {
@@ -126,11 +163,16 @@ TEST_P(DeepDirectionProperty, MatchesOracle) {
   EXPECT_GT(Conclusive, 25u);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, DeepDirectionProperty,
-                         ::testing::Values(31, 32, 33, 34, 35));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, DeepDirectionProperty,
+    ::testing::ValuesIn(stressSeeds({31, 32, 33, 34, 35})));
 
 TEST(Stress, CascadeDeterministic) {
-  SplitRng Rng(55);
+  uint64_t Seed = stressSeed(55);
+  SCOPED_TRACE("seed " + std::to_string(Seed) +
+               " (replay: EDDA_STRESS_SEED=" + std::to_string(Seed) +
+               ")");
+  SplitRng Rng(Seed);
   for (unsigned Iter = 0; Iter < 100; ++Iter) {
     DependenceProblem P = deepRandomProblem(Rng);
     CascadeResult A = testDependence(P);
@@ -146,7 +188,11 @@ TEST(Stress, CascadeDeterministic) {
 TEST(Stress, RedundantConstraintsDoNotChangeAnswer) {
   // Duplicating an equation or widening a bound by a superset interval
   // must not flip the answer.
-  SplitRng Rng(56);
+  uint64_t Seed = stressSeed(56);
+  SCOPED_TRACE("seed " + std::to_string(Seed) +
+               " (replay: EDDA_STRESS_SEED=" + std::to_string(Seed) +
+               ")");
+  SplitRng Rng(Seed);
   for (unsigned Iter = 0; Iter < 100; ++Iter) {
     DependenceProblem P = deepRandomProblem(Rng);
     CascadeResult Base = testDependence(P);
@@ -161,7 +207,11 @@ TEST(Stress, RedundantConstraintsDoNotChangeAnswer) {
 }
 
 TEST(Stress, MemoizedAnswersMatchFreshOnes) {
-  SplitRng Rng(57);
+  uint64_t Seed = stressSeed(57);
+  SCOPED_TRACE("seed " + std::to_string(Seed) +
+               " (replay: EDDA_STRESS_SEED=" + std::to_string(Seed) +
+               ")");
+  SplitRng Rng(Seed);
   DependenceCache Cache;
   std::vector<DependenceProblem> Pool;
   for (unsigned I = 0; I < 40; ++I)
@@ -182,7 +232,11 @@ TEST(Stress, MemoizedAnswersMatchFreshOnes) {
 TEST(Stress, LargeCoefficientsStayExactOrHonest) {
   // Coefficients near the overflow edge: the cascade must either stay
   // exact (verified by witness) or say Unknown — never silently wrap.
-  SplitRng Rng(58);
+  uint64_t Seed = stressSeed(58);
+  SCOPED_TRACE("seed " + std::to_string(Seed) +
+               " (replay: EDDA_STRESS_SEED=" + std::to_string(Seed) +
+               ")");
+  SplitRng Rng(Seed);
   for (unsigned Iter = 0; Iter < 200; ++Iter) {
     int64_t Big = static_cast<int64_t>(Rng.below(1000000)) + 1000000;
     DependenceProblem P =

@@ -20,11 +20,12 @@
 
 #include "deptest/Direction.h"
 #include "testutil/Helpers.h"
-#include "testutil/Oracle.h"
+#include "oracle/Oracle.h"
 #include "gtest/gtest.h"
 
 using namespace edda;
 using namespace edda::testutil;
+using namespace edda::oracle;
 
 namespace {
 

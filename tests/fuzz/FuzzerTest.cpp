@@ -1,0 +1,196 @@
+//===- tests/fuzz/FuzzerTest.cpp - Differential fuzzer self-checks --------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzzer fuzzing itself is only evidence if the harness works:
+/// these tests pin (a) seed determinism, (b) that a clean tree produces
+/// zero mismatches, (c) that a deliberately injected wrong-sign bug is
+/// caught *and* shrunk to a tiny reproducer, and (d) the symbolic
+/// soundness property (an Independent verdict admits no sampled
+/// valuation that depends).
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "deptest/Cascade.h"
+#include "deptest/ProblemIO.h"
+#include "fuzz/ProblemGen.h"
+#include "fuzz/Shrink.h"
+#include "oracle/Oracle.h"
+#include "parser/Parser.h"
+#include "gtest/gtest.h"
+
+using namespace edda;
+using namespace edda::fuzz;
+using namespace edda::oracle;
+
+namespace {
+
+FuzzOptions quickOptions(uint64_t Seed, uint64_t Count) {
+  FuzzOptions Opts;
+  Opts.Seed = Seed;
+  Opts.Count = Count;
+  Opts.Threads = 2; // Keep the parallel axis cheap under ctest load.
+  return Opts;
+}
+
+} // namespace
+
+TEST(Fuzzer, SameSeedIsDeterministic) {
+  FuzzSummary A = runFuzz(quickOptions(11, 300));
+  FuzzSummary B = runFuzz(quickOptions(11, 300));
+  EXPECT_EQ(A.Iterations, B.Iterations);
+  EXPECT_EQ(A.Problems, B.Problems);
+  EXPECT_EQ(A.Programs, B.Programs);
+  EXPECT_EQ(A.OracleConclusive, B.OracleConclusive);
+  ASSERT_EQ(A.Failures.size(), B.Failures.size());
+  for (size_t I = 0; I < A.Failures.size(); ++I) {
+    EXPECT_EQ(A.Failures[I].Iteration, B.Failures[I].Iteration);
+    EXPECT_EQ(A.Failures[I].Reproducer, B.Failures[I].Reproducer);
+  }
+}
+
+TEST(Fuzzer, DifferentSeedsGenerateDifferentStreams) {
+  SplitRng RngA(1), RngB(2);
+  bool AnyDiffer = false;
+  for (unsigned I = 0; I < 10; ++I)
+    AnyDiffer |= randomFuzzProblem(RngA).serialize(true) !=
+                 randomFuzzProblem(RngB).serialize(true);
+  EXPECT_TRUE(AnyDiffer);
+}
+
+TEST(Fuzzer, CleanTreeHasNoMismatches) {
+  FuzzSummary S = runFuzz(quickOptions(3, 600));
+  EXPECT_TRUE(S.ok()) << S.Failures.size() << " failure(s), first: "
+                      << (S.Failures.empty() ? ""
+                                             : S.Failures[0].Detail + "\n" +
+                                                   S.Failures[0].Reproducer);
+  EXPECT_EQ(S.Iterations, 600u);
+  // The generator must keep the enumeration oracle in play, otherwise
+  // the oracle axis silently checks nothing.
+  EXPECT_GT(S.OracleConclusive, S.Problems / 2);
+  EXPECT_GT(S.Programs, 0u);
+}
+
+TEST(Fuzzer, InjectedBugIsCaughtAndShrunk) {
+  FuzzOptions Opts = quickOptions(1, 2000);
+  Opts.Bug = InjectedBug::NegateEqConst;
+  FuzzSummary S = runFuzz(Opts);
+  ASSERT_FALSE(S.ok()) << "wrong-sign bug escaped 2000 iterations";
+
+  // Every problem reproducer must be a valid .dep file (comment headers
+  // included) shrunk to the acceptance envelope: at most 2 loop
+  // variables — i.e. at most one reference pair's worth of loops — and
+  // at most 2 equations (array dimensions).
+  unsigned ProblemRepros = 0;
+  for (const FuzzFailure &F : S.Failures) {
+    if (F.IsProgram)
+      continue;
+    ++ProblemRepros;
+    SCOPED_TRACE(F.Reproducer);
+    ProblemParseResult Parsed = parseProblemText(F.Reproducer);
+    ASSERT_TRUE(Parsed.succeeded()) << Parsed.Error;
+    EXPECT_TRUE(Parsed.Problem->wellFormed());
+    EXPECT_LE(Parsed.Problem->numLoopVars(), 2u);
+    EXPECT_LE(Parsed.Problem->Equations.size(), 2u);
+  }
+  EXPECT_GE(ProblemRepros, 1u);
+}
+
+TEST(Fuzzer, SymbolicIndependenceIsSound) {
+  // Property: whenever the cascade proves a symbolic problem
+  // Independent, no sampled concretization may admit a dependence.
+  FuzzProblemOptions POpts;
+  POpts.SymbolicPercent = 100;
+  unsigned Checked = 0;
+  for (uint64_t Seed = 1; Seed <= 400; ++Seed) {
+    SplitRng Rng(Seed);
+    DependenceProblem P = randomFuzzProblem(Rng, POpts);
+    if (P.NumSymbolic == 0)
+      continue;
+    CascadeResult R = testDependence(P);
+    if (R.Answer != DepAnswer::Independent)
+      continue;
+    std::optional<bool> Sampled = oracleDependentSampled(P);
+    if (!Sampled)
+      continue;
+    ++Checked;
+    EXPECT_FALSE(*Sampled) << "decided by " << testKindName(R.DecidedBy)
+                           << "\n"
+                           << P.str();
+  }
+  EXPECT_GT(Checked, 30u);
+}
+
+TEST(Fuzzer, GeneratedProblemsAreWellFormed) {
+  for (uint64_t Seed = 1; Seed <= 200; ++Seed) {
+    SplitRng Rng(Seed);
+    DependenceProblem P = randomFuzzProblem(Rng);
+    EXPECT_TRUE(P.wellFormed());
+    EXPECT_GE(P.Equations.size(), 1u);
+    // The textual format must round-trip every generated shape.
+    ProblemParseResult Again = parseProblemText(printProblemText(P));
+    ASSERT_TRUE(Again.succeeded()) << Again.Error;
+    EXPECT_EQ(Again.Problem->serialize(true), P.serialize(true));
+  }
+}
+
+TEST(Fuzzer, RandomProgramsAlwaysParse) {
+  for (uint64_t Seed = 1; Seed <= 60; ++Seed) {
+    SplitRng Rng(Seed);
+    std::string Src = generateRandomProgram(Rng);
+    ParseResult R = parseProgram(Src);
+    ASSERT_TRUE(R.succeeded())
+        << Src << "\n"
+        << (R.Diags.empty() ? "" : R.Diags[0].str());
+  }
+}
+
+TEST(Shrinker, PreservesFailurePredicate) {
+  // Shrinking an oracle-dependent problem under the predicate "the
+  // oracle proves dependence" must stay dependent and never grow.
+  auto IsDependent = [](const DependenceProblem &Q) {
+    std::optional<bool> T = oracleDependent(Q);
+    return T && *T;
+  };
+  unsigned Shrunk = 0;
+  for (uint64_t Seed = 1; Seed <= 200 && Shrunk < 10; ++Seed) {
+    SplitRng Rng(Seed);
+    DependenceProblem P = randomFuzzProblem(Rng);
+    if (!IsDependent(P))
+      continue;
+    ++Shrunk;
+    DependenceProblem Min = shrinkProblem(P, IsDependent);
+    EXPECT_TRUE(IsDependent(Min)) << Min.str();
+    EXPECT_LE(Min.numX(), P.numX());
+    EXPECT_LE(Min.Equations.size(), P.Equations.size());
+  }
+  EXPECT_GE(Shrunk, 10u);
+}
+
+TEST(Shrinker, ProgramShrinkKeepsPredicate) {
+  // Shrink a generated program under "mentions array a0 in a loop";
+  // the result must still parse and satisfy the predicate.
+  auto Fails = [](const std::string &Src) {
+    ParseResult R = parseProgram(Src);
+    return R.succeeded() && Src.find("a0[") != std::string::npos &&
+           Src.find("for ") != std::string::npos;
+  };
+  unsigned Checked = 0;
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    SplitRng Rng(Seed);
+    std::string Src = generateRandomProgram(Rng);
+    if (!Fails(Src))
+      continue;
+    ++Checked;
+    std::string Min = shrinkProgramSource(Src, Fails);
+    EXPECT_TRUE(Fails(Min)) << Min;
+    EXPECT_LE(Min.size(), Src.size());
+  }
+  EXPECT_GE(Checked, 5u);
+}

@@ -16,12 +16,25 @@
 /// cross-checked against the enumeration oracle when applicable, and
 /// its witness verified.
 ///
+/// .loop files in the same directory are whole-program reproducers
+/// (typically minimized by edda-fuzz): each is replayed through the
+/// analyzer along the fuzzer's differential axes — serial vs. threaded,
+/// default vs. permuted pipeline, cache save/load — and each analyzable
+/// pair is cross-checked against the enumeration oracle.
+///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analyzer.h"
+#include "analysis/Builder.h"
 #include "deptest/Cascade.h"
 #include "deptest/ProblemIO.h"
-#include "testutil/Oracle.h"
+#include "deptest/TestPipeline.h"
+#include "oracle/Oracle.h"
+#include "parser/Parser.h"
 #include "gtest/gtest.h"
+
+#include <cstdio>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -34,7 +47,7 @@
 #endif
 
 using namespace edda;
-using namespace edda::testutil;
+using namespace edda::oracle;
 
 namespace {
 
@@ -100,6 +113,158 @@ TEST(Corpus, AllCasesDecideAsAnnotated) {
     std::optional<bool> Truth = oracleDependent(*Parsed.Problem);
     if (Truth)
       EXPECT_EQ(*Truth, R.Answer == DepAnswer::Dependent);
+  }
+}
+
+TEST(Corpus, DepFilesSurviveCacheRoundTrip) {
+  // The fuzzer's memo axis, replayed over the pinned corpus: a cache
+  // save/load must preserve every answer (witnesses are not persisted).
+  DependenceCache Before;
+  std::vector<CorpusCase> Cases = loadCorpus();
+  std::vector<DependenceProblem> Problems;
+  for (const CorpusCase &Case : Cases) {
+    ProblemParseResult Parsed = parseProblemText(Case.Text);
+    ASSERT_TRUE(Parsed.succeeded()) << Case.Path;
+    Problems.push_back(*Parsed.Problem);
+    Before.insertFull(Problems.back(), testDependence(Problems.back()));
+  }
+  std::string Path = "corpus-memo-" + std::to_string(::getpid()) +
+                     ".cache";
+  ASSERT_TRUE(Before.saveToFile(Path));
+  DependenceCache After;
+  ASSERT_TRUE(After.loadFromFile(Path));
+  std::remove(Path.c_str());
+  for (size_t I = 0; I < Problems.size(); ++I) {
+    SCOPED_TRACE(Cases[I].Path);
+    std::optional<CascadeResult> Want = Before.lookupFull(Problems[I]);
+    std::optional<CascadeResult> Got = After.lookupFull(Problems[I]);
+    ASSERT_TRUE(Want.has_value());
+    ASSERT_TRUE(Got.has_value());
+    EXPECT_EQ(Got->Answer, Want->Answer);
+    EXPECT_EQ(Got->DecidedBy, Want->DecidedBy);
+    EXPECT_EQ(Got->Exact, Want->Exact);
+  }
+}
+
+namespace {
+
+struct LoopCase {
+  std::string Path;
+  std::string Source;
+};
+
+std::vector<LoopCase> loadLoopCorpus() {
+  std::vector<LoopCase> Cases;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(EDDA_CORPUS_DIR)) {
+    if (Entry.path().extension() != ".loop")
+      continue;
+    std::ifstream In(Entry.path());
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    Cases.push_back({Entry.path().filename().string(), Buffer.str()});
+  }
+  std::sort(Cases.begin(), Cases.end(),
+            [](const LoopCase &A, const LoopCase &B) {
+              return A.Path < B.Path;
+            });
+  return Cases;
+}
+
+/// Pairwise answer comparison; \p Exact also requires identical cache
+/// provenance (the serial-vs-threads bit-identical contract).
+void expectSameAnswers(const AnalysisResult &Want,
+                       const AnalysisResult &Got, bool Exact) {
+  ASSERT_EQ(Want.Pairs.size(), Got.Pairs.size());
+  for (size_t I = 0; I < Want.Pairs.size(); ++I) {
+    SCOPED_TRACE("pair " + std::to_string(I));
+    EXPECT_EQ(Got.Pairs[I].RefA, Want.Pairs[I].RefA);
+    EXPECT_EQ(Got.Pairs[I].RefB, Want.Pairs[I].RefB);
+    EXPECT_EQ(Got.Pairs[I].Answer, Want.Pairs[I].Answer);
+    EXPECT_EQ(Got.Pairs[I].DecidedBy, Want.Pairs[I].DecidedBy);
+    EXPECT_EQ(Got.Pairs[I].Exact, Want.Pairs[I].Exact);
+    if (Exact)
+      EXPECT_EQ(Got.Pairs[I].FromCache, Want.Pairs[I].FromCache);
+    ASSERT_EQ(Got.Pairs[I].Directions.has_value(),
+              Want.Pairs[I].Directions.has_value());
+    if (Want.Pairs[I].Directions) {
+      EXPECT_EQ(Got.Pairs[I].Directions->Vectors,
+                Want.Pairs[I].Directions->Vectors);
+      EXPECT_EQ(Got.Pairs[I].Directions->Distances,
+                Want.Pairs[I].Directions->Distances);
+    }
+  }
+}
+
+} // namespace
+
+TEST(Corpus, LoopFilesReplayDifferentially) {
+  std::vector<LoopCase> Cases = loadLoopCorpus();
+  ASSERT_GE(Cases.size(), 1u) << ".loop corpus missing?";
+  for (const LoopCase &Case : Cases) {
+    SCOPED_TRACE(Case.Path);
+    ParseResult Parsed = parseProgram(Case.Source);
+    ASSERT_TRUE(Parsed.succeeded())
+        << (Parsed.Diags.empty() ? "" : Parsed.Diags[0].str());
+
+    AnalyzerOptions Serial;
+    Serial.ComputeDirections = true;
+    Program SerialCopy = *Parsed.Prog;
+    DependenceAnalyzer SerialAnalyzer(Serial);
+    AnalysisResult Want = SerialAnalyzer.analyze(SerialCopy);
+    ASSERT_GT(Want.Pairs.size(), 0u);
+
+    // Axis: serial vs. threaded, bit-identical.
+    AnalyzerOptions Threaded = Serial;
+    Threaded.NumThreads = 4;
+    Program ThreadedCopy = *Parsed.Prog;
+    DependenceAnalyzer ThreadedAnalyzer(Threaded);
+    expectSameAnswers(Want, ThreadedAnalyzer.analyze(ThreadedCopy),
+                      /*Exact=*/true);
+
+    // Axis: permuted pipeline; decisive answers must agree (Unknown is
+    // legitimately order-dependent).
+    AnalyzerOptions Permuted = Serial;
+    Permuted.ComputeDirections = false;
+    Permuted.Cascade.Pipeline =
+        makePipeline("fm,residue,acyclic,svpc,gcd,const");
+    ASSERT_TRUE(Permuted.Cascade.Pipeline);
+    Program PermutedCopy = *Parsed.Prog;
+    DependenceAnalyzer PermutedAnalyzer(Permuted);
+    AnalysisResult Perm = PermutedAnalyzer.analyze(PermutedCopy);
+    ASSERT_EQ(Perm.Pairs.size(), Want.Pairs.size());
+    for (size_t I = 0; I < Want.Pairs.size(); ++I)
+      if (Want.Pairs[I].Answer != DepAnswer::Unknown &&
+          Perm.Pairs[I].Answer != DepAnswer::Unknown)
+        EXPECT_EQ(Perm.Pairs[I].Answer, Want.Pairs[I].Answer)
+            << "pair " << I;
+
+    // Axis: cache save/load, then re-analysis from the loaded cache.
+    std::string Path = "corpus-loop-" + std::to_string(::getpid()) +
+                       ".cache";
+    ASSERT_TRUE(SerialAnalyzer.cache().saveToFile(Path));
+    DependenceAnalyzer Reloaded(Serial);
+    ASSERT_TRUE(Reloaded.cache().loadFromFile(Path));
+    std::remove(Path.c_str());
+    Program ReloadedCopy = *Parsed.Prog;
+    expectSameAnswers(Want, Reloaded.analyze(ReloadedCopy),
+                      /*Exact=*/false);
+
+    // Axis: per-pair enumeration oracle on the problems the analyzer
+    // actually decided.
+    for (const DependencePair &Pair : Want.Pairs) {
+      if (Pair.Answer == DepAnswer::Unknown)
+        continue;
+      std::optional<BuiltProblem> Built = buildProblem(
+          SerialCopy, Want.Refs[Pair.RefA], Want.Refs[Pair.RefB]);
+      if (!Built || !Built->Exact)
+        continue;
+      std::optional<bool> Truth = oracleDependent(Built->Problem);
+      if (Truth)
+        EXPECT_EQ(*Truth, Pair.Answer == DepAnswer::Dependent)
+            << refStr(SerialCopy, Want.Refs[Pair.RefA]) << " vs "
+            << refStr(SerialCopy, Want.Refs[Pair.RefB]);
+    }
   }
 }
 

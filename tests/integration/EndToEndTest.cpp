@@ -25,7 +25,7 @@
 #include "analysis/Interp.h"
 #include "opt/Pipeline.h"
 #include "testutil/Helpers.h"
-#include "testutil/Oracle.h"
+#include "oracle/Oracle.h"
 #include "workload/Generator.h"
 #include "gtest/gtest.h"
 
@@ -34,6 +34,7 @@
 
 using namespace edda;
 using namespace edda::testutil;
+using namespace edda::oracle;
 
 namespace {
 

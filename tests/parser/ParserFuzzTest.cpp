@@ -87,6 +87,47 @@ TEST(ParserFuzz, ByteNoiseNeverCrashes) {
   }
 }
 
+namespace {
+
+/// parse -> print must reach a fixed point in one step: the printed
+/// form reparses, and printing the reparse reproduces it byte for byte.
+void expectPrintParseIdempotent(const std::string &Source,
+                                const std::string &Label) {
+  ParseResult First = parseProgram(Source);
+  ASSERT_TRUE(First.succeeded())
+      << Label << ": "
+      << (First.Diags.empty() ? "source did not parse"
+                              : First.Diags[0].str())
+      << "\n"
+      << Source;
+  std::string Printed = First.Prog->print();
+  ParseResult Second = parseProgram(Printed);
+  ASSERT_TRUE(Second.succeeded())
+      << Label << ": printed form does not reparse\n"
+      << Printed;
+  EXPECT_EQ(Second.Prog->print(), Printed)
+      << Label << ": print/parse is not a fixed point";
+}
+
+} // namespace
+
+TEST(ParserFuzz, PerfectClubProgramsPrintParseIdempotent) {
+  GeneratorOptions Opts;
+  Opts.Scale = 0.05; // Small case counts; shapes are what matter here.
+  Opts.MaxWrapDepth = 2;
+  Opts.IncludeSymbolic = true;
+  for (const auto &[Name, Source] : generatePerfectClubSuite(Opts))
+    expectPrintParseIdempotent(Source, Name);
+}
+
+TEST(ParserFuzz, RandomProgramsPrintParseIdempotent) {
+  for (uint64_t Seed = 1; Seed <= 80; ++Seed) {
+    SplitRng Rng(Seed);
+    expectPrintParseIdempotent(generateRandomProgram(Rng),
+                               "seed " + std::to_string(Seed));
+  }
+}
+
 TEST(ParserFuzz, DeepNestingHandled) {
   // 200 nested loops: recursion depth must be fine and the program
   // valid.
