@@ -80,6 +80,11 @@ int main() {
   std::printf("\nUnanalyzable pairs: %llu (must be 0)\n",
               static_cast<unsigned long long>(
                   Total.decided(TestKind::Unanalyzable)));
+  // The PERFECT-style suite has modest coefficients, so the 128-bit
+  // widening ladder must never fire here; a nonzero count means the
+  // 64-bit fast path regressed. run_benches.sh --json scrapes this.
+  std::printf("Widened queries: %llu (64-bit fast path must stay 0)\n",
+              static_cast<unsigned long long>(Total.WidenedQueries));
   std::printf("Shape check: SVPC decides %.1f%% of the non-constant "
               "exact tests (paper: %.1f%%)\n",
               100.0 * Total.decided(TestKind::Svpc) /

@@ -1,18 +1,33 @@
 #!/bin/sh
 # Runs every bench binary in order, as recorded in EXPERIMENTS.md.
 #
-# Usage: run_benches.sh [BUILD_DIR] [EXTRA_ARGS...]
+# Usage: run_benches.sh [--json OUT.json] [BUILD_DIR] [EXTRA_ARGS...]
 #
 # The binary list is generated from the edda_add_bench() registrations
 # in bench/CMakeLists.txt, so a newly added bench cannot silently drop
 # out of the CI smoke run. EXTRA_ARGS are forwarded to every binary
 # (benches ignore flags they do not understand).
+#
+# With --json, per-bench wall-clock timings plus the widening-ladder
+# counters are also written to OUT.json (the BENCH_<n>.json artifact CI
+# uploads): the synthetic suite must keep "Widened queries" at 0 (the
+# 64-bit fast path), while the committed corpus flip case must decide
+# only under widening. Timings are wall-clock milliseconds of each whole
+# bench binary; compare them across CI runs, not within one.
 set -e
+
+JSON_OUT=
+if [ "$1" = "--json" ]; then
+  JSON_OUT=$2
+  [ -n "$JSON_OUT" ] || { echo "error: --json needs a path" >&2; exit 2; }
+  shift 2
+fi
 BUILD=${1:-build}
 [ $# -gt 0 ] && shift
 
 SCRIPT_DIR=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
 BENCH_CMAKE="$SCRIPT_DIR/../bench/CMakeLists.txt"
+REPO_ROOT=$(CDPATH= cd -- "$SCRIPT_DIR/.." && pwd)
 
 BENCHES=$(sed -n 's/^edda_add_bench(\([A-Za-z0-9_]*\)).*/\1/p' \
           "$BENCH_CMAKE")
@@ -21,14 +36,67 @@ if [ -z "$BENCHES" ]; then
   exit 1
 fi
 
+now_ms() {
+  # %N is GNU date; fall back to second granularity elsewhere.
+  case $(date +%N) in
+    *N*) echo $(( $(date +%s) * 1000 )) ;;
+    *)   echo $(( $(date +%s%N) / 1000000 )) ;;
+  esac
+}
+
+TIMINGS=
+WIDENED_SUITE=
 for b in $BENCHES; do
   if [ ! -x "$BUILD/bench/$b" ]; then
     echo "error: bench binary '$BUILD/bench/$b' is missing" >&2
     exit 1
   fi
   echo "===== $b ====="
-  "$BUILD/bench/$b" "$@"
-  echo
+  T0=$(now_ms)
+  OUT=$("$BUILD/bench/$b" "$@")
+  T1=$(now_ms)
+  printf '%s\n\n' "$OUT"
+  TIMINGS="$TIMINGS    \"$b\": $((T1 - T0)),\n"
+  if [ "$b" = "table1_test_frequency" ]; then
+    WIDENED_SUITE=$(printf '%s\n' "$OUT" |
+                    sed -n 's/^Widened queries: \([0-9]*\).*/\1/p')
+  fi
 done
 echo "===== micro_test_cost ====="
 "$BUILD/bench/micro_test_cost" --benchmark_min_time=0.2 "$@"
+
+[ -n "$JSON_OUT" ] || exit 0
+
+# Widening counters beyond the suite: the demo program exercises the
+# fast path end to end, and the committed corpus case is the
+# seed-Unanalyzable problem that must now decide (only) at 128 bits.
+DEMO_STATS=$("$BUILD/tools/edda-cli" --stats \
+             "$REPO_ROOT/tests/inputs/demo.loop" | tail -1)
+DEMO_QUERIES=$(printf '%s\n' "$DEMO_STATS" |
+               sed -n 's/^queries: \([0-9]*\),.*/\1/p')
+DEMO_WIDENED=$(printf '%s\n' "$DEMO_STATS" |
+               sed -n 's/.*widened: \([0-9]*\).*/\1/p')
+FLIP=tests/inputs/corpus/widen_svpc_huge_bounds.dep
+FLIP_ANSWER=$("$BUILD/tools/edda-cli" --problem "$REPO_ROOT/$FLIP" |
+              sed -n 's/^answer: \([a-z]*\).*/\1/p')
+FLIP_NOWIDEN=$("$BUILD/tools/edda-cli" --problem --no-widen \
+               "$REPO_ROOT/$FLIP" |
+               sed -n 's/^answer: \([a-z]*\).*/\1/p')
+
+{
+  printf '{\n'
+  printf '  "schema": "edda-bench",\n'
+  printf '  "timings_ms": {\n'
+  printf "$TIMINGS" | sed '$s/,$//'
+  printf '  },\n'
+  printf '  "widening": {\n'
+  printf '    "suite_widened_queries": %s,\n' "${WIDENED_SUITE:-null}"
+  printf '    "demo_queries": %s,\n' "${DEMO_QUERIES:-null}"
+  printf '    "demo_widened": %s,\n' "${DEMO_WIDENED:-null}"
+  printf '    "flip_case": "%s",\n' "$FLIP"
+  printf '    "flip_answer": "%s",\n' "$FLIP_ANSWER"
+  printf '    "flip_answer_no_widen": "%s"\n' "$FLIP_NOWIDEN"
+  printf '  }\n'
+  printf '}\n'
+} > "$JSON_OUT"
+echo "wrote $JSON_OUT"

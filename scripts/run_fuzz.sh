@@ -3,6 +3,10 @@
 # collects any minimized reproducers.
 #
 # Usage: run_fuzz.sh [BUILD_DIR] [BUDGET_SECONDS] [OUT_DIR] [SEED]
+#                    [EXTRA_ARGS...]
+#
+# EXTRA_ARGS are forwarded to edda-fuzz verbatim (e.g. --no-widen to
+# smoke the historical 64-bit-only cascade).
 #
 # Exit status is edda-fuzz's own: 0 when every iteration agreed across
 # all axes, 1 when a mismatch was found (reproducers are in OUT_DIR,
@@ -12,6 +16,9 @@ BUILD=${1:-build}
 BUDGET=${2:-60}
 OUT=${3:-fuzz-failures}
 SEED=${4:-1}
+for _ in 1 2 3 4; do
+  [ $# -gt 0 ] && shift
+done
 
 FUZZ="$BUILD/tools/edda-fuzz"
 if [ ! -x "$FUZZ" ]; then
@@ -20,4 +27,4 @@ if [ ! -x "$FUZZ" ]; then
 fi
 
 echo "edda-fuzz: seed $SEED, budget ${BUDGET}s, reproducers -> $OUT"
-"$FUZZ" --seed "$SEED" --time-budget "$BUDGET" --out "$OUT"
+"$FUZZ" --seed "$SEED" --time-budget "$BUDGET" --out "$OUT" "$@"

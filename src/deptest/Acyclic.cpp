@@ -7,7 +7,7 @@
 
 #include "deptest/Acyclic.h"
 
-#include "support/IntMath.h"
+#include "support/WideInt.h"
 
 #include <algorithm>
 #include <map>
@@ -16,29 +16,38 @@ using namespace edda;
 
 namespace {
 
+enum class SimplifyOutcome { Ok, Contradiction, Overflow };
+
 /// Moves single-variable and constant constraints out of \p Work into the
-/// intervals, to a fixpoint. Returns false when a contradiction is found.
-bool simplifyToIntervals(std::vector<LinearConstraint> &Work,
-                         VarIntervals &Intervals) {
+/// intervals, to a fixpoint.
+template <typename T>
+SimplifyOutcome simplifyToIntervals(std::vector<LinearConstraintT<T>> &Work,
+                                    VarIntervalsT<T> &Intervals) {
   bool Changed = true;
   while (Changed) {
     Changed = false;
     for (auto It = Work.begin(); It != Work.end();) {
       unsigned Active = It->numActiveVars();
       if (Active == 0) {
-        if (It->Bound < 0)
-          return false;
+        if (It->Bound < T(0))
+          return SimplifyOutcome::Contradiction;
         It = Work.erase(It);
         Changed = true;
         continue;
       }
       if (Active == 1) {
         unsigned V = It->soleVar();
-        int64_t A = It->Coeffs[V];
-        if (A > 0)
-          Intervals.tightenHi(V, floorDiv(It->Bound, A));
+        T A = It->Coeffs[V];
+        // Substitution can leave arbitrary coefficients here, so the
+        // (min, -1) division pair is live: use the checked variants.
+        std::optional<T> Limit = A > T(0) ? checkedFloorDiv(It->Bound, A)
+                                          : checkedCeilDiv(It->Bound, A);
+        if (!Limit)
+          return SimplifyOutcome::Overflow;
+        if (A > T(0))
+          Intervals.tightenHi(V, *Limit);
         else
-          Intervals.tightenLo(V, ceilDiv(It->Bound, A));
+          Intervals.tightenLo(V, *Limit);
         It = Work.erase(It);
         Changed = true;
         continue;
@@ -46,38 +55,48 @@ bool simplifyToIntervals(std::vector<LinearConstraint> &Work,
       ++It;
     }
     if (Intervals.contradictory())
-      return false;
+      return SimplifyOutcome::Contradiction;
   }
-  return true;
+  return SimplifyOutcome::Ok;
 }
 
 } // namespace
 
-AcyclicResult edda::runAcyclic(unsigned NumVars,
-                               std::vector<LinearConstraint> MultiVar,
-                               VarIntervals Intervals) {
-  AcyclicResult Result;
-  std::vector<LinearConstraint> Work = std::move(MultiVar);
+namespace edda {
+
+template <typename T>
+AcyclicResultT<T> runAcyclic(unsigned NumVars,
+                             std::vector<LinearConstraintT<T>> MultiVar,
+                             VarIntervalsT<T> Intervals) {
+  AcyclicResultT<T> Result;
+  std::vector<LinearConstraintT<T>> Work = std::move(MultiVar);
 
   while (true) {
-    if (!simplifyToIntervals(Work, Intervals)) {
-      Result.St = AcyclicResult::Status::Independent;
+    switch (simplifyToIntervals(Work, Intervals)) {
+    case SimplifyOutcome::Contradiction:
+      Result.St = AcyclicResultT<T>::Status::Independent;
       Result.Intervals = std::move(Intervals);
       return Result;
+    case SimplifyOutcome::Overflow:
+      Result.St = AcyclicResultT<T>::Status::Overflow;
+      Result.Intervals = std::move(Intervals);
+      return Result;
+    case SimplifyOutcome::Ok:
+      break;
     }
 
     if (Work.empty()) {
       // Every multi-variable constraint eliminated: the system is
       // feasible. Build a witness from the intervals, then replay the
       // eliminations to repair the eliminated variables.
-      std::vector<int64_t> Sample(NumVars, 0);
+      std::vector<T> Sample(NumVars, T(0));
       for (unsigned V = 0; V < NumVars; ++V) {
         if (Intervals.Lo[V])
           Sample[V] = *Intervals.Lo[V];
         else if (Intervals.Hi[V])
           Sample[V] = *Intervals.Hi[V];
       }
-      Result.St = AcyclicResult::Status::Dependent;
+      Result.St = AcyclicResultT<T>::Status::Dependent;
       Result.Intervals = std::move(Intervals);
       if (completeSample(Sample, Result.Log, Result.Intervals))
         Result.Sample = std::move(Sample);
@@ -89,37 +108,37 @@ AcyclicResult edda::runAcyclic(unsigned NumVars,
     bool Eliminated = false;
     for (unsigned V = 0; V < NumVars && !Eliminated; ++V) {
       bool Pos = false, Neg = false;
-      for (const LinearConstraint &C : Work) {
-        if (C.Coeffs[V] > 0)
+      for (const LinearConstraintT<T> &C : Work) {
+        if (C.Coeffs[V] > T(0))
           Pos = true;
-        else if (C.Coeffs[V] < 0)
+        else if (C.Coeffs[V] < T(0))
           Neg = true;
       }
       if (Pos == Neg) // absent, or bounded both ways
         continue;
 
-      AcyclicElimination Elim;
+      AcyclicEliminationT<T> Elim;
       Elim.Var = V;
       Elim.UpperBounded = Pos;
-      const std::optional<int64_t> &Endpoint =
+      const std::optional<T> &Endpoint =
           Pos ? Intervals.Lo[V] : Intervals.Hi[V];
       if (Endpoint) {
         // Pin the variable to the endpoint opposite its constrained
         // direction and substitute.
         Elim.Pinned = true;
         Elim.Value = *Endpoint;
-        for (LinearConstraint &C : Work) {
-          if (C.Coeffs[V] == 0)
+        for (LinearConstraintT<T> &C : Work) {
+          if (C.Coeffs[V] == T(0))
             continue;
-          CheckedInt NewBound = CheckedInt(C.Bound) -
-                                CheckedInt(C.Coeffs[V]) * Elim.Value;
+          Checked<T> NewBound =
+              Checked<T>(C.Bound) - Checked<T>(C.Coeffs[V]) * Elim.Value;
           if (!NewBound.valid()) {
-            Result.St = AcyclicResult::Status::Overflow;
+            Result.St = AcyclicResultT<T>::Status::Overflow;
             Result.Intervals = std::move(Intervals);
             return Result;
           }
           C.Bound = NewBound.get();
-          C.Coeffs[V] = 0;
+          C.Coeffs[V] = T(0);
         }
         Intervals.Lo[V] = Elim.Value;
         Intervals.Hi[V] = Elim.Value;
@@ -128,7 +147,7 @@ AcyclicResult edda::runAcyclic(unsigned NumVars,
         // pushed far enough, so it goes away with its constraints.
         Elim.Pinned = false;
         for (auto It = Work.begin(); It != Work.end();) {
-          if (It->Coeffs[V] != 0) {
+          if (It->Coeffs[V] != T(0)) {
             Elim.DroppedConstraints.push_back(*It);
             It = Work.erase(It);
           } else {
@@ -142,7 +161,7 @@ AcyclicResult edda::runAcyclic(unsigned NumVars,
 
     if (!Eliminated) {
       // Every remaining variable is bounded both ways: a cycle.
-      Result.St = AcyclicResult::Status::NeedsMore;
+      Result.St = AcyclicResultT<T>::Status::NeedsMore;
       Result.Intervals = std::move(Intervals);
       Result.Remaining = std::move(Work);
       return Result;
@@ -150,36 +169,40 @@ AcyclicResult edda::runAcyclic(unsigned NumVars,
   }
 }
 
-bool edda::completeSample(std::vector<int64_t> &Sample,
-                          const std::vector<AcyclicElimination> &Log,
-                          const VarIntervals &Intervals) {
+template <typename T>
+bool completeSample(std::vector<T> &Sample,
+                    const std::vector<AcyclicEliminationT<T>> &Log,
+                    const VarIntervalsT<T> &Intervals) {
   // Replay in reverse: a step's dropped constraints only mention
   // variables eliminated later (already assigned) or survivors.
   for (auto It = Log.rbegin(); It != Log.rend(); ++It) {
-    const AcyclicElimination &Elim = *It;
+    const AcyclicEliminationT<T> &Elim = *It;
     if (Elim.Pinned) {
       Sample[Elim.Var] = Elim.Value;
       continue;
     }
-    std::optional<int64_t> Best;
-    for (const LinearConstraint &C : Elim.DroppedConstraints) {
-      int64_t A = C.Coeffs[Elim.Var];
-      assert(A != 0 && "dropped constraint without the variable");
-      CheckedInt Rest(C.Bound);
+    std::optional<T> Best;
+    for (const LinearConstraintT<T> &C : Elim.DroppedConstraints) {
+      T A = C.Coeffs[Elim.Var];
+      assert(A != T(0) && "dropped constraint without the variable");
+      Checked<T> Rest(C.Bound);
       for (unsigned J = 0; J < C.Coeffs.size(); ++J)
-        if (J != Elim.Var && C.Coeffs[J] != 0)
-          Rest -= CheckedInt(C.Coeffs[J]) * Sample[J];
+        if (J != Elim.Var && C.Coeffs[J] != T(0))
+          Rest -= Checked<T>(C.Coeffs[J]) * Sample[J];
       if (!Rest.valid())
         return false;
       // A*v <= Rest: v <= floor(Rest/A) when A > 0 (push low), else
-      // v >= ceil(Rest/A) (push high).
-      int64_t Limit = A > 0 ? floorDiv(Rest.get(), A)
-                            : ceilDiv(Rest.get(), A);
+      // v >= ceil(Rest/A) (push high). Checked: A is an arbitrary
+      // coefficient, so the (min, -1) pair is reachable.
+      std::optional<T> Limit = A > T(0) ? checkedFloorDiv(Rest.get(), A)
+                                        : checkedCeilDiv(Rest.get(), A);
+      if (!Limit)
+        return false;
       if (!Best)
-        Best = Limit;
+        Best = *Limit;
       else
-        Best = Elim.UpperBounded ? std::min(*Best, Limit)
-                                 : std::max(*Best, Limit);
+        Best = Elim.UpperBounded ? std::min(*Best, *Limit)
+                                 : std::max(*Best, *Limit);
     }
     assert(Best && "dropped variable had no constraints");
     // Respect the variable's own one-sided interval.
@@ -191,6 +214,21 @@ bool edda::completeSample(std::vector<int64_t> &Sample,
   }
   return true;
 }
+
+template AcyclicResultT<int64_t>
+runAcyclic(unsigned, std::vector<LinearConstraintT<int64_t>>,
+           VarIntervalsT<int64_t>);
+template AcyclicResultT<Int128>
+runAcyclic(unsigned, std::vector<LinearConstraintT<Int128>>,
+           VarIntervalsT<Int128>);
+template bool completeSample(std::vector<int64_t> &,
+                             const std::vector<AcyclicEliminationT<int64_t>> &,
+                             const VarIntervalsT<int64_t> &);
+template bool completeSample(std::vector<Int128> &,
+                             const std::vector<AcyclicEliminationT<Int128>> &,
+                             const VarIntervalsT<Int128> &);
+
+} // namespace edda
 
 //===----------------------------------------------------------------------===//
 // Explicit constraint graph (diagnostics / Figure 1 style output)

@@ -17,6 +17,9 @@
 /// over the acyclic constraint graph; the explicit graph is still built
 /// by graph() for diagnostics and the Figure 1 demo.
 ///
+/// Templated on the scalar type for the widening ladder: int64_t is the
+/// fast path, Int128 the retry tier.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EDDA_DEPTEST_ACYCLIC_H
@@ -34,56 +37,62 @@ namespace edda {
 /// One elimination step performed by the Acyclic test, recorded so that a
 /// witness point can be reconstructed after a later test decides the
 /// simplified system.
-struct AcyclicElimination {
+template <typename T> struct AcyclicEliminationT {
   unsigned Var;
   /// True when the variable was pinned to a concrete interval endpoint;
   /// false when it was unbounded on the needed side and dropped together
   /// with its constraints.
   bool Pinned;
   /// The pinned value (when Pinned).
-  int64_t Value = 0;
+  T Value = T(0);
   /// True when the multi-variable constraints only bounded the variable
   /// from above (so a dropped variable must be pushed low enough).
   bool UpperBounded = false;
   /// The constraints removed together with a dropped variable.
-  std::vector<LinearConstraint> DroppedConstraints;
+  std::vector<LinearConstraintT<T>> DroppedConstraints;
 };
 
 /// Outcome of the Acyclic test.
-struct AcyclicResult {
+template <typename T> struct AcyclicResultT {
   enum class Status {
     Independent, ///< Exact: substitution exposed a contradiction.
     Dependent,   ///< Exact: every multi-variable constraint eliminated.
     NeedsMore,   ///< A cyclic core remains; cascade onward.
-    Overflow,    ///< Arithmetic gave up; fall back to Fourier-Motzkin.
+    Overflow,    ///< Arithmetic gave up; widen or fall back.
   };
 
   Status St = Status::NeedsMore;
   /// Updated intervals (substitution turns multi-variable constraints
   /// into interval tightenings).
-  VarIntervals Intervals{0};
+  VarIntervalsT<T> Intervals{0};
   /// The surviving (cyclic) multi-variable constraints.
-  std::vector<LinearConstraint> Remaining;
+  std::vector<LinearConstraintT<T>> Remaining;
   /// Elimination log, in elimination order.
-  std::vector<AcyclicElimination> Log;
+  std::vector<AcyclicEliminationT<T>> Log;
   /// Witness when Dependent.
-  std::optional<std::vector<int64_t>> Sample;
+  std::optional<std::vector<T>> Sample;
 };
+
+/// The 64-bit fast-path instantiations (the historical names).
+using AcyclicElimination = AcyclicEliminationT<int64_t>;
+using AcyclicResult = AcyclicResultT<int64_t>;
 
 /// Runs the Acyclic test. \p NumVars is the t-space arity; \p MultiVar
 /// are the multi-variable constraints surviving SVPC; \p Intervals the
 /// SVPC intervals (consumed by value, updated in the result).
-AcyclicResult runAcyclic(unsigned NumVars,
-                         std::vector<LinearConstraint> MultiVar,
-                         VarIntervals Intervals);
+template <typename T>
+AcyclicResultT<T> runAcyclic(unsigned NumVars,
+                             std::vector<LinearConstraintT<T>> MultiVar,
+                             VarIntervalsT<T> Intervals);
 
 /// Completes a witness for the simplified system into a witness for the
 /// pre-Acyclic system by replaying the elimination log backwards.
 /// \p Sample holds values for the surviving variables (entries for
 /// eliminated variables are overwritten). Returns false on overflow.
-bool completeSample(std::vector<int64_t> &Sample,
-                    const std::vector<AcyclicElimination> &Log,
-                    const VarIntervals &Intervals);
+template <typename T>
+bool completeSample(std::vector<T> &Sample,
+                    const std::vector<AcyclicEliminationT<T>> &Log,
+                    const VarIntervalsT<T> &Intervals);
 
 /// The paper's constraint graph for the Acyclic test: two nodes per
 /// variable (i for the upper-bounded role, -i for the lower-bounded

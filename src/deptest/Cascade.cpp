@@ -17,6 +17,7 @@
 
 #include "deptest/TestPipeline.h"
 #include "support/IntMath.h"
+#include "support/WideInt.h"
 
 using namespace edda;
 
@@ -25,33 +26,39 @@ bool edda::verifyWitness(const DependenceProblem &Problem,
                          const std::vector<XAffine> &ExtraLe0) {
   if (X.size() != Problem.numX())
     return false;
-  auto Eval = [&X](const XAffine &Form) -> std::optional<int64_t> {
-    CheckedInt Sum(Form.Const);
+  // Residuals are evaluated at 128 bits: a widened decision can hand
+  // back a witness whose components fit int64 while the intermediate
+  // coefficient products do not, and verification must not reject an
+  // exact answer over its own arithmetic. (The checked accumulator
+  // still guards the astronomically long sums that could exceed even
+  // 128 bits.)
+  auto Eval = [&X](const XAffine &Form) -> std::optional<Int128> {
+    Checked<Int128> Sum{Int128(Form.Const)};
     for (unsigned J = 0; J < Form.Coeffs.size(); ++J)
       if (Form.Coeffs[J] != 0)
-        Sum += CheckedInt(Form.Coeffs[J]) * X[J];
+        Sum += Checked<Int128>(Int128(Form.Coeffs[J])) * Int128(X[J]);
     return Sum.getOpt();
   };
   for (const XAffine &Eq : Problem.Equations) {
-    std::optional<int64_t> V = Eval(Eq);
-    if (!V || *V != 0)
+    std::optional<Int128> V = Eval(Eq);
+    if (!V || *V != Int128(0))
       return false;
   }
   for (unsigned L = 0; L < Problem.numLoopVars(); ++L) {
     if (Problem.Lo[L]) {
-      std::optional<int64_t> V = Eval(*Problem.Lo[L]);
-      if (!V || *V > X[L])
+      std::optional<Int128> V = Eval(*Problem.Lo[L]);
+      if (!V || *V > Int128(X[L]))
         return false;
     }
     if (Problem.Hi[L]) {
-      std::optional<int64_t> V = Eval(*Problem.Hi[L]);
-      if (!V || *V < X[L])
+      std::optional<Int128> V = Eval(*Problem.Hi[L]);
+      if (!V || *V < Int128(X[L]))
         return false;
     }
   }
   for (const XAffine &Form : ExtraLe0) {
-    std::optional<int64_t> V = Eval(Form);
-    if (!V || *V > 0)
+    std::optional<Int128> V = Eval(Form);
+    if (!V || *V > Int128(0))
       return false;
   }
   return true;

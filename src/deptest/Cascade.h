@@ -56,6 +56,10 @@ struct CascadeOptions {
   /// string once with makePipeline() and share the result — see
   /// TestPipeline.h.
   std::shared_ptr<const TestPipeline> Pipeline;
+  /// Retry poisoned 64-bit computations at 128 bits before giving up
+  /// (the widening ladder). The 64-bit fast path is unchanged; disable
+  /// to reproduce the historical 64-bit-only behavior.
+  bool Widen = true;
 };
 
 /// Result of one cascaded dependence test.
@@ -68,6 +72,10 @@ struct CascadeResult {
   /// Witness iteration vector in x space when Dependent (absent if
   /// witness reconstruction overflowed; the answer is still exact).
   std::optional<std::vector<int64_t>> Witness;
+  /// True when the decision needed the 128-bit retry tier (the 64-bit
+  /// computation overflowed). The answer is exactly as trustworthy
+  /// either way; this records that the fast path alone was not enough.
+  bool Widened = false;
 };
 
 /// Runs the cascade on \p Problem. Decision counters are recorded into

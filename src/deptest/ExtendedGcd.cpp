@@ -7,39 +7,58 @@
 
 #include "deptest/ExtendedGcd.h"
 
-#include "support/IntMath.h"
+#include "support/WideInt.h"
 
 using namespace edda;
 
-std::optional<std::vector<int64_t>>
-DiophantineSolution::instantiate(const std::vector<int64_t> &T) const {
-  assert(Solvable && !Overflow && "instantiating an unusable solution");
-  assert(T.size() == NumFree && "free-variable arity mismatch");
-  std::vector<int64_t> X(NumX);
-  for (unsigned J = 0; J < NumX; ++J) {
-    CheckedInt Sum(Offset[J]);
-    for (unsigned F = 0; F < NumFree; ++F)
-      Sum += CheckedInt(T[F]) * FreeRows.at(F, J);
-    if (!Sum.valid())
-      return std::nullopt;
-    X[J] = Sum.get();
-  }
-  return X;
-}
-
 namespace {
 
+/// Extended-Euclid result at width T: Gcd == X*A + Y*B.
+template <typename T> struct ExtGcdT {
+  T Gcd;
+  T X;
+  T Y;
+};
+
+/// Iterative extended Euclid; the Bezout coefficients are bounded by
+/// max(|A|, |B|), so the T-width arithmetic never overflows.
+template <typename T> ExtGcdT<T> extGcdOf(T A, T B) {
+  T R0 = A, R1 = B;
+  T X0(1), X1(0);
+  T Y0(0), Y1(1);
+  while (R1 != T(0)) {
+    T Q = R0 / R1;
+    T Tmp;
+    Tmp = R0 - Q * R1;
+    R0 = R1;
+    R1 = Tmp;
+    Tmp = X0 - Q * X1;
+    X0 = X1;
+    X1 = Tmp;
+    Tmp = Y0 - Q * Y1;
+    Y0 = Y1;
+    Y1 = Tmp;
+  }
+  if (R0 < T(0)) {
+    R0 = T(0) - R0;
+    X0 = T(0) - X0;
+    Y0 = T(0) - Y0;
+  }
+  return {R0, X0, Y0};
+}
+
 /// Applies the unimodular 2x2 row transform
-///   (row R1, row R2) <- (P*R1 + Q*R2, S*R1 + T*R2)
-/// to \p M. The caller guarantees |P*T - Q*S| == 1. Returns false on
+///   (row R1, row R2) <- (P*R1 + Q*R2, S*R1 + U*R2)
+/// to \p M. The caller guarantees |P*U - Q*S| == 1. Returns false on
 /// overflow.
-bool applyRowPair(IntMatrix &M, unsigned R1, unsigned R2, int64_t P,
-                  int64_t Q, int64_t S, int64_t T) {
+template <typename T>
+bool applyRowPair(MatrixT<T> &M, unsigned R1, unsigned R2, T P, T Q, T S,
+                  T U) {
   for (unsigned Col = 0; Col < M.cols(); ++Col) {
-    int64_t A = M.at(R1, Col);
-    int64_t B = M.at(R2, Col);
-    CheckedInt New1 = CheckedInt(P) * A + CheckedInt(Q) * B;
-    CheckedInt New2 = CheckedInt(S) * A + CheckedInt(T) * B;
+    T A = M.at(R1, Col);
+    T B = M.at(R2, Col);
+    Checked<T> New1 = Checked<T>(P) * A + Checked<T>(Q) * B;
+    Checked<T> New2 = Checked<T>(S) * A + Checked<T>(U) * B;
     if (!New1.valid() || !New2.valid())
       return false;
     M.at(R1, Col) = New1.get();
@@ -50,44 +69,64 @@ bool applyRowPair(IntMatrix &M, unsigned R1, unsigned R2, int64_t P,
 
 } // namespace
 
-UnimodularFactorization edda::factorUnimodular(const IntMatrix &A) {
+namespace edda {
+
+template <typename T>
+std::optional<std::vector<T>>
+DiophantineSolutionT<T>::instantiate(const std::vector<T> &Vals) const {
+  assert(Solvable && !Overflow && "instantiating an unusable solution");
+  assert(Vals.size() == NumFree && "free-variable arity mismatch");
+  std::vector<T> X(NumX, T(0));
+  for (unsigned J = 0; J < NumX; ++J) {
+    Checked<T> Sum(Offset[J]);
+    for (unsigned F = 0; F < NumFree; ++F)
+      Sum += Checked<T>(Vals[F]) * FreeRows.at(F, J);
+    if (!Sum.valid())
+      return std::nullopt;
+    X[J] = Sum.get();
+  }
+  return X;
+}
+
+template <typename T>
+UnimodularFactorizationT<T> factorUnimodular(const MatrixT<T> &A) {
   const unsigned NumX = A.rows();
   const unsigned NumEq = A.cols();
 
   // Factor U*A = D with U unimodular and D echelon, using extended-gcd
   // row combinations (Banerjee's extension of Gaussian elimination).
-  UnimodularFactorization F;
-  F.U = IntMatrix::identity(NumX);
+  UnimodularFactorizationT<T> F;
+  F.U = MatrixT<T>::identity(NumX);
   F.D = A;
   unsigned Row = 0;
   for (unsigned Col = 0; Col < NumEq && Row < NumX; ++Col) {
     // Zero out all but one entry of this column below Row.
     int Pivot = -1;
     for (unsigned R = Row; R < NumX; ++R) {
-      if (F.D.at(R, Col) == 0)
+      if (F.D.at(R, Col) == T(0))
         continue;
       if (Pivot < 0) {
         Pivot = static_cast<int>(R);
         continue;
       }
-      int64_t PV = F.D.at(Pivot, Col);
-      int64_t RV = F.D.at(R, Col);
-      ExtGcdResult G = extGcd64(PV, RV);
-      assert(G.Gcd > 0 && "gcd of nonzero entries must be positive");
+      T PV = F.D.at(Pivot, Col);
+      T RV = F.D.at(R, Col);
+      ExtGcdT<T> G = extGcdOf(PV, RV);
+      assert(G.Gcd > T(0) && "gcd of nonzero entries must be positive");
       // (pivot, r) <- (x*pivot + y*r, -(RV/g)*pivot + (PV/g)*r); the
       // transform has determinant (x*PV + y*RV)/g == 1.
-      if (!applyRowPair(F.D, Pivot, R, G.X, G.Y, -(RV / G.Gcd),
-                        PV / G.Gcd) ||
-          !applyRowPair(F.U, Pivot, R, G.X, G.Y, -(RV / G.Gcd),
-                        PV / G.Gcd))
+      if (!applyRowPair(F.D, static_cast<unsigned>(Pivot), R, G.X, G.Y,
+                        T(0) - RV / G.Gcd, PV / G.Gcd) ||
+          !applyRowPair(F.U, static_cast<unsigned>(Pivot), R, G.X, G.Y,
+                        T(0) - RV / G.Gcd, PV / G.Gcd))
         return F; // Ok stays false
-      assert(F.D.at(R, Col) == 0 && "row combination failed to cancel");
+      assert(F.D.at(R, Col) == T(0) && "row combination failed to cancel");
     }
     if (Pivot < 0)
       continue;
-    F.D.swapRows(Pivot, Row);
-    F.U.swapRows(Pivot, Row);
-    if (F.D.at(Row, Col) < 0) {
+    F.D.swapRows(static_cast<unsigned>(Pivot), Row);
+    F.U.swapRows(static_cast<unsigned>(Pivot), Row);
+    if (F.D.at(Row, Col) < T(0)) {
       if (!F.D.negateRow(Row) || !F.U.negateRow(Row))
         return F;
     }
@@ -99,28 +138,29 @@ UnimodularFactorization edda::factorUnimodular(const IntMatrix &A) {
   return F;
 }
 
-DiophantineSolution edda::solveDiophantine(const IntMatrix &A,
-                                           const std::vector<int64_t> &C) {
+template <typename T>
+DiophantineSolutionT<T> solveDiophantine(const MatrixT<T> &A,
+                                         const std::vector<T> &C) {
   assert(C.size() == A.cols() && "equation count mismatch");
   const unsigned NumX = A.rows();
   const unsigned NumEq = A.cols();
 
-  DiophantineSolution Sol;
+  DiophantineSolutionT<T> Sol;
   Sol.NumX = NumX;
 
-  UnimodularFactorization F = factorUnimodular(A);
+  UnimodularFactorizationT<T> F = factorUnimodular(A);
   if (!F.Ok) {
     Sol.Overflow = true;
     return Sol;
   }
-  IntMatrix &U = F.U;
-  IntMatrix &D = F.D;
+  MatrixT<T> &U = F.U;
+  MatrixT<T> &D = F.D;
   const unsigned Rank = F.Rank;
   // Leading column of each pivot row.
   std::vector<unsigned> LeadCol;
   for (unsigned R = 0; R < Rank; ++R) {
     unsigned Col = 0;
-    while (Col < NumEq && D.at(R, Col) == 0)
+    while (Col < NumEq && D.at(R, Col) == T(0))
       ++Col;
     assert(Col < NumEq && "pivot row without leading entry");
     LeadCol.push_back(Col);
@@ -129,30 +169,29 @@ DiophantineSolution edda::solveDiophantine(const IntMatrix &A,
   // Back substitution: solve t*D = c column by column. Columns that are
   // some row's leading column determine that row's t; all other columns
   // are consistency checks.
-  std::vector<int64_t> T(Rank, 0);
+  std::vector<T> Ts(Rank, T(0));
   unsigned NextPivotRow = 0;
   for (unsigned Col = 0; Col < NumEq; ++Col) {
-    CheckedInt Partial(0);
+    Checked<T> Partial(T(0));
     for (unsigned R = 0; R < NextPivotRow; ++R)
-      Partial += CheckedInt(T[R]) * D.at(R, Col);
+      Partial += Checked<T>(Ts[R]) * D.at(R, Col);
     if (!Partial.valid()) {
       Sol.Overflow = true;
       return Sol;
     }
-    bool IsPivotCol =
-        NextPivotRow < Rank && LeadCol[NextPivotRow] == Col;
+    bool IsPivotCol = NextPivotRow < Rank && LeadCol[NextPivotRow] == Col;
     if (IsPivotCol) {
-      int64_t Lead = D.at(NextPivotRow, Col);
-      std::optional<int64_t> Need = checkedSub(C[Col], Partial.get());
+      T Lead = D.at(NextPivotRow, Col);
+      std::optional<T> Need = checkedSub(C[Col], Partial.get());
       if (!Need) {
         Sol.Overflow = true;
         return Sol;
       }
-      if (*Need % Lead != 0) {
+      if (*Need % Lead != T(0)) {
         Sol.Solvable = false; // gcd test fails: no integer solution
         return Sol;
       }
-      T[NextPivotRow] = *Need / Lead;
+      Ts[NextPivotRow] = *Need / Lead;
       ++NextPivotRow;
       continue;
     }
@@ -166,38 +205,39 @@ DiophantineSolution edda::solveDiophantine(const IntMatrix &A,
   // are the remaining rows of U.
   Sol.Solvable = true;
   Sol.NumFree = NumX - Rank;
-  Sol.Offset.assign(NumX, 0);
+  Sol.Offset.assign(NumX, T(0));
   for (unsigned J = 0; J < NumX; ++J) {
-    CheckedInt Sum(0);
+    Checked<T> Sum(T(0));
     for (unsigned R = 0; R < Rank; ++R)
-      Sum += CheckedInt(T[R]) * U.at(R, J);
+      Sum += Checked<T>(Ts[R]) * U.at(R, J);
     if (!Sum.valid()) {
       Sol.Overflow = true;
       return Sol;
     }
     Sol.Offset[J] = Sum.get();
   }
-  Sol.FreeRows = IntMatrix(Sol.NumFree, NumX);
-  for (unsigned F = 0; F < Sol.NumFree; ++F)
+  Sol.FreeRows = MatrixT<T>(Sol.NumFree, NumX);
+  for (unsigned F2 = 0; F2 < Sol.NumFree; ++F2)
     for (unsigned J = 0; J < NumX; ++J)
-      Sol.FreeRows.at(F, J) = U.at(Rank + F, J);
+      Sol.FreeRows.at(F2, J) = U.at(Rank + F2, J);
   return Sol;
 }
 
-DiophantineSolution edda::solveEquations(const DependenceProblem &Problem) {
+template <typename T>
+DiophantineSolutionT<T> solveEquations(const DependenceProblem &Problem) {
   assert(Problem.wellFormed() && "malformed problem");
   const unsigned NumX = Problem.numX();
   const unsigned NumEq = static_cast<unsigned>(Problem.Equations.size());
-  IntMatrix A(NumX, NumEq);
-  std::vector<int64_t> C(NumEq);
+  MatrixT<T> A(NumX, NumEq);
+  std::vector<T> C(NumEq, T(0));
   for (unsigned E = 0; E < NumEq; ++E) {
     const XAffine &Eq = Problem.Equations[E];
     for (unsigned J = 0; J < NumX; ++J)
-      A.at(J, E) = Eq.Coeffs[J];
+      A.at(J, E) = T(Eq.Coeffs[J]);
     // Equation form + const == 0, so x*A = -const.
-    std::optional<int64_t> Rhs = checkedNeg(Eq.Const);
+    std::optional<T> Rhs = checkedNeg(T(Eq.Const));
     if (!Rhs) {
-      DiophantineSolution Sol;
+      DiophantineSolutionT<T> Sol;
       Sol.NumX = NumX;
       Sol.Overflow = true;
       return Sol;
@@ -207,24 +247,24 @@ DiophantineSolution edda::solveEquations(const DependenceProblem &Problem) {
   return solveDiophantine(A, C);
 }
 
-bool edda::projectToFree(const XAffine &Form,
-                         const DiophantineSolution &Sol,
-                         std::vector<int64_t> &TCoeffs, int64_t &TConst) {
+template <typename T>
+bool projectToFree(const XAffine &Form, const DiophantineSolutionT<T> &Sol,
+                   std::vector<T> &TCoeffs, T &TConst) {
   assert(Sol.Solvable && !Sol.Overflow && "projecting without a solution");
   assert(Form.Coeffs.size() == Sol.NumX && "form arity mismatch");
-  CheckedInt Const(Form.Const);
+  Checked<T> Const{T(Form.Const)};
   for (unsigned J = 0; J < Sol.NumX; ++J)
     if (Form.Coeffs[J] != 0)
-      Const += CheckedInt(Form.Coeffs[J]) * Sol.Offset[J];
+      Const += Checked<T>(T(Form.Coeffs[J])) * Sol.Offset[J];
   if (!Const.valid())
     return false;
   TConst = Const.get();
-  TCoeffs.assign(Sol.NumFree, 0);
+  TCoeffs.assign(Sol.NumFree, T(0));
   for (unsigned F = 0; F < Sol.NumFree; ++F) {
-    CheckedInt Sum(0);
+    Checked<T> Sum(T(0));
     for (unsigned J = 0; J < Sol.NumX; ++J)
       if (Form.Coeffs[J] != 0)
-        Sum += CheckedInt(Form.Coeffs[J]) * Sol.FreeRows.at(F, J);
+        Sum += Checked<T>(T(Form.Coeffs[J])) * Sol.FreeRows.at(F, J);
     if (!Sum.valid())
       return false;
     TCoeffs[F] = Sum.get();
@@ -232,47 +272,84 @@ bool edda::projectToFree(const XAffine &Form,
   return true;
 }
 
-std::optional<LinearSystem>
-edda::boundsToFreeSpace(const DependenceProblem &Problem,
-                        const DiophantineSolution &Sol) {
-  assert(Sol.Solvable && !Sol.Overflow && "no solution to project onto");
-  LinearSystem System(Sol.NumFree);
-  std::vector<int64_t> TCoeffs;
-  int64_t TConst;
+namespace {
 
+/// Projects a raw affine form (already at width T, with any Lo/Hi
+/// adjustments applied) onto the free space; the shared worker behind
+/// boundsToFreeSpace. Returns false on overflow.
+template <typename T>
+bool projectRaw(const std::vector<T> &Coeffs, T FormConst,
+                const DiophantineSolutionT<T> &Sol,
+                std::vector<T> &TCoeffs, T &TConst) {
+  Checked<T> Const{FormConst};
+  for (unsigned J = 0; J < Sol.NumX; ++J)
+    if (Coeffs[J] != T(0))
+      Const += Checked<T>(Coeffs[J]) * Sol.Offset[J];
+  if (!Const.valid())
+    return false;
+  TConst = Const.get();
+  TCoeffs.assign(Sol.NumFree, T(0));
+  for (unsigned F = 0; F < Sol.NumFree; ++F) {
+    Checked<T> Sum(T(0));
+    for (unsigned J = 0; J < Sol.NumX; ++J)
+      if (Coeffs[J] != T(0))
+        Sum += Checked<T>(Coeffs[J]) * Sol.FreeRows.at(F, J);
+    if (!Sum.valid())
+      return false;
+    TCoeffs[F] = Sum.get();
+  }
+  return true;
+}
+
+} // namespace
+
+template <typename T>
+std::optional<LinearSystemT<T>>
+boundsToFreeSpace(const DependenceProblem &Problem,
+                  const DiophantineSolutionT<T> &Sol) {
+  assert(Sol.Solvable && !Sol.Overflow && "no solution to project onto");
+  LinearSystemT<T> System(Sol.NumFree);
+  std::vector<T> TCoeffs;
+  T TConst(0);
+
+  // The Lo/Hi form adjustments are computed at width T so that the wide
+  // retry survives coefficients at the edge of the int64 range.
   for (unsigned L = 0; L < Problem.numLoopVars(); ++L) {
     if (Problem.Lo[L]) {
       // Lo - x_l <= 0.
-      XAffine Form = *Problem.Lo[L];
-      std::optional<int64_t> NewCoeff = checkedSub(Form.Coeffs[L], 1);
+      const XAffine &Form = *Problem.Lo[L];
+      std::vector<T> Coeffs(Form.Coeffs.begin(), Form.Coeffs.end());
+      std::optional<T> NewCoeff = checkedSub(Coeffs[L], T(1));
       if (!NewCoeff)
         return std::nullopt;
-      Form.Coeffs[L] = *NewCoeff;
-      if (!projectToFree(Form, Sol, TCoeffs, TConst))
+      Coeffs[L] = *NewCoeff;
+      if (!projectRaw(Coeffs, T(Form.Const), Sol, TCoeffs, TConst))
         return std::nullopt;
-      std::optional<int64_t> Bound = checkedNeg(TConst);
+      std::optional<T> Bound = checkedNeg(TConst);
       if (!Bound)
         return std::nullopt;
       System.addLe(TCoeffs, *Bound);
     }
     if (Problem.Hi[L]) {
       // x_l - Hi <= 0.
-      XAffine Form = *Problem.Hi[L];
-      for (int64_t &Coeff : Form.Coeffs) {
-        std::optional<int64_t> Neg = checkedNeg(Coeff);
+      const XAffine &Form = *Problem.Hi[L];
+      std::vector<T> Coeffs(Form.Coeffs.size(), T(0));
+      for (unsigned J = 0; J < Form.Coeffs.size(); ++J) {
+        std::optional<T> Neg = checkedNeg(T(Form.Coeffs[J]));
         if (!Neg)
           return std::nullopt;
-        Coeff = *Neg;
+        Coeffs[J] = *Neg;
       }
-      std::optional<int64_t> NegConst = checkedNeg(Form.Const);
-      std::optional<int64_t> NewCoeff = checkedAdd(Form.Coeffs[L], 1);
-      if (!NegConst || !NewCoeff)
+      std::optional<T> NegConst = checkedNeg(T(Form.Const));
+      if (!NegConst)
         return std::nullopt;
-      Form.Const = *NegConst;
-      Form.Coeffs[L] = *NewCoeff;
-      if (!projectToFree(Form, Sol, TCoeffs, TConst))
+      std::optional<T> NewCoeff = checkedAdd(Coeffs[L], T(1));
+      if (!NewCoeff)
         return std::nullopt;
-      std::optional<int64_t> Bound = checkedNeg(TConst);
+      Coeffs[L] = *NewCoeff;
+      if (!projectRaw(Coeffs, *NegConst, Sol, TCoeffs, TConst))
+        return std::nullopt;
+      std::optional<T> Bound = checkedNeg(TConst);
       if (!Bound)
         return std::nullopt;
       System.addLe(TCoeffs, *Bound);
@@ -280,6 +357,37 @@ edda::boundsToFreeSpace(const DependenceProblem &Problem,
   }
   return System;
 }
+
+template struct DiophantineSolutionT<int64_t>;
+template struct DiophantineSolutionT<Int128>;
+template struct UnimodularFactorizationT<int64_t>;
+template struct UnimodularFactorizationT<Int128>;
+template UnimodularFactorizationT<int64_t>
+factorUnimodular(const MatrixT<int64_t> &);
+template UnimodularFactorizationT<Int128>
+factorUnimodular(const MatrixT<Int128> &);
+template DiophantineSolutionT<int64_t>
+solveDiophantine(const MatrixT<int64_t> &, const std::vector<int64_t> &);
+template DiophantineSolutionT<Int128>
+solveDiophantine(const MatrixT<Int128> &, const std::vector<Int128> &);
+template DiophantineSolutionT<int64_t>
+solveEquations<int64_t>(const DependenceProblem &);
+template DiophantineSolutionT<Int128>
+solveEquations<Int128>(const DependenceProblem &);
+template bool projectToFree(const XAffine &,
+                            const DiophantineSolutionT<int64_t> &,
+                            std::vector<int64_t> &, int64_t &);
+template bool projectToFree(const XAffine &,
+                            const DiophantineSolutionT<Int128> &,
+                            std::vector<Int128> &, Int128 &);
+template std::optional<LinearSystemT<int64_t>>
+boundsToFreeSpace(const DependenceProblem &,
+                  const DiophantineSolutionT<int64_t> &);
+template std::optional<LinearSystemT<Int128>>
+boundsToFreeSpace(const DependenceProblem &,
+                  const DiophantineSolutionT<Int128> &);
+
+} // namespace edda
 
 bool edda::simpleGcdTest(const DependenceProblem &Problem) {
   for (const XAffine &Eq : Problem.Equations) {

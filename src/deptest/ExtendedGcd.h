@@ -18,6 +18,13 @@
 /// eliminated and the loop-bound constraints are rewritten over t, the
 /// single input form shared by all the later tests.
 ///
+/// Everything here is templated on the scalar type T: the int64_t
+/// instantiation is the fast path, and when it reports Overflow the
+/// pipeline re-runs preprocessing with T = Int128 before giving the
+/// query up as unanalyzable (the widening ladder, docs/ALGORITHMS.md).
+/// The problem's coefficients stay int64_t either way; only the
+/// computation widens.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EDDA_DEPTEST_EXTENDEDGCD_H
@@ -34,62 +41,72 @@
 namespace edda {
 
 /// Parametric integer solution of x·A = c.
-struct DiophantineSolution {
+template <typename T> struct DiophantineSolutionT {
   /// True when an integer solution exists (ignoring any bounds).
   bool Solvable = false;
-  /// True when 64-bit arithmetic overflowed; the caller must treat the
-  /// problem as unanalyzable (conservatively dependent).
+  /// True when T-width arithmetic overflowed; the caller must widen or
+  /// treat the problem as unanalyzable (conservatively dependent).
   bool Overflow = false;
   unsigned NumX = 0;
   unsigned NumFree = 0;
   /// A particular solution (size NumX). Meaningful when Solvable.
-  std::vector<int64_t> Offset;
+  std::vector<T> Offset;
   /// Basis of the solution lattice: NumFree x NumX rows of the unimodular
   /// factor. Meaningful when Solvable.
-  IntMatrix FreeRows{0, 0};
+  MatrixT<T> FreeRows{0, 0};
 
-  /// Instantiates x for concrete free-variable values \p T
-  /// (T.size() == NumFree); std::nullopt on overflow.
-  std::optional<std::vector<int64_t>>
-  instantiate(const std::vector<int64_t> &T) const;
+  /// Instantiates x for concrete free-variable values \p Vals
+  /// (Vals.size() == NumFree); std::nullopt on overflow.
+  std::optional<std::vector<T>>
+  instantiate(const std::vector<T> &Vals) const;
 };
 
 /// The unimodular/echelon factorization U·A = D underlying the test
 /// (exposed for library users and for property tests).
-struct UnimodularFactorization {
-  bool Ok = false;   ///< False when 64-bit arithmetic overflowed.
-  IntMatrix U{0, 0}; ///< Unimodular (|det| == 1), NumX x NumX.
-  IntMatrix D{0, 0}; ///< Echelon, NumX x NumEq.
-  unsigned Rank = 0; ///< Number of nonzero rows of D.
+template <typename T> struct UnimodularFactorizationT {
+  bool Ok = false;       ///< False when T-width arithmetic overflowed.
+  MatrixT<T> U{0, 0};    ///< Unimodular (|det| == 1), NumX x NumX.
+  MatrixT<T> D{0, 0};    ///< Echelon, NumX x NumEq.
+  unsigned Rank = 0;     ///< Number of nonzero rows of D.
 };
+
+/// The 64-bit fast-path instantiations (the historical names).
+using DiophantineSolution = DiophantineSolutionT<int64_t>;
+using UnimodularFactorization = UnimodularFactorizationT<int64_t>;
 
 /// Factors \p A (NumX x NumEq) as U·A = D with U unimodular and D
 /// echelon, via extended-gcd row elimination.
-UnimodularFactorization factorUnimodular(const IntMatrix &A);
+template <typename T>
+UnimodularFactorizationT<T> factorUnimodular(const MatrixT<T> &A);
 
 /// Solves x·A = c over the integers. \p A is NumX x NumEq; \p C has one
 /// entry per equation.
-DiophantineSolution solveDiophantine(const IntMatrix &A,
-                                     const std::vector<int64_t> &C);
+template <typename T>
+DiophantineSolutionT<T> solveDiophantine(const MatrixT<T> &A,
+                                         const std::vector<T> &C);
 
 /// Runs the extended GCD test on a dependence problem's subscript
-/// equations (columns of A are the equations, rows the x variables).
-DiophantineSolution solveEquations(const DependenceProblem &Problem);
+/// equations (columns of A are the equations, rows the x variables),
+/// computing at width T.
+template <typename T = int64_t>
+DiophantineSolutionT<T> solveEquations(const DependenceProblem &Problem);
 
 /// Projects an affine form over x into an affine form over the free
 /// variables t: fills \p TCoeffs (size NumFree) and \p TConst such that
 /// form(x(t)) == TConst + sum TCoeffs[f]*t_f. Returns false on overflow.
-bool projectToFree(const XAffine &Form, const DiophantineSolution &Sol,
-                   std::vector<int64_t> &TCoeffs, int64_t &TConst);
+template <typename T>
+bool projectToFree(const XAffine &Form, const DiophantineSolutionT<T> &Sol,
+                   std::vector<T> &TCoeffs, T &TConst);
 
 /// Builds the bounds system over t for \p Problem under \p Sol: for every
 /// present bound Lo_l <= x_l <= Hi_l, the projected constraints
 /// (Lo_l - x_l)(t) <= 0 and (x_l - Hi_l)(t) <= 0. Returns std::nullopt on
 /// overflow. Constraints that project to a constant falsehood are kept
 /// (SVPC reports the contradiction).
-std::optional<LinearSystem>
+template <typename T>
+std::optional<LinearSystemT<T>>
 boundsToFreeSpace(const DependenceProblem &Problem,
-                  const DiophantineSolution &Sol);
+                  const DiophantineSolutionT<T> &Sol);
 
 /// The paper's simple per-equation GCD test (Banerjee algorithm 5.4.1,
 /// used as a baseline in section 7 and as a teaching comparator): each

@@ -7,7 +7,7 @@
 
 #include "deptest/FourierMotzkin.h"
 
-#include "support/IntMath.h"
+#include "support/WideInt.h"
 
 #include <algorithm>
 #include <set>
@@ -18,19 +18,19 @@ namespace {
 
 /// One elimination step: the variable removed and the bounds involving
 /// it, kept for back substitution.
-struct ElimStep {
+template <typename T> struct ElimStep {
   unsigned Var;
-  std::vector<LinearConstraint> Uppers; ///< Coefficient of Var > 0.
-  std::vector<LinearConstraint> Lowers; ///< Coefficient of Var < 0.
+  std::vector<LinearConstraintT<T>> Uppers; ///< Coefficient of Var > 0.
+  std::vector<LinearConstraintT<T>> Lowers; ///< Coefficient of Var < 0.
 };
 
 /// Recursive solver carrying the shared branch budget.
-class FmSolver {
+template <typename T> class FmSolver {
 public:
   FmSolver(const FourierMotzkinOptions &Opts) : Opts(Opts) {}
 
-  FmResult solve(const LinearSystem &System) {
-    FmResult Result = attempt(System);
+  FmResultT<T> solve(const LinearSystemT<T> &System) {
+    FmResultT<T> Result = attempt(System);
     Result.UsedBranchAndBound = NodesUsed > 0;
     Result.BranchNodes = NodesUsed;
     return Result;
@@ -40,48 +40,58 @@ private:
   const FourierMotzkinOptions &Opts;
   unsigned NodesUsed = 0;
 
-  FmResult attempt(const LinearSystem &System);
+  FmResultT<T> attempt(const LinearSystemT<T> &System);
+
+  FmResultT<T> unknown(bool Overflowed) {
+    FmResultT<T> Result;
+    Result.St = FmResultT<T>::Status::Unknown;
+    Result.Overflowed = Overflowed;
+    return Result;
+  }
 };
 
 /// Combines an upper bound (A > 0 on Var) with a lower bound (C < 0 on
 /// Var): (-C)*Upper + A*Lower, whose Var column cancels. Returns false on
 /// overflow.
-bool combine(const LinearConstraint &Upper, const LinearConstraint &Lower,
-             unsigned Var, LinearConstraint &Out) {
-  int64_t A = Upper.Coeffs[Var];
-  int64_t C = Lower.Coeffs[Var];
-  assert(A > 0 && C < 0 && "combine requires opposite signs");
-  std::optional<int64_t> NegC = checkedNeg(C);
+template <typename T>
+bool combine(const LinearConstraintT<T> &Upper,
+             const LinearConstraintT<T> &Lower, unsigned Var,
+             LinearConstraintT<T> &Out) {
+  T A = Upper.Coeffs[Var];
+  T C = Lower.Coeffs[Var];
+  assert(A > T(0) && C < T(0) && "combine requires opposite signs");
+  std::optional<T> NegC = checkedNeg(C);
   if (!NegC)
     return false;
   const unsigned NumVars = static_cast<unsigned>(Upper.Coeffs.size());
-  Out.Coeffs.assign(NumVars, 0);
+  Out.Coeffs.assign(NumVars, T(0));
   for (unsigned K = 0; K < NumVars; ++K) {
-    CheckedInt V = CheckedInt(*NegC) * Upper.Coeffs[K] +
-                   CheckedInt(A) * Lower.Coeffs[K];
+    Checked<T> V = Checked<T>(*NegC) * Upper.Coeffs[K] +
+                   Checked<T>(A) * Lower.Coeffs[K];
     if (!V.valid())
       return false;
     Out.Coeffs[K] = V.get();
   }
-  assert(Out.Coeffs[Var] == 0 && "variable failed to cancel");
-  CheckedInt B = CheckedInt(*NegC) * Upper.Bound + CheckedInt(A) *
-                                                       Lower.Bound;
+  assert(Out.Coeffs[Var] == T(0) && "variable failed to cancel");
+  Checked<T> B =
+      Checked<T>(*NegC) * Upper.Bound + Checked<T>(A) * Lower.Bound;
   if (!B.valid())
     return false;
   Out.Bound = B.get();
   return true;
 }
 
-FmResult FmSolver::attempt(const LinearSystem &System) {
-  FmResult Result;
+template <typename T>
+FmResultT<T> FmSolver<T>::attempt(const LinearSystemT<T> &System) {
+  FmResultT<T> Result;
   const unsigned NumVars = System.numVars();
 
   // Working set, gcd-normalized; constant contradictions end early.
-  std::vector<LinearConstraint> Work;
-  for (const LinearConstraint &C : System.constraints()) {
-    LinearConstraint Copy = C;
+  std::vector<LinearConstraintT<T>> Work;
+  for (const LinearConstraintT<T> &C : System.constraints()) {
+    LinearConstraintT<T> Copy = C;
     if (!Copy.normalize()) {
-      Result.St = FmResult::Status::Independent;
+      Result.St = FmResultT<T>::Status::Independent;
       return Result;
     }
     if (Copy.numActiveVars() > 0)
@@ -89,7 +99,7 @@ FmResult FmSolver::attempt(const LinearSystem &System) {
   }
 
   std::vector<bool> Eliminated(NumVars, false);
-  std::vector<ElimStep> Steps;
+  std::vector<ElimStep<T>> Steps;
   Steps.reserve(NumVars);
 
   for (unsigned Round = 0; Round < NumVars; ++Round) {
@@ -101,10 +111,10 @@ FmResult FmSolver::attempt(const LinearSystem &System) {
       if (Eliminated[V])
         continue;
       uint64_t P = 0, Q = 0;
-      for (const LinearConstraint &C : Work) {
-        if (C.Coeffs[V] > 0)
+      for (const LinearConstraintT<T> &C : Work) {
+        if (C.Coeffs[V] > T(0))
           ++P;
-        else if (C.Coeffs[V] < 0)
+        else if (C.Coeffs[V] < T(0))
           ++Q;
       }
       uint64_t Cost = P * Q;
@@ -114,43 +124,39 @@ FmResult FmSolver::attempt(const LinearSystem &System) {
       }
     }
 
-    ElimStep Step;
+    ElimStep<T> Step;
     Step.Var = BestVar;
-    std::vector<LinearConstraint> Rest;
-    for (LinearConstraint &C : Work) {
-      if (C.Coeffs[BestVar] > 0)
+    std::vector<LinearConstraintT<T>> Rest;
+    for (LinearConstraintT<T> &C : Work) {
+      if (C.Coeffs[BestVar] > T(0))
         Step.Uppers.push_back(std::move(C));
-      else if (C.Coeffs[BestVar] < 0)
+      else if (C.Coeffs[BestVar] < T(0))
         Step.Lowers.push_back(std::move(C));
       else
         Rest.push_back(std::move(C));
     }
 
     // All upper x lower pairs; dedupe to tame quadratic blowup.
-    std::set<std::pair<std::vector<int64_t>, int64_t>> Seen;
-    for (const LinearConstraint &R : Rest)
+    std::set<std::pair<std::vector<T>, T>> Seen;
+    for (const LinearConstraintT<T> &R : Rest)
       Seen.insert({R.Coeffs, R.Bound});
-    for (const LinearConstraint &U : Step.Uppers) {
-      for (const LinearConstraint &L : Step.Lowers) {
-        LinearConstraint Derived;
-        if (!combine(U, L, BestVar, Derived)) {
-          Result.St = FmResult::Status::Unknown;
-          return Result;
-        }
+    for (const LinearConstraintT<T> &U : Step.Uppers) {
+      for (const LinearConstraintT<T> &L : Step.Lowers) {
+        LinearConstraintT<T> Derived;
+        if (!combine(U, L, BestVar, Derived))
+          return unknown(/*Overflowed=*/true);
         if (!Derived.normalize()) {
           // Constant falsehood: the tightened system (equisatisfiable
           // over the integers) is infeasible.
-          Result.St = FmResult::Status::Independent;
+          Result.St = FmResultT<T>::Status::Independent;
           return Result;
         }
         if (Derived.numActiveVars() == 0)
           continue; // tautology
         if (Seen.insert({Derived.Coeffs, Derived.Bound}).second)
           Rest.push_back(std::move(Derived));
-        if (Rest.size() > Opts.MaxConstraints) {
-          Result.St = FmResult::Status::Unknown;
-          return Result;
-        }
+        if (Rest.size() > Opts.MaxConstraints)
+          return unknown(/*Overflowed=*/false);
       }
     }
     Work = std::move(Rest);
@@ -162,106 +168,120 @@ FmResult FmSolver::attempt(const LinearSystem &System) {
   // Real-feasible. Back-substitute in reverse elimination order; the
   // first step's range is constant, so an empty integer range there is
   // exact independence (paper's special case).
-  std::vector<int64_t> Sample(NumVars, 0);
+  std::vector<T> Sample(NumVars, T(0));
   bool AnyAssigned = false;
   for (auto It = Steps.rbegin(); It != Steps.rend(); ++It) {
-    const ElimStep &Step = *It;
-    std::optional<int64_t> Lo, Hi;
-    for (const LinearConstraint &U : Step.Uppers) {
+    const ElimStep<T> &Step = *It;
+    std::optional<T> Lo, Hi;
+    for (const LinearConstraintT<T> &U : Step.Uppers) {
       // a*v <= Bound - sum others.
-      CheckedInt Rhs(U.Bound);
+      Checked<T> Rhs(U.Bound);
       for (unsigned K = 0; K < NumVars; ++K)
-        if (K != Step.Var && U.Coeffs[K] != 0)
-          Rhs -= CheckedInt(U.Coeffs[K]) * Sample[K];
-      if (!Rhs.valid()) {
-        Result.St = FmResult::Status::Unknown;
-        return Result;
-      }
-      int64_t Limit = floorDiv(Rhs.get(), U.Coeffs[Step.Var]);
-      Hi = Hi ? std::min(*Hi, Limit) : Limit;
+        if (K != Step.Var && U.Coeffs[K] != T(0))
+          Rhs -= Checked<T>(U.Coeffs[K]) * Sample[K];
+      if (!Rhs.valid())
+        return unknown(/*Overflowed=*/true);
+      // The divisor is an arbitrary derived coefficient: checked.
+      std::optional<T> Limit =
+          checkedFloorDiv(Rhs.get(), U.Coeffs[Step.Var]);
+      if (!Limit)
+        return unknown(/*Overflowed=*/true);
+      Hi = Hi ? std::min(*Hi, *Limit) : *Limit;
     }
-    for (const LinearConstraint &L : Step.Lowers) {
-      CheckedInt Rhs(L.Bound);
+    for (const LinearConstraintT<T> &L : Step.Lowers) {
+      Checked<T> Rhs(L.Bound);
       for (unsigned K = 0; K < NumVars; ++K)
-        if (K != Step.Var && L.Coeffs[K] != 0)
-          Rhs -= CheckedInt(L.Coeffs[K]) * Sample[K];
-      if (!Rhs.valid()) {
-        Result.St = FmResult::Status::Unknown;
-        return Result;
-      }
-      int64_t Limit = ceilDiv(Rhs.get(), L.Coeffs[Step.Var]);
-      Lo = Lo ? std::max(*Lo, Limit) : Limit;
+        if (K != Step.Var && L.Coeffs[K] != T(0))
+          Rhs -= Checked<T>(L.Coeffs[K]) * Sample[K];
+      if (!Rhs.valid())
+        return unknown(/*Overflowed=*/true);
+      std::optional<T> Limit =
+          checkedCeilDiv(Rhs.get(), L.Coeffs[Step.Var]);
+      if (!Limit)
+        return unknown(/*Overflowed=*/true);
+      Lo = Lo ? std::max(*Lo, *Limit) : *Limit;
     }
 
     if (Lo && Hi && *Lo > *Hi) {
       if (!AnyAssigned) {
         // No choices were made yet, so the empty range is unconditional.
-        Result.St = FmResult::Status::Independent;
+        Result.St = FmResultT<T>::Status::Independent;
         return Result;
       }
       // Branch & bound: any integer point has v <= Hi or v >= Hi + 1.
-      if (Opts.MaxBranchNodes == 0 ||
-          NodesUsed + 2 > Opts.MaxBranchNodes) {
-        Result.St = FmResult::Status::Unknown;
-        return Result;
-      }
+      if (Opts.MaxBranchNodes == 0 || NodesUsed + 2 > Opts.MaxBranchNodes)
+        return unknown(/*Overflowed=*/false);
       NodesUsed += 2;
-      std::optional<int64_t> SplitLo = checkedAdd(*Hi, 1);
-      if (!SplitLo) {
-        Result.St = FmResult::Status::Unknown;
-        return Result;
-      }
-      LinearSystem Left(System);
-      std::vector<int64_t> Row(NumVars, 0);
-      Row[Step.Var] = 1;
+      std::optional<T> SplitLo = checkedAdd(*Hi, T(1));
+      if (!SplitLo)
+        return unknown(/*Overflowed=*/true);
+      LinearSystemT<T> Left(System);
+      std::vector<T> Row(NumVars, T(0));
+      Row[Step.Var] = T(1);
       Left.addLe(Row, *Hi); // v <= Hi
-      FmResult LeftResult = attempt(Left);
-      if (LeftResult.St == FmResult::Status::Dependent)
+      FmResultT<T> LeftResult = attempt(Left);
+      if (LeftResult.St == FmResultT<T>::Status::Dependent)
         return LeftResult;
 
-      LinearSystem Right(System);
-      Row.assign(NumVars, 0);
-      Row[Step.Var] = -1;
-      std::optional<int64_t> NegSplit = checkedNeg(*SplitLo);
-      if (!NegSplit) {
-        Result.St = FmResult::Status::Unknown;
-        return Result;
-      }
+      LinearSystemT<T> Right(System);
+      Row.assign(NumVars, T(0));
+      Row[Step.Var] = T(-1);
+      std::optional<T> NegSplit = checkedNeg(*SplitLo);
+      if (!NegSplit)
+        return unknown(/*Overflowed=*/true);
       Right.addLe(Row, *NegSplit); // v >= Hi + 1
-      FmResult RightResult = attempt(Right);
-      if (RightResult.St == FmResult::Status::Dependent)
+      FmResultT<T> RightResult = attempt(Right);
+      if (RightResult.St == FmResultT<T>::Status::Dependent)
         return RightResult;
-      if (LeftResult.St == FmResult::Status::Unknown ||
-          RightResult.St == FmResult::Status::Unknown) {
-        Result.St = FmResult::Status::Unknown;
-        return Result;
-      }
-      Result.St = FmResult::Status::Independent;
+      if (LeftResult.St == FmResultT<T>::Status::Unknown ||
+          RightResult.St == FmResultT<T>::Status::Unknown)
+        return unknown(LeftResult.Overflowed || RightResult.Overflowed);
+      Result.St = FmResultT<T>::Status::Independent;
       return Result;
     }
 
     // Middle of the allowed range (paper's heuristic), or the finite
-    // endpoint, or 0 when fully unconstrained.
-    int64_t Value = 0;
-    if (Lo && Hi)
-      Value = *Lo + (*Hi - *Lo) / 2;
-    else if (Lo)
+    // endpoint, or 0 when fully unconstrained. The midpoint offset is
+    // computed checked: Hi - Lo can span more than the scalar range.
+    T Value(0);
+    if (Lo && Hi) {
+      std::optional<T> Span = checkedSub(*Hi, *Lo);
+      if (Span) {
+        Value = *Lo + *Span / T(2);
+      } else {
+        // Enormous range straddling zero; any interior point works.
+        Value = T(0);
+      }
+    } else if (Lo) {
       Value = *Lo;
-    else if (Hi)
+    } else if (Hi) {
       Value = *Hi;
+    }
     Sample[Step.Var] = Value;
     AnyAssigned = true;
   }
 
   assert(System.satisfiedBy(Sample) && "witness fails the system");
-  Result.St = FmResult::Status::Dependent;
+  Result.St = FmResultT<T>::Status::Dependent;
   Result.Sample = std::move(Sample);
   return Result;
 }
 
 } // namespace
 
-FmResult edda::runFourierMotzkin(const LinearSystem &System,
-                                 const FourierMotzkinOptions &Opts) {
-  return FmSolver(Opts).solve(System);
+namespace edda {
+
+template <typename T>
+FmResultT<T> runFourierMotzkin(const LinearSystemT<T> &System,
+                               const FourierMotzkinOptions &Opts) {
+  return FmSolver<T>(Opts).solve(System);
 }
+
+template FmResultT<int64_t>
+runFourierMotzkin(const LinearSystemT<int64_t> &,
+                  const FourierMotzkinOptions &);
+template FmResultT<Int128>
+runFourierMotzkin(const LinearSystemT<Int128> &,
+                  const FourierMotzkinOptions &);
+
+} // namespace edda

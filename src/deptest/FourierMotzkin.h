@@ -17,6 +17,11 @@
 /// gcd of its coefficients with a floored bound — sound over the
 /// integers and strictly tightening, so the eliminations stay small.
 ///
+/// Templated on the scalar type for the widening ladder: int64_t is the
+/// fast path, Int128 the retry tier. Only overflow-caused Unknowns are
+/// worth retrying wide, so the result distinguishes them from budget
+/// exhaustion via the Overflowed flag.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EDDA_DEPTEST_FOURIERMOTZKIN_H
@@ -41,7 +46,7 @@ struct FourierMotzkinOptions {
 };
 
 /// Outcome of the Fourier-Motzkin test.
-struct FmResult {
+template <typename T> struct FmResultT {
   enum class Status {
     Independent, ///< Real-infeasible, or integer-empty with certainty.
     Dependent,   ///< Integral witness found.
@@ -51,17 +56,24 @@ struct FmResult {
 
   Status St = Status::Unknown;
   /// Witness when Dependent.
-  std::optional<std::vector<int64_t>> Sample;
+  std::optional<std::vector<T>> Sample;
   /// True when explicit branch & bound was entered.
   bool UsedBranchAndBound = false;
   /// Branch nodes expended.
   unsigned BranchNodes = 0;
+  /// True when Unknown was caused by arithmetic overflow (so retrying
+  /// at a wider scalar type can help); false for budget exhaustion.
+  bool Overflowed = false;
 };
+
+/// The 64-bit fast-path instantiation (the historical name).
+using FmResult = FmResultT<int64_t>;
 
 /// Runs Fourier-Motzkin elimination with integral witness recovery on
 /// \p System.
-FmResult runFourierMotzkin(const LinearSystem &System,
-                           const FourierMotzkinOptions &Opts = {});
+template <typename T>
+FmResultT<T> runFourierMotzkin(const LinearSystemT<T> &System,
+                               const FourierMotzkinOptions &Opts = {});
 
 } // namespace edda
 

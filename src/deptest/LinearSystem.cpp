@@ -7,100 +7,123 @@
 
 #include "deptest/LinearSystem.h"
 
-#include "support/IntMath.h"
+#include "support/WideInt.h"
 
 using namespace edda;
 
-unsigned LinearConstraint::numActiveVars() const {
+namespace edda {
+
+template <typename T> unsigned LinearConstraintT<T>::numActiveVars() const {
   unsigned Count = 0;
-  for (int64_t C : Coeffs)
-    if (C != 0)
+  for (const T &C : Coeffs)
+    if (C != T(0))
       ++Count;
   return Count;
 }
 
-unsigned LinearConstraint::soleVar() const {
+template <typename T> unsigned LinearConstraintT<T>::soleVar() const {
   for (unsigned K = 0; K < Coeffs.size(); ++K)
-    if (Coeffs[K] != 0)
+    if (Coeffs[K] != T(0))
       return K;
   assert(false && "soleVar on a constant constraint");
   return 0;
 }
 
-std::optional<int64_t>
-LinearConstraint::lhsAt(const std::vector<int64_t> &Point) const {
+template <typename T>
+std::optional<T> LinearConstraintT<T>::lhsAt(const std::vector<T> &Point) const {
   assert(Point.size() == Coeffs.size() && "point arity mismatch");
-  CheckedInt Sum;
+  Checked<T> Sum;
   for (unsigned K = 0; K < Coeffs.size(); ++K)
-    if (Coeffs[K] != 0)
-      Sum += CheckedInt(Coeffs[K]) * Point[K];
+    if (Coeffs[K] != T(0))
+      Sum += Checked<T>(Coeffs[K]) * Point[K];
   return Sum.getOpt();
 }
 
-bool LinearConstraint::satisfiedBy(const std::vector<int64_t> &Point) const {
-  std::optional<int64_t> Lhs = lhsAt(Point);
+template <typename T>
+bool LinearConstraintT<T>::satisfiedBy(const std::vector<T> &Point) const {
+  std::optional<T> Lhs = lhsAt(Point);
   return Lhs && *Lhs <= Bound;
 }
 
-bool LinearConstraint::normalize() {
-  int64_t G = 0;
-  for (int64_t C : Coeffs)
-    G = gcd64(G, C);
-  if (G == 0)
-    return Bound >= 0;
-  if (G > 1) {
-    for (int64_t &C : Coeffs)
+template <typename T> bool LinearConstraintT<T>::normalize() {
+  T G(0);
+  for (const T &C : Coeffs)
+    G = gcdOf(G, C);
+  if (G == T(0))
+    return Bound >= T(0);
+  if (G > T(1)) {
+    for (T &C : Coeffs)
       C /= G;
+    // Dividing by G >= 2, so the (min, -1) overflow pair is unreachable.
     Bound = floorDiv(Bound, G);
   }
   return true;
 }
 
-bool LinearSystem::satisfiedBy(const std::vector<int64_t> &Point) const {
-  for (const LinearConstraint &C : Constraints)
+template <typename T>
+bool LinearSystemT<T>::satisfiedBy(const std::vector<T> &Point) const {
+  for (const LinearConstraintT<T> &C : Constraints)
     if (!C.satisfiedBy(Point))
       return false;
   return true;
 }
 
-bool LinearSystem::substitute(unsigned Var, int64_t Value) {
+template <typename T> bool LinearSystemT<T>::substitute(unsigned Var, T Value) {
   assert(Var < NumVars && "variable out of range");
-  for (LinearConstraint &C : Constraints) {
-    if (C.Coeffs[Var] == 0)
+  for (LinearConstraintT<T> &C : Constraints) {
+    if (C.Coeffs[Var] == T(0))
       continue;
     // coeff*Value moves to the bound side.
-    CheckedInt NewBound = CheckedInt(C.Bound) -
-                          CheckedInt(C.Coeffs[Var]) * Value;
+    Checked<T> NewBound =
+        Checked<T>(C.Bound) - Checked<T>(C.Coeffs[Var]) * Value;
     if (!NewBound.valid())
       return false;
     C.Bound = NewBound.get();
-    C.Coeffs[Var] = 0;
+    C.Coeffs[Var] = T(0);
   }
   return true;
 }
 
-std::string LinearSystem::str() const {
-  std::string Out =
-      "system over " + std::to_string(NumVars) + " vars\n";
-  for (const LinearConstraint &C : Constraints) {
+template <typename T> std::string LinearSystemT<T>::str() const {
+  std::string Out = "system over " + std::to_string(NumVars) + " vars\n";
+  for (const LinearConstraintT<T> &C : Constraints) {
     Out += "  ";
     bool First = true;
     for (unsigned K = 0; K < C.Coeffs.size(); ++K) {
-      if (C.Coeffs[K] == 0)
+      if (C.Coeffs[K] == T(0))
         continue;
+      bool Neg = C.Coeffs[K] < T(0);
       if (!First)
-        Out += C.Coeffs[K] < 0 ? " - " : " + ";
-      else if (C.Coeffs[K] < 0)
+        Out += Neg ? " - " : " + ";
+      else if (Neg)
         Out += "-";
       First = false;
-      int64_t Mag = C.Coeffs[K] < 0 ? -C.Coeffs[K] : C.Coeffs[K];
-      if (Mag != 1)
-        Out += std::to_string(Mag) + "*";
+      // Render the magnitude by stripping the sign from the decimal form
+      // rather than negating, which would overflow for minimum values.
+      std::string Mag = toDecimalString(C.Coeffs[K]);
+      if (Neg)
+        Mag.erase(0, 1);
+      if (Mag != "1")
+        Out += Mag + "*";
       Out += "t" + std::to_string(K);
     }
     if (First)
       Out += "0";
-    Out += " <= " + std::to_string(C.Bound) + "\n";
+    Out += " <= " + toDecimalString(C.Bound) + "\n";
   }
   return Out;
 }
+
+template struct LinearConstraintT<int64_t>;
+template struct LinearConstraintT<Int128>;
+template class LinearSystemT<int64_t>;
+template class LinearSystemT<Int128>;
+
+WideSystem widenSystem(const LinearSystem &S) {
+  WideSystem W(S.numVars());
+  for (const LinearConstraint &C : S.constraints())
+    W.addLe(widenVec(C.Coeffs), Int128(C.Bound));
+  return W;
+}
+
+} // namespace edda

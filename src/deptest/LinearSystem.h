@@ -12,10 +12,17 @@
 /// the free variables t left by the GCD substitution. LinearSystem is
 /// that conjunction.
 ///
+/// The scalar type is a template parameter: the 64-bit instantiation is
+/// the fast path and the Int128 instantiation backs the widened retry
+/// when 64-bit preprocessing or testing overflows (docs/ALGORITHMS.md,
+/// "the widening ladder").
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EDDA_DEPTEST_LINEARSYSTEM_H
 #define EDDA_DEPTEST_LINEARSYSTEM_H
+
+#include "support/Int128.h"
 
 #include <cassert>
 #include <cstdint>
@@ -27,12 +34,12 @@ namespace edda {
 
 /// One inequality: sum_k Coeffs[k] * t_k <= Bound. Coeffs is dense with
 /// exactly the system's variable count.
-struct LinearConstraint {
-  std::vector<int64_t> Coeffs;
-  int64_t Bound = 0;
+template <typename T> struct LinearConstraintT {
+  std::vector<T> Coeffs;
+  T Bound = T(0);
 
-  LinearConstraint() = default;
-  LinearConstraint(std::vector<int64_t> Coeffs, int64_t Bound)
+  LinearConstraintT() = default;
+  LinearConstraintT(std::vector<T> Coeffs, T Bound)
       : Coeffs(std::move(Coeffs)), Bound(Bound) {}
 
   /// Number of variables with nonzero coefficient.
@@ -42,11 +49,11 @@ struct LinearConstraint {
   unsigned soleVar() const;
 
   /// Evaluates the left-hand side at \p Point; std::nullopt on overflow.
-  std::optional<int64_t> lhsAt(const std::vector<int64_t> &Point) const;
+  std::optional<T> lhsAt(const std::vector<T> &Point) const;
 
   /// True when \p Point satisfies the constraint (overflow counts as
   /// unsatisfied).
-  bool satisfiedBy(const std::vector<int64_t> &Point) const;
+  bool satisfiedBy(const std::vector<T> &Point) const;
 
   /// Divides through by the gcd of the coefficients, flooring the bound —
   /// valid (and tightening) over the integers. No-op for constant
@@ -54,47 +61,57 @@ struct LinearConstraint {
   /// falsehood 0 <= Bound with Bound < 0.
   bool normalize();
 
-  bool operator==(const LinearConstraint &RHS) const = default;
+  bool operator==(const LinearConstraintT &RHS) const = default;
 };
 
 /// A conjunction of linear constraints over NumVars integer unknowns.
-class LinearSystem {
+template <typename T> class LinearSystemT {
 public:
-  explicit LinearSystem(unsigned NumVars) : NumVars(NumVars) {}
+  explicit LinearSystemT(unsigned NumVars) : NumVars(NumVars) {}
 
   unsigned numVars() const { return NumVars; }
 
-  const std::vector<LinearConstraint> &constraints() const {
+  const std::vector<LinearConstraintT<T>> &constraints() const {
     return Constraints;
   }
-  std::vector<LinearConstraint> &constraints() { return Constraints; }
+  std::vector<LinearConstraintT<T>> &constraints() { return Constraints; }
 
   /// Appends a constraint. \pre Coeffs.size() == numVars().
-  void add(LinearConstraint C) {
+  void add(LinearConstraintT<T> C) {
     assert(C.Coeffs.size() == NumVars && "constraint arity mismatch");
     Constraints.push_back(std::move(C));
   }
 
   /// Convenience: adds sum Coeffs*t <= Bound.
-  void addLe(std::vector<int64_t> Coeffs, int64_t Bound) {
-    add(LinearConstraint(std::move(Coeffs), Bound));
+  void addLe(std::vector<T> Coeffs, T Bound) {
+    add(LinearConstraintT<T>(std::move(Coeffs), Bound));
   }
 
   /// True when \p Point satisfies every constraint.
-  bool satisfiedBy(const std::vector<int64_t> &Point) const;
+  bool satisfiedBy(const std::vector<T> &Point) const;
 
   /// Replaces t_Var with the constant \p Value in every constraint.
   /// The variable keeps its column (coefficient zeroed). Returns false on
   /// arithmetic overflow.
-  bool substitute(unsigned Var, int64_t Value);
+  bool substitute(unsigned Var, T Value);
 
   /// Debug rendering.
   std::string str() const;
 
 private:
   unsigned NumVars;
-  std::vector<LinearConstraint> Constraints;
+  std::vector<LinearConstraintT<T>> Constraints;
 };
+
+/// The 64-bit fast-path instantiations (the historical names).
+using LinearConstraint = LinearConstraintT<int64_t>;
+using LinearSystem = LinearSystemT<int64_t>;
+/// The 128-bit widened-retry instantiations.
+using WideConstraint = LinearConstraintT<Int128>;
+using WideSystem = LinearSystemT<Int128>;
+
+/// Widens every coefficient and bound of a 64-bit system; total.
+WideSystem widenSystem(const LinearSystem &S);
 
 } // namespace edda
 

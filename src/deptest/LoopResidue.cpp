@@ -7,13 +7,15 @@
 
 #include "deptest/LoopResidue.h"
 
-#include "support/IntMath.h"
+#include "support/WideInt.h"
 
 #include <algorithm>
 
 using namespace edda;
 
-std::string ResidueGraph::str() const {
+namespace edda {
+
+template <typename T> std::string ResidueGraphT<T>::str() const {
   std::string Out;
   auto NodeName = [this](unsigned Node) {
     if (Node + 1 == NumNodes)
@@ -22,28 +24,29 @@ std::string ResidueGraph::str() const {
   };
   for (const Edge &E : Edges)
     Out += NodeName(E.From) + " -> " + NodeName(E.To) + "  (" +
-           std::to_string(E.Weight) + ")\n";
+           toDecimalString(E.Weight) + ")\n";
   return Out;
 }
 
-ResidueResult
-edda::runLoopResidue(unsigned NumVars,
-                     const std::vector<LinearConstraint> &MultiVar,
-                     const VarIntervals &Intervals) {
-  ResidueResult Result;
-  ResidueGraph &Graph = Result.Graph;
+template <typename T>
+ResidueResultT<T>
+runLoopResidue(unsigned NumVars,
+               const std::vector<LinearConstraintT<T>> &MultiVar,
+               const VarIntervalsT<T> &Intervals) {
+  ResidueResultT<T> Result;
+  ResidueGraphT<T> &Graph = Result.Graph;
   Graph.NumNodes = NumVars + 1;
   const unsigned N0 = NumVars;
 
   // Applicability and edge construction: every multi-variable constraint
   // must be a*ti - a*tj <= c.
-  for (const LinearConstraint &C : MultiVar) {
+  for (const LinearConstraintT<T> &C : MultiVar) {
     if (C.numActiveVars() != 2)
       return Result; // NotApplicable
     unsigned I = 0, J = 0;
     bool HaveI = false;
     for (unsigned V = 0; V < C.Coeffs.size(); ++V) {
-      if (C.Coeffs[V] == 0)
+      if (C.Coeffs[V] == T(0))
         continue;
       if (!HaveI) {
         I = V;
@@ -52,17 +55,18 @@ edda::runLoopResidue(unsigned NumVars,
         J = V;
       }
     }
-    int64_t AI = C.Coeffs[I];
-    int64_t AJ = C.Coeffs[J];
-    std::optional<int64_t> NegAJ = checkedNeg(AJ);
+    T AI = C.Coeffs[I];
+    T AJ = C.Coeffs[J];
+    std::optional<T> NegAJ = checkedNeg(AJ);
     if (!NegAJ || AI != *NegAJ)
       return Result; // coefficients are not +a / -a
     // Orient so the positive-coefficient variable is the edge source:
-    // a*tFrom - a*tTo <= c  ==>  tFrom <= tTo + floor(c/a).
-    unsigned From = AI > 0 ? I : J;
-    unsigned To = AI > 0 ? J : I;
-    int64_t A = AI > 0 ? AI : AJ;
-    assert(A > 0 && "orientation failed");
+    // a*tFrom - a*tTo <= c  ==>  tFrom <= tTo + floor(c/a). The divisor
+    // is strictly positive, so plain floorDiv cannot overflow.
+    unsigned From = AI > T(0) ? I : J;
+    unsigned To = AI > T(0) ? J : I;
+    T A = AI > T(0) ? AI : AJ;
+    assert(A > T(0) && "orientation failed");
     Graph.Edges.push_back({From, To, floorDiv(C.Bound, A)});
   }
 
@@ -73,9 +77,9 @@ edda::runLoopResidue(unsigned NumVars,
     if (Intervals.Hi[V])
       Graph.Edges.push_back({V, N0, *Intervals.Hi[V]});
     if (Intervals.Lo[V]) {
-      std::optional<int64_t> W = checkedNeg(*Intervals.Lo[V]);
+      std::optional<T> W = checkedNeg(*Intervals.Lo[V]);
       if (!W) {
-        Result.St = ResidueResult::Status::Overflow;
+        Result.St = ResidueResultT<T>::Status::Overflow;
         return Result;
       }
       Graph.Edges.push_back({N0, V, *W});
@@ -86,15 +90,15 @@ edda::runLoopResidue(unsigned NumVars,
   // weight 0 (equivalently: all distances start at 0). A relaxation that
   // still fires on pass NumNodes proves a negative cycle.
   const unsigned NumNodes = Graph.NumNodes;
-  std::vector<int64_t> Dist(NumNodes, 0);
+  std::vector<T> Dist(NumNodes, T(0));
   std::vector<int> Pred(NumNodes, -1);
   int CycleEntry = -1;
   for (unsigned Pass = 0; Pass < NumNodes; ++Pass) {
     bool Any = false;
-    for (const ResidueGraph::Edge &E : Graph.Edges) {
-      std::optional<int64_t> Candidate = checkedAdd(Dist[E.From], E.Weight);
+    for (const typename ResidueGraphT<T>::Edge &E : Graph.Edges) {
+      std::optional<T> Candidate = checkedAdd(Dist[E.From], E.Weight);
       if (!Candidate) {
-        Result.St = ResidueResult::Status::Overflow;
+        Result.St = ResidueResultT<T>::Status::Overflow;
         return Result;
       }
       if (*Candidate < Dist[E.To]) {
@@ -123,23 +127,34 @@ edda::runLoopResidue(unsigned NumVars,
     } while (Cursor != Node);
     Cycle.push_back(Node);
     std::reverse(Cycle.begin(), Cycle.end());
-    Result.St = ResidueResult::Status::Independent;
+    Result.St = ResidueResultT<T>::Status::Independent;
     Result.NegativeCycle = std::move(Cycle);
     return Result;
   }
 
   // Feasible: potentials give an integral witness. t_u <= t_w + W holds
   // for t_v = Dist[n0] - Dist[v], normalized so that n0 maps to 0.
-  std::vector<int64_t> Sample(NumVars);
+  std::vector<T> Sample(NumVars, T(0));
   for (unsigned V = 0; V < NumVars; ++V) {
-    std::optional<int64_t> Value = checkedSub(Dist[N0], Dist[V]);
+    std::optional<T> Value = checkedSub(Dist[N0], Dist[V]);
     if (!Value) {
-      Result.St = ResidueResult::Status::Overflow;
+      Result.St = ResidueResultT<T>::Status::Overflow;
       return Result;
     }
     Sample[V] = *Value;
   }
-  Result.St = ResidueResult::Status::Dependent;
+  Result.St = ResidueResultT<T>::Status::Dependent;
   Result.Sample = std::move(Sample);
   return Result;
 }
+
+template struct ResidueGraphT<int64_t>;
+template struct ResidueGraphT<Int128>;
+template ResidueResultT<int64_t>
+runLoopResidue(unsigned, const std::vector<LinearConstraintT<int64_t>> &,
+               const VarIntervalsT<int64_t> &);
+template ResidueResultT<Int128>
+runLoopResidue(unsigned, const std::vector<LinearConstraintT<Int128>> &,
+               const VarIntervalsT<Int128> &);
+
+} // namespace edda

@@ -15,6 +15,9 @@
 /// an integral witness — difference-constraint systems are totally
 /// unimodular, which is what makes this test exact.
 ///
+/// Templated on the scalar type for the widening ladder: int64_t is the
+/// fast path, Int128 the retry tier.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EDDA_DEPTEST_LOOPRESIDUE_H
@@ -31,11 +34,11 @@ namespace edda {
 
 /// The residue graph: node v per variable plus the distinguished node n0
 /// (index numVars). Edge u -> w with weight W encodes t_u <= t_w + W.
-struct ResidueGraph {
+template <typename T> struct ResidueGraphT {
   struct Edge {
     unsigned From;
     unsigned To;
-    int64_t Weight;
+    T Weight;
   };
   unsigned NumNodes = 0; ///< Variables + 1 (n0 is node NumNodes - 1).
   std::vector<Edge> Edges;
@@ -45,32 +48,38 @@ struct ResidueGraph {
 };
 
 /// Outcome of the Loop Residue test.
-struct ResidueResult {
+template <typename T> struct ResidueResultT {
   enum class Status {
     NotApplicable, ///< Some constraint is not a difference constraint.
     Independent,   ///< Negative cycle: exact.
     Dependent,     ///< No negative cycle: exact, with a witness.
-    Overflow,      ///< Arithmetic gave up; fall back to Fourier-Motzkin.
+    Overflow,      ///< Arithmetic gave up; widen or fall back.
   };
 
   Status St = Status::NotApplicable;
   /// Witness assignment (size numVars) when Dependent.
-  std::optional<std::vector<int64_t>> Sample;
+  std::optional<std::vector<T>> Sample;
   /// A negative cycle (sequence of node ids, first == last) when
   /// Independent, for diagnostics and the Figure 1 reproduction.
   std::vector<unsigned> NegativeCycle;
   /// The graph that was built (for diagnostics), valid unless
   /// NotApplicable was decided before construction finished.
-  ResidueGraph Graph;
+  ResidueGraphT<T> Graph;
 };
+
+/// The 64-bit fast-path instantiations (the historical names).
+using ResidueGraph = ResidueGraphT<int64_t>;
+using ResidueResult = ResidueResultT<int64_t>;
 
 /// Runs the Loop Residue test on the multi-variable constraints \p
 /// MultiVar plus the single-variable \p Intervals over \p NumVars
 /// variables. Applicable iff every multi-variable constraint has exactly
 /// two active variables with coefficients +a and -a.
-ResidueResult runLoopResidue(unsigned NumVars,
-                             const std::vector<LinearConstraint> &MultiVar,
-                             const VarIntervals &Intervals);
+template <typename T>
+ResidueResultT<T>
+runLoopResidue(unsigned NumVars,
+               const std::vector<LinearConstraintT<T>> &MultiVar,
+               const VarIntervalsT<T> &Intervals);
 
 } // namespace edda
 

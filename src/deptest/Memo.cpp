@@ -316,15 +316,17 @@ bool DependenceCache::saveToFile(const std::string &Path) const {
   if (!Out)
     return false;
   // Version 3: TestKind gained Banerjee before Unanalyzable, changing
-  // the DecidedBy integer encoding; older caches are rejected on load.
-  Out << "edda-depcache 3\n";
+  // the DecidedBy integer encoding. Version 4: full entries carry the
+  // Widened flag (128-bit retry provenance). Older caches are rejected
+  // on load.
+  Out << "edda-depcache 4\n";
   Out << uniqueFull() << "\n";
   for (const auto &S : Shards) {
     for (const auto &[K, R] : S->Full) {
       writeVector(Out, K);
       Out << static_cast<int>(R.Answer) << " "
           << static_cast<int>(R.DecidedBy) << " " << (R.Exact ? 1 : 0)
-          << "\n";
+          << " " << (R.Widened ? 1 : 0) << "\n";
     }
   }
   Out << uniqueDirections() << "\n";
@@ -366,7 +368,7 @@ bool DependenceCache::loadFromFile(const std::string &Path) {
   std::string Magic;
   int Version;
   if (!(In >> Magic >> Version) || Magic != "edda-depcache" ||
-      Version != 3)
+      Version != 4)
     return false;
 
   size_t Count;
@@ -374,13 +376,15 @@ bool DependenceCache::loadFromFile(const std::string &Path) {
     return false;
   for (size_t I = 0; I < Count; ++I) {
     Key K;
-    int Answer, DecidedBy, Exact;
-    if (!readVector(In, K) || !(In >> Answer >> DecidedBy >> Exact))
+    int Answer, DecidedBy, Exact, Widened;
+    if (!readVector(In, K) ||
+        !(In >> Answer >> DecidedBy >> Exact >> Widened))
       return false;
     CascadeResult R;
     R.Answer = static_cast<DepAnswer>(Answer);
     R.DecidedBy = static_cast<TestKind>(DecidedBy);
     R.Exact = Exact != 0;
+    R.Widened = Widened != 0;
     Shard &S = shardFor(K);
     S.Full.emplace(std::move(K), std::move(R));
   }

@@ -52,15 +52,18 @@ DepStats &DepStats::operator+=(const DepStats &RHS) {
     StageDecided.resize(NumStages);
     StageIndependent.resize(NumStages);
     StageOverflow.resize(NumStages);
+    StageWiden.resize(NumStages);
   }
   for (unsigned S = 0; S < RHS.StageDecided.size(); ++S) {
     StageDecided[S] += RHS.StageDecided[S];
     StageIndependent[S] += RHS.StageIndependent[S];
     StageOverflow[S] += RHS.StageOverflow[S];
+    StageWiden[S] += RHS.StageWiden[S];
   }
   Queries += RHS.Queries;
   MemoHitsFull += RHS.MemoHitsFull;
   MemoHitsNoBounds += RHS.MemoHitsNoBounds;
+  WidenedQueries += RHS.WidenedQueries;
   return *this;
 }
 
@@ -79,9 +82,15 @@ std::string DepStats::str() const {
     Out += std::string("overflow in stage '") + stageName(S) +
            "': " + std::to_string(StageOverflow[S]) + "\n";
   }
+  for (unsigned S = 0; S < StageWiden.size(); ++S) {
+    if (StageWiden[S] == 0)
+      continue;
+    Out += std::string("widened in stage '") + stageName(S) +
+           "': " + std::to_string(StageWiden[S]) + "\n";
+  }
   Out += "queries: " + std::to_string(Queries) +
          ", memo hits (full): " + std::to_string(MemoHitsFull) +
          ", memo hits (no bounds): " + std::to_string(MemoHitsNoBounds) +
-         "\n";
+         ", widened: " + std::to_string(WidenedQueries) + "\n";
   return Out;
 }

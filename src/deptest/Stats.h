@@ -54,15 +54,21 @@ struct DepStats {
   /// survive for the Table 1-5 reproductions. StageOverflow records
   /// which stage's arithmetic gave up on queries that end Unanalyzable
   /// (provenance the single Unanalyzable bucket cannot carry).
+  /// StageWiden mirrors it for the 128-bit retry tier: which stage's
+  /// 64-bit arithmetic overflowed on queries the wide tier then decided
+  /// (preprocessing widening is the GCD stage's, like its overflows).
   std::vector<uint64_t> StageDecided;
   std::vector<uint64_t> StageIndependent;
   std::vector<uint64_t> StageOverflow;
+  std::vector<uint64_t> StageWiden;
 
   /// Memoization accounting (paper section 5 / Table 2).
   uint64_t Queries = 0;          ///< Dependence questions asked.
   uint64_t MemoHitsFull = 0;     ///< Served from the with-bounds table.
   uint64_t MemoHitsNoBounds = 0; ///< GCD outcome served from the
                                  ///< without-bounds table.
+  uint64_t WidenedQueries = 0;   ///< Decided only after the 128-bit
+                                 ///< retry (64-bit overflowed).
 
   void recordDecision(TestKind Kind, bool Independent) {
     ++Decided[static_cast<unsigned>(Kind)];
@@ -80,6 +86,11 @@ struct DepStats {
   void recordStageOverflow(unsigned StageId) {
     growStage(StageId);
     ++StageOverflow[StageId];
+  }
+
+  void recordStageWiden(unsigned StageId) {
+    growStage(StageId);
+    ++StageWiden[StageId];
   }
 
   uint64_t decided(TestKind Kind) const {
@@ -103,6 +114,7 @@ private:
       StageDecided.resize(StageId + 1);
       StageIndependent.resize(StageId + 1);
       StageOverflow.resize(StageId + 1);
+      StageWiden.resize(StageId + 1);
     }
   }
 };

@@ -7,26 +7,28 @@
 
 #include "deptest/Svpc.h"
 
-#include "support/IntMath.h"
+#include "support/WideInt.h"
 
 using namespace edda;
 
-bool VarIntervals::contradictory() const {
+namespace edda {
+
+template <typename T> bool VarIntervalsT<T>::contradictory() const {
   for (unsigned V = 0; V < Lo.size(); ++V)
     if (Lo[V] && Hi[V] && *Lo[V] > *Hi[V])
       return true;
   return false;
 }
 
-SvpcResult edda::runSvpc(const LinearSystem &System) {
-  SvpcResult Result;
-  Result.Intervals = VarIntervals(System.numVars());
+template <typename T> SvpcResultT<T> runSvpc(const LinearSystemT<T> &System) {
+  SvpcResultT<T> Result;
+  Result.Intervals = VarIntervalsT<T>(System.numVars());
 
-  for (const LinearConstraint &C : System.constraints()) {
+  for (const LinearConstraintT<T> &C : System.constraints()) {
     unsigned Active = C.numActiveVars();
     if (Active == 0) {
-      if (C.Bound < 0) {
-        Result.St = SvpcResult::Status::Independent;
+      if (C.Bound < T(0)) {
+        Result.St = SvpcResultT<T>::Status::Independent;
         return Result;
       }
       continue; // trivially true
@@ -36,24 +38,33 @@ SvpcResult edda::runSvpc(const LinearSystem &System) {
       continue;
     }
     unsigned V = C.soleVar();
-    int64_t A = C.Coeffs[V];
-    if (A > 0)
-      Result.Intervals.tightenHi(V, floorDiv(C.Bound, A));
+    T A = C.Coeffs[V];
+    // Arbitrary coefficients reach this division, so the (min, -1) pair
+    // is live: route it through the checked variants and report overflow
+    // rather than wrapping.
+    std::optional<T> Limit = A > T(0) ? checkedFloorDiv(C.Bound, A)
+                                      : checkedCeilDiv(C.Bound, A);
+    if (!Limit) {
+      Result.St = SvpcResultT<T>::Status::Overflow;
+      return Result;
+    }
+    if (A > T(0))
+      Result.Intervals.tightenHi(V, *Limit);
     else
-      Result.Intervals.tightenLo(V, ceilDiv(C.Bound, A));
+      Result.Intervals.tightenLo(V, *Limit);
   }
 
   if (Result.Intervals.contradictory()) {
-    Result.St = SvpcResult::Status::Independent;
+    Result.St = SvpcResultT<T>::Status::Independent;
     return Result;
   }
   if (!Result.MultiVar.empty()) {
-    Result.St = SvpcResult::Status::NeedsMore;
+    Result.St = SvpcResultT<T>::Status::NeedsMore;
     return Result;
   }
 
-  Result.St = SvpcResult::Status::Dependent;
-  std::vector<int64_t> Sample(System.numVars(), 0);
+  Result.St = SvpcResultT<T>::Status::Dependent;
+  std::vector<T> Sample(System.numVars(), T(0));
   for (unsigned V = 0; V < System.numVars(); ++V) {
     if (Result.Intervals.Lo[V])
       Sample[V] = *Result.Intervals.Lo[V];
@@ -64,3 +75,12 @@ SvpcResult edda::runSvpc(const LinearSystem &System) {
   Result.Sample = std::move(Sample);
   return Result;
 }
+
+template struct VarIntervalsT<int64_t>;
+template struct VarIntervalsT<Int128>;
+template struct SvpcResultT<int64_t>;
+template struct SvpcResultT<Int128>;
+template SvpcResultT<int64_t> runSvpc(const LinearSystemT<int64_t> &);
+template SvpcResultT<Int128> runSvpc(const LinearSystemT<Int128> &);
+
+} // namespace edda

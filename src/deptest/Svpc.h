@@ -14,6 +14,9 @@
 /// and the residue graph. This test resolves the overwhelming majority
 /// of real dependence problems (paper Table 1).
 ///
+/// Templated on the scalar type for the widening ladder: int64_t is the
+/// fast path, Int128 the retry tier.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EDDA_DEPTEST_SVPC_H
@@ -29,20 +32,19 @@ namespace edda {
 
 /// Per-variable integer intervals accumulated from single-variable
 /// constraints. A missing endpoint means unbounded in that direction.
-struct VarIntervals {
-  std::vector<std::optional<int64_t>> Lo;
-  std::vector<std::optional<int64_t>> Hi;
+template <typename T> struct VarIntervalsT {
+  std::vector<std::optional<T>> Lo;
+  std::vector<std::optional<T>> Hi;
 
-  explicit VarIntervals(unsigned NumVars)
-      : Lo(NumVars), Hi(NumVars) {}
+  explicit VarIntervalsT(unsigned NumVars) : Lo(NumVars), Hi(NumVars) {}
 
   /// Tightens Lo[V] to at least \p Value.
-  void tightenLo(unsigned V, int64_t Value) {
+  void tightenLo(unsigned V, T Value) {
     if (!Lo[V] || *Lo[V] < Value)
       Lo[V] = Value;
   }
   /// Tightens Hi[V] to at most \p Value.
-  void tightenHi(unsigned V, int64_t Value) {
+  void tightenHi(unsigned V, T Value) {
     if (!Hi[V] || *Hi[V] > Value)
       Hi[V] = Value;
   }
@@ -52,26 +54,31 @@ struct VarIntervals {
 };
 
 /// Outcome of the SVPC pass.
-struct SvpcResult {
+template <typename T> struct SvpcResultT {
   enum class Status {
     Independent, ///< Some interval (or constant constraint) is empty.
     Dependent,   ///< No multi-variable constraints remained: exact.
     NeedsMore,   ///< Multi-variable constraints remain; cascade onward.
+    Overflow,    ///< T-width division overflowed; widen or give up.
   };
 
   Status St = Status::NeedsMore;
   /// Intervals from the single-variable constraints (valid except when
   /// Independent was decided by a constant falsehood).
-  VarIntervals Intervals{0};
+  VarIntervalsT<T> Intervals{0};
   /// The surviving multi-variable constraints.
-  std::vector<LinearConstraint> MultiVar;
+  std::vector<LinearConstraintT<T>> MultiVar;
   /// A witness point when Dependent (every variable set inside its
   /// interval). Absent if overflow prevented building one.
-  std::optional<std::vector<int64_t>> Sample;
+  std::optional<std::vector<T>> Sample;
 };
 
+/// The 64-bit fast-path instantiations (the historical names).
+using VarIntervals = VarIntervalsT<int64_t>;
+using SvpcResult = SvpcResultT<int64_t>;
+
 /// Runs the SVPC test over \p System.
-SvpcResult runSvpc(const LinearSystem &System);
+template <typename T> SvpcResultT<T> runSvpc(const LinearSystemT<T> &System);
 
 } // namespace edda
 

@@ -11,6 +11,7 @@
 #include "deptest/Direction.h"
 #include "deptest/LoopResidue.h"
 #include "support/IntMath.h"
+#include "support/WideInt.h"
 
 #include <cassert>
 #include <chrono>
@@ -22,61 +23,113 @@ using namespace edda;
 // PipelineContext
 //===----------------------------------------------------------------------===//
 
-const DiophantineSolution &PipelineContext::solution() {
-  if (!Solution)
-    Solution = solveEquations(Problem);
-  return *Solution;
+namespace {
+
+/// Lifts a 64-bit Diophantine solution to the 128-bit tier verbatim:
+/// the solved numbers are exact, only their width changes.
+DiophantineSolutionT<Int128> widenSolution(const DiophantineSolution &S) {
+  DiophantineSolutionT<Int128> W;
+  W.Solvable = S.Solvable;
+  W.Overflow = false;
+  W.NumX = S.NumX;
+  W.NumFree = S.NumFree;
+  W.Offset = widenVec(S.Offset);
+  W.FreeRows = MatrixT<Int128>(S.FreeRows.rows(), S.FreeRows.cols());
+  for (unsigned R = 0; R < S.FreeRows.rows(); ++R)
+    for (unsigned C = 0; C < S.FreeRows.cols(); ++C)
+      W.FreeRows.at(R, C) = Int128(S.FreeRows.at(R, C));
+  return W;
 }
 
-PipelineContext::Prep PipelineContext::prep() {
-  const DiophantineSolution &Sol = solution();
+} // namespace
+
+template <typename T>
+const DiophantineSolutionT<T> &PipelineContext::solutionT() {
+  Artifacts<T> &A = arts<T>();
+  if (!A.Solution) {
+    if constexpr (std::is_same_v<T, Int128>) {
+      // Reuse the narrow solve unless it overflowed: its numbers are
+      // exact, so the wide solution is the same solution, widened.
+      const DiophantineSolution &NS = solutionT<int64_t>();
+      if (!NS.Overflow)
+        A.Solution = widenSolution(NS);
+      else
+        A.Solution = solveEquations<Int128>(Problem);
+    } else {
+      A.Solution = solveEquations<int64_t>(Problem);
+    }
+  }
+  return *A.Solution;
+}
+
+template <typename T> PipelineContext::Prep PipelineContext::prepT() {
+  Artifacts<T> &A = arts<T>();
+  if constexpr (std::is_same_v<T, Int128>) {
+    // When the narrow tier prepped cleanly the wide system is just the
+    // widened narrow system; infeasibility is exact at any width. Only
+    // a narrow overflow forces the genuine wide rebuild below.
+    switch (prepT<int64_t>()) {
+    case Prep::Infeasible:
+      return Prep::Infeasible;
+    case Prep::Ready:
+      if (!A.SystemBuilt) {
+        A.SystemBuilt = true;
+        A.System = widenSystem(systemT<int64_t>());
+      }
+      return Prep::Ready;
+    case Prep::Overflow:
+      break;
+    }
+  }
+  const DiophantineSolutionT<T> &Sol = solutionT<T>();
   if (Sol.Overflow)
     return Prep::Overflow;
   if (!Sol.Solvable)
     return Prep::Infeasible;
-  if (!SystemBuilt) {
-    SystemBuilt = true;
-    std::optional<LinearSystem> MaybeSystem =
+  if (!A.SystemBuilt) {
+    A.SystemBuilt = true;
+    std::optional<LinearSystemT<T>> MaybeSystem =
         boundsToFreeSpace(Problem, Sol);
     if (!MaybeSystem) {
-      SystemOverflow = true;
+      A.SystemOverflow = true;
     } else {
       for (const XAffine &Form : ExtraLe0) {
-        std::vector<int64_t> TCoeffs;
-        int64_t TConst;
+        std::vector<T> TCoeffs;
+        T TConst{};
         if (!projectToFree(Form, Sol, TCoeffs, TConst)) {
-          SystemOverflow = true;
+          A.SystemOverflow = true;
           break;
         }
-        std::optional<int64_t> Bound = checkedNeg(TConst);
+        std::optional<T> Bound = checkedNeg(TConst);
         if (!Bound) {
-          SystemOverflow = true;
+          A.SystemOverflow = true;
           break;
         }
         MaybeSystem->addLe(std::move(TCoeffs), *Bound);
       }
-      if (!SystemOverflow)
-        System = std::move(*MaybeSystem);
+      if (!A.SystemOverflow)
+        A.System = std::move(*MaybeSystem);
     }
   }
-  return SystemOverflow ? Prep::Overflow : Prep::Ready;
+  return A.SystemOverflow ? Prep::Overflow : Prep::Ready;
 }
 
-const LinearSystem &PipelineContext::system() {
-  Prep P = prep();
+template <typename T> const LinearSystemT<T> &PipelineContext::systemT() {
+  Prep P = prepT<T>();
   (void)P;
   assert(P == Prep::Ready && "system requested without Ready prep");
-  return *System;
+  return *arts<T>().System;
 }
 
-const SvpcResult &PipelineContext::svpcPass() {
-  if (!Svpc)
-    Svpc = runSvpc(system());
-  return *Svpc;
+template <typename T> const SvpcResultT<T> &PipelineContext::svpcPassT() {
+  Artifacts<T> &A = arts<T>();
+  if (!A.Svpc)
+    A.Svpc = runSvpc(systemT<T>());
+  return *A.Svpc;
 }
 
 std::optional<unsigned> PipelineContext::prepOverflowStage() const {
-  if ((Solution && Solution->Overflow) || SystemOverflow) {
+  if (narrowPrepOverflowed()) {
     // All of preprocessing — the Diophantine solve and the free-space
     // rewrite of bounds and direction constraints — lives in
     // ExtendedGcd.*, so its overflows are the GCD stage's regardless of
@@ -88,10 +141,34 @@ std::optional<unsigned> PipelineContext::prepOverflowStage() const {
   return std::nullopt;
 }
 
+template <typename T>
 std::optional<std::vector<int64_t>>
-PipelineContext::witnessFrom(const std::vector<int64_t> &TSample) {
-  return solution().instantiate(TSample);
+PipelineContext::witnessFromT(const std::vector<T> &TSample) {
+  std::optional<std::vector<T>> X = solutionT<T>().instantiate(TSample);
+  if (!X)
+    return std::nullopt;
+  if constexpr (std::is_same_v<T, Int128>)
+    return narrowVec(*X);
+  else
+    return X;
 }
+
+namespace edda {
+template const DiophantineSolutionT<int64_t> &
+PipelineContext::solutionT<int64_t>();
+template const DiophantineSolutionT<Int128> &
+PipelineContext::solutionT<Int128>();
+template PipelineContext::Prep PipelineContext::prepT<int64_t>();
+template PipelineContext::Prep PipelineContext::prepT<Int128>();
+template const LinearSystemT<int64_t> &PipelineContext::systemT<int64_t>();
+template const LinearSystemT<Int128> &PipelineContext::systemT<Int128>();
+template const SvpcResultT<int64_t> &PipelineContext::svpcPassT<int64_t>();
+template const SvpcResultT<Int128> &PipelineContext::svpcPassT<Int128>();
+template std::optional<std::vector<int64_t>>
+PipelineContext::witnessFromT<int64_t>(const std::vector<int64_t> &);
+template std::optional<std::vector<int64_t>>
+PipelineContext::witnessFromT<Int128>(const std::vector<Int128> &);
+} // namespace edda
 
 //===----------------------------------------------------------------------===//
 // The stages
@@ -108,6 +185,34 @@ public:
 } // namespace edda
 
 namespace {
+
+/// Runs a stage's width-templated body on the 64-bit fast path first,
+/// retrying once at 128 bits when that overflowed and widening is
+/// enabled. A wide outcome is tagged Widened; when the wide tier also
+/// overflows, the narrow overflow stands and the pipeline records its
+/// provenance exactly as in the 64-bit-only days.
+template <typename StageT>
+StageResult runWidened(const StageT &Stage, PipelineContext &Ctx) {
+  StageResult Narrow = Stage.template runT<int64_t>(Ctx);
+  if (Narrow.St != StageResult::Status::Overflow || !Ctx.options().Widen)
+    return Narrow;
+  StageResult Wide = Stage.template runT<Int128>(Ctx);
+  if (Wide.St == StageResult::Status::Overflow)
+    return Narrow;
+  Wide.Widened = true;
+  return Wide;
+}
+
+/// Shared applicability screen: the free-space system is usable if the
+/// 64-bit prep succeeded, or the 128-bit retry can still produce one.
+/// (Without this, a narrow prep overflow would skip every stage and the
+/// wide tier would never get its chance.)
+bool prepUsable(PipelineContext &Ctx) {
+  if (Ctx.prep() != PipelineContext::Prep::Overflow)
+    return true;
+  return Ctx.options().Widen &&
+         Ctx.prepT<Int128>() != PipelineContext::Prep::Overflow;
+}
 
 /// Step 0 of the cascade (paper Table 1, first column): all-constant
 /// subscripts need no dependence testing.
@@ -176,7 +281,11 @@ public:
   bool applicable(PipelineContext &) const override { return true; }
 
   StageResult run(PipelineContext &Ctx) const override {
-    switch (Ctx.prep()) {
+    return runWidened(*this, Ctx);
+  }
+
+  template <typename T> StageResult runT(PipelineContext &Ctx) const {
+    switch (Ctx.prepT<T>()) {
     case PipelineContext::Prep::Overflow:
       return StageResult::overflow();
     case PipelineContext::Prep::Infeasible:
@@ -201,21 +310,33 @@ public:
   bool exact() const override { return true; }
 
   bool applicable(PipelineContext &Ctx) const override {
-    return Ctx.prep() != PipelineContext::Prep::Overflow;
+    return prepUsable(Ctx);
   }
 
   StageResult run(PipelineContext &Ctx) const override {
-    if (Ctx.prep() == PipelineContext::Prep::Infeasible)
+    return runWidened(*this, Ctx);
+  }
+
+  template <typename T> StageResult runT(PipelineContext &Ctx) const {
+    switch (Ctx.prepT<T>()) {
+    case PipelineContext::Prep::Overflow:
+      return StageResult::overflow();
+    case PipelineContext::Prep::Infeasible:
       return StageResult::independent();
-    const SvpcResult &Svpc = Ctx.svpcPass();
+    case PipelineContext::Prep::Ready:
+      break;
+    }
+    const SvpcResultT<T> &Svpc = Ctx.svpcPassT<T>();
     switch (Svpc.St) {
-    case SvpcResult::Status::Independent:
+    case SvpcResultT<T>::Status::Independent:
       return StageResult::independent();
-    case SvpcResult::Status::Dependent:
+    case SvpcResultT<T>::Status::Dependent:
       return StageResult::dependent(
-          Svpc.Sample ? Ctx.witnessFrom(*Svpc.Sample) : std::nullopt);
-    case SvpcResult::Status::NeedsMore:
+          Svpc.Sample ? Ctx.witnessFromT<T>(*Svpc.Sample) : std::nullopt);
+    case SvpcResultT<T>::Status::NeedsMore:
       return StageResult::notApplicable();
+    case SvpcResultT<T>::Status::Overflow:
+      return StageResult::overflow();
     }
     return StageResult::notApplicable();
   }
@@ -235,40 +356,52 @@ public:
   bool exact() const override { return true; }
 
   bool applicable(PipelineContext &Ctx) const override {
-    return Ctx.prep() != PipelineContext::Prep::Overflow;
+    return prepUsable(Ctx);
   }
 
   StageResult run(PipelineContext &Ctx) const override {
-    if (Ctx.prep() == PipelineContext::Prep::Infeasible)
+    return runWidened(*this, Ctx);
+  }
+
+  template <typename T> StageResult runT(PipelineContext &Ctx) const {
+    switch (Ctx.prepT<T>()) {
+    case PipelineContext::Prep::Overflow:
+      return StageResult::overflow();
+    case PipelineContext::Prep::Infeasible:
       return StageResult::independent();
-    const SvpcResult &Svpc = Ctx.svpcPass();
+    case PipelineContext::Prep::Ready:
+      break;
+    }
+    const SvpcResultT<T> &Svpc = Ctx.svpcPassT<T>();
     // In a permuted pipeline SVPC may not have run as a stage; its
     // classification is shared preprocessing either way, and a system it
     // already decides is decided here with the same certainty.
-    if (Svpc.St == SvpcResult::Status::Independent)
+    if (Svpc.St == SvpcResultT<T>::Status::Independent)
       return StageResult::independent();
-    if (Svpc.St == SvpcResult::Status::Dependent)
+    if (Svpc.St == SvpcResultT<T>::Status::Dependent)
       return StageResult::dependent(
-          Svpc.Sample ? Ctx.witnessFrom(*Svpc.Sample) : std::nullopt);
-    AcyclicResult Acyc = runAcyclic(Ctx.system().numVars(), Svpc.MultiVar,
-                                    Svpc.Intervals);
+          Svpc.Sample ? Ctx.witnessFromT<T>(*Svpc.Sample) : std::nullopt);
+    if (Svpc.St == SvpcResultT<T>::Status::Overflow)
+      return StageResult::overflow();
+    AcyclicResultT<T> Acyc = runAcyclic(Ctx.systemT<T>().numVars(),
+                                        Svpc.MultiVar, Svpc.Intervals);
     StageResult Out;
     switch (Acyc.St) {
-    case AcyclicResult::Status::Independent:
+    case AcyclicResultT<T>::Status::Independent:
       Out = StageResult::independent();
       break;
-    case AcyclicResult::Status::Dependent:
+    case AcyclicResultT<T>::Status::Dependent:
       Out = StageResult::dependent(
-          Acyc.Sample ? Ctx.witnessFrom(*Acyc.Sample) : std::nullopt);
+          Acyc.Sample ? Ctx.witnessFromT<T>(*Acyc.Sample) : std::nullopt);
       break;
-    case AcyclicResult::Status::NeedsMore:
+    case AcyclicResultT<T>::Status::NeedsMore:
       Out = StageResult::notApplicable();
       break;
-    case AcyclicResult::Status::Overflow:
+    case AcyclicResultT<T>::Status::Overflow:
       Out = StageResult::overflow();
       break;
     }
-    Ctx.setAcyclicOutcome(std::move(Acyc));
+    Ctx.setAcyclicOutcomeT<T>(std::move(Acyc));
     return Out;
   }
 };
@@ -288,55 +421,76 @@ public:
   bool exact() const override { return true; }
 
   bool applicable(PipelineContext &Ctx) const override {
-    if (Ctx.prep() == PipelineContext::Prep::Overflow)
+    if (!prepUsable(Ctx))
       return false;
-    // When Acyclic ran and overflowed its simplified state is unusable;
-    // skip straight to Fourier-Motzkin as the cascade always has.
+    // Consult the widest acyclic outcome published: when the wide tier
+    // ran, it subsumes the narrow one. An overflowed outcome means that
+    // tier's simplified state is unusable; skip straight to
+    // Fourier-Motzkin as the cascade always has.
+    if (const AcyclicResultT<Int128> *W = Ctx.acyclicOutcomeT<Int128>())
+      return W->St == AcyclicResultT<Int128>::Status::NeedsMore;
     if (const AcyclicResult *Acyc = Ctx.acyclicOutcome())
-      return Acyc->St == AcyclicResult::Status::NeedsMore;
+      return Acyc->St == AcyclicResult::Status::NeedsMore ||
+             (Acyc->St == AcyclicResult::Status::Overflow &&
+              Ctx.options().Widen);
     return true;
   }
 
   StageResult run(PipelineContext &Ctx) const override {
-    if (Ctx.prep() == PipelineContext::Prep::Infeasible)
-      return StageResult::independent();
+    return runWidened(*this, Ctx);
+  }
 
-    const std::vector<LinearConstraint> *MultiVar;
-    const VarIntervals *Intervals;
-    const AcyclicResult *Acyc = Ctx.acyclicOutcome();
+  template <typename T> StageResult runT(PipelineContext &Ctx) const {
+    switch (Ctx.prepT<T>()) {
+    case PipelineContext::Prep::Overflow:
+      return StageResult::overflow();
+    case PipelineContext::Prep::Infeasible:
+      return StageResult::independent();
+    case PipelineContext::Prep::Ready:
+      break;
+    }
+
+    const std::vector<LinearConstraintT<T>> *MultiVar;
+    const VarIntervalsT<T> *Intervals;
+    const AcyclicResultT<T> *Acyc = Ctx.acyclicOutcomeT<T>();
+    if (Acyc && Acyc->St == AcyclicResultT<T>::Status::Overflow)
+      return StageResult::overflow(); // this tier's core is unusable
     if (Acyc) {
       MultiVar = &Acyc->Remaining;
       Intervals = &Acyc->Intervals;
     } else {
-      const SvpcResult &Svpc = Ctx.svpcPass();
-      if (Svpc.St == SvpcResult::Status::Independent)
+      const SvpcResultT<T> &Svpc = Ctx.svpcPassT<T>();
+      if (Svpc.St == SvpcResultT<T>::Status::Independent)
         return StageResult::independent();
-      if (Svpc.St == SvpcResult::Status::Dependent)
+      if (Svpc.St == SvpcResultT<T>::Status::Dependent)
         return StageResult::dependent(
-            Svpc.Sample ? Ctx.witnessFrom(*Svpc.Sample) : std::nullopt);
+            Svpc.Sample ? Ctx.witnessFromT<T>(*Svpc.Sample)
+                        : std::nullopt);
+      if (Svpc.St == SvpcResultT<T>::Status::Overflow)
+        return StageResult::overflow();
       MultiVar = &Svpc.MultiVar;
       Intervals = &Svpc.Intervals;
     }
 
-    ResidueResult Residue =
-        runLoopResidue(Ctx.system().numVars(), *MultiVar, *Intervals);
+    ResidueResultT<T> Residue =
+        runLoopResidue(Ctx.systemT<T>().numVars(), *MultiVar, *Intervals);
     switch (Residue.St) {
-    case ResidueResult::Status::Independent:
+    case ResidueResultT<T>::Status::Independent:
       return StageResult::independent();
-    case ResidueResult::Status::Dependent: {
+    case ResidueResultT<T>::Status::Dependent: {
       std::optional<std::vector<int64_t>> Witness;
       if (Residue.Sample) {
-        std::vector<int64_t> TSample = std::move(*Residue.Sample);
+        std::vector<T> TSample = std::move(*Residue.Sample);
         // Replay the acyclic eliminations backwards to re-fill the
         // pinned/dropped variables (no-op when Acyclic did not run).
         if (!Acyc || completeSample(TSample, Acyc->Log, Acyc->Intervals))
-          Witness = Ctx.witnessFrom(TSample);
+          Witness = Ctx.witnessFromT<T>(TSample);
       }
       return StageResult::dependent(std::move(Witness));
     }
-    case ResidueResult::Status::NotApplicable:
+    case ResidueResultT<T>::Status::NotApplicable:
       return StageResult::notApplicable();
-    case ResidueResult::Status::Overflow:
+    case ResidueResultT<T>::Status::Overflow:
       return StageResult::overflow();
     }
     return StageResult::notApplicable();
@@ -356,21 +510,43 @@ public:
   bool exact() const override { return true; }
 
   bool applicable(PipelineContext &Ctx) const override {
-    return Ctx.prep() != PipelineContext::Prep::Overflow;
+    return prepUsable(Ctx);
   }
 
   StageResult run(PipelineContext &Ctx) const override {
-    if (Ctx.prep() == PipelineContext::Prep::Infeasible)
+    StageResult R = runWidened(*this, Ctx);
+    // An overflow surviving the ladder is still this stage's call: FM
+    // has always answered its own overflows with a decided (inexact)
+    // Unknown rather than falling through, and --no-widen keeps that.
+    if (R.St == StageResult::Status::Overflow) {
+      StageResult Out = StageResult::unknown();
+      Out.Widened = R.Widened;
+      return Out;
+    }
+    return R;
+  }
+
+  template <typename T> StageResult runT(PipelineContext &Ctx) const {
+    switch (Ctx.prepT<T>()) {
+    case PipelineContext::Prep::Overflow:
+      return StageResult::overflow();
+    case PipelineContext::Prep::Infeasible:
       return StageResult::independent();
-    FmResult Fm = runFourierMotzkin(Ctx.system(), Ctx.options().Fm);
+    case PipelineContext::Prep::Ready:
+      break;
+    }
+    FmResultT<T> Fm = runFourierMotzkin(Ctx.systemT<T>(), Ctx.options().Fm);
     switch (Fm.St) {
-    case FmResult::Status::Independent:
+    case FmResultT<T>::Status::Independent:
       return StageResult::independent();
-    case FmResult::Status::Dependent:
+    case FmResultT<T>::Status::Dependent:
       return StageResult::dependent(
-          Fm.Sample ? Ctx.witnessFrom(*Fm.Sample) : std::nullopt);
-    case FmResult::Status::Unknown:
-      return StageResult::unknown();
+          Fm.Sample ? Ctx.witnessFromT<T>(*Fm.Sample) : std::nullopt);
+    case FmResultT<T>::Status::Unknown:
+      // Only overflow-caused Unknowns are worth a wide retry; budget
+      // exhaustion would exhaust the wide tier just the same.
+      return Fm.Overflowed ? StageResult::overflow()
+                           : StageResult::unknown();
     }
     return StageResult::unknown();
   }
@@ -609,18 +785,31 @@ CascadeResult TestPipeline::run(const DependenceProblem &Problem,
   std::optional<unsigned> OverflowStage;
 
   auto Decide = [&](const DependenceTest *Stage, DepAnswer Answer,
-                    std::optional<std::vector<int64_t>> Witness) {
+                    std::optional<std::vector<int64_t>> Witness,
+                    bool Widened) {
     if (Stats) {
       Stats->recordDecision(Stage->kind(),
                             Answer == DepAnswer::Independent);
       Stats->recordStageDecision(Stage->id(),
                                  Answer == DepAnswer::Independent);
+      if (Widened) {
+        ++Stats->WidenedQueries;
+        // A widening forced by shared-preprocessing overflow is the GCD
+        // stage's, whichever stage's retry then decided — the same
+        // order-independence rule as overflow provenance.
+        unsigned WidenId = Stage->id();
+        if (Ctx.narrowPrepOverflowed())
+          if (const DependenceTest *Gcd = stageForKind(TestKind::GcdTest))
+            WidenId = Gcd->id();
+        Stats->recordStageWiden(WidenId);
+      }
     }
     CascadeResult Result;
     Result.Answer = Answer;
     Result.DecidedBy = Stage->kind();
     Result.Exact = Answer != DepAnswer::Unknown;
     Result.Witness = std::move(Witness);
+    Result.Widened = Widened;
     return Result;
   };
 
@@ -643,6 +832,7 @@ CascadeResult TestPipeline::run(const DependenceProblem &Problem,
       // are sound); only Unknown is inexact.
       T.Exact = R.St == StageResult::Status::Independent ||
                 R.St == StageResult::Status::Dependent;
+      T.Widened = R.Widened;
       T.Witness = R.Witness;
       T.Nanos = static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -652,11 +842,13 @@ CascadeResult TestPipeline::run(const DependenceProblem &Problem,
 
     switch (R.St) {
     case StageResult::Status::Independent:
-      return Decide(Stage, DepAnswer::Independent, std::nullopt);
+      return Decide(Stage, DepAnswer::Independent, std::nullopt,
+                    R.Widened);
     case StageResult::Status::Dependent:
-      return Decide(Stage, DepAnswer::Dependent, std::move(R.Witness));
+      return Decide(Stage, DepAnswer::Dependent, std::move(R.Witness),
+                    R.Widened);
     case StageResult::Status::Unknown:
-      return Decide(Stage, DepAnswer::Unknown, std::nullopt);
+      return Decide(Stage, DepAnswer::Unknown, std::nullopt, R.Widened);
     case StageResult::Status::Overflow:
       if (!OverflowStage)
         OverflowStage = Stage->id();
@@ -717,6 +909,8 @@ std::string PipelineTrace::str(unsigned Indent) const {
         Out += T.Exact ? " (exact)" : " (inexact)";
       else if (T.St == StageResult::Status::Unknown)
         Out += " (inexact)";
+      if (T.Widened)
+        Out += " (widened to 128-bit)";
       if (T.Witness) {
         Out += ", witness [";
         for (unsigned J = 0; J < T.Witness->size(); ++J) {

@@ -47,6 +47,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 namespace edda {
@@ -63,13 +64,17 @@ struct StageResult {
                    ///< flagged inexact.
     NotApplicable, ///< The stage cannot decide this problem; later
                    ///< stages continue.
-    Overflow,      ///< 64-bit arithmetic gave up mid-run; later stages
-                   ///< continue, provenance is recorded.
+    Overflow,      ///< Arithmetic gave up mid-run at every enabled
+                   ///< width; later stages continue, provenance is
+                   ///< recorded.
   };
 
   Status St = Status::NotApplicable;
   /// Witness iteration vector in x space when Dependent.
   std::optional<std::vector<int64_t>> Witness;
+  /// True when this outcome came from the 128-bit retry tier (the
+  /// stage's 64-bit attempt overflowed).
+  bool Widened = false;
 
   static StageResult independent() {
     return {Status::Independent, std::nullopt};
@@ -93,6 +98,12 @@ struct StageResult {
 /// at most once regardless of stage order; the acyclic stage publishes
 /// its simplified core here for the residue stage, mirroring the
 /// paper's "applicability checks are byproducts of the previous stage".
+///
+/// Every artifact exists at two widths: the int64_t fast path and the
+/// Int128 retry tier (the widening ladder). The wide twins are built
+/// only when a 64-bit computation overflows and widening is enabled,
+/// and reuse narrow results wherever those did not overflow — a wide
+/// system is the widened narrow system, not a recomputation.
 class PipelineContext {
 public:
   PipelineContext(const DependenceProblem &Problem,
@@ -111,48 +122,101 @@ public:
     Overflow,   ///< Preprocessing overflowed (attributed to "gcd").
   };
 
-  /// Extended-GCD solution of the subscript equations (lazy).
-  const DiophantineSolution &solution();
+  /// Extended-GCD solution of the subscript equations at width T
+  /// (lazy). The wide instantiation widens the narrow solution when
+  /// that one did not overflow, and re-solves at 128 bits otherwise.
+  template <typename T> const DiophantineSolutionT<T> &solutionT();
 
   /// Builds (lazily) the bounds + ExtraLe0 system over the free
-  /// variables and reports its readiness.
-  Prep prep();
+  /// variables at width T and reports its readiness.
+  template <typename T> Prep prepT();
 
-  /// The free-space system. \pre prep() == Prep::Ready.
-  const LinearSystem &system();
+  /// The free-space system at width T. \pre prepT<T>() == Prep::Ready.
+  template <typename T> const LinearSystemT<T> &systemT();
 
-  /// The SVPC classification of system() (lazy).
-  /// \pre prep() == Prep::Ready.
-  const SvpcResult &svpcPass();
+  /// The SVPC classification of systemT<T>() (lazy).
+  /// \pre prepT<T>() == Prep::Ready.
+  template <typename T> const SvpcResultT<T> &svpcPassT();
 
-  /// The acyclic stage's outcome, when it ran earlier in the pipeline.
-  const AcyclicResult *acyclicOutcome() const {
-    return Acyclic ? &*Acyclic : nullptr;
+  /// The acyclic stage's width-T outcome, when that tier ran earlier in
+  /// the pipeline.
+  template <typename T> const AcyclicResultT<T> *acyclicOutcomeT() const {
+    const std::optional<AcyclicResultT<T>> &A = arts<T>().Acyclic;
+    return A ? &*A : nullptr;
   }
-  void setAcyclicOutcome(AcyclicResult R) { Acyclic = std::move(R); }
+  template <typename T> void setAcyclicOutcomeT(AcyclicResultT<T> R) {
+    arts<T>().Acyclic = std::move(R);
+  }
 
-  /// Registry id of the stage whose *preprocessing* overflowed, when
-  /// prep() == Prep::Overflow (always the extended-GCD stage: overflow
+  /// The historical 64-bit names, still the fast path everywhere.
+  const DiophantineSolution &solution() { return solutionT<int64_t>(); }
+  Prep prep() { return prepT<int64_t>(); }
+  const LinearSystem &system() { return systemT<int64_t>(); }
+  const SvpcResult &svpcPass() { return svpcPassT<int64_t>(); }
+  const AcyclicResult *acyclicOutcome() const {
+    return acyclicOutcomeT<int64_t>();
+  }
+  void setAcyclicOutcome(AcyclicResult R) {
+    setAcyclicOutcomeT<int64_t>(std::move(R));
+  }
+
+  /// Registry id of the stage whose 64-bit *preprocessing* overflowed,
+  /// when prep() == Prep::Overflow (always the extended-GCD stage:
   /// attribution must not depend on which stage triggered the lazy
-  /// computation, or permutations would disagree).
+  /// computation, or permutations would disagree). The same rule
+  /// attributes widening provenance when the wide tier rescued a query
+  /// whose narrow preprocessing overflowed.
   std::optional<unsigned> prepOverflowStage() const;
 
-  /// Maps a free-space sample back to an x-space witness (nullopt when
-  /// reconstruction overflows; the qualitative answer stays exact).
+  /// True when any 64-bit preprocessing artifact overflowed (whether or
+  /// not a wide twin later succeeded).
+  bool narrowPrepOverflowed() const {
+    return (Narrow.Solution && Narrow.Solution->Overflow) ||
+           Narrow.SystemOverflow;
+  }
+
+  /// Maps a width-T free-space sample back to a 64-bit x-space witness
+  /// (nullopt when reconstruction overflows or the wide witness does
+  /// not fit; the qualitative answer stays exact).
+  template <typename T>
   std::optional<std::vector<int64_t>>
-  witnessFrom(const std::vector<int64_t> &TSample);
+  witnessFromT(const std::vector<T> &TSample);
+
+  std::optional<std::vector<int64_t>>
+  witnessFrom(const std::vector<int64_t> &TSample) {
+    return witnessFromT<int64_t>(TSample);
+  }
 
 private:
+  /// The lazy artifact set of one widening tier.
+  template <typename T> struct Artifacts {
+    std::optional<DiophantineSolutionT<T>> Solution;
+    bool SystemBuilt = false;
+    bool SystemOverflow = false;
+    std::optional<LinearSystemT<T>> System;
+    std::optional<SvpcResultT<T>> Svpc;
+    std::optional<AcyclicResultT<T>> Acyclic;
+  };
+
+  template <typename T> Artifacts<T> &arts() {
+    if constexpr (std::is_same_v<T, Int128>)
+      return Wide;
+    else
+      return Narrow;
+  }
+  template <typename T> const Artifacts<T> &arts() const {
+    if constexpr (std::is_same_v<T, Int128>)
+      return Wide;
+    else
+      return Narrow;
+  }
+
   const DependenceProblem &Problem;
   const std::vector<XAffine> &ExtraLe0;
   const CascadeOptions &Opts;
 
-  std::optional<DiophantineSolution> Solution;
-  bool SystemBuilt = false;
-  bool SystemOverflow = false;
-  std::optional<LinearSystem> System;
-  std::optional<SvpcResult> Svpc;
-  std::optional<AcyclicResult> Acyclic;
+  Artifacts<int64_t> Narrow;
+  Artifacts<Int128> Wide;
 };
 
 /// One pluggable dependence test. Implementations are stateless
@@ -211,6 +275,8 @@ struct StageTrace {
   StageResult::Status St = StageResult::Status::NotApplicable;
   /// True when the stage decided and the answer is exact.
   bool Exact = false;
+  /// True when the outcome came from the 128-bit retry tier.
+  bool Widened = false;
   std::optional<std::vector<int64_t>> Witness;
   /// Wall-clock spent in applicable() + run(), nanoseconds.
   uint64_t Nanos = 0;

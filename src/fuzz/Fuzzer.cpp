@@ -32,6 +32,8 @@ const char *fuzzAxisName(FuzzAxis Axis) {
     return "oracle";
   case FuzzAxis::Pipeline:
     return "pipeline";
+  case FuzzAxis::Widen:
+    return "widen";
   case FuzzAxis::Threads:
     return "threads";
   case FuzzAxis::Memo:
@@ -77,9 +79,11 @@ std::string tempCachePath(const char *Tag) {
 
 /// Single-problem cache persistence check; doubles as the memo-axis
 /// shrink predicate.
-bool memoRoundTripFails(const DependenceProblem &P) {
+bool memoRoundTripFails(const DependenceProblem &P, bool Widen) {
   DependenceCache C1;
-  CascadeResult R = testDependence(P);
+  CascadeOptions CO;
+  CO.Widen = Widen;
+  CascadeResult R = testDependence(P, CO);
   C1.insertFull(P, R);
   std::optional<CascadeResult> Expected = C1.lookupFull(P);
   if (!Expected)
@@ -92,7 +96,8 @@ bool memoRoundTripFails(const DependenceProblem &P) {
       std::optional<CascadeResult> Got = C2.lookupFull(P);
       Failed = !Got || Got->Answer != Expected->Answer ||
                Got->DecidedBy != Expected->DecidedBy ||
-               Got->Exact != Expected->Exact;
+               Got->Exact != Expected->Exact ||
+               Got->Widened != Expected->Widened;
     }
   }
   std::error_code EC;
@@ -224,14 +229,16 @@ FuzzSummary FuzzRunner::run() {
 
 void FuzzRunner::checkProblem(const DependenceProblem &P, uint64_t Iter) {
   DependenceProblem Buggy = applyBug(P, Opts.Bug);
-  CascadeResult R = testDependence(Buggy);
+  CascadeOptions Base;
+  Base.Widen = Opts.Widen;
+  CascadeResult R = testDependence(Buggy, Base);
 
   if (Opts.CheckOracle) {
     // The differential core: cascade vs. enumeration, with the witness
     // checked against the *original* problem so an injected (or real)
     // perturbation cannot hide behind a self-consistent wrong answer.
-    auto OracleFails = [this](const DependenceProblem &Q) {
-      CascadeResult RQ = testDependence(applyBug(Q, Opts.Bug));
+    auto OracleFails = [this, &Base](const DependenceProblem &Q) {
+      CascadeResult RQ = testDependence(applyBug(Q, Opts.Bug), Base);
       if (RQ.Answer == DepAnswer::Dependent && RQ.Witness &&
           !verifyWitness(Q, *RQ.Witness))
         return true;
@@ -276,20 +283,126 @@ void FuzzRunner::checkProblem(const DependenceProblem &P, uint64_t Iter) {
     }
   }
 
+  if (Opts.CheckWiden && Opts.Widen) {
+    // The widening ladder's own differential: the same cascade with
+    // --no-widen. When the ladder never fired the two runs took the
+    // same path and must match bit for bit; when both decide they must
+    // agree; an answer only the widened run produces is cross-checked
+    // independently (witness or enumeration oracle), because the
+    // 64-bit run has nothing to say about it.
+    CascadeOptions NoWiden = Base;
+    NoWiden.Widen = false;
+    CascadeResult RN = testDependence(Buggy, NoWiden);
+    std::string Detail;
+    if (!R.Widened) {
+      // The ladder never produced the answer, so --no-widen must agree
+      // on it bit for bit — with one legitimate wiggle: a stage that is
+      // applicable only thanks to wide prep can exhaust the ladder and
+      // still consume the query (Unknown via FM) where the 64-bit run
+      // fell through (Unknown via Unanalyzable), so an Unknown's
+      // provenance may differ.
+      bool BothUnknown =
+          R.Answer == DepAnswer::Unknown && RN.Answer == DepAnswer::Unknown;
+      if (R.Answer != RN.Answer || RN.Widened ||
+          (!BothUnknown &&
+           (R.DecidedBy != RN.DecidedBy || R.Exact != RN.Exact)))
+        Detail = "--no-widen perturbs an unwidened result: " +
+                 answerName(R.Answer) + " (" + testKindName(R.DecidedBy) +
+                 ") vs " + answerName(RN.Answer) + " (" +
+                 testKindName(RN.DecidedBy) + ")";
+    } else if (RN.Answer != DepAnswer::Unknown) {
+      if (R.Answer == DepAnswer::Unknown)
+        Detail = "widening lost a decisive answer: --no-widen says " +
+                 answerName(RN.Answer) + " (" + testKindName(RN.DecidedBy) +
+                 ")";
+      else if (R.Answer != RN.Answer)
+        Detail = "widened cascade says " + answerName(R.Answer) + " (" +
+                 testKindName(R.DecidedBy) + "), --no-widen says " +
+                 answerName(RN.Answer) + " (" + testKindName(RN.DecidedBy) +
+                 ")";
+    } else if (R.Answer == DepAnswer::Dependent) {
+      if (R.Witness) {
+        if (!verifyWitness(P, *R.Witness))
+          Detail = std::string("widened witness from ") +
+                   testKindName(R.DecidedBy) + " violates the problem";
+      } else if (P.NumSymbolic == 0) {
+        std::optional<bool> Truth = oracleDependent(P, {}, OOpts);
+        if (Truth && !*Truth)
+          Detail = std::string("widened dependent (") +
+                   testKindName(R.DecidedBy) +
+                   ") but enumeration finds no point";
+      }
+    } else if (R.Answer == DepAnswer::Independent) {
+      if (P.NumSymbolic == 0) {
+        std::optional<bool> Truth = oracleDependent(P, {}, OOpts);
+        if (Truth && *Truth)
+          Detail = std::string("widened independent (") +
+                   testKindName(R.DecidedBy) +
+                   ") but enumeration finds a point";
+      } else {
+        std::optional<bool> Sampled = oracleDependentSampled(P, {}, SOpts);
+        if (Sampled && *Sampled)
+          Detail = std::string("widened independent (") +
+                   testKindName(R.DecidedBy) +
+                   ") but a sampled symbolic valuation depends";
+      }
+    }
+    if (!Detail.empty()) {
+      auto WidenFails = [this](const DependenceProblem &Q) {
+        DependenceProblem QB = applyBug(Q, Opts.Bug);
+        CascadeResult W = testDependence(QB);
+        CascadeOptions QN;
+        QN.Widen = false;
+        CascadeResult N = testDependence(QB, QN);
+        if (!W.Widened) {
+          bool BothUnknown = W.Answer == DepAnswer::Unknown &&
+                             N.Answer == DepAnswer::Unknown;
+          return W.Answer != N.Answer || N.Widened ||
+                 (!BothUnknown && (W.DecidedBy != N.DecidedBy ||
+                                   W.Exact != N.Exact));
+        }
+        if (N.Answer != DepAnswer::Unknown)
+          return W.Answer != N.Answer;
+        if (W.Answer == DepAnswer::Dependent) {
+          if (W.Witness)
+            return !verifyWitness(Q, *W.Witness);
+          if (Q.NumSymbolic == 0) {
+            std::optional<bool> T = oracleDependent(Q, {}, OOpts);
+            return T.has_value() && !*T;
+          }
+          return false;
+        }
+        if (W.Answer == DepAnswer::Independent) {
+          if (Q.NumSymbolic == 0) {
+            std::optional<bool> T = oracleDependent(Q, {}, OOpts);
+            return T.has_value() && *T;
+          }
+          std::optional<bool> Sm = oracleDependentSampled(Q, {}, SOpts);
+          return Sm.has_value() && *Sm;
+        }
+        return false;
+      };
+      reportProblem(FuzzAxis::Widen, Iter, std::move(Detail),
+                    shrinkProblem(P, WidenFails));
+      if (done())
+        return;
+    }
+  }
+
   if (Opts.CheckPipeline && R.Answer != DepAnswer::Unknown) {
     // Decisive answers are permutation-invariant; Unknown is not (a
     // consuming stage like FM ends whichever pipeline reaches it
     // first), so only decisive-vs-decisive contradictions count.
     for (const auto &[Spec, PP] : Permuted) {
-      CascadeOptions CO;
+      CascadeOptions CO = Base;
       CO.Pipeline = PP;
       CascadeResult R2 = testDependence(Buggy, CO);
       if (R2.Answer == DepAnswer::Unknown || R2.Answer == R.Answer)
         continue;
-      auto PipelineFails = [this, PP = PP](const DependenceProblem &Q) {
+      auto PipelineFails = [this, &Base, PP = PP](const DependenceProblem &Q) {
         DependenceProblem QB = applyBug(Q, Opts.Bug);
-        CascadeResult D = testDependence(QB);
-        CascadeOptions QO;
+        CascadeResult D = testDependence(QB, Base);
+        CascadeOptions QO = Base;
         QO.Pipeline = PP;
         CascadeResult M = testDependence(QB, QO);
         return D.Answer != DepAnswer::Unknown &&
@@ -320,10 +433,12 @@ void FuzzRunner::flushMemoBatch(uint64_t Iter) {
   Batch.swap(MemoBatch);
 
   DependenceCache C1;
+  CascadeOptions Base;
+  Base.Widen = Opts.Widen;
   std::vector<CascadeResult> Expected;
   for (const DependenceProblem &P : Batch) {
     if (!C1.lookupFull(P))
-      C1.insertFull(P, testDependence(P));
+      C1.insertFull(P, testDependence(P, Base));
     // The post-insert lookup is the canonical stored value, so the
     // check below is purely about persistence.
     Expected.push_back(*C1.lookupFull(P));
@@ -345,15 +460,20 @@ void FuzzRunner::flushMemoBatch(uint64_t Iter) {
         Detail = "entry missing after cache round-trip";
       else if (Got->Answer != Expected[I].Answer ||
                Got->DecidedBy != Expected[I].DecidedBy ||
-               Got->Exact != Expected[I].Exact)
+               Got->Exact != Expected[I].Exact ||
+               Got->Widened != Expected[I].Widened)
         Detail = "cached " + answerName(Expected[I].Answer) + " (" +
-                 testKindName(Expected[I].DecidedBy) + ") became " +
+                 testKindName(Expected[I].DecidedBy) +
+                 (Expected[I].Widened ? ", widened" : "") + ") became " +
                  answerName(Got->Answer) + " (" +
-                 testKindName(Got->DecidedBy) + ") after round-trip";
+                 testKindName(Got->DecidedBy) +
+                 (Got->Widened ? ", widened" : "") + ") after round-trip";
     }
     if (!Detail.empty()) {
       reportProblem(FuzzAxis::Memo, Iter, std::move(Detail),
-                    shrinkProblem(Batch[I], memoRoundTripFails));
+                    shrinkProblem(Batch[I], [this](const DependenceProblem &Q) {
+                      return memoRoundTripFails(Q, Opts.Widen);
+                    }));
       if (done())
         return;
       if (!Persisted)
@@ -394,6 +514,8 @@ void FuzzRunner::checkProgram(const std::string &Source, uint64_t Iter) {
   AnalyzerOptions Serial;
   Serial.ComputeDirections = true;
   Serial.NumThreads = 1;
+  Serial.Cascade.Widen = Opts.Widen;
+  Serial.Direction.Cascade.Widen = Opts.Widen;
 
   if (Opts.CheckThreads) {
     Program Copy1 = *PR.Prog;

@@ -8,7 +8,7 @@
 /// \file
 /// The edda-fuzz engine: generates random DependenceProblems and whole
 /// LoopLang programs from a seed and cross-checks the analysis stack
-/// along four differential axes:
+/// along five differential axes:
 ///
 ///   oracle    cascade verdict vs. brute-force enumeration (symbolic
 ///             problems via the sampled-concretization soundness check),
@@ -16,10 +16,16 @@
 ///   pipeline  default cascade vs. permuted stage pipelines — decisive
 ///             answers must agree (Unknown is order-dependent by
 ///             design: a consuming stage ends the pipeline);
+///   widen     default cascade vs. --no-widen: when the 128-bit ladder
+///             never fired the results must be bit-identical; when both
+///             decide they must agree; answers only the widened run
+///             produces are witness-verified or checked against the
+///             enumeration oracle;
 ///   threads   serial analyzer vs. --threads N on the same program,
 ///             bit-identical pair results required;
 ///   memo      cache save/load round-trips must preserve every cached
-///             answer, both problem batches and whole-program caches.
+///             answer (including the Widened provenance bit), both
+///             problem batches and whole-program caches.
 ///
 /// Every run is a pure function of the seed: iteration i derives its
 /// own SplitRng stream, so `--seed S` reproduces exactly and a failure
@@ -47,6 +53,7 @@ namespace fuzz {
 enum class FuzzAxis {
   Oracle,   ///< Cascade vs. enumeration / sampled concretization.
   Pipeline, ///< Default vs. permuted stage orders.
+  Widen,    ///< Widened cascade vs. the 64-bit-only cascade.
   Threads,  ///< Serial vs. multi-threaded analyzer.
   Memo,     ///< Cache persistence round-trip.
   Parse,    ///< Generated program failed to parse or reprint stably.
@@ -79,8 +86,14 @@ struct FuzzOptions {
   /// Which axes run (all by default; --check narrows).
   bool CheckOracle = true;
   bool CheckPipeline = true;
+  bool CheckWiden = true;
   bool CheckThreads = true;
   bool CheckMemo = true;
+  /// Run every cascade under test with the 128-bit widening ladder
+  /// enabled. False reproduces the historical 64-bit-only behavior on
+  /// all axes (and makes the widen axis vacuous — there is nothing to
+  /// differ against).
+  bool Widen = true;
   /// Stop after this many failures.
   unsigned MaxFailures = 8;
   InjectedBug Bug = InjectedBug::None;

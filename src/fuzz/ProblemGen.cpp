@@ -28,8 +28,9 @@ int64_t nonzeroCoeff(SplitRng &Rng, int64_t Range) {
   return percent(Rng, 50) ? C : -C;
 }
 
-/// Evaluates an affine form at \p X (values are tiny; no overflow
-/// concern at the generator's ranges).
+/// Evaluates an affine form at \p X. No overflow concern at the
+/// generator's ranges: even overflow-stress coefficients (~2^44) times
+/// the tiny bound spans sum well below 2^63.
 int64_t evalForm(const XAffine &F, const std::vector<int64_t> &X) {
   int64_t V = F.Const;
   for (unsigned J = 0; J < F.Coeffs.size(); ++J)
@@ -133,6 +134,15 @@ DependenceProblem randomFuzzProblem(SplitRng &Rng,
   // one perturbation, landing just beside a solution) or drawn freely.
   unsigned NumEq = 1 + static_cast<unsigned>(Rng.below(Opts.MaxEquations));
   bool Plant = Planted && percent(Rng, 70);
+  // Overflow-stress draws blow selected coefficients up to ~2^44 while
+  // the bounds (and hence the enumeration oracle's work) stay tiny.
+  // A uniform scale factor would be divided right back out by row-gcd
+  // normalization, so each coefficient gets its own random low bits,
+  // leaving rows whose gcd is small but whose elimination products —
+  // Bezout multipliers, cross-equation lcms — exceed 64 bits. Planting
+  // happens after, so these problems still tend to have solutions
+  // inside the box and the widen axis sees decisive widened answers.
+  bool Huge = percent(Rng, Opts.HugeScalePercent);
   for (unsigned E = 0; E < NumEq; ++E) {
     XAffine Eq(NumX);
     for (unsigned J = 0; J < NumX; ++J) {
@@ -156,6 +166,11 @@ DependenceProblem randomFuzzProblem(SplitRng &Rng,
           Eq.Coeffs[B] = nonzeroCoeff(Rng, Opts.CoeffRange);
       }
     }
+    if (Huge)
+      for (int64_t &C : Eq.Coeffs)
+        if (C != 0 && percent(Rng, 60))
+          C = C * (int64_t(1) << 42) +
+              rangeInt(Rng, -(int64_t(1) << 20), int64_t(1) << 20);
     if (Plant) {
       Eq.Const = -evalForm(Eq, *Planted);
       if (percent(Rng, 15))

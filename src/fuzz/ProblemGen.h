@@ -38,6 +38,12 @@ struct FuzzProblemOptions {
   int64_t CoeffRange = 4; ///< Coefficients in [-CoeffRange, CoeffRange].
   int64_t ConstRange = 9; ///< Equation constants in [-C, C].
   int64_t MaxSpan = 4;    ///< Constant-bound spans (0..MaxSpan).
+  /// Chance a draw is an overflow stressor: individual coefficients
+  /// blown up to ~2^44 (with random low bits so row gcds stay small)
+  /// while bounds stay tiny. The 64-bit solvers overflow on the
+  /// elimination products, the enumeration oracle stays conclusive,
+  /// and the widening ladder (and its fuzz axis) sees real work.
+  unsigned HugeScalePercent = 12;
 };
 
 /// Draws one random problem. Always wellFormed(); deterministic in

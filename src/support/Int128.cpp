@@ -1,0 +1,275 @@
+//===- support/Int128.cpp - Portable 128-bit integers --------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Int128.h"
+
+#include <algorithm>
+
+using namespace edda;
+using namespace edda::detail;
+
+//===----------------------------------------------------------------------===//
+// Portable word-level helpers
+//===----------------------------------------------------------------------===//
+
+U128 edda::detail::mulU64(uint64_t A, uint64_t B) {
+  // Schoolbook 32-bit limbs; the cross terms cannot overflow because
+  // each is at most (2^32 - 1)^2 and the carries fit in 64 bits.
+  uint64_t AL = A & 0xffffffffu, AH = A >> 32;
+  uint64_t BL = B & 0xffffffffu, BH = B >> 32;
+  uint64_t LL = AL * BL;
+  // Neither sum can overflow: (2^32 - 1)^2 + 2*(2^32 - 1) == 2^64 - 1.
+  uint64_t Mid1 = AH * BL + (LL >> 32);
+  uint64_t Mid2 = AL * BH + (Mid1 & 0xffffffffu);
+  U128 R;
+  R.Lo = (Mid2 << 32) | (LL & 0xffffffffu);
+  R.Hi = AH * BH + (Mid1 >> 32) + (Mid2 >> 32);
+  return R;
+}
+
+U128 edda::detail::addU128(U128 A, U128 B, bool &Carry) {
+  U128 R;
+  R.Lo = A.Lo + B.Lo;
+  uint64_t C = R.Lo < A.Lo ? 1 : 0;
+  R.Hi = A.Hi + B.Hi;
+  bool HiCarry = R.Hi < A.Hi;
+  uint64_t Hi2 = R.Hi + C;
+  HiCarry = HiCarry || Hi2 < R.Hi;
+  R.Hi = Hi2;
+  Carry = HiCarry;
+  return R;
+}
+
+U128 edda::detail::subU128(U128 A, U128 B) {
+  U128 R;
+  R.Lo = A.Lo - B.Lo;
+  uint64_t Borrow = A.Lo < B.Lo ? 1 : 0;
+  R.Hi = A.Hi - B.Hi - Borrow;
+  return R;
+}
+
+U128 edda::detail::shl1(U128 A, bool BitIn) {
+  U128 R;
+  R.Hi = (A.Hi << 1) | (A.Lo >> 63);
+  R.Lo = (A.Lo << 1) | (BitIn ? 1 : 0);
+  return R;
+}
+
+U128 edda::detail::divmodU128(U128 A, U128 B, U128 &Rem) {
+  assert((B.Lo != 0 || B.Hi != 0) && "128-bit division by zero");
+  U128 Q{0, 0};
+  U128 R{0, 0};
+  for (int Bit = 127; Bit >= 0; --Bit) {
+    bool In = Bit >= 64 ? (A.Hi >> (Bit - 64)) & 1 : (A.Lo >> Bit) & 1;
+    R = shl1(R, In);
+    if (!(R < B)) {
+      R = subU128(R, B);
+      if (Bit >= 64)
+        Q.Hi |= 1ull << (Bit - 64);
+      else
+        Q.Lo |= 1ull << Bit;
+    }
+  }
+  Rem = R;
+  return Q;
+}
+
+//===----------------------------------------------------------------------===//
+// Int128
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+U128 words(Int128 V) { return {V.loWord(), V.hiWord()}; }
+
+Int128 fromU(U128 V) { return Int128::fromWords(V.Hi, V.Lo); }
+
+/// Magnitude of \p V as an unsigned 128-bit value (min() maps to 2^127,
+/// which the unsigned representation holds exactly).
+U128 magnitude(Int128 V) {
+  U128 W = words(V);
+  if (!V.isNegative())
+    return W;
+  return subU128({0, 0}, W);
+}
+
+} // namespace
+
+Int128 Int128::operator-() const {
+  return fromU(subU128({0, 0}, {Lo, Hi}));
+}
+
+Int128 Int128::operator+(Int128 RHS) const {
+  bool Ignored;
+  return fromU(addU128({Lo, Hi}, {RHS.Lo, RHS.Hi}, Ignored));
+}
+
+Int128 Int128::operator-(Int128 RHS) const {
+  return fromU(subU128({Lo, Hi}, {RHS.Lo, RHS.Hi}));
+}
+
+Int128 Int128::operator*(Int128 RHS) const {
+  // Low 128 bits of the full product; word-level schoolbook. The high
+  // cross terms only contribute to bits >= 128 and are dropped, which is
+  // exactly two's-complement wraparound.
+  U128 A = words(*this), B = words(RHS);
+  U128 R = mulU64(A.Lo, B.Lo);
+  R.Hi += A.Lo * B.Hi + A.Hi * B.Lo;
+  return fromU(R);
+}
+
+Int128 Int128::operator/(Int128 RHS) const {
+  assert(!RHS.isZero() && "Int128 division by zero");
+  U128 Rem;
+  U128 Q = divmodU128(magnitude(*this), magnitude(RHS), Rem);
+  bool Negative = isNegative() != RHS.isNegative();
+  return Negative ? -fromU(Q) : fromU(Q);
+}
+
+Int128 Int128::operator%(Int128 RHS) const {
+  assert(!RHS.isZero() && "Int128 remainder by zero");
+  U128 Rem;
+  divmodU128(magnitude(*this), magnitude(RHS), Rem);
+  // Truncating division: the remainder takes the dividend's sign.
+  return isNegative() ? -fromU(Rem) : fromU(Rem);
+}
+
+bool edda::operator<(Int128 A, Int128 B) {
+  int64_t AH = static_cast<int64_t>(A.Hi);
+  int64_t BH = static_cast<int64_t>(B.Hi);
+  if (AH != BH)
+    return AH < BH;
+  return A.Lo < B.Lo;
+}
+
+std::string Int128::str() const {
+  if (isZero())
+    return "0";
+  U128 Mag = magnitude(*this);
+  std::string Digits;
+  while (Mag.Lo != 0 || Mag.Hi != 0) {
+    U128 Rem;
+    Mag = divmodU128(Mag, {10, 0}, Rem);
+    Digits += static_cast<char>('0' + Rem.Lo);
+  }
+  if (isNegative())
+    Digits += '-';
+  std::reverse(Digits.begin(), Digits.end());
+  return Digits;
+}
+
+//===----------------------------------------------------------------------===//
+// Checked arithmetic
+//===----------------------------------------------------------------------===//
+
+std::optional<Int128> edda::checkedAdd(Int128 A, Int128 B) {
+  Int128 R = A + B;
+  // Signed overflow iff the operands agree in sign and the result does
+  // not.
+  if (A.isNegative() == B.isNegative() &&
+      R.isNegative() != A.isNegative())
+    return std::nullopt;
+  return R;
+}
+
+std::optional<Int128> edda::checkedSub(Int128 A, Int128 B) {
+  Int128 R = A - B;
+  if (A.isNegative() != B.isNegative() &&
+      R.isNegative() != A.isNegative())
+    return std::nullopt;
+  return R;
+}
+
+std::optional<Int128> edda::checkedMul(Int128 A, Int128 B) {
+  if (A.isZero() || B.isZero())
+    return Int128(0);
+  U128 MA = magnitude(A), MB = magnitude(B);
+  if (MA.Hi != 0 && MB.Hi != 0)
+    return std::nullopt;
+  // Arrange the (at most one) wide operand first: product magnitude is
+  // (WideHi, WideLo) * NarrowLo.
+  if (MB.Hi != 0)
+    std::swap(MA, MB);
+  U128 High = mulU64(MA.Hi, MB.Lo);
+  if (High.Hi != 0)
+    return std::nullopt; // bits >= 128
+  U128 Low = mulU64(MA.Lo, MB.Lo);
+  uint64_t Hi = Low.Hi + High.Lo;
+  if (Hi < Low.Hi)
+    return std::nullopt; // carry out of bit 127
+  U128 Mag{Low.Lo, Hi};
+  bool Negative = A.isNegative() != B.isNegative();
+  // Signed range: magnitude <= 2^127 - 1, or exactly 2^127 for min().
+  U128 Limit{0, 1ull << 63}; // 2^127
+  if (Limit < Mag)
+    return std::nullopt;
+  if (Mag == Limit) {
+    if (!Negative)
+      return std::nullopt;
+    return Int128::min();
+  }
+  Int128 R = fromU(Mag);
+  return Negative ? -R : R;
+}
+
+std::optional<Int128> edda::checkedNeg(Int128 A) {
+  if (A == Int128::min())
+    return std::nullopt;
+  return -A;
+}
+
+//===----------------------------------------------------------------------===//
+// Division helpers and gcd
+//===----------------------------------------------------------------------===//
+
+Int128 edda::floorDiv(Int128 A, Int128 B) {
+  assert(!B.isZero() && "floorDiv by zero");
+  assert(!(A == Int128::min() && B == Int128(-1)) &&
+         "floorDiv(min, -1) overflows; use checkedFloorDiv");
+  Int128 Q = A / B;
+  Int128 R = A % B;
+  if (!R.isZero() && (R.isNegative() != B.isNegative()))
+    Q -= Int128(1);
+  return Q;
+}
+
+Int128 edda::ceilDiv(Int128 A, Int128 B) {
+  assert(!B.isZero() && "ceilDiv by zero");
+  assert(!(A == Int128::min() && B == Int128(-1)) &&
+         "ceilDiv(min, -1) overflows; use checkedCeilDiv");
+  Int128 Q = A / B;
+  Int128 R = A % B;
+  if (!R.isZero() && (R.isNegative() == B.isNegative()))
+    Q += Int128(1);
+  return Q;
+}
+
+std::optional<Int128> edda::checkedFloorDiv(Int128 A, Int128 B) {
+  assert(!B.isZero() && "checkedFloorDiv by zero");
+  if (A == Int128::min() && B == Int128(-1))
+    return std::nullopt;
+  return floorDiv(A, B);
+}
+
+std::optional<Int128> edda::checkedCeilDiv(Int128 A, Int128 B) {
+  assert(!B.isZero() && "checkedCeilDiv by zero");
+  if (A == Int128::min() && B == Int128(-1))
+    return std::nullopt;
+  return ceilDiv(A, B);
+}
+
+Int128 edda::gcdOf(Int128 A, Int128 B) {
+  U128 UA = magnitude(A);
+  U128 UB = magnitude(B);
+  while (UB.Lo != 0 || UB.Hi != 0) {
+    U128 Rem;
+    divmodU128(UA, UB, Rem);
+    UA = UB;
+    UB = Rem;
+  }
+  return fromU(UA);
+}

@@ -1,0 +1,195 @@
+//===- support/Int128.h - Portable 128-bit integers ------------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A signed 128-bit integer for the widening tier of the exact
+/// arithmetic ladder (see docs/ALGORITHMS.md): when a 64-bit checked
+/// computation poisons, the dependence tests retry at this precision
+/// before giving a query up as Unanalyzable.
+///
+/// The value is stored as two explicit 64-bit words in two's complement,
+/// so the type's layout and semantics do not depend on compiler
+/// extensions. The word-level algorithms in edda::detail are the
+/// portable implementation and are always compiled; on compilers with
+/// native `__int128` support the unit tests additionally cross-check
+/// them against the native arithmetic (and str()/divmod use the native
+/// type where it is profitable).
+///
+/// Division and remainder truncate toward zero, exactly like int64_t;
+/// floorDiv/ceilDiv mirror the IntMath helpers. The checked_* overloads
+/// mirror the 64-bit ones so templated kernels can call checkedAdd(A, B)
+/// for either scalar.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_SUPPORT_INT128_H
+#define EDDA_SUPPORT_INT128_H
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace edda {
+
+namespace detail {
+
+/// Unsigned 128-bit value as two words; the portable building block for
+/// Int128. Always compiled (and unit-tested) even when the compiler has
+/// a native 128-bit type.
+struct U128 {
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+
+  friend bool operator==(const U128 &A, const U128 &B) {
+    return A.Lo == B.Lo && A.Hi == B.Hi;
+  }
+  friend bool operator<(const U128 &A, const U128 &B) {
+    return A.Hi != B.Hi ? A.Hi < B.Hi : A.Lo < B.Lo;
+  }
+};
+
+/// Full 64x64 -> 128 unsigned multiply.
+U128 mulU64(uint64_t A, uint64_t B);
+
+/// A + B with wraparound; \p Carry reports overflow out of bit 127.
+U128 addU128(U128 A, U128 B, bool &Carry);
+
+/// A - B with wraparound (two's complement).
+U128 subU128(U128 A, U128 B);
+
+/// Shift left by one bit, inserting \p BitIn at bit 0.
+U128 shl1(U128 A, bool BitIn);
+
+/// Magnitude division: returns the quotient and stores the remainder in
+/// \p Rem, via binary long division. \pre B != 0.
+U128 divmodU128(U128 A, U128 B, U128 &Rem);
+
+} // namespace detail
+
+/// Signed 128-bit integer, two's complement, stored as two 64-bit words.
+class Int128 {
+public:
+  constexpr Int128() : Lo(0), Hi(0) {}
+  /*implicit*/ constexpr Int128(int64_t V)
+      : Lo(static_cast<uint64_t>(V)), Hi(V < 0 ? ~0ull : 0) {}
+
+  /// Assembles a value from raw two's-complement words.
+  static constexpr Int128 fromWords(uint64_t Hi, uint64_t Lo) {
+    Int128 V;
+    V.Lo = Lo;
+    V.Hi = Hi;
+    return V;
+  }
+
+  static constexpr Int128 min() { return fromWords(1ull << 63, 0); }
+  static constexpr Int128 max() {
+    return fromWords(~(1ull << 63), ~0ull);
+  }
+
+  uint64_t loWord() const { return Lo; }
+  uint64_t hiWord() const { return Hi; }
+
+  bool isNegative() const { return static_cast<int64_t>(Hi) < 0; }
+  bool isZero() const { return Lo == 0 && Hi == 0; }
+
+  /// True when the value is representable as int64_t.
+  bool fitsInt64() const { return Hi == (Lo >> 63 ? ~0ull : 0); }
+
+  /// Narrowing. \pre fitsInt64().
+  int64_t toInt64() const {
+    assert(fitsInt64() && "narrowing an out-of-range Int128");
+    return static_cast<int64_t>(Lo);
+  }
+
+  /// Narrowing without the precondition: nullopt when out of range.
+  std::optional<int64_t> tryInt64() const {
+    if (!fitsInt64())
+      return std::nullopt;
+    return static_cast<int64_t>(Lo);
+  }
+
+#if defined(__SIZEOF_INT128__)
+  __int128 toNative() const {
+    return static_cast<__int128>(
+        (static_cast<unsigned __int128>(Hi) << 64) | Lo);
+  }
+  static Int128 fromNative(__int128 V) {
+    unsigned __int128 U = static_cast<unsigned __int128>(V);
+    return fromWords(static_cast<uint64_t>(U >> 64),
+                     static_cast<uint64_t>(U));
+  }
+#endif
+
+  Int128 operator-() const;
+  Int128 operator+(Int128 RHS) const;
+  Int128 operator-(Int128 RHS) const;
+  Int128 operator*(Int128 RHS) const;
+  /// Truncates toward zero. \pre RHS != 0; Int128::min() / -1 wraps,
+  /// exactly like the hardware int64 case (use checkedDiv paths where
+  /// that pair is reachable).
+  Int128 operator/(Int128 RHS) const;
+  Int128 operator%(Int128 RHS) const;
+
+  Int128 &operator+=(Int128 RHS) { return *this = *this + RHS; }
+  Int128 &operator-=(Int128 RHS) { return *this = *this - RHS; }
+  Int128 &operator*=(Int128 RHS) { return *this = *this * RHS; }
+  Int128 &operator/=(Int128 RHS) { return *this = *this / RHS; }
+
+  friend bool operator==(Int128 A, Int128 B) {
+    return A.Lo == B.Lo && A.Hi == B.Hi;
+  }
+  friend bool operator!=(Int128 A, Int128 B) { return !(A == B); }
+  friend bool operator<(Int128 A, Int128 B);
+  friend bool operator<=(Int128 A, Int128 B) { return !(B < A); }
+  friend bool operator>(Int128 A, Int128 B) { return B < A; }
+  friend bool operator>=(Int128 A, Int128 B) { return !(A < B); }
+
+  /// Decimal rendering.
+  std::string str() const;
+
+private:
+  uint64_t Lo;
+  uint64_t Hi;
+};
+
+bool operator<(Int128 A, Int128 B);
+
+/// Checked arithmetic, mirroring the int64_t overloads in IntMath.h so
+/// kernels templated on the scalar type pick the right one by overload
+/// resolution.
+std::optional<Int128> checkedAdd(Int128 A, Int128 B);
+std::optional<Int128> checkedSub(Int128 A, Int128 B);
+std::optional<Int128> checkedMul(Int128 A, Int128 B);
+std::optional<Int128> checkedNeg(Int128 A);
+
+/// Floor division: largest Q with Q*B <= A.
+/// \pre B != 0 and (A, B) != (Int128::min(), -1).
+Int128 floorDiv(Int128 A, Int128 B);
+
+/// Ceiling division: smallest Q with Q*B >= A.
+/// \pre B != 0 and (A, B) != (Int128::min(), -1).
+Int128 ceilDiv(Int128 A, Int128 B);
+
+/// Checked floor/ceiling division: nullopt exactly for the
+/// (Int128::min(), -1) overflow pair. \pre B != 0.
+std::optional<Int128> checkedFloorDiv(Int128 A, Int128 B);
+std::optional<Int128> checkedCeilDiv(Int128 A, Int128 B);
+
+/// gcd of magnitudes; gcd(0, 0) == 0. Like gcd64, the single
+/// unrepresentable case gcd(min, min) == 2^127 wraps to Int128::min();
+/// callers dividing by a gcd > 1 are unaffected.
+Int128 gcdOf(Int128 A, Int128 B);
+
+/// Decimal rendering overloads so templated code can stringify either
+/// scalar.
+inline std::string toDecimalString(int64_t V) { return std::to_string(V); }
+inline std::string toDecimalString(Int128 V) { return V.str(); }
+
+} // namespace edda
+
+#endif // EDDA_SUPPORT_INT128_H

@@ -22,8 +22,11 @@ int64_t edda::gcd64(int64_t A, int64_t B) {
 }
 
 std::optional<int64_t> edda::lcm64(int64_t A, int64_t B) {
+  // lcm(0, N) is 0 (every integer is a multiple of 0's multiples);
+  // reserving nullopt for overflow keeps "zero coefficient" and
+  // "arithmetic gave up" distinguishable for callers.
   if (A == 0 || B == 0)
-    return std::nullopt;
+    return 0;
   int64_t G = gcd64(A, B);
   std::optional<int64_t> AbsA = checkedMul(A < 0 ? -1 : 1, A);
   if (!AbsA)
@@ -63,6 +66,8 @@ ExtGcdResult edda::extGcd64(int64_t A, int64_t B) {
 
 int64_t edda::floorDiv(int64_t A, int64_t B) {
   assert(B != 0 && "floorDiv by zero");
+  assert(!(A == INT64_MIN && B == -1) &&
+         "floorDiv(INT64_MIN, -1) overflows; use checkedFloorDiv");
   int64_t Q = A / B;
   int64_t R = A % B;
   // C++ truncates toward zero; adjust when the remainder has the opposite
@@ -74,11 +79,27 @@ int64_t edda::floorDiv(int64_t A, int64_t B) {
 
 int64_t edda::ceilDiv(int64_t A, int64_t B) {
   assert(B != 0 && "ceilDiv by zero");
+  assert(!(A == INT64_MIN && B == -1) &&
+         "ceilDiv(INT64_MIN, -1) overflows; use checkedCeilDiv");
   int64_t Q = A / B;
   int64_t R = A % B;
   if (R != 0 && ((R < 0) == (B < 0)))
     ++Q;
   return Q;
+}
+
+std::optional<int64_t> edda::checkedFloorDiv(int64_t A, int64_t B) {
+  assert(B != 0 && "checkedFloorDiv by zero");
+  if (A == INT64_MIN && B == -1)
+    return std::nullopt;
+  return floorDiv(A, B);
+}
+
+std::optional<int64_t> edda::checkedCeilDiv(int64_t A, int64_t B) {
+  assert(B != 0 && "checkedCeilDiv by zero");
+  if (A == INT64_MIN && B == -1)
+    return std::nullopt;
+  return ceilDiv(A, B);
 }
 
 std::optional<int64_t> edda::checkedAdd(int64_t A, int64_t B) {

@@ -27,8 +27,10 @@ namespace edda {
 /// Greatest common divisor of |A| and |B|; gcd(0, 0) == 0.
 int64_t gcd64(int64_t A, int64_t B);
 
-/// Least common multiple of |A| and |B|; returns std::nullopt on overflow
-/// or when either argument is zero.
+/// Least common multiple of |A| and |B|; lcm(0, N) == lcm(N, 0) == 0,
+/// so std::nullopt means overflow and nothing else (callers clearing
+/// fractions over a constraint row must not conflate a zero coefficient
+/// with arithmetic giving up).
 std::optional<int64_t> lcm64(int64_t A, int64_t B);
 
 /// Result of the extended Euclidean algorithm: Gcd == X*A + Y*B.
@@ -42,11 +44,20 @@ struct ExtGcdResult {
 /// X*A + Y*B == G. extGcd64(0, 0) returns {0, 0, 0}.
 ExtGcdResult extGcd64(int64_t A, int64_t B);
 
-/// Floor division: largest Q with Q*B <= A. \pre B != 0.
+/// Floor division: largest Q with Q*B <= A.
+/// \pre B != 0 and (A, B) != (INT64_MIN, -1) — the one quotient that
+/// overflows. Callers reachable with arbitrary coefficients must use
+/// checkedFloorDiv instead.
 int64_t floorDiv(int64_t A, int64_t B);
 
-/// Ceiling division: smallest Q with Q*B >= A. \pre B != 0.
+/// Ceiling division: smallest Q with Q*B >= A.
+/// \pre B != 0 and (A, B) != (INT64_MIN, -1); see floorDiv.
 int64_t ceilDiv(int64_t A, int64_t B);
+
+/// Checked floor/ceiling division: std::nullopt exactly for the
+/// (INT64_MIN, -1) overflow pair. \pre B != 0.
+std::optional<int64_t> checkedFloorDiv(int64_t A, int64_t B);
+std::optional<int64_t> checkedCeilDiv(int64_t A, int64_t B);
 
 /// Checked addition; std::nullopt on signed overflow.
 std::optional<int64_t> checkedAdd(int64_t A, int64_t B);

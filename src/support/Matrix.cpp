@@ -7,20 +7,22 @@
 
 #include "support/Matrix.h"
 
-#include "support/IntMath.h"
+#include "support/WideInt.h"
 
 #include <algorithm>
 
 using namespace edda;
 
-IntMatrix IntMatrix::identity(unsigned Size) {
-  IntMatrix M(Size, Size);
+namespace edda {
+
+template <typename T> MatrixT<T> MatrixT<T>::identity(unsigned Size) {
+  MatrixT M(Size, Size);
   for (unsigned I = 0; I < Size; ++I)
-    M.at(I, I) = 1;
+    M.at(I, I) = T(1);
   return M;
 }
 
-void IntMatrix::swapRows(unsigned A, unsigned B) {
+template <typename T> void MatrixT<T>::swapRows(unsigned A, unsigned B) {
   assert(A < NumRows && B < NumRows && "row index out of range");
   if (A == B)
     return;
@@ -28,11 +30,12 @@ void IntMatrix::swapRows(unsigned A, unsigned B) {
     std::swap(at(A, C), at(B, C));
 }
 
-bool IntMatrix::addRowMultiple(unsigned A, unsigned B, int64_t Factor) {
+template <typename T>
+bool MatrixT<T>::addRowMultiple(unsigned A, unsigned B, T Factor) {
   assert(A < NumRows && B < NumRows && "row index out of range");
   assert(A != B && "adding a row multiple to itself");
   for (unsigned C = 0; C < NumCols; ++C) {
-    CheckedInt V = CheckedInt(at(A, C)) - CheckedInt(Factor) * at(B, C);
+    Checked<T> V = Checked<T>(at(A, C)) - Checked<T>(Factor) * at(B, C);
     if (!V.valid())
       return false;
     at(A, C) = V.get();
@@ -40,10 +43,10 @@ bool IntMatrix::addRowMultiple(unsigned A, unsigned B, int64_t Factor) {
   return true;
 }
 
-bool IntMatrix::negateRow(unsigned Row) {
+template <typename T> bool MatrixT<T>::negateRow(unsigned Row) {
   assert(Row < NumRows && "row index out of range");
   for (unsigned C = 0; C < NumCols; ++C) {
-    std::optional<int64_t> V = checkedNeg(at(Row, C));
+    std::optional<T> V = checkedNeg(at(Row, C));
     if (!V)
       return false;
     at(Row, C) = *V;
@@ -51,15 +54,16 @@ bool IntMatrix::negateRow(unsigned Row) {
   return true;
 }
 
-IntMatrix IntMatrix::multiply(const IntMatrix &RHS, bool &Ok) const {
+template <typename T>
+MatrixT<T> MatrixT<T>::multiply(const MatrixT &RHS, bool &Ok) const {
   assert(NumCols == RHS.NumRows && "shape mismatch in matrix multiply");
-  IntMatrix Result(NumRows, RHS.NumCols);
+  MatrixT Result(NumRows, RHS.NumCols);
   Ok = true;
   for (unsigned I = 0; I < NumRows; ++I) {
     for (unsigned J = 0; J < RHS.NumCols; ++J) {
-      CheckedInt Sum;
+      Checked<T> Sum;
       for (unsigned K = 0; K < NumCols; ++K)
-        Sum += CheckedInt(at(I, K)) * RHS.at(K, J);
+        Sum += Checked<T>(at(I, K)) * RHS.at(K, J);
       if (!Sum.valid()) {
         Ok = false;
         return Result;
@@ -70,15 +74,15 @@ IntMatrix IntMatrix::multiply(const IntMatrix &RHS, bool &Ok) const {
   return Result;
 }
 
-std::vector<int64_t> IntMatrix::row(unsigned Row) const {
+template <typename T> std::vector<T> MatrixT<T>::row(unsigned Row) const {
   assert(Row < NumRows && "row index out of range");
-  std::vector<int64_t> R(NumCols);
+  std::vector<T> R(NumCols, T(0));
   for (unsigned C = 0; C < NumCols; ++C)
     R[C] = at(Row, C);
   return R;
 }
 
-bool IntMatrix::isEchelon() const {
+template <typename T> bool MatrixT<T>::isEchelon() const {
   // Track the column of the previous row's leading nonzero; each
   // subsequent nonzero row must lead strictly further right, and no
   // nonzero row may follow a zero row.
@@ -87,7 +91,7 @@ bool IntMatrix::isEchelon() const {
   for (unsigned I = 0; I < NumRows; ++I) {
     int Lead = -1;
     for (unsigned C = 0; C < NumCols; ++C) {
-      if (at(I, C) != 0) {
+      if (at(I, C) != T(0)) {
         Lead = static_cast<int>(C);
         break;
       }
@@ -103,60 +107,65 @@ bool IntMatrix::isEchelon() const {
   return true;
 }
 
-int64_t IntMatrix::determinant(bool &Ok) const {
+template <typename T> T MatrixT<T>::determinant(bool &Ok) const {
   assert(NumRows == NumCols && "determinant of a non-square matrix");
   Ok = true;
   unsigned N = NumRows;
   if (N == 0)
-    return 1;
+    return T(1);
   // Bareiss fraction-free elimination: all intermediate values are exact
   // integers and the final pivot is the determinant.
-  IntMatrix W(*this);
-  int64_t Sign = 1;
-  int64_t Prev = 1;
+  MatrixT W(*this);
+  T Sign(1);
+  T Prev(1);
   for (unsigned K = 0; K + 1 < N; ++K) {
-    if (W.at(K, K) == 0) {
+    if (W.at(K, K) == T(0)) {
       unsigned Pivot = K + 1;
-      while (Pivot < N && W.at(Pivot, K) == 0)
+      while (Pivot < N && W.at(Pivot, K) == T(0))
         ++Pivot;
       if (Pivot == N)
-        return 0;
+        return T(0);
       W.swapRows(K, Pivot);
-      Sign = -Sign;
+      Sign = T(0) - Sign;
     }
     for (unsigned I = K + 1; I < N; ++I) {
       for (unsigned J = K + 1; J < N; ++J) {
-        CheckedInt Num = CheckedInt(W.at(I, J)) * W.at(K, K) -
-                         CheckedInt(W.at(I, K)) * W.at(K, J);
+        Checked<T> Num = Checked<T>(W.at(I, J)) * W.at(K, K) -
+                         Checked<T>(W.at(I, K)) * W.at(K, J);
         if (!Num.valid()) {
           Ok = false;
-          return 0;
+          return T(0);
         }
         // Bareiss guarantees exact divisibility by the previous pivot.
         W.at(I, J) = Num.get() / Prev;
       }
-      W.at(I, K) = 0;
+      W.at(I, K) = T(0);
     }
     Prev = W.at(K, K);
   }
-  std::optional<int64_t> Det = checkedMul(Sign, W.at(N - 1, N - 1));
+  std::optional<T> Det = checkedMul(Sign, W.at(N - 1, N - 1));
   if (!Det) {
     Ok = false;
-    return 0;
+    return T(0);
   }
   return *Det;
 }
 
-std::string IntMatrix::str() const {
+template <typename T> std::string MatrixT<T>::str() const {
   std::string Out;
   for (unsigned I = 0; I < NumRows; ++I) {
     Out += "[";
     for (unsigned C = 0; C < NumCols; ++C) {
       if (C)
         Out += " ";
-      Out += std::to_string(at(I, C));
+      Out += toDecimalString(at(I, C));
     }
     Out += "]\n";
   }
   return Out;
 }
+
+template class MatrixT<int64_t>;
+template class MatrixT<Int128>;
+
+} // namespace edda

@@ -6,16 +6,24 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A small dense matrix of 64-bit integers with the elementary row
-/// operations needed by the extended GCD test's unimodular factorization
+/// A small dense matrix of integers with the elementary row operations
+/// needed by the extended GCD test's unimodular factorization
 /// (Banerjee's extension of Gaussian elimination, paper section 3.1).
 /// Dependence problems have a handful of rows and columns, so a dense
 /// row-major vector is the right representation.
+///
+/// The element type is a template parameter so the same row operations
+/// serve both tiers of the widening arithmetic ladder: IntMatrix
+/// (int64_t) on the fast path and WideMatrix (Int128) on the 128-bit
+/// retry. Member definitions live in Matrix.cpp with explicit
+/// instantiations for exactly those two scalars.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef EDDA_SUPPORT_MATRIX_H
 #define EDDA_SUPPORT_MATRIX_H
+
+#include "support/Int128.h"
 
 #include <cassert>
 #include <cstdint>
@@ -24,26 +32,26 @@
 
 namespace edda {
 
-/// Dense Rows x Cols matrix of int64_t, row-major.
-class IntMatrix {
+/// Dense Rows x Cols matrix of T, row-major.
+template <typename T> class MatrixT {
 public:
   /// Zero matrix of the given shape (either dimension may be zero).
-  IntMatrix(unsigned Rows, unsigned Cols)
+  MatrixT(unsigned Rows, unsigned Cols)
       : NumRows(Rows), NumCols(Cols),
-        Data(static_cast<size_t>(Rows) * Cols, 0) {}
+        Data(static_cast<size_t>(Rows) * Cols, T(0)) {}
 
   /// The Size x Size identity.
-  static IntMatrix identity(unsigned Size);
+  static MatrixT identity(unsigned Size);
 
   unsigned rows() const { return NumRows; }
   unsigned cols() const { return NumCols; }
 
-  int64_t &at(unsigned Row, unsigned Col) {
-    assert(Row < NumRows && Col < NumCols && "IntMatrix index out of range");
+  T &at(unsigned Row, unsigned Col) {
+    assert(Row < NumRows && Col < NumCols && "matrix index out of range");
     return Data[static_cast<size_t>(Row) * NumCols + Col];
   }
-  int64_t at(unsigned Row, unsigned Col) const {
-    assert(Row < NumRows && Col < NumCols && "IntMatrix index out of range");
+  T at(unsigned Row, unsigned Col) const {
+    assert(Row < NumRows && Col < NumCols && "matrix index out of range");
     return Data[static_cast<size_t>(Row) * NumCols + Col];
   }
 
@@ -52,24 +60,24 @@ public:
 
   /// Row A -= Factor * Row B. Returns false (leaving the matrix in an
   /// unspecified but valid state) if any element computation overflows.
-  bool addRowMultiple(unsigned A, unsigned B, int64_t Factor);
+  bool addRowMultiple(unsigned A, unsigned B, T Factor);
 
   /// Negate every element of row \p Row. Returns false on overflow
-  /// (only possible for INT64_MIN entries).
+  /// (only possible for minimum-value entries).
   bool negateRow(unsigned Row);
 
   /// Matrix product; returns an empty optional-like flag via \p Ok on
   /// overflow. \pre cols() == RHS.rows().
-  IntMatrix multiply(const IntMatrix &RHS, bool &Ok) const;
+  MatrixT multiply(const MatrixT &RHS, bool &Ok) const;
 
   /// Row vector (1 x cols) copy of row \p Row.
-  std::vector<int64_t> row(unsigned Row) const;
+  std::vector<T> row(unsigned Row) const;
 
-  bool operator==(const IntMatrix &RHS) const {
+  bool operator==(const MatrixT &RHS) const {
     return NumRows == RHS.NumRows && NumCols == RHS.NumCols &&
            Data == RHS.Data;
   }
-  bool operator!=(const IntMatrix &RHS) const { return !(*this == RHS); }
+  bool operator!=(const MatrixT &RHS) const { return !(*this == RHS); }
 
   /// True when the first nonzero entry of each row is strictly to the
   /// right of the previous row's (zero rows only at the bottom): the
@@ -79,7 +87,7 @@ public:
   /// Determinant via fraction-free Gaussian elimination, for test use
   /// (verifying unimodularity). \pre square. Returns false in \p Ok on
   /// overflow.
-  int64_t determinant(bool &Ok) const;
+  T determinant(bool &Ok) const;
 
   /// Multi-line debug rendering.
   std::string str() const;
@@ -87,8 +95,13 @@ public:
 private:
   unsigned NumRows;
   unsigned NumCols;
-  std::vector<int64_t> Data;
+  std::vector<T> Data;
 };
+
+/// The 64-bit fast-path matrix (the historical name).
+using IntMatrix = MatrixT<int64_t>;
+/// The 128-bit widened-retry matrix.
+using WideMatrix = MatrixT<Int128>;
 
 } // namespace edda
 

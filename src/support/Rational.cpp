@@ -7,6 +7,8 @@
 
 #include "support/Rational.h"
 
+#include "support/Int128.h"
+
 using namespace edda;
 
 Rational Rational::makeInvalid() {
@@ -17,24 +19,59 @@ Rational Rational::makeInvalid() {
 
 Rational Rational::invalid() { return makeInvalid(); }
 
-Rational Rational::makeNormalized(int64_t N, int64_t D) {
-  assert(D != 0 && "rational with zero denominator");
-  if (D < 0) {
-    std::optional<int64_t> NN = checkedNeg(N);
-    std::optional<int64_t> ND = checkedNeg(D);
-    if (!NN || !ND)
-      return makeInvalid();
-    N = *NN;
-    D = *ND;
-  }
-  int64_t G = gcd64(N, D);
-  if (G > 1) {
+namespace {
+
+/// Normalizes N/D computed at 128-bit precision and narrows at the end,
+/// so intermediates (and INT64_MIN-magnitude inputs whose reduced form
+/// is representable) never poison the value. Sign canonicalization runs
+/// *after* gcd reduction: negating first is what used to wrap
+/// -INT64_MIN.
+Rational normalizedWide(Int128 N, Int128 D) {
+  assert(!D.isZero() && "rational with zero denominator");
+  Int128 G = gcdOf(N, D);
+  if (G > Int128(1)) {
     N /= G;
     D /= G;
   }
+  if (D.isNegative()) {
+    std::optional<Int128> NN = checkedNeg(N);
+    std::optional<Int128> ND = checkedNeg(D);
+    if (!NN || !ND)
+      return Rational::invalid();
+    N = *NN;
+    D = *ND;
+  }
+  if (!N.fitsInt64() || !D.fitsInt64())
+    return Rational::invalid();
+  return Rational(N.toInt64(), D.toInt64());
+}
+
+} // namespace
+
+Rational Rational::makeNormalized(int64_t N, int64_t D) {
+  assert(D != 0 && "rational with zero denominator");
+  // Reduce magnitudes before canonicalizing the sign: for inputs like
+  // (INT64_MIN, -2) the reduced value is representable even though
+  // negating the raw denominator would overflow.
+  Int128 WN(N), WD(D);
+  Int128 G = gcdOf(WN, WD);
+  if (G > Int128(1)) {
+    WN /= G;
+    WD /= G;
+  }
+  if (WD.isNegative()) {
+    std::optional<Int128> NN = checkedNeg(WN);
+    std::optional<Int128> ND = checkedNeg(WD);
+    if (!NN || !ND)
+      return makeInvalid();
+    WN = *NN;
+    WD = *ND;
+  }
+  if (!WN.fitsInt64() || !WD.fitsInt64())
+    return makeInvalid();
   Rational R;
-  R.Num = N;
-  R.Den = D;
+  R.Num = WN.toInt64();
+  R.Den = WD.toInt64();
   R.Valid = true;
   return R;
 }
@@ -54,12 +91,14 @@ int64_t Rational::ceil() const {
 Rational Rational::operator+(const Rational &RHS) const {
   if (!Valid || !RHS.Valid)
     return makeInvalid();
-  // N1/D1 + N2/D2 = (N1*D2 + N2*D1) / (D1*D2).
-  CheckedInt N = CheckedInt(Num) * RHS.Den + CheckedInt(RHS.Num) * Den;
-  CheckedInt D = CheckedInt(Den) * RHS.Den;
-  if (!N.valid() || !D.valid())
-    return makeInvalid();
-  return makeNormalized(N.get(), D.get());
+  // N1/D1 + N2/D2 = (N1*D2 + N2*D1) / (D1*D2), computed at 128-bit
+  // precision: each product fits in 126 bits and the sum in 127, so the
+  // only way the result can poison is failing to narrow after
+  // normalization.
+  Int128 N = Int128(Num) * Int128(RHS.Den) +
+             Int128(RHS.Num) * Int128(Den);
+  Int128 D = Int128(Den) * Int128(RHS.Den);
+  return normalizedWide(N, D);
 }
 
 Rational Rational::operator-(const Rational &RHS) const {
@@ -69,24 +108,27 @@ Rational Rational::operator-(const Rational &RHS) const {
 Rational Rational::operator*(const Rational &RHS) const {
   if (!Valid || !RHS.Valid)
     return makeInvalid();
-  // Cross-cancel first to keep intermediate products small.
+  // Cross-cancel first to keep intermediate products small, then form
+  // the (exact, 126-bit-at-most) products wide and narrow after
+  // normalization.
   int64_t G1 = gcd64(Num, RHS.Den);
   int64_t G2 = gcd64(RHS.Num, Den);
   int64_t N1 = G1 > 1 ? Num / G1 : Num;
   int64_t D2 = G1 > 1 ? RHS.Den / G1 : RHS.Den;
   int64_t N2 = G2 > 1 ? RHS.Num / G2 : RHS.Num;
   int64_t D1 = G2 > 1 ? Den / G2 : Den;
-  CheckedInt N = CheckedInt(N1) * N2;
-  CheckedInt D = CheckedInt(D1) * D2;
-  if (!N.valid() || !D.valid())
-    return makeInvalid();
-  return makeNormalized(N.get(), D.get());
+  return normalizedWide(Int128(N1) * Int128(N2),
+                        Int128(D1) * Int128(D2));
 }
 
 Rational Rational::operator/(const Rational &RHS) const {
   if (!Valid || !RHS.Valid || RHS.Num == 0)
     return makeInvalid();
-  return *this * makeNormalized(RHS.Den, RHS.Num);
+  // Form the quotient wide instead of inverting RHS first: inverting
+  // puts an INT64_MIN numerator into the denominator slot, which used to
+  // poison values like (MIN/1)/(MIN/1) that reduce to 1.
+  return normalizedWide(Int128(Num) * Int128(RHS.Den),
+                        Int128(Den) * Int128(RHS.Num));
 }
 
 Rational Rational::operator-() const {

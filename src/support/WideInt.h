@@ -1,0 +1,113 @@
+//===- support/WideInt.h - Two-tier widening arithmetic policy -*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The glue of the widening arithmetic ladder: the dependence-test
+/// kernels are templated on a scalar type T (int64_t for the fast path,
+/// Int128 for the widened retry) and written against a small overload
+/// set — checkedAdd/Sub/Mul/Neg, gcdOf, checkedFloorDiv/checkedCeilDiv,
+/// toDecimalString — plus the Checked<T> poison accumulator defined
+/// here. A kernel that poisons at 64 bits is re-run at 128 bits by the
+/// pipeline; only a 128-bit poison makes a query Unanalyzable.
+///
+/// Conversions: widening int64 -> Int128 is implicit and total;
+/// narrowing is explicit and partial (narrowVec fails when any
+/// component exceeds the int64 range).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_SUPPORT_WIDEINT_H
+#define EDDA_SUPPORT_WIDEINT_H
+
+#include "support/Int128.h"
+#include "support/IntMath.h"
+
+#include <optional>
+#include <vector>
+
+namespace edda {
+
+/// gcd overload set for templated kernels (the Int128 overload lives in
+/// Int128.h).
+inline int64_t gcdOf(int64_t A, int64_t B) { return gcd64(A, B); }
+
+/// Generic poison accumulator: the templated counterpart of CheckedInt,
+/// built on the checkedAdd/Sub/Mul overload set so one kernel body
+/// serves both tiers.
+template <typename T> class Checked {
+public:
+  Checked() : Value(0), Valid(true) {}
+  /*implicit*/ Checked(T V) : Value(V), Valid(true) {}
+
+  bool valid() const { return Valid; }
+
+  T get() const {
+    assert(Valid && "reading an overflowed Checked value");
+    return Value;
+  }
+
+  std::optional<T> getOpt() const {
+    if (!Valid)
+      return std::nullopt;
+    return Value;
+  }
+
+  Checked &operator+=(const Checked &RHS) {
+    return apply(RHS, [](T A, T B) { return checkedAdd(A, B); });
+  }
+  Checked &operator-=(const Checked &RHS) {
+    return apply(RHS, [](T A, T B) { return checkedSub(A, B); });
+  }
+  Checked &operator*=(const Checked &RHS) {
+    return apply(RHS, [](T A, T B) { return checkedMul(A, B); });
+  }
+
+  friend Checked operator+(Checked A, const Checked &B) { return A += B; }
+  friend Checked operator-(Checked A, const Checked &B) { return A -= B; }
+  friend Checked operator*(Checked A, const Checked &B) { return A *= B; }
+
+private:
+  template <typename Op> Checked &apply(const Checked &RHS, Op O) {
+    if (!Valid || !RHS.Valid) {
+      Valid = false;
+      return *this;
+    }
+    std::optional<T> R = O(Value, RHS.Value);
+    if (!R) {
+      Valid = false;
+      return *this;
+    }
+    Value = *R;
+    return *this;
+  }
+
+  T Value;
+  bool Valid;
+};
+
+/// Widens a 64-bit vector; total.
+inline std::vector<Int128> widenVec(const std::vector<int64_t> &V) {
+  return std::vector<Int128>(V.begin(), V.end());
+}
+
+/// Narrows a 128-bit vector; fails when any component is out of the
+/// int64 range.
+inline std::optional<std::vector<int64_t>>
+narrowVec(const std::vector<Int128> &V) {
+  std::vector<int64_t> Out;
+  Out.reserve(V.size());
+  for (Int128 X : V) {
+    if (!X.fitsInt64())
+      return std::nullopt;
+    Out.push_back(X.toInt64());
+  }
+  return Out;
+}
+
+} // namespace edda
+
+#endif // EDDA_SUPPORT_WIDEINT_H

@@ -255,6 +255,58 @@ TEST(Stress, LargeCoefficientsStayExactOrHonest) {
   }
 }
 
+TEST(Stress, NearInt64MaxCoefficientsNowDecide) {
+  // Coprime coefficients near 2^60 over a tiny box: the 64-bit solvers
+  // poison on the Bezout products, so the seed gave every one of these
+  // up as Unanalyzable. The widening tier must decide them, the
+  // enumeration oracle (16 points) keeps the answers honest, and
+  // --no-widen must reproduce the old surrender.
+  uint64_t Seed = stressSeed(59);
+  SCOPED_TRACE("seed " + std::to_string(Seed) +
+               " (replay: EDDA_STRESS_SEED=" + std::to_string(Seed) +
+               ")");
+  SplitRng Rng(Seed);
+  unsigned Decisive = 0, Widened = 0;
+  for (unsigned Iter = 0; Iter < 120; ++Iter) {
+    int64_t A =
+        (int64_t(1) << 60) + static_cast<int64_t>(Rng.below(1u << 20));
+    int64_t B =
+        (int64_t(1) << 60) + static_cast<int64_t>(Rng.below(1u << 20));
+    // Plant a solution inside the box three times out of four; the
+    // rest get a tiny constant (solvable only at the origin when 0).
+    int64_t X = static_cast<int64_t>(Rng.below(4));
+    int64_t Y = static_cast<int64_t>(Rng.below(4));
+    int64_t C = Rng.below(4) != 0
+                    ? -(A * X - B * Y) // |.| <= 3*(2^60 + 2^20): exact
+                    : 1 - static_cast<int64_t>(Rng.below(3));
+    DependenceProblem P = ProblemBuilder(1, 1, 1)
+                              .eq({A, -B}, C)
+                              .bounds(0, 0, 3)
+                              .bounds(1, 0, 3)
+                              .build();
+    CascadeResult R = testDependence(P);
+    std::optional<bool> Truth = oracleDependent(P);
+    ASSERT_TRUE(Truth.has_value()) << P.str();
+    if (R.Answer != DepAnswer::Unknown) {
+      ++Decisive;
+      EXPECT_EQ(R.Answer == DepAnswer::Dependent, *Truth)
+          << "decided by " << testKindName(R.DecidedBy) << "\n"
+          << P.str();
+    }
+    if (R.Witness)
+      EXPECT_TRUE(verifyWitness(P, *R.Witness)) << P.str();
+    if (R.Widened) {
+      ++Widened;
+      CascadeOptions NoWiden;
+      NoWiden.Widen = false;
+      EXPECT_EQ(testDependence(P, NoWiden).Answer, DepAnswer::Unknown)
+          << P.str();
+    }
+  }
+  EXPECT_GT(Decisive, 100u);
+  EXPECT_GT(Widened, 0u);
+}
+
 TEST(Stress, ManyEquationsOverdetermined) {
   // Five equations over one loop pair: consistent iff all demand the
   // same offset.

@@ -43,8 +43,20 @@ TEST(Lcm64, Basic) {
   ASSERT_TRUE(lcm64(4, 6).has_value());
   EXPECT_EQ(*lcm64(4, 6), 12);
   EXPECT_EQ(*lcm64(-4, 6), 12);
-  EXPECT_FALSE(lcm64(0, 5).has_value());
   EXPECT_FALSE(lcm64(INT64_MAX, INT64_MAX - 1).has_value());
+}
+
+TEST(Lcm64, ZeroOperandsGiveZeroNotOverflow) {
+  // lcm(0, n) is 0 (every integer divides 0); nullopt is reserved for
+  // genuine overflow. The old behavior conflated the two.
+  ASSERT_TRUE(lcm64(0, 5).has_value());
+  EXPECT_EQ(*lcm64(0, 5), 0);
+  ASSERT_TRUE(lcm64(5, 0).has_value());
+  EXPECT_EQ(*lcm64(5, 0), 0);
+  ASSERT_TRUE(lcm64(0, 0).has_value());
+  EXPECT_EQ(*lcm64(0, 0), 0);
+  ASSERT_TRUE(lcm64(0, INT64_MIN).has_value());
+  EXPECT_EQ(*lcm64(0, INT64_MIN), 0);
 }
 
 TEST(ExtGcd64, BezoutIdentityHolds) {
@@ -105,6 +117,28 @@ TEST(FloorCeilDivProperty, ExhaustiveSmallRange) {
       EXPECT_EQ(C == F, A % B == 0);
     }
   }
+}
+
+TEST(CheckedDiv, Int64MinByMinusOneIsOverflowNotUB) {
+  // floorDiv/ceilDiv document (INT64_MIN, -1) as a precondition
+  // violation; the checked variants are the total versions for call
+  // sites reachable with arbitrary coefficients.
+  EXPECT_FALSE(checkedFloorDiv(INT64_MIN, -1).has_value());
+  EXPECT_FALSE(checkedCeilDiv(INT64_MIN, -1).has_value());
+  EXPECT_EQ(checkedFloorDiv(INT64_MIN, 1),
+            std::optional<int64_t>(INT64_MIN));
+  EXPECT_EQ(checkedCeilDiv(INT64_MIN, 1),
+            std::optional<int64_t>(INT64_MIN));
+  EXPECT_EQ(checkedFloorDiv(INT64_MIN, 2),
+            std::optional<int64_t>(INT64_MIN / 2));
+  EXPECT_EQ(checkedCeilDiv(INT64_MIN, 2),
+            std::optional<int64_t>(INT64_MIN / 2));
+  EXPECT_EQ(checkedFloorDiv(INT64_MAX, -1),
+            std::optional<int64_t>(-INT64_MAX));
+  // Away from the single overflow pair they agree with the plain
+  // helpers.
+  EXPECT_EQ(checkedFloorDiv(7, -2), std::optional<int64_t>(floorDiv(7, -2)));
+  EXPECT_EQ(checkedCeilDiv(-7, 2), std::optional<int64_t>(ceilDiv(-7, 2)));
 }
 
 TEST(CheckedOps, AddOverflow) {

@@ -86,6 +86,46 @@ TEST(Rational, CrossCancellationAvoidsOverflow) {
   EXPECT_EQ(Product, Rational(1));
 }
 
+TEST(Rational, Int64MinNormalizationDoesNotWrap) {
+  // Sign canonicalization must run after gcd reduction: for
+  // (INT64_MIN, -2) the reduced value 2^62 is representable even
+  // though negating the raw numerator would overflow.
+  Rational A(INT64_MIN, -2);
+  ASSERT_TRUE(A.valid());
+  EXPECT_EQ(A.num(), INT64_MIN / -2);
+  EXPECT_EQ(A.den(), 1);
+
+  // (INT64_MIN, -1) = +2^63 genuinely is unrepresentable: the value
+  // must poison, never wrap back to INT64_MIN.
+  EXPECT_FALSE(Rational(INT64_MIN, -1).valid());
+
+  Rational One(INT64_MIN, INT64_MIN);
+  ASSERT_TRUE(One.valid());
+  EXPECT_EQ(One, Rational(1));
+
+  // 1/2^63: the denominator cannot be made positive in range.
+  EXPECT_FALSE(Rational(-1, INT64_MIN).valid());
+
+  Rational Half(INT64_MIN, 2);
+  ASSERT_TRUE(Half.valid());
+  EXPECT_EQ(Half.num(), INT64_MIN / 2);
+  EXPECT_EQ(Half.den(), 1);
+}
+
+TEST(Rational, Int64MinArithmeticEdges) {
+  Rational Min(INT64_MIN, 1);
+  ASSERT_TRUE(Min.valid());
+  // MIN/MIN reduces to 1 when the quotient is formed wide instead of
+  // inverting the divisor first.
+  EXPECT_EQ(Min / Min, Rational(1));
+  // -MIN stays unrepresentable and poisons.
+  EXPECT_FALSE((-Min).valid());
+  // MIN * (-1/2) = 2^62 is exact.
+  Rational R = Min * Rational(-1, 2);
+  ASSERT_TRUE(R.valid());
+  EXPECT_EQ(R, Rational(INT64_MIN / -2));
+}
+
 TEST(Rational, Str) {
   EXPECT_EQ(Rational(3).str(), "3");
   EXPECT_EQ(Rational(7, 2).str(), "7/2");

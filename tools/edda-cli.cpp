@@ -70,6 +70,7 @@ struct CliOptions {
   bool RawProblem = false;
   bool ListTests = false;
   bool Explain = false;
+  bool Widen = true;
   unsigned Threads = 1;
   std::shared_ptr<const TestPipeline> Pipeline;
   std::string CachePath;
@@ -82,7 +83,7 @@ int usage(const char *Prog) {
       "usage: %s [--directions] [--graph] [--dot FILE] [--parallelize]\n"
       "          [--print-optimized] [--no-prepass] [--no-memo]\n"
       "          [--threads N] [--cache FILE] [--stats]\n"
-      "          [--pipeline SPEC] [--explain] file.loop\n"
+      "          [--pipeline SPEC] [--explain] [--no-widen] file.loop\n"
       "       %s --problem [--directions] file.dep\n"
       "       %s --list-tests\n",
       Prog, Prog, Prog);
@@ -102,6 +103,7 @@ int runRawProblem(const CliOptions &Cli, const std::string &Source) {
 
   CascadeOptions CascadeOpts;
   CascadeOpts.Pipeline = Cli.Pipeline;
+  CascadeOpts.Widen = Cli.Widen;
   CascadeResult R = testDependence(P, CascadeOpts);
   if (Cli.Explain) {
     const TestPipeline &Pipeline =
@@ -110,11 +112,12 @@ int runRawProblem(const CliOptions &Cli, const std::string &Source) {
     Pipeline.run(P, {}, CascadeOpts, /*Stats=*/nullptr, &Trace);
     std::printf("%s", Trace.str(2).c_str());
   }
-  std::printf("answer: %s  [decided by %s]\n",
+  std::printf("answer: %s  [decided by %s]%s\n",
               R.Answer == DepAnswer::Independent   ? "INDEPENDENT"
               : R.Answer == DepAnswer::Dependent   ? "dependent"
                                                    : "unknown",
-              testKindName(R.DecidedBy));
+              testKindName(R.DecidedBy),
+              R.Widened ? " (widened to 128-bit)" : "");
   if (R.Witness) {
     std::printf("witness x = (");
     for (unsigned J = 0; J < R.Witness->size(); ++J)
@@ -168,6 +171,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.ListTests = true;
     else if (Arg == "--explain")
       Opts.Explain = true;
+    else if (Arg == "--no-widen")
+      Opts.Widen = false;
     else if (Arg == "--pipeline") {
       if (I + 1 >= Argc)
         return false;
@@ -280,7 +285,9 @@ int main(int Argc, char **Argv) {
                            !Cli.DotPath.empty();
   Opts.NumThreads = Cli.Threads;
   Opts.Cascade.Pipeline = Cli.Pipeline;
+  Opts.Cascade.Widen = Cli.Widen;
   Opts.Direction.Cascade.Pipeline = Cli.Pipeline;
+  Opts.Direction.Cascade.Widen = Cli.Widen;
   Opts.Trace = Cli.Explain;
   DependenceAnalyzer Analyzer(Opts);
 

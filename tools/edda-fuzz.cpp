@@ -16,10 +16,12 @@
 ///                     budget is given)
 ///   --time-budget S   wall-clock budget in seconds
 ///   --check LIST      comma-separated axes to run: any of
-///                     oracle,pipeline,threads,memo (default all)
+///                     oracle,pipeline,widen,threads,memo (default all)
 ///   --out DIR         write minimized reproducers into DIR
 ///   --threads N       thread count for the parallel-analyzer axis
 ///                     (default 4)
+///   --no-widen        run every cascade 64-bit-only (the historical
+///                     behavior); the widen axis becomes vacuous
 ///
 /// Exit status 0 when every check passed, 1 on any mismatch. Failures
 /// are delta-debugged into minimal .dep/.loop reproducers suitable for
@@ -45,15 +47,15 @@ int usage(const char *Prog) {
   std::fprintf(
       stderr,
       "usage: %s [--seed N] [--count N] [--time-budget SECONDS]\n"
-      "          [--check oracle,pipeline,threads,memo] [--out DIR]\n"
-      "          [--threads N]\n",
+      "          [--check oracle,pipeline,widen,threads,memo] [--out DIR]\n"
+      "          [--threads N] [--no-widen]\n",
       Prog);
   return 2;
 }
 
 bool parseChecks(const std::string &List, FuzzOptions &Opts) {
-  Opts.CheckOracle = Opts.CheckPipeline = Opts.CheckThreads =
-      Opts.CheckMemo = false;
+  Opts.CheckOracle = Opts.CheckPipeline = Opts.CheckWiden =
+      Opts.CheckThreads = Opts.CheckMemo = false;
   std::istringstream In(List);
   std::string Tok;
   while (std::getline(In, Tok, ',')) {
@@ -61,6 +63,8 @@ bool parseChecks(const std::string &List, FuzzOptions &Opts) {
       Opts.CheckOracle = true;
     else if (Tok == "pipeline")
       Opts.CheckPipeline = true;
+    else if (Tok == "widen")
+      Opts.CheckWiden = true;
     else if (Tok == "threads")
       Opts.CheckThreads = true;
     else if (Tok == "memo")
@@ -68,7 +72,7 @@ bool parseChecks(const std::string &List, FuzzOptions &Opts) {
     else {
       std::fprintf(stderr,
                    "edda-fuzz: unknown axis '%s' (valid: oracle, "
-                   "pipeline, threads, memo)\n",
+                   "pipeline, widen, threads, memo)\n",
                    Tok.c_str());
       return false;
     }
@@ -120,6 +124,8 @@ int main(int Argc, char **Argv) {
       Opts.Threads = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
       if (Opts.Threads == 0)
         Opts.Threads = 1;
+    } else if (Arg == "--no-widen") {
+      Opts.Widen = false;
     } else if (Arg == "--inject-bug") {
       // Hidden test hook: deliberately mis-sign the first equation's
       // constant in the cascade under test, proving the fuzzer catches
