@@ -6,7 +6,8 @@
 #                    [EXTRA_ARGS...]
 #
 # EXTRA_ARGS are forwarded to edda-fuzz verbatim (e.g. --no-widen to
-# smoke the historical 64-bit-only cascade).
+# smoke the historical 64-bit-only cascade, or --check dirs to spend
+# the whole budget on the direction-vector oracle axis).
 #
 # Exit status is edda-fuzz's own: 0 when every iteration agreed across
 # all axes, 1 when a mismatch was found (reproducers are in OUT_DIR,

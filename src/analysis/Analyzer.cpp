@@ -109,6 +109,7 @@ void DependenceAnalyzer::decideTestedPair(const BuiltProblem &Built,
         Root.Answer = Dirs.RootAnswer;
         Root.DecidedBy = Dirs.RootDecidedBy;
         Root.Exact = Dirs.Exact;
+        Root.Widened = Dirs.RootWidened;
         Cache.insertFull(Problem, Root);
       }
       Stats += Dirs.TestStats;
@@ -263,6 +264,9 @@ AnalysisResult DependenceAnalyzer::analyze(Program &Prog) {
         DirectionResult Dirs;
         Dirs.RootAnswer = Pair.Answer;
         Dirs.RootDecidedBy = Outcome.DecidedBy;
+        Dirs.Exact = Outcome.Exact;
+        Dirs.Widened = Outcome.Widened;
+        Dirs.RootWidened = Outcome.Widened;
         Dirs.Distances.assign(Problem.NumCommon, std::nullopt);
         // Every direction is possible for a constant overlap.
         Dirs.Vectors.push_back(DirVector(Problem.NumCommon, Dir::Any));

@@ -97,6 +97,28 @@ struct Refiner {
   /// Set when some vector was recorded with an exact Dependent answer.
   bool AnyExactDependent = false;
 
+  /// True once the refinement tree has spent its cumulative
+  /// Fourier-Motzkin budget (Opts.MaxRefineFmWork). The root query's
+  /// work counts against it too — a root that alone exhausts the
+  /// budget yields a single all-'*' vector.
+  bool overBudget() const {
+    return Opts.MaxRefineFmWork != 0 &&
+           R.TestStats.FmWork >= Opts.MaxRefineFmWork;
+  }
+
+  /// Summarizes the untested remainder of the current subtree by one
+  /// conservative vector: Prefix followed by '*' for every remaining
+  /// level. Coverage is preserved (Any covers all three directions);
+  /// exactness is forfeited via AnyUnknownLeaf.
+  void bailConservatively(unsigned Level) {
+    size_t Keep = Prefix.size();
+    for (unsigned L = Level; L < P.NumCommon; ++L)
+      Prefix.push_back(Dir::Any);
+    R.Vectors.push_back(Prefix);
+    Prefix.resize(Keep);
+    AnyUnknownLeaf = true;
+  }
+
   void refine(unsigned Level, DepAnswer Incoming) {
     if (Level == P.NumCommon) {
       R.Vectors.push_back(Prefix);
@@ -114,10 +136,26 @@ struct Refiner {
       return;
     }
     for (Dir D : {Dir::Less, Dir::Equal, Dir::Greater}) {
+      if (overBudget()) {
+        bailConservatively(Level);
+        return;
+      }
+      // Never let a single query overshoot the remaining budget: cap
+      // its combine operations (per widening tier) at what is left, on
+      // top of whatever caps the caller configured.
+      CascadeOptions QOpts = Opts.Cascade;
+      if (Opts.MaxRefineFmWork != 0) {
+        uint64_t Remaining = Opts.MaxRefineFmWork - R.TestStats.FmWork;
+        QOpts.Fm.MaxCombines = QOpts.Fm.MaxCombines == 0
+                                   ? Remaining
+                                   : std::min(QOpts.Fm.MaxCombines,
+                                              Remaining);
+      }
       appendDirConstraints(P, Level, D, Constraints);
       ++R.TestsRun;
       CascadeResult Test = testDependenceConstrained(
-          P, Constraints, Opts.Cascade, &R.TestStats);
+          P, Constraints, QOpts, &R.TestStats);
+      R.Widened |= Test.Widened;
       if (Test.Answer != DepAnswer::Independent) {
         Prefix.push_back(D);
         refine(Level + 1, Test.Answer);
@@ -199,36 +237,69 @@ DirectionResult computeSeparable(const DependenceProblem &P,
                                  const DirectionOptions &Opts) {
   DirectionResult R;
   R.Distances.assign(P.NumCommon, std::nullopt);
+
+  // Equations that involve no common pair at all are dropped by
+  // dimensionSubproblem, but an infeasible constant row (c == 0 with
+  // c != 0) refutes the whole problem — including the NumCommon == 0
+  // case, where the cross product below would otherwise fabricate an
+  // empty "dependent" vector.
+  for (const XAffine &Eq : P.Equations) {
+    bool AnyLoopCoeff = false;
+    for (unsigned J = 0; J < P.numLoopVars(); ++J)
+      AnyLoopCoeff |= Eq.Coeffs[J] != 0;
+    if (!AnyLoopCoeff && Eq.Const != 0) {
+      R.RootAnswer = DepAnswer::Independent;
+      R.RootDecidedBy = TestKind::ArrayConstant;
+      return R;
+    }
+  }
+
   std::vector<std::vector<Dir>> PerDim(P.NumCommon);
+  // A dimension whose surviving directions were all answered Unknown
+  // has no proved dependence; the cross product must not claim a
+  // Dependent root from it.
+  bool AllDimsProved = true;
   for (unsigned K = 0; K < P.NumCommon; ++K) {
     DependenceProblem Sub = dimensionSubproblem(P, K);
-    DiophantineSolution Sol = solveEquations(Sub);
-    if (Sol.Solvable && !Sol.Overflow) {
-      XAffine Delta(2);
-      Delta.Coeffs[0] = -1;
-      Delta.Coeffs[1] = 1;
-      std::vector<int64_t> TCoeffs;
-      int64_t TConst;
-      if (projectToFree(Delta, Sol, TCoeffs, TConst) &&
-          std::all_of(TCoeffs.begin(), TCoeffs.end(),
-                      [](int64_t C) { return C == 0; }))
-        R.Distances[K] = TConst;
+    if (Opts.DistanceVectorPruning) {
+      DiophantineSolution Sol = solveEquations(Sub);
+      if (Sol.Solvable && !Sol.Overflow) {
+        XAffine Delta(2);
+        Delta.Coeffs[0] = -1;
+        Delta.Coeffs[1] = 1;
+        std::vector<int64_t> TCoeffs;
+        int64_t TConst;
+        if (projectToFree(Delta, Sol, TCoeffs, TConst) &&
+            std::all_of(TCoeffs.begin(), TCoeffs.end(),
+                        [](int64_t C) { return C == 0; }))
+          R.Distances[K] =
+              Opts.InjectMisSignedPruning ? -TConst : TConst;
+      }
     }
+    bool DimProved = false;
     for (Dir D : {Dir::Less, Dir::Equal, Dir::Greater}) {
       std::vector<XAffine> Constraints;
       appendDirConstraints(Sub, 0, D, Constraints);
       ++R.TestsRun;
       CascadeResult Test = testDependenceConstrained(
           Sub, Constraints, Opts.Cascade, &R.TestStats);
+      R.Widened |= Test.Widened;
       if (Test.Answer != DepAnswer::Independent)
         PerDim[K].push_back(D);
+      if (Test.Answer == DepAnswer::Dependent)
+        DimProved = true;
       if (Test.Answer == DepAnswer::Unknown)
         R.Exact = false;
     }
     if (PerDim[K].empty()) {
+      // All three directional tests refuted this dimension: the whole
+      // nest is independent, exactly, whatever other dimensions said.
       R.RootAnswer = DepAnswer::Independent;
+      R.Exact = true;
+      R.Distances.assign(P.NumCommon, std::nullopt);
       return R;
     }
+    AllDimsProved &= DimProved;
   }
   // Cross product of the per-dimension sets.
   std::vector<DirVector> Acc = {{}};
@@ -244,7 +315,11 @@ DirectionResult computeSeparable(const DependenceProblem &P,
     Acc = std::move(Next);
   }
   R.Vectors = std::move(Acc);
-  R.RootAnswer = DepAnswer::Dependent;
+  // Separable dimensions are independent, so one proved witness per
+  // dimension combines into a witness for the whole nest; a dimension
+  // that only ever answered Unknown leaves the root Unknown.
+  R.RootAnswer =
+      AllDimsProved ? DepAnswer::Dependent : DepAnswer::Unknown;
   return R;
 }
 
@@ -279,6 +354,8 @@ edda::computeDirectionVectors(const DependenceProblem &Problem,
         testDependence(*Work, Opts.Cascade, &Inner.TestStats);
     Inner.RootAnswer = Root.Answer;
     Inner.RootDecidedBy = Root.DecidedBy;
+    Inner.RootWidened = Root.Widened;
+    Inner.Widened = Root.Widened;
     if (Root.Answer != DepAnswer::Independent) {
       Refiner Ref{*Work, Opts, Inner,
                   std::vector<std::optional<Dir>>(Work->NumCommon),
@@ -300,10 +377,12 @@ edda::computeDirectionVectors(const DependenceProblem &Problem,
             if (!std::all_of(TCoeffs.begin(), TCoeffs.end(),
                              [](int64_t C) { return C == 0; }))
               continue;
-            Inner.Distances[K] = TConst;
-            Ref.Fixed[K] = TConst > 0   ? Dir::Less
-                           : TConst < 0 ? Dir::Greater
-                                        : Dir::Equal;
+            int64_t Dist =
+                Opts.InjectMisSignedPruning ? -TConst : TConst;
+            Inner.Distances[K] = Dist;
+            Ref.Fixed[K] = Dist > 0   ? Dir::Less
+                           : Dist < 0 ? Dir::Greater
+                                      : Dir::Equal;
           }
         }
       }
@@ -329,6 +408,8 @@ edda::computeDirectionVectors(const DependenceProblem &Problem,
   Result.RootAnswer = Inner.RootAnswer;
   Result.RootDecidedBy = Inner.RootDecidedBy;
   Result.Exact = Inner.Exact;
+  Result.Widened = Inner.Widened;
+  Result.RootWidened = Inner.RootWidened;
   Result.TestStats = Inner.TestStats;
   Result.TestsRun = Inner.TestsRun;
   Result.Distances.assign(Problem.NumCommon, std::nullopt);

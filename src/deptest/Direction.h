@@ -63,6 +63,24 @@ struct DirectionOptions {
   /// Burke and Cytron's per-dimension computation for separable
   /// problems (extension; see DESIGN.md ablations).
   bool SeparableDimensions = false;
+  /// Testing hook (edda-fuzz --inject-bug=dir-prune-sign): flips the
+  /// sign of every distance the GCD pruning pins, so the forced
+  /// direction is mirrored. Never set outside the fuzzer's
+  /// injected-bug self-check.
+  bool InjectMisSignedPruning = false;
+  /// Cumulative Fourier-Motzkin work budget (in combine operations;
+  /// see DepStats::FmWork) for the refinement tree of one computation.
+  /// Coupled equations under triangular bounds can drive nearly every
+  /// constrained query into branch & bound, and at the default FM
+  /// budget a single 3-deep hierarchy then costs tens of seconds while
+  /// the root cascade answers in milliseconds. Once the budget is
+  /// spent, the unexplored remainder of the tree is summarized by one
+  /// conservative '*'-filled vector per open level and the result is
+  /// marked inexact — coverage is preserved, minimality is not
+  /// claimed. The root query and the separable per-dimension path
+  /// (two-variable subproblems) are not limited, but the root's work
+  /// does count against the budget. 0 disables the cap.
+  uint64_t MaxRefineFmWork = 1u << 20;
 };
 
 /// Result of direction/distance vector computation.
@@ -74,6 +92,13 @@ struct DirectionResult {
   /// separable per-dimension path skipped the root test).
   TestKind RootDecidedBy = TestKind::Svpc;
   bool Exact = true;
+  /// True when any cascade query in the hierarchy (root, refinement, or
+  /// separable per-dimension test) climbed the 128-bit widening ladder.
+  bool Widened = false;
+  /// The root query's own widened bit — what a plain testDependence of
+  /// the same problem would report. Stays false on the separable path,
+  /// which never runs a root query.
+  bool RootWidened = false;
   /// All direction vectors under which the references depend. Components
   /// may be Any for unused loops.
   std::vector<DirVector> Vectors;

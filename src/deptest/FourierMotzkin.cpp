@@ -33,12 +33,14 @@ public:
     FmResultT<T> Result = attempt(System);
     Result.UsedBranchAndBound = NodesUsed > 0;
     Result.BranchNodes = NodesUsed;
+    Result.Combines = CombinesUsed;
     return Result;
   }
 
 private:
   const FourierMotzkinOptions &Opts;
   unsigned NodesUsed = 0;
+  uint64_t CombinesUsed = 0;
 
   FmResultT<T> attempt(const LinearSystemT<T> &System);
 
@@ -142,6 +144,9 @@ FmResultT<T> FmSolver<T>::attempt(const LinearSystemT<T> &System) {
       Seen.insert({R.Coeffs, R.Bound});
     for (const LinearConstraintT<T> &U : Step.Uppers) {
       for (const LinearConstraintT<T> &L : Step.Lowers) {
+        ++CombinesUsed;
+        if (Opts.MaxCombines != 0 && CombinesUsed > Opts.MaxCombines)
+          return unknown(/*Overflowed=*/false);
         LinearConstraintT<T> Derived;
         if (!combine(U, L, BestVar, Derived))
           return unknown(/*Overflowed=*/true);

@@ -43,6 +43,13 @@ struct FourierMotzkinOptions {
   /// Branch & bound node budget; 0 disables explicit branch & bound
   /// (the paper's configuration — it reports never needing it).
   unsigned MaxBranchNodes = 64;
+  /// Abort (Unknown) after this many upper-x-lower combine operations
+  /// across the whole solve, branch & bound included. Combines are the
+  /// unit elimination cost actually scales with — MaxConstraints only
+  /// caps the surviving system, not the work spent deriving it — and
+  /// the unit the direction hierarchy's refinement budget is charged
+  /// in (DepStats::FmWork). 0 disables the cap.
+  uint64_t MaxCombines = 0;
 };
 
 /// Outcome of the Fourier-Motzkin test.
@@ -61,6 +68,9 @@ template <typename T> struct FmResultT {
   bool UsedBranchAndBound = false;
   /// Branch nodes expended.
   unsigned BranchNodes = 0;
+  /// Upper-x-lower combine operations performed (the solver's work
+  /// measure; see FourierMotzkinOptions::MaxCombines).
+  uint64_t Combines = 0;
   /// True when Unknown was caused by arithmetic overflow (so retrying
   /// at a wider scalar type can help); false for budget exhaustion.
   bool Overflowed = false;

@@ -317,9 +317,10 @@ bool DependenceCache::saveToFile(const std::string &Path) const {
     return false;
   // Version 3: TestKind gained Banerjee before Unanalyzable, changing
   // the DecidedBy integer encoding. Version 4: full entries carry the
-  // Widened flag (128-bit retry provenance). Older caches are rejected
-  // on load.
-  Out << "edda-depcache 4\n";
+  // Widened flag (128-bit retry provenance). Version 5: direction
+  // entries carry Widened/RootWidened. Older caches are rejected on
+  // load.
+  Out << "edda-depcache 5\n";
   Out << uniqueFull() << "\n";
   for (const auto &S : Shards) {
     for (const auto &[K, R] : S->Full) {
@@ -335,7 +336,8 @@ bool DependenceCache::saveToFile(const std::string &Path) const {
       writeVector(Out, K);
       Out << static_cast<int>(R.RootAnswer) << " "
           << static_cast<int>(R.RootDecidedBy) << " "
-          << (R.Exact ? 1 : 0) << " " << R.Vectors.size() << " "
+          << (R.Exact ? 1 : 0) << " " << (R.Widened ? 1 : 0) << " "
+          << (R.RootWidened ? 1 : 0) << " " << R.Vectors.size() << " "
           << R.Distances.size() << "\n";
       for (const DirVector &V : R.Vectors) {
         Out << V.size();
@@ -368,7 +370,7 @@ bool DependenceCache::loadFromFile(const std::string &Path) {
   std::string Magic;
   int Version;
   if (!(In >> Magic >> Version) || Magic != "edda-depcache" ||
-      Version != 4)
+      Version != 5)
     return false;
 
   size_t Count;
@@ -393,16 +395,19 @@ bool DependenceCache::loadFromFile(const std::string &Path) {
     return false;
   for (size_t I = 0; I < Count; ++I) {
     Key K;
-    int Root, RootBy, Exact;
+    int Root, RootBy, Exact, Widened, RootWidened;
     size_t NumVectors, NumDistances;
     if (!readVector(In, K) ||
-        !(In >> Root >> RootBy >> Exact >> NumVectors >> NumDistances) ||
+        !(In >> Root >> RootBy >> Exact >> Widened >> RootWidened >>
+          NumVectors >> NumDistances) ||
         NumVectors > (1u << 20) || NumDistances > (1u << 10))
       return false;
     DirectionResult R;
     R.RootAnswer = static_cast<DepAnswer>(Root);
     R.RootDecidedBy = static_cast<TestKind>(RootBy);
     R.Exact = Exact != 0;
+    R.Widened = Widened != 0;
+    R.RootWidened = RootWidened != 0;
     for (size_t V = 0; V < NumVectors; ++V) {
       size_t Len;
       if (!(In >> Len) || Len > (1u << 10))

@@ -58,6 +58,30 @@ std::vector<int64_t> DependenceProblem::serialize(bool IncludeBounds) const {
   return Out;
 }
 
+namespace {
+
+/// True when dropping loop variable \p L's bound pair cannot change the
+/// feasibility of the rest of the system: a one-sided range always
+/// admits a value, and a two-sided range Lo <= v <= Hi is inhabited for
+/// every assignment of the other variables when the two forms differ
+/// only in their constants with Lo.Const <= Hi.Const (and neither
+/// references v itself). Anything else — an empty constant range, a
+/// triangular or symbolic pair — constrains the remaining variables
+/// through the Fourier-Motzkin projection Lo(x) <= Hi(x), so the
+/// variable must stay alive even when no subscript mentions it.
+bool boundPairVacuous(unsigned L, const std::optional<XAffine> &Lo,
+                      const std::optional<XAffine> &Hi) {
+  if (!Lo || !Hi)
+    return true;
+  if (Lo->Coeffs[L] != 0 || Hi->Coeffs[L] != 0)
+    return false;
+  if (Lo->Coeffs != Hi->Coeffs)
+    return false;
+  return Lo->Const <= Hi->Const;
+}
+
+} // namespace
+
 std::vector<bool> DependenceProblem::unusedCommonLoops() const {
   // A loop variable is "used" when it occurs in a subscript equation or
   // in the bound of a variable that is itself used. Compute the used set
@@ -69,6 +93,13 @@ std::vector<bool> DependenceProblem::unusedCommonLoops() const {
     for (unsigned J = 0; J < NumL; ++J)
       if (E.Coeffs[J] != 0)
         Used[J] = true;
+  // A non-vacuous bound pair constrains the rest of the iteration space
+  // even when no subscript mentions the variable (an empty constant
+  // range refutes everything; a triangular pair implies bounds on the
+  // outer variables), so the variable cannot be eliminated.
+  for (unsigned L = 0; L < NumL; ++L)
+    if (!boundPairVacuous(L, Lo[L], Hi[L]))
+      Used[L] = true;
 
   bool Changed = true;
   while (Changed) {
@@ -113,6 +144,11 @@ DependenceProblem DependenceProblem::withUnusedLoopsRemoved(
     for (unsigned J = 0; J < NumL; ++J)
       if (E.Coeffs[J] != 0)
         Used[J] = true;
+  // Same vacuity rule as unusedCommonLoops: only bound pairs whose
+  // Fourier-Motzkin projection is trivially satisfied may be dropped.
+  for (unsigned L = 0; L < NumL; ++L)
+    if (!boundPairVacuous(L, Lo[L], Hi[L]))
+      Used[L] = true;
   bool Changed = true;
   while (Changed) {
     Changed = false;

@@ -64,6 +64,7 @@ DepStats &DepStats::operator+=(const DepStats &RHS) {
   MemoHitsFull += RHS.MemoHitsFull;
   MemoHitsNoBounds += RHS.MemoHitsNoBounds;
   WidenedQueries += RHS.WidenedQueries;
+  FmWork += RHS.FmWork;
   return *this;
 }
 

@@ -70,6 +70,13 @@ struct DepStats {
   uint64_t WidenedQueries = 0;   ///< Decided only after the 128-bit
                                  ///< retry (64-bit overflowed).
 
+  /// Fourier-Motzkin eliminations performed (one per solver attempt:
+  /// the initial projection plus every branch-and-bound node, across
+  /// both arithmetic tiers). This is the work metric the direction
+  /// hierarchy budgets against — see
+  /// DirectionOptions::MaxRefineFmWork.
+  uint64_t FmWork = 0;
+
   void recordDecision(TestKind Kind, bool Independent) {
     ++Decided[static_cast<unsigned>(Kind)];
     if (Independent)

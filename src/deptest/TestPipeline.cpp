@@ -197,9 +197,12 @@ StageResult runWidened(const StageT &Stage, PipelineContext &Ctx) {
   if (Narrow.St != StageResult::Status::Overflow || !Ctx.options().Widen)
     return Narrow;
   StageResult Wide = Stage.template runT<Int128>(Ctx);
-  if (Wide.St == StageResult::Status::Overflow)
+  if (Wide.St == StageResult::Status::Overflow) {
+    Narrow.FmWork += Wide.FmWork;
     return Narrow;
+  }
   Wide.Widened = true;
+  Wide.FmWork += Narrow.FmWork;
   return Wide;
 }
 
@@ -521,6 +524,7 @@ public:
     if (R.St == StageResult::Status::Overflow) {
       StageResult Out = StageResult::unknown();
       Out.Widened = R.Widened;
+      Out.FmWork = R.FmWork;
       return Out;
     }
     return R;
@@ -536,19 +540,27 @@ public:
       break;
     }
     FmResultT<T> Fm = runFourierMotzkin(Ctx.systemT<T>(), Ctx.options().Fm);
+    // The solver's work measure: every combine and branch node, plus
+    // one so even a trivially decided solve registers (the unit
+    // DepStats::FmWork counts in).
+    StageResult Out;
     switch (Fm.St) {
     case FmResultT<T>::Status::Independent:
-      return StageResult::independent();
+      Out = StageResult::independent();
+      break;
     case FmResultT<T>::Status::Dependent:
-      return StageResult::dependent(
+      Out = StageResult::dependent(
           Fm.Sample ? Ctx.witnessFromT<T>(*Fm.Sample) : std::nullopt);
+      break;
     case FmResultT<T>::Status::Unknown:
       // Only overflow-caused Unknowns are worth a wide retry; budget
       // exhaustion would exhaust the wide tier just the same.
-      return Fm.Overflowed ? StageResult::overflow()
-                           : StageResult::unknown();
+      Out = Fm.Overflowed ? StageResult::overflow()
+                          : StageResult::unknown();
+      break;
     }
-    return StageResult::unknown();
+    Out.FmWork = Fm.Combines + uint64_t(Fm.BranchNodes) + 1;
+    return Out;
   }
 };
 
@@ -839,6 +851,9 @@ CascadeResult TestPipeline::run(const DependenceProblem &Problem,
               std::chrono::steady_clock::now() - Start)
               .count());
     }
+
+    if (Stats)
+      Stats->FmWork += R.FmWork;
 
     switch (R.St) {
     case StageResult::Status::Independent:

@@ -75,6 +75,9 @@ struct StageResult {
   /// True when this outcome came from the 128-bit retry tier (the
   /// stage's 64-bit attempt overflowed).
   bool Widened = false;
+  /// Fourier-Motzkin eliminations this stage performed (zero for every
+  /// other stage); accumulated into DepStats::FmWork by the runner.
+  uint64_t FmWork = 0;
 
   static StageResult independent() {
     return {Status::Independent, std::nullopt};

@@ -9,6 +9,7 @@
 
 #include "analysis/Analyzer.h"
 #include "deptest/Cascade.h"
+#include "deptest/Direction.h"
 #include "deptest/Memo.h"
 #include "deptest/ProblemIO.h"
 #include "deptest/TestPipeline.h"
@@ -30,6 +31,8 @@ const char *fuzzAxisName(FuzzAxis Axis) {
   switch (Axis) {
   case FuzzAxis::Oracle:
     return "oracle";
+  case FuzzAxis::Dirs:
+    return "dirs";
   case FuzzAxis::Pipeline:
     return "pipeline";
   case FuzzAxis::Widen:
@@ -44,6 +47,18 @@ const char *fuzzAxisName(FuzzAxis Axis) {
   return "unknown";
 }
 
+const char *injectedBugName(InjectedBug Bug) {
+  switch (Bug) {
+  case InjectedBug::None:
+    return nullptr;
+  case InjectedBug::NegateEqConst:
+    return "negate-eq-const";
+  case InjectedBug::MisSignDirPrune:
+    return "dir-prune-sign";
+  }
+  return nullptr;
+}
+
 namespace {
 
 namespace fs = std::filesystem;
@@ -51,7 +66,9 @@ using oracle::oracleDependent;
 using oracle::oracleDependentSampled;
 
 /// Perturbs the problem handed to the cascade under test; the oracle
-/// always judges the original.
+/// always judges the original. MisSignDirPrune is not a problem
+/// perturbation — it rides in as a DirectionOptions hook, so only the
+/// direction hierarchy (and hence only the dirs axis) can see it.
 DependenceProblem applyBug(DependenceProblem P, InjectedBug Bug) {
   if (Bug == InjectedBug::NegateEqConst && !P.Equations.empty())
     P.Equations[0].Const = -P.Equations[0].Const;
@@ -68,6 +85,90 @@ std::string answerName(DepAnswer A) {
     return "unknown";
   }
   return "?";
+}
+
+/// Display names for the 2^3 direction-option combinations, indexed by
+/// mask bit 0 = EliminateUnusedVars, bit 1 = DistanceVectorPruning,
+/// bit 2 = SeparableDimensions.
+const char *const DirComboNames[8] = {
+    "plain",     "elim",      "prune",     "elim+prune",
+    "sep",       "elim+sep",  "prune+sep", "elim+prune+sep"};
+
+std::string renderVectors(const std::vector<DirVector> &Vectors) {
+  if (Vectors.empty())
+    return "{}";
+  std::string Out = "{";
+  for (unsigned I = 0; I < Vectors.size(); ++I) {
+    if (I)
+      Out += " ";
+    Out += dirVectorStr(Vectors[I]);
+  }
+  Out += "}";
+  return Out;
+}
+
+/// Oracle-side checks for one option combination of the dirs axis.
+/// \p SoundOnly restricts the comparison to the sound direction — used
+/// for sampled symbolic concretizations, where a Dependent root or a
+/// reported vector may be realized only off the sample grid, but a
+/// missing pattern, an Independent root over a dependence, or a wrong
+/// pinned distance is a definite bug at any valuation.
+std::optional<std::string>
+dirComboVsTruth(const char *Combo, const DirectionResult &R,
+                const oracle::DirectionOracle &Truth, bool SoundOnly,
+                const std::string &Where) {
+  // Soundness: every concrete direction pattern must be covered by
+  // some reported vector ('*' is a wildcard).
+  for (const DirVector &Concrete : Truth.Patterns) {
+    bool Covered = false;
+    for (const DirVector &V : R.Vectors)
+      Covered |= oracle::dirMatches(V, Concrete);
+    if (!Covered)
+      return std::string("dirs[") + Combo + "]: concrete direction " +
+             dirVectorStr(Concrete) + Where +
+             " is covered by no reported vector " +
+             renderVectors(R.Vectors);
+  }
+  if (!Truth.Patterns.empty() && R.RootAnswer == DepAnswer::Independent)
+    return std::string("dirs[") + Combo +
+           "]: root says independent but a dependence exists" + Where;
+  if (!SoundOnly) {
+    if (Truth.Patterns.empty() && R.RootAnswer == DepAnswer::Dependent)
+      return std::string("dirs[") + Combo +
+             "]: root says dependent but enumeration finds no point";
+    // Minimality: an Exact result may not report a vector that matches
+    // zero concrete patterns.
+    if (R.Exact)
+      for (const DirVector &V : R.Vectors) {
+        bool Matches = false;
+        for (const DirVector &Concrete : Truth.Patterns)
+          Matches |= oracle::dirMatches(V, Concrete);
+        if (!Matches)
+          return std::string("dirs[") + Combo +
+                 "]: exact result reports " + dirVectorStr(V) +
+                 " which matches no concrete direction";
+      }
+  }
+  // A pinned distance claims *every* dependence pair has that exact
+  // i'_k - i_k, so it binds at every concretization with points.
+  if (!Truth.Patterns.empty())
+    for (unsigned K = 0;
+         K < R.Distances.size() && K < Truth.PinnedDistances.size();
+         ++K) {
+      if (!R.Distances[K])
+        continue;
+      if (!Truth.PinnedDistances[K])
+        return std::string("dirs[") + Combo + "]: reported distance[" +
+               std::to_string(K) + "] = " +
+               std::to_string(*R.Distances[K]) +
+               " but the concrete i'_k - i_k is not constant" + Where;
+      if (*Truth.PinnedDistances[K] != *R.Distances[K])
+        return std::string("dirs[") + Combo + "]: reported distance[" +
+               std::to_string(K) + "] = " +
+               std::to_string(*R.Distances[K]) + " but enumeration pins " +
+               std::to_string(*Truth.PinnedDistances[K]) + Where;
+    }
+  return std::nullopt;
 }
 
 /// A collision-safe scratch path (parallel ctest runs fuzz too).
@@ -142,6 +243,11 @@ std::optional<std::string> comparePairs(const AnalysisResult &A,
          PA.Directions->Vectors != PB.Directions->Vectors ||
          PA.Directions->Distances != PB.Directions->Distances))
       return Where.str() + "direction vectors differ";
+    if (PA.Directions &&
+        (PA.Directions->Exact != PB.Directions->Exact ||
+         PA.Directions->Widened != PB.Directions->Widened ||
+         PA.Directions->RootWidened != PB.Directions->RootWidened))
+      return Where.str() + "direction exact/widened bits differ";
   }
   return std::nullopt;
 }
@@ -278,6 +384,26 @@ void FuzzRunner::checkProblem(const DependenceProblem &P, uint64_t Iter) {
     if (!Detail.empty()) {
       reportProblem(FuzzAxis::Oracle, Iter, std::move(Detail),
                     shrinkProblem(P, OracleFails));
+      if (done())
+        return;
+    }
+  }
+
+  if (Opts.CheckDirs) {
+    // The direction/distance hierarchy vs. the oracle and its own
+    // option combinations; the shrink predicate is the check itself.
+    bool Conclusive = false;
+    std::optional<std::string> Detail = checkDirections(
+        P, Opts.Widen, Opts.Bug, OOpts, SOpts, &Conclusive);
+    if (Conclusive)
+      ++S.DirsConclusive;
+    if (Detail) {
+      auto DirsFails = [this](const DependenceProblem &Q) {
+        return checkDirections(Q, Opts.Widen, Opts.Bug, OOpts, SOpts)
+            .has_value();
+      };
+      reportProblem(FuzzAxis::Dirs, Iter, std::move(*Detail),
+                    shrinkProblem(P, DirsFails));
       if (done())
         return;
     }
@@ -611,8 +737,8 @@ void FuzzRunner::reportProblem(FuzzAxis Axis, uint64_t Iter,
        << testKindName(Clean.DecidedBy) << "\n";
   OS << "# edda-fuzz: axis=" << fuzzAxisName(Axis) << " seed=" << Opts.Seed
      << " iteration=" << Iter;
-  if (Opts.Bug != InjectedBug::None)
-    OS << " inject-bug=negate-eq-const";
+  if (const char *BugName = injectedBugName(Opts.Bug))
+    OS << " inject-bug=" << BugName;
   OS << "\n# " << Detail << "\n" << printProblemText(Shrunk);
 
   FuzzFailure F;
@@ -664,6 +790,117 @@ void FuzzRunner::emit(FuzzFailure F) {
 
 FuzzSummary runFuzz(const FuzzOptions &Opts, std::ostream *Log) {
   return FuzzRunner(Opts, Log).run();
+}
+
+std::optional<std::string>
+checkDirections(const DependenceProblem &P, bool Widen, InjectedBug Bug,
+                const oracle::OracleOptions &OOpts,
+                const oracle::SymbolicOracleOptions &SOpts,
+                bool *OracleConclusive) {
+  if (OracleConclusive)
+    *OracleConclusive = false;
+  DependenceProblem Buggy = applyBug(P, Bug);
+
+  DirectionResult Results[8];
+  for (unsigned Mask = 0; Mask < 8; ++Mask) {
+    DirectionOptions DO;
+    DO.Cascade.Widen = Widen;
+    DO.EliminateUnusedVars = (Mask & 1) != 0;
+    DO.DistanceVectorPruning = (Mask & 2) != 0;
+    DO.SeparableDimensions = (Mask & 4) != 0;
+    DO.InjectMisSignedPruning = Bug == InjectedBug::MisSignDirPrune;
+    Results[Mask] = computeDirectionVectors(Buggy, DO);
+  }
+
+  // The pruning options may trade exactness for work, never flip a
+  // decisive root or move a pinned distance.
+  for (unsigned I = 0; I < 8; ++I)
+    for (unsigned J = I + 1; J < 8; ++J) {
+      const DirectionResult &A = Results[I];
+      const DirectionResult &B = Results[J];
+      if (A.RootAnswer != DepAnswer::Unknown &&
+          B.RootAnswer != DepAnswer::Unknown &&
+          A.RootAnswer != B.RootAnswer)
+        return std::string("dirs: combo ") + DirComboNames[I] +
+               " root says " + answerName(A.RootAnswer) + ", combo " +
+               DirComboNames[J] + " says " + answerName(B.RootAnswer);
+      for (unsigned K = 0; K < P.NumCommon; ++K)
+        if (K < A.Distances.size() && K < B.Distances.size() &&
+            A.Distances[K] && B.Distances[K] &&
+            *A.Distances[K] != *B.Distances[K])
+          return std::string("dirs: combo ") + DirComboNames[I] +
+                 " pins distance[" + std::to_string(K) + "] = " +
+                 std::to_string(*A.Distances[K]) + ", combo " +
+                 DirComboNames[J] + " pins " +
+                 std::to_string(*B.Distances[K]);
+    }
+
+  if (P.NumSymbolic == 0) {
+    std::optional<oracle::DirectionOracle> Truth =
+        oracle::oracleDirectionInfo(P, OOpts);
+    if (!Truth)
+      return std::nullopt;
+    if (OracleConclusive)
+      *OracleConclusive = true;
+    for (unsigned Mask = 0; Mask < 8; ++Mask)
+      if (std::optional<std::string> Detail =
+              dirComboVsTruth(DirComboNames[Mask], Results[Mask], *Truth,
+                              /*SoundOnly=*/false, ""))
+        return Detail;
+    return std::nullopt;
+  }
+
+  // Symbolic problems: sweep the sample grid and hold every reported
+  // vector/distance/root claim against each conclusive concretization,
+  // in the sound direction only.
+  if (SOpts.SampleValues.empty())
+    return std::nullopt;
+  uint64_t Total = 1;
+  for (unsigned K = 0; K < P.NumSymbolic; ++K) {
+    Total *= SOpts.SampleValues.size();
+    if (Total > SOpts.MaxValuations)
+      return std::nullopt;
+  }
+  // Spread the enumeration budget across the whole sweep: a 3-symbolic
+  // problem visits up to 729 valuations, and giving each the full
+  // MaxPoints makes single iterations take minutes. Valuations whose
+  // box exceeds the per-valuation slice just read as inconclusive.
+  oracle::OracleOptions PerValuation = SOpts.Base;
+  PerValuation.MaxPoints =
+      std::max<uint64_t>(1024, SOpts.Base.MaxPoints / Total);
+  std::vector<int64_t> Values(P.NumSymbolic, SOpts.SampleValues.front());
+  std::vector<unsigned> Odometer(P.NumSymbolic, 0);
+  bool AllConclusive = true;
+  for (uint64_t V = 0; V < Total; ++V) {
+    for (unsigned K = 0; K < P.NumSymbolic; ++K)
+      Values[K] = SOpts.SampleValues[Odometer[K]];
+    std::optional<DependenceProblem> Concrete =
+        oracle::concretize(P, Values);
+    std::optional<oracle::DirectionOracle> Truth =
+        Concrete ? oracle::oracleDirectionInfo(*Concrete, PerValuation)
+                 : std::nullopt;
+    if (!Truth) {
+      AllConclusive = false;
+    } else {
+      std::string Where = " at symbolic valuation (";
+      for (unsigned K = 0; K < P.NumSymbolic; ++K)
+        Where += (K ? ", " : "") + std::to_string(Values[K]);
+      Where += ")";
+      for (unsigned Mask = 0; Mask < 8; ++Mask)
+        if (std::optional<std::string> Detail =
+                dirComboVsTruth(DirComboNames[Mask], Results[Mask], *Truth,
+                                /*SoundOnly=*/true, Where))
+          return Detail;
+    }
+    for (unsigned K = 0; K < P.NumSymbolic; ++K) {
+      if (++Odometer[K] < SOpts.SampleValues.size())
+        break;
+      Odometer[K] = 0;
+    }
+  }
+  if (AllConclusive && OracleConclusive)
+    *OracleConclusive = true;
+  return std::nullopt;
 }
 
 } // namespace fuzz

@@ -8,11 +8,20 @@
 /// \file
 /// The edda-fuzz engine: generates random DependenceProblems and whole
 /// LoopLang programs from a seed and cross-checks the analysis stack
-/// along five differential axes:
+/// along six differential axes:
 ///
 ///   oracle    cascade verdict vs. brute-force enumeration (symbolic
 ///             problems via the sampled-concretization soundness check),
 ///             plus witness verification;
+///   dirs      the Burke-Cytron direction/distance hierarchy vs. the
+///             enumeration oracle: every concrete direction pattern
+///             must be covered by a reported vector, Exact results must
+///             also be minimal, pinned distances must equal the unique
+///             concrete i'_k - i_k, and every EliminateUnusedVars /
+///             DistanceVectorPruning / SeparableDimensions combination
+///             must agree on decisive roots and pinned distances
+///             (symbolic problems via sampled concretization, checked
+///             in the sound direction only);
 ///   pipeline  default cascade vs. permuted stage pipelines — decisive
 ///             answers must agree (Unknown is order-dependent by
 ///             design: a consuming stage ends the pipeline);
@@ -39,10 +48,12 @@
 #define EDDA_FUZZ_FUZZER_H
 
 #include "fuzz/ProblemGen.h"
+#include "oracle/Oracle.h"
 #include "workload/Generator.h"
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -52,6 +63,8 @@ namespace fuzz {
 /// The differential axis a check (or failure) belongs to.
 enum class FuzzAxis {
   Oracle,   ///< Cascade vs. enumeration / sampled concretization.
+  Dirs,     ///< Direction/distance hierarchy vs. the oracle and its
+            ///< own pruning option combinations.
   Pipeline, ///< Default vs. permuted stage orders.
   Widen,    ///< Widened cascade vs. the 64-bit-only cascade.
   Threads,  ///< Serial vs. multi-threaded analyzer.
@@ -67,10 +80,17 @@ const char *fuzzAxisName(FuzzAxis Axis);
 /// --inject-bug flag.
 enum class InjectedBug {
   None,
-  NegateEqConst, ///< Flips the sign of the first equation's constant —
-                 ///< the classic transcription error in a subscript
-                 ///< difference.
+  NegateEqConst,  ///< Flips the sign of the first equation's constant —
+                  ///< the classic transcription error in a subscript
+                  ///< difference.
+  MisSignDirPrune, ///< Flips the sign of every distance the GCD
+                   ///< pruning pins (DirectionOptions hook; the plain
+                   ///< cascade is untouched, so only the dirs axis can
+                   ///< see it).
 };
+
+/// CLI spelling of \p Bug ("negate-eq-const"); nullptr for None.
+const char *injectedBugName(InjectedBug Bug);
 
 struct FuzzOptions {
   uint64_t Seed = 1;
@@ -85,6 +105,7 @@ struct FuzzOptions {
   unsigned Threads = 4;
   /// Which axes run (all by default; --check narrows).
   bool CheckOracle = true;
+  bool CheckDirs = true;
   bool CheckPipeline = true;
   bool CheckWiden = true;
   bool CheckThreads = true;
@@ -121,6 +142,8 @@ struct FuzzSummary {
   /// Problem iterations where enumeration (or the sampled grid) was
   /// conclusive — the denominator of real oracle coverage.
   uint64_t OracleConclusive = 0;
+  /// Same denominator for the direction/distance axis.
+  uint64_t DirsConclusive = 0;
   std::vector<FuzzFailure> Failures;
 
   bool ok() const { return Failures.empty(); }
@@ -130,6 +153,23 @@ struct FuzzSummary {
 /// a pure time budget excepted). Progress lines go to \p Log when
 /// non-null.
 FuzzSummary runFuzz(const FuzzOptions &Opts, std::ostream *Log = nullptr);
+
+/// The dirs axis on a single problem: runs computeDirectionVectors
+/// under every EliminateUnusedVars / DistanceVectorPruning /
+/// SeparableDimensions combination (with \p Bug perturbing only the
+/// computation under test) and checks pairwise decisive-root and
+/// pinned-distance agreement plus, when the enumeration oracle (or the
+/// sampled symbolic grid) is conclusive on the honest problem, pattern
+/// coverage, Exact-minimality and distance ground truth. Returns a
+/// mismatch description, or nullopt when everything agrees; also the
+/// shrink predicate for this axis. \p OracleConclusive reports whether
+/// the oracle had jurisdiction.
+std::optional<std::string>
+checkDirections(const DependenceProblem &P, bool Widen = true,
+                InjectedBug Bug = InjectedBug::None,
+                const oracle::OracleOptions &OOpts = {},
+                const oracle::SymbolicOracleOptions &SOpts = {},
+                bool *OracleConclusive = nullptr);
 
 } // namespace fuzz
 } // namespace edda

@@ -9,6 +9,7 @@
 
 #include "ir/Program.h"
 #include "parser/Parser.h"
+#include "support/IntMath.h"
 
 #include <optional>
 #include <utility>
@@ -53,6 +54,32 @@ DependenceProblem dropLoopVar(const DependenceProblem &P, unsigned Col) {
       continue;
     Q.Lo.push_back(dropBoundColumn(P.Lo[L], Col));
     Q.Hi.push_back(dropBoundColumn(P.Hi[L], Col));
+  }
+  return Q;
+}
+
+/// Swaps common pairs \p K1 and \p K2: both the A-side and B-side
+/// columns exchange places in every form, and the bound slots move with
+/// them. Used to rotate a mismatch-carrying pair into the outermost
+/// slot so the demotion pass can strip the others.
+DependenceProblem swapCommonPairs(const DependenceProblem &P, unsigned K1,
+                                  unsigned K2) {
+  auto SwapCols = [](XAffine &F, unsigned C1, unsigned C2) {
+    std::swap(F.Coeffs[C1], F.Coeffs[C2]);
+  };
+  DependenceProblem Q = P;
+  for (auto [C1, C2] : {std::pair<unsigned, unsigned>{K1, K2},
+                        {P.NumLoopsA + K1, P.NumLoopsA + K2}}) {
+    for (XAffine &Eq : Q.Equations)
+      SwapCols(Eq, C1, C2);
+    for (unsigned L = 0; L < Q.numLoopVars(); ++L) {
+      if (Q.Lo[L])
+        SwapCols(*Q.Lo[L], C1, C2);
+      if (Q.Hi[L])
+        SwapCols(*Q.Hi[L], C1, C2);
+    }
+    std::swap(Q.Lo[C1], Q.Lo[C2]);
+    std::swap(Q.Hi[C1], Q.Hi[C2]);
   }
   return Q;
 }
@@ -108,6 +135,30 @@ shrinkProblem(DependenceProblem P,
         ++Col;
     }
 
+    // Direction-axis failures often survive with fewer *common* loops
+    // even when no variable can be dropped outright: demoting the
+    // innermost pair to plain per-side loops shortens the direction
+    // vectors without touching the constraint system.
+    while (P.NumCommon > 0) {
+      DependenceProblem Q = P;
+      Q.NumCommon = P.NumCommon - 1;
+      if (!Accept(Q))
+        break;
+      Changed = true;
+    }
+
+    // When the innermost pair itself carries the mismatch, demotion
+    // alone stalls: rotate each other pair into the innermost slot and
+    // demote it there instead.
+    for (unsigned K = 0; P.NumCommon > 1 && K + 1 < P.NumCommon; ++K) {
+      DependenceProblem Q = swapCommonPairs(P, K, P.NumCommon - 1);
+      Q.NumCommon = P.NumCommon - 1;
+      if (Accept(Q)) {
+        Changed = true;
+        break;
+      }
+    }
+
     for (unsigned K = 0; K < P.NumSymbolic;) {
       DependenceProblem Q = dropSymbolic(P, K);
       if (Accept(Q))
@@ -126,6 +177,116 @@ shrinkProblem(DependenceProblem P,
         DependenceProblem Q = P;
         Q.Hi[L] = std::nullopt;
         Changed |= Accept(Q);
+      }
+    }
+
+    // Eliminate an equation that pins a single variable to a constant
+    // by substituting the constant everywhere and dropping the column:
+    // equation-dropping alone cannot remove such an equation (the
+    // mismatch usually needs the pinning), but the substituted problem
+    // keeps it implicitly.
+    for (unsigned I = 0; I < P.Equations.size(); ++I) {
+      const XAffine &Eq = P.Equations[I];
+      int Col = -1;
+      bool Single = true;
+      for (unsigned J = 0; J < P.numX() && Single; ++J) {
+        if (Eq.Coeffs[J] == 0)
+          continue;
+        Single = Col < 0;
+        Col = J;
+      }
+      if (!Single || Col < 0 || Eq.Const % Eq.Coeffs[Col] != 0)
+        continue;
+      int64_t V = -(Eq.Const / Eq.Coeffs[Col]);
+      DependenceProblem Q = P;
+      Q.Equations.erase(Q.Equations.begin() + I);
+      bool Ok = true;
+      auto Subst = [&](XAffine &F) {
+        if (F.Coeffs[Col] == 0)
+          return;
+        std::optional<int64_t> Term = checkedMul(F.Coeffs[Col], V);
+        std::optional<int64_t> NewConst =
+            Term ? checkedAdd(F.Const, *Term) : std::nullopt;
+        if (!NewConst) {
+          Ok = false;
+          return;
+        }
+        F.Coeffs[Col] = 0;
+        F.Const = *NewConst;
+      };
+      for (XAffine &F : Q.Equations)
+        Subst(F);
+      for (unsigned L = 0; L < Q.numLoopVars(); ++L) {
+        if (Q.Lo[L])
+          Subst(*Q.Lo[L]);
+        if (Q.Hi[L])
+          Subst(*Q.Hi[L]);
+      }
+      if (!Ok)
+        continue;
+      DependenceProblem Q2 = unsigned(Col) < Q.numLoopVars()
+                                 ? dropLoopVar(Q, Col)
+                                 : dropSymbolic(Q, Col - Q.numLoopVars());
+      if (Accept(Q2)) {
+        Changed = true;
+        break;
+      }
+      // Column not droppable (still bounded apart): keep the
+      // substituted problem with the variable pinned by its bounds.
+      if (unsigned(Col) < Q.numLoopVars()) {
+        Q.Lo[Col] = XAffine(Q.numX());
+        Q.Lo[Col]->Const = V;
+        Q.Hi[Col] = XAffine(Q.numX());
+        Q.Hi[Col]->Const = V;
+      }
+      if (Accept(Q)) {
+        Changed = true;
+        break;
+      }
+    }
+
+    // Substitute a variable occurrence inside an affine bound by one of
+    // that variable's constant-bound endpoints. The bound loses its
+    // dependence on the variable, which often unlocks dropping the
+    // variable outright on the next round — triangular nests otherwise
+    // pin their outer loop forever.
+    auto ConstOnly =
+        [](const std::optional<XAffine> &B) -> std::optional<int64_t> {
+      if (!B)
+        return std::nullopt;
+      for (int64_t C : B->Coeffs)
+        if (C != 0)
+          return std::nullopt;
+      return B->Const;
+    };
+    for (unsigned L = 0; L < P.numLoopVars(); ++L) {
+      for (int Side = 0; Side < 2; ++Side) {
+        auto Form = [&](DependenceProblem &Q) -> std::optional<XAffine> & {
+          return Side ? Q.Hi[L] : Q.Lo[L];
+        };
+        for (unsigned J = 0; J < P.numLoopVars(); ++J) {
+          if (!Form(P) || Form(P)->Coeffs[J] == 0)
+            continue;
+          for (bool AtHi : {true, false}) {
+            std::optional<int64_t> V =
+                ConstOnly(AtHi ? P.Hi[J] : P.Lo[J]);
+            if (!V)
+              continue;
+            DependenceProblem Q = P;
+            XAffine &F = *Form(Q);
+            std::optional<int64_t> Term = checkedMul(F.Coeffs[J], *V);
+            std::optional<int64_t> NewConst =
+                Term ? checkedAdd(F.Const, *Term) : std::nullopt;
+            if (!NewConst)
+              continue;
+            F.Coeffs[J] = 0;
+            F.Const = *NewConst;
+            if (Accept(Q)) {
+              Changed = true;
+              break;
+            }
+          }
+        }
       }
     }
 

@@ -127,7 +127,19 @@ edda::oracle::oracleDependent(const DependenceProblem &Problem,
 std::optional<std::set<DirVector>>
 edda::oracle::oracleDirections(const DependenceProblem &Problem,
                                const OracleOptions &Opts) {
-  std::set<DirVector> Found;
+  std::optional<DirectionOracle> Info = oracleDirectionInfo(Problem, Opts);
+  if (!Info)
+    return std::nullopt;
+  return std::move(Info->Patterns);
+}
+
+std::optional<DirectionOracle>
+edda::oracle::oracleDirectionInfo(const DependenceProblem &Problem,
+                                  const OracleOptions &Opts) {
+  DirectionOracle Out;
+  Out.PinnedDistances.assign(Problem.NumCommon, std::nullopt);
+  bool First = true;
+  std::vector<bool> StillPinned(Problem.NumCommon, true);
   std::optional<bool> Ran = enumerate(
       Problem, {}, Opts, [&](const std::vector<int64_t> &X) {
         DirVector V(Problem.NumCommon);
@@ -135,13 +147,21 @@ edda::oracle::oracleDirections(const DependenceProblem &Problem,
           int64_t A = X[Problem.xOfCommonA(K)];
           int64_t B = X[Problem.xOfCommonB(K)];
           V[K] = A < B ? Dir::Less : A == B ? Dir::Equal : Dir::Greater;
+          std::optional<int64_t> Delta = checkedSub(B, A);
+          if (First)
+            Out.PinnedDistances[K] = Delta;
+          else if (StillPinned[K] && Out.PinnedDistances[K] != Delta) {
+            StillPinned[K] = false;
+            Out.PinnedDistances[K] = std::nullopt;
+          }
         }
-        Found.insert(std::move(V));
+        First = false;
+        Out.Patterns.insert(std::move(V));
         return true; // keep enumerating
       });
   if (!Ran)
     return std::nullopt;
-  return Found;
+  return Out;
 }
 
 bool edda::oracle::dirMatches(const DirVector &Reported,

@@ -57,6 +57,25 @@ std::optional<std::set<DirVector>>
 oracleDirections(const DependenceProblem &Problem,
                  const OracleOptions &Opts = {});
 
+/// Full direction/distance ground truth for the hierarchy fuzz axis.
+struct DirectionOracle {
+  /// Every concrete sign pattern over the common loops realized by some
+  /// dependence point pair.
+  std::set<DirVector> Patterns;
+  /// Per common loop: the value of i'_k - i_k when it is identical
+  /// across *all* dependence points (the only situation in which the
+  /// analyzer may report a pinned distance); nullopt otherwise. All
+  /// entries are nullopt when Patterns is empty.
+  std::vector<std::optional<int64_t>> PinnedDistances;
+};
+
+/// Enumerates \p Problem and collects both the realized direction
+/// patterns and the per-loop pinned iteration distances. Same
+/// applicability conditions as oracleDependent.
+std::optional<DirectionOracle>
+oracleDirectionInfo(const DependenceProblem &Problem,
+                    const OracleOptions &Opts = {});
+
 /// True when \p Concrete (all components <, =, >) matches \p Reported
 /// componentwise, treating '*' as a wildcard.
 bool dirMatches(const DirVector &Reported, const DirVector &Concrete);

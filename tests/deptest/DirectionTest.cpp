@@ -12,6 +12,7 @@
 #include "gtest/gtest.h"
 
 #include <algorithm>
+#include <climits>
 #include <set>
 
 using namespace edda;
@@ -222,6 +223,184 @@ TEST(Direction, EmptyCommonNest) {
   ASSERT_EQ(R.Vectors.size(), 1u);
   EXPECT_TRUE(R.Vectors[0].empty());
 }
+
+TEST(Direction, WidenedPropagatesThroughHierarchy) {
+  // 3i - 7i' + 1 = 0 over near-full int64 ranges: every 64-bit path
+  // poisons, so the root query climbs the widening ladder — and the
+  // result must say so, with the same stats provenance a plain
+  // testDependence records.
+  DependenceProblem P = ProblemBuilder(1, 1, 1)
+                            .eq({3, -7}, 1)
+                            .bounds(0, INT64_MIN + 2, INT64_MAX - 2)
+                            .bounds(1, INT64_MIN + 2, INT64_MAX - 2)
+                            .build();
+  DirectionResult R = computeDirectionVectors(P);
+  EXPECT_EQ(R.RootAnswer, DepAnswer::Dependent);
+  EXPECT_TRUE(R.Widened);
+  EXPECT_TRUE(R.RootWidened);
+  EXPECT_GE(R.TestStats.WidenedQueries, 1u);
+
+  // RootWidened implies Widened by construction.
+  EXPECT_TRUE(!R.RootWidened || R.Widened);
+
+  // --no-widen reproduces the historical 64-bit-only behavior.
+  DirectionOptions NoWiden;
+  NoWiden.Cascade.Widen = false;
+  DirectionResult RN = computeDirectionVectors(P, NoWiden);
+  EXPECT_EQ(RN.RootAnswer, DepAnswer::Unknown);
+  EXPECT_FALSE(RN.Widened);
+  EXPECT_FALSE(RN.RootWidened);
+
+  // The separable path never runs a root query, so RootWidened stays
+  // false there even when per-dimension tests widen.
+  DirectionOptions Sep;
+  Sep.SeparableDimensions = true;
+  DirectionResult RS = computeDirectionVectors(P, Sep);
+  EXPECT_FALSE(RS.RootWidened);
+  EXPECT_TRUE(RS.Widened);
+}
+
+TEST(Direction, WidenedStaysFalseOnNarrowProblems) {
+  DependenceProblem P = ProblemBuilder(1, 1, 1)
+                            .eq({1, -1}, 1)
+                            .bounds(0, 1, 10)
+                            .bounds(1, 1, 10)
+                            .build();
+  DirectionResult R = computeDirectionVectors(P);
+  EXPECT_FALSE(R.Widened);
+  EXPECT_FALSE(R.RootWidened);
+  EXPECT_EQ(R.TestStats.WidenedQueries, 0u);
+}
+
+TEST(Direction, SymbolicDistanceStaysUnpinned) {
+  // i' - i - n == 0: the distance IS the symbolic n, so GCD pruning
+  // must not pin it to a constant, and all three directions remain
+  // (pinned in tests/inputs/corpus/dirs_symbolic_distance.dep).
+  DependenceProblem P = ProblemBuilder(1, 1, 1, 1)
+                            .eq({-1, 1, -1}, 0)
+                            .bounds(0, 0, 9)
+                            .bounds(1, 0, 9)
+                            .build();
+  DirectionResult R = computeDirectionVectors(P);
+  EXPECT_EQ(R.RootAnswer, DepAnswer::Dependent);
+  ASSERT_EQ(R.Distances.size(), 1u);
+  EXPECT_FALSE(R.Distances[0].has_value());
+  EXPECT_EQ(asSet(R.Vectors),
+            asSet({{Dir::Less}, {Dir::Equal}, {Dir::Greater}}));
+}
+
+TEST(Direction, SeparableUnknownDimDoesNotFabricateDependence) {
+  // Two ~2^44-coefficient equations on the single pair: SVPC needs a
+  // single equation, and 64-bit elimination overflows, so with the
+  // widening ladder off every per-dimension query is Unknown. The
+  // separable path must then report an Unknown root — it used to claim
+  // Dependent for any dimension it could not refute.
+  const int64_t Huge = int64_t(1) << 44;
+  DependenceProblem P = ProblemBuilder(1, 1, 1)
+                            .eq({Huge + 1, -Huge}, 3)
+                            .eq({Huge - 1, -(Huge + 2)}, 5)
+                            .bounds(0, -Huge, Huge)
+                            .bounds(1, -Huge, Huge)
+                            .build();
+  DirectionOptions Sep;
+  Sep.SeparableDimensions = true;
+  Sep.Cascade.Widen = false;
+  DirectionResult R = computeDirectionVectors(P, Sep);
+  EXPECT_NE(R.RootAnswer, DepAnswer::Dependent);
+  EXPECT_FALSE(R.Exact);
+}
+
+TEST(Direction, RefineBudgetBailsOutConservatively) {
+  // A coupled two-loop problem the cascade can only decide with
+  // Fourier-Motzkin: 2i + 3j - 2i' - 3j' == 1 over [0,9]^4. With the
+  // refinement work budget floored at one combine, the root query
+  // alone exhausts it and the hierarchy must fall back to the single
+  // all-'*' vector, inexact — never an unsound Independent or a
+  // fabricated vector set.
+  DependenceProblem P = ProblemBuilder(2, 2, 2)
+                            .eq({2, 3, -2, -3}, -1)
+                            .bounds(0, 0, 9)
+                            .bounds(1, 0, 9)
+                            .bounds(2, 0, 9)
+                            .bounds(3, 0, 9)
+                            .build();
+  DirectionResult Full = computeDirectionVectors(P);
+  ASSERT_EQ(Full.RootAnswer, DepAnswer::Dependent);
+  EXPECT_TRUE(Full.Exact);
+  EXPECT_GT(Full.TestStats.FmWork, 0u);
+
+  DirectionOptions Tight;
+  Tight.MaxRefineFmWork = 1;
+  DirectionResult R = computeDirectionVectors(P, Tight);
+  EXPECT_EQ(R.RootAnswer, DepAnswer::Dependent);
+  EXPECT_FALSE(R.Exact);
+  ASSERT_EQ(R.Vectors.size(), 1u);
+  EXPECT_EQ(R.Vectors[0], (DirVector{Dir::Any, Dir::Any}));
+  // Every vector the full refinement proved is covered by the bail-out
+  // summary, and the budget-limited run did strictly less work.
+  EXPECT_LT(R.TestStats.FmWork, Full.TestStats.FmWork);
+  EXPECT_LT(R.TestsRun, Full.TestsRun);
+}
+
+//===----------------------------------------------------------------------===//
+// Property: the separable per-dimension path agrees with full
+// hierarchical refinement on separable problems.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Random separable problem: one equation per common dimension touching
+/// only that dimension's pair, constant bounds, no extra loops — the
+/// shape Burke and Cytron's per-dimension scheme is defined on.
+DependenceProblem randomSeparableProblem(SplitRng &Rng) {
+  unsigned Common = 1 + Rng.next() % 3;
+  ProblemBuilder B(Common, Common, Common);
+  auto Coeff = [&Rng]() {
+    int64_t C = 1 + Rng.next() % 3;
+    return Rng.next() % 2 ? C : -C;
+  };
+  for (unsigned K = 0; K < Common; ++K) {
+    std::vector<int64_t> Coeffs(2 * Common, 0);
+    Coeffs[K] = Coeff();
+    Coeffs[Common + K] = Coeff();
+    B.eq(std::move(Coeffs), int64_t(Rng.next() % 9) - 4);
+  }
+  for (unsigned V = 0; V < 2 * Common; ++V) {
+    int64_t Lo = int64_t(Rng.next() % 9) - 4;
+    B.bounds(V, Lo, Lo + Rng.next() % 9);
+  }
+  return B.build();
+}
+
+} // namespace
+
+class SeparableAgreementProperty
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeparableAgreementProperty, MatchesGeneralRefinement) {
+  SplitRng Rng(GetParam());
+  for (unsigned Iter = 0; Iter < 150; ++Iter) {
+    DependenceProblem P = randomSeparableProblem(Rng);
+    DirectionOptions General;
+    General.SeparableDimensions = false;
+    DirectionOptions Sep;
+    Sep.SeparableDimensions = true;
+    DirectionResult R1 = computeDirectionVectors(P, General);
+    DirectionResult R2 = computeDirectionVectors(P, Sep);
+    if (R1.Exact && R2.Exact) {
+      EXPECT_EQ(R1.RootAnswer, R2.RootAnswer) << P.str();
+      EXPECT_EQ(asSet(R1.Vectors), asSet(R2.Vectors)) << P.str();
+      EXPECT_EQ(R1.Distances, R2.Distances) << P.str();
+    } else if (R1.RootAnswer != DepAnswer::Unknown &&
+               R2.RootAnswer != DepAnswer::Unknown) {
+      // Decisive roots must agree even when a side is inexact.
+      EXPECT_EQ(R1.RootAnswer, R2.RootAnswer) << P.str();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeparableAgreementProperty,
+                         ::testing::Values(21, 22, 23));
 
 //===----------------------------------------------------------------------===//
 // Property: reported vectors match enumeration on random problems.

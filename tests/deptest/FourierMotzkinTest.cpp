@@ -139,6 +139,25 @@ TEST(FourierMotzkin, DisabledBranchAndBoundIsPaperConfig) {
   EXPECT_NE(R.St, FmResult::Status::Dependent);
 }
 
+TEST(FourierMotzkin, CombineBudgetGivesUpUnknown) {
+  // A feasible box needs one combine per variable; with the combine
+  // cap at one the solver must stop at Unknown (not Overflowed — a
+  // wide retry could not help), and the work counter must have moved.
+  LinearSystem S = makeSystem(2, {{{1, 0}, 5},
+                                  {{-1, 0}, -1},
+                                  {{0, 1}, 7},
+                                  {{0, -1}, -2}});
+  FmResult Unlimited = runFourierMotzkin(S);
+  ASSERT_EQ(Unlimited.St, FmResult::Status::Dependent);
+  EXPECT_GE(Unlimited.Combines, 2u);
+
+  FourierMotzkinOptions Capped;
+  Capped.MaxCombines = 1;
+  FmResult R = runFourierMotzkin(S, Capped);
+  EXPECT_EQ(R.St, FmResult::Status::Unknown);
+  EXPECT_FALSE(R.Overflowed);
+}
+
 TEST(FourierMotzkin, BranchNodeAccounting) {
   LinearSystem S = makeSystem(2, {{{1, 2}, 2},
                                   {{-1, -2}, -2},

@@ -11,6 +11,7 @@
 #include "gtest/gtest.h"
 
 #include <algorithm>
+#include <climits>
 #include <cstdio>
 
 using namespace edda;
@@ -299,6 +300,40 @@ TEST(Memo, PersistenceRoundTrip) {
   ASSERT_TRUE(Dirs->Distances[0].has_value());
   EXPECT_EQ(*Dirs->Distances[0], 1);
   std::remove(Path.c_str());
+}
+
+TEST(Memo, DirectionsRoundTripWidenedBits) {
+  // 3i - 7i' + 1 = 0 over near-full int64 ranges widens every query;
+  // the v5 format must persist both direction widening bits, not
+  // default them to false on reload.
+  DependenceProblem Wide = ProblemBuilder(1, 1, 1)
+                               .eq({3, -7}, 1)
+                               .bounds(0, INT64_MIN + 2, INT64_MAX - 2)
+                               .bounds(1, INT64_MIN + 2, INT64_MAX - 2)
+                               .build();
+  DependenceProblem Narrow = simpleProblem(1);
+  DirectionResult WideDirs = computeDirectionVectors(Wide);
+  ASSERT_TRUE(WideDirs.Widened);
+  ASSERT_TRUE(WideDirs.RootWidened);
+  DependenceCache Before;
+  Before.insertDirections(Wide, WideDirs);
+  Before.insertDirections(Narrow, computeDirectionVectors(Narrow));
+
+  std::string Path = ::testing::TempDir() + "/edda_cache_widen_dirs.txt";
+  ASSERT_TRUE(Before.saveToFile(Path));
+  DependenceCache After;
+  ASSERT_TRUE(After.loadFromFile(Path));
+  std::remove(Path.c_str());
+
+  std::optional<DirectionResult> W = After.lookupDirections(Wide);
+  ASSERT_TRUE(W.has_value());
+  EXPECT_TRUE(W->Widened);
+  EXPECT_TRUE(W->RootWidened);
+  EXPECT_EQ(W->Exact, WideDirs.Exact);
+  std::optional<DirectionResult> N = After.lookupDirections(Narrow);
+  ASSERT_TRUE(N.has_value());
+  EXPECT_FALSE(N->Widened);
+  EXPECT_FALSE(N->RootWidened);
 }
 
 TEST(Memo, LoadRejectsGarbage) {

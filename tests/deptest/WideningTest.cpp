@@ -179,17 +179,23 @@ TEST(Widening, MemoRoundTripsTheWidenedBit) {
 }
 
 TEST(Widening, MemoRejectsPreWideningCacheVersions) {
-  // A v3 cache predates the Widened bit; results that were Unanalyzable
-  // then can be decisive now, so stale files must be rejected whole.
-  std::string Path =
-      "widening-v3-" + std::to_string(::getpid()) + ".cache";
-  {
-    std::ofstream Out(Path);
-    Out << "edda-depcache 3\n0\n0\n0\n";
+  // A v3 cache predates the Widened bit and a v4 cache predates the
+  // direction entries' Widened/RootWidened bits; results that were
+  // Unanalyzable then can be decisive now (and direction widening
+  // provenance would silently read as false), so stale files must be
+  // rejected whole.
+  for (const char *Header : {"edda-depcache 3\n0\n0\n0\n",
+                             "edda-depcache 4\n0\n0\n0\n"}) {
+    std::string Path =
+        "widening-stale-" + std::to_string(::getpid()) + ".cache";
+    {
+      std::ofstream Out(Path);
+      Out << Header;
+    }
+    DependenceCache C;
+    EXPECT_FALSE(C.loadFromFile(Path)) << Header;
+    std::remove(Path.c_str());
   }
-  DependenceCache C;
-  EXPECT_FALSE(C.loadFromFile(Path));
-  std::remove(Path.c_str());
 }
 
 TEST(Widening, ConstrainedQueriesWidenToo) {

@@ -102,6 +102,75 @@ TEST(Fuzzer, InjectedBugIsCaughtAndShrunk) {
   EXPECT_GE(ProblemRepros, 1u);
 }
 
+TEST(Fuzzer, MisSignedPruningBugIsCaughtAndShrunk) {
+  // The direction-pruning variant: the injected bug is a
+  // DirectionOptions hook rather than a problem perturbation, so only
+  // the dirs axis can see it — run it alone.
+  FuzzOptions Opts = quickOptions(1, 2000);
+  Opts.Bug = InjectedBug::MisSignDirPrune;
+  Opts.CheckOracle = false;
+  Opts.CheckPipeline = false;
+  Opts.CheckWiden = false;
+  Opts.CheckThreads = false;
+  Opts.CheckMemo = false;
+  FuzzSummary S = runFuzz(Opts);
+  ASSERT_FALSE(S.ok()) << "mis-signed pruning escaped 2000 iterations";
+
+  unsigned ProblemRepros = 0;
+  for (const FuzzFailure &F : S.Failures) {
+    if (F.IsProgram)
+      continue;
+    ++ProblemRepros;
+    SCOPED_TRACE(F.Reproducer);
+    ProblemParseResult Parsed = parseProblemText(F.Reproducer);
+    ASSERT_TRUE(Parsed.succeeded()) << Parsed.Error;
+    EXPECT_TRUE(Parsed.Problem->wellFormed());
+    // Shrunk to the acceptance envelope: at most 2 loop variables (one
+    // common pair carrying the mis-signed distance).
+    EXPECT_LE(Parsed.Problem->numLoopVars(), 2u);
+    EXPECT_LE(Parsed.Problem->Equations.size(), 2u);
+  }
+  EXPECT_GE(ProblemRepros, 1u);
+}
+
+TEST(Fuzzer, SampledConcretizationCoversDistancePruning) {
+  // i' - i - n == 0 with n pinned to 2 by a second equation: the GCD
+  // solution pins the distance to the symbolic-free constant 2, so
+  // pruning fires on a symbolic problem. The sampled-concretization
+  // sweep must still hold the pinned distance (and forced direction)
+  // against the grid — a mis-signed pruning here is only catchable if
+  // the symbolic path of the dirs axis checks distances at all.
+  DependenceProblem P;
+  P.NumLoopsA = 1;
+  P.NumLoopsB = 1;
+  P.NumCommon = 1;
+  P.NumSymbolic = 1;
+  P.Lo.resize(P.numLoopVars());
+  P.Hi.resize(P.numLoopVars());
+  XAffine Eq1(P.numX()); // i' - i - n == 0
+  Eq1.Coeffs = {-1, 1, -1};
+  XAffine Eq2(P.numX()); // n == 2
+  Eq2.Coeffs = {0, 0, 1};
+  Eq2.Const = -2;
+  P.Equations = {Eq1, Eq2};
+  for (unsigned V = 0; V < 2; ++V) {
+    P.Lo[V] = XAffine(P.numX());
+    P.Lo[V]->Const = 0;
+    P.Hi[V] = XAffine(P.numX());
+    P.Hi[V]->Const = 9;
+  }
+  ASSERT_TRUE(P.wellFormed());
+
+  // Clean tree: no mismatch.
+  std::optional<std::string> Clean = checkDirections(P);
+  EXPECT_FALSE(Clean.has_value()) << *Clean;
+
+  // Mis-signed pruning must be caught by the sampled sweep.
+  std::optional<std::string> Buggy =
+      checkDirections(P, /*Widen=*/true, InjectedBug::MisSignDirPrune);
+  EXPECT_TRUE(Buggy.has_value());
+}
+
 TEST(Fuzzer, SymbolicIndependenceIsSound) {
   // Property: whenever the cascade proves a symbolic problem
   // Independent, no sampled concretization may admit a dependence.

@@ -29,6 +29,7 @@
 #include "deptest/Cascade.h"
 #include "deptest/ProblemIO.h"
 #include "deptest/TestPipeline.h"
+#include "fuzz/Fuzzer.h"
 #include "oracle/Oracle.h"
 #include "parser/Parser.h"
 #include "gtest/gtest.h"
@@ -113,6 +114,23 @@ TEST(Corpus, AllCasesDecideAsAnnotated) {
     std::optional<bool> Truth = oracleDependent(*Parsed.Problem);
     if (Truth)
       EXPECT_EQ(*Truth, R.Answer == DepAnswer::Dependent);
+  }
+}
+
+TEST(Corpus, DepFilesPassDirectionChecks) {
+  // The fuzzer's dirs axis, replayed over the pinned corpus: direction
+  // vectors on every case must cover the oracle's concrete patterns, be
+  // minimal when Exact, pin distances only when truly constant, and
+  // agree across all elimination/pruning/separability combinations.
+  // The dirs_*.dep reproducers were each minimized from a hierarchy bug
+  // this check caught; they fail here when the fix is reverted.
+  for (const CorpusCase &Case : loadCorpus()) {
+    SCOPED_TRACE(Case.Path);
+    ProblemParseResult Parsed = parseProblemText(Case.Text);
+    ASSERT_TRUE(Parsed.succeeded()) << Parsed.Error;
+    std::optional<std::string> Mismatch =
+        fuzz::checkDirections(*Parsed.Problem);
+    EXPECT_FALSE(Mismatch.has_value()) << *Mismatch;
   }
 }
 

@@ -132,7 +132,8 @@ int runRawProblem(const CliOptions &Cli, const std::string &Source) {
     std::printf("directions:");
     for (const DirVector &V : Dirs.Vectors)
       std::printf(" %s", dirVectorStr(V).c_str());
-    std::printf("\n");
+    std::printf("%s\n",
+                Dirs.Widened ? "  (widened to 128-bit)" : "");
     for (unsigned K = 0; K < Dirs.Distances.size(); ++K)
       if (Dirs.Distances[K])
         std::printf("distance[%u] = %lld\n", K,
@@ -321,7 +322,9 @@ int main(int Argc, char **Argv) {
       std::printf("    directions:");
       for (const DirVector &V : Pair.Directions->Vectors)
         std::printf(" %s", dirVectorStr(V).c_str());
-      std::printf("\n");
+      std::printf("%s\n", Pair.Directions->Widened
+                              ? "  (widened to 128-bit)"
+                              : "");
       for (unsigned K = 0; K < Pair.Directions->Distances.size(); ++K)
         if (Pair.Directions->Distances[K])
           std::printf("    distance[%u] = %lld\n", K,

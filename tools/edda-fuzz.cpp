@@ -16,7 +16,8 @@
 ///                     budget is given)
 ///   --time-budget S   wall-clock budget in seconds
 ///   --check LIST      comma-separated axes to run: any of
-///                     oracle,pipeline,widen,threads,memo (default all)
+///                     oracle,dirs,pipeline,widen,threads,memo
+///                     (default all)
 ///   --out DIR         write minimized reproducers into DIR
 ///   --threads N       thread count for the parallel-analyzer axis
 ///                     (default 4)
@@ -47,20 +48,22 @@ int usage(const char *Prog) {
   std::fprintf(
       stderr,
       "usage: %s [--seed N] [--count N] [--time-budget SECONDS]\n"
-      "          [--check oracle,pipeline,widen,threads,memo] [--out DIR]\n"
-      "          [--threads N] [--no-widen]\n",
+      "          [--check oracle,dirs,pipeline,widen,threads,memo]\n"
+      "          [--out DIR] [--threads N] [--no-widen]\n",
       Prog);
   return 2;
 }
 
 bool parseChecks(const std::string &List, FuzzOptions &Opts) {
-  Opts.CheckOracle = Opts.CheckPipeline = Opts.CheckWiden =
-      Opts.CheckThreads = Opts.CheckMemo = false;
+  Opts.CheckOracle = Opts.CheckDirs = Opts.CheckPipeline =
+      Opts.CheckWiden = Opts.CheckThreads = Opts.CheckMemo = false;
   std::istringstream In(List);
   std::string Tok;
   while (std::getline(In, Tok, ',')) {
     if (Tok == "oracle")
       Opts.CheckOracle = true;
+    else if (Tok == "dirs")
+      Opts.CheckDirs = true;
     else if (Tok == "pipeline")
       Opts.CheckPipeline = true;
     else if (Tok == "widen")
@@ -72,7 +75,7 @@ bool parseChecks(const std::string &List, FuzzOptions &Opts) {
     else {
       std::fprintf(stderr,
                    "edda-fuzz: unknown axis '%s' (valid: oracle, "
-                   "pipeline, widen, threads, memo)\n",
+                   "dirs, pipeline, widen, threads, memo)\n",
                    Tok.c_str());
       return false;
     }
@@ -126,12 +129,27 @@ int main(int Argc, char **Argv) {
         Opts.Threads = 1;
     } else if (Arg == "--no-widen") {
       Opts.Widen = false;
-    } else if (Arg == "--inject-bug") {
-      // Hidden test hook: deliberately mis-sign the first equation's
-      // constant in the cascade under test, proving the fuzzer catches
-      // and shrinks a real defect (used by the test suite; not listed
-      // in --help output).
-      Opts.Bug = InjectedBug::NegateEqConst;
+    } else if (Arg == "--inject-bug" ||
+               Arg.rfind("--inject-bug=", 0) == 0) {
+      // Hidden test hook: deliberately plant a known defect in the
+      // computation under test, proving the fuzzer catches and shrinks
+      // it (used by the test suite; not listed in --help output).
+      // Bare --inject-bug keeps the historical mis-signed equation
+      // constant; --inject-bug=NAME selects a variant.
+      std::string Variant = Arg == "--inject-bug"
+                                ? "negate-eq-const"
+                                : Arg.substr(std::strlen("--inject-bug="));
+      if (Variant == "negate-eq-const")
+        Opts.Bug = InjectedBug::NegateEqConst;
+      else if (Variant == "dir-prune-sign")
+        Opts.Bug = InjectedBug::MisSignDirPrune;
+      else {
+        std::fprintf(stderr,
+                     "edda-fuzz: unknown --inject-bug variant '%s' "
+                     "(valid: negate-eq-const, dir-prune-sign)\n",
+                     Variant.c_str());
+        return 2;
+      }
     } else {
       return usage(Argv[0]);
     }
@@ -140,12 +158,14 @@ int main(int Argc, char **Argv) {
   FuzzSummary S = runFuzz(Opts, &std::cerr);
 
   std::printf("edda-fuzz: seed %llu: %llu iterations (%llu problems, "
-              "%llu programs), oracle conclusive on %llu, %zu failure(s)\n",
+              "%llu programs), oracle conclusive on %llu, dirs "
+              "conclusive on %llu, %zu failure(s)\n",
               static_cast<unsigned long long>(Opts.Seed),
               static_cast<unsigned long long>(S.Iterations),
               static_cast<unsigned long long>(S.Problems),
               static_cast<unsigned long long>(S.Programs),
               static_cast<unsigned long long>(S.OracleConclusive),
+              static_cast<unsigned long long>(S.DirsConclusive),
               S.Failures.size());
   for (const FuzzFailure &F : S.Failures)
     std::printf("  [%s] iteration %llu: %s%s%s\n", fuzzAxisName(F.Axis),
