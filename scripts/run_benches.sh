@@ -46,6 +46,7 @@ now_ms() {
 
 TIMINGS=
 WIDENED_SUITE=
+# shellcheck disable=SC2086  # word splitting of $BENCHES is the point
 for b in $BENCHES; do
   if [ ! -x "$BUILD/bench/$b" ]; then
     echo "error: bench binary '$BUILD/bench/$b' is missing" >&2
@@ -87,7 +88,7 @@ FLIP_NOWIDEN=$("$BUILD/tools/edda-cli" --problem --no-widen \
   printf '{\n'
   printf '  "schema": "edda-bench",\n'
   printf '  "timings_ms": {\n'
-  printf "$TIMINGS" | sed '$s/,$//'
+  printf '%b' "$TIMINGS" | sed '$s/,$//'
   printf '  },\n'
   printf '  "widening": {\n'
   printf '    "suite_widened_queries": %s,\n' "${WIDENED_SUITE:-null}"

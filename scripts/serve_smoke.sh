@@ -1,0 +1,190 @@
+#!/bin/sh
+# Serving smoke: boots the edda-serve daemon, replays the corpus
+# through concurrent clients, and asserts the served reports are
+# byte-identical to fresh edda-cli runs — then kills the daemon,
+# restarts it from its warm-start checkpoint and requires the re-query
+# round to be answered (>= MIN_HIT_PCT) from the reloaded store.
+#
+# Usage: serve_smoke.sh [BUILD_DIR] [OUT_DIR] [MIN_HIT_PCT]
+#
+# OUT_DIR receives the daemon's per-request stats log plus the stats
+# snapshots (the serve-smoke CI artifact). Normalizations applied
+# before diffing, per docs/SERVING.md:
+#   * " (cached)" markers are stripped from BOTH sides — hit patterns
+#     legitimately differ between a warm daemon and a fresh CLI run
+#     (the CLI memoizes within its own run too);
+#   * "witness x = " lines are stripped from problem-mode diffs — the
+#     store does not hold witnesses, so a served hit omits the line
+#     while the answer itself stays exact.
+set -eu
+
+BUILD=${1:-build}
+OUT=${2:-serve-smoke}
+MIN_HIT=${3:-90}
+
+SERVE="$BUILD/tools/edda-serve"
+CLI="$BUILD/tools/edda-cli"
+GEN="$BUILD/tools/edda-genperfect"
+for bin in "$SERVE" "$CLI" "$GEN"; do
+  if [ ! -x "$bin" ]; then
+    echo "error: '$bin' is missing (build the tools targets)" >&2
+    exit 2
+  fi
+done
+
+SCRIPT_DIR=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+REPO_ROOT=$(CDPATH= cd -- "$SCRIPT_DIR/.." && pwd)
+
+tmp=$(mktemp -d)
+SERVER_PID=
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+  [ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+mkdir -p "$OUT"
+SOCK="$tmp/edda-serve.sock"
+CACHE="$tmp/edda-serve.cache"
+STATS_LOG="$OUT/request-stats.jsonl"
+: > "$STATS_LOG"
+
+mkdir "$tmp/corpus"
+"$GEN" "$tmp/corpus" > /dev/null
+cp "$REPO_ROOT/tests/inputs/demo.loop" "$tmp/corpus/"
+cp "$REPO_ROOT"/tests/inputs/corpus/*.loop "$tmp/corpus/"
+
+start_server() {
+  "$SERVE" --socket "$SOCK" --cache "$CACHE" --threads 4 \
+           --stats-log "$STATS_LOG" 2>> "$OUT/server-stderr.txt" &
+  SERVER_PID=$!
+  # Wait for the socket to accept pings (the daemon may still be
+  # loading the warm-start file).
+  i=0
+  while ! "$SERVE" --client "$SOCK" --ping > /dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+      echo "error: server did not come up on $SOCK" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
+stop_server() {
+  kill -TERM "$SERVER_PID"
+  wait "$SERVER_PID"
+  SERVER_PID=
+}
+
+strip_cached() { sed 's/ (cached)//' "$1"; }
+strip_problem() { sed -e 's/ (cached)//' -e '/^witness x = (/d' "$1"; }
+
+# Waits for the pids in $client_pids (a bare `wait` would also wait
+# on the server job, which never exits).
+# shellcheck disable=SC2086  # pid-list splitting is the point
+wait_clients() {
+  for p in $client_pids; do
+    wait "$p"
+  done
+  client_pids=
+}
+
+# Issues every corpus query through concurrent clients (one background
+# client process per file, at most 8 in flight — the concurrency the
+# daemon exists to serve), leaving one served report per input in
+# $tmp/served.
+query_round() {
+  rm -rf "$tmp/served"
+  mkdir "$tmp/served"
+  client_pids=
+  jobs=0
+  for f in "$tmp/corpus"/*.loop; do
+    "$SERVE" --client "$SOCK" --directions "$f" \
+      > "$tmp/served/$(basename "$f").out" &
+    client_pids="$client_pids $!"
+    jobs=$((jobs + 1))
+    [ $((jobs % 8)) -eq 0 ] && wait_clients
+  done
+  for f in "$REPO_ROOT"/tests/inputs/corpus/*.dep; do
+    "$SERVE" --client "$SOCK" --problem --directions "$f" \
+      > "$tmp/served/$(basename "$f").out" &
+    client_pids="$client_pids $!"
+    jobs=$((jobs + 1))
+    [ $((jobs % 8)) -eq 0 ] && wait_clients
+  done
+  wait_clients
+}
+
+# Fresh-CLI reference reports, rendered once.
+mkdir "$tmp/want"
+for f in "$tmp/corpus"/*.loop; do
+  "$CLI" --directions "$f" > "$tmp/want/$(basename "$f").out"
+done
+for f in "$REPO_ROOT"/tests/inputs/corpus/*.dep; do
+  "$CLI" --problem --directions "$f" > "$tmp/want/$(basename "$f").out"
+done
+
+check_round() {
+  round=$1
+  fail=0
+  for f in "$tmp/corpus"/*.loop; do
+    name=$(basename "$f").out
+    if ! strip_cached "$tmp/served/$name" > "$tmp/got.txt" ||
+       ! strip_cached "$tmp/want/$name" > "$tmp/ref.txt" ||
+       ! diff "$tmp/got.txt" "$tmp/ref.txt" > "$tmp/diff.txt"; then
+      echo "FAIL($round): served report differs from edda-cli: $name"
+      head -20 "$tmp/diff.txt"
+      fail=1
+    fi
+  done
+  for f in "$REPO_ROOT"/tests/inputs/corpus/*.dep; do
+    name=$(basename "$f").out
+    if ! strip_problem "$tmp/served/$name" > "$tmp/got.txt" ||
+       ! strip_problem "$tmp/want/$name" > "$tmp/ref.txt" ||
+       ! diff "$tmp/got.txt" "$tmp/ref.txt" > "$tmp/diff.txt"; then
+      echo "FAIL($round): served problem differs from edda-cli: $name"
+      head -20 "$tmp/diff.txt"
+      fail=1
+    fi
+    if ! grep -q '^answer: ' "$tmp/served/$name"; then
+      echo "FAIL($round): served problem has no answer line: $name"
+      fail=1
+    fi
+  done
+  [ "$fail" -eq 0 ]
+}
+
+echo "== cold round (fresh daemon, empty store) =="
+start_server
+query_round
+check_round cold
+"$SERVE" --client "$SOCK" --stats > "$OUT/stats-cold.json"
+echo "== warm restart (SIGTERM, checkpoint reload, re-query) =="
+stop_server
+[ -s "$CACHE" ] || { echo "error: no checkpoint was written" >&2; exit 1; }
+
+start_server
+query_round
+check_round warm
+"$SERVE" --client "$SOCK" --stats > "$OUT/stats-warm.json"
+"$SERVE" --client "$SOCK" --shutdown > /dev/null
+stop_server 2>/dev/null || true
+
+# The warm round must be served from the reloaded store.
+HIT=$(sed -n 's/.*"hit_rate_pct":\([0-9.]*\).*/\1/p' "$OUT/stats-warm.json")
+WARM=$(sed -n 's/.*"warm_loaded_entries":\([0-9]*\).*/\1/p' \
+       "$OUT/stats-warm.json")
+echo "warm restart: loaded $WARM entries, hit rate ${HIT}%"
+if [ -z "$HIT" ] || [ -z "$WARM" ] || [ "$WARM" -eq 0 ]; then
+  echo "error: warm restart loaded no checkpoint entries" >&2
+  exit 1
+fi
+if ! awk -v h="$HIT" -v m="$MIN_HIT" 'BEGIN { exit !(h >= m) }'; then
+  echo "error: warm hit rate ${HIT}% is below ${MIN_HIT}%" >&2
+  exit 1
+fi
+[ -s "$STATS_LOG" ] || { echo "error: stats log is empty" >&2; exit 1; }
+
+echo "serve smoke passed (stats + per-request log in $OUT/)"

@@ -66,7 +66,12 @@ struct VectorHash {
 } // namespace
 
 DependenceAnalyzer::DependenceAnalyzer(AnalyzerOptions O)
-    : Opts(resolveOptions(std::move(O))), Cache(Opts.Memo) {}
+    : Opts(resolveOptions(std::move(O))), Owned(Opts.Memo) {}
+
+DependenceAnalyzer::DependenceAnalyzer(AnalyzerOptions O,
+                                       DependenceCache &SharedCache)
+    : Opts(resolveOptions(std::move(O))), Owned(MemoOptions{}),
+      External(&SharedCache) {}
 
 void DependenceAnalyzer::runIndexed(
     size_t N, const std::function<void(size_t)> &Body) {
@@ -91,7 +96,7 @@ void DependenceAnalyzer::decideTestedPair(const BuiltProblem &Built,
     // (running the cascade separately would double-count).
     std::optional<DirectionResult> CachedDirs;
     if (Opts.UseMemoization) {
-      CachedDirs = Cache.lookupDirections(Problem);
+      CachedDirs = cache().lookupDirections(Problem);
       if (CachedDirs)
         Stats.MemoHitsFull++;
     }
@@ -102,7 +107,7 @@ void DependenceAnalyzer::decideTestedPair(const BuiltProblem &Built,
     } else {
       Dirs = computeDirectionVectors(Problem, Opts.Direction);
       if (Opts.UseMemoization) {
-        Cache.insertDirections(Problem, Dirs);
+        cache().insertDirections(Problem, Dirs);
         // The root answer also serves plain (non-direction) runs
         // sharing this cache.
         CascadeResult Root;
@@ -110,7 +115,7 @@ void DependenceAnalyzer::decideTestedPair(const BuiltProblem &Built,
         Root.DecidedBy = Dirs.RootDecidedBy;
         Root.Exact = Dirs.Exact;
         Root.Widened = Dirs.RootWidened;
-        Cache.insertFull(Problem, Root);
+        cache().insertFull(Problem, Root);
       }
       Stats += Dirs.TestStats;
     }
@@ -124,7 +129,7 @@ void DependenceAnalyzer::decideTestedPair(const BuiltProblem &Built,
   // Plain answer, via the full-key table when enabled.
   std::optional<CascadeResult> Cached;
   if (Opts.UseMemoization) {
-    Cached = Cache.lookupFull(Problem);
+    Cached = cache().lookupFull(Problem);
     if (Cached)
       Stats.MemoHitsFull++;
   }
@@ -137,7 +142,7 @@ void DependenceAnalyzer::decideTestedPair(const BuiltProblem &Built,
     // equations alone were already proved unsolvable.
     std::optional<bool> GcdKnown;
     if (Opts.UseMemoization) {
-      GcdKnown = Cache.lookupGcdSolvable(Problem);
+      GcdKnown = cache().lookupGcdSolvable(Problem);
       if (GcdKnown)
         Stats.MemoHitsNoBounds++;
     }
@@ -149,17 +154,17 @@ void DependenceAnalyzer::decideTestedPair(const BuiltProblem &Built,
     } else {
       Outcome = testDependence(Problem, Opts.Cascade, &Stats);
       if (Opts.UseMemoization) {
-        Cache.insertFull(Problem, Outcome);
+        cache().insertFull(Problem, Outcome);
         // A system-stage decision implies the extended GCD found the
         // equations solvable. The Banerjee stage is excluded: its
         // Independent answers can come from the simple GCD test, i.e.
         // from UNsolvable equations.
         if (Outcome.DecidedBy == TestKind::GcdTest)
-          Cache.insertGcdSolvable(Problem, false);
+          cache().insertGcdSolvable(Problem, false);
         else if (Outcome.DecidedBy != TestKind::ArrayConstant &&
                  Outcome.DecidedBy != TestKind::Banerjee &&
                  Outcome.DecidedBy != TestKind::Unanalyzable)
-          Cache.insertGcdSolvable(Problem, true);
+          cache().insertGcdSolvable(Problem, true);
       }
     }
   }
@@ -212,7 +217,7 @@ AnalysisResult DependenceAnalyzer::analyze(Program &Prog) {
     if (!BC.AllConstantEqs && Opts.UseMemoization) {
       bool Swapped;
       BC.GroupKey =
-          Cache.keyFor(BC.Built->Problem, /*IncludeBounds=*/false,
+          cache().keyFor(BC.Built->Problem, /*IncludeBounds=*/false,
                        Swapped);
     }
   });

@@ -105,17 +105,29 @@ class DependenceAnalyzer {
 public:
   explicit DependenceAnalyzer(AnalyzerOptions Opts = {});
 
+  /// Shares an external cache instead of owning one: \p SharedCache
+  /// must outlive the analyzer. This is the serving configuration —
+  /// edda-serve runs one single-threaded analyzer per in-flight
+  /// request, all hitting one concurrent sharded cache, which the
+  /// first-insert-wins discipline keeps consistent: a cached entry is
+  /// always bit-identical to what recomputation would produce, so
+  /// answers are independent of request interleaving (only the
+  /// FromCache flags vary).
+  DependenceAnalyzer(AnalyzerOptions Opts, DependenceCache &SharedCache);
+
   /// Analyzes \p Prog (mutating it when the prepass is enabled).
   AnalysisResult analyze(Program &Prog);
 
-  DependenceCache &cache() { return Cache; }
+  DependenceCache &cache() { return External ? *External : Owned; }
   const AnalyzerOptions &options() const { return Opts; }
   /// The resolved worker count (NumThreads with 0 expanded).
   unsigned threadCount() const { return Opts.NumThreads; }
 
 private:
   AnalyzerOptions Opts;
-  DependenceCache Cache;
+  DependenceCache Owned;
+  /// When set, cache() resolves here instead of Owned.
+  DependenceCache *External = nullptr;
   /// Created on the first parallel analyze(), reused afterwards.
   std::unique_ptr<ThreadPool> Pool;
 

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <sstream>
 
 using namespace edda;
 
@@ -103,6 +104,8 @@ DependenceCache::lookupFull(const DependenceProblem &P) {
     if (It == S.Full.end())
       return std::nullopt;
     R = It->second;
+    if (Opts.TrackRecency)
+      S.FullUse[K] = UseTick.fetch_add(1, std::memory_order_relaxed);
   }
   FullHits.fetch_add(1, std::memory_order_relaxed);
   if (Swapped && R.Witness)
@@ -125,6 +128,8 @@ void DependenceCache::insertFull(const DependenceProblem &P,
     Stored.Witness.reset();
   Shard &S = shardFor(K);
   std::lock_guard<std::mutex> Lock(S.Mutex);
+  if (Opts.TrackRecency)
+    S.FullUse[K] = UseTick.fetch_add(1, std::memory_order_relaxed);
   // emplace keeps the first entry on a duplicate key, so concurrent
   // inserters of the same problem converge on one canonical entry.
   S.Full.emplace(std::move(K), std::move(Stored));
@@ -142,6 +147,8 @@ DependenceCache::lookupDirections(const DependenceProblem &P) {
     if (It == S.Directions.end())
       return std::nullopt;
     R = It->second;
+    if (Opts.TrackRecency)
+      S.DirUse[K] = UseTick.fetch_add(1, std::memory_order_relaxed);
   }
   if (Swapped)
     R = reverseDirections(R);
@@ -196,6 +203,8 @@ void DependenceCache::insertDirections(const DependenceProblem &P,
     Stored = reverseDirections(Stored);
   Shard &S = shardFor(K);
   std::lock_guard<std::mutex> Lock(S.Mutex);
+  if (Opts.TrackRecency)
+    S.DirUse[K] = UseTick.fetch_add(1, std::memory_order_relaxed);
   S.Directions.emplace(std::move(K), std::move(Stored));
 }
 
@@ -228,23 +237,79 @@ void DependenceCache::insertGcdSolvable(const DependenceProblem &P,
 
 uint64_t DependenceCache::uniqueFull() const {
   uint64_t Total = 0;
-  for (const auto &S : Shards)
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
     Total += S->Full.size();
+  }
   return Total;
 }
 
 uint64_t DependenceCache::uniqueDirections() const {
   uint64_t Total = 0;
-  for (const auto &S : Shards)
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
     Total += S->Directions.size();
+  }
   return Total;
 }
 
 uint64_t DependenceCache::uniqueNoBounds() const {
   uint64_t Total = 0;
-  for (const auto &S : Shards)
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
     Total += S->Gcd.size();
+  }
   return Total;
+}
+
+uint64_t DependenceCache::evictOldest(uint64_t TargetEntries) {
+  // Collect (stamp, shard, table, key) triples under the shard locks,
+  // pick victims oldest-first, then delete them. Entries inserted
+  // between the scan and the delete are never victims (they are not
+  // in the scan), so a racing insert is at worst briefly over budget.
+  struct Victim {
+    uint64_t Stamp;
+    unsigned ShardIdx;
+    bool InDirections;
+    Key K;
+  };
+  std::vector<Victim> All;
+  uint64_t Total = 0;
+  for (unsigned I = 0; I < Shards.size(); ++I) {
+    Shard &S = *Shards[I];
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    Total += S.Full.size() + S.Directions.size();
+    for (const auto &[K, R] : S.Full) {
+      auto It = S.FullUse.find(K);
+      All.push_back({It == S.FullUse.end() ? 0 : It->second, I, false, K});
+    }
+    for (const auto &[K, R] : S.Directions) {
+      auto It = S.DirUse.find(K);
+      All.push_back({It == S.DirUse.end() ? 0 : It->second, I, true, K});
+    }
+  }
+  if (Total <= TargetEntries)
+    return 0;
+  uint64_t ToEvict = Total - TargetEntries;
+  // Oldest stamps first; full sort is fine at checkpoint frequency.
+  std::sort(All.begin(), All.end(), [](const Victim &A, const Victim &B) {
+    return A.Stamp < B.Stamp;
+  });
+  uint64_t Evicted = 0;
+  for (const Victim &V : All) {
+    if (Evicted >= ToEvict)
+      break;
+    Shard &S = *Shards[V.ShardIdx];
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    if (V.InDirections) {
+      Evicted += S.Directions.erase(V.K);
+      S.DirUse.erase(V.K);
+    } else {
+      Evicted += S.Full.erase(V.K);
+      S.FullUse.erase(V.K);
+    }
+  }
+  return Evicted;
 }
 
 void DependenceCache::clear() {
@@ -253,6 +318,8 @@ void DependenceCache::clear() {
     S->Full.clear();
     S->Directions.clear();
     S->Gcd.clear();
+    S->FullUse.clear();
+    S->DirUse.clear();
   }
   FullQueries = FullHits = GcdQueries = GcdHits = 0;
 }
@@ -291,14 +358,14 @@ std::vector<int64_t> edda::swapWitness(const std::vector<int64_t> &X,
 
 namespace {
 
-void writeVector(std::ofstream &Out, const std::vector<int64_t> &V) {
+void writeVector(std::ostream &Out, const std::vector<int64_t> &V) {
   Out << V.size();
   for (int64_t X : V)
     Out << " " << X;
   Out << "\n";
 }
 
-bool readVector(std::ifstream &In, std::vector<int64_t> &V) {
+bool readVector(std::istream &In, std::vector<int64_t> &V) {
   size_t Size;
   if (!(In >> Size) || Size > (1u << 20))
     return false;
@@ -312,6 +379,62 @@ bool readVector(std::ifstream &In, std::vector<int64_t> &V) {
 } // namespace
 
 bool DependenceCache::saveToFile(const std::string &Path) const {
+  // Serialize each table shard-by-shard under that shard's lock into
+  // a memory buffer first: the entry counts written ahead of each
+  // section must match the entries that follow even while analyzer
+  // threads are inserting concurrently (entries themselves are
+  // immutable once inserted, so a per-shard-atomic snapshot is a
+  // valid cache).
+  std::ostringstream FullBlob;
+  size_t FullCount = 0;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    FullCount += S->Full.size();
+    for (const auto &[K, R] : S->Full) {
+      writeVector(FullBlob, K);
+      FullBlob << static_cast<int>(R.Answer) << " "
+               << static_cast<int>(R.DecidedBy) << " "
+               << (R.Exact ? 1 : 0) << " " << (R.Widened ? 1 : 0)
+               << "\n";
+    }
+  }
+  std::ostringstream DirBlob;
+  size_t DirCount = 0;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    DirCount += S->Directions.size();
+    for (const auto &[K, R] : S->Directions) {
+      writeVector(DirBlob, K);
+      DirBlob << static_cast<int>(R.RootAnswer) << " "
+              << static_cast<int>(R.RootDecidedBy) << " "
+              << (R.Exact ? 1 : 0) << " " << (R.Widened ? 1 : 0) << " "
+              << (R.RootWidened ? 1 : 0) << " " << R.Vectors.size()
+              << " " << R.Distances.size() << "\n";
+      for (const DirVector &V : R.Vectors) {
+        DirBlob << V.size();
+        for (Dir D : V)
+          DirBlob << " " << static_cast<int>(D);
+        DirBlob << "\n";
+      }
+      for (const std::optional<int64_t> &Dist : R.Distances) {
+        if (Dist)
+          DirBlob << "d " << *Dist << "\n";
+        else
+          DirBlob << "u\n";
+      }
+    }
+  }
+  std::ostringstream GcdBlob;
+  size_t GcdCount = 0;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    GcdCount += S->Gcd.size();
+    for (const auto &[K, Solvable] : S->Gcd) {
+      writeVector(GcdBlob, K);
+      GcdBlob << (Solvable ? 1 : 0) << "\n";
+    }
+  }
+
   std::ofstream Out(Path);
   if (!Out)
     return false;
@@ -321,45 +444,9 @@ bool DependenceCache::saveToFile(const std::string &Path) const {
   // entries carry Widened/RootWidened. Older caches are rejected on
   // load.
   Out << "edda-depcache 5\n";
-  Out << uniqueFull() << "\n";
-  for (const auto &S : Shards) {
-    for (const auto &[K, R] : S->Full) {
-      writeVector(Out, K);
-      Out << static_cast<int>(R.Answer) << " "
-          << static_cast<int>(R.DecidedBy) << " " << (R.Exact ? 1 : 0)
-          << " " << (R.Widened ? 1 : 0) << "\n";
-    }
-  }
-  Out << uniqueDirections() << "\n";
-  for (const auto &S : Shards) {
-    for (const auto &[K, R] : S->Directions) {
-      writeVector(Out, K);
-      Out << static_cast<int>(R.RootAnswer) << " "
-          << static_cast<int>(R.RootDecidedBy) << " "
-          << (R.Exact ? 1 : 0) << " " << (R.Widened ? 1 : 0) << " "
-          << (R.RootWidened ? 1 : 0) << " " << R.Vectors.size() << " "
-          << R.Distances.size() << "\n";
-      for (const DirVector &V : R.Vectors) {
-        Out << V.size();
-        for (Dir D : V)
-          Out << " " << static_cast<int>(D);
-        Out << "\n";
-      }
-      for (const std::optional<int64_t> &Dist : R.Distances) {
-        if (Dist)
-          Out << "d " << *Dist << "\n";
-        else
-          Out << "u\n";
-      }
-    }
-  }
-  Out << uniqueNoBounds() << "\n";
-  for (const auto &S : Shards) {
-    for (const auto &[K, Solvable] : S->Gcd) {
-      writeVector(Out, K);
-      Out << (Solvable ? 1 : 0) << "\n";
-    }
-  }
+  Out << FullCount << "\n" << FullBlob.str();
+  Out << DirCount << "\n" << DirBlob.str();
+  Out << GcdCount << "\n" << GcdBlob.str();
   return static_cast<bool>(Out);
 }
 

@@ -71,6 +71,12 @@ struct MemoOptions {
   /// thread otherwise (the analyzer resolves this from its thread
   /// count). Sharding affects contention only, never results.
   unsigned Shards = 0;
+  /// Maintain a last-use stamp per full/direction entry (updated on
+  /// hit and insert, under the shard lock already held) so
+  /// evictOldest() can bound a long-lived cache. Off by default: the
+  /// batch analyzer never evicts and skips the bookkeeping; edda-serve
+  /// turns it on for its size-bounded warm-start checkpoints.
+  bool TrackRecency = false;
 };
 
 /// The two-table dependence cache.
@@ -116,10 +122,28 @@ public:
 
   /// Persistence across compilations (extension, paper section 5):
   /// writes/reads the full-answer and direction tables (witnesses are
-  /// not persisted). Returns false on I/O or format errors. Not safe
-  /// against concurrent mutation — call while quiescent.
+  /// not persisted). Returns false on I/O or format errors.
+  ///
+  /// saveToFile() takes each shard's lock while serializing that
+  /// shard, so it is safe to checkpoint while analyzer threads insert
+  /// concurrently: every entry is immutable once inserted
+  /// (first-insert-wins), so the snapshot is some subset of the
+  /// entries that exist when the save returns, and reloading it can
+  /// only pre-answer questions with the exact results recomputation
+  /// would produce. loadFromFile() is not concurrency-safe — call it
+  /// before serving starts.
   bool saveToFile(const std::string &Path) const;
   bool loadFromFile(const std::string &Path);
+
+  /// Size-bounded "LRU-ish" eviction for long-lived caches: removes
+  /// least-recently-used full/direction entries (per the TrackRecency
+  /// stamps; entries never touched count as oldest) until at most
+  /// \p TargetEntries remain across both tables. The bounds-free GCD
+  /// table is never evicted — it is keyed by equation systems only
+  /// and stays small. Returns the number of entries removed. Safe
+  /// against concurrent lookup/insert; with inserts racing, the bound
+  /// is approximate.
+  uint64_t evictOldest(uint64_t TargetEntries);
 
   void clear();
 
@@ -134,14 +158,19 @@ private:
   /// shard array never moves (mutexes are not movable) and adjacent
   /// shards do not false-share.
   struct Shard {
-    std::mutex Mutex;
+    mutable std::mutex Mutex;
     std::unordered_map<Key, CascadeResult, KeyHash> Full;
     std::unordered_map<Key, DirectionResult, KeyHash> Directions;
     std::unordered_map<Key, bool, KeyHash> Gcd;
+    /// Last-use stamps (MemoOptions::TrackRecency), keyed like the
+    /// table they shadow.
+    std::unordered_map<Key, uint64_t, KeyHash> FullUse;
+    std::unordered_map<Key, uint64_t, KeyHash> DirUse;
 
     explicit Shard(MemoHashKind Hash)
         : Full(16, KeyHash{Hash}), Directions(16, KeyHash{Hash}),
-          Gcd(16, KeyHash{Hash}) {}
+          Gcd(16, KeyHash{Hash}), FullUse(16, KeyHash{Hash}),
+          DirUse(16, KeyHash{Hash}) {}
   };
 
   MemoOptions Opts;
@@ -150,6 +179,8 @@ private:
   std::atomic<uint64_t> FullHits{0};
   std::atomic<uint64_t> GcdQueries{0};
   std::atomic<uint64_t> GcdHits{0};
+  /// Monotone clock driving the TrackRecency stamps.
+  std::atomic<uint64_t> UseTick{0};
 
   Shard &shardFor(const Key &K);
 };

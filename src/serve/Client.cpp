@@ -1,0 +1,137 @@
+//===- serve/Client.cpp - edda-serve client library -----------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace edda;
+
+std::unique_ptr<ServeClient>
+ServeClient::connectUnix(const std::string &SocketPath,
+                         std::string *Error) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Error)
+      *Error = std::string("socket: ") + std::strerror(errno);
+    return nullptr;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    if (Error)
+      *Error = "socket path too long: " + SocketPath;
+    ::close(Fd);
+    return nullptr;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                sizeof(Addr)) < 0) {
+    if (Error)
+      *Error = std::string("connect to '") + SocketPath +
+               "': " + std::strerror(errno);
+    ::close(Fd);
+    return nullptr;
+  }
+  return std::unique_ptr<ServeClient>(new ServeClient(Fd));
+}
+
+ServeClient::~ServeClient() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+bool ServeClient::send(ServeRequest &R, std::string *Error) {
+  if (R.Id == 0)
+    R.Id = NextId++;
+  std::string Line = R.toJson().str();
+  Line += '\n';
+  const char *Data = Line.data();
+  size_t Len = Line.size();
+  while (Len) {
+    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (Error)
+        *Error = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+std::optional<std::string> ServeClient::readLine(std::string *Error) {
+  for (;;) {
+    size_t Nl = Buf.find('\n');
+    if (Nl != std::string::npos) {
+      std::string Line = Buf.substr(0, Nl);
+      Buf.erase(0, Nl + 1);
+      return Line;
+    }
+    char Chunk[4096];
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (Error)
+        *Error = std::string("read: ") + std::strerror(errno);
+      return std::nullopt;
+    }
+    if (N == 0) {
+      if (Error && Error->empty())
+        *Error = "connection closed by server";
+      return std::nullopt;
+    }
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+}
+
+std::optional<ServeResponse> ServeClient::receive(std::string *Error) {
+  if (!Pending.empty()) {
+    auto It = Pending.begin();
+    ServeResponse R = std::move(It->second);
+    Pending.erase(It);
+    return R;
+  }
+  std::optional<std::string> Line = readLine(Error);
+  if (!Line)
+    return std::nullopt;
+  return parseServeResponse(*Line, Error);
+}
+
+std::optional<ServeResponse> ServeClient::call(ServeRequest R,
+                                               std::string *Error) {
+  if (!send(R, Error))
+    return std::nullopt;
+  // Buffer other ids until ours arrives (responses may come in any
+  // order — the server answers as pool workers finish).
+  auto It = Pending.find(R.Id);
+  while (It == Pending.end()) {
+    std::optional<std::string> Line = readLine(Error);
+    if (!Line)
+      return std::nullopt;
+    std::optional<ServeResponse> Resp =
+        parseServeResponse(*Line, Error);
+    if (!Resp)
+      return std::nullopt;
+    if (Resp->Id == R.Id)
+      return Resp;
+    Pending.emplace(Resp->Id, std::move(*Resp));
+    It = Pending.find(R.Id);
+  }
+  ServeResponse Out = std::move(It->second);
+  Pending.erase(It);
+  return Out;
+}

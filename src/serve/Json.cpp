@@ -1,0 +1,465 @@
+//===- serve/Json.cpp - Minimal JSON for the serving protocol -------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+using namespace edda;
+
+//===----------------------------------------------------------------------===//
+// Value access
+//===----------------------------------------------------------------------===//
+
+const JsonValue *JsonValue::find(std::string_view Name) const {
+  for (const auto &[Key, Value] : Fields)
+    if (Key == Name)
+      return &Value;
+  return nullptr;
+}
+
+const JsonValue &JsonValue::get(std::string_view Name) const {
+  static const JsonValue Null;
+  const JsonValue *V = find(Name);
+  return V ? *V : Null;
+}
+
+void JsonValue::set(std::string Name, JsonValue V) {
+  K = Kind::Object;
+  for (auto &[Key, Value] : Fields)
+    if (Key == Name) {
+      Value = std::move(V);
+      return;
+    }
+  Fields.emplace_back(std::move(Name), std::move(V));
+}
+
+bool JsonValue::getBool(std::string_view Name, bool Default) const {
+  const JsonValue *V = find(Name);
+  return V && V->isBool() ? V->boolValue() : Default;
+}
+
+int64_t JsonValue::getInt(std::string_view Name, int64_t Default) const {
+  const JsonValue *V = find(Name);
+  return V && V->isNumber() ? V->intValue() : Default;
+}
+
+std::string JsonValue::getString(std::string_view Name,
+                                 std::string Default) const {
+  const JsonValue *V = find(Name);
+  return V && V->isString() ? V->stringValue() : std::move(Default);
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+std::string edda::jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+void JsonValue::serialize(std::string &Out) const {
+  switch (K) {
+  case Kind::Null:
+    Out += "null";
+    break;
+  case Kind::Bool:
+    Out += BoolVal ? "true" : "false";
+    break;
+  case Kind::Int:
+    Out += std::to_string(IntVal);
+    break;
+  case Kind::Double: {
+    if (std::isfinite(DoubleVal)) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%.17g", DoubleVal);
+      Out += Buf;
+    } else {
+      Out += "null"; // JSON has no Inf/NaN.
+    }
+    break;
+  }
+  case Kind::String:
+    Out += '"';
+    Out += jsonEscape(StringVal);
+    Out += '"';
+    break;
+  case Kind::Array: {
+    Out += '[';
+    bool First = true;
+    for (const JsonValue &E : Elements) {
+      if (!First)
+        Out += ',';
+      First = false;
+      E.serialize(Out);
+    }
+    Out += ']';
+    break;
+  }
+  case Kind::Object: {
+    Out += '{';
+    bool First = true;
+    for (const auto &[Key, Value] : Fields) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += '"';
+      Out += jsonEscape(Key);
+      Out += "\":";
+      Value.serialize(Out);
+    }
+    Out += '}';
+    break;
+  }
+  }
+}
+
+std::string JsonValue::str() const {
+  std::string Out;
+  serialize(Out);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string_view Text) : Text(Text) {}
+
+  std::optional<JsonValue> run(std::string *Error) {
+    std::optional<JsonValue> V = parseValue();
+    if (V) {
+      skipWs();
+      if (Pos != Text.size()) {
+        V.reset();
+        Err = "trailing characters after JSON value";
+      }
+    }
+    if (!V && Error)
+      *Error = Err.empty() ? "malformed JSON" : Err;
+    return V;
+  }
+
+private:
+  std::string_view Text;
+  size_t Pos = 0;
+  std::string Err;
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool fail(const char *Message) {
+    if (Err.empty())
+      Err = Message + std::string(" at offset ") + std::to_string(Pos);
+    return false;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view Word) {
+    if (Text.compare(Pos, Word.size(), Word) == 0) {
+      Pos += Word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> parseValue() {
+    skipWs();
+    if (Pos >= Text.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    char C = Text[Pos];
+    switch (C) {
+    case '{':
+      return parseObject();
+    case '[':
+      return parseArray();
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return std::nullopt;
+      return JsonValue(std::move(S));
+    }
+    case 't':
+      if (literal("true"))
+        return JsonValue(true);
+      fail("bad literal");
+      return std::nullopt;
+    case 'f':
+      if (literal("false"))
+        return JsonValue(false);
+      fail("bad literal");
+      return std::nullopt;
+    case 'n':
+      if (literal("null"))
+        return JsonValue();
+      fail("bad literal");
+      return std::nullopt;
+    default:
+      if (C == '-' || (C >= '0' && C <= '9'))
+        return parseNumber();
+      fail("unexpected character");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> parseObject() {
+    ++Pos; // '{'
+    JsonValue Obj = JsonValue::object();
+    skipWs();
+    if (consume('}'))
+      return Obj;
+    while (true) {
+      skipWs();
+      std::string Key;
+      if (!parseString(Key))
+        return std::nullopt;
+      skipWs();
+      if (!consume(':')) {
+        fail("expected ':'");
+        return std::nullopt;
+      }
+      std::optional<JsonValue> V = parseValue();
+      if (!V)
+        return std::nullopt;
+      Obj.set(std::move(Key), std::move(*V));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return Obj;
+      fail("expected ',' or '}'");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> parseArray() {
+    ++Pos; // '['
+    JsonValue Arr = JsonValue::array();
+    skipWs();
+    if (consume(']'))
+      return Arr;
+    while (true) {
+      std::optional<JsonValue> V = parseValue();
+      if (!V)
+        return std::nullopt;
+      Arr.push(std::move(*V));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return Arr;
+      fail("expected ',' or ']'");
+      return std::nullopt;
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"'))
+      return fail("expected string");
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("raw control character in string");
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        unsigned Code = 0;
+        if (!parseHex4(Code))
+          return false;
+        // Surrogate pair: combine into one code point.
+        if (Code >= 0xD800 && Code <= 0xDBFF && Pos + 1 < Text.size() &&
+            Text[Pos] == '\\' && Text[Pos + 1] == 'u') {
+          Pos += 2;
+          unsigned Low = 0;
+          if (!parseHex4(Low))
+            return false;
+          if (Low >= 0xDC00 && Low <= 0xDFFF)
+            Code = 0x10000 + ((Code - 0xD800) << 10) + (Low - 0xDC00);
+        }
+        appendUtf8(Out, Code);
+        break;
+      }
+      default:
+        return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseHex4(unsigned &Out) {
+    if (Pos + 4 > Text.size())
+      return fail("truncated \\u escape");
+    Out = 0;
+    for (int I = 0; I < 4; ++I) {
+      char C = Text[Pos++];
+      unsigned Digit;
+      if (C >= '0' && C <= '9')
+        Digit = C - '0';
+      else if (C >= 'a' && C <= 'f')
+        Digit = 10 + C - 'a';
+      else if (C >= 'A' && C <= 'F')
+        Digit = 10 + C - 'A';
+      else
+        return fail("bad \\u escape");
+      Out = Out * 16 + Digit;
+    }
+    return true;
+  }
+
+  static void appendUtf8(std::string &Out, unsigned Code) {
+    if (Code < 0x80) {
+      Out += static_cast<char>(Code);
+    } else if (Code < 0x800) {
+      Out += static_cast<char>(0xC0 | (Code >> 6));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    } else if (Code < 0x10000) {
+      Out += static_cast<char>(0xE0 | (Code >> 12));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    } else {
+      Out += static_cast<char>(0xF0 | (Code >> 18));
+      Out += static_cast<char>(0x80 | ((Code >> 12) & 0x3F));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    }
+  }
+
+  std::optional<JsonValue> parseNumber() {
+    size_t Start = Pos;
+    (void)consume('-');
+    while (Pos < Text.size() && std::isdigit(
+                                    static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    bool IsInt = true;
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      IsInt = false;
+      ++Pos;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      IsInt = false;
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    std::string_view Digits = Text.substr(Start, Pos - Start);
+    if (Digits.empty() || Digits == "-") {
+      fail("bad number");
+      return std::nullopt;
+    }
+    if (IsInt) {
+      int64_t I = 0;
+      auto [Ptr, Ec] = std::from_chars(Digits.data(),
+                                       Digits.data() + Digits.size(), I);
+      if (Ec == std::errc() && Ptr == Digits.data() + Digits.size())
+        return JsonValue(I);
+      // Out of int64 range: fall through to double.
+    }
+    double D = std::strtod(std::string(Digits).c_str(), nullptr);
+    return JsonValue(D);
+  }
+};
+
+} // namespace
+
+std::optional<JsonValue> edda::parseJson(std::string_view Text,
+                                         std::string *Error) {
+  return Parser(Text).run(Error);
+}

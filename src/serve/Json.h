@@ -1,0 +1,122 @@
+//===- serve/Json.h - Minimal JSON for the serving protocol ----*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately small JSON value type plus parser and serializer,
+/// just enough for the newline-delimited edda-serve protocol
+/// (docs/SERVING.md). Numbers are kept as int64 when they are exact
+/// integers (the protocol only uses integers); everything else follows
+/// RFC 8259 closely enough for machine-generated messages: object,
+/// array, string with \uXXXX escapes, number, true/false/null. No
+/// external dependency — the container bakes in no JSON library and
+/// the protocol does not warrant one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_SERVE_JSON_H
+#define EDDA_SERVE_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edda {
+
+/// A parsed JSON value. Objects keep insertion order (the serializer
+/// re-emits fields in the order they were set, which keeps protocol
+/// messages diffable).
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  JsonValue() : K(Kind::Null) {}
+  JsonValue(bool B) : K(Kind::Bool), BoolVal(B) {}
+  JsonValue(int64_t I) : K(Kind::Int), IntVal(I) {}
+  JsonValue(uint64_t I) : K(Kind::Int), IntVal(static_cast<int64_t>(I)) {}
+  JsonValue(int I) : K(Kind::Int), IntVal(I) {}
+  JsonValue(unsigned I) : K(Kind::Int), IntVal(I) {}
+  JsonValue(double D) : K(Kind::Double), DoubleVal(D) {}
+  JsonValue(std::string S) : K(Kind::String), StringVal(std::move(S)) {}
+  JsonValue(const char *S) : K(Kind::String), StringVal(S) {}
+
+  static JsonValue array() {
+    JsonValue V;
+    V.K = Kind::Array;
+    return V;
+  }
+  static JsonValue object() {
+    JsonValue V;
+    V.K = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isNumber() const { return K == Kind::Int || K == Kind::Double; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool boolValue() const { return BoolVal; }
+  int64_t intValue() const {
+    return K == Kind::Double ? static_cast<int64_t>(DoubleVal) : IntVal;
+  }
+  double doubleValue() const {
+    return K == Kind::Int ? static_cast<double>(IntVal) : DoubleVal;
+  }
+  const std::string &stringValue() const { return StringVal; }
+
+  /// Array access.
+  const std::vector<JsonValue> &elements() const { return Elements; }
+  void push(JsonValue V) { Elements.push_back(std::move(V)); }
+
+  /// Object access. get() returns null for a missing field.
+  const JsonValue *find(std::string_view Name) const;
+  const JsonValue &get(std::string_view Name) const;
+  void set(std::string Name, JsonValue V);
+
+  /// Typed field helpers for protocol decoding; the fallback is
+  /// returned when the field is missing or has the wrong type.
+  bool getBool(std::string_view Name, bool Default = false) const;
+  int64_t getInt(std::string_view Name, int64_t Default = 0) const;
+  std::string getString(std::string_view Name,
+                        std::string Default = "") const;
+
+  /// Compact one-line serialization (never emits raw newlines, so a
+  /// serialized value is always a valid NDJSON record).
+  std::string str() const;
+
+private:
+  Kind K;
+  bool BoolVal = false;
+  int64_t IntVal = 0;
+  double DoubleVal = 0;
+  std::string StringVal;
+  std::vector<JsonValue> Elements;
+  std::vector<std::pair<std::string, JsonValue>> Fields;
+
+  void serialize(std::string &Out) const;
+};
+
+/// Parses one JSON value from \p Text (surrounding whitespace allowed,
+/// trailing garbage rejected). Returns nullopt and sets \p Error on
+/// malformed input.
+std::optional<JsonValue> parseJson(std::string_view Text,
+                                   std::string *Error = nullptr);
+
+/// Escapes \p S as the *contents* of a JSON string literal (no quotes).
+std::string jsonEscape(std::string_view S);
+
+} // namespace edda
+
+#endif // EDDA_SERVE_JSON_H

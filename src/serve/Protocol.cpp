@@ -1,0 +1,142 @@
+//===- serve/Protocol.cpp - edda-serve wire protocol ----------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+
+using namespace edda;
+
+const char *edda::serveOpName(ServeRequest::Op Operation) {
+  switch (Operation) {
+  case ServeRequest::Op::Analyze:
+    return "analyze";
+  case ServeRequest::Op::Problem:
+    return "problem";
+  case ServeRequest::Op::Stats:
+    return "stats";
+  case ServeRequest::Op::Ping:
+    return "ping";
+  case ServeRequest::Op::Checkpoint:
+    return "checkpoint";
+  case ServeRequest::Op::Shutdown:
+    return "shutdown";
+  }
+  return "?";
+}
+
+static std::optional<ServeRequest::Op> opFromName(const std::string &S) {
+  if (S == "analyze")
+    return ServeRequest::Op::Analyze;
+  if (S == "problem")
+    return ServeRequest::Op::Problem;
+  if (S == "stats")
+    return ServeRequest::Op::Stats;
+  if (S == "ping")
+    return ServeRequest::Op::Ping;
+  if (S == "checkpoint")
+    return ServeRequest::Op::Checkpoint;
+  if (S == "shutdown")
+    return ServeRequest::Op::Shutdown;
+  return std::nullopt;
+}
+
+JsonValue ServeRequest::toJson() const {
+  JsonValue O = JsonValue::object();
+  O.set("id", Id);
+  O.set("op", serveOpName(Operation));
+  if (Operation == Op::Analyze || Operation == Op::Problem) {
+    O.set(Operation == Op::Analyze ? "program" : "problem", Payload);
+    if (Directions)
+      O.set("directions", true);
+    if (Explain)
+      O.set("explain", true);
+    if (!Widen)
+      O.set("widen", false);
+    if (!Prepass)
+      O.set("prepass", false);
+    if (!CacheMarkers)
+      O.set("cache_markers", false);
+    if (!PipelineSpec.empty())
+      O.set("pipeline", PipelineSpec);
+    if (FmBudget)
+      O.set("fm_budget", FmBudget);
+  }
+  return O;
+}
+
+std::optional<ServeRequest>
+edda::parseServeRequest(const std::string &Line, std::string *Error,
+                        int64_t *IdOut) {
+  std::optional<JsonValue> V = parseJson(Line, Error);
+  if (!V)
+    return std::nullopt;
+  if (!V->isObject()) {
+    if (Error)
+      *Error = "request must be a JSON object";
+    return std::nullopt;
+  }
+
+  ServeRequest R;
+  R.Id = V->getInt("id", 0);
+  if (IdOut)
+    *IdOut = R.Id;
+
+  std::string OpName = V->getString("op");
+  std::optional<ServeRequest::Op> Operation = opFromName(OpName);
+  if (!Operation) {
+    if (Error)
+      *Error = OpName.empty() ? "missing 'op' field"
+                              : "unknown op '" + OpName + "'";
+    return std::nullopt;
+  }
+  R.Operation = *Operation;
+
+  if (R.Operation == ServeRequest::Op::Analyze ||
+      R.Operation == ServeRequest::Op::Problem) {
+    const char *Field =
+        R.Operation == ServeRequest::Op::Analyze ? "program" : "problem";
+    const JsonValue *Payload = V->find(Field);
+    if (!Payload || !Payload->isString()) {
+      if (Error)
+        *Error = std::string("missing '") + Field + "' string field";
+      return std::nullopt;
+    }
+    R.Payload = Payload->stringValue();
+    R.Directions = V->getBool("directions", false);
+    R.Explain = V->getBool("explain", false);
+    R.Widen = V->getBool("widen", true);
+    R.Prepass = V->getBool("prepass", true);
+    R.CacheMarkers = V->getBool("cache_markers", true);
+    R.PipelineSpec = V->getString("pipeline");
+    int64_t Budget = V->getInt("fm_budget", 0);
+    if (Budget < 0) {
+      if (Error)
+        *Error = "'fm_budget' must be non-negative";
+      return std::nullopt;
+    }
+    R.FmBudget = static_cast<uint64_t>(Budget);
+  }
+  return R;
+}
+
+std::optional<ServeResponse>
+edda::parseServeResponse(const std::string &Line, std::string *Error) {
+  std::optional<JsonValue> V = parseJson(Line, Error);
+  if (!V)
+    return std::nullopt;
+  if (!V->isObject()) {
+    if (Error)
+      *Error = "response must be a JSON object";
+    return std::nullopt;
+  }
+  ServeResponse R;
+  R.Id = V->getInt("id", 0);
+  R.Ok = V->getBool("ok", false);
+  R.Error = V->getString("error");
+  R.Text = V->getString("text");
+  R.Body = std::move(*V);
+  return R;
+}

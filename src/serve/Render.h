@@ -1,0 +1,62 @@
+//===- serve/Render.h - Shared analysis report rendering -------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The canonical textual rendering of analysis results, shared by
+/// `edda-cli` and `edda-serve` so that a served answer is bit-identical
+/// to the command-line driver's output by construction — the CI
+/// serve-smoke job diffs the two. Anything that prints dependence
+/// pairs, direction vectors, or raw-problem decisions must go through
+/// these helpers rather than hand-rolling the format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_SERVE_RENDER_H
+#define EDDA_SERVE_RENDER_H
+
+#include "analysis/Analyzer.h"
+#include "deptest/Direction.h"
+
+#include <string>
+
+namespace edda {
+
+/// How a whole-program analysis report is rendered.
+struct ReportOptions {
+  /// Include the per-pair direction/distance block.
+  bool Directions = false;
+  /// Include the per-stage pipeline trace (requires
+  /// AnalyzerOptions::Trace during analysis).
+  bool Explain = false;
+  /// Append " (cached)" to pairs served from the memo tables. The
+  /// serve smoke strips these before diffing: a warm daemon cache
+  /// hits where a fresh edda-cli run misses, while the answers stay
+  /// identical.
+  bool CacheMarkers = true;
+};
+
+/// "INDEPENDENT" / "dependent" / "unknown (assumed dependent)".
+const char *depAnswerName(DepAnswer Answer);
+
+/// The whole-program report: the "<name>: N reference pairs, M
+/// unanalyzable" header plus one block per pair, exactly as edda-cli
+/// prints it.
+std::string renderAnalysisReport(const Program &Prog,
+                                 const AnalysisResult &Result,
+                                 const ReportOptions &Opts);
+
+/// The raw-problem (`--problem` / op "problem") report: the echoed
+/// problem, the optional trace, the "answer:" line with witness, and
+/// the optional direction block, exactly as edda-cli prints it.
+std::string renderProblemReport(const DependenceProblem &P,
+                                const CascadeResult &R,
+                                const DirectionResult *Dirs,
+                                const PipelineTrace *Trace);
+
+} // namespace edda
+
+#endif // EDDA_SERVE_RENDER_H

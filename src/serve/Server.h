@@ -1,0 +1,222 @@
+//===- serve/Server.h - Persistent analysis daemon core --------*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The edda-serve daemon core (docs/SERVING.md): a long-lived analysis
+/// service that accepts LoopLang programs or raw dependence problems as
+/// newline-delimited JSON, dispatches them onto the shared ThreadPool,
+/// and answers from one concurrent sharded DependenceCache that
+/// persists across requests — the serving generalization of the
+/// paper's section 5 observation that real workloads ask the same
+/// dependence questions over and over.
+///
+/// Consistency: each request runs a single-threaded DependenceAnalyzer
+/// that shares the server's cache. Entries are first-insert-wins and
+/// bit-identical to recomputation, so answers do not depend on request
+/// interleaving; only the " (cached)" markers (and witnesses, which
+/// the store drops) vary with cache temperature.
+///
+/// Lifecycle: an optional warm-start file is loaded at construction,
+/// checkpointed periodically (evict-to-bound, then write-to-temp and
+/// rename, so a crash mid-checkpoint never corrupts the store) and
+/// saved again on graceful shutdown. Per-request timeouts degrade to
+/// conservative answers via the Fourier-Motzkin work budgets — the
+/// server never kills a worker thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_SERVE_SERVER_H
+#define EDDA_SERVE_SERVER_H
+
+#include "deptest/Memo.h"
+#include "deptest/TestPipeline.h"
+#include "serve/Protocol.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace edda {
+
+/// Daemon configuration (tools/edda-serve.cpp maps flags onto this).
+struct ServeOptions {
+  /// Worker threads for request dispatch; 0 = one per hardware core.
+  unsigned NumThreads = 0;
+  /// Requests dispatched before the transport applies backpressure:
+  /// a connection may have up to 2*BatchSize responses in flight.
+  unsigned BatchSize = 8;
+  /// Warm-start / checkpoint file ("" = in-memory only). Loaded at
+  /// boot when present (a missing file is a cold start, not an
+  /// error); written by checkpoint().
+  std::string CachePath;
+  /// Seconds between periodic checkpoints (0 = only on shutdown).
+  unsigned CheckpointIntervalSec = 0;
+  /// Cache size bound enforced at checkpoint time via LRU-ish
+  /// eviction (0 = unbounded).
+  uint64_t MaxCacheEntries = 1u << 20;
+  /// Server-default Fourier-Motzkin work budget applied to every
+  /// request (0 = the library defaults, which match edda-cli).
+  uint64_t RequestFmBudget = 0;
+  /// Per-request soft deadline; converted to a work budget at boot by
+  /// timing a canned branch-and-bound-heavy problem (0 = none). The
+  /// budget, not the wall clock, is what stops a request: answers
+  /// degrade to conservative '*'-vectors / assumed-dependent instead
+  /// of a worker being killed mid-request.
+  unsigned TimeoutMs = 0;
+  /// Default dependence-test pipeline spec ("" = the paper's cascade).
+  std::string PipelineSpec;
+  bool Widen = true;
+  /// Append one JSON line of per-request stats per request ("" = off).
+  std::string StatsLogPath;
+};
+
+/// Server-lifetime counters (a stats-op snapshot; all monotone).
+struct ServeStats {
+  uint64_t Requests = 0;
+  uint64_t AnalyzeRequests = 0;
+  uint64_t ProblemRequests = 0;
+  uint64_t Errors = 0;
+  /// Reference-pair accounting across analyze requests. "Tested" ran
+  /// the cascade, "cached" was served from the store; constant and
+  /// unanalyzable pairs are never memoized, so the serving hit rate
+  /// is PairsCached / (PairsCached + PairsTested), with problem-op
+  /// decisions folded in.
+  uint64_t PairsTested = 0;
+  uint64_t PairsCached = 0;
+  uint64_t PairsConstant = 0;
+  uint64_t PairsUnanalyzable = 0;
+  uint64_t ProblemsTested = 0;
+  uint64_t ProblemsCached = 0;
+  uint64_t TestsRun = 0;
+  uint64_t MemoHitsFull = 0;
+  uint64_t MemoHitsNoBounds = 0;
+  uint64_t FmWork = 0;
+  uint64_t WidenedQueries = 0;
+  uint64_t DegradedRequests = 0;
+  uint64_t WallNs = 0;
+  uint64_t Checkpoints = 0;
+  uint64_t Evicted = 0;
+  uint64_t WarmLoadedEntries = 0;
+
+  /// Serving cache hit rate in percent (see PairsTested).
+  double hitRatePct() const;
+};
+
+/// The daemon core, transport-agnostic: transports feed it request
+/// lines and write back the response lines it produces. Thread-safe.
+class ServeCore {
+public:
+  /// Loads the warm-start file (when configured and present), runs the
+  /// timeout calibration, and starts the worker pool plus the periodic
+  /// checkpoint thread. \p Error receives boot diagnostics (a corrupt
+  /// warm-start file is reported there and treated as a cold start).
+  explicit ServeCore(ServeOptions Opts, std::string *Error = nullptr);
+
+  /// Drains in-flight work and, when a cache path is configured,
+  /// writes a final checkpoint.
+  ~ServeCore();
+
+  ServeCore(const ServeCore &) = delete;
+  ServeCore &operator=(const ServeCore &) = delete;
+
+  /// Decodes and serves one request line, returning the response line
+  /// (no trailing newline). Runs on the caller's thread; never throws
+  /// and never returns an empty string — malformed input yields an
+  /// ok:false response.
+  std::string handleLine(const std::string &Line);
+
+  /// Serves one decoded request (the typed core of handleLine; the
+  /// unit tests call this directly).
+  ServeResponse handle(const ServeRequest &R);
+
+  /// Enqueues a request line onto the worker pool; \p Done is invoked
+  /// on a worker thread with the response line.
+  void submit(std::string Line, std::function<void(std::string)> Done);
+
+  /// Blocks until every submitted request has been answered.
+  void drain();
+
+  /// Evicts down to the configured bound and atomically rewrites the
+  /// warm-start file (write temp, rename over). No-op without a cache
+  /// path. Safe while requests are in flight.
+  bool checkpoint();
+
+  /// Set once a shutdown request has been acknowledged; transports
+  /// stop accepting input and drain.
+  bool shutdownRequested() const {
+    return ShutdownFlag.load(std::memory_order_acquire);
+  }
+
+  ServeStats stats() const;
+  DependenceCache &cache() { return Cache; }
+  ThreadPool &pool() { return *Pool; }
+  const ServeOptions &options() const { return Opts; }
+  /// The effective server-default FM budget (flag or calibrated).
+  uint64_t defaultFmBudget() const { return DefaultBudget; }
+
+private:
+  ServeResponse handleAnalyze(const ServeRequest &R);
+  ServeResponse handleProblem(const ServeRequest &R);
+  JsonValue statsJson() const;
+
+  /// Resolves a request's pipeline spec against a small memoized
+  /// spec->pipeline map (specs repeat across requests; parsing one is
+  /// cheap but not free). Null + \p Error on a bad spec.
+  std::shared_ptr<const TestPipeline> pipelineFor(const std::string &Spec,
+                                                  std::string *Error);
+
+  void logRequest(const JsonValue &Entry);
+  void checkpointLoop();
+
+  ServeOptions Opts;
+  uint64_t DefaultBudget = 0;
+  DependenceCache Cache;
+  std::unique_ptr<ThreadPool> Pool;
+
+  std::mutex PipelineMutex;
+  std::map<std::string, std::shared_ptr<const TestPipeline>> Pipelines;
+
+  std::mutex LogMutex;
+  std::ofstream LogStream;
+
+  /// Serializes checkpoints (periodic thread vs checkpoint op).
+  std::mutex CheckpointMutex;
+  std::thread CheckpointThread;
+  std::mutex CheckpointCvMutex;
+  std::condition_variable CheckpointCv;
+  bool StopCheckpointThread = false;
+
+  std::atomic<bool> ShutdownFlag{false};
+
+  struct Counters;
+  std::unique_ptr<Counters> C;
+};
+
+/// Serves newline-delimited requests from stdin to stdout until EOF or
+/// a shutdown request; responses may interleave out of request order.
+/// Returns the process exit code.
+int runStdioServer(ServeCore &Core);
+
+/// Listens on a Unix-domain socket, serving each connection's request
+/// lines through the core with per-connection backpressure (at most
+/// 2*BatchSize responses in flight per connection). Returns when
+/// \p Stop becomes true (signal) or a shutdown request is served.
+/// Removes the socket file on exit.
+int runUnixServer(ServeCore &Core, const std::string &SocketPath,
+                  const std::atomic<bool> &Stop, std::string *Error);
+
+} // namespace edda
+
+#endif // EDDA_SERVE_SERVER_H

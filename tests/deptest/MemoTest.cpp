@@ -11,8 +11,11 @@
 #include "gtest/gtest.h"
 
 #include <algorithm>
+#include <atomic>
 #include <climits>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 using namespace edda;
 using namespace edda::testutil;
@@ -356,4 +359,82 @@ TEST(Memo, ClearResets) {
   Cache.clear();
   EXPECT_EQ(Cache.uniqueFull(), 0u);
   EXPECT_FALSE(Cache.lookupFull(simpleProblem(3)).has_value());
+}
+
+TEST(Memo, EvictOldestKeepsRecentlyUsed) {
+  MemoOptions Opts;
+  Opts.TrackRecency = true;
+  DependenceCache Cache(Opts);
+  for (int64_t Delta = 0; Delta < 8; ++Delta)
+    Cache.insertFull(simpleProblem(Delta),
+                     testDependence(simpleProblem(Delta)));
+  // Touch two entries so they are the most recently used.
+  ASSERT_TRUE(Cache.lookupFull(simpleProblem(1)).has_value());
+  ASSERT_TRUE(Cache.lookupFull(simpleProblem(6)).has_value());
+
+  EXPECT_EQ(Cache.evictOldest(2), 6u);
+  EXPECT_EQ(Cache.uniqueFull(), 2u);
+  EXPECT_TRUE(Cache.lookupFull(simpleProblem(1)).has_value());
+  EXPECT_TRUE(Cache.lookupFull(simpleProblem(6)).has_value());
+  EXPECT_FALSE(Cache.lookupFull(simpleProblem(0)).has_value());
+}
+
+TEST(Memo, CheckpointWhileInsertersRace) {
+  // The serving checkpoint path: saveToFile() runs while analyzer
+  // threads are still inserting. Every snapshot must load cleanly,
+  // and a reloaded store must answer exactly like recomputation —
+  // the warm-restart "reanalyze bit-identical" guarantee.
+  std::string Path = ::testing::TempDir() + "/edda_cache_race.txt";
+  MemoOptions Opts;
+  Opts.TrackRecency = true; // The serving configuration.
+  DependenceCache Cache(Opts);
+
+  constexpr int64_t PerThread = 40;
+  constexpr unsigned Writers = 4;
+  std::atomic<unsigned> DoneWriters{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < Writers; ++T)
+    Threads.emplace_back([&, T] {
+      for (int64_t I = 0; I < PerThread; ++I) {
+        // Overlapping ranges across threads race on identical keys;
+        // first-insert-wins must keep the stored answer identical to
+        // recomputation either way.
+        int64_t Delta = (T * PerThread) / 2 + I;
+        DependenceProblem P = simpleProblem(Delta);
+        Cache.insertFull(P, testDependence(P));
+        Cache.insertDirections(P, computeDirectionVectors(P));
+      }
+      DoneWriters.fetch_add(1);
+    });
+  // Checkpoint continuously until every writer has finished, then
+  // once more so the final file holds the complete store.
+  unsigned Snapshots = 0;
+  do {
+    ASSERT_TRUE(Cache.saveToFile(Path));
+    ++Snapshots;
+  } while (DoneWriters.load() < Writers);
+  for (std::thread &T : Threads)
+    T.join();
+  ASSERT_TRUE(Cache.saveToFile(Path));
+  EXPECT_GE(Snapshots, 1u);
+
+  DependenceCache Loaded(Opts);
+  ASSERT_TRUE(Loaded.loadFromFile(Path));
+  EXPECT_EQ(Loaded.uniqueFull(), Cache.uniqueFull());
+  const int64_t MaxDelta = (Writers - 1) * PerThread / 2 + PerThread;
+  for (int64_t Delta = 0; Delta < MaxDelta; ++Delta) {
+    DependenceProblem P = simpleProblem(Delta);
+    std::optional<CascadeResult> Hit = Loaded.lookupFull(P);
+    ASSERT_TRUE(Hit.has_value()) << "delta " << Delta;
+    CascadeResult Want = testDependence(P);
+    EXPECT_EQ(Hit->Answer, Want.Answer) << "delta " << Delta;
+    EXPECT_EQ(Hit->DecidedBy, Want.DecidedBy) << "delta " << Delta;
+    EXPECT_EQ(Hit->Exact, Want.Exact) << "delta " << Delta;
+    std::optional<DirectionResult> Dirs = Loaded.lookupDirections(P);
+    ASSERT_TRUE(Dirs.has_value()) << "delta " << Delta;
+    DirectionResult WantDirs = computeDirectionVectors(P);
+    EXPECT_EQ(Dirs->Vectors, WantDirs.Vectors) << "delta " << Delta;
+    EXPECT_EQ(Dirs->Distances, WantDirs.Distances) << "delta " << Delta;
+  }
+  std::remove(Path.c_str());
 }

@@ -1,0 +1,368 @@
+//===- tests/serve/ServeTest.cpp - edda-serve core tests ------------------===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the serving layer (docs/SERVING.md): the NDJSON
+/// protocol round-trips, ServeCore answers match a direct analyzer
+/// run byte-for-byte (modulo cache markers), the shared store turns
+/// repeat requests into hits, warm-start checkpoints reload, and
+/// per-request budget overrides bypass the store.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "analysis/Analyzer.h"
+#include "parser/Parser.h"
+#include "serve/Protocol.h"
+#include "serve/Render.h"
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+using namespace edda;
+
+namespace {
+
+/// A nest with a carried dependence, a wavefront pair, and a
+/// duplicated statement so one analyze request already exercises the
+/// intra-run memo path.
+const char *demoSource() {
+  return "program served\n"
+         "  array a[100]\n"
+         "  array w[40][40]\n"
+         "  for i = 1 to 10 do\n"
+         "    a[i + 1] = a[i] + 3\n"
+         "  end\n"
+         "  for i = 2 to 20 do\n"
+         "    for j = 1 to 19 do\n"
+         "      w[i][j] = w[i - 1][j + 1] + 1\n"
+         "    end\n"
+         "  end\n"
+         "  for i = 1 to 10 do\n"
+         "    a[i + 1] = a[i] + 3\n"
+         "  end\n"
+         "end\n";
+}
+
+/// The coupled-subscript problem the Fourier-Motzkin stage decides
+/// (tests/inputs/coupled.dep).
+const char *coupledProblem() {
+  return "problem\n"
+         "  loops 2 2 common 2 symbolic 0\n"
+         "  eq 1 1 -1 -1 = -5\n"
+         "  lo 0 : 1\n"
+         "  hi 0 : 10\n"
+         "  lo 1 : 1\n"
+         "  hi 1 : 10\n"
+         "  lo 2 : 1\n"
+         "  hi 2 : 10\n"
+         "  lo 3 : 1\n"
+         "  hi 3 : 10\n"
+         "end\n";
+}
+
+/// The serve-smoke normalization: cache-hit markers depend on store
+/// temperature, the answers must not.
+std::string stripCached(std::string Text) {
+  const std::string Marker = " (cached)";
+  for (size_t Pos; (Pos = Text.find(Marker)) != std::string::npos;)
+    Text.erase(Pos, Marker.size());
+  return Text;
+}
+
+ServeRequest analyzeRequest(int64_t Id, bool Directions = true) {
+  ServeRequest R;
+  R.Id = Id;
+  R.Operation = ServeRequest::Op::Analyze;
+  R.Payload = demoSource();
+  R.Directions = Directions;
+  return R;
+}
+
+} // namespace
+
+TEST(ServeProtocol, RequestRoundTrip) {
+  ServeRequest R;
+  R.Id = 42;
+  R.Operation = ServeRequest::Op::Analyze;
+  R.Payload = "program p\nend\n";
+  R.Directions = true;
+  R.Explain = true;
+  R.Widen = false;
+  R.Prepass = false;
+  R.CacheMarkers = false;
+  R.PipelineSpec = "gcd,fm";
+  R.FmBudget = 123;
+
+  std::string Error;
+  std::optional<ServeRequest> Back =
+      parseServeRequest(R.toJson().str(), &Error);
+  ASSERT_TRUE(Back.has_value()) << Error;
+  EXPECT_EQ(Back->Id, 42);
+  EXPECT_EQ(Back->Operation, ServeRequest::Op::Analyze);
+  EXPECT_EQ(Back->Payload, R.Payload);
+  EXPECT_TRUE(Back->Directions);
+  EXPECT_TRUE(Back->Explain);
+  EXPECT_FALSE(Back->Widen);
+  EXPECT_FALSE(Back->Prepass);
+  EXPECT_FALSE(Back->CacheMarkers);
+  EXPECT_EQ(Back->PipelineSpec, "gcd,fm");
+  EXPECT_EQ(Back->FmBudget, 123u);
+}
+
+TEST(ServeProtocol, EveryOpRoundTrips) {
+  using Op = ServeRequest::Op;
+  for (Op Operation : {Op::Analyze, Op::Problem, Op::Stats, Op::Ping,
+                       Op::Checkpoint, Op::Shutdown}) {
+    ServeRequest R;
+    R.Id = 7;
+    R.Operation = Operation;
+    std::string Error;
+    std::optional<ServeRequest> Back =
+        parseServeRequest(R.toJson().str(), &Error);
+    ASSERT_TRUE(Back.has_value())
+        << serveOpName(Operation) << ": " << Error;
+    EXPECT_EQ(Back->Operation, Operation);
+  }
+}
+
+TEST(ServeProtocol, MalformedLinesRejectedWithIdEcho) {
+  std::string Error;
+  int64_t Id = -1;
+  EXPECT_FALSE(parseServeRequest("not json", &Error, &Id).has_value());
+  EXPECT_FALSE(Error.empty());
+
+  // A decodable id in an otherwise-bad request still comes back, so
+  // the server can address its error response.
+  Error.clear();
+  EXPECT_FALSE(
+      parseServeRequest("{\"id\":9,\"op\":\"bogus\"}", &Error, &Id)
+          .has_value());
+  EXPECT_EQ(Id, 9);
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(Serve, PingAndShutdownOps) {
+  ServeCore Core(ServeOptions{});
+  ServeRequest Ping;
+  Ping.Id = 1;
+  Ping.Operation = ServeRequest::Op::Ping;
+  ServeResponse R = Core.handle(Ping);
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.Id, 1);
+
+  EXPECT_FALSE(Core.shutdownRequested());
+  ServeRequest Down;
+  Down.Id = 2;
+  Down.Operation = ServeRequest::Op::Shutdown;
+  EXPECT_TRUE(Core.handle(Down).Ok);
+  EXPECT_TRUE(Core.shutdownRequested());
+}
+
+TEST(Serve, AnalyzeMatchesDirectAnalyzerRender) {
+  ServeCore Core(ServeOptions{});
+  ServeResponse Served = Core.handle(analyzeRequest(1));
+  ASSERT_TRUE(Served.Ok) << Served.Error;
+
+  // The reference: what edda-cli computes for the same input — a
+  // fresh single-threaded analyzer through the shared renderer.
+  ParseResult Parsed = parseProgram(demoSource());
+  ASSERT_TRUE(Parsed.succeeded());
+  AnalyzerOptions AO;
+  AO.ComputeDirections = true;
+  DependenceAnalyzer Direct(AO);
+  AnalysisResult Result = Direct.analyze(*Parsed.Prog);
+  ReportOptions Report;
+  Report.Directions = true;
+  std::string Want = renderAnalysisReport(*Parsed.Prog, Result, Report);
+
+  EXPECT_EQ(stripCached(Served.Text), stripCached(Want));
+}
+
+TEST(Serve, RepeatRequestServedFromSharedStore) {
+  ServeCore Core(ServeOptions{});
+  ServeResponse Cold = Core.handle(analyzeRequest(1));
+  ASSERT_TRUE(Cold.Ok) << Cold.Error;
+  ServeStats AfterCold = Core.stats();
+  EXPECT_GT(AfterCold.PairsTested, 0u);
+
+  ServeResponse Warm = Core.handle(analyzeRequest(2));
+  ASSERT_TRUE(Warm.Ok) << Warm.Error;
+  ServeStats AfterWarm = Core.stats();
+  // Every memoizable pair of the repeat request hits the store, and
+  // the answers are bit-identical modulo the hit markers.
+  EXPECT_EQ(AfterWarm.PairsTested, AfterCold.PairsTested);
+  EXPECT_GT(AfterWarm.PairsCached, AfterCold.PairsCached);
+  EXPECT_EQ(stripCached(Warm.Text), stripCached(Cold.Text));
+  // The repeat round at least doubles the cached share.
+  EXPECT_GE(AfterWarm.hitRatePct(), 50.0);
+}
+
+TEST(Serve, CacheMarkersSuppressedOnRequest) {
+  ServeCore Core(ServeOptions{});
+  ASSERT_TRUE(Core.handle(analyzeRequest(1)).Ok);
+  ServeRequest R = analyzeRequest(2);
+  R.CacheMarkers = false;
+  ServeResponse Warm = Core.handle(R);
+  ASSERT_TRUE(Warm.Ok);
+  EXPECT_EQ(Warm.Text.find(" (cached)"), std::string::npos);
+}
+
+TEST(Serve, ProblemOpDecidesAndMemoizes) {
+  ServeCore Core(ServeOptions{});
+  ServeRequest R;
+  R.Id = 1;
+  R.Operation = ServeRequest::Op::Problem;
+  R.Payload = coupledProblem();
+  R.Directions = true;
+  ServeResponse Cold = Core.handle(R);
+  ASSERT_TRUE(Cold.Ok) << Cold.Error;
+  EXPECT_NE(Cold.Text.find("answer: dependent"), std::string::npos)
+      << Cold.Text;
+  EXPECT_EQ(Core.stats().ProblemsTested, 1u);
+
+  R.Id = 2;
+  ServeResponse Warm = Core.handle(R);
+  ASSERT_TRUE(Warm.Ok) << Warm.Error;
+  EXPECT_EQ(Core.stats().ProblemsCached, 1u);
+  // The store drops witnesses, so compare answer lines, not bytes.
+  EXPECT_NE(Warm.Text.find("answer: dependent"), std::string::npos)
+      << Warm.Text;
+}
+
+TEST(Serve, HandleLineReportsErrorsInBand) {
+  ServeCore Core(ServeOptions{});
+  std::string Error;
+
+  std::optional<ServeResponse> R =
+      parseServeResponse(Core.handleLine("not json"), &Error);
+  ASSERT_TRUE(R.has_value()) << Error;
+  EXPECT_FALSE(R->Ok);
+  EXPECT_FALSE(R->Error.empty());
+
+  // A parse error in the payload is an ok:false response that still
+  // echoes the request id.
+  R = parseServeResponse(
+      Core.handleLine(
+          "{\"id\":5,\"op\":\"analyze\",\"program\":\"for for\"}"),
+      &Error);
+  ASSERT_TRUE(R.has_value()) << Error;
+  EXPECT_EQ(R->Id, 5);
+  EXPECT_FALSE(R->Ok);
+  EXPECT_NE(R->Error.find("parse error"), std::string::npos);
+  EXPECT_EQ(Core.stats().Errors, 2u);
+}
+
+TEST(Serve, StatsOpSnapshotsCounters) {
+  ServeCore Core(ServeOptions{});
+  ASSERT_TRUE(Core.handle(analyzeRequest(1)).Ok);
+  ServeRequest R;
+  R.Id = 2;
+  R.Operation = ServeRequest::Op::Stats;
+  ServeResponse S = Core.handle(R);
+  ASSERT_TRUE(S.Ok) << S.Error;
+  const JsonValue &Stats = S.Body.get("server");
+  ASSERT_TRUE(Stats.isObject()) << S.Body.str();
+  EXPECT_EQ(Stats.getInt("analyze_requests"), 1);
+  EXPECT_TRUE(Stats.get("hit_rate_pct").isNumber());
+}
+
+TEST(Serve, CheckpointThenWarmReload) {
+  std::string Path = ::testing::TempDir() + "/edda_serve_warm.txt";
+  std::remove(Path.c_str());
+  std::string ColdText;
+  {
+    ServeOptions Opts;
+    Opts.CachePath = Path;
+    std::string Error;
+    ServeCore Core(Opts, &Error);
+    ASSERT_TRUE(Error.empty()) << Error;
+    EXPECT_EQ(Core.stats().WarmLoadedEntries, 0u);
+    ServeResponse Cold = Core.handle(analyzeRequest(1));
+    ASSERT_TRUE(Cold.Ok) << Cold.Error;
+    ColdText = stripCached(Cold.Text);
+    ASSERT_TRUE(Core.checkpoint());
+    EXPECT_GE(Core.stats().Checkpoints, 1u);
+  }
+
+  ServeOptions Opts;
+  Opts.CachePath = Path;
+  std::string Error;
+  ServeCore Warm(Opts, &Error);
+  ASSERT_TRUE(Error.empty()) << Error;
+  EXPECT_GT(Warm.stats().WarmLoadedEntries, 0u);
+  ServeResponse R = Warm.handle(analyzeRequest(1));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // The whole repeat round is answered from the reloaded store, and
+  // the report matches the cold run byte-for-byte modulo markers.
+  EXPECT_EQ(Warm.stats().PairsTested, 0u);
+  EXPECT_GT(Warm.stats().PairsCached, 0u);
+  EXPECT_EQ(stripCached(R.Text), ColdText);
+  std::remove(Path.c_str());
+}
+
+TEST(Serve, BudgetedRequestBypassesSharedStore) {
+  ServeCore Core(ServeOptions{});
+  ServeRequest R = analyzeRequest(1);
+  R.FmBudget = 1; // Degrades FM decisions; must not enter the store.
+  ASSERT_TRUE(Core.handle(R).Ok);
+  EXPECT_EQ(Core.cache().uniqueFull(), 0u);
+
+  // The unbudgeted retry computes and memoizes the real answers.
+  ASSERT_TRUE(Core.handle(analyzeRequest(2)).Ok);
+  EXPECT_GT(Core.cache().uniqueFull(), 0u);
+}
+
+TEST(Serve, SubmitDispatchesConcurrently) {
+  ServeOptions Opts;
+  Opts.NumThreads = 4;
+  ServeCore Core(Opts);
+
+  std::mutex Mutex;
+  std::vector<std::string> Responses;
+  const unsigned N = 32;
+  for (unsigned I = 0; I < N; ++I) {
+    ServeRequest R = analyzeRequest(static_cast<int64_t>(I + 1));
+    Core.submit(R.toJson().str(), [&](std::string Resp) {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Responses.push_back(std::move(Resp));
+    });
+  }
+  Core.drain();
+
+  ASSERT_EQ(Responses.size(), N);
+  std::string WantText;
+  for (const std::string &Line : Responses) {
+    std::string Error;
+    std::optional<ServeResponse> R = parseServeResponse(Line, &Error);
+    ASSERT_TRUE(R.has_value()) << Error;
+    EXPECT_TRUE(R->Ok) << R->Error;
+    EXPECT_GE(R->Id, 1);
+    EXPECT_LE(R->Id, static_cast<int64_t>(N));
+    // First-insert-wins store: every interleaving renders the same
+    // report (only the hit markers differ).
+    std::string Text = stripCached(R->Text);
+    if (WantText.empty())
+      WantText = Text;
+    else
+      EXPECT_EQ(Text, WantText);
+  }
+  EXPECT_EQ(Core.stats().Requests, N);
+}
+
+TEST(Serve, BadPipelineSpecIsAnError) {
+  ServeCore Core(ServeOptions{});
+  ServeRequest R = analyzeRequest(1);
+  R.PipelineSpec = "definitely-not-a-test";
+  ServeResponse Resp = Core.handle(R);
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_NE(Resp.Error.find("pipeline"), std::string::npos);
+}

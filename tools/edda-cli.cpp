@@ -44,6 +44,7 @@
 #include "deptest/Direction.h"
 #include "deptest/ProblemIO.h"
 #include "parser/Parser.h"
+#include "serve/Render.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -99,46 +100,30 @@ int runRawProblem(const CliOptions &Cli, const std::string &Source) {
     return 1;
   }
   const DependenceProblem &P = *Parsed.Problem;
-  std::printf("%s", P.str().c_str());
 
   CascadeOptions CascadeOpts;
   CascadeOpts.Pipeline = Cli.Pipeline;
   CascadeOpts.Widen = Cli.Widen;
   CascadeResult R = testDependence(P, CascadeOpts);
+  std::optional<PipelineTrace> Trace;
   if (Cli.Explain) {
     const TestPipeline &Pipeline =
         Cli.Pipeline ? *Cli.Pipeline : TestPipeline::defaultPipeline();
-    PipelineTrace Trace;
-    Pipeline.run(P, {}, CascadeOpts, /*Stats=*/nullptr, &Trace);
-    std::printf("%s", Trace.str(2).c_str());
+    Trace.emplace();
+    Pipeline.run(P, {}, CascadeOpts, /*Stats=*/nullptr, &*Trace);
   }
-  std::printf("answer: %s  [decided by %s]%s\n",
-              R.Answer == DepAnswer::Independent   ? "INDEPENDENT"
-              : R.Answer == DepAnswer::Dependent   ? "dependent"
-                                                   : "unknown",
-              testKindName(R.DecidedBy),
-              R.Widened ? " (widened to 128-bit)" : "");
-  if (R.Witness) {
-    std::printf("witness x = (");
-    for (unsigned J = 0; J < R.Witness->size(); ++J)
-      std::printf("%s%lld", J ? ", " : "",
-                  static_cast<long long>((*R.Witness)[J]));
-    std::printf(")\n");
-  }
+  std::optional<DirectionResult> Dirs;
   if (Cli.Directions && R.Answer != DepAnswer::Independent) {
     DirectionOptions DirOpts;
     DirOpts.Cascade = CascadeOpts;
-    DirectionResult Dirs = computeDirectionVectors(P, DirOpts);
-    std::printf("directions:");
-    for (const DirVector &V : Dirs.Vectors)
-      std::printf(" %s", dirVectorStr(V).c_str());
-    std::printf("%s\n",
-                Dirs.Widened ? "  (widened to 128-bit)" : "");
-    for (unsigned K = 0; K < Dirs.Distances.size(); ++K)
-      if (Dirs.Distances[K])
-        std::printf("distance[%u] = %lld\n", K,
-                    static_cast<long long>(*Dirs.Distances[K]));
+    Dirs = computeDirectionVectors(P, DirOpts);
   }
+  // The shared renderer keeps this report byte-identical to what
+  // edda-serve answers for the same problem (the serving smoke diffs
+  // the two).
+  std::printf("%s", renderProblemReport(P, R, Dirs ? &*Dirs : nullptr,
+                                        Trace ? &*Trace : nullptr)
+                        .c_str());
   return 0;
 }
 
@@ -220,18 +205,6 @@ int listTests() {
   return 0;
 }
 
-const char *answerName(DepAnswer Answer) {
-  switch (Answer) {
-  case DepAnswer::Independent:
-    return "INDEPENDENT";
-  case DepAnswer::Dependent:
-    return "dependent";
-  case DepAnswer::Unknown:
-    return "unknown (assumed dependent)";
-  }
-  return "?";
-}
-
 void printParallelReport(const Program &Prog,
                          const std::vector<StmtPtr> &Body,
                          unsigned Indent) {
@@ -306,34 +279,12 @@ int main(int Argc, char **Argv) {
   if (Cli.PrintOptimized)
     std::printf("%s\n", Prog.print().c_str());
 
-  std::printf("%s: %llu reference pairs, %llu unanalyzable\n",
-              Prog.name().c_str(),
-              static_cast<unsigned long long>(Result.PairsConsidered),
-              static_cast<unsigned long long>(Result.UnanalyzablePairs));
-  for (const DependencePair &Pair : Result.Pairs) {
-    const ArrayReference &A = Result.Refs[Pair.RefA];
-    const ArrayReference &B = Result.Refs[Pair.RefB];
-    std::printf("  %s vs %s: %s [%s]%s\n", refStr(Prog, A).c_str(),
-                refStr(Prog, B).c_str(), answerName(Pair.Answer),
-                testKindName(Pair.DecidedBy),
-                Pair.FromCache ? " (cached)" : "");
-    if (Cli.Directions && Pair.Directions &&
-        !Pair.Directions->Vectors.empty()) {
-      std::printf("    directions:");
-      for (const DirVector &V : Pair.Directions->Vectors)
-        std::printf(" %s", dirVectorStr(V).c_str());
-      std::printf("%s\n", Pair.Directions->Widened
-                              ? "  (widened to 128-bit)"
-                              : "");
-      for (unsigned K = 0; K < Pair.Directions->Distances.size(); ++K)
-        if (Pair.Directions->Distances[K])
-          std::printf("    distance[%u] = %lld\n", K,
-                      static_cast<long long>(
-                          *Pair.Directions->Distances[K]));
-    }
-    if (Cli.Explain && Pair.Trace)
-      std::printf("%s", Pair.Trace->str(4).c_str());
-  }
+  // Rendered by the same code edda-serve uses, so daemon answers stay
+  // byte-identical to this report (the serving smoke relies on it).
+  ReportOptions Report;
+  Report.Directions = Cli.Directions;
+  Report.Explain = Cli.Explain;
+  std::printf("%s", renderAnalysisReport(Prog, Result, Report).c_str());
 
   if (Cli.Graph || !Cli.DotPath.empty()) {
     DependenceGraph Graph = DependenceGraph::build(Prog, Analyzer);
