@@ -169,6 +169,46 @@ start_server
 query_round
 check_round warm
 "$SERVE" --client "$SOCK" --stats > "$OUT/stats-warm.json"
+
+echo "== edit round (incremental re-analysis over one connection) =="
+# An ordered edit sequence on the demo program: the client applies all
+# three versions through one connection's edit session, so versions 2
+# and 3 splice unchanged pairs from their predecessor. The final
+# served report + graph must be byte-identical to a fresh CLI run on
+# the last version — the serving side of the incr fuzz invariant.
+cp "$REPO_ROOT/tests/inputs/demo.loop" "$tmp/edit1.loop"
+sed 's/a\[i + 1\] = a\[i\] + 3/a[i + 2] = a[i] + 3/' \
+  "$tmp/edit1.loop" > "$tmp/edit2.loop"
+sed 's/for i = 2 to 20 do/for i = 2 to 21 do/' \
+  "$tmp/edit2.loop" > "$tmp/edit3.loop"
+"$SERVE" --client "$SOCK" --edit --directions --no-cache-markers \
+  "$tmp/edit1.loop" "$tmp/edit2.loop" "$tmp/edit3.loop" \
+  > "$tmp/edited.txt" 2> "$tmp/edit-stats.txt"
+cat "$tmp/edit-stats.txt" >> "$OUT/server-stderr.txt"
+# The client prints one report+graph per version; keep the last one
+# (everything from the final report header on).
+awk '/ reference pairs, / { n = NR } { lines[NR] = $0 }
+     END { for (i = n; i <= NR; i++) print lines[i] }' \
+  "$tmp/edited.txt" > "$tmp/edit-got.txt"
+"$CLI" --directions --graph "$tmp/edit3.loop" > "$tmp/edit-want-raw.txt"
+strip_cached "$tmp/edit-want-raw.txt" > "$tmp/edit-want.txt"
+if ! diff "$tmp/edit-got.txt" "$tmp/edit-want.txt" > "$tmp/diff.txt"; then
+  echo "FAIL(edit): spliced report differs from fresh edda-cli"
+  head -20 "$tmp/diff.txt"
+  exit 1
+fi
+# Later versions must actually reuse pairs from the session.
+REUSED=$(sed -n 's/.* \([0-9][0-9]*\) reused.*/\1/p' \
+         "$tmp/edit-stats.txt" | tail -1)
+if [ -z "$REUSED" ] || [ "$REUSED" -eq 0 ]; then
+  echo "error: edit round reused no pairs (got '${REUSED:-none}')" >&2
+  exit 1
+fi
+echo "edit round: final version reused $REUSED pairs, report matches"
+
+"$SERVE" --client "$SOCK" --stats > "$OUT/stats-edit.json"
+grep -q '"edit_requests":3' "$OUT/stats-edit.json" || {
+  echo "error: stats do not show 3 edit requests" >&2; exit 1; }
 "$SERVE" --client "$SOCK" --shutdown > /dev/null
 stop_server 2>/dev/null || true
 

@@ -27,7 +27,9 @@
 
 #include "opt/Pipeline.h"
 
+#include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
 
 using namespace edda;
 
@@ -87,7 +89,8 @@ void DependenceAnalyzer::runIndexed(
 
 void DependenceAnalyzer::decideTestedPair(const BuiltProblem &Built,
                                           DependencePair &Pair,
-                                          DepStats &Stats) {
+                                          DepStats &Stats,
+                                          uint64_t PairKey) {
   const DependenceProblem &Problem = Built.Problem;
 
   if (Opts.ComputeDirections) {
@@ -107,7 +110,7 @@ void DependenceAnalyzer::decideTestedPair(const BuiltProblem &Built,
     } else {
       Dirs = computeDirectionVectors(Problem, Opts.Direction);
       if (Opts.UseMemoization) {
-        cache().insertDirections(Problem, Dirs);
+        cache().insertDirections(Problem, Dirs, PairKey);
         // The root answer also serves plain (non-direction) runs
         // sharing this cache.
         CascadeResult Root;
@@ -115,7 +118,7 @@ void DependenceAnalyzer::decideTestedPair(const BuiltProblem &Built,
         Root.DecidedBy = Dirs.RootDecidedBy;
         Root.Exact = Dirs.Exact;
         Root.Widened = Dirs.RootWidened;
-        cache().insertFull(Problem, Root);
+        cache().insertFull(Problem, Root, PairKey);
       }
       Stats += Dirs.TestStats;
     }
@@ -154,7 +157,7 @@ void DependenceAnalyzer::decideTestedPair(const BuiltProblem &Built,
     } else {
       Outcome = testDependence(Problem, Opts.Cascade, &Stats);
       if (Opts.UseMemoization) {
-        cache().insertFull(Problem, Outcome);
+        cache().insertFull(Problem, Outcome, PairKey);
         // A system-stage decision implies the extended GCD found the
         // equations solvable. The Banerjee stage is excluded: its
         // Independent answers can come from the simple GCD test, i.e.
@@ -174,6 +177,19 @@ void DependenceAnalyzer::decideTestedPair(const BuiltProblem &Built,
 }
 
 AnalysisResult DependenceAnalyzer::analyze(Program &Prog) {
+  return analyzeImpl(Prog, /*Prev=*/nullptr, /*RS=*/nullptr);
+}
+
+AnalysisResult
+DependenceAnalyzer::reanalyze(Program &Prog,
+                              const AnalysisResult &Previous,
+                              ReanalyzeStats *RS) {
+  return analyzeImpl(Prog, &Previous, RS);
+}
+
+AnalysisResult DependenceAnalyzer::analyzeImpl(Program &Prog,
+                                               const AnalysisResult *Prev,
+                                               ReanalyzeStats *RS) {
   if (Opts.RunPrepass)
     runPrepass(Prog);
 
@@ -181,9 +197,20 @@ AnalysisResult DependenceAnalyzer::analyze(Program &Prog) {
   Result.Refs = collectReferences(Prog);
   const std::vector<ArrayReference> &Refs = Result.Refs;
 
+  // The reuse key field; the fuzzer's injected bug drops the bound
+  // chain from the key to prove the incr axis catches stale splices.
+  auto RefFp = [this](const ArrayReference &R) {
+    return Opts.InjectStaleFingerprint ? R.FingerprintNoBounds
+                                       : R.Fingerprint;
+  };
+
   // Phase 1 (serial, cheap): enumerate candidate pairs in the canonical
-  // (source ref, sink ref) order every downstream consumer relies on.
+  // (source ref, sink ref) order every downstream consumer relies on,
+  // with each pair's common-loop count (loop-object prefix, as the
+  // builder computes it) and fingerprint key.
   std::vector<std::pair<unsigned, unsigned>> Candidates;
+  std::vector<unsigned> CandCommon;
+  std::vector<uint64_t> CandKey;
   for (unsigned I = 0; I < Refs.size(); ++I) {
     for (unsigned J = I; J < Refs.size(); ++J) {
       // A dependence needs a write and a shared array.
@@ -192,13 +219,62 @@ AnalysisResult DependenceAnalyzer::analyze(Program &Prog) {
       if (Refs[I].ArrayId != Refs[J].ArrayId)
         continue;
       Candidates.emplace_back(I, J);
+      unsigned Common = 0;
+      while (Common < Refs[I].Loops.size() &&
+             Common < Refs[J].Loops.size() &&
+             Refs[I].Loops[Common] == Refs[J].Loops[Common])
+        ++Common;
+      CandCommon.push_back(Common);
+      CandKey.push_back(
+          pairFingerprint(RefFp(Refs[I]), RefFp(Refs[J]), Common));
     }
   }
   Result.PairsConsidered = Candidates.size();
 
+  // Re-analysis: match candidates against the previous result by
+  // fingerprint key. Equal keys mean structurally identical references
+  // under structurally identical bound chains with the same
+  // commonality, which build the identical problem — so the previous
+  // outcome is exact, not approximate. Duplicate keys (cloned
+  // statements) all map to one representative; their outcomes coincide
+  // for the same reason.
+  std::vector<const DependencePair *> Reused(Candidates.size(), nullptr);
+  if (Prev) {
+    std::unordered_map<uint64_t, const DependencePair *> OldByKey;
+    OldByKey.reserve(Prev->Pairs.size());
+    for (const DependencePair &P : Prev->Pairs)
+      OldByKey.emplace(
+          pairFingerprint(RefFp(Prev->Refs[P.RefA]),
+                          RefFp(Prev->Refs[P.RefB]),
+                          static_cast<unsigned>(P.CommonLoops.size())),
+          &P);
+    for (size_t C = 0; C < Candidates.size(); ++C) {
+      auto It = OldByKey.find(CandKey[C]);
+      if (It != OldByKey.end())
+        Reused[C] = It->second;
+    }
+    if (RS) {
+      RS->PairsTotal = Candidates.size();
+      for (const DependencePair *R : Reused)
+        if (R)
+          ++RS->PairsReused;
+      RS->PairsInvalidated = RS->PairsTotal - RS->PairsReused;
+      std::unordered_set<uint64_t> NewKeys(CandKey.begin(),
+                                           CandKey.end());
+      for (const auto &[Key, P] : OldByKey)
+        if (!NewKeys.count(Key))
+          RS->StaleKeys.push_back(Key);
+      std::sort(RS->StaleKeys.begin(), RS->StaleKeys.end());
+    }
+  } else if (RS) {
+    RS->PairsTotal = RS->PairsInvalidated = Candidates.size();
+  }
+
   // Phase 2 (parallel): build each candidate's dependence problem and,
   // when the cache is in play, its without-bounds memo key — the
-  // determinism grouping key. Pure per candidate.
+  // determinism grouping key. Pure per candidate. Reused candidates
+  // skip the build entirely; that skip, not edge bookkeeping, is what
+  // makes re-analysis O(edit).
   struct BuiltCandidate {
     std::optional<BuiltProblem> Built;
     bool AllConstantEqs = false;
@@ -206,6 +282,8 @@ AnalysisResult DependenceAnalyzer::analyze(Program &Prog) {
   };
   std::vector<BuiltCandidate> BuiltPairs(Candidates.size());
   runIndexed(Candidates.size(), [&](size_t C) {
+    if (Reused[C])
+      return;
     auto [I, J] = Candidates[C];
     BuiltCandidate &BC = BuiltPairs[C];
     BC.Built = buildProblem(Prog, Refs[I], Refs[J]);
@@ -235,6 +313,25 @@ AnalysisResult DependenceAnalyzer::analyze(Program &Prog) {
     DependencePair Pair;
     Pair.RefA = I;
     Pair.RefB = J;
+
+    if (const DependencePair *Old = Reused[C]) {
+      Pair.Answer = Old->Answer;
+      Pair.DecidedBy = Old->DecidedBy;
+      Pair.Exact = Old->Exact;
+      Pair.FromCache = true;
+      Pair.Directions = Old->Directions;
+      // CommonLoops must point into the *new* program; the count
+      // matches the old pair by key construction.
+      for (unsigned L = 0; L < CandCommon[C]; ++L)
+        Pair.CommonLoops.push_back(Refs[I].Loops[L]);
+      // The report header's unanalyzable count is structural and must
+      // stay bit-identical to a fresh run; Stats (decision counters)
+      // intentionally cover only re-run pairs.
+      if (Pair.DecidedBy == TestKind::Unanalyzable)
+        ++Result.UnanalyzablePairs;
+      Result.Pairs.push_back(std::move(Pair));
+      continue;
+    }
 
     if (!BC.Built) {
       ++Result.UnanalyzablePairs;
@@ -313,7 +410,8 @@ AnalysisResult DependenceAnalyzer::analyze(Program &Prog) {
   runIndexed(Groups.size(), [&](size_t G) {
     for (size_t T : Groups[G])
       decideTestedPair(*BuiltPairs[TaskCandidate[T]].Built,
-                       Result.Pairs[TaskSlot[T]], GroupStats[G]);
+                       Result.Pairs[TaskSlot[T]], GroupStats[G],
+                       CandKey[TaskCandidate[T]]);
   });
   for (const DepStats &S : GroupStats)
     Result.Stats += S;

@@ -65,6 +65,27 @@ struct AnalyzerOptions {
   /// exact serial pipeline on the calling thread; 0 means one thread
   /// per hardware core. Results are identical at every thread count.
   unsigned NumThreads = 1;
+  /// Fault-injection hook for the fuzzer's `incr` axis: key re-analysis
+  /// reuse on the bounds-free reference fingerprints, so bound edits go
+  /// undetected and stale results get spliced in. Never set outside the
+  /// fuzzer.
+  bool InjectStaleFingerprint = false;
+};
+
+/// What reanalyze() reused versus re-ran. The reuse counters — not
+/// wall time — are the incremental claim: after a one-statement edit,
+/// PairsInvalidated should be a small fraction of PairsTotal.
+struct ReanalyzeStats {
+  uint64_t PairsTotal = 0;
+  /// Pairs whose fingerprint key matched the previous result and whose
+  /// outcome was spliced in without building or testing a problem.
+  uint64_t PairsReused = 0;
+  /// Pairs built and decided afresh (including new pairs).
+  uint64_t PairsInvalidated = 0;
+  /// Pair keys present in the previous result but absent from the new
+  /// program, sorted; callers feed them to
+  /// DependenceCache::invalidateFingerprints to bound store growth.
+  std::vector<uint64_t> StaleKeys;
 };
 
 /// The analysis outcome for one reference pair.
@@ -118,6 +139,23 @@ public:
   /// Analyzes \p Prog (mutating it when the prepass is enabled).
   AnalysisResult analyze(Program &Prog);
 
+  /// Analyzes \p Prog reusing \p Previous — the result of an earlier
+  /// analyze()/reanalyze() under the same options — wherever the
+  /// content fingerprints prove the answer cannot have changed: a pair
+  /// whose two references have unchanged subscripts, array, and
+  /// enclosing bound chains (and the same common-loop count) builds the
+  /// identical dependence problem, so its previous outcome is spliced
+  /// in verbatim and only the remaining pairs are re-run on the pool.
+  /// No diff against the old program text is needed; the fingerprints
+  /// stored in Previous.Refs carry everything the comparison requires.
+  ///
+  /// Answers, directions and the report header are bit-identical to a
+  /// from-scratch analyze() of \p Prog (the incr fuzz axis enforces
+  /// this); only DependencePair::FromCache (true for spliced pairs) and
+  /// Result.Stats (which covers just the re-run pairs) may differ.
+  AnalysisResult reanalyze(Program &Prog, const AnalysisResult &Previous,
+                           ReanalyzeStats *RS = nullptr);
+
   DependenceCache &cache() { return External ? *External : Owned; }
   const AnalyzerOptions &options() const { return Opts; }
   /// The resolved worker count (NumThreads with 0 expanded).
@@ -134,11 +172,18 @@ private:
   /// Runs Body(0..N-1): on the pool when parallel, inline when serial.
   void runIndexed(size_t N, const std::function<void(size_t)> &Body);
 
+  /// Shared body of analyze()/reanalyze(); \p Prev enables fingerprint
+  /// reuse.
+  AnalysisResult analyzeImpl(Program &Prog, const AnalysisResult *Prev,
+                             ReanalyzeStats *RS);
+
   /// Decides one analyzable, non-constant pair: memo lookup, cascade or
   /// direction computation on a miss, insert. Writes the outcome into
-  /// \p Pair and the decision counters into \p Stats.
+  /// \p Pair and the decision counters into \p Stats. \p PairKey tags
+  /// the memo entries the pair creates (fingerprint-aware
+  /// invalidation).
   void decideTestedPair(const BuiltProblem &Built, DependencePair &Pair,
-                        DepStats &Stats);
+                        DepStats &Stats, uint64_t PairKey);
 };
 
 } // namespace edda

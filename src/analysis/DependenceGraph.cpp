@@ -94,9 +94,13 @@ DependenceGraph DependenceGraph::build(Program &Prog,
   Opts.ComputeDirections = true;
   DependenceAnalyzer DirAnalyzer(Opts);
   AnalysisResult Analysis = DirAnalyzer.analyze(Prog);
+  return buildFromResult(Analysis);
+}
 
+DependenceGraph
+DependenceGraph::buildFromResult(const AnalysisResult &Analysis) {
   DependenceGraph Graph;
-  Graph.Refs = std::move(Analysis.Refs);
+  Graph.Refs = Analysis.Refs;
 
   // Aggregate edges per (src, dst, kind).
   std::map<std::tuple<unsigned, unsigned, int>, unsigned> EdgeIndex;

@@ -65,6 +65,15 @@ public:
   static DependenceGraph build(Program &Prog,
                                DependenceAnalyzer &Analyzer);
 
+  /// Builds the graph from an existing analysis result whose pairs
+  /// carry direction vectors (ComputeDirections). build() and
+  /// incremental re-analysis (IncrementalSession) share this: edge
+  /// aggregation replays \p Analysis.Pairs in their enumeration order,
+  /// so a result assembled by splicing reused pair outcomes into the
+  /// fresh pair list produces a graph bit-identical to one built from
+  /// scratch — including edge order and first-encounter metadata.
+  static DependenceGraph buildFromResult(const AnalysisResult &Analysis);
+
   const std::vector<ArrayReference> &refs() const { return Refs; }
   const std::vector<DepEdge> &edges() const { return Edges; }
 

@@ -1,0 +1,65 @@
+//===- analysis/Incremental.h - Edit-loop re-analysis sessions -*- C++ -*-===//
+//
+// Part of the edda project: a reproduction of Maydan, Hennessy & Lam,
+// "Efficient and Exact Data Dependence Analysis", PLDI 1991.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The edit-loop driver on top of DependenceAnalyzer::reanalyze: an
+/// IncrementalSession holds one program, its analysis result and its
+/// dependence graph, and update() replaces the program with an edited
+/// version, re-running only the reference pairs whose content
+/// fingerprints changed and splicing the rest of the previous result
+/// (and the graph rebuilt from it) in place. The graph after update()
+/// is bit-identical to what a from-scratch analysis of the new program
+/// would build — the fuzzer's `incr` axis holds this invariant after
+/// every step of random edit sequences. Memo entries belonging to pair
+/// keys that disappeared are dropped via fingerprint invalidation so a
+/// long-lived session's cache tracks its live program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EDDA_ANALYSIS_INCREMENTAL_H
+#define EDDA_ANALYSIS_INCREMENTAL_H
+
+#include "analysis/Analyzer.h"
+#include "analysis/DependenceGraph.h"
+#include "ir/Program.h"
+
+#include <optional>
+
+namespace edda {
+
+/// One long-lived analyze/edit/re-analyze session.
+class IncrementalSession {
+public:
+  /// \p Opts configures the underlying analyzer; ComputeDirections is
+  /// forced on (the graph needs vectors, and reuse splices them).
+  explicit IncrementalSession(AnalyzerOptions Opts = {});
+
+  /// True once update() has been called.
+  bool hasProgram() const { return Current.has_value(); }
+  /// The session's current program, post-prepass. hasProgram() first.
+  const Program &program() const { return *Current; }
+  const AnalysisResult &result() const { return Result; }
+  const DependenceGraph &graph() const { return Graph; }
+  DependenceAnalyzer &analyzer() { return Analyzer; }
+
+  /// Replaces the session's program with \p NewProg (typically the
+  /// previous program re-parsed after an edit), re-analyzing
+  /// incrementally and rebuilding the graph. The first call analyzes
+  /// from scratch. Returns what was reused versus re-run; on the first
+  /// call every pair counts as invalidated.
+  ReanalyzeStats update(Program NewProg);
+
+private:
+  DependenceAnalyzer Analyzer;
+  std::optional<Program> Current;
+  AnalysisResult Result;
+  DependenceGraph Graph;
+};
+
+} // namespace edda
+
+#endif // EDDA_ANALYSIS_INCREMENTAL_H

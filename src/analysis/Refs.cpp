@@ -7,6 +7,9 @@
 
 #include "analysis/Refs.h"
 
+#include "ir/Fingerprint.h"
+#include "support/Hashing.h"
+
 using namespace edda;
 
 std::vector<const Expr *> edda::collectStmtReads(const AssignStmt &A) {
@@ -20,14 +23,22 @@ std::vector<const Expr *> edda::collectStmtReads(const AssignStmt &A) {
 
 namespace {
 
-void collectFrom(const std::vector<StmtPtr> &Body,
+void fingerprintRef(const Program &P, ArrayReference &Ref) {
+  uint64_t H = hashCombine(0x5EFu, Ref.IsWrite ? 1u : 0u);
+  H = hashCombine(H, fingerprintArrayAccess(P, Ref.ArrayId,
+                                            Ref.Subscripts));
+  Ref.FingerprintNoBounds = H;
+  Ref.Fingerprint = hashCombine(H, fingerprintLoopChain(P, Ref.Loops));
+}
+
+void collectFrom(const Program &P, const std::vector<StmtPtr> &Body,
                  std::vector<const LoopStmt *> &LoopStack,
                  std::vector<ArrayReference> &Out) {
   for (const StmtPtr &S : Body) {
     if (S->kind() == StmtKind::Loop) {
       const LoopStmt &L = asLoop(*S);
       LoopStack.push_back(&L);
-      collectFrom(L.body(), LoopStack, Out);
+      collectFrom(P, L.body(), LoopStack, Out);
       LoopStack.pop_back();
       continue;
     }
@@ -40,6 +51,7 @@ void collectFrom(const std::vector<StmtPtr> &Body,
       Write.IsWrite = true;
       Write.Subscripts = A.lhsSubscripts();
       Write.Loops = LoopStack;
+      fingerprintRef(P, Write);
       Out.push_back(std::move(Write));
     }
     std::vector<const Expr *> Reads = collectStmtReads(A);
@@ -51,6 +63,7 @@ void collectFrom(const std::vector<StmtPtr> &Body,
       Read.IsWrite = false;
       Read.Subscripts = Reads[I]->subscripts();
       Read.Loops = LoopStack;
+      fingerprintRef(P, Read);
       Out.push_back(std::move(Read));
     }
   }
@@ -61,8 +74,13 @@ void collectFrom(const std::vector<StmtPtr> &Body,
 std::vector<ArrayReference> edda::collectReferences(const Program &P) {
   std::vector<ArrayReference> Out;
   std::vector<const LoopStmt *> LoopStack;
-  collectFrom(P.body(), LoopStack, Out);
+  collectFrom(P, P.body(), LoopStack, Out);
   return Out;
+}
+
+uint64_t edda::pairFingerprint(uint64_t FpA, uint64_t FpB,
+                               unsigned NumCommon) {
+  return hashCombine(hashCombine(FpA, FpB), NumCommon);
 }
 
 std::string edda::refStr(const Program &P, const ArrayReference &Ref) {

@@ -36,7 +36,28 @@ struct ArrayReference {
   std::vector<ExprPtr> Subscripts;
   /// Enclosing loops, outermost first.
   std::vector<const LoopStmt *> Loops;
+  /// Stable content fingerprint: array name, read/write, subscript
+  /// expressions and the full enclosing bound chain (ir/Fingerprint.h).
+  /// Equal fingerprints imply structurally identical references that
+  /// build identical dependence problems, which is what incremental
+  /// re-analysis keys reuse on — ids do not participate, so the value
+  /// survives print -> edit -> re-parse.
+  uint64_t Fingerprint = 0;
+  /// The same fingerprint with the enclosing bound chain left out.
+  /// Distinguishing the two is load-bearing: "same statement text under
+  /// different bounds" must split Fingerprint while sharing this one
+  /// (and the fuzzer's stale-fingerprint injected bug swaps the two to
+  /// prove the incr axis notices).
+  uint64_t FingerprintNoBounds = 0;
 };
+
+/// Reuse key for an ordered reference pair (fingerprints \p FpA, \p FpB)
+/// with \p NumCommon shared enclosing loops. The common-loop count is
+/// part of the key because builder commonality is decided by
+/// loop-object identity: content-identical chains may still differ in
+/// sharing. Callers pass either the full or the no-bounds reference
+/// fingerprints (the latter only by the fuzzer's injected bug).
+uint64_t pairFingerprint(uint64_t FpA, uint64_t FpB, unsigned NumCommon);
 
 /// Collects the array reads of one assignment in slot order.
 std::vector<const Expr *> collectStmtReads(const AssignStmt &A);

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 using namespace edda;
 
@@ -114,7 +115,7 @@ DependenceCache::lookupFull(const DependenceProblem &P) {
 }
 
 void DependenceCache::insertFull(const DependenceProblem &P,
-                                 const CascadeResult &R) {
+                                 const CascadeResult &R, uint64_t Tag) {
   bool Swapped;
   Key K = keyFor(P, /*IncludeBounds=*/true, Swapped);
   CascadeResult Stored = R;
@@ -131,12 +132,16 @@ void DependenceCache::insertFull(const DependenceProblem &P,
   if (Opts.TrackRecency)
     S.FullUse[K] = UseTick.fetch_add(1, std::memory_order_relaxed);
   // emplace keeps the first entry on a duplicate key, so concurrent
-  // inserters of the same problem converge on one canonical entry.
-  S.Full.emplace(std::move(K), std::move(Stored));
+  // inserters of the same problem converge on one canonical entry. The
+  // tag follows the same discipline: it labels the entry that won.
+  auto Res = S.Full.emplace(std::move(K), std::move(Stored));
+  if (Res.second && Tag != 0)
+    S.FullTag.emplace(Res.first->first, Tag);
 }
 
 std::optional<DirectionResult>
 DependenceCache::lookupDirections(const DependenceProblem &P) {
+  DirQueries.fetch_add(1, std::memory_order_relaxed);
   bool Swapped;
   Key K = keyFor(P, /*IncludeBounds=*/true, Swapped);
   Shard &S = shardFor(K);
@@ -150,6 +155,7 @@ DependenceCache::lookupDirections(const DependenceProblem &P) {
     if (Opts.TrackRecency)
       S.DirUse[K] = UseTick.fetch_add(1, std::memory_order_relaxed);
   }
+  DirHits.fetch_add(1, std::memory_order_relaxed);
   if (Swapped)
     R = reverseDirections(R);
   if (!Opts.ImprovedKey)
@@ -175,7 +181,8 @@ DependenceCache::lookupDirections(const DependenceProblem &P) {
 }
 
 void DependenceCache::insertDirections(const DependenceProblem &P,
-                                       const DirectionResult &R) {
+                                       const DirectionResult &R,
+                                       uint64_t Tag) {
   bool Swapped;
   Key K = keyFor(P, /*IncludeBounds=*/true, Swapped);
   DirectionResult Stored = R;
@@ -205,7 +212,39 @@ void DependenceCache::insertDirections(const DependenceProblem &P,
   std::lock_guard<std::mutex> Lock(S.Mutex);
   if (Opts.TrackRecency)
     S.DirUse[K] = UseTick.fetch_add(1, std::memory_order_relaxed);
-  S.Directions.emplace(std::move(K), std::move(Stored));
+  auto Res = S.Directions.emplace(std::move(K), std::move(Stored));
+  if (Res.second && Tag != 0)
+    S.DirTag.emplace(Res.first->first, Tag);
+}
+
+uint64_t DependenceCache::invalidateFingerprints(
+    const std::vector<uint64_t> &Tags) {
+  if (Tags.empty())
+    return 0;
+  std::unordered_set<uint64_t> Stale(Tags.begin(), Tags.end());
+  uint64_t Removed = 0;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    for (auto It = S->FullTag.begin(); It != S->FullTag.end();) {
+      if (Stale.count(It->second)) {
+        Removed += S->Full.erase(It->first);
+        S->FullUse.erase(It->first);
+        It = S->FullTag.erase(It);
+      } else {
+        ++It;
+      }
+    }
+    for (auto It = S->DirTag.begin(); It != S->DirTag.end();) {
+      if (Stale.count(It->second)) {
+        Removed += S->Directions.erase(It->first);
+        S->DirUse.erase(It->first);
+        It = S->DirTag.erase(It);
+      } else {
+        ++It;
+      }
+    }
+  }
+  return Removed;
 }
 
 std::optional<bool>
@@ -304,9 +343,11 @@ uint64_t DependenceCache::evictOldest(uint64_t TargetEntries) {
     if (V.InDirections) {
       Evicted += S.Directions.erase(V.K);
       S.DirUse.erase(V.K);
+      S.DirTag.erase(V.K);
     } else {
       Evicted += S.Full.erase(V.K);
       S.FullUse.erase(V.K);
+      S.FullTag.erase(V.K);
     }
   }
   return Evicted;
@@ -320,8 +361,11 @@ void DependenceCache::clear() {
     S->Gcd.clear();
     S->FullUse.clear();
     S->DirUse.clear();
+    S->FullTag.clear();
+    S->DirTag.clear();
   }
-  FullQueries = FullHits = GcdQueries = GcdHits = 0;
+  FullQueries = FullHits = DirQueries = DirHits = 0;
+  GcdQueries = GcdHits = 0;
 }
 
 DirectionResult edda::reverseDirections(const DirectionResult &R) {
@@ -391,11 +435,13 @@ bool DependenceCache::saveToFile(const std::string &Path) const {
     std::lock_guard<std::mutex> Lock(S->Mutex);
     FullCount += S->Full.size();
     for (const auto &[K, R] : S->Full) {
+      auto TagIt = S->FullTag.find(K);
+      uint64_t Tag = TagIt == S->FullTag.end() ? 0 : TagIt->second;
       writeVector(FullBlob, K);
       FullBlob << static_cast<int>(R.Answer) << " "
                << static_cast<int>(R.DecidedBy) << " "
-               << (R.Exact ? 1 : 0) << " " << (R.Widened ? 1 : 0)
-               << "\n";
+               << (R.Exact ? 1 : 0) << " " << (R.Widened ? 1 : 0) << " "
+               << Tag << "\n";
     }
   }
   std::ostringstream DirBlob;
@@ -404,12 +450,14 @@ bool DependenceCache::saveToFile(const std::string &Path) const {
     std::lock_guard<std::mutex> Lock(S->Mutex);
     DirCount += S->Directions.size();
     for (const auto &[K, R] : S->Directions) {
+      auto TagIt = S->DirTag.find(K);
+      uint64_t Tag = TagIt == S->DirTag.end() ? 0 : TagIt->second;
       writeVector(DirBlob, K);
       DirBlob << static_cast<int>(R.RootAnswer) << " "
               << static_cast<int>(R.RootDecidedBy) << " "
               << (R.Exact ? 1 : 0) << " " << (R.Widened ? 1 : 0) << " "
-              << (R.RootWidened ? 1 : 0) << " " << R.Vectors.size()
-              << " " << R.Distances.size() << "\n";
+              << (R.RootWidened ? 1 : 0) << " " << Tag << " "
+              << R.Vectors.size() << " " << R.Distances.size() << "\n";
       for (const DirVector &V : R.Vectors) {
         DirBlob << V.size();
         for (Dir D : V)
@@ -441,33 +489,129 @@ bool DependenceCache::saveToFile(const std::string &Path) const {
   // Version 3: TestKind gained Banerjee before Unanalyzable, changing
   // the DecidedBy integer encoding. Version 4: full entries carry the
   // Widened flag (128-bit retry provenance). Version 5: direction
-  // entries carry Widened/RootWidened. Older caches are rejected on
-  // load.
-  Out << "edda-depcache 5\n";
+  // entries carry Widened/RootWidened. Version 6: full and direction
+  // entries carry a fingerprint tag (incremental invalidation). Older
+  // caches are rejected on load, with their entry counts reported via
+  // CacheLoadStats.
+  Out << "edda-depcache 6\n";
   Out << FullCount << "\n" << FullBlob.str();
   Out << DirCount << "\n" << DirBlob.str();
   Out << GcdCount << "\n" << GcdBlob.str();
   return static_cast<bool>(Out);
 }
 
+namespace {
+
+/// Structural skipping of cache format versions 3-5, enough to count
+/// the entries of a rejected file (a full parse is unnecessary: only
+/// the counts are reported, so warm-start callers can log what they
+/// dropped rather than silently cold-start).
+bool skipLegacyFullEntry(std::istream &In, int Version) {
+  std::vector<int64_t> K;
+  if (!readVector(In, K))
+    return false;
+  int Ints = Version >= 4 ? 4 : 3; // v4 added the Widened flag.
+  int64_t Tmp;
+  for (int I = 0; I < Ints; ++I)
+    if (!(In >> Tmp))
+      return false;
+  return true;
+}
+
+bool skipLegacyDirEntry(std::istream &In, int Version) {
+  std::vector<int64_t> K;
+  if (!readVector(In, K))
+    return false;
+  // v5 added Widened/RootWidened to the Root/RootBy/Exact header.
+  int Ints = Version >= 5 ? 5 : 3;
+  int64_t Tmp;
+  for (int I = 0; I < Ints; ++I)
+    if (!(In >> Tmp))
+      return false;
+  size_t NumVectors, NumDistances;
+  if (!(In >> NumVectors >> NumDistances) || NumVectors > (1u << 20) ||
+      NumDistances > (1u << 10))
+    return false;
+  for (size_t V = 0; V < NumVectors; ++V) {
+    size_t Len;
+    if (!(In >> Len) || Len > (1u << 10))
+      return false;
+    for (size_t D = 0; D < Len; ++D)
+      if (!(In >> Tmp))
+        return false;
+  }
+  for (size_t D = 0; D < NumDistances; ++D) {
+    std::string Tag;
+    if (!(In >> Tag))
+      return false;
+    if (Tag == "d") {
+      if (!(In >> Tmp))
+        return false;
+    } else if (Tag != "u") {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t countLegacyEntries(std::istream &In, int Version) {
+  if (Version < 3 || Version > 5)
+    return 0; // Unknown shape; nothing trustworthy to count.
+  uint64_t Rejected = 0;
+  size_t Count;
+  if (!(In >> Count) || Count > (1u << 24))
+    return Rejected;
+  Rejected += Count;
+  for (size_t I = 0; I < Count; ++I)
+    if (!skipLegacyFullEntry(In, Version))
+      return Rejected;
+  if (!(In >> Count) || Count > (1u << 24))
+    return Rejected;
+  Rejected += Count;
+  for (size_t I = 0; I < Count; ++I)
+    if (!skipLegacyDirEntry(In, Version))
+      return Rejected;
+  if (!(In >> Count) || Count > (1u << 24))
+    return Rejected;
+  Rejected += Count; // GCD entries need no skipping: nothing follows.
+  return Rejected;
+}
+
+} // namespace
+
 bool DependenceCache::loadFromFile(const std::string &Path) {
+  return loadFromFile(Path, nullptr);
+}
+
+bool DependenceCache::loadFromFile(const std::string &Path,
+                                   CacheLoadStats *LoadStats) {
+  if (LoadStats)
+    *LoadStats = CacheLoadStats{};
   std::ifstream In(Path);
   if (!In)
     return false;
   std::string Magic;
   int Version;
-  if (!(In >> Magic >> Version) || Magic != "edda-depcache" ||
-      Version != 5)
+  if (!(In >> Magic >> Version) || Magic != "edda-depcache")
     return false;
+  if (LoadStats)
+    LoadStats->FileVersion = Version;
+  if (Version != 6) {
+    if (LoadStats)
+      LoadStats->RejectedEntries = countLegacyEntries(In, Version);
+    return false;
+  }
 
+  uint64_t Loaded = 0;
   size_t Count;
   if (!(In >> Count))
     return false;
   for (size_t I = 0; I < Count; ++I) {
     Key K;
     int Answer, DecidedBy, Exact, Widened;
+    uint64_t Tag;
     if (!readVector(In, K) ||
-        !(In >> Answer >> DecidedBy >> Exact >> Widened))
+        !(In >> Answer >> DecidedBy >> Exact >> Widened >> Tag))
       return false;
     CascadeResult R;
     R.Answer = static_cast<DepAnswer>(Answer);
@@ -475,7 +619,10 @@ bool DependenceCache::loadFromFile(const std::string &Path) {
     R.Exact = Exact != 0;
     R.Widened = Widened != 0;
     Shard &S = shardFor(K);
-    S.Full.emplace(std::move(K), std::move(R));
+    auto Res = S.Full.emplace(std::move(K), std::move(R));
+    if (Res.second && Tag != 0)
+      S.FullTag.emplace(Res.first->first, Tag);
+    ++Loaded;
   }
 
   if (!(In >> Count))
@@ -483,10 +630,11 @@ bool DependenceCache::loadFromFile(const std::string &Path) {
   for (size_t I = 0; I < Count; ++I) {
     Key K;
     int Root, RootBy, Exact, Widened, RootWidened;
+    uint64_t Tag;
     size_t NumVectors, NumDistances;
     if (!readVector(In, K) ||
         !(In >> Root >> RootBy >> Exact >> Widened >> RootWidened >>
-          NumVectors >> NumDistances) ||
+          Tag >> NumVectors >> NumDistances) ||
         NumVectors > (1u << 20) || NumDistances > (1u << 10))
       return false;
     DirectionResult R;
@@ -524,7 +672,10 @@ bool DependenceCache::loadFromFile(const std::string &Path) {
       }
     }
     Shard &S = shardFor(K);
-    S.Directions.emplace(std::move(K), std::move(R));
+    auto Res = S.Directions.emplace(std::move(K), std::move(R));
+    if (Res.second && Tag != 0)
+      S.DirTag.emplace(Res.first->first, Tag);
+    ++Loaded;
   }
 
   if (!(In >> Count))
@@ -536,6 +687,9 @@ bool DependenceCache::loadFromFile(const std::string &Path) {
       return false;
     Shard &S = shardFor(K);
     S.Gcd.emplace(std::move(K), Solvable != 0);
+    ++Loaded;
   }
+  if (LoadStats)
+    LoadStats->LoadedEntries = Loaded;
   return true;
 }

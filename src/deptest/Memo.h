@@ -79,6 +79,18 @@ struct MemoOptions {
   bool TrackRecency = false;
 };
 
+/// What DependenceCache::loadFromFile saw, for warm-start reporting.
+struct CacheLoadStats {
+  /// Format version the file declared (0 when the header was
+  /// unreadable).
+  int FileVersion = 0;
+  /// Entries loaded into the tables (current-format files only).
+  uint64_t LoadedEntries = 0;
+  /// Entries present in the file but dropped because its format version
+  /// is not the current one.
+  uint64_t RejectedEntries = 0;
+};
+
 /// The two-table dependence cache.
 class DependenceCache {
 public:
@@ -91,15 +103,28 @@ public:
     return static_cast<unsigned>(Shards.size());
   }
 
-  /// Full-answer table (bounds included in the key).
+  /// Full-answer table (bounds included in the key). \p Tag optionally
+  /// labels the entry with a content fingerprint (the analyzer passes
+  /// its pair fingerprint); 0 means untagged. First-insert-wins keeps
+  /// the first tag on a duplicate key.
   std::optional<CascadeResult> lookupFull(const DependenceProblem &P);
-  void insertFull(const DependenceProblem &P, const CascadeResult &R);
+  void insertFull(const DependenceProblem &P, const CascadeResult &R,
+                  uint64_t Tag = 0);
 
   /// Direction-vector table (bounds included in the key).
   std::optional<DirectionResult>
   lookupDirections(const DependenceProblem &P);
   void insertDirections(const DependenceProblem &P,
-                        const DirectionResult &R);
+                        const DirectionResult &R, uint64_t Tag = 0);
+
+  /// Drops every full/direction entry whose tag is in \p Tags,
+  /// returning the number of entries removed. Because memo keys are
+  /// content-addressed, entries belonging to edited-away statements are
+  /// merely unreachable, never wrong — invalidation bounds the growth
+  /// of a long-lived store, it is not needed for correctness. A shared
+  /// key first-inserted by a still-live pair may be removed when its
+  /// first inserter's tag goes stale; the only effect is a re-miss.
+  uint64_t invalidateFingerprints(const std::vector<uint64_t> &Tags);
 
   /// GCD-solvability table (bounds excluded from the key).
   std::optional<bool> lookupGcdSolvable(const DependenceProblem &P);
@@ -109,6 +134,8 @@ public:
   /// once concurrent callers have quiesced.
   uint64_t fullQueries() const { return FullQueries.load(); }
   uint64_t fullHits() const { return FullHits.load(); }
+  uint64_t dirQueries() const { return DirQueries.load(); }
+  uint64_t dirHits() const { return DirHits.load(); }
   uint64_t uniqueFull() const;
   uint64_t uniqueDirections() const;
   uint64_t gcdQueries() const { return GcdQueries.load(); }
@@ -134,6 +161,12 @@ public:
   /// before serving starts.
   bool saveToFile(const std::string &Path) const;
   bool loadFromFile(const std::string &Path);
+  /// As above, additionally reporting what happened: on a format-version
+  /// mismatch the load still fails (returns false) but \p LoadStats
+  /// says which version the file declared and how many entries were
+  /// rejected with it, so warm-start callers can log the loss instead
+  /// of silently cold-starting.
+  bool loadFromFile(const std::string &Path, CacheLoadStats *LoadStats);
 
   /// Size-bounded "LRU-ish" eviction for long-lived caches: removes
   /// least-recently-used full/direction entries (per the TrackRecency
@@ -166,17 +199,24 @@ private:
     /// table they shadow.
     std::unordered_map<Key, uint64_t, KeyHash> FullUse;
     std::unordered_map<Key, uint64_t, KeyHash> DirUse;
+    /// Fingerprint tags (insertFull/insertDirections Tag != 0), keyed
+    /// like the table they shadow; consumed by invalidateFingerprints.
+    std::unordered_map<Key, uint64_t, KeyHash> FullTag;
+    std::unordered_map<Key, uint64_t, KeyHash> DirTag;
 
     explicit Shard(MemoHashKind Hash)
         : Full(16, KeyHash{Hash}), Directions(16, KeyHash{Hash}),
           Gcd(16, KeyHash{Hash}), FullUse(16, KeyHash{Hash}),
-          DirUse(16, KeyHash{Hash}) {}
+          DirUse(16, KeyHash{Hash}), FullTag(16, KeyHash{Hash}),
+          DirTag(16, KeyHash{Hash}) {}
   };
 
   MemoOptions Opts;
   std::vector<std::unique_ptr<Shard>> Shards;
   std::atomic<uint64_t> FullQueries{0};
   std::atomic<uint64_t> FullHits{0};
+  std::atomic<uint64_t> DirQueries{0};
+  std::atomic<uint64_t> DirHits{0};
   std::atomic<uint64_t> GcdQueries{0};
   std::atomic<uint64_t> GcdHits{0};
   /// Monotone clock driving the TrackRecency stamps.

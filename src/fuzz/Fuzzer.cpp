@@ -8,6 +8,8 @@
 #include "fuzz/Fuzzer.h"
 
 #include "analysis/Analyzer.h"
+#include "analysis/DependenceGraph.h"
+#include "analysis/Incremental.h"
 #include "deptest/Cascade.h"
 #include "deptest/Direction.h"
 #include "deptest/Memo.h"
@@ -17,6 +19,7 @@
 #include "oracle/Oracle.h"
 #include "parser/Parser.h"
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -41,6 +44,8 @@ const char *fuzzAxisName(FuzzAxis Axis) {
     return "threads";
   case FuzzAxis::Memo:
     return "memo";
+  case FuzzAxis::Incr:
+    return "incr";
   case FuzzAxis::Parse:
     return "parse";
   }
@@ -55,6 +60,8 @@ const char *injectedBugName(InjectedBug Bug) {
     return "negate-eq-const";
   case InjectedBug::MisSignDirPrune:
     return "dir-prune-sign";
+  case InjectedBug::StaleFingerprint:
+    return "stale-fingerprint";
   }
   return nullptr;
 }
@@ -252,6 +259,55 @@ std::optional<std::string> comparePairs(const AnalysisResult &A,
   return std::nullopt;
 }
 
+/// One incremental edit-loop run for the incr axis: applies the edit
+/// sequence named by \p EditSeeds to \p Source step by step through an
+/// IncrementalSession (print -> parse after every edit, as an
+/// editor-driven loop would, which also exercises fingerprint
+/// stability across re-parsing) and compares the spliced graph's
+/// rendering against a from-scratch analysis after every step. Returns
+/// the first mismatch description, empty when every step agrees; this
+/// doubles as the axis's shrink predicate (non-empty means fails).
+std::string incrSequenceMismatch(const std::string &Source,
+                                 const std::vector<uint64_t> &EditSeeds,
+                                 bool Widen, bool InjectStale) {
+  ParseResult PR = parseProgram(Source);
+  if (!PR.succeeded())
+    return "";
+  AnalyzerOptions Fresh;
+  Fresh.ComputeDirections = true;
+  Fresh.Cascade.Widen = Widen;
+  Fresh.Direction.Cascade.Widen = Widen;
+  // Only the session under test carries the injected bug; the
+  // from-scratch baseline always analyzes honestly.
+  AnalyzerOptions Incr = Fresh;
+  Incr.InjectStaleFingerprint = InjectStale;
+  IncrementalSession Session(Incr);
+
+  Program Master = *PR.Prog; // Un-prepassed; edits apply here.
+  Session.update(Master);
+
+  for (size_t E = 0; E < EditSeeds.size(); ++E) {
+    SplitRng ERng(EditSeeds[E]);
+    std::string EditDesc = applyRandomEdit(Master, ERng);
+    ParseResult EP = parseProgram(Master.print());
+    if (!EP.succeeded())
+      return ""; // An edit-model bug, not an incr mismatch.
+    Master = std::move(*EP.Prog);
+
+    Session.update(Master);
+    std::string Spliced = Session.graph().str(Session.program());
+
+    Program Scratch = Master;
+    DependenceAnalyzer Analyzer(Fresh);
+    DependenceGraph FreshGraph = DependenceGraph::build(Scratch, Analyzer);
+    if (Spliced != FreshGraph.str(Scratch))
+      return "edit " + std::to_string(E + 1) + "/" +
+             std::to_string(EditSeeds.size()) + " (" + EditDesc +
+             "): spliced graph diverges from from-scratch analysis";
+  }
+  return "";
+}
+
 class FuzzRunner {
 public:
   FuzzRunner(const FuzzOptions &Opts, std::ostream *Log)
@@ -284,12 +340,13 @@ private:
 
   void checkProblem(const DependenceProblem &P, uint64_t Iter);
   void checkProgram(const std::string &Source, uint64_t Iter);
+  void checkIncremental(const std::string &Source, uint64_t Iter);
   void flushMemoBatch(uint64_t Iter);
 
   void reportProblem(FuzzAxis Axis, uint64_t Iter, std::string Detail,
                      const DependenceProblem &Shrunk);
   void reportProgram(FuzzAxis Axis, uint64_t Iter, std::string Detail,
-                     const std::string &Source);
+                     const std::string &Source, unsigned Edits = 0);
   void emit(FuzzFailure F);
 };
 
@@ -637,6 +694,12 @@ void FuzzRunner::checkProgram(const std::string &Source, uint64_t Iter) {
       return;
   }
 
+  if (Opts.CheckIncr) {
+    checkIncremental(Source, Iter);
+    if (done())
+      return;
+  }
+
   AnalyzerOptions Serial;
   Serial.ComputeDirections = true;
   Serial.NumThreads = 1;
@@ -720,6 +783,61 @@ void FuzzRunner::checkProgram(const std::string &Source, uint64_t Iter) {
   }
 }
 
+void FuzzRunner::checkIncremental(const std::string &Source,
+                                  uint64_t Iter) {
+  // Each edit owns an independent seed, so the sequence can shrink by
+  // dropping edits without perturbing the survivors.
+  SplitRng SeedRng(Opts.Seed ^ (0xC2B2AE3D27D4EB4FULL * (Iter + 1)));
+  unsigned NumEdits = 1 + static_cast<unsigned>(SeedRng.below(
+                              std::max(1u, Opts.MaxIncrEdits)));
+  std::vector<uint64_t> Seeds;
+  for (unsigned E = 0; E < NumEdits; ++E)
+    Seeds.push_back(SeedRng.next());
+
+  bool InjectStale = Opts.Bug == InjectedBug::StaleFingerprint;
+  std::string Detail =
+      incrSequenceMismatch(Source, Seeds, Opts.Widen, InjectStale);
+  if (Detail.empty())
+    return;
+
+  // Shrink the edit sequence first (greedy subset minimization to a
+  // fixed point), then the program source under the surviving edits.
+  auto FailsWith = [this, InjectStale](const std::string &Src,
+                                       const std::vector<uint64_t> &S) {
+    return !incrSequenceMismatch(Src, S, Opts.Widen, InjectStale).empty();
+  };
+  bool Progress = true;
+  while (Progress && Seeds.size() > 1) {
+    Progress = false;
+    for (size_t E = 0; E < Seeds.size(); ++E) {
+      std::vector<uint64_t> Candidate = Seeds;
+      Candidate.erase(Candidate.begin() + static_cast<long>(E));
+      if (FailsWith(Source, Candidate)) {
+        Seeds = std::move(Candidate);
+        Progress = true;
+        break;
+      }
+    }
+  }
+  std::string Shrunk = shrinkProgramSource(
+      Source,
+      [&](const std::string &Src) { return FailsWith(Src, Seeds); });
+  if (std::string D =
+          incrSequenceMismatch(Shrunk, Seeds, Opts.Widen, InjectStale);
+      !D.empty())
+    Detail = std::move(D);
+
+  // The edit seeds ride along in a comment so the reproducer names the
+  // full failing (program, edit sequence) input.
+  std::ostringstream WithEdits;
+  WithEdits << "# edda-fuzz-edits:";
+  for (uint64_t S : Seeds)
+    WithEdits << " " << S;
+  WithEdits << "\n" << Shrunk;
+  reportProgram(FuzzAxis::Incr, Iter, std::move(Detail), WithEdits.str(),
+                static_cast<unsigned>(Seeds.size()));
+}
+
 void FuzzRunner::reportProblem(FuzzAxis Axis, uint64_t Iter,
                                std::string Detail,
                                const DependenceProblem &Shrunk) {
@@ -752,10 +870,13 @@ void FuzzRunner::reportProblem(FuzzAxis Axis, uint64_t Iter,
 
 void FuzzRunner::reportProgram(FuzzAxis Axis, uint64_t Iter,
                                std::string Detail,
-                               const std::string &Source) {
+                               const std::string &Source, unsigned Edits) {
   std::ostringstream OS;
   OS << "# edda-fuzz: axis=" << fuzzAxisName(Axis) << " seed=" << Opts.Seed
-     << " iteration=" << Iter << "\n# " << Detail << "\n" << Source;
+     << " iteration=" << Iter;
+  if (const char *BugName = injectedBugName(Opts.Bug))
+    OS << " inject-bug=" << BugName;
+  OS << "\n# " << Detail << "\n" << Source;
 
   FuzzFailure F;
   F.Axis = Axis;
@@ -763,6 +884,7 @@ void FuzzRunner::reportProgram(FuzzAxis Axis, uint64_t Iter,
   F.Detail = std::move(Detail);
   F.Reproducer = OS.str();
   F.IsProgram = true;
+  F.Edits = Edits;
   emit(std::move(F));
 }
 

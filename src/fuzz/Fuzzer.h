@@ -8,7 +8,7 @@
 /// \file
 /// The edda-fuzz engine: generates random DependenceProblems and whole
 /// LoopLang programs from a seed and cross-checks the analysis stack
-/// along six differential axes:
+/// along seven differential axes:
 ///
 ///   oracle    cascade verdict vs. brute-force enumeration (symbolic
 ///             problems via the sampled-concretization soundness check),
@@ -34,7 +34,15 @@
 ///             bit-identical pair results required;
 ///   memo      cache save/load round-trips must preserve every cached
 ///             answer (including the Widened provenance bit), both
-///             problem batches and whole-program caches.
+///             problem batches and whole-program caches;
+///   incr      incremental re-analysis vs. from-scratch: a random edit
+///             sequence (subscript/rhs modifications, bound tweaks,
+///             statement insert/delete) is applied step by step to one
+///             program held in an IncrementalSession, and after every
+///             step the spliced dependence graph must render
+///             bit-identically to a fresh analysis of the edited
+///             program. Failures shrink both the edit sequence (greedy
+///             subset minimization) and the program source.
 ///
 /// Every run is a pure function of the seed: iteration i derives its
 /// own SplitRng stream, so `--seed S` reproduces exactly and a failure
@@ -69,6 +77,7 @@ enum class FuzzAxis {
   Widen,    ///< Widened cascade vs. the 64-bit-only cascade.
   Threads,  ///< Serial vs. multi-threaded analyzer.
   Memo,     ///< Cache persistence round-trip.
+  Incr,     ///< Incremental re-analysis vs. from-scratch graphs.
   Parse,    ///< Generated program failed to parse or reprint stably.
 };
 
@@ -87,6 +96,11 @@ enum class InjectedBug {
                    ///< pruning pins (DirectionOptions hook; the plain
                    ///< cascade is untouched, so only the dirs axis can
                    ///< see it).
+  StaleFingerprint, ///< Keys re-analysis reuse on the bounds-free
+                    ///< reference fingerprints
+                    ///< (AnalyzerOptions::InjectStaleFingerprint), so
+                    ///< bound edits splice stale results — only the
+                    ///< incr axis can see it.
 };
 
 /// CLI spelling of \p Bug ("negate-eq-const"); nullptr for None.
@@ -110,6 +124,10 @@ struct FuzzOptions {
   bool CheckWiden = true;
   bool CheckThreads = true;
   bool CheckMemo = true;
+  bool CheckIncr = true;
+  /// Edit-sequence length cap for the incr axis (each program
+  /// iteration applies 1..MaxIncrEdits random edits).
+  unsigned MaxIncrEdits = 4;
   /// Run every cascade under test with the 128-bit widening ladder
   /// enabled. False reproduces the historical 64-bit-only behavior on
   /// all axes (and makes the widen axis vacuous — there is nothing to
@@ -133,6 +151,9 @@ struct FuzzFailure {
   std::string Reproducer; ///< Minimized .dep / .loop text.
   bool IsProgram = false;
   std::string Path; ///< File written under OutDir (empty when none).
+  /// Incr-axis failures: edits remaining after shrinking (the edit
+  /// seeds are embedded in the reproducer's "# edda-fuzz-edits:" line).
+  unsigned Edits = 0;
 };
 
 struct FuzzSummary {

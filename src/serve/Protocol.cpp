@@ -15,6 +15,8 @@ const char *edda::serveOpName(ServeRequest::Op Operation) {
     return "analyze";
   case ServeRequest::Op::Problem:
     return "problem";
+  case ServeRequest::Op::Edit:
+    return "edit";
   case ServeRequest::Op::Stats:
     return "stats";
   case ServeRequest::Op::Ping:
@@ -32,6 +34,8 @@ static std::optional<ServeRequest::Op> opFromName(const std::string &S) {
     return ServeRequest::Op::Analyze;
   if (S == "problem")
     return ServeRequest::Op::Problem;
+  if (S == "edit")
+    return ServeRequest::Op::Edit;
   if (S == "stats")
     return ServeRequest::Op::Stats;
   if (S == "ping")
@@ -47,8 +51,11 @@ JsonValue ServeRequest::toJson() const {
   JsonValue O = JsonValue::object();
   O.set("id", Id);
   O.set("op", serveOpName(Operation));
-  if (Operation == Op::Analyze || Operation == Op::Problem) {
-    O.set(Operation == Op::Analyze ? "program" : "problem", Payload);
+  if (Operation == Op::Analyze || Operation == Op::Problem ||
+      Operation == Op::Edit) {
+    O.set(Operation == Op::Problem ? "problem" : "program", Payload);
+    if (Operation == Op::Edit && !Session.empty())
+      O.set("session", Session);
     if (Directions)
       O.set("directions", true);
     if (Explain)
@@ -95,9 +102,10 @@ edda::parseServeRequest(const std::string &Line, std::string *Error,
   R.Operation = *Operation;
 
   if (R.Operation == ServeRequest::Op::Analyze ||
-      R.Operation == ServeRequest::Op::Problem) {
+      R.Operation == ServeRequest::Op::Problem ||
+      R.Operation == ServeRequest::Op::Edit) {
     const char *Field =
-        R.Operation == ServeRequest::Op::Analyze ? "program" : "problem";
+        R.Operation == ServeRequest::Op::Problem ? "problem" : "program";
     const JsonValue *Payload = V->find(Field);
     if (!Payload || !Payload->isString()) {
       if (Error)
@@ -111,10 +119,18 @@ edda::parseServeRequest(const std::string &Line, std::string *Error,
     R.Prepass = V->getBool("prepass", true);
     R.CacheMarkers = V->getBool("cache_markers", true);
     R.PipelineSpec = V->getString("pipeline");
+    R.Session = V->getString("session");
     int64_t Budget = V->getInt("fm_budget", 0);
     if (Budget < 0) {
       if (Error)
         *Error = "'fm_budget' must be non-negative";
+      return std::nullopt;
+    }
+    if (Budget != 0 && R.Operation == ServeRequest::Op::Edit) {
+      if (Error)
+        *Error = "'fm_budget' is not accepted on edit requests: a "
+                 "one-off budget would splice degraded answers into "
+                 "the session's later re-analyses";
       return std::nullopt;
     }
     R.FmBudget = static_cast<uint64_t>(Budget);

@@ -31,12 +31,16 @@ namespace edda {
 /// One request line. Operations:
 ///   analyze     decide every reference pair of a LoopLang program
 ///   problem     decide one raw DependenceProblem (ProblemIO format)
+///   edit        replace a session's program with an edited version and
+///               re-analyze incrementally (fingerprint diff + graph
+///               splice); the payload is the full edited program, not a
+///               patch — the fingerprints find what changed
 ///   stats       server-lifetime counters (no payload)
 ///   ping        liveness probe (no payload)
 ///   checkpoint  force a warm-start checkpoint now (no payload)
 ///   shutdown    acknowledge, then drain and exit
 struct ServeRequest {
-  enum class Op { Analyze, Problem, Stats, Ping, Checkpoint, Shutdown };
+  enum class Op { Analyze, Problem, Edit, Stats, Ping, Checkpoint, Shutdown };
 
   int64_t Id = 0;
   Op Operation = Op::Ping;
@@ -55,8 +59,16 @@ struct ServeRequest {
   /// Per-request Fourier-Motzkin work budget override (0 = server
   /// default). Budgeted requests degrade to conservative answers when
   /// the budget runs out and bypass the shared memo store, so a
-  /// degraded answer is never served to an unbudgeted request.
+  /// degraded answer is never served to an unbudgeted request. Not
+  /// accepted on edit requests: a one-off budget could splice degraded
+  /// answers into every later re-analysis of the session.
   uint64_t FmBudget = 0;
+  /// Edit requests only: names the server-side program the edit
+  /// applies to. Empty scopes the session to the connection (each
+  /// transport connection gets its own anonymous program); non-empty
+  /// names are shared across connections, so separate clients can
+  /// take turns editing one program.
+  std::string Session;
 
   JsonValue toJson() const;
 };

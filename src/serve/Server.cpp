@@ -8,6 +8,7 @@
 #include "serve/Server.h"
 
 #include "analysis/Analyzer.h"
+#include "analysis/Incremental.h"
 #include "deptest/Direction.h"
 #include "deptest/ProblemIO.h"
 #include "parser/Parser.h"
@@ -128,12 +129,28 @@ double ServeStats::hitRatePct() const {
 /// no ordering relationship to the answers themselves.
 struct ServeCore::Counters {
   std::atomic<uint64_t> Requests{0}, AnalyzeRequests{0},
-      ProblemRequests{0}, Errors{0}, PairsTested{0}, PairsCached{0},
-      PairsConstant{0}, PairsUnanalyzable{0}, ProblemsTested{0},
-      ProblemsCached{0}, TestsRun{0}, MemoHitsFull{0},
+      ProblemRequests{0}, EditRequests{0}, Errors{0}, PairsTested{0},
+      PairsCached{0}, PairsConstant{0}, PairsUnanalyzable{0},
+      ProblemsTested{0}, ProblemsCached{0}, TestsRun{0}, MemoHitsFull{0},
       MemoHitsNoBounds{0}, FmWork{0}, WidenedQueries{0},
       DegradedRequests{0}, WallNs{0}, Checkpoints{0}, Evicted{0},
-      WarmLoadedEntries{0};
+      WarmLoadedEntries{0}, WarmRejectedEntries{0}, PairsReused{0},
+      PairsInvalidated{0};
+};
+
+/// One edit-loop program: the incremental analyzer state plus the lock
+/// that serializes edits to it. The session owns its analyzer (and
+/// that analyzer's private memo tables) rather than sharing the
+/// server-wide store: fingerprint invalidation tracks this one
+/// program's live pair keys, which must not evict entries other
+/// requests still want.
+struct ServeCore::EditSession {
+  explicit EditSession(AnalyzerOptions AO) : Incr(std::move(AO)) {}
+
+  std::mutex Mutex;
+  IncrementalSession Incr;
+  /// Logical touch time (ServeCore::SessionClock) for LRU eviction.
+  uint64_t LastUsed = 0;
 };
 
 static MemoOptions servingMemoOptions(unsigned Threads) {
@@ -163,13 +180,28 @@ ServeCore::ServeCore(ServeOptions O, std::string *Error)
   if (!Opts.CachePath.empty()) {
     struct stat St;
     if (::stat(Opts.CachePath.c_str(), &St) == 0) {
-      if (Cache.loadFromFile(Opts.CachePath)) {
+      CacheLoadStats LoadStats;
+      if (Cache.loadFromFile(Opts.CachePath, &LoadStats)) {
         C->WarmLoadedEntries.store(Cache.uniqueFull() +
                                    Cache.uniqueDirections() +
                                    Cache.uniqueNoBounds());
-      } else if (Error) {
-        *Error = "warm-start file '" + Opts.CachePath +
-                 "' is unreadable or has a bad format; cold-starting";
+      } else {
+        // Report what was lost instead of silently cold-starting: a
+        // stale-format file says how many entries it held, and the
+        // count stays visible through the stats op afterwards.
+        C->WarmRejectedEntries.store(LoadStats.RejectedEntries);
+        if (Error) {
+          *Error = "warm-start file '" + Opts.CachePath + "' ";
+          if (LoadStats.FileVersion != 0 &&
+              LoadStats.RejectedEntries != 0)
+            *Error += "declares stale format version " +
+                      std::to_string(LoadStats.FileVersion) +
+                      "; rejected " +
+                      std::to_string(LoadStats.RejectedEntries) +
+                      " entries and cold-starting";
+          else
+            *Error += "is unreadable or has a bad format; cold-starting";
+        }
       }
     }
   }
@@ -539,12 +571,135 @@ ServeResponse ServeCore::handleProblem(const ServeRequest &R) {
   return Out;
 }
 
+ServeResponse ServeCore::handleEdit(const ServeRequest &R,
+                                    uint64_t ConnId) {
+  uint64_t Start = nowNs();
+
+  ParseResult Parsed = parseProgram(R.Payload);
+  if (!Parsed.succeeded()) {
+    std::string Msg = "parse error";
+    for (const Diagnostic &D : Parsed.Diags) {
+      Msg += "; ";
+      Msg += D.str();
+    }
+    return errorResponse(R.Id, Msg);
+  }
+  Program Prog = std::move(*Parsed.Prog);
+
+  std::string PipeError;
+  std::shared_ptr<const TestPipeline> Pipe =
+      pipelineFor(R.PipelineSpec, &PipeError);
+  if (!Pipe && !PipeError.empty())
+    return errorResponse(R.Id, "bad pipeline: " + PipeError);
+
+  const std::string Key = R.Session.empty()
+                              ? "conn:" + std::to_string(ConnId)
+                              : "user:" + R.Session;
+
+  std::shared_ptr<EditSession> Session;
+  {
+    std::lock_guard<std::mutex> Lock(SessionsMutex);
+    auto It = Sessions.find(Key);
+    if (It == Sessions.end()) {
+      // A session's analyzer options are fixed by its first request:
+      // reanalysis is bit-identical to from-scratch only under
+      // unchanged options, so later flags must not re-steer a live
+      // session. The server default budget applies uniformly, exactly
+      // as it does to every analyze request.
+      AnalyzerOptions AO;
+      AO.RunPrepass = R.Prepass;
+      AO.NumThreads = 1;
+      AO.Cascade.Pipeline = Pipe;
+      AO.Cascade.Widen = R.Widen;
+      AO.Direction.Cascade.Pipeline = Pipe;
+      AO.Direction.Cascade.Widen = R.Widen;
+      if (DefaultBudget) {
+        AO.Direction.MaxRefineFmWork = DefaultBudget;
+        AO.Cascade.Fm.MaxCombines = DefaultBudget;
+        AO.Direction.Cascade.Fm.MaxCombines = DefaultBudget;
+      }
+      It = Sessions
+               .emplace(Key, std::make_shared<EditSession>(std::move(AO)))
+               .first;
+    }
+    Session = It->second;
+    Session->LastUsed = ++SessionClock;
+
+    // Bound abandoned sessions. Erasing only drops the registry's
+    // reference; a request already holding the shared_ptr finishes
+    // against its own copy.
+    constexpr size_t MaxSessions = 64;
+    while (Sessions.size() > MaxSessions) {
+      auto Oldest = Sessions.end();
+      for (auto I = Sessions.begin(); I != Sessions.end(); ++I)
+        if (I->second != Session &&
+            (Oldest == Sessions.end() ||
+             I->second->LastUsed < Oldest->second->LastUsed))
+          Oldest = I;
+      if (Oldest == Sessions.end())
+        break;
+      Sessions.erase(Oldest);
+    }
+  }
+
+  ReanalyzeStats RS;
+  std::string Text, GraphText;
+  {
+    // Edits to one session serialize here; other sessions (and all
+    // analyze/problem traffic) keep running on their own state.
+    std::lock_guard<std::mutex> Lock(Session->Mutex);
+    RS = Session->Incr.update(std::move(Prog));
+
+    ReportOptions Report;
+    Report.Directions = R.Directions;
+    // Explain is ignored: spliced pairs have no fresh pipeline trace,
+    // and a half-traced report would be misleading.
+    Report.CacheMarkers = R.CacheMarkers;
+    Text = renderAnalysisReport(Session->Incr.program(),
+                                Session->Incr.result(), Report);
+    GraphText = Session->Incr.graph().str(Session->Incr.program());
+  }
+  uint64_t WallNs = nowNs() - Start;
+
+  JsonValue Stats = JsonValue::object();
+  Stats.set("wall_ns", WallNs);
+  Stats.set("pairs", RS.PairsTotal);
+  Stats.set("pairs_reused", RS.PairsReused);
+  Stats.set("pairs_invalidated", RS.PairsInvalidated);
+
+  ServeResponse Out;
+  Out.Id = R.Id;
+  Out.Ok = true;
+  Out.Text = Text;
+  JsonValue O = JsonValue::object();
+  O.set("id", R.Id);
+  O.set("ok", true);
+  O.set("text", Out.Text);
+  O.set("graph", GraphText);
+  O.set("session", Key);
+  O.set("stats", Stats);
+  Out.Body = std::move(O);
+
+  C->EditRequests.fetch_add(1, std::memory_order_relaxed);
+  C->PairsReused.fetch_add(RS.PairsReused, std::memory_order_relaxed);
+  C->PairsInvalidated.fetch_add(RS.PairsInvalidated,
+                                std::memory_order_relaxed);
+  C->WallNs.fetch_add(WallNs, std::memory_order_relaxed);
+
+  Stats.set("op", "edit");
+  Stats.set("id", R.Id);
+  Stats.set("session", Key);
+  logRequest(Stats);
+  return Out;
+}
+
 JsonValue ServeCore::statsJson() const {
   ServeStats S = stats();
   JsonValue O = JsonValue::object();
   O.set("requests", S.Requests);
   O.set("analyze_requests", S.AnalyzeRequests);
   O.set("problem_requests", S.ProblemRequests);
+  O.set("edit_requests", S.EditRequests);
   O.set("errors", S.Errors);
   O.set("pairs_tested", S.PairsTested);
   O.set("pairs_cached", S.PairsCached);
@@ -556,16 +711,25 @@ JsonValue ServeCore::statsJson() const {
   O.set("tests_run", S.TestsRun);
   O.set("cache_hits_full", S.MemoHitsFull);
   O.set("cache_hits_nobounds", S.MemoHitsNoBounds);
+  O.set("cache_queries_dir", Cache.dirQueries());
+  O.set("cache_hits_dir", Cache.dirHits());
   O.set("fm_work", S.FmWork);
   O.set("widened", S.WidenedQueries);
   O.set("degraded_requests", S.DegradedRequests);
+  O.set("pairs_reused", S.PairsReused);
+  O.set("pairs_invalidated", S.PairsInvalidated);
   O.set("wall_ns", S.WallNs);
   O.set("checkpoints", S.Checkpoints);
   O.set("evicted", S.Evicted);
   O.set("warm_loaded_entries", S.WarmLoadedEntries);
+  O.set("warm_rejected_entries", S.WarmRejectedEntries);
   O.set("unique_full", Cache.uniqueFull());
   O.set("unique_directions", Cache.uniqueDirections());
   O.set("unique_nobounds", Cache.uniqueNoBounds());
+  {
+    std::lock_guard<std::mutex> Lock(SessionsMutex);
+    O.set("edit_sessions", static_cast<uint64_t>(Sessions.size()));
+  }
   O.set("threads", Opts.NumThreads);
   O.set("default_fm_budget", DefaultBudget);
   return O;
@@ -576,6 +740,7 @@ ServeStats ServeCore::stats() const {
   S.Requests = C->Requests.load();
   S.AnalyzeRequests = C->AnalyzeRequests.load();
   S.ProblemRequests = C->ProblemRequests.load();
+  S.EditRequests = C->EditRequests.load();
   S.Errors = C->Errors.load();
   S.PairsTested = C->PairsTested.load();
   S.PairsCached = C->PairsCached.load();
@@ -593,16 +758,21 @@ ServeStats ServeCore::stats() const {
   S.Checkpoints = C->Checkpoints.load();
   S.Evicted = C->Evicted.load();
   S.WarmLoadedEntries = C->WarmLoadedEntries.load();
+  S.WarmRejectedEntries = C->WarmRejectedEntries.load();
+  S.PairsReused = C->PairsReused.load();
+  S.PairsInvalidated = C->PairsInvalidated.load();
   return S;
 }
 
-ServeResponse ServeCore::handle(const ServeRequest &R) {
+ServeResponse ServeCore::handle(const ServeRequest &R, uint64_t ConnId) {
   C->Requests.fetch_add(1, std::memory_order_relaxed);
   switch (R.Operation) {
   case ServeRequest::Op::Analyze:
     return handleAnalyze(R);
   case ServeRequest::Op::Problem:
     return handleProblem(R);
+  case ServeRequest::Op::Edit:
+    return handleEdit(R, ConnId);
   case ServeRequest::Op::Stats: {
     ServeResponse Out;
     Out.Id = R.Id;
@@ -660,7 +830,8 @@ ServeResponse ServeCore::handle(const ServeRequest &R) {
   return errorResponse(R.Id, "unhandled op");
 }
 
-std::string ServeCore::handleLine(const std::string &Line) {
+std::string ServeCore::handleLine(const std::string &Line,
+                                  uint64_t ConnId) {
   std::string Error;
   int64_t Id = 0;
   std::optional<ServeRequest> R = parseServeRequest(Line, &Error, &Id);
@@ -669,16 +840,17 @@ std::string ServeCore::handleLine(const std::string &Line) {
     C->Errors.fetch_add(1, std::memory_order_relaxed);
     return errorResponse(Id, Error).Body.str();
   }
-  ServeResponse Out = handle(*R);
+  ServeResponse Out = handle(*R, ConnId);
   if (!Out.Ok)
     C->Errors.fetch_add(1, std::memory_order_relaxed);
   return Out.Body.str();
 }
 
 void ServeCore::submit(std::string Line,
-                       std::function<void(std::string)> Done) {
-  Pool->submit([this, Line = std::move(Line),
-                Done = std::move(Done)] { Done(handleLine(Line)); });
+                       std::function<void(std::string)> Done,
+                       uint64_t ConnId) {
+  Pool->submit([this, Line = std::move(Line), Done = std::move(Done),
+                ConnId] { Done(handleLine(Line, ConnId)); });
 }
 
 void ServeCore::drain() { Pool->wait(); }
@@ -743,7 +915,7 @@ int edda::runStdioServer(ServeCore &Core) {
 
 namespace {
 
-void serveConnection(ServeCore &Core, int Fd) {
+void serveConnection(ServeCore &Core, int Fd, uint64_t ConnId) {
   auto Flight = std::make_shared<FlightControl>();
   auto WriteMutex = std::make_shared<std::mutex>();
   const uint64_t Limit = 2 * Core.options().BatchSize;
@@ -776,7 +948,8 @@ void serveConnection(ServeCore &Core, int Fd) {
                       (void)writeAllFd(Fd, Resp.data(), Resp.size());
                     }
                     Flight->release();
-                  });
+                  },
+                  ConnId);
     }
     Buf.erase(0, Start);
   }
@@ -818,6 +991,9 @@ int edda::runUnixServer(ServeCore &Core, const std::string &SocketPath,
   std::mutex ConnMutex;
   std::set<int> OpenFds;
   std::vector<std::thread> Connections;
+  // Connection ids scope anonymous edit sessions; 0 is reserved for
+  // the stdio transport's single implicit connection.
+  uint64_t NextConnId = 1;
 
   while (!Stop.load(std::memory_order_acquire) &&
          !Core.shutdownRequested()) {
@@ -832,8 +1008,9 @@ int edda::runUnixServer(ServeCore &Core, const std::string &SocketPath,
       std::lock_guard<std::mutex> Lock(ConnMutex);
       OpenFds.insert(Fd);
     }
-    Connections.emplace_back([&Core, &ConnMutex, &OpenFds, Fd] {
-      serveConnection(Core, Fd);
+    uint64_t ConnId = NextConnId++;
+    Connections.emplace_back([&Core, &ConnMutex, &OpenFds, Fd, ConnId] {
+      serveConnection(Core, Fd, ConnId);
       std::lock_guard<std::mutex> Lock(ConnMutex);
       OpenFds.erase(Fd);
     });

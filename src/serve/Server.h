@@ -27,6 +27,12 @@
 /// conservative answers via the Fourier-Motzkin work budgets — the
 /// server never kills a worker thread.
 ///
+/// Edit loop: the `edit` op holds one program per connection (or per
+/// named session) in an IncrementalSession and re-analyzes each edited
+/// version by fingerprint diff, splicing unchanged pairs from the
+/// previous result. Responses come from the spliced dependence graph
+/// and report pairs-reused versus pairs-invalidated per request.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EDDA_SERVE_SERVER_H
@@ -87,6 +93,7 @@ struct ServeStats {
   uint64_t Requests = 0;
   uint64_t AnalyzeRequests = 0;
   uint64_t ProblemRequests = 0;
+  uint64_t EditRequests = 0;
   uint64_t Errors = 0;
   /// Reference-pair accounting across analyze requests. "Tested" ran
   /// the cascade, "cached" was served from the store; constant and
@@ -109,6 +116,16 @@ struct ServeStats {
   uint64_t Checkpoints = 0;
   uint64_t Evicted = 0;
   uint64_t WarmLoadedEntries = 0;
+  /// Warm-start entries dropped at boot because the file declared a
+  /// stale cache format version (surfaced instead of silently
+  /// cold-starting).
+  uint64_t WarmRejectedEntries = 0;
+  /// Incremental accounting across edit requests: pairs whose previous
+  /// outcome was spliced in because their content fingerprints were
+  /// unchanged, versus pairs rebuilt and re-tested. The reuse ratio —
+  /// not wall time — is the serving-side incremental claim.
+  uint64_t PairsReused = 0;
+  uint64_t PairsInvalidated = 0;
 
   /// Serving cache hit rate in percent (see PairsTested).
   double hitRatePct() const;
@@ -134,16 +151,18 @@ public:
   /// Decodes and serves one request line, returning the response line
   /// (no trailing newline). Runs on the caller's thread; never throws
   /// and never returns an empty string — malformed input yields an
-  /// ok:false response.
-  std::string handleLine(const std::string &Line);
+  /// ok:false response. \p ConnId scopes anonymous edit sessions to
+  /// the issuing transport connection (0 = the stdio transport).
+  std::string handleLine(const std::string &Line, uint64_t ConnId = 0);
 
   /// Serves one decoded request (the typed core of handleLine; the
   /// unit tests call this directly).
-  ServeResponse handle(const ServeRequest &R);
+  ServeResponse handle(const ServeRequest &R, uint64_t ConnId = 0);
 
   /// Enqueues a request line onto the worker pool; \p Done is invoked
   /// on a worker thread with the response line.
-  void submit(std::string Line, std::function<void(std::string)> Done);
+  void submit(std::string Line, std::function<void(std::string)> Done,
+              uint64_t ConnId = 0);
 
   /// Blocks until every submitted request has been answered.
   void drain();
@@ -169,6 +188,10 @@ public:
 private:
   ServeResponse handleAnalyze(const ServeRequest &R);
   ServeResponse handleProblem(const ServeRequest &R);
+  /// Serves one edit request against the per-connection (or named)
+  /// IncrementalSession, splicing unchanged pairs from the previous
+  /// analysis and answering from the spliced graph.
+  ServeResponse handleEdit(const ServeRequest &R, uint64_t ConnId);
   JsonValue statsJson() const;
 
   /// Resolves a request's pipeline spec against a small memoized
@@ -187,6 +210,18 @@ private:
 
   std::mutex PipelineMutex;
   std::map<std::string, std::shared_ptr<const TestPipeline>> Pipelines;
+
+  /// Edit-session registry, keyed "conn:<id>" for anonymous
+  /// connection-scoped programs and "user:<name>" for named ones.
+  /// Sessions hold their own analyzer (and memo state) because
+  /// fingerprint invalidation must track one program's lifetime, not
+  /// the shared store; a small LRU bound caps abandoned sessions.
+  /// Requests touching one session serialize on its own mutex, so
+  /// edits to different sessions still run concurrently.
+  struct EditSession;
+  mutable std::mutex SessionsMutex;
+  std::map<std::string, std::shared_ptr<EditSession>> Sessions;
+  uint64_t SessionClock = 0;
 
   std::mutex LogMutex;
   std::ofstream LogStream;

@@ -7,6 +7,7 @@
 
 #include "workload/Generator.h"
 
+#include "ir/Program.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
@@ -555,4 +556,103 @@ std::string
 edda::generateRandomProgram(SplitRng &Rng,
                             const RandomProgramOptions &Opts) {
   return RandomEmitter(Rng, Opts).run();
+}
+
+//===----------------------------------------------------------------------===//
+// Random edits (incremental re-analysis)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Mutable edit sites: every assignment with its owning body (so
+/// insert/delete can splice the statement list) and every loop.
+struct EditSites {
+  struct AssignSite {
+    std::vector<StmtPtr> *ParentBody;
+    size_t Index;
+  };
+  std::vector<AssignSite> Assigns;
+  std::vector<LoopStmt *> Loops;
+};
+
+void collectEditSites(std::vector<StmtPtr> &Body, EditSites &Out) {
+  for (size_t I = 0; I < Body.size(); ++I) {
+    if (Body[I]->kind() == StmtKind::Loop) {
+      LoopStmt &L = asLoop(*Body[I]);
+      Out.Loops.push_back(&L);
+      collectEditSites(L.body(), Out);
+    } else {
+      Out.Assigns.push_back({&Body, I});
+    }
+  }
+}
+
+} // namespace
+
+std::string edda::applyRandomEdit(Program &Prog, SplitRng &Rng) {
+  EditSites Sites;
+  collectEditSites(Prog.body(), Sites);
+  if (Sites.Assigns.empty())
+    return "none (no assignments)";
+
+  // Retry until a kind applies; every program with an assignment admits
+  // at least the rhs tweak, so this terminates.
+  for (;;) {
+    unsigned Kind = static_cast<unsigned>(Rng.below(5));
+    switch (Kind) {
+    case 0: { // Left-hand-side subscript: sub -> sub + c.
+      EditSites::AssignSite Site =
+          Sites.Assigns[Rng.below(Sites.Assigns.size())];
+      AssignStmt &A = asAssign(**(Site.ParentBody->begin() +
+                                  static_cast<long>(Site.Index)));
+      if (!A.isArrayLhs())
+        continue;
+      unsigned Dim = static_cast<unsigned>(
+          Rng.below(A.lhsSubscripts().size()));
+      int64_t C = 1 + static_cast<int64_t>(Rng.below(2));
+      A.setLhsSubscript(Dim, Expr::makeAdd(A.lhsSubscripts()[Dim],
+                                           Expr::makeConst(C)));
+      return "subscript+" + std::to_string(C);
+    }
+    case 1: { // Right-hand side: rhs -> rhs + c (references untouched).
+      EditSites::AssignSite Site =
+          Sites.Assigns[Rng.below(Sites.Assigns.size())];
+      AssignStmt &A = asAssign(**(Site.ParentBody->begin() +
+                                  static_cast<long>(Site.Index)));
+      int64_t C = 1 + static_cast<int64_t>(Rng.below(3));
+      A.setRhs(Expr::makeAdd(A.rhs(), Expr::makeConst(C)));
+      return "rhs+" + std::to_string(C);
+    }
+    case 2: { // Loop bound: lo or hi bumped by one.
+      if (Sites.Loops.empty())
+        continue;
+      LoopStmt &L = *Sites.Loops[Rng.below(Sites.Loops.size())];
+      if (Rng.below(2) == 0) {
+        L.setLo(Expr::makeAdd(L.lo(), Expr::makeConst(1)));
+        return "bound-lo+1";
+      }
+      L.setHi(Expr::makeAdd(L.hi(), Expr::makeConst(1)));
+      return "bound-hi+1";
+    }
+    case 3: { // Insert a clone of an existing assignment.
+      EditSites::AssignSite Site =
+          Sites.Assigns[Rng.below(Sites.Assigns.size())];
+      StmtPtr Clone = (*Site.ParentBody)[Site.Index]->clone();
+      size_t At = Rng.below(Site.ParentBody->size() + 1);
+      Site.ParentBody->insert(Site.ParentBody->begin() +
+                                  static_cast<long>(At),
+                              std::move(Clone));
+      return "insert@" + std::to_string(At);
+    }
+    default: { // Delete an assignment (never the last in its body).
+      EditSites::AssignSite Site =
+          Sites.Assigns[Rng.below(Sites.Assigns.size())];
+      if (Site.ParentBody->size() <= 1 || Sites.Assigns.size() <= 1)
+        continue;
+      Site.ParentBody->erase(Site.ParentBody->begin() +
+                             static_cast<long>(Site.Index));
+      return "delete@" + std::to_string(Site.Index);
+    }
+    }
+  }
 }

@@ -105,7 +105,19 @@ std::string generateProgramSource(const ProgramProfile &Profile,
 std::vector<std::pair<std::string, std::string>>
 generatePerfectClubSuite(const GeneratorOptions &Opts);
 
+class Program;
 class SplitRng;
+
+/// Applies one random structural edit to \p Prog in place — the edit
+/// model behind the fuzzer's `incr` axis and the incremental-edit
+/// bench. Kinds: add a constant to one left-hand-side subscript, wrap
+/// an assignment's right-hand side in "+ c" (no array reference
+/// changes, so every touched pair should be reused verbatim), bump a
+/// loop bound by one, insert a clone of an existing assignment, delete
+/// an assignment (never the last one in a body). The edited program
+/// stays valid LoopLang: print() -> parse round-trips. Deterministic
+/// in \p Rng; returns a short description of the edit performed.
+std::string applyRandomEdit(Program &Prog, SplitRng &Rng);
 
 /// Options for unconstrained random LoopLang programs — the fuzzer's
 /// program-level inputs. Unlike the profile templates above, these are

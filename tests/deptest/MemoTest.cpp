@@ -438,3 +438,151 @@ TEST(Memo, CheckpointWhileInsertersRace) {
   }
   std::remove(Path.c_str());
 }
+
+//===----------------------------------------------------------------------===//
+// Fingerprint tags and format-v6 behaviour (incremental re-analysis).
+//===----------------------------------------------------------------------===//
+
+TEST(Memo, InvalidateFingerprintsRemovesOnlyTaggedEntries) {
+  DependenceCache Cache;
+  DependenceProblem A = simpleProblem(3), B = simpleProblem(99);
+  Cache.insertFull(A, testDependence(A), /*Tag=*/11);
+  Cache.insertFull(B, testDependence(B), /*Tag=*/22);
+  Cache.insertDirections(A, computeDirectionVectors(A), /*Tag=*/11);
+
+  EXPECT_EQ(Cache.invalidateFingerprints({11}), 2u);
+  EXPECT_FALSE(Cache.lookupFull(A).has_value());
+  EXPECT_FALSE(Cache.lookupDirections(A).has_value());
+  EXPECT_TRUE(Cache.lookupFull(B).has_value());
+  // A second pass finds nothing left to drop.
+  EXPECT_EQ(Cache.invalidateFingerprints({11}), 0u);
+}
+
+TEST(Memo, UntaggedEntriesSurviveInvalidation) {
+  DependenceCache Cache;
+  DependenceProblem P = simpleProblem(3);
+  Cache.insertFull(P, testDependence(P)); // Tag defaults to 0 = none.
+  EXPECT_EQ(Cache.invalidateFingerprints({1, 2, 3}), 0u);
+  EXPECT_TRUE(Cache.lookupFull(P).has_value());
+}
+
+TEST(Memo, SharedKeyKeepsFirstTagAndOnlyReMissesOnInvalidation) {
+  // Same statement under different unused-loop bounds: both problems
+  // canonicalize to one memo key, so the key carries the first
+  // inserter's tag. Invalidating the *other* program's tag must not
+  // remove it; invalidating the first tag removes the shared entry,
+  // which costs the survivor one re-miss but never a wrong answer.
+  DependenceCache Cache;
+  DependenceProblem P5 = wrappedProblem(5), P7 = wrappedProblem(7);
+  Cache.insertFull(P5, testDependence(P5), /*Tag=*/1);
+  Cache.insertFull(P7, testDependence(P7), /*Tag=*/2); // First wins.
+  ASSERT_EQ(Cache.uniqueFull(), 1u);
+
+  EXPECT_EQ(Cache.invalidateFingerprints({2}), 0u);
+  EXPECT_TRUE(Cache.lookupFull(P7).has_value());
+
+  EXPECT_EQ(Cache.invalidateFingerprints({1}), 1u);
+  EXPECT_FALSE(Cache.lookupFull(P5).has_value());
+  EXPECT_FALSE(Cache.lookupFull(P7).has_value());
+  // Re-inserting after the miss restores service for both.
+  Cache.insertFull(P7, testDependence(P7), /*Tag=*/2);
+  EXPECT_TRUE(Cache.lookupFull(P5).has_value());
+}
+
+TEST(Memo, DirectionCountersTrackQueriesAndHits) {
+  DependenceCache Cache;
+  DependenceProblem P = simpleProblem(1);
+  EXPECT_FALSE(Cache.lookupDirections(P).has_value());
+  Cache.insertDirections(P, computeDirectionVectors(P));
+  EXPECT_TRUE(Cache.lookupDirections(P).has_value());
+  EXPECT_EQ(Cache.dirQueries(), 2u);
+  EXPECT_EQ(Cache.dirHits(), 1u);
+  Cache.clear();
+  EXPECT_EQ(Cache.dirQueries(), 0u);
+  EXPECT_EQ(Cache.dirHits(), 0u);
+}
+
+TEST(Memo, TagsSurvivePersistence) {
+  std::string Path = ::testing::TempDir() + "/edda_cache_tags.txt";
+  {
+    DependenceCache Cache;
+    Cache.insertFull(simpleProblem(3), testDependence(simpleProblem(3)),
+                     /*Tag=*/77);
+    Cache.insertDirections(simpleProblem(1),
+                           computeDirectionVectors(simpleProblem(1)),
+                           /*Tag=*/77);
+    Cache.insertFull(simpleProblem(99),
+                     testDependence(simpleProblem(99)), /*Tag=*/88);
+    ASSERT_TRUE(Cache.saveToFile(Path));
+  }
+  DependenceCache Loaded;
+  ASSERT_TRUE(Loaded.loadFromFile(Path));
+  // The reloaded entries still answer, and still invalidate by tag —
+  // a warm-started edit session can drop its dead keys.
+  EXPECT_TRUE(Loaded.lookupFull(simpleProblem(3)).has_value());
+  EXPECT_EQ(Loaded.invalidateFingerprints({77}), 2u);
+  EXPECT_FALSE(Loaded.lookupFull(simpleProblem(3)).has_value());
+  EXPECT_FALSE(Loaded.lookupDirections(simpleProblem(1)).has_value());
+  EXPECT_TRUE(Loaded.lookupFull(simpleProblem(99)).has_value());
+  std::remove(Path.c_str());
+}
+
+namespace {
+
+/// A hand-written cache file in the superseded v5 format: two full
+/// entries, one direction entry (one vector, one pinned distance),
+/// three GCD entries (counted but never parsed past the count).
+const char *v5CacheFile() {
+  return "edda-depcache 5\n"
+         "2\n"
+         "3 1 2 3\n"
+         "1 5 1 0\n"
+         "3 4 5 6\n"
+         "0 7 1 0\n"
+         "1\n"
+         "2 9 9\n"
+         "1 5 1 0 0 1 1\n"
+         "1 0\n"
+         "d 1\n"
+         "3\n";
+}
+
+} // namespace
+
+TEST(Memo, V5FileRejectedWithEntryCountsReported) {
+  std::string Path = ::testing::TempDir() + "/edda_cache_v5.txt";
+  {
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    ASSERT_NE(F, nullptr);
+    std::fputs(v5CacheFile(), F);
+    std::fclose(F);
+  }
+  DependenceCache Cache;
+  CacheLoadStats LS;
+  EXPECT_FALSE(Cache.loadFromFile(Path, &LS));
+  EXPECT_EQ(LS.FileVersion, 5);
+  EXPECT_EQ(LS.RejectedEntries, 6u); // 2 full + 1 dir + 3 gcd.
+  EXPECT_EQ(LS.LoadedEntries, 0u);
+  // Rejection leaves the cache cold, not half-loaded.
+  EXPECT_EQ(Cache.uniqueFull(), 0u);
+  EXPECT_EQ(Cache.uniqueDirections(), 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(Memo, V6RoundTripReportsLoadStats) {
+  std::string Path = ::testing::TempDir() + "/edda_cache_v6_stats.txt";
+  {
+    DependenceCache Cache;
+    Cache.insertFull(simpleProblem(3), testDependence(simpleProblem(3)));
+    Cache.insertDirections(simpleProblem(1),
+                           computeDirectionVectors(simpleProblem(1)));
+    ASSERT_TRUE(Cache.saveToFile(Path));
+  }
+  DependenceCache Loaded;
+  CacheLoadStats LS;
+  ASSERT_TRUE(Loaded.loadFromFile(Path, &LS));
+  EXPECT_EQ(LS.FileVersion, 6);
+  EXPECT_EQ(LS.RejectedEntries, 0u);
+  EXPECT_GE(LS.LoadedEntries, 2u);
+  std::remove(Path.c_str());
+}

@@ -263,3 +263,50 @@ TEST(Shrinker, ProgramShrinkKeepsPredicate) {
   }
   EXPECT_GE(Checked, 5u);
 }
+
+TEST(Fuzzer, IncrAxisCleanOnRandomEditSequences) {
+  // Incremental re-analysis alone, across enough iterations to cover
+  // every edit kind several times: the spliced graph must match the
+  // from-scratch one after every step of every sequence.
+  FuzzOptions Opts = quickOptions(4, 400);
+  Opts.CheckOracle = false;
+  Opts.CheckDirs = false;
+  Opts.CheckPipeline = false;
+  Opts.CheckWiden = false;
+  Opts.CheckThreads = false;
+  Opts.CheckMemo = false;
+  FuzzSummary S = runFuzz(Opts);
+  EXPECT_TRUE(S.ok()) << S.Failures.size() << " incr mismatches; first: "
+                      << (S.Failures.empty() ? ""
+                                             : S.Failures[0].Detail);
+}
+
+TEST(Fuzzer, StaleFingerprintBugIsCaughtAndShrunk) {
+  // The incremental fault injection: reuse keyed on the bounds-free
+  // fingerprints, so bound edits splice stale results. Only the incr
+  // axis can see it — run it alone, and demand the failures shrink to
+  // the acceptance envelope of at most 2 edits.
+  FuzzOptions Opts = quickOptions(1, 2000);
+  Opts.Bug = InjectedBug::StaleFingerprint;
+  Opts.CheckOracle = false;
+  Opts.CheckDirs = false;
+  Opts.CheckPipeline = false;
+  Opts.CheckWiden = false;
+  Opts.CheckThreads = false;
+  Opts.CheckMemo = false;
+  FuzzSummary S = runFuzz(Opts);
+  ASSERT_FALSE(S.ok()) << "stale-fingerprint bug escaped 2000 iterations";
+
+  for (const FuzzFailure &F : S.Failures) {
+    SCOPED_TRACE(F.Reproducer);
+    EXPECT_EQ(F.Axis, FuzzAxis::Incr);
+    EXPECT_TRUE(F.IsProgram);
+    EXPECT_GE(F.Edits, 1u);
+    EXPECT_LE(F.Edits, 2u);
+    // The reproducer embeds its surviving edit seeds so the failure
+    // replays from the file alone.
+    EXPECT_NE(F.Reproducer.find("# edda-fuzz-edits:"),
+              std::string::npos);
+    EXPECT_FALSE(F.Detail.empty());
+  }
+}

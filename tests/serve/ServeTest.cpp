@@ -17,12 +17,14 @@
 #include "serve/Server.h"
 
 #include "analysis/Analyzer.h"
+#include "analysis/DependenceGraph.h"
 #include "parser/Parser.h"
 #include "serve/Protocol.h"
 #include "serve/Render.h"
 #include "gtest/gtest.h"
 
 #include <cstdio>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -87,6 +89,39 @@ ServeRequest analyzeRequest(int64_t Id, bool Directions = true) {
   return R;
 }
 
+/// demoSource() after one subscript edit in the first nest; the other
+/// two nests are untouched, so an incremental re-analysis reuses
+/// their pairs.
+const char *demoSourceEdited() {
+  return "program served\n"
+         "  array a[100]\n"
+         "  array w[40][40]\n"
+         "  for i = 1 to 10 do\n"
+         "    a[i + 2] = a[i] + 3\n"
+         "  end\n"
+         "  for i = 2 to 20 do\n"
+         "    for j = 1 to 19 do\n"
+         "      w[i][j] = w[i - 1][j + 1] + 1\n"
+         "    end\n"
+         "  end\n"
+         "  for i = 1 to 10 do\n"
+         "    a[i + 1] = a[i] + 3\n"
+         "  end\n"
+         "end\n";
+}
+
+ServeRequest editRequest(int64_t Id, const char *Source,
+                         const std::string &Session = "") {
+  ServeRequest R;
+  R.Id = Id;
+  R.Operation = ServeRequest::Op::Edit;
+  R.Payload = Source;
+  R.Directions = true;
+  R.CacheMarkers = false;
+  R.Session = Session;
+  return R;
+}
+
 } // namespace
 
 TEST(ServeProtocol, RequestRoundTrip) {
@@ -120,8 +155,8 @@ TEST(ServeProtocol, RequestRoundTrip) {
 
 TEST(ServeProtocol, EveryOpRoundTrips) {
   using Op = ServeRequest::Op;
-  for (Op Operation : {Op::Analyze, Op::Problem, Op::Stats, Op::Ping,
-                       Op::Checkpoint, Op::Shutdown}) {
+  for (Op Operation : {Op::Analyze, Op::Problem, Op::Edit, Op::Stats,
+                       Op::Ping, Op::Checkpoint, Op::Shutdown}) {
     ServeRequest R;
     R.Id = 7;
     R.Operation = Operation;
@@ -356,6 +391,151 @@ TEST(Serve, SubmitDispatchesConcurrently) {
       EXPECT_EQ(Text, WantText);
   }
   EXPECT_EQ(Core.stats().Requests, N);
+}
+
+TEST(ServeProtocol, EditRequestCarriesSessionAndProgram) {
+  ServeRequest R;
+  R.Id = 3;
+  R.Operation = ServeRequest::Op::Edit;
+  R.Payload = "program p\nend\n";
+  R.Session = "alice";
+  R.Directions = true;
+
+  std::string Error;
+  std::optional<ServeRequest> Back =
+      parseServeRequest(R.toJson().str(), &Error);
+  ASSERT_TRUE(Back.has_value()) << Error;
+  EXPECT_EQ(Back->Operation, ServeRequest::Op::Edit);
+  EXPECT_EQ(Back->Payload, R.Payload);
+  EXPECT_EQ(Back->Session, "alice");
+  EXPECT_TRUE(Back->Directions);
+}
+
+TEST(ServeProtocol, FmBudgetRejectedOnEditRequests) {
+  // A one-off budget would splice degraded answers into the session's
+  // later re-analyses, so the protocol layer rejects the combination.
+  ServeRequest R;
+  R.Id = 4;
+  R.Operation = ServeRequest::Op::Edit;
+  R.Payload = "program p\nend\n";
+  R.FmBudget = 9;
+  std::string Error;
+  EXPECT_FALSE(parseServeRequest(R.toJson().str(), &Error).has_value());
+  EXPECT_NE(Error.find("fm_budget"), std::string::npos) << Error;
+}
+
+TEST(Serve, EditOpIncrementalMatchesAnalyze) {
+  ServeCore Core(ServeOptions{});
+
+  // The opening edit has no previous version: every pair is fresh.
+  ServeResponse First = Core.handle(editRequest(1, demoSource()));
+  ASSERT_TRUE(First.Ok) << First.Error;
+  const JsonValue &S1 = First.Body.get("stats");
+  ASSERT_TRUE(S1.isObject()) << First.Body.str();
+  EXPECT_GT(S1.getInt("pairs"), 0);
+  EXPECT_EQ(S1.getInt("pairs_reused"), 0);
+  EXPECT_EQ(S1.getInt("pairs_invalidated"), S1.getInt("pairs"));
+  EXPECT_EQ(First.Body.getString("session"), "conn:0");
+
+  // One subscript edit: the untouched nests splice through.
+  ServeResponse Second = Core.handle(editRequest(2, demoSourceEdited()));
+  ASSERT_TRUE(Second.Ok) << Second.Error;
+  const JsonValue &S2 = Second.Body.get("stats");
+  EXPECT_GT(S2.getInt("pairs_reused"), 0);
+  EXPECT_LT(S2.getInt("pairs_invalidated"), S2.getInt("pairs"));
+
+  // The spliced report and graph are bit-identical to a from-scratch
+  // run on the edited program.
+  ParseResult Parsed = parseProgram(demoSourceEdited());
+  ASSERT_TRUE(Parsed.succeeded());
+  AnalyzerOptions AO;
+  AO.ComputeDirections = true;
+  DependenceAnalyzer Direct(AO);
+  AnalysisResult Result = Direct.analyze(*Parsed.Prog);
+  ReportOptions Report;
+  Report.Directions = true;
+  std::string Want = renderAnalysisReport(*Parsed.Prog, Result, Report);
+  EXPECT_EQ(stripCached(Second.Text), stripCached(Want));
+  DependenceGraph WantGraph = DependenceGraph::buildFromResult(Result);
+  EXPECT_EQ(Second.Body.getString("graph"), WantGraph.str(*Parsed.Prog));
+}
+
+TEST(Serve, EditSessionsIsolatedByConnAndName) {
+  ServeCore Core(ServeOptions{});
+
+  // Anonymous sessions are connection-scoped: the same program on a
+  // different connection starts cold.
+  ServeResponse A = Core.handle(editRequest(1, demoSource()), /*ConnId=*/1);
+  ASSERT_TRUE(A.Ok) << A.Error;
+  EXPECT_EQ(A.Body.getString("session"), "conn:1");
+  ServeResponse B = Core.handle(editRequest(2, demoSource()), /*ConnId=*/2);
+  ASSERT_TRUE(B.Ok) << B.Error;
+  EXPECT_EQ(B.Body.getString("session"), "conn:2");
+  EXPECT_EQ(B.Body.get("stats").getInt("pairs_reused"), 0);
+
+  // Re-sending the unchanged program on the original connection
+  // reuses every pair.
+  ServeResponse C = Core.handle(editRequest(3, demoSource()), 1);
+  ASSERT_TRUE(C.Ok) << C.Error;
+  const JsonValue &SC = C.Body.get("stats");
+  EXPECT_EQ(SC.getInt("pairs_reused"), SC.getInt("pairs"));
+  EXPECT_EQ(SC.getInt("pairs_invalidated"), 0);
+
+  // A named session is shared across connections.
+  ServeResponse N1 =
+      Core.handle(editRequest(4, demoSource(), "shared"), 1);
+  ASSERT_TRUE(N1.Ok) << N1.Error;
+  EXPECT_EQ(N1.Body.getString("session"), "user:shared");
+  ServeResponse N2 =
+      Core.handle(editRequest(5, demoSource(), "shared"), 2);
+  ASSERT_TRUE(N2.Ok) << N2.Error;
+  const JsonValue &SN = N2.Body.get("stats");
+  EXPECT_EQ(SN.getInt("pairs_reused"), SN.getInt("pairs"));
+}
+
+TEST(Serve, StatsOpReportsEditCounters) {
+  ServeCore Core(ServeOptions{});
+  ASSERT_TRUE(Core.handle(editRequest(1, demoSource())).Ok);
+  ASSERT_TRUE(Core.handle(editRequest(2, demoSourceEdited())).Ok);
+
+  ServeRequest R;
+  R.Id = 3;
+  R.Operation = ServeRequest::Op::Stats;
+  ServeResponse S = Core.handle(R);
+  ASSERT_TRUE(S.Ok) << S.Error;
+  const JsonValue &Stats = S.Body.get("server");
+  ASSERT_TRUE(Stats.isObject()) << S.Body.str();
+  EXPECT_EQ(Stats.getInt("edit_requests"), 2);
+  EXPECT_GT(Stats.getInt("pairs_reused"), 0);
+  EXPECT_GT(Stats.getInt("pairs_invalidated"), 0);
+  EXPECT_EQ(Stats.getInt("edit_sessions"), 1);
+  EXPECT_EQ(Stats.getInt("warm_rejected_entries"), 0);
+  ServeStats Snapshot = Core.stats();
+  EXPECT_EQ(Snapshot.EditRequests, 2u);
+  EXPECT_GT(Snapshot.PairsReused, 0u);
+}
+
+TEST(Serve, WarmStartRejectsStaleFormatVersion) {
+  // A v5 cache file (the pre-fingerprint format) must be rejected
+  // loudly: the boot diagnostic names the stale version and the
+  // rejected-entry count is surfaced instead of a silent cold start.
+  std::string Path = ::testing::TempDir() + "/edda_serve_v5.txt";
+  {
+    std::ofstream Out(Path);
+    Out << "edda-depcache 5\n2\n3 1 2 3\n1 5 1 0\n3 4 5 6\n0 7 1 0\n"
+           "1\n2 9 9\n1 5 1 0 0 1 1\n1 0\nd 1\n3\n";
+  }
+  ServeOptions Opts;
+  Opts.CachePath = Path;
+  std::string Error;
+  ServeCore Core(Opts, &Error);
+  EXPECT_NE(Error.find("stale format version 5"), std::string::npos)
+      << Error;
+  EXPECT_EQ(Core.stats().WarmLoadedEntries, 0u);
+  EXPECT_EQ(Core.stats().WarmRejectedEntries, 6u);
+  // The server still comes up and serves cold.
+  EXPECT_TRUE(Core.handle(analyzeRequest(1)).Ok);
+  std::remove(Path.c_str());
 }
 
 TEST(Serve, BadPipelineSpecIsAnError) {

@@ -237,3 +237,39 @@ TEST(SplitRngTest, DeterministicAndBounded) {
   for (int I = 0; I < 1000; ++I)
     EXPECT_LT(C.below(13), 13u);
 }
+
+TEST(Generator, RandomEditsKeepProgramsParseable) {
+  // The incr fuzz axis leans on this: every edit leaves valid LoopLang
+  // that survives a print -> parse round trip, and the same rng state
+  // applies the same edit.
+  ParseResult PR = parseProgram(generateProgramSource(
+      perfectClubProfiles().front(), GeneratorOptions{}));
+  ASSERT_TRUE(PR.succeeded());
+  Program Prog = std::move(*PR.Prog);
+  SplitRng Rng(99);
+  for (int I = 0; I < 40; ++I) {
+    std::string Desc = applyRandomEdit(Prog, Rng);
+    EXPECT_FALSE(Desc.empty());
+    ParseResult Round = parseProgram(Prog.print());
+    ASSERT_TRUE(Round.succeeded())
+        << "edit " << I << " (" << Desc << ") broke the program:\n"
+        << Prog.print();
+    Prog = std::move(*Round.Prog);
+  }
+}
+
+TEST(Generator, RandomEditsDeterministicInRng) {
+  auto RunEdits = [](uint64_t Seed) {
+    ParseResult PR = parseProgram(generateProgramSource(
+        perfectClubProfiles().front(), GeneratorOptions{}));
+    EXPECT_TRUE(PR.succeeded());
+    Program Prog = std::move(*PR.Prog);
+    SplitRng Rng(Seed);
+    std::string Log;
+    for (int I = 0; I < 10; ++I)
+      Log += applyRandomEdit(Prog, Rng) + ";";
+    return Log + Prog.print();
+  };
+  EXPECT_EQ(RunEdits(5), RunEdits(5));
+  EXPECT_NE(RunEdits(5), RunEdits(6));
+}

@@ -16,7 +16,7 @@
 ///                     budget is given)
 ///   --time-budget S   wall-clock budget in seconds
 ///   --check LIST      comma-separated axes to run: any of
-///                     oracle,dirs,pipeline,widen,threads,memo
+///                     oracle,dirs,pipeline,widen,threads,memo,incr
 ///                     (default all)
 ///   --out DIR         write minimized reproducers into DIR
 ///   --threads N       thread count for the parallel-analyzer axis
@@ -48,7 +48,7 @@ int usage(const char *Prog) {
   std::fprintf(
       stderr,
       "usage: %s [--seed N] [--count N] [--time-budget SECONDS]\n"
-      "          [--check oracle,dirs,pipeline,widen,threads,memo]\n"
+      "          [--check oracle,dirs,pipeline,widen,threads,memo,incr]\n"
       "          [--out DIR] [--threads N] [--no-widen]\n",
       Prog);
   return 2;
@@ -56,7 +56,8 @@ int usage(const char *Prog) {
 
 bool parseChecks(const std::string &List, FuzzOptions &Opts) {
   Opts.CheckOracle = Opts.CheckDirs = Opts.CheckPipeline =
-      Opts.CheckWiden = Opts.CheckThreads = Opts.CheckMemo = false;
+      Opts.CheckWiden = Opts.CheckThreads = Opts.CheckMemo =
+          Opts.CheckIncr = false;
   std::istringstream In(List);
   std::string Tok;
   while (std::getline(In, Tok, ',')) {
@@ -72,10 +73,12 @@ bool parseChecks(const std::string &List, FuzzOptions &Opts) {
       Opts.CheckThreads = true;
     else if (Tok == "memo")
       Opts.CheckMemo = true;
+    else if (Tok == "incr")
+      Opts.CheckIncr = true;
     else {
       std::fprintf(stderr,
                    "edda-fuzz: unknown axis '%s' (valid: oracle, "
-                   "dirs, pipeline, widen, threads, memo)\n",
+                   "dirs, pipeline, widen, threads, memo, incr)\n",
                    Tok.c_str());
       return false;
     }
@@ -143,10 +146,13 @@ int main(int Argc, char **Argv) {
         Opts.Bug = InjectedBug::NegateEqConst;
       else if (Variant == "dir-prune-sign")
         Opts.Bug = InjectedBug::MisSignDirPrune;
+      else if (Variant == "stale-fingerprint")
+        Opts.Bug = InjectedBug::StaleFingerprint;
       else {
         std::fprintf(stderr,
                      "edda-fuzz: unknown --inject-bug variant '%s' "
-                     "(valid: negate-eq-const, dir-prune-sign)\n",
+                     "(valid: negate-eq-const, dir-prune-sign, "
+                     "stale-fingerprint)\n",
                      Variant.c_str());
         return 2;
       }

@@ -24,7 +24,15 @@
 ///   edda-serve --client PATH [--problem] [--directions] [--explain]
 ///              [--no-prepass] [--no-widen] [--no-cache-markers]
 ///              [--pipeline SPEC] [--fm-budget N] [FILE...]
+///              [--edit] [--session NAME]
 ///              [--ping] [--stats] [--checkpoint] [--shutdown]
+///
+/// --edit sends each FILE as an incremental `edit` request against one
+/// server-side program (connection-scoped, or named via --session):
+/// the first file seeds the session, each later file re-analyzes by
+/// fingerprint diff. Output per file mirrors
+/// `edda-cli --directions --graph` (report, then the spliced
+/// dependence graph); the per-edit reuse counters go to stderr.
 ///
 /// SIGTERM/SIGINT drain in-flight requests and write a final
 /// checkpoint before exiting (the handlers are installed without
@@ -75,12 +83,14 @@ struct ToolOptions {
   bool Prepass = true;
   bool Widen = true;
   bool CacheMarkers = true;
+  bool Edit = false;
   bool Ping = false;
   bool Stats = false;
   bool Checkpoint = false;
   bool Shutdown = false;
   uint64_t FmBudget = 0;
   std::string PipelineSpec;
+  std::string SessionName;
   std::vector<std::string> Files;
 };
 
@@ -95,6 +105,7 @@ int usage(const char *Prog) {
       "       %s --client PATH [--problem] [--directions] [--explain]\n"
       "          [--no-prepass] [--no-widen] [--no-cache-markers]\n"
       "          [--pipeline SPEC] [--fm-budget N] [FILE...]\n"
+      "          [--edit] [--session NAME]\n"
       "          [--ping] [--stats] [--checkpoint] [--shutdown]\n",
       Prog, Prog);
   return 2;
@@ -184,7 +195,14 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opts) {
     } else if (Arg == "--no-widen") {
       Opts.Serve.Widen = false;
       Opts.Widen = false;
-    } else if (Arg == "--problem")
+    } else if (Arg == "--session") {
+      const char *V = Next("--session");
+      if (!V)
+        return false;
+      Opts.SessionName = V;
+    } else if (Arg == "--edit")
+      Opts.Edit = true;
+    else if (Arg == "--problem")
       Opts.Problem = true;
     else if (Arg == "--directions")
       Opts.Directions = true;
@@ -249,8 +267,9 @@ int runClient(const ToolOptions &Opts) {
     Buffer << In.rdbuf();
 
     ServeRequest R;
-    R.Operation = Opts.Problem ? ServeRequest::Op::Problem
-                               : ServeRequest::Op::Analyze;
+    R.Operation = Opts.Edit      ? ServeRequest::Op::Edit
+                  : Opts.Problem ? ServeRequest::Op::Problem
+                                 : ServeRequest::Op::Analyze;
     R.Payload = Buffer.str();
     R.Directions = Opts.Directions;
     R.Explain = Opts.Explain;
@@ -259,9 +278,27 @@ int runClient(const ToolOptions &Opts) {
     R.CacheMarkers = Opts.CacheMarkers;
     R.PipelineSpec = Opts.PipelineSpec;
     R.FmBudget = Opts.FmBudget;
-    if (std::optional<ServeResponse> Resp = Issue(std::move(R));
-        Resp && Resp->Ok)
-      std::fputs(Resp->Text.c_str(), stdout);
+    R.Session = Opts.SessionName;
+    std::optional<ServeResponse> Resp = Issue(std::move(R));
+    if (!Resp || !Resp->Ok)
+      continue;
+    std::fputs(Resp->Text.c_str(), stdout);
+    if (Opts.Edit) {
+      // Mirror `edda-cli --directions --graph`: report, then the
+      // spliced graph (the serving smoke diffs the two byte for byte).
+      std::printf("\ndependence graph:\n%s",
+                  Resp->Body.getString("graph").c_str());
+      if (const JsonValue *Stats = Resp->Body.find("stats"))
+        std::fprintf(stderr,
+                     "edda-serve: edit '%s': %lld pairs, %lld reused, "
+                     "%lld invalidated\n",
+                     Path.c_str(),
+                     static_cast<long long>(Stats->getInt("pairs")),
+                     static_cast<long long>(
+                         Stats->getInt("pairs_reused")),
+                     static_cast<long long>(
+                         Stats->getInt("pairs_invalidated")));
+    }
   }
 
   if (Opts.Ping) {
